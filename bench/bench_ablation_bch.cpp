@@ -1,0 +1,128 @@
+// Ablation: BCH(255,239,t=2) as the GD transform — the paper's §8 future
+// work, implemented ("These allow for more chunks to be mapped to each
+// basis, albeit at the cost of a larger deviation in bits").
+//
+// Workloads with increasing per-reading noise weight (0-2 flipped bits per
+// chunk) are encoded with both transforms under identical dictionary
+// budgets. Hamming folds only 1-bit noise into a basis, so 2-bit noise
+// explodes its basis population; BCH absorbs it at +1 byte of deviation
+// per packet.
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "gd/dictionary.hpp"
+#include "hamming/bch.hpp"
+#include "hamming/hamming.hpp"
+
+namespace {
+
+using namespace zipline;
+using bits::BitVector;
+
+struct Workload {
+  const char* name;
+  double p_one_bit;   // probability of >= 1 flipped bit
+  double p_two_bits;  // probability the noisy reading has 2 flipped bits
+};
+
+struct Result {
+  double ratio;
+  std::size_t bases;
+};
+
+constexpr std::size_t kChunks = 100000;
+constexpr std::size_t kSensors = 32;
+constexpr std::size_t kIdBits = 15;
+
+// Packet-size accounting per transform: syndrome + 1 excess bit + id/basis.
+std::size_t type3_bytes(std::size_t deviation_bits) {
+  return (deviation_bits + 1 + kIdBits + 7) / 8;
+}
+std::size_t type2_bytes(std::size_t deviation_bits, std::size_t k) {
+  return (deviation_bits + 1 + k + 7) / 8 + 1;  // + modeled pad byte
+}
+
+template <typename Canonicalize>
+Result run(const Workload& w, std::uint64_t seed, std::size_t deviation_bits,
+           std::size_t k, Canonicalize canonicalize,
+           const std::vector<BitVector>& sensor_codewords) {
+  Rng rng(seed);
+  gd::BasisDictionary dict(std::size_t{1} << kIdBits,
+                           gd::EvictionPolicy::lru);
+  std::uint64_t bytes_out = 0;
+  for (std::size_t i = 0; i < kChunks; ++i) {
+    BitVector word = sensor_codewords[i % kSensors];
+    if (rng.next_bool(w.p_one_bit)) {
+      const std::size_t a = rng.next_below(255);
+      word.flip(a);
+      if (rng.next_bool(w.p_two_bits)) {
+        std::size_t b = rng.next_below(255);
+        while (b == a) b = rng.next_below(255);
+        word.flip(b);
+      }
+    }
+    const BitVector basis = canonicalize(word);
+    if (dict.lookup(basis)) {
+      bytes_out += type3_bytes(deviation_bits);
+    } else {
+      dict.insert(basis);
+      bytes_out += type2_bytes(deviation_bits, k);
+    }
+  }
+  return Result{static_cast<double>(bytes_out) /
+                    static_cast<double>(kChunks * 32),
+                dict.size()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: Hamming(255,247) vs BCH(255,239,t=2) transform"
+              " (§8) ===\n\n");
+  const hamming::HammingCode hamming_code(8);
+  const hamming::Bch255 bch;
+
+  // Shared sensor fleet; both transforms see identical words.
+  Rng setup_rng(11);
+  std::vector<BitVector> sensors;
+  for (std::size_t s = 0; s < kSensors; ++s) {
+    BitVector msg(bch.k);
+    for (std::size_t i = 0; i < bch.k; ++i) {
+      if (setup_rng.next_bool(0.5)) msg.set(i);
+    }
+    sensors.push_back(bch.encode(msg));  // codewords of BOTH codes' length
+  }
+
+  const Workload workloads[] = {
+      {"clean (no noise)", 0.0, 0.0},
+      {"1-bit noise", 0.9, 0.0},
+      {"1-2 bit noise (50/50)", 0.9, 0.5},
+      {"2-bit noise", 0.9, 1.0},
+  };
+
+  std::printf("%-24s | %-18s | %-18s\n", "", "Hamming (3 B refs)",
+              "BCH t=2 (4 B refs)");
+  std::printf("%-24s | %-8s %-9s | %-8s %-9s\n", "workload", "ratio",
+              "bases", "ratio", "bases");
+  for (const auto& w : workloads) {
+    const Result h = run(
+        w, 99, 8, hamming_code.k(),
+        [&](const BitVector& word) {
+          return hamming_code.canonicalize(word).basis;
+        },
+        sensors);
+    const Result b = run(
+        w, 99, bch.parity_bits, bch.k,
+        [&](const BitVector& word) { return bch.canonicalize(word).basis; },
+        sensors);
+    std::printf("%-24s | %-8.3f %-9zu | %-8.3f %-9zu\n", w.name, h.ratio,
+                h.bases, b.ratio, b.bases);
+  }
+  std::printf("\nunder 2-bit noise Hamming's basis population explodes"
+              " (every distinct 2-bit\npattern is a new basis) while BCH"
+              " keeps one basis per sensor at +1 B/packet —\nexactly the"
+              " trade-off §8 predicts.\n");
+  return 0;
+}

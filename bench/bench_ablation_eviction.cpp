@@ -1,0 +1,74 @@
+// Ablation: eviction policy for identifier recycling (paper §5 chooses
+// LRU, implemented through TNA's per-entry TTLs).
+//
+// A skewed workload (a hot set of stable sensors plus a long tail of
+// one-shot bases) run against a deliberately undersized dictionary
+// separates the policies: LRU protects the hot set, FIFO evicts it on
+// schedule, random splits the difference.
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "gd/codec.hpp"
+#include "gd/transform.hpp"
+
+int main() {
+  using namespace zipline;
+  std::printf("=== Ablation: dictionary eviction policy (paper uses LRU)"
+              " ===\n\n");
+
+  gd::GdParams params;
+  params.id_bits = 6;  // 64 identifiers, deliberately tight
+  params.validate();
+  const gd::GdTransform transform(params);
+
+  // Workload: 48 hot bases (fit comfortably) + a tail of cold one-shot
+  // bases that pressure the dictionary.
+  Rng rng(1234);
+  auto canonical_chunk = [&] {
+    bits::BitVector chunk(params.chunk_bits);
+    for (std::size_t b = 0; b < params.chunk_bits; ++b) {
+      if (rng.next_bool(0.5)) chunk.set(b);
+    }
+    const auto tc = transform.forward(chunk);
+    return transform.inverse(tc.excess, tc.basis, 0);
+  };
+  std::vector<bits::BitVector> hot;
+  for (int i = 0; i < 48; ++i) hot.push_back(canonical_chunk());
+
+  std::vector<bits::BitVector> workload;
+  for (int i = 0; i < 200000; ++i) {
+    if (rng.next_bool(0.9)) {
+      bits::BitVector chunk = hot[rng.next_below(hot.size())];
+      chunk.flip(rng.next_below(255));  // sensor noise, same basis
+      workload.push_back(std::move(chunk));
+    } else {
+      workload.push_back(canonical_chunk());  // cold one-shot basis
+    }
+  }
+
+  std::printf("%-8s %-10s %-12s %-12s %-10s\n", "policy", "ratio",
+              "type3 pkts", "type2 pkts", "evictions");
+  const gd::EvictionPolicy policies[] = {gd::EvictionPolicy::lru,
+                                         gd::EvictionPolicy::fifo,
+                                         gd::EvictionPolicy::random};
+  const char* names[] = {"lru", "fifo", "random"};
+  for (int i = 0; i < 3; ++i) {
+    gd::GdEncoder encoder{params, policies[i]};
+    for (const auto& chunk : workload) {
+      (void)encoder.encode_chunk(chunk);
+    }
+    const auto& stats = encoder.stats();
+    std::printf("%-8s %-10.3f %-12llu %-12llu %-10llu %s\n", names[i],
+                stats.compression_ratio(),
+                static_cast<unsigned long long>(stats.compressed_packets),
+                static_cast<unsigned long long>(stats.uncompressed_packets),
+                static_cast<unsigned long long>(
+                    encoder.dictionary().stats().evictions),
+                i == 0 ? "<- paper's choice" : "");
+  }
+  std::printf("\nLRU keeps the hot bases resident under tail pressure;"
+              " FIFO recycles them\nregardless of use; random falls in"
+              " between.\n");
+  return 0;
+}

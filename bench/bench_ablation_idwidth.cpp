@@ -1,0 +1,52 @@
+// Ablation: identifier width t (paper §7 picks t = 15 so that identifier
+// plus the spare MSB bit is exactly 2 bytes, caching 2^15 = 32,768 bases).
+//
+// The sweep runs the same sensor workload against dictionaries of 2^t
+// entries. When the working set of bases exceeds the dictionary, LRU
+// recycling starts evicting still-hot entries and every re-learned basis
+// costs an uncompressed packet — the compression ratio degrades sharply at
+// the capacity cliff.
+
+#include <cstdio>
+
+#include "gd/codec.hpp"
+#include "trace/synthetic.hpp"
+
+int main() {
+  using namespace zipline;
+  std::printf("=== Ablation: identifier width t (paper picks t = 15) ===\n\n");
+
+  // A workload with ~2000 distinct bases spread over the trace.
+  trace::SyntheticSensorConfig trace_config;
+  trace_config.chunk_count = 500000;
+  trace_config.drift_every = 250;  // ~2000 bases
+  const auto payloads = trace::generate_synthetic_sensor(trace_config);
+
+  std::printf("%-3s %-10s %-9s %-10s %-10s %-10s %s\n", "t", "capacity",
+              "type3 B", "ratio", "evictions", "misses", "note");
+  for (const std::size_t t : {5, 7, 9, 11, 13, 15, 19}) {
+    gd::GdParams params;
+    params.id_bits = t;
+    params.validate();
+    gd::GdEncoder encoder{params};
+    for (const auto& p : payloads) {
+      (void)encoder.encode_chunk(bits::BitVector::from_bytes(p, 256));
+    }
+    const auto& stats = encoder.stats();
+    const auto& dict = encoder.dictionary().stats();
+    std::printf("%-3zu %-10zu %-9zu %-10.3f %-10llu %-10llu %s\n", t,
+                params.dictionary_capacity(), params.type3_payload_bytes(),
+                stats.compression_ratio(),
+                static_cast<unsigned long long>(dict.evictions),
+                static_cast<unsigned long long>(dict.misses),
+                t == 15 ? "<- paper's choice" : "");
+  }
+  std::printf("\ncapacity must cover the *active* working set (~50 concurrent"
+              " sensors here):\nbelow it the dictionary thrashes (t=5);"
+              " right above it, smaller identifiers\nactually win because"
+              " type-3 packets shrink (t=7). The paper picks t=15 for\nbyte"
+              " alignment with the spare MSB bit plus capacity headroom for"
+              " traffic it\ncannot predict; past that, extra identifier bits"
+              " only grow the packet (t=19).\n");
+  return 0;
+}

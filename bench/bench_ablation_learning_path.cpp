@@ -1,0 +1,70 @@
+// Ablation: where learning happens (paper §6 "Lessons learned").
+//
+// The paper's first design kept basis-ID state in data-plane registers:
+// line rate with "virtually instantaneous learning", but constant-time
+// constraints rule out real LRU and hash-slot collisions silently evict.
+// The shipped design moves learning to the control plane: proper LRU via
+// TTLs, at the cost of ~1.77 ms during which packets stay uncompressed.
+//
+// This bench runs the same bursty sensor trace through all three paths and
+// reports compression plus the learning latency each path implies.
+
+#include <cstdio>
+
+#include "sim/replay.hpp"
+#include "sim/testbed.hpp"
+#include "trace/synthetic.hpp"
+
+int main() {
+  using namespace zipline;
+  std::printf("=== Ablation: control-plane vs data-plane learning (§6) ===\n\n");
+
+  trace::SyntheticSensorConfig trace_config;
+  trace_config.chunk_count = 500000;
+  const auto payloads = trace::generate_synthetic_sensor(trace_config);
+
+  struct Case {
+    const char* name;
+    sim::TableMode table_mode;
+    prog::LearningMode learning;
+  };
+  const Case cases[] = {
+      {"static (preloaded)", sim::TableMode::static_,
+       prog::LearningMode::none},
+      {"control plane", sim::TableMode::dynamic,
+       prog::LearningMode::control_plane},
+      {"data-plane registers", sim::TableMode::dynamic,
+       prog::LearningMode::data_plane},
+  };
+
+  std::printf("%-22s %-9s %-12s %-12s %s\n", "learning path", "ratio",
+              "type2 pkts", "type3 pkts", "learning latency");
+  for (const auto& c : cases) {
+    sim::ReplayConfig config;
+    config.table_mode = c.table_mode;
+    config.switch_config.learning = c.learning;
+    config.replay_pps = 10000.0;
+    sim::TraceReplay replay(config);
+    // The register path needs the learning mode forced through the switch
+    // config (TraceReplay derives it from table_mode otherwise).
+    const auto result = replay.replay(payloads);
+    const char* latency = c.learning == prog::LearningMode::control_plane
+                              ? "~1.77 ms (measured below)"
+                          : c.table_mode == sim::TableMode::static_
+                              ? "n/a (preloaded)"
+                              : "one packet (instant)";
+    std::printf("%-22s %-9.3f %-12llu %-12llu %s\n", c.name, result.ratio(),
+                static_cast<unsigned long long>(result.type2_packets),
+                static_cast<unsigned long long>(result.type3_packets),
+                latency);
+  }
+
+  const auto learning = sim::run_learning(5);
+  std::printf("\ncontrol-plane learning latency: (%.2f ± %.2f) ms"
+              " [paper: 1.77 ± 0.08 ms]\n", learning.learning_ms.mean,
+              learning.learning_ms.ci95_half_width);
+  std::printf("\nregister learning is instant but hash-slot collisions evict"
+              " silently and no\ntrue LRU is possible in constant time —"
+              " why the paper moved to the control plane.\n");
+  return 0;
+}

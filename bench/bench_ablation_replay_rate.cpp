@@ -1,0 +1,48 @@
+// Ablation: replay rate vs dynamic-learning compression (Fig. 3 context).
+//
+// The paper does not state the rate at which its traces were replayed,
+// yet the dynamic-learning ratio depends on it directly: every new basis
+// stays uncompressed for ~1.77 ms of control-plane latency, so the number
+// of wasted packets per basis scales with the packet rate. This sweep
+// makes the dependency explicit and shows where our calibrated 10 kpkt/s
+// (DESIGN.md) sits.
+
+#include <cstdio>
+
+#include "sim/replay.hpp"
+#include "trace/synthetic.hpp"
+
+int main() {
+  using namespace zipline;
+  std::printf("=== Ablation: dynamic-learning ratio vs replay rate ===\n\n");
+
+  trace::SyntheticSensorConfig trace_config;
+  trace_config.chunk_count = 300000;
+  const auto payloads = trace::generate_synthetic_sensor(trace_config);
+
+  std::printf("%-12s %-10s %-12s %-14s\n", "replay pps", "ratio",
+              "type2 pkts", "pkts/basis lost");
+  for (const double pps : {1000.0, 5000.0, 10000.0, 50000.0, 200000.0}) {
+    sim::ReplayConfig config;
+    config.table_mode = sim::TableMode::dynamic;
+    config.replay_pps = pps;
+    sim::TraceReplay replay(config);
+    const auto result = replay.replay(payloads);
+    const double lost_per_basis =
+        result.bases_learned == 0
+            ? 0.0
+            : static_cast<double>(result.type2_packets) /
+                  static_cast<double>(result.bases_learned);
+    std::printf("%-12.0f %-10.3f %-12llu %-14.1f %s\n", pps, result.ratio(),
+                static_cast<unsigned long long>(result.type2_packets),
+                lost_per_basis,
+                pps == 10000.0 ? "<- Fig. 3 calibration" : "");
+  }
+  std::printf("\nhigher replay rates push more packets into each ~1.77 ms"
+              " learning window,\nuntil the loss per basis saturates at the"
+              " sensor burst length (16 here): the\nrest of a fresh basis's"
+              " packets arrive in later bursts, after learning has\n"
+              "finished. The static-table ratio (0.094) is the floor at any"
+              " rate.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 5 reproduction: observed end-to-end latency with the
+// programmable switch performing no op, GD encode, or GD decode.
+//
+// One server sends packets to itself through the switch (hairpin port
+// wiring) and measures the application-to-application round-trip time, as
+// raw_ethernet_lat does. The paper's finding: adding ZipLine has no
+// noticeable effect; RTTs sit in the low-teens of microseconds dominated
+// by NIC and userspace overheads, not by the pipeline.
+//
+// Usage: bench_fig5_latency [--quick]
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/testbed.hpp"
+
+int main(int argc, char** argv) {
+  using namespace zipline;
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const std::uint64_t repetitions = quick ? 3 : 10;
+  const std::uint64_t probes_per_rep = quick ? 50 : 200;
+
+  const prog::SwitchOp ops[] = {prog::SwitchOp::forward,
+                                prog::SwitchOp::encode,
+                                prog::SwitchOp::decode};
+  const char* op_names[] = {"no op", "encode", "decode"};
+
+  std::printf("=== Figure 5: end-to-end RTT by switch operation ===\n");
+  std::printf("paper shape: all three operations equal, low-teens of us\n\n");
+  std::printf("%-8s %18s %12s %12s\n", "op", "RTT us (±CI)", "min", "max");
+  for (std::size_t op_idx = 0; op_idx < 3; ++op_idx) {
+    std::vector<double> all_samples;
+    for (std::uint64_t rep = 0; rep < repetitions; ++rep) {
+      const auto result =
+          sim::run_latency(ops[op_idx], probes_per_rep,
+                          rep * 211 + op_idx * 31 + 3);
+      all_samples.insert(all_samples.end(), result.samples_us.begin(),
+                         result.samples_us.end());
+    }
+    const auto stats = sim::summarize(all_samples);
+    double min_v = all_samples.empty() ? 0 : all_samples.front();
+    double max_v = min_v;
+    for (const double v : all_samples) {
+      min_v = std::min(min_v, v);
+      max_v = std::max(max_v, v);
+    }
+    std::printf("%-8s %10.2f ±%5.2f %12.2f %12.2f\n", op_names[op_idx],
+                stats.mean, stats.ci95_half_width, min_v, max_v);
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// §7 "Dynamic learning" reproduction: the time between the arrival of an
+// unknown basis at the switch and the moment compressed packets start to
+// be produced.
+//
+// Method, as in the paper: repeatedly send the same data packet as fast as
+// possible from one server to another; capture at the destination; measure
+// the gap between the first type-2 (uncompressed) and the first type-3
+// (compressed) packet. The paper reports 1.77 ± 0.08 ms; the control-plane
+// latency model is calibrated stage by stage in DESIGN.md (digest export,
+// CP processing, decoder-side install, encoder-side install).
+//
+// Usage: bench_learning [--quick]
+
+#include <cstdio>
+#include <cstring>
+
+#include "sim/testbed.hpp"
+
+int main(int argc, char** argv) {
+  using namespace zipline;
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const std::uint64_t repetitions = quick ? 3 : 10;
+
+  std::printf("=== Dynamic learning latency (first type-2 -> first type-3)"
+              " ===\n");
+  std::printf("paper: (1.77 ± 0.08) ms over 10 repetitions\n\n");
+  const auto result = sim::run_learning(repetitions);
+  std::printf("measured: (%.2f ± %.2f) ms over %zu repetitions\n",
+              result.learning_ms.mean, result.learning_ms.ci95_half_width,
+              result.samples_ms.size());
+  std::printf("samples:");
+  for (const double s : result.samples_ms) std::printf(" %.3f", s);
+  std::printf(" ms\n");
+
+  // Decompose the pipeline for the reader.
+  const prog::ControlPlaneTiming timing;
+  std::printf("\nmodel decomposition: digest export %.2f ms + CP processing"
+              " %.2f ms\n  + decoder install %.2f ms + encoder install %.2f"
+              " ms = %.2f ms nominal\n",
+              to_ms(timing.digest_export), to_ms(timing.processing),
+              to_ms(timing.install_decoder), to_ms(timing.install_encoder),
+              to_ms(timing.total()));
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Microbenchmarks of the data-path primitives (google-benchmark).
+//
+// Context for the paper's motivation: these are the costs an end host
+// pays in software, which ZipLine offloads to the switch. The syndrome
+// CRC, the GD transform and the dictionary are the per-packet work items;
+// DEFLATE is the baseline's per-byte cost.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baseline/deflate.hpp"
+#include "common/rng.hpp"
+#include "crc/syndrome_crc.hpp"
+#include "gd/codec.hpp"
+#include "gd/transform.hpp"
+#include "trace/synthetic.hpp"
+#include "zipline/program.hpp"
+
+namespace {
+
+using namespace zipline;
+
+bits::BitVector random_bits(Rng& rng, std::size_t n) {
+  bits::BitVector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.next_bool(0.5)) v.set(i);
+  }
+  return v;
+}
+
+void BM_SyndromeCrc255(benchmark::State& state) {
+  const crc::SyndromeCrc crc(crc::Gf2Poly(0x11D), 255);
+  Rng rng(1);
+  const auto word = random_bits(rng, 255);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc.compute(word));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_SyndromeCrc255);
+
+void BM_SyndromeCrcSlow255(benchmark::State& state) {
+  const crc::Gf2Poly g(0x11D);
+  Rng rng(1);
+  const auto word = random_bits(rng, 255);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc::SyndromeCrc::compute_slow(g, word));
+  }
+}
+BENCHMARK(BM_SyndromeCrcSlow255);
+
+void BM_GdForwardTransform(benchmark::State& state) {
+  const gd::GdTransform transform{gd::GdParams{}};
+  Rng rng(2);
+  const auto chunk = random_bits(rng, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transform.forward(chunk));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_GdForwardTransform);
+
+void BM_GdInverseTransform(benchmark::State& state) {
+  const gd::GdTransform transform{gd::GdParams{}};
+  Rng rng(3);
+  const auto tc = transform.forward(random_bits(rng, 256));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transform.inverse(tc));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_GdInverseTransform);
+
+void BM_EncoderHitPath(benchmark::State& state) {
+  gd::GdEncoder encoder{gd::GdParams{}};
+  Rng rng(4);
+  const auto chunk = random_bits(rng, 256);
+  (void)encoder.encode_chunk(chunk);  // learn once
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode_chunk(chunk));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_EncoderHitPath);
+
+void BM_DictionaryLookup(benchmark::State& state) {
+  gd::BasisDictionary dict(32768, gd::EvictionPolicy::lru);
+  Rng rng(5);
+  std::vector<bits::BitVector> bases;
+  for (int i = 0; i < 1024; ++i) {
+    bases.push_back(random_bits(rng, 247));
+    dict.insert(bases.back());
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.lookup(bases[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_DictionaryLookup);
+
+void BM_DeflateSensorTrace(benchmark::State& state) {
+  trace::SyntheticSensorConfig config;
+  config.chunk_count = static_cast<std::uint64_t>(state.range(0));
+  const auto flat = trace::concatenate(generate_synthetic_sensor(config));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baseline::deflate_compress(flat));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * flat.size()));
+}
+BENCHMARK(BM_DeflateSensorTrace)->Arg(2000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void BM_InflateSensorTrace(benchmark::State& state) {
+  trace::SyntheticSensorConfig config;
+  config.chunk_count = 20000;
+  const auto flat = trace::concatenate(generate_synthetic_sensor(config));
+  const auto compressed = baseline::deflate_compress(flat);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baseline::deflate_decompress(compressed));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * flat.size()));
+}
+BENCHMARK(BM_InflateSensorTrace)->Unit(benchmark::kMillisecond);
+
+void BM_SwitchPipelinePacket(benchmark::State& state) {
+  // Wall-clock cost of one simulated packet through the encode pipeline
+  // (simulation throughput, not switch throughput).
+  prog::ZipLineConfig config;
+  config.op = prog::SwitchOp::encode;
+  auto program = std::make_shared<prog::ZipLineProgram>(config);
+  tofino::SwitchModel sw("sw", program);
+  Rng rng(6);
+  net::EthernetFrame frame;
+  frame.dst = net::MacAddress::local(2);
+  frame.src = net::MacAddress::local(1);
+  frame.ether_type = 0x5A01;
+  frame.payload.resize(32);
+  for (auto& b : frame.payload) b = static_cast<std::uint8_t>(rng.next_u64());
+  SimTime t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw.process(frame, 1, t++));
+  }
+}
+BENCHMARK(BM_SwitchPipelinePacket);
+
+}  // namespace

@@ -1,0 +1,71 @@
+// DNS query compression — the paper's real-world dataset scenario.
+//
+// A campus's DNS queries (34 B each, transaction IDs excluded by the
+// paper's filter) replayed through a ZipLine switch, compared against
+// host-side gzip and classic exact deduplication on the same data.
+//
+// Build & run:  ./examples/dns_compression
+
+#include <cstdio>
+
+#include "baseline/dedup.hpp"
+#include "baseline/deflate.hpp"
+#include "common/hexdump.hpp"
+#include "sim/replay.hpp"
+#include "trace/dns.hpp"
+#include "trace/synthetic.hpp"
+
+int main() {
+  using namespace zipline;
+
+  trace::DnsTraceConfig config;
+  config.query_count = 100000;
+  const auto queries = trace::generate_dns_queries(config);
+  const auto payloads = trace::strip_transaction_ids(queries);
+  const double original =
+      static_cast<double>(payloads.size()) * payloads.front().size();
+  std::printf("trace: %zu DNS queries to the campus resolver, %zu distinct"
+              " names\n(34 B each; 2 B random transaction ID stripped by the"
+              " filter -> %s effective)\n\n",
+              queries.size(), config.name_count,
+              format_size(original).c_str());
+
+  // In-network GD with dynamic learning.
+  sim::ReplayConfig replay_config;
+  replay_config.table_mode = sim::TableMode::dynamic;
+  sim::TraceReplay replay(replay_config);
+  const auto gd_result = replay.replay(payloads);
+
+  // Host-side gzip on the concatenated payloads (the paper's method).
+  const auto flat = trace::concatenate(payloads);
+  const auto gz = baseline::gzip_compress(flat);
+
+  // Classic exact dedup with the same dictionary budget.
+  baseline::ExactDedup dedup{gd::GdParams{}};
+  for (const auto& p : payloads) {
+    (void)dedup.process_chunk(bits::BitVector::from_bytes(p, 256));
+  }
+
+  std::printf("%-28s %12s %8s\n", "method", "size", "ratio");
+  std::printf("%-28s %12s %8.3f\n", "original", format_size(original).c_str(),
+              1.0);
+  std::printf("%-28s %12s %8.3f  (in-network, line rate)\n",
+              "ZipLine dynamic learning",
+              format_size(static_cast<double>(gd_result.output_bytes)).c_str(),
+              gd_result.ratio());
+  std::printf("%-28s %12s %8.3f  (host CPU, %zu distinct bases learned)\n",
+              "exact dedup",
+              format_size(static_cast<double>(dedup.stats().bytes_out)).c_str(),
+              dedup.stats().compression_ratio(),
+              dedup.dictionary().size());
+  std::printf("%-28s %12s %8.3f  (host CPU, unbounded window)\n", "gzip",
+              format_size(static_cast<double>(gz.size())).c_str(),
+              static_cast<double>(gz.size()) / static_cast<double>(flat.size()));
+
+  std::printf("\nZipLine learned %llu bases; %llu packets went uncompressed"
+              " while the control\nplane installed mappings (~1.77 ms each),"
+              " the rest shrank 32 B -> 3 B.\n",
+              static_cast<unsigned long long>(gd_result.bases_learned),
+              static_cast<unsigned long long>(gd_result.type2_packets));
+  return 0;
+}

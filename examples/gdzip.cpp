@@ -1,0 +1,117 @@
+// gdzip: a command-line file compressor built on the GD stream container —
+// the file-compression use of generalized deduplication from the line of
+// work the paper builds on (refs [35, 37]).
+//
+//   gdzip c <input> <output.gdz>    compress
+//   gdzip d <input.gdz> <output>    decompress
+//   gdzip demo                      run on a generated sensor dataset and
+//                                   compare against the gzip baseline
+//
+// Build & run:  ./examples/gdzip demo
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "baseline/deflate.hpp"
+#include "common/hexdump.hpp"
+#include "gd/stream.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "gdzip: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "gdzip: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+int demo() {
+  using namespace zipline;
+  std::printf("generating 1,000,000 sensor readings (32 MB)...\n");
+  trace::SyntheticSensorConfig config;
+  config.chunk_count = 1000000;
+  const auto data = trace::concatenate(generate_synthetic_sensor(config));
+
+  gd::StreamStats stats;
+  const auto gdz = gd::gd_stream_compress(data, gd::stream_default_params(),
+                                          &stats);
+  const auto gz = baseline::gzip_compress(data);
+
+  std::printf("\n%-12s %14s %8s\n", "format", "size", "ratio");
+  std::printf("%-12s %14s %8.3f\n", "original",
+              format_size(static_cast<double>(data.size())).c_str(), 1.0);
+  std::printf("%-12s %14s %8.3f  (%llu bases learned)\n", "gdz",
+              format_size(static_cast<double>(gdz.size())).c_str(),
+              stats.ratio(),
+              static_cast<unsigned long long>(stats.uncompressed_packets));
+  std::printf("%-12s %14s %8.3f\n", "gzip",
+              format_size(static_cast<double>(gz.size())).c_str(),
+              static_cast<double>(gz.size()) /
+                  static_cast<double>(data.size()));
+
+  std::printf("\nverifying gdz round trip... ");
+  if (gd::gd_stream_decompress(gdz) != data) {
+    std::printf("FAILED\n");
+    return 1;
+  }
+  std::printf("bit-exact.\n");
+  std::printf("\nGD's edge here is chunk-level random access and O(1)"
+              " memory per chunk;\ngzip needs its full window. On"
+              " general-purpose files gzip wins — GD is a\nstructured-data"
+              " compressor, not a DEFLATE replacement.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace zipline;
+  if (argc == 2 && std::strcmp(argv[1], "demo") == 0) {
+    return demo();
+  }
+  if (argc != 4 || (std::strcmp(argv[1], "c") != 0 &&
+                    std::strcmp(argv[1], "d") != 0)) {
+    std::fprintf(stderr,
+                 "usage: gdzip c <input> <output.gdz>\n"
+                 "       gdzip d <input.gdz> <output>\n"
+                 "       gdzip demo\n");
+    return 2;
+  }
+  const auto input = read_file(argv[2]);
+  if (std::strcmp(argv[1], "c") == 0) {
+    gd::StreamStats stats;
+    const auto out =
+        gd::gd_stream_compress(input, gd::stream_default_params(), &stats);
+    write_file(argv[3], out);
+    std::printf("%zu -> %zu bytes (ratio %.3f, %llu chunks, %llu bases)\n",
+                input.size(), out.size(), stats.ratio(),
+                static_cast<unsigned long long>(stats.chunks),
+                static_cast<unsigned long long>(stats.uncompressed_packets));
+  } else {
+    try {
+      const auto out = gd::gd_stream_decompress(input);
+      write_file(argv[3], out);
+      std::printf("%zu -> %zu bytes\n", input.size(), out.size());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "gdzip: %s\n", e.what());
+      return 1;
+    }
+  }
+  return 0;
+}

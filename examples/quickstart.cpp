@@ -1,0 +1,73 @@
+// Quickstart: the ZipLine GD codec as a library, in 60 lines.
+//
+// Encodes a stream of near-duplicate 32-byte records (sensor readings),
+// transmits them as ZipLine packets, decodes them on the other side, and
+// prints what the dictionary learned. No switch, no simulator — just the
+// core algorithm the paper builds on.
+//
+// Build & run:  ./examples/quickstart
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "gd/codec.hpp"
+
+int main() {
+  using namespace zipline;
+
+  // Paper parameters: Hamming(255, 247) via CRC-8, 256-bit chunks,
+  // 15-bit identifiers (32,768 cached bases).
+  const gd::GdParams params;
+  gd::GdEncoder encoder{params};
+  gd::GdDecoder decoder{params};
+
+  // A "sensor" whose readings are one stable value plus 1-bit noise. The
+  // stable value is canonical (a codeword), so every noisy neighbour maps
+  // to the same basis.
+  Rng rng(2020);
+  bits::BitVector reading(params.chunk_bits);
+  for (std::size_t i = 0; i < params.chunk_bits; ++i) {
+    if (rng.next_bool(0.5)) reading.set(i);
+  }
+  const gd::TransformedChunk snapped = encoder.transform().forward(reading);
+  reading = encoder.transform().inverse(snapped.excess, snapped.basis,
+                                        /*syndrome=*/0);
+
+  std::printf("sending 1000 noisy readings of one 32 B sensor value...\n\n");
+  std::uint64_t wire_bytes = 0;
+  for (int i = 0; i < 1000; ++i) {
+    bits::BitVector noisy = reading;
+    noisy.flip(rng.next_below(params.n()));  // sensor noise
+
+    // Encoder side: chunk -> packet (type 2 first time, type 3 after).
+    const gd::GdPacket packet = encoder.encode_chunk(noisy);
+    const auto wire = packet.serialize(params);
+    wire_bytes += wire.size();
+
+    // Decoder side: packet -> original chunk, bit exact.
+    const gd::GdPacket parsed = gd::GdPacket::parse(params, packet.type, wire);
+    const bits::BitVector restored = decoder.decode_chunk(parsed);
+    if (restored != noisy) {
+      std::printf("round-trip mismatch at packet %d!\n", i);
+      return 1;
+    }
+  }
+
+  const auto& stats = encoder.stats();
+  std::printf("chunks encoded:        %llu (32 B each)\n",
+              static_cast<unsigned long long>(stats.chunks));
+  std::printf("uncompressed packets:  %llu (33 B, unknown basis)\n",
+              static_cast<unsigned long long>(stats.uncompressed_packets));
+  std::printf("compressed packets:    %llu (3 B: syndrome + MSB + ID)\n",
+              static_cast<unsigned long long>(stats.compressed_packets));
+  std::printf("bases in dictionary:   %zu\n", encoder.dictionary().size());
+  std::printf("bytes: %llu -> %llu (ratio %.3f)\n",
+              static_cast<unsigned long long>(stats.bytes_in),
+              static_cast<unsigned long long>(wire_bytes),
+              static_cast<double>(wire_bytes) /
+                  static_cast<double>(stats.bytes_in));
+  std::printf("\nevery reading decoded bit-exactly. One basis covers all"
+              " 256 single-bit\nneighborhoods of the codeword -- that is"
+              " generalized deduplication.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+#include "baseline/dedup.hpp"
+
+#include "common/contracts.hpp"
+
+namespace zipline::baseline {
+
+ExactDedup::ExactDedup(const gd::GdParams& params, gd::EvictionPolicy policy)
+    : params_(params),
+      dictionary_(params.dictionary_capacity(), policy) {
+  params_.validate();
+}
+
+std::size_t ExactDedup::process_chunk(const bits::BitVector& chunk) {
+  ZL_EXPECTS(chunk.size() == params_.chunk_bits);
+  ++stats_.chunks;
+  stats_.bytes_in += params_.raw_payload_bytes();
+  std::size_t cost;
+  if (dictionary_.lookup(chunk)) {
+    // Identifier-only reference (round up to bytes, as on the wire).
+    cost = (params_.id_bits + 7) / 8;
+    ++stats_.duplicate_chunks;
+  } else {
+    dictionary_.insert(chunk);
+    cost = params_.raw_payload_bytes();
+    ++stats_.unique_chunks;
+  }
+  stats_.bytes_out += cost;
+  return cost;
+}
+
+}  // namespace zipline::baseline

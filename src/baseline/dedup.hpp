@@ -1,0 +1,53 @@
+// Classic (exact) deduplication baseline.
+//
+// GD generalizes exact chunk deduplication (paper §2): classic dedup only
+// collapses chunks that are bit-identical, while GD first canonicalizes
+// them, letting thousands of near-identical chunks share one dictionary
+// entry. This baseline quantifies that difference on the same traces.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "gd/dictionary.hpp"
+#include "gd/params.hpp"
+
+namespace zipline::baseline {
+
+struct DedupStats {
+  std::uint64_t chunks = 0;
+  std::uint64_t duplicate_chunks = 0;  ///< replaced by an identifier
+  std::uint64_t unique_chunks = 0;     ///< transmitted in full
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+
+  [[nodiscard]] double compression_ratio() const {
+    return bytes_in == 0 ? 1.0
+                         : static_cast<double>(bytes_out) /
+                               static_cast<double>(bytes_in);
+  }
+};
+
+/// Exact dedup with the same dictionary capacity and identifier width as a
+/// GD configuration, so the two are byte-for-byte comparable: a duplicate
+/// chunk costs id_bits (+ excess framing), a unique chunk travels whole.
+class ExactDedup {
+ public:
+  explicit ExactDedup(const gd::GdParams& params,
+                      gd::EvictionPolicy policy = gd::EvictionPolicy::lru);
+
+  /// Processes one chunk; returns the bytes this chunk costs on the wire.
+  std::size_t process_chunk(const bits::BitVector& chunk);
+
+  [[nodiscard]] const DedupStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const gd::BasisDictionary& dictionary() const noexcept {
+    return dictionary_;
+  }
+
+ private:
+  gd::GdParams params_;
+  gd::BasisDictionary dictionary_;
+  DedupStats stats_;
+};
+
+}  // namespace zipline::baseline

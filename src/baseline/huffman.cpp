@@ -1,0 +1,217 @@
+#include "baseline/huffman.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/contracts.hpp"
+
+namespace zipline::baseline {
+
+namespace {
+
+/// Assigns canonical codes given lengths (RFC 1951 §3.2.2).
+void assign_canonical_codes(HuffmanCode& hc) {
+  const int max_bits =
+      hc.lengths.empty()
+          ? 0
+          : *std::max_element(hc.lengths.begin(), hc.lengths.end());
+  std::vector<std::uint32_t> bl_count(static_cast<std::size_t>(max_bits) + 1, 0);
+  for (const auto l : hc.lengths) {
+    if (l > 0) ++bl_count[l];
+  }
+  std::vector<std::uint32_t> next_code(static_cast<std::size_t>(max_bits) + 1, 0);
+  std::uint32_t code = 0;
+  for (int bits = 1; bits <= max_bits; ++bits) {
+    code = (code + bl_count[static_cast<std::size_t>(bits) - 1]) << 1;
+    next_code[static_cast<std::size_t>(bits)] = code;
+  }
+  hc.codes.assign(hc.lengths.size(), 0);
+  for (std::size_t sym = 0; sym < hc.lengths.size(); ++sym) {
+    const auto l = hc.lengths[sym];
+    if (l != 0) {
+      hc.codes[sym] = static_cast<std::uint16_t>(next_code[l]++);
+    }
+  }
+}
+
+}  // namespace
+
+HuffmanCode build_huffman(std::span<const std::uint64_t> freqs, int max_bits) {
+  ZL_EXPECTS(max_bits >= 1 && max_bits <= 15);
+  ZL_EXPECTS(!freqs.empty());
+  HuffmanCode hc;
+  hc.lengths.assign(freqs.size(), 0);
+
+  struct Node {
+    std::uint64_t freq;
+    int index;  // < 0: internal node id offset
+  };
+  // Build a plain Huffman tree via two-queue / priority-queue merge.
+  struct Item {
+    std::uint64_t freq;
+    std::uint32_t order;  // tie-break for determinism
+    int node;
+  };
+  struct Cmp {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.freq != b.freq) return a.freq > b.freq;
+      return a.order > b.order;
+    }
+  };
+
+  std::vector<std::pair<int, int>> children;  // internal nodes
+  std::priority_queue<Item, std::vector<Item>, Cmp> heap;
+  std::uint32_t order = 0;
+  int live_symbols = 0;
+  for (std::size_t s = 0; s < freqs.size(); ++s) {
+    if (freqs[s] > 0) {
+      heap.push(Item{freqs[s], order++, static_cast<int>(s)});
+      ++live_symbols;
+    }
+  }
+  ZL_EXPECTS(live_symbols >= 1);
+  if (live_symbols == 1) {
+    // A single symbol still needs one bit on the wire.
+    hc.lengths[static_cast<std::size_t>(heap.top().node)] = 1;
+    assign_canonical_codes(hc);
+    return hc;
+  }
+  while (heap.size() > 1) {
+    const Item a = heap.top();
+    heap.pop();
+    const Item b = heap.top();
+    heap.pop();
+    children.emplace_back(a.node, b.node);
+    const int internal = -static_cast<int>(children.size());
+    heap.push(Item{a.freq + b.freq, order++, internal});
+  }
+  // Depth-first traversal to find code lengths.
+  struct Frame {
+    int node;
+    int depth;
+  };
+  std::vector<Frame> stack{{heap.top().node, 0}};
+  int overlong = 0;
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.node >= 0) {
+      const int depth = std::max(1, f.depth);
+      if (depth > max_bits) {
+        ++overlong;
+        hc.lengths[static_cast<std::size_t>(f.node)] =
+            static_cast<std::uint8_t>(max_bits);
+      } else {
+        hc.lengths[static_cast<std::size_t>(f.node)] =
+            static_cast<std::uint8_t>(depth);
+      }
+    } else {
+      const auto [left, right] = children[static_cast<std::size_t>(-f.node - 1)];
+      stack.push_back({left, f.depth + 1});
+      stack.push_back({right, f.depth + 1});
+    }
+  }
+  if (overlong > 0) {
+    // Repair Kraft inequality after clamping: repeatedly demote the
+    // shallowest leaf at depth < max_bits (zlib's bl_count fixup).
+    std::vector<std::uint32_t> bl_count(static_cast<std::size_t>(max_bits) + 1,
+                                        0);
+    for (const auto l : hc.lengths) {
+      if (l > 0) ++bl_count[l];
+    }
+    auto kraft = [&] {
+      std::uint64_t sum = 0;
+      for (int b = 1; b <= max_bits; ++b) {
+        sum += static_cast<std::uint64_t>(bl_count[static_cast<std::size_t>(b)])
+               << (max_bits - b);
+      }
+      return sum;
+    };
+    const std::uint64_t budget = std::uint64_t{1} << max_bits;
+    while (kraft() > budget) {
+      // Find a leaf at the deepest level below max_bits and push it down.
+      int bits = max_bits - 1;
+      while (bits > 0 && bl_count[static_cast<std::size_t>(bits)] == 0) --bits;
+      ZL_ASSERT(bits > 0);
+      --bl_count[static_cast<std::size_t>(bits)];
+      ++bl_count[static_cast<std::size_t>(bits) + 1];
+    }
+    // Reassign lengths by frequency rank: rarer symbols get longer codes.
+    std::vector<std::size_t> live;
+    for (std::size_t s = 0; s < freqs.size(); ++s) {
+      if (freqs[s] > 0) live.push_back(s);
+    }
+    std::sort(live.begin(), live.end(), [&](std::size_t a, std::size_t b) {
+      if (freqs[a] != freqs[b]) return freqs[a] > freqs[b];
+      return a < b;
+    });
+    std::size_t idx = 0;
+    for (int bits = 1; bits <= max_bits; ++bits) {
+      for (std::uint32_t i = 0; i < bl_count[static_cast<std::size_t>(bits)];
+           ++i) {
+        hc.lengths[live[idx++]] = static_cast<std::uint8_t>(bits);
+      }
+    }
+    ZL_ASSERT(idx == live.size());
+  }
+  assign_canonical_codes(hc);
+  return hc;
+}
+
+HuffmanCode codes_from_lengths(std::span<const std::uint8_t> lengths) {
+  HuffmanCode hc;
+  hc.lengths.assign(lengths.begin(), lengths.end());
+  assign_canonical_codes(hc);
+  return hc;
+}
+
+HuffmanDecoder::HuffmanDecoder(const HuffmanCode& code) {
+  max_bits_ = code.lengths.empty()
+                  ? 0
+                  : *std::max_element(code.lengths.begin(), code.lengths.end());
+  count_.assign(static_cast<std::size_t>(max_bits_) + 1, 0);
+  for (const auto l : code.lengths) {
+    if (l > 0) ++count_[l];
+  }
+  // Symbols sorted by (length, symbol) — canonical order.
+  std::vector<std::uint16_t> offsets(static_cast<std::size_t>(max_bits_) + 2, 0);
+  for (int l = 1; l <= max_bits_; ++l) {
+    offsets[static_cast<std::size_t>(l) + 1] = static_cast<std::uint16_t>(
+        offsets[static_cast<std::size_t>(l)] + count_[static_cast<std::size_t>(l)]);
+  }
+  symbols_.resize(offsets[static_cast<std::size_t>(max_bits_) + 1]);
+  std::vector<std::uint16_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::size_t sym = 0; sym < code.lengths.size(); ++sym) {
+    const auto l = code.lengths[sym];
+    if (l > 0) symbols_[cursor[l]++] = static_cast<std::uint16_t>(sym);
+  }
+  // first_code_[l]: canonical code value of the first code of length l;
+  // first_symbol_[l]: index into symbols_ of that code.
+  first_code_.assign(static_cast<std::size_t>(max_bits_) + 1, 0);
+  first_symbol_.assign(static_cast<std::size_t>(max_bits_) + 1, 0);
+  std::uint32_t c = 0;
+  std::uint32_t sym_index = 0;
+  for (int l = 1; l <= max_bits_; ++l) {
+    c <<= 1;
+    first_code_[static_cast<std::size_t>(l)] = c;
+    first_symbol_[static_cast<std::size_t>(l)] = sym_index;
+    c += count_[static_cast<std::size_t>(l)];
+    sym_index += count_[static_cast<std::size_t>(l)];
+  }
+}
+
+int HuffmanDecoder::feed(bool bit) {
+  code_ = (code_ << 1) | static_cast<std::uint32_t>(bit);
+  ++length_;
+  ZL_EXPECTS(length_ <= max_bits_ && "invalid Huffman stream");
+  const auto l = static_cast<std::size_t>(length_);
+  if (count_[l] != 0 && code_ - first_code_[l] < count_[l]) {
+    const int sym = symbols_[first_symbol_[l] + (code_ - first_code_[l])];
+    reset();
+    return sym;
+  }
+  return -1;
+}
+
+}  // namespace zipline::baseline

@@ -1,0 +1,60 @@
+// Canonical Huffman coding for the DEFLATE baseline (RFC 1951 §3.2).
+//
+// DEFLATE uses canonical codes defined entirely by their per-symbol code
+// lengths: codes of the same length are assigned consecutive values in
+// symbol order. This module builds length-limited codes from symbol
+// frequencies (package-merge-free heuristic with depth limiting, as zlib
+// does) and provides a decoder table.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace zipline::baseline {
+
+struct HuffmanCode {
+  std::vector<std::uint8_t> lengths;  ///< per-symbol code length, 0 = unused
+  std::vector<std::uint16_t> codes;   ///< canonical code bits (MSB-first value)
+
+  [[nodiscard]] std::size_t symbol_count() const { return lengths.size(); }
+};
+
+/// Builds a length-limited canonical Huffman code from frequencies.
+/// Symbols with zero frequency get length 0 (no code). At least one symbol
+/// must have non-zero frequency. max_bits <= 15 (DEFLATE limit).
+[[nodiscard]] HuffmanCode build_huffman(std::span<const std::uint64_t> freqs,
+                                        int max_bits);
+
+/// Computes canonical codes from an externally supplied length vector
+/// (used by the inflater and for the fixed DEFLATE tables).
+[[nodiscard]] HuffmanCode codes_from_lengths(
+    std::span<const std::uint8_t> lengths);
+
+/// Decoder for canonical codes, bit-by-bit (simple and correct; the
+/// baseline is about compression ratios, not decompression speed).
+class HuffmanDecoder {
+ public:
+  explicit HuffmanDecoder(const HuffmanCode& code);
+
+  /// Feeds one bit (LSB-first DEFLATE bit order mapped by the caller);
+  /// returns the decoded symbol or -1 if more bits are needed.
+  [[nodiscard]] int feed(bool bit);
+
+  void reset() noexcept {
+    code_ = 0;
+    length_ = 0;
+  }
+
+ private:
+  // first_code_[l] / first_symbol_[l]: canonical decoding tables.
+  std::vector<std::uint32_t> first_code_;
+  std::vector<std::uint32_t> first_symbol_;
+  std::vector<std::uint16_t> symbols_;  // symbols sorted by (length, symbol)
+  std::vector<std::uint16_t> count_;    // codes per length
+  std::uint32_t code_ = 0;
+  int length_ = 0;
+  int max_bits_ = 0;
+};
+
+}  // namespace zipline::baseline

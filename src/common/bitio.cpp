@@ -1,0 +1,70 @@
+#include "common/bitio.hpp"
+
+#include "common/contracts.hpp"
+
+namespace zipline::bits {
+
+void BitWriter::push_bit(bool b) {
+  const std::size_t bit_in_byte = bit_count_ % 8;
+  if (bit_in_byte == 0) bytes_.push_back(0);
+  if (b) {
+    bytes_.back() |= static_cast<std::uint8_t>(1u << (7 - bit_in_byte));
+  }
+  ++bit_count_;
+}
+
+void BitWriter::write_uint(std::uint64_t value, std::size_t width) {
+  ZL_EXPECTS(width <= 64);
+  ZL_EXPECTS(width == 64 || value < (std::uint64_t{1} << width));
+  for (std::size_t i = width; i-- > 0;) {
+    push_bit((value >> i) & 1);
+  }
+}
+
+void BitWriter::write_bits(const BitVector& v) {
+  for (std::size_t i = v.size(); i-- > 0;) {
+    push_bit(v.get(i));
+  }
+}
+
+void BitWriter::align_to_byte() {
+  while (bit_count_ % 8 != 0) push_bit(false);
+}
+
+void BitWriter::write_padding(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) push_bit(false);
+}
+
+std::vector<std::uint8_t> BitWriter::to_bytes() const { return bytes_; }
+
+bool BitReader::next_bit() {
+  ZL_EXPECTS(pos_ < bytes_.size() * 8);
+  const std::uint8_t byte = bytes_[pos_ / 8];
+  const bool b = (byte >> (7 - pos_ % 8)) & 1;
+  ++pos_;
+  return b;
+}
+
+std::uint64_t BitReader::read_uint(std::size_t width) {
+  ZL_EXPECTS(width <= 64);
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    value = (value << 1) | static_cast<std::uint64_t>(next_bit());
+  }
+  return value;
+}
+
+BitVector BitReader::read_bits(std::size_t count) {
+  BitVector v(count);
+  for (std::size_t i = count; i-- > 0;) {
+    if (next_bit()) v.set(i);
+  }
+  return v;
+}
+
+void BitReader::skip(std::size_t count) {
+  ZL_EXPECTS(pos_ + count <= bytes_.size() * 8);
+  pos_ += count;
+}
+
+}  // namespace zipline::bits

@@ -1,0 +1,69 @@
+// MSB-first bit-stream writer/reader over byte buffers.
+//
+// ZipLine packet payloads pack fields that are not byte aligned (syndrome,
+// basis, identifiers). Fields are written most-significant-bit first, in
+// field order, exactly as a P4 deparser would emit consecutive header
+// fields. Readers consume in the same order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitvector.hpp"
+
+namespace zipline::bits {
+
+class BitWriter {
+ public:
+  /// Appends the low `width` bits of `value`, MSB first. width <= 64.
+  void write_uint(std::uint64_t value, std::size_t width);
+
+  /// Appends a whole bit vector, MSB (highest power) first.
+  void write_bits(const BitVector& v);
+
+  /// Appends zero bits until the stream is byte aligned.
+  void align_to_byte();
+
+  /// Appends `count` zero padding bits.
+  void write_padding(std::size_t count);
+
+  [[nodiscard]] std::size_t bit_count() const noexcept { return bit_count_; }
+
+  /// Finalizes to bytes; a trailing partial byte is zero-padded on the
+  /// right (low-order side of the final byte).
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+
+ private:
+  void push_bit(bool b);
+
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  /// Reads `width` bits MSB-first into the low bits of the result.
+  [[nodiscard]] std::uint64_t read_uint(std::size_t width);
+
+  /// Reads `count` bits into a BitVector (first bit read = highest power).
+  [[nodiscard]] BitVector read_bits(std::size_t count);
+
+  /// Skips `count` bits.
+  void skip(std::size_t count);
+
+  [[nodiscard]] std::size_t bits_consumed() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t bits_remaining() const noexcept {
+    return bytes_.size() * 8 - pos_;
+  }
+
+ private:
+  [[nodiscard]] bool next_bit();
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;  // absolute bit position, MSB of byte 0 is 0
+};
+
+}  // namespace zipline::bits

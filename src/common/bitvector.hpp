@@ -1,0 +1,117 @@
+// Arbitrary-length bit vector in *polynomial order*.
+//
+// Bit index i corresponds to the coefficient of x^i in the paper's
+// polynomial formulation (ZipLine §2): bit 0 is the least-significant bit
+// b_0, bit (size-1) is the MSB b_{n-1}. Hamming codes have sizes such as
+// 255 or 1023 bits that are never byte aligned (the paper's "lessons
+// learned" §6), so all GD math happens on this type rather than on byte
+// buffers.
+//
+// Wire order: when a BitVector is written to a byte stream, the MSB
+// (highest power) is emitted first, matching how the chunk appears on the
+// wire and how the CRC processes it.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zipline::bits {
+
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// Creates a zeroed vector of `size` bits.
+  explicit BitVector(std::size_t size);
+
+  /// Creates a vector of `size` bits whose low 64 bits are `value`
+  /// (remaining bits zero). Requires value to fit in `size` bits.
+  BitVector(std::size_t size, std::uint64_t value);
+
+  /// Parses a string of '0'/'1' written MSB-first ("1011" -> x^3+x+1).
+  static BitVector from_string(std::string_view msb_first);
+
+  /// Interprets bytes MSB-first: the first byte holds the highest powers.
+  /// `size` may be any value <= 8 * bytes.size(); the *leading* bits of the
+  /// first byte are skipped when size is not a multiple of 8, so that the
+  /// final bit of the last byte is always bit 0.
+  static BitVector from_bytes(std::span<const std::uint8_t> bytes,
+                              std::size_t size);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] bool get(std::size_t i) const;
+  void set(std::size_t i, bool value = true);
+  void reset(std::size_t i);
+  void flip(std::size_t i);
+
+  /// All-zero test.
+  [[nodiscard]] bool none() const noexcept;
+  [[nodiscard]] std::size_t popcount() const noexcept;
+
+  /// XORs `other` into this vector. Sizes must match.
+  BitVector& operator^=(const BitVector& other);
+  [[nodiscard]] friend BitVector operator^(BitVector a, const BitVector& b) {
+    a ^= b;
+    return a;
+  }
+
+  /// Extracts bits [lo, lo+len) into a new vector (bit lo becomes bit 0).
+  [[nodiscard]] BitVector slice(std::size_t lo, std::size_t len) const;
+
+  /// Returns `high * x^(low.size()) + low`: `low` keeps its positions and
+  /// `high` is shifted above it. Matches codeword = [basis | parity]
+  /// concatenation in the GD transform.
+  [[nodiscard]] static BitVector concat(const BitVector& high,
+                                        const BitVector& low);
+
+  /// Multiplies by x^count (shift towards higher powers), growing the size.
+  [[nodiscard]] BitVector shifted_up(std::size_t count) const;
+
+  /// Returns the low 64 bits as an integer. Requires size() <= 64.
+  [[nodiscard]] std::uint64_t to_uint64() const;
+
+  /// Serializes MSB-first; the result has ceil(size/8) bytes and unused
+  /// leading bits of the first byte are zero. Inverse of from_bytes.
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+
+  /// MSB-first textual form, e.g. "1011".
+  [[nodiscard]] std::string to_string() const;
+
+  /// 64-bit FNV-1a style hash over content (size-sensitive).
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
+  friend bool operator==(const BitVector& a, const BitVector& b) noexcept {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  /// Lexicographic-by-value ordering (for use as map keys).
+  friend std::strong_ordering operator<=>(const BitVector& a,
+                                          const BitVector& b) noexcept;
+
+  /// Direct word access for performance-sensitive code (word 0 = low bits).
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
+
+ private:
+  void trim_top_word() noexcept;
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;  // word i holds bits [64i, 64i+64)
+};
+
+/// Hash functor so BitVector can key unordered containers.
+struct BitVectorHash {
+  std::size_t operator()(const BitVector& v) const noexcept {
+    return static_cast<std::size_t>(v.hash());
+  }
+};
+
+}  // namespace zipline::bits

@@ -1,0 +1,43 @@
+// Contract-checking helpers in the spirit of the C++ Core Guidelines
+// (I.6 Expects / I.8 Ensures). Violations throw, so unit tests can assert
+// on them and library misuse fails loudly instead of corrupting state.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace zipline {
+
+/// Thrown when a precondition, postcondition or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace zipline
+
+/// Precondition check; always on (cheap predicates only on hot paths).
+#define ZL_EXPECTS(expr)                                                   \
+  ((expr) ? static_cast<void>(0)                                           \
+          : ::zipline::detail::contract_fail("precondition", #expr,       \
+                                             __FILE__, __LINE__))
+
+/// Postcondition check.
+#define ZL_ENSURES(expr)                                                   \
+  ((expr) ? static_cast<void>(0)                                           \
+          : ::zipline::detail::contract_fail("postcondition", #expr,      \
+                                             __FILE__, __LINE__))
+
+/// Internal invariant check.
+#define ZL_ASSERT(expr)                                                    \
+  ((expr) ? static_cast<void>(0)                                           \
+          : ::zipline::detail::contract_fail("invariant", #expr,          \
+                                             __FILE__, __LINE__))

@@ -1,0 +1,67 @@
+#include "common/hexdump.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+
+namespace zipline {
+
+std::string hex_string(std::span<const std::uint8_t> bytes) {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 3);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (i != 0) out.push_back(' ');
+    out.push_back(digits[bytes[i] >> 4]);
+    out.push_back(digits[bytes[i] & 0xF]);
+  }
+  return out;
+}
+
+std::string hexdump(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  std::array<char, 16> ascii{};
+  for (std::size_t i = 0; i < bytes.size(); i += 16) {
+    char line[80];
+    int n = std::snprintf(line, sizeof line, "%08zx  ", i);
+    out.append(line, static_cast<std::size_t>(n));
+    for (std::size_t j = 0; j < 16; ++j) {
+      if (i + j < bytes.size()) {
+        n = std::snprintf(line, sizeof line, "%02x ", bytes[i + j]);
+        out.append(line, static_cast<std::size_t>(n));
+        ascii[j] = std::isprint(bytes[i + j]) ? static_cast<char>(bytes[i + j])
+                                              : '.';
+      } else {
+        out.append("   ");
+        ascii[j] = ' ';
+      }
+      if (j == 7) out.push_back(' ');
+    }
+    out.append(" |");
+    out.append(ascii.data(), 16);
+    out.append("|\n");
+  }
+  return out;
+}
+
+std::string format_size(double bytes) {
+  char buf[64];
+  if (bytes >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f GB", bytes / 1e9);
+  } else if (bytes >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f MB", bytes / 1e6);
+  } else if (bytes >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.2f kB", bytes / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f B", bytes);
+  }
+  return buf;
+}
+
+std::string format_ratio(double ratio, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, ratio);
+  return buf;
+}
+
+}  // namespace zipline

@@ -1,0 +1,23 @@
+// Formatting helpers for diagnostics and benchmark output.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace zipline {
+
+/// "de ad be ef"-style hex string.
+std::string hex_string(std::span<const std::uint8_t> bytes);
+
+/// Classic 16-bytes-per-row hexdump with offsets and ASCII gutter.
+std::string hexdump(std::span<const std::uint8_t> bytes);
+
+/// Human-readable byte size, e.g. "1.5 MB" (SI powers of 10, as the paper's
+/// figure axes use MB).
+std::string format_size(double bytes);
+
+/// Fixed-point ratio like "0.09".
+std::string format_ratio(double ratio, int decimals = 2);
+
+}  // namespace zipline

@@ -1,0 +1,130 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// All workload generators and the discrete-event simulator draw from this
+// engine so experiments are reproducible bit-for-bit across platforms and
+// standard-library implementations (std::uniform_* distributions are not
+// portable across vendors).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace zipline {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound > 0. Debiased via rejection.
+  std::uint64_t next_below(std::uint64_t bound) {
+    ZL_EXPECTS(bound > 0);
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) {
+    ZL_EXPECTS(lo <= hi);
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial.
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+  /// Normal variate (Box-Muller; one value per call, no caching so the
+  /// stream stays position-independent).
+  double next_normal(double mean, double stddev) {
+    double u1 = next_double();
+    while (u1 <= 1e-300) u1 = next_double();
+    const double u2 = next_double();
+    const double mag =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+    return mean + stddev * mag;
+  }
+
+  /// Exponential variate with the given mean.
+  double next_exponential(double mean) {
+    double u = next_double();
+    while (u <= 1e-300) u = next_double();
+    return -mean * std::log(u);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+/// Zipf(s) sampler over ranks 1..n using precomputed CDF; used by the DNS
+/// workload generator (query-name popularity is classically Zipfian).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    ZL_EXPECTS(n > 0);
+    double total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = total;
+    }
+    for (auto& c : cdf_) c /= total;
+  }
+
+  /// Returns a rank in [0, n).
+  std::size_t sample(Rng& rng) const {
+    const double u = rng.next_double();
+    std::size_t lo = 0;
+    std::size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace zipline

@@ -1,0 +1,23 @@
+// Minimal scheduling interface shared by the control plane and the
+// discrete-event simulator, so zipline:: (the switch program + controller)
+// does not depend on sim:: (the network model).
+#pragma once
+
+#include <functional>
+
+#include "common/time.hpp"
+
+namespace zipline {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Runs `fn` at absolute simulation time `at` (>= now).
+  virtual void schedule(SimTime at, std::function<void()> fn) = 0;
+
+  /// Current simulation time.
+  [[nodiscard]] virtual SimTime now() const = 0;
+};
+
+}  // namespace zipline

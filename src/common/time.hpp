@@ -1,0 +1,35 @@
+// Simulation time: signed nanoseconds since simulation start.
+//
+// A plain integer (rather than std::chrono) keeps the discrete-event core
+// trivial to serialize, print and reason about; helpers below convert from
+// human units.
+#pragma once
+
+#include <cstdint>
+
+namespace zipline {
+
+using SimTime = std::int64_t;  // nanoseconds
+
+constexpr SimTime operator""_ns(unsigned long long v) {
+  return static_cast<SimTime>(v);
+}
+constexpr SimTime operator""_us(unsigned long long v) {
+  return static_cast<SimTime>(v) * 1000;
+}
+constexpr SimTime operator""_ms(unsigned long long v) {
+  return static_cast<SimTime>(v) * 1000000;
+}
+constexpr SimTime operator""_s(unsigned long long v) {
+  return static_cast<SimTime>(v) * 1000000000;
+}
+
+constexpr double to_us(SimTime t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_ms(SimTime t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) / 1e9; }
+
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * 1e9);
+}
+
+}  // namespace zipline

@@ -1,0 +1,40 @@
+#include "crc/crc32.hpp"
+
+#include <array>
+
+namespace zipline::crc {
+
+namespace {
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const auto t = make_table();
+  return t;
+}
+}  // namespace
+
+void Crc32::update(std::uint8_t byte) noexcept {
+  state_ = table()[(state_ ^ byte) & 0xFF] ^ (state_ >> 8);
+}
+
+void Crc32::update(std::span<const std::uint8_t> data) noexcept {
+  for (const std::uint8_t b : data) update(b);
+}
+
+std::uint32_t Crc32::of(std::span<const std::uint8_t> data) noexcept {
+  Crc32 c;
+  c.update(data);
+  return c.value();
+}
+
+}  // namespace zipline::crc

@@ -1,0 +1,31 @@
+// Standard reflected CRC-32 (IEEE 802.3 polynomial 0xEDB88320).
+//
+// Used by the gzip container of the DEFLATE baseline and by the Ethernet
+// frame check sequence in the net substrate. This is the conventional CRC
+// (init 0xFFFFFFFF, reflected, final XOR), distinct from the syndrome-mode
+// plain remainder used by the GD transform.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace zipline::crc {
+
+class Crc32 {
+ public:
+  Crc32() = default;
+
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(std::uint8_t byte) noexcept;
+
+  [[nodiscard]] std::uint32_t value() const noexcept { return ~state_; }
+  void reset() noexcept { state_ = 0xFFFFFFFFu; }
+
+  /// One-shot convenience.
+  [[nodiscard]] static std::uint32_t of(std::span<const std::uint8_t> data) noexcept;
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace zipline::crc

@@ -1,0 +1,148 @@
+#include "crc/polynomial.hpp"
+
+#include <array>
+#include <bit>
+
+#include "common/contracts.hpp"
+
+namespace zipline::crc {
+
+std::uint64_t Gf2Poly::crc_param() const {
+  const int d = degree();
+  ZL_EXPECTS(d >= 0);
+  return bits_ ^ (std::uint64_t{1} << d);
+}
+
+int Gf2Poly::degree() const noexcept {
+  return bits_ == 0 ? -1 : 63 - std::countl_zero(bits_);
+}
+
+Gf2Poly Gf2Poly::operator*(Gf2Poly o) const {
+  if (bits_ == 0 || o.bits_ == 0) return Gf2Poly(0);
+  ZL_EXPECTS(degree() + o.degree() < 64);
+  std::uint64_t acc = 0;
+  std::uint64_t a = bits_;
+  const std::uint64_t b = o.bits_;
+  for (int shift = 0; a != 0; ++shift, a >>= 1) {
+    if (a & 1) acc ^= b << shift;
+  }
+  return Gf2Poly(acc);
+}
+
+Gf2Poly Gf2Poly::mod(Gf2Poly g) const {
+  ZL_EXPECTS(!g.is_zero());
+  std::uint64_t rem = bits_;
+  const int gd = g.degree();
+  for (int d = degree(); d >= gd; --d) {
+    if ((rem >> d) & 1) rem ^= g.bits_ << (d - gd);
+  }
+  return Gf2Poly(rem);
+}
+
+Gf2Poly Gf2Poly::gcd(Gf2Poly a, Gf2Poly b) {
+  while (!b.is_zero()) {
+    const Gf2Poly r = a.mod(b);
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+Gf2Poly Gf2Poly::x_pow_mod(std::uint64_t e, Gf2Poly g) {
+  ZL_EXPECTS(g.degree() >= 1);
+  Gf2Poly result(1);            // x^0
+  Gf2Poly base = Gf2Poly(2).mod(g);  // x mod g
+  while (e != 0) {
+    if (e & 1) result = (result * base).mod(g);
+    base = (base * base).mod(g);
+    e >>= 1;
+  }
+  return result;
+}
+
+bool Gf2Poly::is_irreducible() const {
+  const int m = degree();
+  if (m < 1) return false;
+  if (m == 1) return true;
+  // Rabin's test: x^(2^m) == x mod f, and gcd(x^(2^(m/p)) - x, f) == 1 for
+  // every prime p dividing m.
+  auto frobenius_power = [&](int i) {
+    // Computes x^(2^i) mod *this by repeated squaring of x.
+    Gf2Poly acc = Gf2Poly(2).mod(*this);
+    for (int j = 0; j < i; ++j) acc = (acc * acc).mod(*this);
+    return acc;
+  };
+  if (frobenius_power(m) != Gf2Poly(2).mod(*this)) return false;
+  for (int p = 2; p <= m; ++p) {
+    if (m % p != 0) continue;
+    bool prime = true;
+    for (int q = 2; q * q <= p; ++q) {
+      if (p % q == 0) prime = false;
+    }
+    if (!prime) continue;
+    const Gf2Poly h = frobenius_power(m / p) ^ Gf2Poly(2).mod(*this);
+    if (gcd(h, *this).degree() != 0) return false;
+  }
+  return true;
+}
+
+bool Gf2Poly::is_primitive() const {
+  const int m = degree();
+  if (m < 1 || !is_irreducible()) return false;
+  if ((bits_ & 1) == 0) return false;  // x divides it -> not primitive
+  const std::uint64_t order = (std::uint64_t{1} << m) - 1;
+  if (x_pow_mod(order, *this) != Gf2Poly(1)) return false;
+  // x must not have any smaller order: check all maximal proper divisors
+  // order / p for the prime factors p of order.
+  std::uint64_t n = order;
+  for (std::uint64_t p = 2; p * p <= n; ++p) {
+    if (n % p != 0) continue;
+    while (n % p == 0) n /= p;
+    if (x_pow_mod(order / p, *this) == Gf2Poly(1)) return false;
+  }
+  if (n > 1 && n != order) {
+    if (x_pow_mod(order / n, *this) == Gf2Poly(1)) return false;
+  }
+  return true;
+}
+
+std::string Gf2Poly::to_string() const {
+  if (bits_ == 0) return "0";
+  std::string s;
+  for (int d = degree(); d >= 0; --d) {
+    if (!((bits_ >> d) & 1)) continue;
+    if (!s.empty()) s += " + ";
+    if (d == 0) {
+      s += "1";
+    } else if (d == 1) {
+      s += "x";
+    } else {
+      s += "x^" + std::to_string(d);
+    }
+  }
+  return s;
+}
+
+Gf2Poly default_hamming_generator(int m) {
+  ZL_EXPECTS(m >= 3 && m <= 15);
+  // Paper Table 1 (first row for each m). Bits include the leading x^m term.
+  static constexpr std::array<std::uint64_t, 16> table = {
+      0,      0,      0,
+      0xB,    // m=3:  x^3 + x + 1
+      0x13,   // m=4:  x^4 + x + 1
+      0x25,   // m=5:  x^5 + x^2 + 1
+      0x43,   // m=6:  x^6 + x + 1
+      0x89,   // m=7:  x^7 + x^3 + 1
+      0x11D,  // m=8:  x^8 + x^4 + x^3 + x^2 + 1
+      0x211,  // m=9:  x^9 + x^4 + 1
+      0x409,  // m=10: x^10 + x^3 + 1
+      0x805,  // m=11: x^11 + x^2 + 1
+      0x1053, // m=12: x^12 + x^6 + x^4 + x + 1
+      0x201B, // m=13: x^13 + x^4 + x^3 + x + 1
+      0x4143, // m=14: x^14 + x^8 + x^6 + x + 1
+      0x8003, // m=15: x^15 + x + 1
+  };
+  return Gf2Poly(table[static_cast<std::size_t>(m)]);
+}
+
+}  // namespace zipline::crc

@@ -1,0 +1,70 @@
+// Polynomials over GF(2) with degree < 64, bit i = coefficient of x^i.
+//
+// These back the Hamming-code generator polynomials from paper Table 1 and
+// the primitivity checks that guarantee the codes are perfect (every
+// non-zero m-bit syndrome corresponds to exactly one single-bit error
+// position, which is what makes the GD transform total).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace zipline::crc {
+
+class Gf2Poly {
+ public:
+  constexpr Gf2Poly() = default;
+  constexpr explicit Gf2Poly(std::uint64_t bits) : bits_(bits) {}
+
+  /// Builds x^m + (lower terms given by `crc_param`), the encoding used by
+  /// the "Parameter for CRC-m" column of paper Table 1.
+  static constexpr Gf2Poly from_crc_param(int m, std::uint64_t crc_param) {
+    return Gf2Poly((std::uint64_t{1} << m) | crc_param);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t bits() const noexcept { return bits_; }
+
+  /// The CRC-m parameter form: polynomial minus its leading term.
+  [[nodiscard]] std::uint64_t crc_param() const;
+
+  [[nodiscard]] int degree() const noexcept;  // -1 for the zero polynomial
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return bits_ == 0; }
+
+  [[nodiscard]] friend constexpr bool operator==(Gf2Poly, Gf2Poly) = default;
+
+  [[nodiscard]] Gf2Poly operator^(Gf2Poly o) const noexcept {
+    return Gf2Poly(bits_ ^ o.bits_);
+  }
+
+  /// Carry-less product; the degrees must sum below 64.
+  [[nodiscard]] Gf2Poly operator*(Gf2Poly o) const;
+
+  /// Remainder of this modulo `g` (g non-zero).
+  [[nodiscard]] Gf2Poly mod(Gf2Poly g) const;
+
+  /// Polynomial GCD.
+  [[nodiscard]] static Gf2Poly gcd(Gf2Poly a, Gf2Poly b);
+
+  /// x^e mod g, with e allowed to be large (square and multiply).
+  [[nodiscard]] static Gf2Poly x_pow_mod(std::uint64_t e, Gf2Poly g);
+
+  /// True if this polynomial is irreducible over GF(2).
+  [[nodiscard]] bool is_irreducible() const;
+
+  /// True if this polynomial is primitive (irreducible and x generates the
+  /// full multiplicative group of GF(2^deg)). Primitive generators are what
+  /// Hamming codes require.
+  [[nodiscard]] bool is_primitive() const;
+
+  /// Human-readable form such as "x^8 + x^4 + x^3 + x^2 + 1".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+/// Default (paper Table 1) generator polynomial for Hamming(2^m-1, 2^m-m-1);
+/// valid for m in [3, 15].
+Gf2Poly default_hamming_generator(int m);
+
+}  // namespace zipline::crc

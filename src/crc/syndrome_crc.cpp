@@ -1,0 +1,67 @@
+#include "crc/syndrome_crc.hpp"
+
+#include "common/contracts.hpp"
+
+namespace zipline::crc {
+
+SyndromeCrc::SyndromeCrc(Gf2Poly g, std::size_t n) : g_(g), m_(g.degree()), n_(n) {
+  ZL_EXPECTS(m_ >= 1 && m_ <= 31);
+  ZL_EXPECTS(n >= 1);
+  const std::size_t byte_positions = (n + 7) / 8;
+  tables_.resize(byte_positions);
+  // x^(8j + k) mod g, built incrementally: start from x^0 and multiply by x.
+  Gf2Poly power(1);
+  for (std::size_t j = 0; j < byte_positions; ++j) {
+    std::array<std::uint32_t, 256> single{};
+    std::array<std::uint32_t, 8> bit_contrib{};
+    for (int k = 0; k < 8; ++k) {
+      bit_contrib[static_cast<std::size_t>(k)] =
+          static_cast<std::uint32_t>(power.bits());
+      power = (power * Gf2Poly(2)).mod(g_);
+    }
+    for (int b = 0; b < 256; ++b) {
+      std::uint32_t acc = 0;
+      for (int k = 0; k < 8; ++k) {
+        if ((b >> k) & 1) acc ^= bit_contrib[static_cast<std::size_t>(k)];
+      }
+      single[static_cast<std::size_t>(b)] = acc;
+    }
+    tables_[j] = single;
+  }
+}
+
+std::uint32_t SyndromeCrc::compute(const bits::BitVector& word) const {
+  ZL_EXPECTS(word.size() == n_);
+  std::uint32_t acc = 0;
+  const auto words = word.words();
+  std::size_t byte_pos = 0;
+  for (const std::uint64_t w : words) {
+    std::uint64_t value = w;
+    for (int k = 0; k < 8 && byte_pos < tables_.size(); ++k, ++byte_pos) {
+      const auto byte = static_cast<std::uint8_t>(value & 0xFF);
+      value >>= 8;
+      if (byte != 0) acc ^= tables_[byte_pos][byte];
+    }
+  }
+  return acc;
+}
+
+std::uint32_t SyndromeCrc::single_bit(std::size_t position) const {
+  ZL_EXPECTS(position < n_);
+  return tables_[position / 8][std::size_t{1} << (position % 8)];
+}
+
+std::uint32_t SyndromeCrc::compute_slow(Gf2Poly g, const bits::BitVector& word) {
+  const int m = g.degree();
+  ZL_EXPECTS(m >= 1 && m <= 31);
+  std::uint32_t rem = 0;
+  const std::uint32_t top = std::uint32_t{1} << m;
+  const auto gbits = static_cast<std::uint32_t>(g.bits());
+  for (std::size_t i = word.size(); i-- > 0;) {
+    rem = (rem << 1) | static_cast<std::uint32_t>(word.get(i));
+    if (rem & top) rem ^= gbits;
+  }
+  return rem;
+}
+
+}  // namespace zipline::crc

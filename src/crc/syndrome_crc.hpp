@@ -1,0 +1,53 @@
+// Syndrome-mode CRC: the plain polynomial remainder B(x) mod g(x).
+//
+// This is the formulation ZipLine programs into the Tofino CRC extern: no
+// pre-multiplication by x^m, no initial value, no reflection, no final
+// XOR. Under it, the CRC of an n-bit word equals the Hamming syndrome
+// B·Hᵀ (paper §2, verified against Table 2), and the CRC of a zero-padded
+// basis u(x)·x^m equals the parity bits truncated by the encoder.
+//
+// The engine is built for a fixed input length n and precomputes
+// byte-granular contribution tables (the matrix form CRC(B) = B·Hᵀ from
+// §2: the CRC of every single-bit word is precomputed and byte-folded), so
+// computing a 255-bit syndrome costs 32 table lookups.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "crc/polynomial.hpp"
+
+namespace zipline::crc {
+
+class SyndromeCrc {
+ public:
+  /// g must have degree m in [1, 31]; n is the fixed input width in bits.
+  SyndromeCrc(Gf2Poly g, std::size_t n);
+
+  [[nodiscard]] int m() const noexcept { return m_; }
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] Gf2Poly generator() const noexcept { return g_; }
+
+  /// Syndrome of an n-bit word (word.size() must equal n).
+  [[nodiscard]] std::uint32_t compute(const bits::BitVector& word) const;
+
+  /// Syndrome of the single-bit word x^position (position < n).
+  [[nodiscard]] std::uint32_t single_bit(std::size_t position) const;
+
+  /// Reference bit-serial implementation, any length (used for testing and
+  /// for inputs whose width differs from n).
+  [[nodiscard]] static std::uint32_t compute_slow(Gf2Poly g,
+                                                  const bits::BitVector& word);
+
+ private:
+  Gf2Poly g_;
+  int m_;
+  std::size_t n_;
+  // tables_[j][b] = contribution of byte value b at byte position j, where
+  // byte position j covers polynomial powers [8j, 8j+8).
+  std::vector<std::array<std::uint32_t, 256>> tables_;
+};
+
+}  // namespace zipline::crc

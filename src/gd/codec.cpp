@@ -1,0 +1,155 @@
+#include "gd/codec.hpp"
+
+#include "common/contracts.hpp"
+
+namespace zipline::gd {
+
+GdEncoder::GdEncoder(const GdParams& params, EvictionPolicy policy,
+                     bool learn_on_miss)
+    : transform_(params),
+      dictionary_(params.dictionary_capacity(), policy),
+      learn_on_miss_(learn_on_miss) {}
+
+GdPacket GdEncoder::encode_chunk(const bits::BitVector& chunk) {
+  ZL_EXPECTS(chunk.size() == params().chunk_bits);
+  ++stats_.chunks;
+  stats_.bytes_in += params().raw_payload_bytes();
+
+  TransformedChunk t = transform_.forward(chunk);
+  GdPacket packet;
+  if (const auto id = dictionary_.lookup(t.basis)) {
+    packet = GdPacket::make_compressed(t.syndrome, std::move(t.excess), *id);
+    ++stats_.compressed_packets;
+  } else {
+    if (learn_on_miss_) {
+      dictionary_.insert(t.basis);
+    }
+    packet = GdPacket::make_uncompressed(t.syndrome, std::move(t.excess),
+                                         std::move(t.basis));
+    ++stats_.uncompressed_packets;
+  }
+  stats_.bytes_out += packet.wire_payload_bytes(params());
+  return packet;
+}
+
+std::vector<GdPacket> GdEncoder::encode_payload(
+    std::span<const std::uint8_t> payload) {
+  const Chunker chunker(params());
+  auto [chunks, tail] = chunker.split(payload);
+  std::vector<GdPacket> packets;
+  packets.reserve(chunks.size() + (tail.empty() ? 0 : 1));
+  for (const auto& chunk : chunks) {
+    packets.push_back(encode_chunk(chunk));
+  }
+  if (!tail.empty()) {
+    ++stats_.raw_packets;
+    stats_.bytes_in += tail.size();
+    stats_.bytes_out += tail.size();
+    packets.push_back(GdPacket::make_raw(std::move(tail)));
+  }
+  return packets;
+}
+
+void GdEncoder::preload(const bits::BitVector& basis) {
+  ZL_EXPECTS(basis.size() == params().k());
+  if (!dictionary_.peek(basis)) {
+    dictionary_.insert(basis);
+  }
+}
+
+GdDecoder::GdDecoder(const GdParams& params, EvictionPolicy policy,
+                     bool learn_on_uncompressed)
+    : transform_(params),
+      dictionary_(params.dictionary_capacity(), policy),
+      learn_on_uncompressed_(learn_on_uncompressed) {}
+
+bits::BitVector GdDecoder::decode_chunk(const GdPacket& packet) {
+  ++stats_.chunks;
+  stats_.bytes_in += packet.wire_payload_bytes(params());
+  switch (packet.type) {
+    case PacketType::raw: {
+      ++stats_.raw_packets;
+      stats_.bytes_out += packet.raw.size();
+      return bits::BitVector::from_bytes(packet.raw, packet.raw.size() * 8);
+    }
+    case PacketType::uncompressed: {
+      ++stats_.uncompressed_packets;
+      if (learn_on_uncompressed_ && !dictionary_.peek(packet.basis)) {
+        dictionary_.insert(packet.basis);
+      }
+      stats_.bytes_out += params().raw_payload_bytes();
+      return transform_.inverse(packet.excess, packet.basis, packet.syndrome);
+    }
+    case PacketType::compressed: {
+      ++stats_.compressed_packets;
+      const auto basis = dictionary_.lookup_basis(packet.basis_id);
+      ZL_EXPECTS(basis.has_value() && "compressed packet with unknown ID");
+      stats_.bytes_out += params().raw_payload_bytes();
+      return transform_.inverse(packet.excess, *basis, packet.syndrome);
+    }
+  }
+  ZL_ASSERT(false && "unreachable packet type");
+  return {};
+}
+
+std::vector<std::uint8_t> GdDecoder::decode_payload(
+    std::span<const GdPacket> packets) {
+  std::vector<bits::BitVector> chunks;
+  std::vector<std::uint8_t> tail;
+  for (const GdPacket& p : packets) {
+    if (p.type == PacketType::raw) {
+      tail.insert(tail.end(), p.raw.begin(), p.raw.end());
+      ++stats_.chunks;
+      ++stats_.raw_packets;
+      stats_.bytes_in += p.raw.size();
+      stats_.bytes_out += p.raw.size();
+    } else {
+      chunks.push_back(decode_chunk(p));
+    }
+  }
+  const Chunker chunker(params());
+  return chunker.join(chunks, tail);
+}
+
+void GdDecoder::preload(const bits::BitVector& basis) {
+  ZL_EXPECTS(basis.size() == params().k());
+  if (!dictionary_.peek(basis)) {
+    dictionary_.insert(basis);
+  }
+}
+
+Chunker::Chunker(const GdParams& params)
+    : chunk_bytes_((params.chunk_bits + 7) / 8), chunk_bits_(params.chunk_bits) {
+  // Wire framing of raw chunks is byte-based; require byte-sized chunks.
+  ZL_EXPECTS(params.chunk_bits % 8 == 0);
+}
+
+Chunker::Result Chunker::split(std::span<const std::uint8_t> payload) const {
+  Result result;
+  const std::size_t full = payload.size() / chunk_bytes_;
+  result.chunks.reserve(full);
+  for (std::size_t i = 0; i < full; ++i) {
+    result.chunks.push_back(bits::BitVector::from_bytes(
+        payload.subspan(i * chunk_bytes_, chunk_bytes_), chunk_bits_));
+  }
+  const std::size_t consumed = full * chunk_bytes_;
+  result.tail.assign(payload.begin() + static_cast<std::ptrdiff_t>(consumed),
+                     payload.end());
+  return result;
+}
+
+std::vector<std::uint8_t> Chunker::join(
+    std::span<const bits::BitVector> chunks,
+    std::span<const std::uint8_t> tail) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(chunks.size() * chunk_bytes_ + tail.size());
+  for (const auto& chunk : chunks) {
+    ZL_EXPECTS(chunk.size() == chunk_bits_);
+    const auto bytes = chunk.to_bytes();
+    out.insert(out.end(), bytes.begin(), bytes.end());
+  }
+  out.insert(out.end(), tail.begin(), tail.end());
+  return out;
+}
+
+}  // namespace zipline::gd

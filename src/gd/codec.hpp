@@ -1,0 +1,129 @@
+// Streaming GD encoder/decoder pair — the algorithmic heart of ZipLine,
+// usable standalone (host-side compression, as in the GD line of work the
+// paper builds on) and as the reference model the switch pipeline is
+// validated against.
+//
+// Learning protocol: the encoder emits a type-2 (uncompressed) packet the
+// first time a basis is seen and immediately learns a basis->ID mapping;
+// the decoder mirrors the identical allocation decision when the type-2
+// packet arrives, so both dictionaries stay synchronized without any
+// side channel. (On the switch, learning instead goes through the control
+// plane with measurable delay — that path lives in src/zipline.)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gd/dictionary.hpp"
+#include "gd/packet.hpp"
+#include "gd/transform.hpp"
+
+namespace zipline::gd {
+
+struct CodecStats {
+  std::uint64_t chunks = 0;
+  std::uint64_t raw_packets = 0;
+  std::uint64_t uncompressed_packets = 0;  // type 2
+  std::uint64_t compressed_packets = 0;    // type 3
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+
+  [[nodiscard]] double compression_ratio() const {
+    return bytes_in == 0 ? 1.0
+                         : static_cast<double>(bytes_out) /
+                               static_cast<double>(bytes_in);
+  }
+};
+
+class GdEncoder {
+ public:
+  explicit GdEncoder(const GdParams& params,
+                     EvictionPolicy policy = EvictionPolicy::lru,
+                     bool learn_on_miss = true);
+
+  /// Encodes one chunk of exactly params().chunk_bits bits.
+  [[nodiscard]] GdPacket encode_chunk(const bits::BitVector& chunk);
+
+  /// Encodes a byte payload: full chunks become GD packets, a trailing
+  /// partial chunk becomes a raw packet.
+  [[nodiscard]] std::vector<GdPacket> encode_payload(
+      std::span<const std::uint8_t> payload);
+
+  /// Pre-loads the dictionary with a basis (the paper's "static table").
+  void preload(const bits::BitVector& basis);
+
+  [[nodiscard]] const GdParams& params() const noexcept {
+    return transform_.params();
+  }
+  [[nodiscard]] const GdTransform& transform() const noexcept {
+    return transform_;
+  }
+  [[nodiscard]] const BasisDictionary& dictionary() const noexcept {
+    return dictionary_;
+  }
+  [[nodiscard]] const CodecStats& stats() const noexcept { return stats_; }
+
+ private:
+  GdTransform transform_;
+  BasisDictionary dictionary_;
+  bool learn_on_miss_;
+  CodecStats stats_;
+};
+
+class GdDecoder {
+ public:
+  explicit GdDecoder(const GdParams& params,
+                     EvictionPolicy policy = EvictionPolicy::lru,
+                     bool learn_on_uncompressed = true);
+
+  /// Decodes one packet back to the original chunk bits (raw packets are
+  /// returned as their byte payload re-expanded to bits).
+  [[nodiscard]] bits::BitVector decode_chunk(const GdPacket& packet);
+
+  /// Decodes a packet stream back to the original byte payload.
+  [[nodiscard]] std::vector<std::uint8_t> decode_payload(
+      std::span<const GdPacket> packets);
+
+  /// Pre-loads the dictionary (mirror of the encoder's static table; the
+  /// identifiers allocated match the encoder's exactly).
+  void preload(const bits::BitVector& basis);
+
+  [[nodiscard]] const GdParams& params() const noexcept {
+    return transform_.params();
+  }
+  [[nodiscard]] const BasisDictionary& dictionary() const noexcept {
+    return dictionary_;
+  }
+  [[nodiscard]] const CodecStats& stats() const noexcept { return stats_; }
+
+ private:
+  GdTransform transform_;
+  BasisDictionary dictionary_;
+  bool learn_on_uncompressed_;
+  CodecStats stats_;
+};
+
+/// Splits a byte payload into chunk-sized bit vectors plus a raw tail.
+class Chunker {
+ public:
+  explicit Chunker(const GdParams& params);
+
+  struct Result {
+    std::vector<bits::BitVector> chunks;
+    std::vector<std::uint8_t> tail;  ///< bytes that did not fill a chunk
+  };
+
+  [[nodiscard]] Result split(std::span<const std::uint8_t> payload) const;
+
+  /// Rebuilds the byte payload from chunks + tail.
+  [[nodiscard]] std::vector<std::uint8_t> join(
+      std::span<const bits::BitVector> chunks,
+      std::span<const std::uint8_t> tail) const;
+
+ private:
+  std::size_t chunk_bytes_;
+  std::size_t chunk_bits_;
+};
+
+}  // namespace zipline::gd

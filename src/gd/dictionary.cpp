@@ -1,0 +1,153 @@
+#include "gd/dictionary.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace zipline::gd {
+
+BasisDictionary::BasisDictionary(std::size_t capacity, EvictionPolicy policy,
+                                 std::uint64_t random_seed)
+    : capacity_(capacity), policy_(policy), rng_(random_seed) {
+  ZL_EXPECTS(capacity >= 1 && capacity <= (std::size_t{1} << 24));
+  entries_.resize(capacity);
+  free_ids_.reserve(capacity);
+  // Allocate identifiers in increasing order: id 0 first.
+  for (std::size_t id = capacity; id-- > 0;) {
+    free_ids_.push_back(static_cast<std::uint32_t>(id));
+  }
+  by_basis_.reserve(capacity);
+}
+
+std::optional<std::uint32_t> BasisDictionary::lookup(
+    const bits::BitVector& basis) {
+  const auto it = by_basis_.find(basis);
+  if (it == by_basis_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  maybe_touch(it->second);
+  return it->second;
+}
+
+std::optional<std::uint32_t> BasisDictionary::peek(
+    const bits::BitVector& basis) const {
+  const auto it = by_basis_.find(basis);
+  if (it == by_basis_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<bits::BitVector> BasisDictionary::lookup_basis(std::uint32_t id) {
+  ZL_EXPECTS(id < capacity_);
+  if (!entries_[id].used) return std::nullopt;
+  maybe_touch(id);
+  return entries_[id].basis;
+}
+
+InsertResult BasisDictionary::insert(const bits::BitVector& basis) {
+  ZL_EXPECTS(by_basis_.find(basis) == by_basis_.end());
+  InsertResult result;
+  std::uint32_t id;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    id = pick_victim();
+    ++stats_.evictions;
+    result.evicted = entries_[id].basis;
+    by_basis_.erase(entries_[id].basis);
+    list_remove(id);
+    entries_[id].used = false;
+  }
+  entries_[id].basis = basis;
+  entries_[id].used = true;
+  by_basis_.emplace(basis, id);
+  list_push_front(id);
+  ++stats_.insertions;
+  result.id = id;
+  return result;
+}
+
+void BasisDictionary::install(std::uint32_t id, const bits::BitVector& basis) {
+  ZL_EXPECTS(id < capacity_);
+  if (entries_[id].used) {
+    by_basis_.erase(entries_[id].basis);
+    list_remove(id);
+  } else {
+    // The id may still be in the free pool; drop it from there.
+    const auto it = std::find(free_ids_.begin(), free_ids_.end(), id);
+    if (it != free_ids_.end()) free_ids_.erase(it);
+  }
+  // A basis must map to at most one id.
+  if (const auto existing = by_basis_.find(basis); existing != by_basis_.end()) {
+    erase(existing->second);
+  }
+  entries_[id].basis = basis;
+  entries_[id].used = true;
+  by_basis_[basis] = id;
+  list_push_front(id);
+  ++stats_.insertions;
+}
+
+void BasisDictionary::erase(std::uint32_t id) {
+  ZL_EXPECTS(id < capacity_);
+  if (!entries_[id].used) return;
+  by_basis_.erase(entries_[id].basis);
+  list_remove(id);
+  entries_[id].used = false;
+  free_ids_.push_back(id);
+}
+
+void BasisDictionary::maybe_touch(std::uint32_t id) {
+  if (policy_ == EvictionPolicy::lru) touch(id);
+}
+
+void BasisDictionary::touch(std::uint32_t id) {
+  ZL_EXPECTS(id < capacity_ && entries_[id].used);
+  if (head_ == id) return;
+  list_remove(id);
+  list_push_front(id);
+}
+
+void BasisDictionary::list_remove(std::uint32_t id) {
+  Entry& e = entries_[id];
+  if (e.prev != kNil) {
+    entries_[e.prev].next = e.next;
+  } else if (head_ == id) {
+    head_ = e.next;
+  }
+  if (e.next != kNil) {
+    entries_[e.next].prev = e.prev;
+  } else if (tail_ == id) {
+    tail_ = e.prev;
+  }
+  e.prev = e.next = kNil;
+}
+
+void BasisDictionary::list_push_front(std::uint32_t id) {
+  Entry& e = entries_[id];
+  e.prev = kNil;
+  e.next = head_;
+  if (head_ != kNil) entries_[head_].prev = id;
+  head_ = id;
+  if (tail_ == kNil) tail_ = id;
+}
+
+std::uint32_t BasisDictionary::pick_victim() {
+  ZL_ASSERT(by_basis_.size() == capacity_);
+  switch (policy_) {
+    case EvictionPolicy::lru:
+    case EvictionPolicy::fifo:
+      // Hits never refresh recency under FIFO (maybe_touch is a no-op), so
+      // the tail is the oldest insertion; under LRU it is the coldest entry.
+      ZL_ASSERT(tail_ != kNil);
+      return tail_;
+    case EvictionPolicy::random:
+      return static_cast<std::uint32_t>(rng_.next_below(capacity_));
+  }
+  ZL_ASSERT(false && "unreachable policy");
+  return 0;
+}
+
+}  // namespace zipline::gd

@@ -1,0 +1,104 @@
+// Basis dictionary with identifier recycling.
+//
+// The dictionary owns the pool of 2^id_bits short identifiers. When a new
+// basis arrives and no identifier is free, one is recycled according to
+// the eviction policy; the paper's control plane uses LRU driven by
+// per-entry TTLs (§5). The same class is used on the encoder side
+// (basis -> ID), the decoder side (ID -> basis) and inside the control
+// plane, because the deterministic streaming codec relies on both sides
+// replaying identical allocation decisions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "common/rng.hpp"
+
+namespace zipline::gd {
+
+enum class EvictionPolicy : std::uint8_t {
+  lru,     ///< paper's choice: least recently used (TTL-based on hardware)
+  fifo,    ///< recycle in insertion order (ablation)
+  random,  ///< recycle uniformly at random, seeded (ablation)
+};
+
+struct DictionaryStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Outcome of inserting a basis.
+struct InsertResult {
+  std::uint32_t id = 0;
+  std::optional<bits::BitVector> evicted;  ///< basis that lost its ID
+};
+
+class BasisDictionary {
+ public:
+  BasisDictionary(std::size_t capacity, EvictionPolicy policy,
+                  std::uint64_t random_seed = 0x1dba5e5);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return by_basis_.size(); }
+  [[nodiscard]] EvictionPolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] const DictionaryStats& stats() const noexcept { return stats_; }
+
+  /// Encoder-side lookup. Counts a hit/miss and refreshes recency on hit.
+  [[nodiscard]] std::optional<std::uint32_t> lookup(const bits::BitVector& basis);
+
+  /// Peek without touching recency or statistics.
+  [[nodiscard]] std::optional<std::uint32_t> peek(const bits::BitVector& basis) const;
+
+  /// Decoder-side lookup. Refreshes recency (mirrors the encoder's hit).
+  [[nodiscard]] std::optional<bits::BitVector> lookup_basis(std::uint32_t id);
+
+  /// Inserts a new basis, allocating (possibly recycling) an identifier.
+  /// The basis must not already be present.
+  InsertResult insert(const bits::BitVector& basis);
+
+  /// Installs an explicit (id, basis) mapping — the control-plane path.
+  /// Replaces whatever the identifier previously mapped to.
+  void install(std::uint32_t id, const bits::BitVector& basis);
+
+  /// Removes a mapping by identifier (control-plane eviction), freeing it.
+  void erase(std::uint32_t id);
+
+  /// Refreshes the recency of an identifier (a TTL refresh).
+  void touch(std::uint32_t id);
+
+ private:
+  /// Recency refresh on hit; a no-op under FIFO/random so those policies
+  /// evict purely by insertion order / chance.
+  void maybe_touch(std::uint32_t id);
+
+  struct Entry {
+    bits::BitVector basis;
+    bool used = false;
+    // Intrusive doubly-linked recency list over identifiers.
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+  };
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  void list_remove(std::uint32_t id);
+  void list_push_front(std::uint32_t id);  // most recently used end
+  [[nodiscard]] std::uint32_t pick_victim();
+
+  std::size_t capacity_;
+  EvictionPolicy policy_;
+  Rng rng_;
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> free_ids_;  // stack; top = next to allocate
+  std::unordered_map<bits::BitVector, std::uint32_t, bits::BitVectorHash>
+      by_basis_;
+  std::uint32_t head_ = kNil;  // most recently used
+  std::uint32_t tail_ = kNil;  // least recently used
+  DictionaryStats stats_;
+};
+
+}  // namespace zipline::gd

@@ -1,0 +1,150 @@
+#include "gd/packet.hpp"
+
+#include "common/bitio.hpp"
+#include "common/contracts.hpp"
+
+namespace zipline::gd {
+
+namespace {
+constexpr std::uint16_t kEtherRaw = 0x5A01;
+constexpr std::uint16_t kEtherUncompressed = 0x5A02;
+constexpr std::uint16_t kEtherCompressed = 0x5A03;
+}  // namespace
+
+std::uint16_t ether_type_for(PacketType type) noexcept {
+  switch (type) {
+    case PacketType::raw:
+      return kEtherRaw;
+    case PacketType::uncompressed:
+      return kEtherUncompressed;
+    case PacketType::compressed:
+      return kEtherCompressed;
+  }
+  return kEtherRaw;
+}
+
+PacketType packet_type_for_ether(std::uint16_t ether_type) {
+  switch (ether_type) {
+    case kEtherRaw:
+      return PacketType::raw;
+    case kEtherUncompressed:
+      return PacketType::uncompressed;
+    case kEtherCompressed:
+      return PacketType::compressed;
+    default:
+      ZL_EXPECTS(false && "not a ZipLine EtherType");
+      return PacketType::raw;
+  }
+}
+
+bool is_zipline_ether_type(std::uint16_t ether_type) noexcept {
+  return ether_type == kEtherRaw || ether_type == kEtherUncompressed ||
+         ether_type == kEtherCompressed;
+}
+
+std::size_t GdPacket::wire_payload_bytes(const GdParams& params) const {
+  switch (type) {
+    case PacketType::raw:
+      return raw.size();
+    case PacketType::uncompressed:
+      return params.type2_payload_bytes();
+    case PacketType::compressed:
+      return params.type3_payload_bytes();
+  }
+  return 0;
+}
+
+std::vector<std::uint8_t> GdPacket::serialize(const GdParams& params) const {
+  switch (type) {
+    case PacketType::raw:
+      return raw;
+    case PacketType::uncompressed: {
+      ZL_EXPECTS(basis.size() == params.k());
+      ZL_EXPECTS(excess.size() == params.excess_bits());
+      bits::BitWriter w;
+      w.write_uint(syndrome, static_cast<std::size_t>(params.m));
+      w.write_bits(excess);
+      w.write_bits(basis);
+      w.align_to_byte();
+      if (params.model_tofino_padding) {
+        w.write_padding(params.type2_extra_pad_bits);
+        w.align_to_byte();
+      }
+      return w.to_bytes();
+    }
+    case PacketType::compressed: {
+      ZL_EXPECTS(excess.size() == params.excess_bits());
+      ZL_EXPECTS(basis_id < params.dictionary_capacity());
+      bits::BitWriter w;
+      w.write_uint(syndrome, static_cast<std::size_t>(params.m));
+      w.write_bits(excess);
+      w.write_uint(basis_id, params.id_bits);
+      w.align_to_byte();
+      return w.to_bytes();
+    }
+  }
+  ZL_ASSERT(false && "unreachable packet type");
+  return {};
+}
+
+GdPacket GdPacket::parse(const GdParams& params, PacketType type,
+                         std::span<const std::uint8_t> payload) {
+  GdPacket p;
+  p.type = type;
+  switch (type) {
+    case PacketType::raw:
+      p.raw.assign(payload.begin(), payload.end());
+      return p;
+    case PacketType::uncompressed: {
+      ZL_EXPECTS(payload.size() >= params.type2_payload_bytes());
+      bits::BitReader r(payload);
+      p.syndrome = static_cast<std::uint32_t>(
+          r.read_uint(static_cast<std::size_t>(params.m)));
+      p.excess = r.read_bits(params.excess_bits());
+      p.basis = r.read_bits(params.k());
+      return p;
+    }
+    case PacketType::compressed: {
+      ZL_EXPECTS(payload.size() >= params.type3_payload_bytes());
+      bits::BitReader r(payload);
+      p.syndrome = static_cast<std::uint32_t>(
+          r.read_uint(static_cast<std::size_t>(params.m)));
+      p.excess = r.read_bits(params.excess_bits());
+      p.basis_id = static_cast<std::uint32_t>(r.read_uint(params.id_bits));
+      return p;
+    }
+  }
+  ZL_ASSERT(false && "unreachable packet type");
+  return p;
+}
+
+GdPacket GdPacket::make_raw(std::vector<std::uint8_t> payload) {
+  GdPacket p;
+  p.type = PacketType::raw;
+  p.raw = std::move(payload);
+  return p;
+}
+
+GdPacket GdPacket::make_uncompressed(std::uint32_t syndrome,
+                                     bits::BitVector excess,
+                                     bits::BitVector basis) {
+  GdPacket p;
+  p.type = PacketType::uncompressed;
+  p.syndrome = syndrome;
+  p.excess = std::move(excess);
+  p.basis = std::move(basis);
+  return p;
+}
+
+GdPacket GdPacket::make_compressed(std::uint32_t syndrome,
+                                   bits::BitVector excess,
+                                   std::uint32_t basis_id) {
+  GdPacket p;
+  p.type = PacketType::compressed;
+  p.syndrome = syndrome;
+  p.excess = std::move(excess);
+  p.basis_id = basis_id;
+  return p;
+}
+
+}  // namespace zipline::gd

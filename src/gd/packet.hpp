@@ -1,0 +1,71 @@
+// ZipLine packet payloads.
+//
+// The paper (§5) defines three packet types:
+//   type 1 — regular, unprocessed payload;
+//   type 2 — processed but uncompressed: syndrome + excess + basis;
+//   type 3 — processed and compressed: syndrome + excess + basis ID.
+// The type discriminator rides in the Ethernet header (EtherType); the
+// payload layout below is written MSB-first field by field, as a P4
+// deparser emits header fields, with byte-alignment padding at the end
+// (plus the modeled Tofino container padding on type 2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "gd/params.hpp"
+
+namespace zipline::gd {
+
+enum class PacketType : std::uint8_t {
+  raw = 1,           ///< unprocessed chunk
+  uncompressed = 2,  ///< syndrome + excess + basis
+  compressed = 3,    ///< syndrome + excess + basis ID
+};
+
+/// EtherType values used on the wire for each packet type (locally
+/// administered experimental values; type 1 keeps 0x5A01 so the decoder can
+/// recognize pass-through traffic in the test harness).
+std::uint16_t ether_type_for(PacketType type) noexcept;
+PacketType packet_type_for_ether(std::uint16_t ether_type);
+bool is_zipline_ether_type(std::uint16_t ether_type) noexcept;
+
+struct GdPacket {
+  PacketType type = PacketType::raw;
+
+  /// Type 1 payload (also used for sub-chunk tails).
+  std::vector<std::uint8_t> raw;
+
+  /// Types 2 and 3.
+  std::uint32_t syndrome = 0;
+  bits::BitVector excess;
+
+  /// Type 2 only.
+  bits::BitVector basis;
+
+  /// Type 3 only.
+  std::uint32_t basis_id = 0;
+
+  /// Payload bytes this packet occupies on the wire under `params`.
+  [[nodiscard]] std::size_t wire_payload_bytes(const GdParams& params) const;
+
+  /// Serializes the payload under `params`.
+  [[nodiscard]] std::vector<std::uint8_t> serialize(const GdParams& params) const;
+
+  /// Parses a payload of the given type. Throws ContractViolation when the
+  /// buffer is too short for the declared type.
+  [[nodiscard]] static GdPacket parse(const GdParams& params, PacketType type,
+                                      std::span<const std::uint8_t> payload);
+
+  [[nodiscard]] static GdPacket make_raw(std::vector<std::uint8_t> payload);
+  [[nodiscard]] static GdPacket make_uncompressed(std::uint32_t syndrome,
+                                                  bits::BitVector excess,
+                                                  bits::BitVector basis);
+  [[nodiscard]] static GdPacket make_compressed(std::uint32_t syndrome,
+                                                bits::BitVector excess,
+                                                std::uint32_t basis_id);
+};
+
+}  // namespace zipline::gd

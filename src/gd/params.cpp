@@ -1,0 +1,17 @@
+#include "gd/params.hpp"
+
+#include "common/contracts.hpp"
+
+namespace zipline::gd {
+
+void GdParams::validate() const {
+  ZL_EXPECTS(m >= 3 && m <= 15);
+  ZL_EXPECTS(chunk_bits >= n());
+  ZL_EXPECTS(id_bits >= 1 && id_bits <= 24);
+  ZL_EXPECTS(id_bits < k());  // otherwise "compression" expands
+  const crc::Gf2Poly g = resolved_generator();
+  ZL_EXPECTS(g.degree() == m);
+  ZL_EXPECTS(g.is_primitive());
+}
+
+}  // namespace zipline::gd

@@ -1,0 +1,79 @@
+// Configuration of the GD transform as deployed by ZipLine.
+//
+// Defaults replicate the paper's deployment choices (§7 "Choice of
+// parameters"): m = 8 (the largest byte-aligned syndrome the hardware
+// fits), 256-bit chunks (so one excess bit rides along with the 255-bit
+// codeword), and 15-bit identifiers (32,768 cached bases; together with
+// the excess bit the compressed reference is exactly 2 bytes).
+#pragma once
+
+#include <cstddef>
+
+#include "crc/polynomial.hpp"
+
+namespace zipline::gd {
+
+struct GdParams {
+  /// Hamming order; n = 2^m - 1, k = n - m. Range [3, 15].
+  int m = 8;
+
+  /// Chunk size carried by one packet, in bits. Must be >= n; the
+  /// (chunk_bits - n) highest-order bits travel verbatim (the paper's "one
+  /// additional bit to store the MSB").
+  std::size_t chunk_bits = 256;
+
+  /// Width of the short identifiers replacing bases (dictionary holds
+  /// 2^id_bits bases). The paper picks 15 so id + excess bit = 16 bits.
+  std::size_t id_bits = 15;
+
+  /// Generator polynomial; must be primitive of degree m. Zero means "use
+  /// the paper Table 1 default for m".
+  crc::Gf2Poly generator{0};
+
+  /// Model the Tofino container-alignment padding the paper measured: its
+  /// type-2 packets carry 8 extra padding bits (the 3 % overhead of
+  /// Fig. 3's "no table" bars, which the authors note an expert could
+  /// eliminate).
+  bool model_tofino_padding = true;
+  std::size_t type2_extra_pad_bits = 8;
+
+  [[nodiscard]] std::size_t n() const noexcept {
+    return (std::size_t{1} << m) - 1;
+  }
+  [[nodiscard]] std::size_t k() const noexcept {
+    return n() - static_cast<std::size_t>(m);
+  }
+  [[nodiscard]] std::size_t excess_bits() const noexcept {
+    return chunk_bits - n();
+  }
+  [[nodiscard]] std::size_t dictionary_capacity() const noexcept {
+    return std::size_t{1} << id_bits;
+  }
+
+  /// Wire payload size of each packet type, in bytes (payload only; the
+  /// packet type is carried by the EtherType). Matches the paper's Fig. 3
+  /// accounting: 32 B raw -> 33 B type 2 -> 3 B type 3 at the defaults.
+  [[nodiscard]] std::size_t raw_payload_bytes() const noexcept {
+    return (chunk_bits + 7) / 8;
+  }
+  [[nodiscard]] std::size_t type2_payload_bytes() const noexcept {
+    const std::size_t bits = static_cast<std::size_t>(m) + excess_bits() + k() +
+                             (model_tofino_padding ? type2_extra_pad_bits : 0);
+    return (bits + 7) / 8;
+  }
+  [[nodiscard]] std::size_t type3_payload_bytes() const noexcept {
+    const std::size_t bits =
+        static_cast<std::size_t>(m) + excess_bits() + id_bits;
+    return (bits + 7) / 8;
+  }
+
+  /// Resolved generator polynomial.
+  [[nodiscard]] crc::Gf2Poly resolved_generator() const {
+    return generator.is_zero() ? crc::default_hamming_generator(m) : generator;
+  }
+
+  /// Throws ContractViolation when the combination is inconsistent.
+  void validate() const;
+};
+
+}  // namespace zipline::gd

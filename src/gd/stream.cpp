@@ -1,0 +1,172 @@
+#include "gd/stream.hpp"
+
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+#include "crc/crc32.hpp"
+
+namespace zipline::gd {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'G', 'D', 'Z', '1'};
+constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kTagEnd = 0x00;
+constexpr std::uint8_t kTagTail = 0x7F;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        data_[pos_] | (data_[pos_ + 1] << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  std::span<const std::uint8_t> bytes(std::size_t count) {
+    need(count);
+    const auto view = data_.subspan(pos_, count);
+    pos_ += count;
+    return view;
+  }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+ private:
+  void need(std::size_t count) const {
+    if (pos_ + count > data_.size()) {
+      throw std::runtime_error("gd stream: truncated container");
+    }
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+GdParams stream_default_params() {
+  GdParams params;
+  params.model_tofino_padding = false;
+  return params;
+}
+
+std::vector<std::uint8_t> gd_stream_compress(
+    std::span<const std::uint8_t> input, const GdParams& params,
+    StreamStats* stats) {
+  params.validate();
+  ZL_EXPECTS(params.chunk_bits % 8 == 0);
+  ZL_EXPECTS(params.chunk_bits / 8 <= 0xFFFF);
+
+  std::vector<std::uint8_t> out(kMagic, kMagic + 4);
+  out.push_back(kVersion);
+  out.push_back(static_cast<std::uint8_t>(params.m));
+  out.push_back(static_cast<std::uint8_t>(params.id_bits));
+  put_u16(out, static_cast<std::uint16_t>(params.chunk_bits / 8));
+  out.push_back(0);  // reserved: eviction policy (LRU only in v1)
+
+  const std::size_t records_start = out.size();
+  GdEncoder encoder{params};
+  const auto packets = encoder.encode_payload(input);
+  for (const auto& packet : packets) {
+    out.push_back(packet.type == PacketType::raw
+                      ? kTagTail
+                      : static_cast<std::uint8_t>(packet.type));
+    if (packet.type == PacketType::raw) {
+      put_u32(out, static_cast<std::uint32_t>(packet.raw.size()));
+    }
+    const auto body = packet.serialize(params);
+    out.insert(out.end(), body.begin(), body.end());
+  }
+  out.push_back(kTagEnd);
+  put_u32(out, crc::Crc32::of(std::span(out).subspan(records_start)));
+
+  if (stats != nullptr) {
+    stats->input_bytes = input.size();
+    stats->output_bytes = out.size();
+    stats->chunks = encoder.stats().chunks;
+    stats->compressed_packets = encoder.stats().compressed_packets;
+    stats->uncompressed_packets = encoder.stats().uncompressed_packets;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> gd_stream_decompress(
+    std::span<const std::uint8_t> container) {
+  Cursor cur(container);
+  for (const std::uint8_t m : kMagic) {
+    if (cur.u8() != m) throw std::runtime_error("gd stream: bad magic");
+  }
+  if (cur.u8() != kVersion) {
+    throw std::runtime_error("gd stream: unsupported version");
+  }
+  GdParams params = stream_default_params();
+  params.m = cur.u8();
+  params.id_bits = cur.u8();
+  params.chunk_bits = static_cast<std::size_t>(cur.u16()) * 8;
+  (void)cur.u8();  // reserved
+  try {
+    params.validate();
+  } catch (const ContractViolation&) {
+    throw std::runtime_error("gd stream: invalid parameters in header");
+  }
+
+  const std::size_t records_start = cur.position();
+  GdDecoder decoder{params};
+  std::vector<GdPacket> packets;
+  for (;;) {
+    const std::uint8_t tag = cur.u8();
+    if (tag == kTagEnd) break;
+    if (tag == kTagTail) {
+      const std::uint32_t length = cur.u32();
+      const auto body = cur.bytes(length);
+      packets.push_back(
+          GdPacket::make_raw({body.begin(), body.end()}));
+      continue;
+    }
+    if (tag != static_cast<std::uint8_t>(PacketType::uncompressed) &&
+        tag != static_cast<std::uint8_t>(PacketType::compressed)) {
+      throw std::runtime_error("gd stream: unknown record tag");
+    }
+    const auto type = static_cast<PacketType>(tag);
+    const std::size_t body_bytes = type == PacketType::uncompressed
+                                       ? params.type2_payload_bytes()
+                                       : params.type3_payload_bytes();
+    packets.push_back(GdPacket::parse(params, type, cur.bytes(body_bytes)));
+  }
+  const std::size_t records_end = cur.position();
+  const std::uint32_t stored_crc = cur.u32();
+  const std::uint32_t computed = crc::Crc32::of(
+      container.subspan(records_start, records_end - records_start));
+  if (stored_crc != computed) {
+    throw std::runtime_error("gd stream: CRC mismatch");
+  }
+  return decoder.decode_payload(packets);
+}
+
+}  // namespace zipline::gd

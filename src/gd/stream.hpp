@@ -1,0 +1,54 @@
+// GD stream container: file-level compression with the ZipLine codec.
+//
+// The GD line of work the paper builds on also targets file compression
+// for IoT time-series data (refs [35, 37]: lightweight, online, excellent
+// random access). This container frames a GdEncoder's packet stream so a
+// byte buffer (or file) can be compressed and reconstructed stand-alone:
+//
+//   magic "GDZ1" | version | m | id_bits | chunk_bits | policy | reserved
+//   record*: tag (1 B: packet type, 0x7F = raw tail) | payload
+//   tag 0x00 terminates the stream; a CRC-32 trailer covers the records.
+//
+// Types 2/3 have fixed payload sizes derived from the header parameters;
+// raw tails carry an explicit 32-bit length. Both sides run the mirrored-
+// learning codec, so no dictionary is stored — it rebuilds during decode.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gd/codec.hpp"
+
+namespace zipline::gd {
+
+struct StreamStats {
+  std::uint64_t input_bytes = 0;
+  std::uint64_t output_bytes = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t compressed_packets = 0;
+  std::uint64_t uncompressed_packets = 0;
+
+  [[nodiscard]] double ratio() const {
+    return input_bytes == 0 ? 1.0
+                            : static_cast<double>(output_bytes) /
+                                  static_cast<double>(input_bytes);
+  }
+};
+
+/// File-oriented parameter defaults: no Tofino padding (there is no
+/// hardware container to align), everything else as the paper.
+[[nodiscard]] GdParams stream_default_params();
+
+/// Compresses a buffer into a GD stream container.
+[[nodiscard]] std::vector<std::uint8_t> gd_stream_compress(
+    std::span<const std::uint8_t> input,
+    const GdParams& params = stream_default_params(),
+    StreamStats* stats = nullptr);
+
+/// Decompresses a GD stream container. Throws std::runtime_error on
+/// malformed input (bad magic, bad sizes, CRC mismatch).
+[[nodiscard]] std::vector<std::uint8_t> gd_stream_decompress(
+    std::span<const std::uint8_t> container);
+
+}  // namespace zipline::gd

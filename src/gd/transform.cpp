@@ -1,0 +1,35 @@
+#include "gd/transform.hpp"
+
+#include "common/contracts.hpp"
+
+namespace zipline::gd {
+
+GdTransform::GdTransform(const GdParams& params)
+    : params_(params), code_(params.m, params.resolved_generator()) {
+  params_.validate();
+}
+
+TransformedChunk GdTransform::forward(const bits::BitVector& chunk) const {
+  ZL_EXPECTS(chunk.size() == params_.chunk_bits);
+  const std::size_t n = params_.n();
+  bits::BitVector word = chunk.slice(0, n);
+  bits::BitVector excess = chunk.slice(n, params_.excess_bits());
+  hamming::Canonical c = code_.canonicalize(word);
+  return TransformedChunk{std::move(excess), std::move(c.basis), c.syndrome};
+}
+
+bits::BitVector GdTransform::inverse(const TransformedChunk& t) const {
+  return inverse(t.excess, t.basis, t.syndrome);
+}
+
+bits::BitVector GdTransform::inverse(const bits::BitVector& excess,
+                                     const bits::BitVector& basis,
+                                     std::uint32_t syndrome) const {
+  ZL_EXPECTS(excess.size() == params_.excess_bits());
+  ZL_EXPECTS(basis.size() == params_.k());
+  ZL_EXPECTS(syndrome < (std::uint32_t{1} << params_.m));
+  const bits::BitVector word = code_.expand(basis, syndrome);
+  return bits::BitVector::concat(excess, word);
+}
+
+}  // namespace zipline::gd

@@ -1,0 +1,49 @@
+// The GD chunk transform: chunk <-> (excess, basis, deviation).
+//
+// A chunk of `chunk_bits` is split into the low n = 2^m - 1 bits (the
+// Hamming word) and the high `excess` bits that travel verbatim. The
+// Hamming word is canonicalized into a k-bit basis plus an m-bit syndrome
+// (paper Fig. 1); the inverse regenerates the word from the basis and
+// syndrome (paper Fig. 2). Lossless for every possible chunk because
+// Hamming codes are perfect codes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitvector.hpp"
+#include "gd/params.hpp"
+#include "hamming/hamming.hpp"
+
+namespace zipline::gd {
+
+/// Decomposition of one chunk.
+struct TransformedChunk {
+  bits::BitVector excess;  ///< chunk_bits - n verbatim high-order bits
+  bits::BitVector basis;   ///< k bits
+  std::uint32_t syndrome;  ///< m bits
+};
+
+class GdTransform {
+ public:
+  explicit GdTransform(const GdParams& params);
+
+  [[nodiscard]] const GdParams& params() const noexcept { return params_; }
+  [[nodiscard]] const hamming::HammingCode& code() const noexcept {
+    return code_;
+  }
+
+  /// Forward transform; chunk.size() must equal params().chunk_bits.
+  [[nodiscard]] TransformedChunk forward(const bits::BitVector& chunk) const;
+
+  /// Inverse transform, reconstructing the exact original chunk.
+  [[nodiscard]] bits::BitVector inverse(const TransformedChunk& t) const;
+  [[nodiscard]] bits::BitVector inverse(const bits::BitVector& excess,
+                                        const bits::BitVector& basis,
+                                        std::uint32_t syndrome) const;
+
+ private:
+  GdParams params_;
+  hamming::HammingCode code_;
+};
+
+}  // namespace zipline::gd

@@ -1,0 +1,151 @@
+#include "hamming/bch.hpp"
+
+#include "common/contracts.hpp"
+#include "hamming/gf256.hpp"
+
+namespace zipline::hamming {
+
+namespace {
+
+/// Minimal polynomial of alpha^start over GF(2): product of (x + alpha^j)
+/// over the cyclotomic coset {start * 2^i mod 255}. Coefficients land in
+/// GF(2) by construction; returned as packed bits.
+crc::Gf2Poly minimal_polynomial(int start) {
+  // Collect the coset.
+  std::vector<int> coset;
+  int e = start % 255;
+  do {
+    coset.push_back(e);
+    e = (e * 2) % 255;
+  } while (e != start % 255);
+
+  // Multiply out (x + alpha^j) with GF(256) coefficients.
+  std::vector<std::uint8_t> coeffs = {1};  // constant polynomial 1
+  for (const int j : coset) {
+    const std::uint8_t root = Gf256::alpha_pow(j);
+    std::vector<std::uint8_t> next(coeffs.size() + 1, 0);
+    for (std::size_t d = 0; d < coeffs.size(); ++d) {
+      next[d + 1] ^= coeffs[d];                    // x * coeffs
+      next[d] ^= Gf256::mul(coeffs[d], root);      // root * coeffs
+    }
+    coeffs = std::move(next);
+  }
+  std::uint64_t bits = 0;
+  for (std::size_t d = 0; d < coeffs.size(); ++d) {
+    ZL_ASSERT(coeffs[d] == 0 || coeffs[d] == 1);
+    if (coeffs[d] == 1) bits |= std::uint64_t{1} << d;
+  }
+  return crc::Gf2Poly(bits);
+}
+
+crc::Gf2Poly bch_generator() {
+  const crc::Gf2Poly m1 = minimal_polynomial(1);
+  const crc::Gf2Poly m3 = minimal_polynomial(3);
+  ZL_ASSERT(m1.degree() == 8 && m3.degree() == 8);
+  ZL_ASSERT(m1 == crc::Gf2Poly(0x11D));
+  return m1 * m3;
+}
+
+}  // namespace
+
+Bch255::Bch255() : generator_(bch_generator()), crc_(generator_, n) {
+  ZL_ASSERT(generator_.degree() == static_cast<int>(parity_bits));
+}
+
+bits::BitVector Bch255::encode(const bits::BitVector& message) const {
+  ZL_EXPECTS(message.size() == k);
+  const std::uint32_t parity = crc_.compute(message.shifted_up(parity_bits));
+  return bits::BitVector::concat(message,
+                                 bits::BitVector(parity_bits, parity));
+}
+
+BchErrorPattern Bch255::decode_syndrome(std::uint32_t syndrome) const {
+  BchErrorPattern pattern;
+  if (syndrome == 0) {
+    pattern.count = 0;
+    return pattern;
+  }
+  // Evaluate the 16-bit remainder polynomial at alpha and alpha^3; since
+  // g(alpha) = g(alpha^3) = 0, these equal the power-sum syndromes of the
+  // received word itself.
+  const std::uint8_t alpha = Gf256::alpha_pow(1);
+  const std::uint8_t alpha3 = Gf256::alpha_pow(3);
+  const std::uint8_t s1 = Gf256::eval_poly_bits(syndrome, alpha);
+  const std::uint8_t s3 = Gf256::eval_poly_bits(syndrome, alpha3);
+
+  if (s1 == 0) {
+    // Any 1- or 2-bit pattern has s1 = alpha^i (+ alpha^j, i != j) != 0.
+    pattern.count = -1;
+    return pattern;
+  }
+  const std::uint8_t s1_cubed = Gf256::pow(s1, 3);
+  if (s3 == s1_cubed) {
+    pattern.count = 1;
+    pattern.positions[0] = static_cast<std::uint16_t>(Gf256::log(s1));
+    return pattern;
+  }
+  // Two errors: locator x^2 + s1*x + sigma2, sigma2 = (s3 + s1^3)/s1.
+  const std::uint8_t sigma2 = Gf256::div(Gf256::add(s3, s1_cubed), s1);
+  int found = 0;
+  std::array<std::uint16_t, 2> roots{};
+  for (int i = 0; i < 255 && found < 2; ++i) {
+    const std::uint8_t x = Gf256::alpha_pow(i);
+    const std::uint8_t value =
+        Gf256::add(Gf256::add(Gf256::mul(x, x), Gf256::mul(s1, x)), sigma2);
+    if (value == 0) {
+      roots[static_cast<std::size_t>(found++)] =
+          static_cast<std::uint16_t>(i);
+    }
+  }
+  if (found == 2) {
+    pattern.count = 2;
+    pattern.positions = roots;
+  } else {
+    pattern.count = -1;  // > 2 errors; outside every decoding sphere
+  }
+  return pattern;
+}
+
+bits::BitVector Bch255::canonical_mask(std::uint32_t syndrome) const {
+  bits::BitVector mask(n);
+  if (syndrome == 0) return mask;
+  const BchErrorPattern pattern = decode_syndrome(syndrome);
+  if (pattern.count > 0) {
+    for (int i = 0; i < pattern.count; ++i) {
+      mask.set(pattern.positions[static_cast<std::size_t>(i)]);
+    }
+  } else {
+    // Undecodable syndrome: the canonical mask is the syndrome itself in
+    // the parity positions — its remainder mod g is the syndrome, which is
+    // the only property inversion requires.
+    for (std::size_t b = 0; b < parity_bits; ++b) {
+      if ((syndrome >> b) & 1) mask.set(b);
+    }
+  }
+  return mask;
+}
+
+BchCanonical Bch255::canonicalize(const bits::BitVector& word) const {
+  ZL_EXPECTS(word.size() == n);
+  const std::uint32_t s = syndrome(word);
+  if (s == 0) {
+    return BchCanonical{word.slice(parity_bits, k), 0};
+  }
+  bits::BitVector codeword = word;
+  codeword ^= canonical_mask(s);
+  ZL_ASSERT(is_codeword(codeword));
+  return BchCanonical{codeword.slice(parity_bits, k), s};
+}
+
+bits::BitVector Bch255::expand(const bits::BitVector& basis,
+                               std::uint32_t syndrome) const {
+  ZL_EXPECTS(basis.size() == k);
+  ZL_EXPECTS(syndrome < (std::uint32_t{1} << parity_bits));
+  bits::BitVector word = encode(basis);
+  if (syndrome != 0) {
+    word ^= canonical_mask(syndrome);
+  }
+  return word;
+}
+
+}  // namespace zipline::hamming

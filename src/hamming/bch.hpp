@@ -1,0 +1,86 @@
+// BCH(255, 239) double-error-correcting code — the paper's §8 extension
+// ("the CRC module in Tofino switches opens the door to computation of
+// more complex transformations, e.g., BCH codes, by using different
+// generator polynomial parameters. These allow for more chunks to be
+// mapped to each basis, albeit at the cost of a larger deviation").
+//
+// The generator is g(x) = m1(x)·m3(x), the product of the minimal
+// polynomials of α and α³ over GF(2^8): degree 16, so the deviation grows
+// from 8 to 16 bits while every chunk within Hamming distance 2 of a
+// codeword now folds into the same basis.
+//
+// GD totality without perfection: BCH is not a perfect code, so some
+// 16-bit syndromes do not correspond to any ≤2-bit error. The transform
+// stays total and lossless by assigning every syndrome a *canonical error
+// pattern*: the decoded 1–2 bit pattern when one exists (giving the
+// clustering GD wants), else the syndrome value itself placed in the 16
+// parity positions (whose remainder is, by construction, the syndrome).
+// Either way syndrome(pattern(s)) == s, which is all inversion needs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "crc/polynomial.hpp"
+#include "crc/syndrome_crc.hpp"
+
+namespace zipline::hamming {
+
+/// Up to two error positions (polynomial powers).
+struct BchErrorPattern {
+  int count = 0;  ///< 0, 1 or 2 decoded positions; -1 = not decodable
+  std::array<std::uint16_t, 2> positions{};
+};
+
+struct BchCanonical {
+  bits::BitVector basis;   ///< k = 239 message bits
+  std::uint32_t syndrome;  ///< 16-bit deviation
+};
+
+class Bch255 {
+ public:
+  Bch255();
+
+  static constexpr std::size_t n = 255;
+  static constexpr std::size_t k = 239;
+  static constexpr std::size_t parity_bits = 16;
+
+  /// Degree-16 generator polynomial m1(x)·m3(x).
+  [[nodiscard]] crc::Gf2Poly generator() const noexcept { return generator_; }
+
+  /// 16-bit syndrome (plain polynomial remainder), computable on Tofino as
+  /// two chained CRC-8 passes or one CRC-16 with this generator.
+  [[nodiscard]] std::uint32_t syndrome(const bits::BitVector& word) const {
+    return crc_.compute(word);
+  }
+
+  /// Systematic encoding: [message | parity], message in the high powers.
+  [[nodiscard]] bits::BitVector encode(const bits::BitVector& message) const;
+
+  [[nodiscard]] bool is_codeword(const bits::BitVector& word) const {
+    return syndrome(word) == 0;
+  }
+
+  /// Decodes a 16-bit syndrome to its ≤2-bit error pattern when one
+  /// exists (count 0/1/2), or count = -1 when the syndrome lies outside
+  /// every decoding sphere.
+  [[nodiscard]] BchErrorPattern decode_syndrome(std::uint32_t syndrome) const;
+
+  /// Canonical n-bit error mask for *any* syndrome (see file comment).
+  [[nodiscard]] bits::BitVector canonical_mask(std::uint32_t syndrome) const;
+
+  /// GD forward transform: total and lossless for every 255-bit word.
+  [[nodiscard]] BchCanonical canonicalize(const bits::BitVector& word) const;
+
+  /// GD inverse transform.
+  [[nodiscard]] bits::BitVector expand(const bits::BitVector& basis,
+                                       std::uint32_t syndrome) const;
+
+ private:
+  crc::Gf2Poly generator_;
+  crc::SyndromeCrc crc_;
+};
+
+}  // namespace zipline::hamming

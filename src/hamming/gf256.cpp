@@ -1,0 +1,85 @@
+#include "hamming/gf256.hpp"
+
+#include "common/contracts.hpp"
+
+namespace zipline::hamming {
+
+namespace {
+
+struct Tables {
+  std::array<std::uint8_t, 256> exp{};  // exp[i] = alpha^i (i mod 255)
+  std::array<int, 256> log{};           // log[alpha^i] = i; log[0] invalid
+};
+
+Tables make_tables() {
+  Tables t;
+  std::uint16_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+    t.log[static_cast<std::size_t>(x)] = i;
+    x <<= 1;
+    if (x & 0x100) x ^= 0x11D;
+  }
+  t.exp[255] = t.exp[0];
+  t.log[0] = -1;
+  return t;
+}
+
+const Tables& tables() {
+  static const Tables t = make_tables();
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t Gf256::mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = tables();
+  return t.exp[static_cast<std::size_t>(
+      (t.log[a] + t.log[b]) % field_order)];
+}
+
+std::uint8_t Gf256::inverse(std::uint8_t a) {
+  ZL_EXPECTS(a != 0);
+  const auto& t = tables();
+  return t.exp[static_cast<std::size_t>((field_order - t.log[a]) %
+                                        field_order)];
+}
+
+std::uint8_t Gf256::div(std::uint8_t a, std::uint8_t b) {
+  ZL_EXPECTS(b != 0);
+  if (a == 0) return 0;
+  const auto& t = tables();
+  return t.exp[static_cast<std::size_t>(
+      (t.log[a] - t.log[b] + field_order) % field_order)];
+}
+
+std::uint8_t Gf256::alpha_pow(int e) {
+  const int reduced = ((e % field_order) + field_order) % field_order;
+  return tables().exp[static_cast<std::size_t>(reduced)];
+}
+
+int Gf256::log(std::uint8_t a) {
+  ZL_EXPECTS(a != 0);
+  return tables().log[a];
+}
+
+std::uint8_t Gf256::pow(std::uint8_t a, int e) {
+  if (a == 0) {
+    ZL_EXPECTS(e > 0);
+    return 0;
+  }
+  return alpha_pow(log(a) * e);
+}
+
+std::uint8_t Gf256::eval_poly_bits(std::uint64_t poly_bits, std::uint8_t x) {
+  // Horner from the top coefficient down.
+  std::uint8_t acc = 0;
+  for (int i = 63; i >= 0; --i) {
+    acc = mul(acc, x);
+    if ((poly_bits >> i) & 1) acc ^= 1;
+  }
+  return acc;
+}
+
+}  // namespace zipline::hamming

@@ -1,0 +1,42 @@
+// GF(2^8) arithmetic over the primitive polynomial x^8+x^4+x^3+x^2+1
+// (0x11D) — the same polynomial ZipLine's m = 8 deployment feeds the CRC
+// extern, which makes the BCH extension (paper §8) a drop-in: the first
+// 8 syndrome bits of the BCH code are computed by the very same hardware
+// configuration.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace zipline::hamming {
+
+class Gf256 {
+ public:
+  /// Field tables are global constants; the class is a namespace with
+  /// state-free static operations.
+  static constexpr std::uint16_t field_order = 255;  // multiplicative order
+
+  [[nodiscard]] static std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+    return a ^ b;
+  }
+
+  [[nodiscard]] static std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+  [[nodiscard]] static std::uint8_t inverse(std::uint8_t a);
+  [[nodiscard]] static std::uint8_t div(std::uint8_t a, std::uint8_t b);
+
+  /// alpha^e for any integer exponent (reduced mod 255).
+  [[nodiscard]] static std::uint8_t alpha_pow(int e);
+
+  /// Discrete log base alpha; a must be non-zero.
+  [[nodiscard]] static int log(std::uint8_t a);
+
+  /// a^e with a in the field.
+  [[nodiscard]] static std::uint8_t pow(std::uint8_t a, int e);
+
+  /// Evaluates a GF(2)[x] polynomial (bit i = coefficient of x^i, degree
+  /// < 64) at the field element `x`.
+  [[nodiscard]] static std::uint8_t eval_poly_bits(std::uint64_t poly_bits,
+                                                   std::uint8_t x);
+};
+
+}  // namespace zipline::hamming

@@ -1,0 +1,78 @@
+#include "hamming/hamming.hpp"
+
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace zipline::hamming {
+
+namespace {
+constexpr std::uint32_t kInvalidPosition =
+    std::numeric_limits<std::uint32_t>::max();
+}
+
+HammingCode::HammingCode(int m)
+    : HammingCode(m, crc::default_hamming_generator(m)) {}
+
+HammingCode::HammingCode(int m, crc::Gf2Poly generator)
+    : m_(m),
+      n_((std::size_t{1} << m) - 1),
+      k_(n_ - static_cast<std::size_t>(m)),
+      crc_(generator, n_) {
+  ZL_EXPECTS(m >= 3 && m <= 15);
+  ZL_EXPECTS(generator.degree() == m);
+  ZL_EXPECTS(generator.is_primitive());
+  // Invert the single-bit syndrome map. Primitivity guarantees the map
+  // position -> syndrome is a bijection onto the non-zero syndromes.
+  position_of_syndrome_.assign(std::size_t{1} << m, kInvalidPosition);
+  for (std::size_t pos = 0; pos < n_; ++pos) {
+    const std::uint32_t s = crc_.single_bit(pos);
+    ZL_ASSERT(s != 0);
+    ZL_ASSERT(position_of_syndrome_[s] == kInvalidPosition);
+    position_of_syndrome_[s] = static_cast<std::uint32_t>(pos);
+  }
+}
+
+std::size_t HammingCode::error_position(std::uint32_t syndrome) const {
+  ZL_EXPECTS(syndrome != 0 && syndrome < position_of_syndrome_.size());
+  const std::uint32_t pos = position_of_syndrome_[syndrome];
+  ZL_ENSURES(pos != kInvalidPosition);
+  return pos;
+}
+
+bits::BitVector HammingCode::encode(const bits::BitVector& message) const {
+  ZL_EXPECTS(message.size() == k_);
+  const bits::BitVector shifted = message.shifted_up(static_cast<std::size_t>(m_));
+  const std::uint32_t parity = crc_.compute(shifted);
+  return bits::BitVector::concat(message,
+                                 bits::BitVector(static_cast<std::size_t>(m_),
+                                                 parity));
+}
+
+Canonical HammingCode::canonicalize(const bits::BitVector& word) const {
+  ZL_EXPECTS(word.size() == n_);
+  const std::uint32_t s = crc_.compute(word);
+  if (s == 0) {
+    return Canonical{word.slice(static_cast<std::size_t>(m_), k_), 0};
+  }
+  const std::size_t pos = error_position(s);
+  if (pos < static_cast<std::size_t>(m_)) {
+    // The deviation hits a parity bit; the message bits are untouched.
+    return Canonical{word.slice(static_cast<std::size_t>(m_), k_), s};
+  }
+  bits::BitVector corrected = word;
+  corrected.flip(pos);
+  return Canonical{corrected.slice(static_cast<std::size_t>(m_), k_), s};
+}
+
+bits::BitVector HammingCode::expand(const bits::BitVector& basis,
+                                    std::uint32_t syndrome) const {
+  ZL_EXPECTS(basis.size() == k_);
+  bits::BitVector word = encode(basis);
+  if (syndrome != 0) {
+    word.flip(error_position(syndrome));
+  }
+  return word;
+}
+
+}  // namespace zipline::hamming

@@ -1,0 +1,80 @@
+// Hamming(2^m - 1, 2^m - m - 1) codes realized through syndrome-mode CRCs.
+//
+// Systematic convention (verified against the paper's §2 worked example and
+// Table 2): the k message bits occupy the high polynomial powers
+// x^m .. x^(n-1); the m parity bits p = u(x)·x^m mod g(x) occupy the low
+// powers. A word is a codeword iff its syndrome (plain remainder) is zero.
+// Hamming codes are perfect: every n-bit word lies within distance one of
+// exactly one codeword, so `canonicalize` is total — any chunk maps to a
+// (basis, syndrome) pair and back, losslessly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "crc/polynomial.hpp"
+#include "crc/syndrome_crc.hpp"
+
+namespace zipline::hamming {
+
+/// Result of the GD forward transform on one n-bit word.
+struct Canonical {
+  bits::BitVector basis;   ///< k message bits of the nearest codeword
+  std::uint32_t syndrome;  ///< m-bit deviation (0 = word was a codeword)
+};
+
+class HammingCode {
+ public:
+  /// Builds the code of order m (3..15) with the default generator
+  /// polynomial from paper Table 1.
+  explicit HammingCode(int m);
+
+  /// Builds the code from an explicit generator polynomial, which must be
+  /// primitive of degree m (paper Table 1 lists alternatives for some m).
+  HammingCode(int m, crc::Gf2Poly generator);
+
+  [[nodiscard]] int m() const noexcept { return m_; }
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  [[nodiscard]] crc::Gf2Poly generator() const noexcept { return crc_.generator(); }
+
+  /// Syndrome of an n-bit word.
+  [[nodiscard]] std::uint32_t syndrome(const bits::BitVector& word) const {
+    return crc_.compute(word);
+  }
+
+  /// Error position (polynomial power) for a non-zero syndrome.
+  [[nodiscard]] std::size_t error_position(std::uint32_t syndrome) const;
+
+  /// Syndrome announced by a single-bit error at `position`.
+  [[nodiscard]] std::uint32_t syndrome_of_position(std::size_t position) const {
+    return crc_.single_bit(position);
+  }
+
+  /// True if the n-bit word is a codeword.
+  [[nodiscard]] bool is_codeword(const bits::BitVector& word) const {
+    return syndrome(word) == 0;
+  }
+
+  /// Systematic encoding of a k-bit message: [message | parity].
+  [[nodiscard]] bits::BitVector encode(const bits::BitVector& message) const;
+
+  /// GD forward transform (paper Fig. 1 steps 2-5): compute the syndrome,
+  /// flip the indicated bit, truncate parity, return basis + deviation.
+  [[nodiscard]] Canonical canonicalize(const bits::BitVector& word) const;
+
+  /// GD inverse transform (paper Fig. 2 steps 3-7): zero-pad the basis,
+  /// regenerate parity via the same CRC, re-apply the deviation mask.
+  [[nodiscard]] bits::BitVector expand(const bits::BitVector& basis,
+                                       std::uint32_t syndrome) const;
+
+ private:
+  int m_;
+  std::size_t n_;
+  std::size_t k_;
+  crc::SyndromeCrc crc_;
+  std::vector<std::uint32_t> position_of_syndrome_;  // 2^m entries
+};
+
+}  // namespace zipline::hamming

@@ -1,0 +1,69 @@
+#include "net/ethernet.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "crc/crc32.hpp"
+
+namespace zipline::net {
+
+std::size_t EthernetFrame::frame_bytes() const {
+  const std::size_t unpadded =
+      kEthernetHeaderBytes + payload.size() + kEthernetFcsBytes;
+  return std::max(unpadded, kMinFrameBytes);
+}
+
+std::vector<std::uint8_t> EthernetFrame::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(frame_bytes());
+  out.insert(out.end(), dst.octets().begin(), dst.octets().end());
+  out.insert(out.end(), src.octets().begin(), src.octets().end());
+  out.push_back(static_cast<std::uint8_t>(ether_type >> 8));
+  out.push_back(static_cast<std::uint8_t>(ether_type & 0xFF));
+  out.insert(out.end(), payload.begin(), payload.end());
+  // Pad to the 60-byte minimum before FCS.
+  while (out.size() < kMinFrameBytes - kEthernetFcsBytes) out.push_back(0);
+  const std::uint32_t fcs = crc::Crc32::of(out);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(fcs >> (8 * i)));  // little-endian
+  }
+  return out;
+}
+
+EthernetFrame EthernetFrame::parse(std::span<const std::uint8_t> bytes,
+                                   bool verify_fcs) {
+  ZL_EXPECTS(bytes.size() >= kMinFrameBytes);
+  EthernetFrame frame;
+  std::array<std::uint8_t, 6> mac{};
+  std::copy_n(bytes.begin(), 6, mac.begin());
+  frame.dst = MacAddress(mac);
+  std::copy_n(bytes.begin() + 6, 6, mac.begin());
+  frame.src = MacAddress(mac);
+  frame.ether_type =
+      static_cast<std::uint16_t>((bytes[12] << 8) | bytes[13]);
+  const std::size_t payload_end = bytes.size() - kEthernetFcsBytes;
+  frame.payload.assign(bytes.begin() + kEthernetHeaderBytes,
+                       bytes.begin() + static_cast<std::ptrdiff_t>(payload_end));
+  if (verify_fcs) {
+    std::uint32_t stored = 0;
+    for (int i = 0; i < 4; ++i) {
+      stored |= static_cast<std::uint32_t>(bytes[payload_end +
+                                                 static_cast<std::size_t>(i)])
+                << (8 * i);
+    }
+    const std::uint32_t computed = crc::Crc32::of(bytes.first(payload_end));
+    ZL_EXPECTS(stored == computed && "Ethernet FCS mismatch");
+  }
+  return frame;
+}
+
+double wire_time_ns(std::size_t frame_bytes, double gbps) {
+  ZL_EXPECTS(gbps > 0);
+  return static_cast<double>((frame_bytes + kWireOverheadBytes) * 8) / gbps;
+}
+
+double line_rate_pps(std::size_t frame_bytes, double gbps) {
+  return 1e9 / wire_time_ns(frame_bytes, gbps);
+}
+
+}  // namespace zipline::net

@@ -1,0 +1,54 @@
+// Ethernet II framing — the layer-2 substrate ZipLine operates at (§5:
+// "We settled on Ethernet-based framing to provide compatibility with
+// regular Ethernet network cards").
+//
+// Frame sizes in this library follow the paper's convention: they include
+// the 14-byte header and the 4-byte FCS but not the preamble/SFD/IFG,
+// which only matter for wire-time arithmetic (see wire_time_ns helpers).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/mac.hpp"
+
+namespace zipline::net {
+
+constexpr std::size_t kEthernetHeaderBytes = 14;  // dst + src + ethertype
+constexpr std::size_t kEthernetFcsBytes = 4;
+constexpr std::size_t kMinFrameBytes = 64;    // including FCS
+constexpr std::size_t kMaxStandardFrameBytes = 1518;
+constexpr std::size_t kMaxJumboFrameBytes = 9018;
+/// Preamble (7) + SFD (1) + inter-frame gap (12): per-frame wire overhead.
+constexpr std::size_t kWireOverheadBytes = 20;
+
+struct EthernetFrame {
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t ether_type = 0;
+  std::vector<std::uint8_t> payload;
+
+  /// Frame size on the wire including header and FCS, accounting for
+  /// minimum-frame padding.
+  [[nodiscard]] std::size_t frame_bytes() const;
+
+  /// Serializes header + payload (+ zero padding to the 64 B minimum)
+  /// + FCS over the padded frame.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Parses a serialized frame. When `verify_fcs` is set, throws
+  /// ContractViolation on checksum mismatch. The payload retains any
+  /// minimum-frame padding (its original length is not recoverable at
+  /// this layer, exactly as on real hardware).
+  [[nodiscard]] static EthernetFrame parse(std::span<const std::uint8_t> bytes,
+                                           bool verify_fcs = true);
+};
+
+/// Serialization time of a frame at `gbps` including preamble/SFD/IFG.
+[[nodiscard]] double wire_time_ns(std::size_t frame_bytes, double gbps);
+
+/// Frames per second a link sustains at line rate for a given frame size.
+[[nodiscard]] double line_rate_pps(std::size_t frame_bytes, double gbps);
+
+}  // namespace zipline::net

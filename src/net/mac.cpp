@@ -1,0 +1,40 @@
+#include "net/mac.hpp"
+
+#include <cstdio>
+
+#include "common/contracts.hpp"
+
+namespace zipline::net {
+
+namespace {
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+MacAddress MacAddress::parse(std::string_view text) {
+  ZL_EXPECTS(text.size() == 17);
+  std::array<std::uint8_t, 6> octets{};
+  for (int i = 0; i < 6; ++i) {
+    const std::size_t off = static_cast<std::size_t>(i) * 3;
+    const int hi = hex_value(text[off]);
+    const int lo = hex_value(text[off + 1]);
+    ZL_EXPECTS(hi >= 0 && lo >= 0);
+    if (i < 5) ZL_EXPECTS(text[off + 2] == ':');
+    octets[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(hi * 16 + lo);
+  }
+  return MacAddress(octets);
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+}  // namespace zipline::net

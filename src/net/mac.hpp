@@ -1,0 +1,52 @@
+// MAC addresses for the Ethernet framing substrate.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace zipline::net {
+
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::array<std::uint8_t, 6> octets)
+      : octets_(octets) {}
+
+  /// Parses "aa:bb:cc:dd:ee:ff" (case-insensitive).
+  static MacAddress parse(std::string_view text);
+
+  /// Locally-administered unicast address derived from an integer, handy
+  /// for simulations: 02:00:00:xx:xx:xx.
+  static constexpr MacAddress local(std::uint32_t id) {
+    return MacAddress({0x02, 0x00, 0x00, static_cast<std::uint8_t>(id >> 16),
+                       static_cast<std::uint8_t>(id >> 8),
+                       static_cast<std::uint8_t>(id)});
+  }
+
+  static constexpr MacAddress broadcast() {
+    return MacAddress({0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF});
+  }
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 6>& octets() const {
+    return octets_;
+  }
+  [[nodiscard]] bool is_broadcast() const {
+    return *this == broadcast();
+  }
+  [[nodiscard]] bool is_multicast() const { return octets_[0] & 0x01; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const MacAddress&,
+                                   const MacAddress&) = default;
+  friend constexpr auto operator<=>(const MacAddress&,
+                                    const MacAddress&) = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+}  // namespace zipline::net

@@ -1,0 +1,135 @@
+#include "net/pcap.hpp"
+
+#include <bit>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+
+namespace zipline::net {
+
+namespace {
+constexpr std::uint32_t kMagic = 0xA1B2C3D4;
+constexpr std::uint32_t kMagicSwapped = 0xD4C3B2A1;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+std::uint32_t swap32(std::uint32_t v) {
+  return ((v & 0xFF) << 24) | ((v & 0xFF00) << 8) | ((v >> 8) & 0xFF00) |
+         (v >> 24);
+}
+
+void put32(std::ofstream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), 4);
+}
+void put16(std::ofstream& out, std::uint16_t v) {
+  out.write(reinterpret_cast<const char*>(&v), 2);
+}
+}  // namespace
+
+struct PcapWriter::Impl {
+  std::ofstream out;
+};
+
+PcapWriter::PcapWriter(const std::string& path, std::uint32_t snaplen)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->out.open(path, std::ios::binary | std::ios::trunc);
+  if (!impl_->out) {
+    throw std::runtime_error("pcap: cannot open for writing: " + path);
+  }
+  put32(impl_->out, kMagic);
+  put16(impl_->out, 2);  // version major
+  put16(impl_->out, 4);  // version minor
+  put32(impl_->out, 0);  // thiszone
+  put32(impl_->out, 0);  // sigfigs
+  put32(impl_->out, snaplen);
+  put32(impl_->out, kLinkTypeEthernet);
+}
+
+PcapWriter::~PcapWriter() { close(); }
+
+void PcapWriter::write_record(const PcapRecord& record) {
+  ZL_EXPECTS(impl_ && impl_->out.is_open());
+  put32(impl_->out, static_cast<std::uint32_t>(record.timestamp_us / 1000000));
+  put32(impl_->out, static_cast<std::uint32_t>(record.timestamp_us % 1000000));
+  put32(impl_->out, static_cast<std::uint32_t>(record.data.size()));
+  put32(impl_->out, static_cast<std::uint32_t>(record.data.size()));
+  impl_->out.write(reinterpret_cast<const char*>(record.data.data()),
+                   static_cast<std::streamsize>(record.data.size()));
+  ++records_;
+}
+
+void PcapWriter::write_frame(const EthernetFrame& frame,
+                             std::uint64_t timestamp_us) {
+  write_record(PcapRecord{timestamp_us, frame.serialize()});
+}
+
+void PcapWriter::close() {
+  if (impl_ && impl_->out.is_open()) {
+    impl_->out.close();
+  }
+}
+
+struct PcapReader::Impl {
+  std::ifstream in;
+};
+
+PcapReader::PcapReader(const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->in.open(path, std::ios::binary);
+  if (!impl_->in) {
+    throw std::runtime_error("pcap: cannot open for reading: " + path);
+  }
+  std::uint32_t magic = 0;
+  impl_->in.read(reinterpret_cast<char*>(&magic), 4);
+  if (magic == kMagic) {
+    swapped_ = false;
+  } else if (magic == kMagicSwapped) {
+    swapped_ = true;
+  } else {
+    throw std::runtime_error("pcap: unknown magic in " + path);
+  }
+  char skip[16];
+  impl_->in.read(skip, 12);  // version, thiszone, sigfigs
+  impl_->in.read(reinterpret_cast<char*>(&snaplen_), 4);
+  if (swapped_) snaplen_ = swap32(snaplen_);
+  std::uint32_t linktype = 0;
+  impl_->in.read(reinterpret_cast<char*>(&linktype), 4);
+  if (swapped_) linktype = swap32(linktype);
+  if (linktype != kLinkTypeEthernet) {
+    throw std::runtime_error("pcap: unsupported link type");
+  }
+}
+
+PcapReader::~PcapReader() = default;
+
+std::optional<PcapRecord> PcapReader::next() {
+  std::uint32_t header[4];
+  impl_->in.read(reinterpret_cast<char*>(header), 16);
+  if (impl_->in.gcount() == 0) return std::nullopt;
+  if (impl_->in.gcount() != 16) {
+    throw std::runtime_error("pcap: truncated record header");
+  }
+  if (swapped_) {
+    for (auto& h : header) h = swap32(h);
+  }
+  PcapRecord record;
+  record.timestamp_us =
+      static_cast<std::uint64_t>(header[0]) * 1000000 + header[1];
+  const std::uint32_t incl_len = header[2];
+  record.data.resize(incl_len);
+  impl_->in.read(reinterpret_cast<char*>(record.data.data()), incl_len);
+  if (impl_->in.gcount() != static_cast<std::streamsize>(incl_len)) {
+    throw std::runtime_error("pcap: truncated record body");
+  }
+  return record;
+}
+
+std::vector<PcapRecord> PcapReader::read_all() {
+  std::vector<PcapRecord> records;
+  while (auto r = next()) {
+    records.push_back(std::move(*r));
+  }
+  return records;
+}
+
+}  // namespace zipline::net

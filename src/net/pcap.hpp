@@ -1,0 +1,73 @@
+// Classic pcap file format, implemented from scratch.
+//
+// The paper's compression experiments convert datasets "to a pcap trace of
+// Ethernet packets" and replay them at the switch (§7). This module writes
+// and reads the classic (non-ng) format: 24-byte global header with magic
+// 0xA1B2C3D4, microsecond timestamps, LINKTYPE_ETHERNET.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ethernet.hpp"
+
+namespace zipline::net {
+
+struct PcapRecord {
+  std::uint64_t timestamp_us = 0;  ///< microseconds since the epoch
+  std::vector<std::uint8_t> data;  ///< captured frame bytes
+};
+
+class PcapWriter {
+ public:
+  /// Opens `path` for writing and emits the global header.
+  explicit PcapWriter(const std::string& path, std::uint32_t snaplen = 65535);
+  ~PcapWriter();
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  void write_record(const PcapRecord& record);
+  void write_frame(const EthernetFrame& frame, std::uint64_t timestamp_us);
+
+  [[nodiscard]] std::uint64_t records_written() const noexcept {
+    return records_;
+  }
+
+  void close();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint64_t records_ = 0;
+};
+
+class PcapReader {
+ public:
+  /// Opens `path`; throws std::runtime_error if the magic is unknown.
+  explicit PcapReader(const std::string& path);
+  ~PcapReader();
+
+  PcapReader(const PcapReader&) = delete;
+  PcapReader& operator=(const PcapReader&) = delete;
+
+  /// Reads the next record; nullopt at end of file.
+  [[nodiscard]] std::optional<PcapRecord> next();
+
+  /// Convenience: reads the whole file.
+  [[nodiscard]] std::vector<PcapRecord> read_all();
+
+  [[nodiscard]] std::uint32_t snaplen() const noexcept { return snaplen_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  bool swapped_ = false;  ///< file written with opposite endianness
+  std::uint32_t snaplen_ = 0;
+};
+
+}  // namespace zipline::net

@@ -1,0 +1,38 @@
+#include "sim/event_queue.hpp"
+
+#include "common/contracts.hpp"
+
+namespace zipline::sim {
+
+void EventQueue::schedule(SimTime at, std::function<void()> fn) {
+  ZL_EXPECTS(at >= now_ && "cannot schedule into the past");
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+std::size_t EventQueue::run_until(SimTime until) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().at <= until) {
+    // Copy out before pop: the handler may schedule new events.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.at;
+    event.fn();
+    ++executed;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+std::size_t EventQueue::run_all() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.at;
+    event.fn();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace zipline::sim

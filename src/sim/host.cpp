@@ -1,0 +1,131 @@
+#include "sim/host.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace zipline::sim {
+
+Host::Host(Scheduler& scheduler, net::MacAddress mac, HostTiming timing,
+           std::uint64_t seed)
+    : scheduler_(scheduler), mac_(mac), timing_(timing), rng_(seed) {}
+
+SimTime Host::jittered(SimTime nominal) {
+  const double v = static_cast<double>(nominal) +
+                   rng_.next_normal(0.0, timing_.jitter_sigma_ns);
+  return std::max<SimTime>(static_cast<SimTime>(v), 0);
+}
+
+void Host::start_stream(
+    net::MacAddress dst, std::uint64_t count,
+    std::function<std::vector<std::uint8_t>(std::uint64_t)> make_payload,
+    std::function<std::uint16_t(std::uint64_t)> ether_type, SimTime start_at) {
+  ZL_EXPECTS(link_ != nullptr);
+  ZL_EXPECTS(stream_remaining_ == 0 && "stream already in progress");
+  stream_dst_ = dst;
+  stream_remaining_ = count;
+  stream_index_ = 0;
+  make_payload_ = std::move(make_payload);
+  ether_type_ = std::move(ether_type);
+  scheduler_.schedule(start_at, [this] { generate_next(); });
+}
+
+void Host::start_stream(net::MacAddress dst, std::uint64_t count,
+                        std::size_t payload_bytes, std::uint16_t ether_type,
+                        SimTime start_at) {
+  // raw_ethernet_bw semantics: one random buffer allocated up front and
+  // retransmitted for the whole stream.
+  std::vector<std::uint8_t> payload(payload_bytes);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng_.next_u64());
+  start_stream(
+      dst, count, [payload](std::uint64_t) { return payload; },
+      [ether_type](std::uint64_t) { return ether_type; }, start_at);
+}
+
+void Host::generate_next() {
+  if (stream_remaining_ == 0) return;
+  --stream_remaining_;
+  net::EthernetFrame frame;
+  frame.dst = stream_dst_;
+  frame.src = mac_;
+  frame.ether_type = ether_type_(stream_index_);
+  frame.payload = make_payload_(stream_index_);
+  ++stream_index_;
+
+  // App + NIC TX path, then the wire. The link returns when its TX side
+  // frees up; the next frame leaves when both CPU and wire are ready.
+  const SimTime cpu_ready =
+      scheduler_.now() + std::max<SimTime>(timing_.tx_cpu_per_packet, 1);
+  const SimTime on_wire_at = scheduler_.now() + timing_.nic_tx_latency;
+  ++frames_sent_;
+  const SimTime wire_free =
+      link_->transmit(this, std::move(frame), on_wire_at);
+  if (stream_remaining_ > 0) {
+    scheduler_.schedule(std::max(cpu_ready, wire_free - timing_.nic_tx_latency),
+                        [this] { generate_next(); });
+  }
+}
+
+void Host::send_frame(net::EthernetFrame frame, SimTime now) {
+  ZL_EXPECTS(link_ != nullptr);
+  (void)link_->transmit(this, std::move(frame), now + timing_.nic_tx_latency);
+}
+
+void Host::on_frame(const net::EthernetFrame& frame, SimTime now) {
+  const SimTime app_time =
+      now + timing_.nic_rx_latency + jittered(timing_.app_rx_overhead);
+  ++sink_.frames;
+  sink_.frame_bytes += frame.frame_bytes();
+  sink_.payload_bytes += frame.payload.size();
+  if (sink_.first_arrival < 0) sink_.first_arrival = app_time;
+  sink_.last_arrival = app_time;
+
+  // RTT probe return path: we recognize our own probes by source MAC.
+  if (frame.src == mac_ && frame.payload.size() >= 8) {
+    std::uint64_t seq = 0;
+    for (int i = 0; i < 8; ++i) {
+      seq = (seq << 8) | frame.payload[static_cast<std::size_t>(i)];
+    }
+    if (seq < probe_sent_at_.size() && probe_sent_at_[seq] >= 0) {
+      rtt_samples_.push_back(
+          static_cast<double>(app_time - probe_sent_at_[seq]));
+      probe_sent_at_[seq] = -1;
+    }
+  }
+  if (rx_tap_) {
+    const net::EthernetFrame copy = frame;
+    scheduler_.schedule(app_time, [this, copy, app_time] {
+      rx_tap_(copy, app_time);
+    });
+  }
+}
+
+void Host::start_probes(net::MacAddress dst, std::uint64_t count,
+                        std::size_t payload_bytes, SimTime gap,
+                        SimTime start_at) {
+  ZL_EXPECTS(link_ != nullptr);
+  ZL_EXPECTS(payload_bytes >= 8);
+  probe_sent_at_.assign(count, -1);
+  for (std::uint64_t seq = 0; seq < count; ++seq) {
+    scheduler_.schedule(
+        start_at + static_cast<SimTime>(seq) * gap, [this, dst, seq,
+                                                     payload_bytes] {
+          net::EthernetFrame frame;
+          frame.dst = dst;
+          frame.src = mac_;
+          frame.ether_type = 0x5A7E;  // probe marker, passes through
+          frame.payload.assign(payload_bytes, 0);
+          for (int i = 0; i < 8; ++i) {
+            frame.payload[static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(seq >> (8 * (7 - i)));
+          }
+          const SimTime app_send = scheduler_.now();
+          probe_sent_at_[seq] = app_send;
+          const SimTime on_wire = app_send + jittered(timing_.app_tx_overhead) +
+                                  timing_.nic_tx_latency;
+          (void)link_->transmit(this, std::move(frame), on_wire);
+        });
+  }
+}
+
+}  // namespace zipline::sim

@@ -1,0 +1,126 @@
+// End hosts: the Dell R7515 / ConnectX-5 servers of the paper's testbed.
+//
+// The host model reproduces the bottlenecks §7 reports: the traffic
+// generator saturates around 7 Mpkt/s ("bottlenecked at around 7 Mpkt/s by
+// the server generating the traffic"), NIC and userspace add a few
+// microseconds each way, and the sink counts what arrives. A host can also
+// run an RTT probe stream, mirroring raw_ethernet_lat's
+// send-to-self-via-the-switch setup used for Fig. 5.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/scheduler.hpp"
+#include "net/mac.hpp"
+#include "sim/link.hpp"
+
+namespace zipline::sim {
+
+struct HostTiming {
+  /// Per-packet generator CPU cost: 1/7e6 s by default (~7 Mpkt/s cap).
+  SimTime tx_cpu_per_packet = 143;  // ns
+  /// NIC/PCIe latency per direction (ConnectX-5 on PCIe 3.0 x16 with the
+  /// userspace-visible DMA/doorbell costs folded in).
+  SimTime nic_tx_latency = 2500;  // ns
+  SimTime nic_rx_latency = 2500;  // ns
+  /// Userspace overhead on send and on receive completion (timestamping
+  /// happens in the application, as with raw_ethernet_lat).
+  SimTime app_tx_overhead = 4000;  // ns
+  SimTime app_rx_overhead = 3000;  // ns
+  /// Gaussian jitter applied to app overheads.
+  double jitter_sigma_ns = 300;
+};
+
+struct SinkStats {
+  std::uint64_t frames = 0;
+  std::uint64_t frame_bytes = 0;
+  std::uint64_t payload_bytes = 0;
+  SimTime first_arrival = -1;
+  SimTime last_arrival = -1;
+};
+
+class Host final : public LinkEndpoint {
+ public:
+  Host(Scheduler& scheduler, net::MacAddress mac, HostTiming timing = {},
+       std::uint64_t seed = 0x4057);
+
+  void attach_link(Link* link) { link_ = link; }
+  [[nodiscard]] net::MacAddress mac() const noexcept { return mac_; }
+
+  // --- traffic generation -----------------------------------------------
+
+  /// Starts a fixed-rate-capped stream of `count` frames to `dst`, payload
+  /// produced per frame by `make_payload(i)`, EtherType per frame by
+  /// `ether_type(i)`. The achieved rate is min(CPU cap, line rate).
+  void start_stream(net::MacAddress dst, std::uint64_t count,
+                    std::function<std::vector<std::uint8_t>(std::uint64_t)>
+                        make_payload,
+                    std::function<std::uint16_t(std::uint64_t)> ether_type,
+                    SimTime start_at);
+
+  /// Convenience: constant payload bytes / fixed EtherType.
+  void start_stream(net::MacAddress dst, std::uint64_t count,
+                    std::size_t payload_bytes, std::uint16_t ether_type,
+                    SimTime start_at);
+
+  /// Sends a single frame immediately through the normal TX path.
+  void send_frame(net::EthernetFrame frame, SimTime now);
+
+  [[nodiscard]] std::uint64_t frames_sent() const noexcept {
+    return frames_sent_;
+  }
+
+  // --- receive side -------------------------------------------------------
+
+  void on_frame(const net::EthernetFrame& frame, SimTime now) override;
+
+  [[nodiscard]] const SinkStats& sink() const noexcept { return sink_; }
+
+  /// Optional per-frame tap (invoked after app_rx_overhead).
+  void set_rx_tap(
+      std::function<void(const net::EthernetFrame&, SimTime)> tap) {
+    rx_tap_ = std::move(tap);
+  }
+
+  // --- RTT probing ----------------------------------------------------------
+
+  /// Sends `count` probes of `payload_bytes` spaced by `gap`; the network
+  /// must return them to this host (the Fig. 5 hairpin). Completed RTTs
+  /// (app-to-app, in ns) accumulate in rtt_samples().
+  void start_probes(net::MacAddress dst, std::uint64_t count,
+                    std::size_t payload_bytes, SimTime gap, SimTime start_at);
+
+  [[nodiscard]] const std::vector<double>& rtt_samples() const noexcept {
+    return rtt_samples_;
+  }
+
+ private:
+  void generate_next();
+  [[nodiscard]] SimTime jittered(SimTime nominal);
+
+  Scheduler& scheduler_;
+  net::MacAddress mac_;
+  HostTiming timing_;
+  Rng rng_;
+  Link* link_ = nullptr;
+
+  // stream state
+  net::MacAddress stream_dst_;
+  std::uint64_t stream_remaining_ = 0;
+  std::uint64_t stream_index_ = 0;
+  std::function<std::vector<std::uint8_t>(std::uint64_t)> make_payload_;
+  std::function<std::uint16_t(std::uint64_t)> ether_type_;
+  std::uint64_t frames_sent_ = 0;
+
+  // probe state: send timestamp per outstanding probe sequence number.
+  std::vector<SimTime> probe_sent_at_;
+  std::vector<double> rtt_samples_;
+
+  SinkStats sink_;
+  std::function<void(const net::EthernetFrame&, SimTime)> rx_tap_;
+};
+
+}  // namespace zipline::sim

@@ -1,0 +1,28 @@
+#include "sim/link.hpp"
+
+#include <algorithm>
+
+namespace zipline::sim {
+
+SimTime Link::transmit(LinkEndpoint* sender, net::EthernetFrame frame,
+                       SimTime now) {
+  ZL_EXPECTS(a_ != nullptr && b_ != nullptr);
+  ZL_EXPECTS(sender == a_ || sender == b_);
+  const bool from_a = sender == a_;
+  SimTime& busy_until = from_a ? busy_until_ab_ : busy_until_ba_;
+  LinkEndpoint* receiver = from_a ? b_ : a_;
+
+  const auto serialization = static_cast<SimTime>(
+      net::wire_time_ns(frame.frame_bytes(), gbps_));
+  const SimTime start = std::max(now, busy_until);
+  const SimTime done = start + serialization;
+  busy_until = done;
+  const SimTime delivery = done + propagation_;
+  scheduler_.schedule(delivery,
+                      [receiver, frame = std::move(frame), delivery] {
+                        receiver->on_frame(frame, delivery);
+                      });
+  return done;
+}
+
+}  // namespace zipline::sim

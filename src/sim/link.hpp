@@ -1,0 +1,53 @@
+// Point-to-point full-duplex link with serialization and propagation
+// delay. Models the 100 Gbit/s direct-attach connections of the paper's
+// testbed, including per-frame preamble/SFD/IFG overhead.
+#pragma once
+
+#include <functional>
+
+#include "common/contracts.hpp"
+#include "common/scheduler.hpp"
+#include "net/ethernet.hpp"
+
+namespace zipline::sim {
+
+/// Anything that can terminate a link: hosts and switch ports.
+class LinkEndpoint {
+ public:
+  virtual ~LinkEndpoint() = default;
+  virtual void on_frame(const net::EthernetFrame& frame, SimTime now) = 0;
+};
+
+class Link {
+ public:
+  Link(Scheduler& scheduler, double gbps, SimTime propagation_delay)
+      : scheduler_(scheduler), gbps_(gbps), propagation_(propagation_delay) {
+    ZL_EXPECTS(gbps > 0);
+    ZL_EXPECTS(propagation_delay >= 0);
+  }
+
+  void attach(LinkEndpoint* a, LinkEndpoint* b) {
+    ZL_EXPECTS(a != nullptr && b != nullptr);
+    a_ = a;
+    b_ = b;
+  }
+
+  /// Queues a frame from `sender` (must be an attached endpoint); returns
+  /// the time at which the sender's side of the link becomes free again —
+  /// the sender's natural pacing signal.
+  SimTime transmit(LinkEndpoint* sender, net::EthernetFrame frame,
+                   SimTime now);
+
+  [[nodiscard]] double gbps() const noexcept { return gbps_; }
+
+ private:
+  Scheduler& scheduler_;
+  double gbps_;
+  SimTime propagation_;
+  LinkEndpoint* a_ = nullptr;
+  LinkEndpoint* b_ = nullptr;
+  SimTime busy_until_ab_ = 0;
+  SimTime busy_until_ba_ = 0;
+};
+
+}  // namespace zipline::sim

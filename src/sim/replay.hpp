@@ -1,0 +1,71 @@
+// Trace replay harness for the compression experiment (Fig. 3).
+//
+// Replays a sequence of chunk payloads into an encode switch at a fixed
+// packet rate, with the control plane running on the same virtual clock,
+// and reads the per-class byte counters afterwards — the paper's own
+// methodology ("we replay these traces to our switch and monitor which
+// action ZipLine undertakes with the payload of each packet. We then
+// deduce the payload size, as each action produces a packet type of a
+// fixed size.").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "zipline/controller.hpp"
+#include "zipline/program.hpp"
+
+namespace zipline::sim {
+
+enum class TableMode : std::uint8_t {
+  none,     ///< compression table stays empty (Fig. 3 "no table")
+  static_,  ///< all bases preloaded (Fig. 3 "static table")
+  dynamic,  ///< learned through the control plane (Fig. 3 "dynamic learning")
+};
+
+struct ReplayConfig {
+  prog::ZipLineConfig switch_config;
+  prog::ControlPlaneTiming cp_timing;
+  TableMode table_mode = TableMode::dynamic;
+  /// Replay rate in packets per second (pcap replay pacing).
+  double replay_pps = 10000.0;
+  std::uint64_t seed = 1;
+};
+
+struct ReplayResult {
+  std::uint64_t packets = 0;
+  std::uint64_t original_bytes = 0;  ///< sum of raw chunk payloads
+  std::uint64_t output_bytes = 0;    ///< sum of produced payload sizes
+  std::uint64_t type2_packets = 0;
+  std::uint64_t type3_packets = 0;
+  std::uint64_t passthrough_packets = 0;
+  std::uint64_t bases_learned = 0;
+
+  [[nodiscard]] double ratio() const {
+    return original_bytes == 0 ? 1.0
+                               : static_cast<double>(output_bytes) /
+                                     static_cast<double>(original_bytes);
+  }
+};
+
+class TraceReplay {
+ public:
+  explicit TraceReplay(const ReplayConfig& config);
+
+  /// Replays the payload sequence; each payload is one packet.
+  ReplayResult replay(std::span<const std::vector<std::uint8_t>> payloads);
+
+  [[nodiscard]] prog::ZipLineProgram& program() noexcept { return *program_; }
+  [[nodiscard]] prog::Controller& controller() noexcept { return *controller_; }
+
+ private:
+  ReplayConfig config_;
+  EventQueue events_;
+  std::shared_ptr<prog::ZipLineProgram> program_;
+  std::unique_ptr<tofino::SwitchModel> model_;
+  std::unique_ptr<prog::Controller> controller_;
+};
+
+}  // namespace zipline::sim

@@ -1,0 +1,37 @@
+// Sample statistics used by the benchmark harnesses: the paper reports
+// "the average and the 95% confidence interval" over 10 repetitions (§7).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace zipline::sim {
+
+struct SampleStats {
+  double mean = 0;
+  double stddev = 0;
+  double ci95_half_width = 0;  ///< half-width of the 95% CI of the mean
+  std::size_t count = 0;
+};
+
+inline SampleStats summarize(const std::vector<double>& samples) {
+  SampleStats s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  double sum = 0;
+  for (const double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() < 2) return s;
+  double sq = 0;
+  for (const double v : samples) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(samples.size() - 1));
+  // Normal-approximation 95% CI (the paper's repetition count is 10; the
+  // z value is close enough to the t value for presentation purposes).
+  s.ci95_half_width =
+      1.96 * s.stddev / std::sqrt(static_cast<double>(samples.size()));
+  return s;
+}
+
+}  // namespace zipline::sim

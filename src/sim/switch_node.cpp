@@ -1,0 +1,38 @@
+#include "sim/switch_node.hpp"
+
+#include "common/contracts.hpp"
+
+namespace zipline::sim {
+
+SwitchNode::SwitchNode(Scheduler& scheduler,
+                       std::shared_ptr<tofino::SwitchModel> model)
+    : scheduler_(scheduler), model_(std::move(model)) {
+  ZL_EXPECTS(model_ != nullptr);
+}
+
+LinkEndpoint* SwitchNode::port_endpoint(tofino::PortId port, Link* link) {
+  ZL_EXPECTS(link != nullptr);
+  auto& endpoint = endpoints_[port];
+  if (!endpoint) endpoint = std::make_unique<PortEndpoint>(*this, port);
+  links_[port] = link;
+  return endpoint.get();
+}
+
+void SwitchNode::handle_frame(const net::EthernetFrame& frame,
+                              tofino::PortId port, SimTime now) {
+  const tofino::ForwardResult result = model_->process(frame, port, now);
+  if (post_process_) post_process_();
+  if (result.dropped) return;
+  const auto it = links_.find(result.egress_port);
+  ZL_EXPECTS(it != links_.end() && "egress port has no attached link");
+  Link* out_link = it->second;
+  LinkEndpoint* out_endpoint = endpoints_[result.egress_port].get();
+  scheduler_.schedule(result.ready_at,
+                      [out_link, out_endpoint, frame = result.frame,
+                       t = result.ready_at]() mutable {
+                        (void)out_link->transmit(out_endpoint,
+                                                 std::move(frame), t);
+                      });
+}
+
+}  // namespace zipline::sim

@@ -1,0 +1,55 @@
+// Binds a Tofino SwitchModel into the network: one LinkEndpoint per port,
+// digest polling into the control plane after each packet, and egress
+// transmission through the attached links.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/scheduler.hpp"
+#include "sim/link.hpp"
+#include "tofino/pipeline.hpp"
+
+namespace zipline::sim {
+
+class SwitchNode {
+ public:
+  SwitchNode(Scheduler& scheduler, std::shared_ptr<tofino::SwitchModel> model);
+
+  /// Attaches `link` to switch `port`; returns the LinkEndpoint for that
+  /// port (to be wired into Link::attach).
+  [[nodiscard]] LinkEndpoint* port_endpoint(tofino::PortId port, Link* link);
+
+  /// Invoked after every processed packet (digest polling hook).
+  void set_post_process_hook(std::function<void()> hook) {
+    post_process_ = std::move(hook);
+  }
+
+  [[nodiscard]] tofino::SwitchModel& model() noexcept { return *model_; }
+
+ private:
+  class PortEndpoint final : public LinkEndpoint {
+   public:
+    PortEndpoint(SwitchNode& owner, tofino::PortId port)
+        : owner_(owner), port_(port) {}
+    void on_frame(const net::EthernetFrame& frame, SimTime now) override {
+      owner_.handle_frame(frame, port_, now);
+    }
+
+   private:
+    SwitchNode& owner_;
+    tofino::PortId port_;
+  };
+
+  void handle_frame(const net::EthernetFrame& frame, tofino::PortId port,
+                    SimTime now);
+
+  Scheduler& scheduler_;
+  std::shared_ptr<tofino::SwitchModel> model_;
+  std::unordered_map<tofino::PortId, std::unique_ptr<PortEndpoint>> endpoints_;
+  std::unordered_map<tofino::PortId, Link*> links_;
+  std::function<void()> post_process_;
+};
+
+}  // namespace zipline::sim

@@ -1,0 +1,109 @@
+// The paper's testbed (§7), assembled: two servers connected at
+// 100 Gbit/s through one Wedge100BF-32X running the ZipLine program, plus
+// the control plane. Experiment runners for Figures 4 and 5 and for the
+// dynamic-learning measurement live here and are shared by the benchmark
+// binaries and the examples.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/host.hpp"
+#include "sim/link.hpp"
+#include "sim/stats.hpp"
+#include "sim/switch_node.hpp"
+#include "zipline/controller.hpp"
+#include "zipline/program.hpp"
+
+namespace zipline::sim {
+
+struct TestbedConfig {
+  prog::ZipLineConfig switch_config;
+  prog::ControlPlaneTiming cp_timing;
+  HostTiming host_timing;
+  double link_gbps = 100.0;
+  SimTime propagation_delay = 25;  // ns; a few meters of DAC cable
+  /// Hairpin wiring (port 1 -> port 1): the Fig. 5 send-to-self setup.
+  bool hairpin = false;
+  std::uint64_t seed = 1;
+};
+
+/// Two servers, one switch, one control plane.
+class Testbed {
+ public:
+  explicit Testbed(const TestbedConfig& config);
+
+  [[nodiscard]] EventQueue& events() noexcept { return events_; }
+  [[nodiscard]] Host& server1() noexcept { return *server1_; }
+  [[nodiscard]] Host& server2() noexcept { return *server2_; }
+  [[nodiscard]] prog::ZipLineProgram& program() noexcept { return *program_; }
+  [[nodiscard]] prog::Controller& controller() noexcept { return *controller_; }
+  [[nodiscard]] tofino::SwitchModel& switch_model() noexcept {
+    return switch_node_->model();
+  }
+
+ private:
+  EventQueue events_;
+  std::shared_ptr<prog::ZipLineProgram> program_;
+  std::unique_ptr<SwitchNode> switch_node_;
+  std::unique_ptr<Host> server1_;
+  std::unique_ptr<Host> server2_;
+  std::unique_ptr<Link> link1_;
+  std::unique_ptr<Link> link2_;
+  std::unique_ptr<prog::Controller> controller_;
+};
+
+// ---------------------------------------------------------------------------
+// Figure 4: throughput
+// ---------------------------------------------------------------------------
+
+struct ThroughputResult {
+  double gbps = 0;
+  double mpps = 0;
+  std::uint64_t frames = 0;
+};
+
+/// Streams `duration` worth of `frame_bytes`-sized frames from server 1 to
+/// server 2 with the switch performing `op`; measures the receiver-side
+/// steady-state rate (after `warmup`). For the encode/decode operations the
+/// 64 B row carries genuine GD traffic (32 B chunk payloads / type-2
+/// payloads); larger frames pass through the program untouched, as any
+/// non-chunk traffic does on the real artifact.
+ThroughputResult run_throughput(prog::SwitchOp op, std::size_t frame_bytes,
+                                SimTime duration, SimTime warmup = 0,
+                                std::uint64_t seed = 1);
+
+// ---------------------------------------------------------------------------
+// Figure 5: latency
+// ---------------------------------------------------------------------------
+
+struct LatencyResult {
+  SampleStats rtt_us;
+  std::vector<double> samples_us;
+};
+
+/// One server pings itself through the switch (hairpin), RTT measured
+/// app-to-app, with the switch performing `op`.
+LatencyResult run_latency(prog::SwitchOp op, std::uint64_t probes,
+                          std::uint64_t seed = 1);
+
+// ---------------------------------------------------------------------------
+// §7 "Dynamic learning": time from first type-2 to first type-3
+// ---------------------------------------------------------------------------
+
+struct LearningResult {
+  SampleStats learning_ms;
+  std::vector<double> samples_ms;
+};
+
+/// Repeats the paper's experiment `repetitions` times: blast copies of one
+/// (per-repetition) chunk through an encode switch with an empty table and
+/// measure, at the destination, the gap between the first uncompressed and
+/// the first compressed packet.
+LearningResult run_learning(std::uint64_t repetitions,
+                            const prog::ControlPlaneTiming& timing = {},
+                            std::uint64_t seed = 1);
+
+}  // namespace zipline::sim

@@ -1,0 +1,155 @@
+// Data-plane externs: the CRC unit, register arrays, counters and digest
+// streams that the ZipLine program uses on the Tofino model.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "common/contracts.hpp"
+#include "common/time.hpp"
+#include "crc/polynomial.hpp"
+#include "crc/syndrome_crc.hpp"
+
+namespace zipline::tofino {
+
+/// The Tofino CRC engine, configured with a custom generator polynomial in
+/// plain-remainder mode — exactly the configuration that makes CRC-m emit
+/// Hamming syndromes (paper §2, Table 1). One instance per polynomial and
+/// input width, as on hardware where the hash unit is statically
+/// configured per use.
+class CrcExtern {
+ public:
+  CrcExtern(crc::Gf2Poly generator, std::size_t input_bits)
+      : crc_(generator, input_bits) {}
+
+  [[nodiscard]] std::uint32_t compute(const bits::BitVector& input) const {
+    ++invocations_;
+    return crc_.compute(input);
+  }
+
+  [[nodiscard]] std::size_t input_bits() const noexcept { return crc_.n(); }
+  [[nodiscard]] int width() const noexcept { return crc_.m(); }
+  [[nodiscard]] std::uint64_t invocations() const noexcept {
+    return invocations_;
+  }
+
+ private:
+  crc::SyndromeCrc crc_;
+  mutable std::uint64_t invocations_ = 0;
+};
+
+/// Register array: data-plane state with constant-time read-modify-write,
+/// the mechanism behind the paper's abandoned "instant learning" design
+/// (§6). Cell width is fixed at construction.
+class RegisterArray {
+ public:
+  RegisterArray(std::string name, std::size_t cells, std::size_t cell_bits)
+      : name_(std::move(name)), cell_bits_(cell_bits),
+        cells_(cells, bits::BitVector(cell_bits)) {
+    ZL_EXPECTS(cells >= 1);
+    ZL_EXPECTS(cell_bits >= 1);
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+  [[nodiscard]] std::size_t cell_bits() const noexcept { return cell_bits_; }
+
+  [[nodiscard]] const bits::BitVector& read(std::size_t index) const {
+    ZL_EXPECTS(index < cells_.size());
+    return cells_[index];
+  }
+
+  void write(std::size_t index, const bits::BitVector& value) {
+    ZL_EXPECTS(index < cells_.size());
+    ZL_EXPECTS(value.size() == cell_bits_);
+    cells_[index] = value;
+  }
+
+ private:
+  std::string name_;
+  std::size_t cell_bits_;
+  std::vector<bits::BitVector> cells_;
+};
+
+/// Indexed packet/byte counters (the paper adds these for per-packet-type
+/// statistics, §5 last paragraph).
+class CounterArray {
+ public:
+  CounterArray(std::string name, std::size_t size)
+      : name_(std::move(name)), packets_(size, 0), bytes_(size, 0) {}
+
+  void count(std::size_t index, std::size_t packet_bytes) {
+    ZL_EXPECTS(index < packets_.size());
+    ++packets_[index];
+    bytes_[index] += packet_bytes;
+  }
+
+  [[nodiscard]] std::uint64_t packets(std::size_t index) const {
+    ZL_EXPECTS(index < packets_.size());
+    return packets_[index];
+  }
+  [[nodiscard]] std::uint64_t bytes(std::size_t index) const {
+    ZL_EXPECTS(index < bytes_.size());
+    return bytes_[index];
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t size() const noexcept { return packets_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<std::uint64_t> packets_;
+  std::vector<std::uint64_t> bytes_;
+};
+
+/// Digest stream: the data plane's message channel to the control plane
+/// (TNA digests). Records are timestamped at emission; the control plane
+/// receives them after its own modeled delay.
+struct DigestRecord {
+  SimTime emitted_at = 0;
+  bits::BitVector payload;
+};
+
+class DigestStream {
+ public:
+  explicit DigestStream(std::string name, std::size_t queue_limit = 4096)
+      : name_(std::move(name)), queue_limit_(queue_limit) {}
+
+  /// Emits a digest; returns false (and drops) when the queue is full —
+  /// hardware digests are lossy under pressure.
+  bool emit(const bits::BitVector& payload, SimTime now) {
+    if (queue_.size() >= queue_limit_) {
+      ++dropped_;
+      return false;
+    }
+    queue_.push_back(DigestRecord{now, payload});
+    ++emitted_;
+    return true;
+  }
+
+  /// Drains all digests emitted at or before `until`.
+  [[nodiscard]] std::vector<DigestRecord> drain(SimTime until) {
+    std::vector<DigestRecord> out;
+    while (!queue_.empty() && queue_.front().emitted_at <= until) {
+      out.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::size_t queue_limit_;
+  std::deque<DigestRecord> queue_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace zipline::tofino

@@ -1,0 +1,58 @@
+#include "tofino/phv.hpp"
+
+#include "common/contracts.hpp"
+
+namespace zipline::tofino {
+
+void Phv::declare(const std::string& name, std::size_t bits) {
+  ZL_EXPECTS(bits >= 1 && bits <= 4096);
+  const auto [it, inserted] =
+      fields_.emplace(name, Field{bits, bits::BitVector(bits)});
+  if (!inserted) {
+    ZL_EXPECTS(it->second.bits == bits && "redeclared with different width");
+    it->second.value = bits::BitVector(bits);
+  }
+}
+
+bool Phv::has(const std::string& name) const {
+  return fields_.find(name) != fields_.end();
+}
+
+const bits::BitVector& Phv::get(const std::string& name) const {
+  const auto it = fields_.find(name);
+  ZL_EXPECTS(it != fields_.end() && "read of undeclared PHV field");
+  return it->second.value;
+}
+
+std::uint64_t Phv::get_uint(const std::string& name) const {
+  return get(name).to_uint64();
+}
+
+void Phv::set(const std::string& name, const bits::BitVector& value) {
+  const auto it = fields_.find(name);
+  ZL_EXPECTS(it != fields_.end() && "write to undeclared PHV field");
+  ZL_EXPECTS(it->second.bits == value.size() && "PHV field width mismatch");
+  it->second.value = value;
+}
+
+void Phv::set_uint(const std::string& name, std::uint64_t value) {
+  const auto it = fields_.find(name);
+  ZL_EXPECTS(it != fields_.end() && "write to undeclared PHV field");
+  set(name, bits::BitVector(it->second.bits, value));
+}
+
+std::size_t Phv::container_bits() const {
+  std::size_t total = 0;
+  for (const auto& [name, field] : fields_) {
+    total += (field.bits + 7) / 8 * 8;
+  }
+  return total;
+}
+
+std::size_t Phv::field_bits() const {
+  std::size_t total = 0;
+  for (const auto& [name, field] : fields_) total += field.bits;
+  return total;
+}
+
+}  // namespace zipline::tofino

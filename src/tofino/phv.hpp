@@ -1,0 +1,67 @@
+// Packet header vector (PHV) — the per-packet state that flows through a
+// Tofino-style match-action pipeline.
+//
+// Hardware PHVs are collections of 8/16/32-bit containers; header fields
+// are byte-aligned on the wire (the paper's §6 lesson: "header declarations
+// in P4-16 must be aligned on byte boundaries", forcing padding bits for
+// the never-byte-aligned Hamming sizes). This model keeps named fields of
+// arbitrary bit width but accounts the container cost of each field the
+// way the hardware would, so programs can report the padding overhead the
+// paper measured.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "common/time.hpp"
+
+namespace zipline::tofino {
+
+using PortId = std::uint16_t;
+
+/// Per-packet intrinsic metadata (subset of TNA's ig_intr_md / tm_md).
+struct IntrinsicMetadata {
+  PortId ingress_port = 0;
+  PortId egress_port = 0;
+  bool drop = false;
+  SimTime ingress_timestamp = 0;
+};
+
+class Phv {
+ public:
+  /// Declares a field of `bits` width; fields must be declared before use
+  /// (parser does this), mirroring P4's typed headers.
+  void declare(const std::string& name, std::size_t bits);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Field accessors. Reading an undeclared field throws.
+  [[nodiscard]] const bits::BitVector& get(const std::string& name) const;
+  [[nodiscard]] std::uint64_t get_uint(const std::string& name) const;
+  void set(const std::string& name, const bits::BitVector& value);
+  void set_uint(const std::string& name, std::uint64_t value);
+
+  /// Total container bits consumed, rounding each field up to the next
+  /// whole byte (the alignment cost the paper's §6 describes).
+  [[nodiscard]] std::size_t container_bits() const;
+  /// Total declared (logical) bits.
+  [[nodiscard]] std::size_t field_bits() const;
+
+  IntrinsicMetadata meta;
+
+  /// Opaque payload bytes not parsed into fields.
+  std::vector<std::uint8_t> payload;
+
+ private:
+  struct Field {
+    std::size_t bits = 0;
+    bits::BitVector value;
+  };
+  std::unordered_map<std::string, Field> fields_;
+};
+
+}  // namespace zipline::tofino

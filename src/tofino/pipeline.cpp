@@ -1,0 +1,53 @@
+#include "tofino/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace zipline::tofino {
+
+SwitchModel::SwitchModel(std::string name,
+                         std::shared_ptr<PipelineProgram> program,
+                         PipelineTiming timing)
+    : name_(std::move(name)), program_(std::move(program)), timing_(timing) {
+  ZL_EXPECTS(program_ != nullptr);
+  ZL_EXPECTS(timing_.pipeline_latency >= 0);
+  ZL_EXPECTS(timing_.max_packets_per_second > 0);
+}
+
+ForwardResult SwitchModel::process(const net::EthernetFrame& frame,
+                                   PortId ingress_port, SimTime now) {
+  ++stats_.packets_in;
+  stats_.bytes_in += frame.frame_bytes();
+
+  // Enforce the ASIC packet-rate ceiling (a no-op at 100G port speeds).
+  const auto service_ns =
+      static_cast<SimTime>(1e9 / timing_.max_packets_per_second);
+  const SimTime start = std::max(now, next_free_);
+  next_free_ = start + std::max<SimTime>(service_ns, 0);
+
+  Phv phv;
+  phv.meta.ingress_port = ingress_port;
+  phv.meta.ingress_timestamp = now;
+  program_->parse(frame, phv);
+  program_->ingress(phv);
+  if (phv.meta.drop) {
+    ++stats_.packets_dropped;
+    return ForwardResult{true, 0, {}, start + timing_.pipeline_latency};
+  }
+  program_->egress(phv);
+  if (phv.meta.drop) {
+    ++stats_.packets_dropped;
+    return ForwardResult{true, 0, {}, start + timing_.pipeline_latency};
+  }
+  ForwardResult result;
+  result.dropped = false;
+  result.egress_port = phv.meta.egress_port;
+  result.frame = program_->deparse(phv);
+  result.ready_at = start + timing_.pipeline_latency;
+  ++stats_.packets_out;
+  stats_.bytes_out += result.frame.frame_bytes();
+  return result;
+}
+
+}  // namespace zipline::tofino

@@ -1,0 +1,91 @@
+#include "tofino/table.hpp"
+
+#include <algorithm>
+
+namespace zipline::tofino {
+
+ExactMatchTable::ExactMatchTable(std::string name, std::size_t capacity,
+                                 SimTime default_ttl)
+    : name_(std::move(name)), capacity_(capacity), default_ttl_(default_ttl) {
+  ZL_EXPECTS(capacity >= 1);
+  entries_.reserve(capacity);
+}
+
+std::optional<bits::BitVector> ExactMatchTable::lookup(
+    const bits::BitVector& key, SimTime now) {
+  ++stats_.lookups;
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  it->second.last_hit = now;
+  return it->second.value;
+}
+
+void ExactMatchTable::install(const bits::BitVector& key,
+                              const bits::BitVector& value, SimTime now) {
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.value = value;
+    it->second.installed = now;
+    it->second.last_hit = now;
+    ++stats_.installs;
+    return;
+  }
+  ZL_EXPECTS(!full() && "table full: control plane must remove entries first");
+  entries_.emplace(key, Entry{value, now, now});
+  ++stats_.installs;
+}
+
+bool ExactMatchTable::remove(const bits::BitVector& key) {
+  const bool erased = entries_.erase(key) > 0;
+  if (erased) ++stats_.removes;
+  return erased;
+}
+
+std::vector<bits::BitVector> ExactMatchTable::idle_keys(SimTime now) const {
+  std::vector<bits::BitVector> idle;
+  if (default_ttl_ <= 0) return idle;
+  for (const auto& [key, entry] : entries_) {
+    if (now - entry.last_hit >= default_ttl_) idle.push_back(key);
+  }
+  return idle;
+}
+
+std::vector<bits::BitVector> ExactMatchTable::expire_idle(SimTime now) {
+  std::vector<bits::BitVector> idle = idle_keys(now);
+  for (const auto& key : idle) {
+    entries_.erase(key);
+    ++stats_.idle_expiries;
+  }
+  return idle;
+}
+
+std::optional<bits::BitVector> ExactMatchTable::least_recently_used() const {
+  if (entries_.empty()) return std::nullopt;
+  const auto it = std::min_element(
+      entries_.begin(), entries_.end(), [](const auto& a, const auto& b) {
+        return a.second.last_hit < b.second.last_hit;
+      });
+  return it->first;
+}
+
+std::vector<bits::BitVector> ExactMatchTable::keys() const {
+  std::vector<bits::BitVector> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(key);
+  return out;
+}
+
+std::size_t ExactMatchTable::sram_bits_estimate() const {
+  std::size_t bits = 0;
+  for (const auto& [key, entry] : entries_) {
+    bits += (key.size() + 7) / 8 * 8;
+    bits += (entry.value.size() + 7) / 8 * 8;
+  }
+  return bits;
+}
+
+}  // namespace zipline::tofino

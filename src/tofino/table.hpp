@@ -1,0 +1,96 @@
+// Exact-match match-action table with per-entry idle timeout (TTL).
+//
+// Mirrors the TNA features ZipLine leans on (§5/§6): the data plane can
+// only *look up* entries; all mutation goes through the control-plane API
+// (install/remove). Entries carry an idle timeout: hits refresh the entry's
+// last-hit timestamp, and `expire_idle` reports entries whose TTL elapsed —
+// the mechanism the paper uses to drive its LRU identifier recycling from
+// the control plane.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "common/contracts.hpp"
+#include "common/time.hpp"
+
+namespace zipline::tofino {
+
+struct TableStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t installs = 0;
+  std::uint64_t removes = 0;
+  std::uint64_t idle_expiries = 0;
+};
+
+/// Exact-match table mapping a BitVector key to a BitVector action value.
+/// Keys of differing widths are allowed by the model but a single table is
+/// normally homogeneous (the program decides).
+class ExactMatchTable {
+ public:
+  /// `capacity` bounds the number of entries, as SRAM does on hardware.
+  /// `default_ttl` == 0 disables idle timeout tracking.
+  ExactMatchTable(std::string name, std::size_t capacity,
+                  SimTime default_ttl = 0);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool full() const noexcept { return size() >= capacity_; }
+  [[nodiscard]] const TableStats& stats() const noexcept { return stats_; }
+
+  // --- data-plane API ------------------------------------------------------
+
+  /// Lookup; a hit refreshes the entry's last-hit time.
+  [[nodiscard]] std::optional<bits::BitVector> lookup(
+      const bits::BitVector& key, SimTime now);
+
+  // --- control-plane API ---------------------------------------------------
+
+  /// Installs or overwrites an entry. Throws when the table is full and the
+  /// key is new (the control plane must free space first, as on hardware).
+  void install(const bits::BitVector& key, const bits::BitVector& value,
+               SimTime now);
+
+  /// Removes an entry; returns false when the key is absent.
+  bool remove(const bits::BitVector& key);
+
+  /// Returns (and counts) keys idle for at least the TTL at time `now` —
+  /// the model of TNA's idle-timeout notifications.
+  [[nodiscard]] std::vector<bits::BitVector> idle_keys(SimTime now) const;
+
+  /// Removes idle entries and returns them.
+  std::vector<bits::BitVector> expire_idle(SimTime now);
+
+  /// The key least recently hit (what the paper's control plane evicts).
+  [[nodiscard]] std::optional<bits::BitVector> least_recently_used() const;
+
+  /// Iteration support for the control plane (snapshot of keys).
+  [[nodiscard]] std::vector<bits::BitVector> keys() const;
+
+  /// Estimated SRAM bits consumed (key + value, byte-aligned words), for
+  /// the resource accounting the paper's §6 discusses.
+  [[nodiscard]] std::size_t sram_bits_estimate() const;
+
+ private:
+  struct Entry {
+    bits::BitVector value;
+    SimTime last_hit = 0;
+    SimTime installed = 0;
+  };
+
+  std::string name_;
+  std::size_t capacity_;
+  SimTime default_ttl_;
+  std::unordered_map<bits::BitVector, Entry, bits::BitVectorHash> entries_;
+  TableStats stats_;
+};
+
+}  // namespace zipline::tofino

@@ -1,0 +1,92 @@
+#include "trace/dns.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace zipline::trace {
+
+namespace {
+
+/// Builds the invariant 32 bytes of a query for name index `i`:
+/// DNS header without the transaction id (flags, counts) + question.
+std::array<std::uint8_t, 32> query_template(std::size_t name_index) {
+  std::array<std::uint8_t, 32> q{};
+  std::size_t off = 0;
+  // Header (minus the 2-byte transaction id): flags = 0x0100 (RD),
+  // QDCOUNT=1, ANCOUNT=NSCOUNT=ARCOUNT=0.
+  q[off++] = 0x01;
+  q[off++] = 0x00;
+  q[off++] = 0x00;
+  q[off++] = 0x01;
+  off += 6;  // zero counts
+  // QNAME: "hNNNN.campus.edu" style, fixed-width label so every query is
+  // exactly 34 B like the paper's filtered capture.
+  char host[8];
+  std::snprintf(host, sizeof host, "h%04zu", name_index % 10000);
+  q[off++] = 5;  // label length
+  for (int i = 0; i < 5; ++i) q[off++] = static_cast<std::uint8_t>(host[i]);
+  static constexpr char campus[] = "campus";
+  q[off++] = 6;
+  for (const char c : campus) {
+    if (c != '\0') q[off++] = static_cast<std::uint8_t>(c);
+  }
+  static constexpr char edu[] = "edu";
+  q[off++] = 3;
+  for (const char c : edu) {
+    if (c != '\0') q[off++] = static_cast<std::uint8_t>(c);
+  }
+  q[off++] = 0;  // root label
+  // QTYPE = A (1), QCLASS = IN (1).
+  q[off++] = 0x00;
+  q[off++] = 0x01;
+  q[off++] = 0x00;
+  q[off++] = 0x01;
+  ZL_ASSERT(off == 32);
+  return q;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint8_t>> generate_dns_queries(
+    const DnsTraceConfig& config) {
+  ZL_EXPECTS(config.name_count >= 1);
+  Rng rng(config.seed);
+  ZipfSampler zipf(config.name_count, config.zipf_exponent);
+
+  // Precompute templates.
+  std::vector<std::array<std::uint8_t, 32>> templates;
+  templates.reserve(config.name_count);
+  for (std::size_t i = 0; i < config.name_count; ++i) {
+    templates.push_back(query_template(i));
+  }
+
+  std::vector<std::vector<std::uint8_t>> queries;
+  queries.reserve(config.query_count);
+  for (std::uint64_t i = 0; i < config.query_count; ++i) {
+    const std::size_t name = zipf.sample(rng);
+    std::vector<std::uint8_t> q(kDnsQueryBytes);
+    const auto txid = static_cast<std::uint16_t>(rng.next_u64());
+    q[0] = static_cast<std::uint8_t>(txid >> 8);
+    q[1] = static_cast<std::uint8_t>(txid & 0xFF);
+    const auto& tpl = templates[name];
+    std::copy(tpl.begin(), tpl.end(), q.begin() + 2);
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+std::vector<std::vector<std::uint8_t>> strip_transaction_ids(
+    const std::vector<std::vector<std::uint8_t>>& queries) {
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) {
+    ZL_EXPECTS(q.size() == kDnsQueryBytes);
+    out.emplace_back(q.begin() + 2, q.end());
+  }
+  return out;
+}
+
+}  // namespace zipline::trace

@@ -1,0 +1,113 @@
+#include "trace/synthetic.hpp"
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "gd/transform.hpp"
+#include "net/ethernet.hpp"
+#include "net/pcap.hpp"
+
+namespace zipline::trace {
+
+std::vector<std::vector<std::uint8_t>> generate_synthetic_sensor(
+    const SyntheticSensorConfig& config) {
+  config.params.validate();
+  ZL_EXPECTS(config.sensor_count >= 1);
+  ZL_EXPECTS(config.drift_every >= 1);
+  ZL_EXPECTS(config.noise_window_bits >= 1 &&
+             config.noise_window_bits <= config.params.n());
+  const gd::GdTransform transform(config.params);
+  Rng rng(config.seed);
+
+  struct Sensor {
+    bits::BitVector canonical;  ///< codeword-backed chunk (syndrome 0)
+    std::uint64_t readings_until_drift = 0;
+  };
+
+  auto fresh_canonical = [&] {
+    bits::BitVector chunk(config.params.chunk_bits);
+    for (std::size_t b = 0; b < config.params.chunk_bits; ++b) {
+      if (rng.next_bool(0.5)) chunk.set(b);
+    }
+    // Snap to the nearest codeword so noise stays within one basis.
+    const gd::TransformedChunk tc = transform.forward(chunk);
+    return transform.inverse(tc.excess, tc.basis, /*syndrome=*/0);
+  };
+
+  std::vector<Sensor> sensors(config.sensor_count);
+  for (auto& sensor : sensors) {
+    sensor.canonical = fresh_canonical();
+    // Stagger the first drift so bases do not arrive in bursts.
+    sensor.readings_until_drift = 1 + rng.next_below(config.drift_every);
+  }
+
+  ZL_EXPECTS(config.burst_length >= 1);
+  std::vector<std::vector<std::uint8_t>> payloads;
+  payloads.reserve(config.chunk_count);
+  std::size_t sensor_turn = 0;
+  while (payloads.size() < config.chunk_count) {
+    // Burst arrival: each sensor flushes a batch of buffered readings in
+    // one turn, cycling through the fleet — the temporal locality a day of
+    // batched telemetry has.
+    Sensor& sensor = sensors[sensor_turn % sensors.size()];
+    ++sensor_turn;
+    // Drift happens between bursts (the value moved while readings were
+    // buffered), so a fresh basis always opens a full burst.
+    if (sensor.readings_until_drift < config.burst_length) {
+      sensor.canonical = fresh_canonical();
+      sensor.readings_until_drift = config.drift_every;
+    }
+    sensor.readings_until_drift -= config.burst_length;
+    for (std::uint64_t b = 0;
+         b < config.burst_length && payloads.size() < config.chunk_count;
+         ++b) {
+      bits::BitVector reading = sensor.canonical;
+      if (rng.next_bool(config.noise_probability)) {
+        reading.flip(rng.next_below(config.noise_window_bits));
+      }
+      payloads.push_back(reading.to_bytes());
+    }
+  }
+  return payloads;
+}
+
+std::uint64_t write_payloads_pcap(
+    const std::string& path,
+    const std::vector<std::vector<std::uint8_t>>& payloads, double pps) {
+  ZL_EXPECTS(pps > 0);
+  net::PcapWriter writer(path);
+  const double gap_us = 1e6 / pps;
+  double t = 0;
+  for (const auto& payload : payloads) {
+    net::EthernetFrame frame;
+    frame.dst = net::MacAddress::local(2);
+    frame.src = net::MacAddress::local(1);
+    frame.ether_type = 0x5A01;
+    frame.payload = payload;
+    writer.write_frame(frame, static_cast<std::uint64_t>(t));
+    t += gap_us;
+  }
+  return writer.records_written();
+}
+
+std::vector<std::vector<std::uint8_t>> read_payloads_pcap(
+    const std::string& path) {
+  net::PcapReader reader(path);
+  std::vector<std::vector<std::uint8_t>> payloads;
+  while (auto record = reader.next()) {
+    net::EthernetFrame frame = net::EthernetFrame::parse(record->data);
+    payloads.push_back(std::move(frame.payload));
+  }
+  return payloads;
+}
+
+std::vector<std::uint8_t> concatenate(
+    const std::vector<std::vector<std::uint8_t>>& payloads) {
+  std::size_t total = 0;
+  for (const auto& p : payloads) total += p.size();
+  std::vector<std::uint8_t> out;
+  out.reserve(total);
+  for (const auto& p : payloads) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+}  // namespace zipline::trace

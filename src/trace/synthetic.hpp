@@ -1,0 +1,65 @@
+// Synthetic sensor-readout trace (paper §7, "Compression").
+//
+// The paper engineers 3,124,000 chunks of 256 bit "behaviorally close to
+// typical readouts from a sensor" and converts them to a pcap trace. This
+// generator models a fleet of sensors whose readings are a stable per-
+// sensor canonical value (the GD basis) plus occasional single-bit noise
+// in the low-order bits, with the canonical value drifting slowly across
+// the day. The three knobs that matter for reproduction:
+//   * sensor_count controls LZ77 temporal locality (the gzip baseline);
+//   * drift spreads new bases across the trace (the dynamic-learning
+//     penalty of Fig. 3);
+//   * noise keeps chunks within Hamming distance 1 of their basis (the GD
+//     compression ratio itself is insensitive to noise).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gd/params.hpp"
+
+namespace zipline::trace {
+
+struct SyntheticSensorConfig {
+  gd::GdParams params;  ///< chunk geometry (default: paper's 256-bit chunks)
+  /// Total chunks; the paper's dataset size.
+  std::uint64_t chunk_count = 3'124'000;
+  /// Concurrently active sensors (interleaved round-robin with jitter).
+  std::size_t sensor_count = 50;
+  /// Sensors report in batches (buffered telemetry): this many consecutive
+  /// readings per sensor turn. Bursts concentrate a fresh basis's packets
+  /// inside the control plane's learning window, which is what produces
+  /// the paper's static-vs-dynamic gap in Fig. 3.
+  std::uint64_t burst_length = 16;
+  /// Each sensor's canonical value drifts to a fresh basis after this many
+  /// of its own readings; total distinct bases ~= chunk_count / drift_every.
+  std::uint64_t drift_every = 1000;
+  /// Single-bit noise: probability a reading deviates from the canonical
+  /// value, and the width of the low-order window the flipped bit lives in.
+  double noise_probability = 0.9;
+  std::size_t noise_window_bits = 48;
+  std::uint64_t seed = 42;
+};
+
+/// One payload per chunk, each params.raw_payload_bytes() long.
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> generate_synthetic_sensor(
+    const SyntheticSensorConfig& config);
+
+/// Writes payloads as an Ethernet pcap trace (one packet per payload),
+/// paced at `pps`; returns the number of records written.
+std::uint64_t write_payloads_pcap(const std::string& path,
+                                  const std::vector<std::vector<std::uint8_t>>&
+                                      payloads,
+                                  double pps);
+
+/// Reads packet payloads back out of a pcap trace.
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> read_payloads_pcap(
+    const std::string& path);
+
+/// Flattens payloads into one buffer (the "regular file" the paper feeds
+/// to gzip).
+[[nodiscard]] std::vector<std::uint8_t> concatenate(
+    const std::vector<std::vector<std::uint8_t>>& payloads);
+
+}  // namespace zipline::trace

@@ -1,0 +1,115 @@
+#include "zipline/controller.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace zipline::prog {
+
+Controller::Controller(Scheduler& scheduler, ZipLineProgram& encoder,
+                       ZipLineProgram& decoder, ControlPlaneTiming timing,
+                       std::uint64_t seed)
+    : scheduler_(scheduler),
+      encoder_(encoder),
+      decoder_(decoder),
+      timing_(timing),
+      rng_(seed),
+      pool_(encoder.config().params.dictionary_capacity(),
+            gd::EvictionPolicy::lru) {
+  ZL_EXPECTS(encoder.config().params.dictionary_capacity() ==
+             decoder.config().params.dictionary_capacity());
+}
+
+SimTime Controller::jittered(SimTime nominal, double share) {
+  const double sigma = static_cast<double>(timing_.jitter_sigma) * share;
+  const double value =
+      static_cast<double>(nominal) + rng_.next_normal(0.0, sigma);
+  return std::max<SimTime>(static_cast<SimTime>(value), 0);
+}
+
+void Controller::poll_digests() {
+  const auto records = encoder_.digests().drain(scheduler_.now());
+  for (const auto& record : records) {
+    // Digest transport to the CP process.
+    const SimTime arrival =
+        record.emitted_at + jittered(timing_.digest_export, 0.25);
+    scheduler_.schedule(std::max(arrival, scheduler_.now()),
+                        [this, basis = record.payload] { on_digest(basis); });
+  }
+}
+
+void Controller::on_digest(const bits::BitVector& basis) {
+  ++stats_.digests_seen;
+  // Duplicate suppression: every packet of a still-unlearned basis emits a
+  // digest; only the first one starts the learning pipeline.
+  if (in_flight_.contains(basis) || pool_.peek(basis).has_value()) {
+    ++stats_.duplicate_digests;
+    return;
+  }
+  in_flight_.insert(basis);
+  scheduler_.schedule(scheduler_.now() + jittered(timing_.processing, 0.5),
+                      [this, basis] { begin_learning(basis); });
+}
+
+void Controller::begin_learning(const bits::BitVector& basis) {
+  // Identifier selection (§5). Unused identifiers are handed out first;
+  // when none remain, the eviction victim is the entry whose TTL in the
+  // encoder's data-plane table is stalest — the table tracks hits, the CP
+  // pool does not, so recency is grounded in the data plane.
+  std::optional<bits::BitVector> evicted_basis;
+  if (pool_.size() == pool_.capacity()) {
+    std::optional<bits::BitVector> victim =
+        encoder_.basis_table().least_recently_used();
+    if (!victim || !pool_.peek(*victim)) {
+      // Fall back to the pool's own insertion-order recency (e.g. when the
+      // encoder table lags behind the pool due to in-flight installs).
+      victim.reset();
+    }
+    if (victim) {
+      const std::uint32_t victim_id = *pool_.peek(*victim);
+      pool_.erase(victim_id);
+      evicted_basis = victim;
+      ++stats_.evictions;
+    }
+  }
+  const gd::InsertResult inserted = pool_.insert(basis);
+  if (inserted.evicted) {
+    // Reached only through the fallback path above.
+    evicted_basis = inserted.evicted;
+    ++stats_.evictions;
+  }
+  const std::uint32_t id = inserted.id;
+
+  // Phase 1: decoder-side install (destination switch first).
+  scheduler_.schedule(
+      scheduler_.now() + jittered(timing_.install_decoder, 0.5),
+      [this, basis, id, evicted_basis] {
+        if (evicted_basis) {
+          decoder_.id_table().remove(bits::BitVector(
+              decoder_.config().params.id_bits, id));
+        }
+        decoder_.install_decoder_mapping(id, basis, scheduler_.now());
+        // Phase 2: encoder-side install only after phase 1 completed.
+        scheduler_.schedule(
+            scheduler_.now() + jittered(timing_.install_encoder, 0.5),
+            [this, basis, id, evicted_basis] {
+              if (evicted_basis) {
+                encoder_.basis_table().remove(*evicted_basis);
+              }
+              encoder_.install_encoder_mapping(id, basis, scheduler_.now());
+              in_flight_.erase(basis);
+              ++stats_.mappings_installed;
+            });
+      });
+}
+
+void Controller::preload(const bits::BitVector& basis) {
+  if (pool_.peek(basis)) return;
+  const gd::InsertResult inserted = pool_.insert(basis);
+  ZL_EXPECTS(!inserted.evicted.has_value() &&
+             "static preload exceeds dictionary capacity");
+  decoder_.install_decoder_mapping(inserted.id, basis, scheduler_.now());
+  encoder_.install_encoder_mapping(inserted.id, basis, scheduler_.now());
+}
+
+}  // namespace zipline::prog

@@ -1,0 +1,93 @@
+// The ZipLine control plane (paper §5, "Recording a new basis-ID mapping
+// is done in two phases").
+//
+// The paper implements this in Python over BfRt; here it is a C++ model
+// with explicit latencies so the headline dynamic-learning number
+// (1.77 ± 0.08 ms from digest-worthy packet to first compressed packet)
+// is reproduced from its constituent delays rather than asserted:
+//
+//   digest export  ->  CP wakeup + processing  ->  install ID->basis in the
+//   decoder (destination switch)  ->  install basis->ID in the encoder
+//
+// Identifier management: unused identifiers are handed out first (least
+// recently used order); once exhausted, the LRU mapping is evicted and its
+// identifier recycled — recency being tracked through the encoder table's
+// per-entry TTL/last-hit timestamps, the TNA feature the paper leans on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "common/scheduler.hpp"
+#include "gd/dictionary.hpp"
+#include "zipline/program.hpp"
+
+namespace zipline::prog {
+
+struct ControlPlaneTiming {
+  /// Data plane -> CP digest export/transport latency.
+  SimTime digest_export = 250000;  // 0.25 ms
+  /// CP wakeup, dedupe, identifier selection.
+  SimTime processing = 520000;  // 0.52 ms
+  /// BfRt table write on the decoder (destination) switch.
+  SimTime install_decoder = 500000;  // 0.50 ms
+  /// BfRt table write on the encoder (source) switch.
+  SimTime install_encoder = 500000;  // 0.50 ms
+  /// Gaussian jitter applied to each stage (scaled by stage share).
+  SimTime jitter_sigma = 40000;  // 0.04 ms overall
+
+  [[nodiscard]] SimTime total() const {
+    return digest_export + processing + install_decoder + install_encoder;
+  }
+};
+
+struct ControllerStats {
+  std::uint64_t digests_seen = 0;
+  std::uint64_t duplicate_digests = 0;  ///< basis already learned/in flight
+  std::uint64_t mappings_installed = 0;
+  std::uint64_t evictions = 0;
+};
+
+class Controller {
+ public:
+  /// `encoder` is the switch program whose basis table is fed; `decoder`
+  /// is the destination-side program (may be the same object when a single
+  /// switch handles both directions, as in the paper's testbed).
+  Controller(Scheduler& scheduler, ZipLineProgram& encoder,
+             ZipLineProgram& decoder, ControlPlaneTiming timing = {},
+             std::uint64_t seed = 0xC0117011);
+
+  /// Polls the encoder's digest stream; call after pipeline activity.
+  /// Schedules the learning pipeline for each new digest.
+  void poll_digests();
+
+  /// Pre-populates both switches (and the identifier pool) — the paper's
+  /// "static table" configuration.
+  void preload(const bits::BitVector& basis);
+
+  [[nodiscard]] const ControllerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ControlPlaneTiming& timing() const noexcept {
+    return timing_;
+  }
+
+ private:
+  void on_digest(const bits::BitVector& basis);
+  void begin_learning(const bits::BitVector& basis);
+  [[nodiscard]] SimTime jittered(SimTime nominal, double share);
+
+  Scheduler& scheduler_;
+  ZipLineProgram& encoder_;
+  ZipLineProgram& decoder_;
+  ControlPlaneTiming timing_;
+  Rng rng_;
+
+  /// CP-side identifier pool; recency mirrors data-plane hits only at
+  /// eviction time (see pick_identifier).
+  gd::BasisDictionary pool_;
+  std::unordered_set<bits::BitVector, bits::BitVectorHash> in_flight_;
+  ControllerStats stats_;
+};
+
+}  // namespace zipline::prog

@@ -1,0 +1,373 @@
+#include "zipline/program.hpp"
+
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace zipline::prog {
+
+namespace {
+// PHV field names (grouped like P4 header instances).
+constexpr const char* kEthDst = "eth.dst";
+constexpr const char* kEthSrc = "eth.src";
+constexpr const char* kEthType = "eth.type";
+constexpr const char* kChunk = "gd.chunk";
+constexpr const char* kSyndrome = "gd.syndrome";
+constexpr const char* kExcess = "gd.excess";
+constexpr const char* kBasis = "gd.basis";
+constexpr const char* kId = "gd.id";
+constexpr const char* kOutType = "meta.out_type";  // gd::PacketType
+constexpr const char* kProcessed = "meta.processed";
+
+bits::BitVector mac_to_bits(const net::MacAddress& mac) {
+  bits::BitVector v(48);
+  std::uint64_t value = 0;
+  for (const auto octet : mac.octets()) {
+    value = (value << 8) | octet;
+  }
+  return bits::BitVector(48, value);
+}
+
+net::MacAddress bits_to_mac(const bits::BitVector& v) {
+  const std::uint64_t value = v.to_uint64();
+  std::array<std::uint8_t, 6> octets{};
+  for (int i = 0; i < 6; ++i) {
+    octets[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(value >> (8 * (5 - i)));
+  }
+  return net::MacAddress(octets);
+}
+}  // namespace
+
+ZipLineProgram::ZipLineProgram(const ZipLineConfig& config)
+    : config_(config),
+      code_(config.params.m, config.params.resolved_generator()),
+      syndrome_crc_(config.params.resolved_generator(), config.params.n()),
+      parity_crc_(config.params.resolved_generator(), config.params.n()),
+      mask_table_("syndrome_mask", std::size_t{1} << config.params.m),
+      basis_table_("basis_to_id", config.params.dictionary_capacity(),
+                   config.table_ttl),
+      id_table_("id_to_basis", config.params.dictionary_capacity(),
+                config.table_ttl),
+      digests_("unknown_basis"),
+      class_counters_("packet_class",
+                      static_cast<std::size_t>(PacketClass::count)),
+      reg_bases_("reg_bases", config.params.dictionary_capacity(),
+                 config.params.k()),
+      reg_valid_("reg_valid", config.params.dictionary_capacity(), 1) {
+  config_.params.validate();
+  // Constant mask-table entries, precomputed offline exactly as the paper
+  // does with its Boost.CRC helper program (§5): syndrome -> n-bit flip
+  // mask. Syndrome 0 is absent: the P4 table miss leaves the word as-is.
+  const std::size_t n = config_.params.n();
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const std::uint32_t s = code_.syndrome_of_position(pos);
+    bits::BitVector mask(n);
+    mask.set(pos);
+    mask_table_.install(
+        bits::BitVector(static_cast<std::size_t>(config_.params.m), s), mask,
+        /*now=*/0);
+  }
+  // Default two-port wiring used by all experiments.
+  port_forward_ = {{1, 2}, {2, 1}};
+}
+
+void ZipLineProgram::set_port_forward(tofino::PortId in, tofino::PortId out) {
+  port_forward_[in] = out;
+}
+
+void ZipLineProgram::parse(const net::EthernetFrame& frame,
+                           tofino::Phv& phv) {
+  phv.declare(kEthDst, 48);
+  phv.declare(kEthSrc, 48);
+  phv.declare(kEthType, 16);
+  phv.declare(kOutType, 8);
+  phv.declare(kProcessed, 1);
+  phv.set(kEthDst, mac_to_bits(frame.dst));
+  phv.set(kEthSrc, mac_to_bits(frame.src));
+  phv.set_uint(kEthType, frame.ether_type);
+  phv.set_uint(kProcessed, 0);
+  phv.payload = frame.payload;
+}
+
+void ZipLineProgram::classify(tofino::Phv& phv, PacketClass cls,
+                              std::size_t payload_bytes) {
+  (void)phv;
+  class_counters_.count(static_cast<std::size_t>(cls), payload_bytes);
+}
+
+std::uint32_t ZipLineProgram::register_slot(
+    const bits::BitVector& basis) const {
+  return static_cast<std::uint32_t>(basis.hash() %
+                                    config_.params.dictionary_capacity());
+}
+
+void ZipLineProgram::ingress(tofino::Phv& phv) {
+  // L2 forwarding decision first (both directions, all ops).
+  const auto it = phv.meta.ingress_port == 0
+                      ? port_forward_.end()
+                      : port_forward_.find(phv.meta.ingress_port);
+  if (it == port_forward_.end()) {
+    phv.meta.drop = true;
+    return;
+  }
+  phv.meta.egress_port = it->second;
+
+  if (config_.op != SwitchOp::encode) return;
+
+  // Only frames marked with the ZipLine raw EtherType carry a chunk; the
+  // parser extracts it as a fixed-size header, ignoring any minimum-frame
+  // padding behind it (P4 parsers extract fixed-width headers the same
+  // way). Everything else passes through untouched.
+  const auto ether = static_cast<std::uint16_t>(phv.get_uint(kEthType));
+  const bool is_chunk =
+      gd::is_zipline_ether_type(ether) &&
+      gd::packet_type_for_ether(ether) == gd::PacketType::raw &&
+      phv.payload.size() >= config_.params.raw_payload_bytes();
+  if (!is_chunk) {
+    classify(phv, PacketClass::passthrough, phv.payload.size());
+    return;
+  }
+  encode_chunk(phv);
+}
+
+void ZipLineProgram::encode_chunk(tofino::Phv& phv) {
+  const auto& p = config_.params;
+  const SimTime now = phv.meta.ingress_timestamp;
+
+  // Load the chunk into the PHV (parser would place it in header fields);
+  // only the first raw_payload_bytes() are the chunk, the rest is L2
+  // minimum-frame padding.
+  phv.declare(kChunk, p.chunk_bits);
+  phv.set(kChunk,
+          bits::BitVector::from_bytes(
+              std::span(phv.payload).first(p.raw_payload_bytes()),
+              p.chunk_bits));
+  const bits::BitVector chunk = phv.get(kChunk);
+
+  // Fig. 1 step 2: syndrome via the CRC extern.
+  bits::BitVector word = chunk.slice(0, p.n());
+  const std::uint32_t syndrome = syndrome_crc_.compute(word);
+
+  // Fig. 1 steps 3-4: constant mask table + XOR. A zero syndrome misses
+  // the table, leaving the word untouched.
+  if (syndrome != 0) {
+    const auto mask = mask_table_.lookup(
+        bits::BitVector(static_cast<std::size_t>(p.m), syndrome), now);
+    ZL_ASSERT(mask.has_value());
+    word ^= *mask;
+  }
+
+  // Fig. 1 step 5: truncate parity -> basis; excess bits ride along.
+  phv.declare(kBasis, p.k());
+  phv.declare(kExcess, p.excess_bits());
+  phv.declare(kSyndrome, static_cast<std::size_t>(p.m));
+  phv.set(kBasis, word.slice(static_cast<std::size_t>(p.m), p.k()));
+  phv.set(kExcess, chunk.slice(p.n(), p.excess_bits()));
+  phv.set_uint(kSyndrome, syndrome);
+
+  // Fig. 1 steps 6-7: basis table lookup / learning.
+  const bits::BitVector& basis = phv.get(kBasis);
+  std::optional<bits::BitVector> id_bits;
+  switch (config_.learning) {
+    case LearningMode::none:
+    case LearningMode::control_plane:
+      id_bits = basis_table_.lookup(basis, now);
+      if (!id_bits && config_.learning == LearningMode::control_plane) {
+        digests_.emit(basis, now);
+      }
+      break;
+    case LearningMode::data_plane: {
+      // The abandoned register design (§6): slot = hash(basis); learn
+      // instantly in the data plane.
+      const std::uint32_t slot = register_slot(basis);
+      const bool valid = reg_valid_.read(slot).get(0);
+      if (valid && reg_bases_.read(slot) == basis) {
+        id_bits = bits::BitVector(p.id_bits, slot);
+      } else {
+        reg_bases_.write(slot, basis);
+        bits::BitVector one(1);
+        one.set(0);
+        reg_valid_.write(slot, one);
+      }
+      break;
+    }
+  }
+
+  phv.set_uint(kProcessed, 1);
+  if (id_bits) {
+    phv.declare(kId, p.id_bits);
+    phv.set(kId, bits::BitVector(p.id_bits, id_bits->to_uint64()));
+    phv.set_uint(kOutType,
+                 static_cast<std::uint64_t>(gd::PacketType::compressed));
+    classify(phv, PacketClass::raw_to_type3, p.type3_payload_bytes());
+  } else {
+    phv.set_uint(kOutType,
+                 static_cast<std::uint64_t>(gd::PacketType::uncompressed));
+    classify(phv, PacketClass::raw_to_type2, p.type2_payload_bytes());
+  }
+}
+
+void ZipLineProgram::egress(tofino::Phv& phv) {
+  if (config_.op != SwitchOp::decode) return;
+  const auto ether = static_cast<std::uint16_t>(phv.get_uint(kEthType));
+  if (!gd::is_zipline_ether_type(ether)) {
+    classify(phv, PacketClass::passthrough, phv.payload.size());
+    return;
+  }
+  const gd::PacketType type = gd::packet_type_for_ether(ether);
+  if (type == gd::PacketType::raw) {
+    classify(phv, PacketClass::passthrough, phv.payload.size());
+    return;
+  }
+  decode_packet(phv, type);
+}
+
+void ZipLineProgram::decode_packet(tofino::Phv& phv, gd::PacketType type) {
+  const auto& p = config_.params;
+  const SimTime now = phv.meta.ingress_timestamp;
+  const gd::GdPacket packet = gd::GdPacket::parse(p, type, phv.payload);
+
+  bits::BitVector basis;
+  if (type == gd::PacketType::compressed) {
+    // Fig. 2 step 2: identifier -> basis.
+    std::optional<bits::BitVector> found;
+    if (config_.learning == LearningMode::data_plane) {
+      const std::uint32_t slot = packet.basis_id;
+      if (reg_valid_.read(slot).get(0)) found = reg_bases_.read(slot);
+    } else {
+      found = id_table_.lookup(bits::BitVector(p.id_bits, packet.basis_id), now);
+    }
+    if (!found) {
+      // A compressed packet whose mapping is unknown cannot be restored;
+      // drop and count. The two-phase install protocol (§5) exists to make
+      // this impossible in a healthy deployment.
+      classify(phv, PacketClass::decode_unknown_id, p.type3_payload_bytes());
+      phv.meta.drop = true;
+      return;
+    }
+    basis = *found;
+  } else {
+    basis = packet.basis;
+    if (config_.learning == LearningMode::data_plane) {
+      // Register design: the decoder learns from type-2 packets instantly.
+      const std::uint32_t slot = register_slot(basis);
+      reg_bases_.write(slot, basis);
+      bits::BitVector one(1);
+      one.set(0);
+      reg_valid_.write(slot, one);
+    }
+  }
+
+  // Fig. 2 steps 3-4: zero-pad the basis and regenerate parity by CRC.
+  const std::uint32_t parity = parity_crc_.compute(
+      basis.shifted_up(static_cast<std::size_t>(p.m)));
+  bits::BitVector word = bits::BitVector::concat(
+      basis, bits::BitVector(static_cast<std::size_t>(p.m), parity));
+
+  // Fig. 2 steps 5-6: the same syndrome mask table restores the flip.
+  if (packet.syndrome != 0) {
+    const auto mask = mask_table_.lookup(
+        bits::BitVector(static_cast<std::size_t>(p.m), packet.syndrome), now);
+    ZL_ASSERT(mask.has_value());
+    word ^= *mask;
+  }
+
+  // Fig. 2 step 7: re-attach the excess bits; packet leaves as raw.
+  phv.declare(kChunk, p.chunk_bits);
+  phv.set(kChunk, bits::BitVector::concat(packet.excess, word));
+  phv.set_uint(kProcessed, 1);
+  phv.set_uint(kOutType, static_cast<std::uint64_t>(gd::PacketType::raw));
+  classify(phv,
+           type == gd::PacketType::compressed ? PacketClass::type3_to_raw
+                                              : PacketClass::type2_to_raw,
+           p.raw_payload_bytes());
+}
+
+net::EthernetFrame ZipLineProgram::deparse(const tofino::Phv& phv) {
+  net::EthernetFrame frame;
+  frame.dst = bits_to_mac(phv.get(kEthDst));
+  frame.src = bits_to_mac(phv.get(kEthSrc));
+  if (phv.get_uint(kProcessed) == 0) {
+    frame.ether_type = static_cast<std::uint16_t>(phv.get_uint(kEthType));
+    frame.payload = phv.payload;
+    return frame;
+  }
+  const auto& p = config_.params;
+  const auto out_type = static_cast<gd::PacketType>(phv.get_uint(kOutType));
+  frame.ether_type = gd::ether_type_for(out_type);
+  switch (out_type) {
+    case gd::PacketType::raw: {
+      frame.payload = phv.get(kChunk).to_bytes();
+      break;
+    }
+    case gd::PacketType::uncompressed: {
+      const auto pkt = gd::GdPacket::make_uncompressed(
+          static_cast<std::uint32_t>(phv.get_uint(kSyndrome)),
+          phv.get(kExcess), phv.get(kBasis));
+      frame.payload = pkt.serialize(p);
+      break;
+    }
+    case gd::PacketType::compressed: {
+      const auto pkt = gd::GdPacket::make_compressed(
+          static_cast<std::uint32_t>(phv.get_uint(kSyndrome)),
+          phv.get(kExcess),
+          static_cast<std::uint32_t>(phv.get_uint(kId)));
+      frame.payload = pkt.serialize(p);
+      break;
+    }
+  }
+  return frame;
+}
+
+void ZipLineProgram::install_mapping(std::uint32_t id,
+                                     const bits::BitVector& basis,
+                                     SimTime now) {
+  // Decoder-side mapping first, then encoder-side — the two-phase order
+  // that guarantees compressed packets can always be uncompressed (§5).
+  install_decoder_mapping(id, basis, now);
+  install_encoder_mapping(id, basis, now);
+}
+
+void ZipLineProgram::install_decoder_mapping(std::uint32_t id,
+                                             const bits::BitVector& basis,
+                                             SimTime now) {
+  ZL_EXPECTS(basis.size() == config_.params.k());
+  ZL_EXPECTS(id < config_.params.dictionary_capacity());
+  id_table_.install(bits::BitVector(config_.params.id_bits, id), basis, now);
+}
+
+void ZipLineProgram::install_encoder_mapping(std::uint32_t id,
+                                             const bits::BitVector& basis,
+                                             SimTime now) {
+  ZL_EXPECTS(basis.size() == config_.params.k());
+  ZL_EXPECTS(id < config_.params.dictionary_capacity());
+  basis_table_.install(basis, bits::BitVector(config_.params.id_bits, id),
+                       now);
+}
+
+std::string ZipLineProgram::resource_report() const {
+  const auto& p = config_.params;
+  std::ostringstream out;
+  out << "ZipLine program resources (m=" << p.m << ", n=" << p.n()
+      << ", k=" << p.k() << ", id_bits=" << p.id_bits << ")\n";
+  out << "  mask table:   " << mask_table_.size() << "/"
+      << mask_table_.capacity() << " entries, "
+      << mask_table_.sram_bits_estimate() / 8 << " B SRAM (constant)\n";
+  out << "  basis table:  " << basis_table_.size() << "/"
+      << basis_table_.capacity() << " entries, "
+      << basis_table_.sram_bits_estimate() / 8 << " B SRAM\n";
+  out << "  id table:     " << id_table_.size() << "/" << id_table_.capacity()
+      << " entries, " << id_table_.sram_bits_estimate() / 8 << " B SRAM\n";
+  out << "  CRC externs:  syndrome=" << syndrome_crc_.invocations()
+      << " invocations, parity=" << parity_crc_.invocations()
+      << " invocations\n";
+  out << "  digests:      " << digests_.emitted() << " emitted, "
+      << digests_.dropped() << " dropped\n";
+  out << "  type-2 padding: "
+      << (p.model_tofino_padding ? p.type2_extra_pad_bits : 0)
+      << " bits/packet (container alignment, paper's 3% overhead)\n";
+  return out.str();
+}
+
+}  // namespace zipline::prog

@@ -1,0 +1,141 @@
+// The ZipLine switch program: GD encode/decode as a Tofino pipeline.
+//
+// Encoding (paper Fig. 1) runs in the ingress control:
+//   1. CRC extern computes the syndrome of the chunk's low n bits;
+//   2. a constant-entry mask table maps the syndrome to the bit-flip mask;
+//   3. the XOR produces the canonical word; parity truncation leaves the
+//      basis;
+//   4. the basis table (managed by the control plane) either yields a short
+//      identifier (packet type 3) or misses, emitting a digest and leaving
+//      the packet as basis + syndrome (type 2).
+// Decoding (paper Fig. 2) runs in the egress control — the paper's §6
+// lesson about artificially extending the pipeline:
+//   1. the identifier table restores the basis (type 3 only);
+//   2. a second CRC extern instance regenerates the parity bits from the
+//      zero-padded basis;
+//   3. the same syndrome mask table flips the deviation bit back.
+// Per-packet-type counters mirror §5's classification statistics.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "gd/packet.hpp"
+#include "gd/params.hpp"
+#include "hamming/hamming.hpp"
+#include "tofino/externs.hpp"
+#include "tofino/pipeline.hpp"
+#include "tofino/table.hpp"
+
+namespace zipline::prog {
+
+enum class SwitchOp : std::uint8_t {
+  forward,  ///< plain L2 forwarding ("no op" baseline in Figs. 4/5)
+  encode,   ///< GD compression
+  decode,   ///< GD decompression
+};
+
+enum class LearningMode : std::uint8_t {
+  none,           ///< static table: misses stay type 2, no digests
+  control_plane,  ///< paper's shipped design: digests + CP installs
+  data_plane,     ///< paper's abandoned register design (instant learning)
+};
+
+/// Packet classification counter indices (§5: "packets are classified
+/// according to how they are transformed").
+enum class PacketClass : std::size_t {
+  passthrough = 0,
+  raw_to_type2,
+  raw_to_type3,
+  type2_to_raw,
+  type3_to_raw,
+  decode_unknown_id,  ///< type 3 with no mapping: dropped
+  count,
+};
+
+struct ZipLineConfig {
+  gd::GdParams params;
+  SwitchOp op = SwitchOp::forward;
+  LearningMode learning = LearningMode::control_plane;
+  /// Idle timeout used by basis/identifier table entries (TNA per-entry
+  /// TTL); 0 disables expiry.
+  SimTime table_ttl = 0;
+};
+
+class ZipLineProgram final : public tofino::PipelineProgram {
+ public:
+  explicit ZipLineProgram(const ZipLineConfig& config);
+
+  // --- PipelineProgram -------------------------------------------------
+  void parse(const net::EthernetFrame& frame, tofino::Phv& phv) override;
+  void ingress(tofino::Phv& phv) override;
+  void egress(tofino::Phv& phv) override;
+  [[nodiscard]] net::EthernetFrame deparse(const tofino::Phv& phv) override;
+  [[nodiscard]] std::string resource_report() const override;
+
+  // --- wiring (control-plane / simulator access) -----------------------
+
+  /// Sets static port forwarding: frames entering `in` leave through `out`.
+  void set_port_forward(tofino::PortId in, tofino::PortId out);
+
+  [[nodiscard]] const ZipLineConfig& config() const noexcept { return config_; }
+
+  /// Encoder-side basis -> identifier table (control-plane managed).
+  [[nodiscard]] tofino::ExactMatchTable& basis_table() { return basis_table_; }
+  /// Decoder-side identifier -> basis table.
+  [[nodiscard]] tofino::ExactMatchTable& id_table() { return id_table_; }
+  /// Digest stream announcing unknown bases to the control plane.
+  [[nodiscard]] tofino::DigestStream& digests() { return digests_; }
+  /// Classification counters.
+  [[nodiscard]] const tofino::CounterArray& class_counters() const {
+    return class_counters_;
+  }
+  [[nodiscard]] std::uint64_t class_packets(PacketClass c) const {
+    return class_counters_.packets(static_cast<std::size_t>(c));
+  }
+  [[nodiscard]] std::uint64_t class_bytes(PacketClass c) const {
+    return class_counters_.bytes(static_cast<std::size_t>(c));
+  }
+
+  /// Convenience used by experiments: preloads one basis/identifier pair
+  /// into both tables (static-table mode).
+  void install_mapping(std::uint32_t id, const bits::BitVector& basis,
+                       SimTime now);
+
+  /// Control-plane two-phase installs (§5): the decoder-side ID->basis
+  /// mapping must exist before the encoder-side basis->ID mapping so that
+  /// compressed packets can always be uncompressed.
+  void install_decoder_mapping(std::uint32_t id, const bits::BitVector& basis,
+                               SimTime now);
+  void install_encoder_mapping(std::uint32_t id, const bits::BitVector& basis,
+                               SimTime now);
+
+ private:
+  void encode_chunk(tofino::Phv& phv);
+  void decode_packet(tofino::Phv& phv, gd::PacketType type);
+  void classify(tofino::Phv& phv, PacketClass cls, std::size_t payload_bytes);
+
+  [[nodiscard]] std::uint32_t register_slot(const bits::BitVector& basis) const;
+
+  ZipLineConfig config_;
+  hamming::HammingCode code_;
+
+  // Data-plane resources.
+  tofino::CrcExtern syndrome_crc_;      // chunk word -> syndrome
+  tofino::CrcExtern parity_crc_;        // zero-padded basis -> parity
+  tofino::ExactMatchTable mask_table_;  // syndrome -> flip mask (constant)
+  tofino::ExactMatchTable basis_table_; // basis -> id (encode side)
+  tofino::ExactMatchTable id_table_;    // id -> basis (decode side)
+  tofino::DigestStream digests_;
+  tofino::CounterArray class_counters_;
+
+  // Register-based learning (ablation of the paper's abandoned design).
+  tofino::RegisterArray reg_bases_;
+  tofino::RegisterArray reg_valid_;
+
+  std::unordered_map<tofino::PortId, tofino::PortId> port_forward_;
+};
+
+}  // namespace zipline::prog

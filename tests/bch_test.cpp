@@ -1,0 +1,212 @@
+// Tests of the BCH(255, 239, t=2) extension (paper §8 future work):
+// GF(2^8) arithmetic, generator construction, syndrome decoding, and the
+// total/lossless GD transform built on an imperfect code.
+#include "hamming/bch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "hamming/gf256.hpp"
+#include "hamming/hamming.hpp"
+
+namespace zipline::hamming {
+namespace {
+
+using bits::BitVector;
+
+TEST(Gf256, FieldAxiomsSpotChecks) {
+  // alpha^255 = 1; alpha generates the whole multiplicative group.
+  EXPECT_EQ(Gf256::alpha_pow(255), 1);
+  EXPECT_EQ(Gf256::alpha_pow(0), 1);
+  std::unordered_set<std::uint8_t> seen;
+  for (int i = 0; i < 255; ++i) seen.insert(Gf256::alpha_pow(i));
+  EXPECT_EQ(seen.size(), 255u);
+  // Multiplication agrees with the log/exp identity and distributes.
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto b = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto c = static_cast<std::uint8_t>(rng.next_below(256));
+    EXPECT_EQ(Gf256::mul(a, Gf256::add(b, c)),
+              Gf256::add(Gf256::mul(a, b), Gf256::mul(a, c)));
+    EXPECT_EQ(Gf256::mul(a, b), Gf256::mul(b, a));
+  }
+}
+
+TEST(Gf256, InverseAndDivision) {
+  Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<std::uint8_t>(1 + rng.next_below(255));
+    EXPECT_EQ(Gf256::mul(a, Gf256::inverse(a)), 1);
+    const auto b = static_cast<std::uint8_t>(1 + rng.next_below(255));
+    EXPECT_EQ(Gf256::mul(Gf256::div(a, b), b), a);
+  }
+  EXPECT_THROW((void)Gf256::inverse(0), ContractViolation);
+  EXPECT_THROW((void)Gf256::div(1, 0), ContractViolation);
+}
+
+TEST(Gf256, PrimitivePolynomialIsItsOwnRoot) {
+  // alpha is a root of x^8+x^4+x^3+x^2+1 by construction.
+  EXPECT_EQ(Gf256::eval_poly_bits(0x11D, Gf256::alpha_pow(1)), 0);
+  // alpha^3 is NOT a root of m1 (it has its own minimal polynomial).
+  EXPECT_NE(Gf256::eval_poly_bits(0x11D, Gf256::alpha_pow(3)), 0);
+}
+
+TEST(Bch255, GeneratorProperties) {
+  const Bch255 bch;
+  EXPECT_EQ(bch.generator().degree(), 16);
+  // g(alpha) = g(alpha^3) = 0: both minimal polynomials divide g.
+  EXPECT_EQ(Gf256::eval_poly_bits(bch.generator().bits(), Gf256::alpha_pow(1)),
+            0);
+  EXPECT_EQ(Gf256::eval_poly_bits(bch.generator().bits(), Gf256::alpha_pow(3)),
+            0);
+  // Not primitive as a degree-16 polynomial (it is a product), but square
+  // free and without the factor x.
+  EXPECT_EQ(bch.generator().bits() & 1, 1u);
+}
+
+TEST(Bch255, EncodeProducesCodewords) {
+  const Bch255 bch;
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitVector msg(Bch255::k);
+    for (std::size_t i = 0; i < Bch255::k; ++i) {
+      if (rng.next_bool(0.5)) msg.set(i);
+    }
+    const BitVector cw = bch.encode(msg);
+    EXPECT_EQ(cw.size(), Bch255::n);
+    EXPECT_TRUE(bch.is_codeword(cw));
+    EXPECT_EQ(cw.slice(Bch255::parity_bits, Bch255::k), msg);
+  }
+}
+
+TEST(Bch255, DecodesSingleErrors) {
+  const Bch255 bch;
+  Rng rng(4);
+  BitVector msg(Bch255::k);
+  for (std::size_t i = 0; i < Bch255::k; ++i) {
+    if (rng.next_bool(0.5)) msg.set(i);
+  }
+  const BitVector cw = bch.encode(msg);
+  for (std::size_t pos = 0; pos < Bch255::n; pos += 7) {
+    BitVector word = cw;
+    word.flip(pos);
+    const auto pattern = bch.decode_syndrome(bch.syndrome(word));
+    ASSERT_EQ(pattern.count, 1) << "pos " << pos;
+    EXPECT_EQ(pattern.positions[0], pos);
+  }
+}
+
+TEST(Bch255, DecodesDoubleErrors) {
+  const Bch255 bch;
+  Rng rng(5);
+  BitVector msg(Bch255::k);
+  for (std::size_t i = 0; i < Bch255::k; ++i) {
+    if (rng.next_bool(0.5)) msg.set(i);
+  }
+  const BitVector cw = bch.encode(msg);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t i = rng.next_below(Bch255::n);
+    std::size_t j = rng.next_below(Bch255::n);
+    while (j == i) j = rng.next_below(Bch255::n);
+    BitVector word = cw;
+    word.flip(i);
+    word.flip(j);
+    const auto pattern = bch.decode_syndrome(bch.syndrome(word));
+    ASSERT_EQ(pattern.count, 2) << i << "," << j;
+    const std::unordered_set<std::uint16_t> positions{pattern.positions[0],
+                                                      pattern.positions[1]};
+    EXPECT_TRUE(positions.contains(static_cast<std::uint16_t>(i)));
+    EXPECT_TRUE(positions.contains(static_cast<std::uint16_t>(j)));
+  }
+}
+
+TEST(Bch255, TripleErrorsReportedUndecodable) {
+  const Bch255 bch;
+  Rng rng(6);
+  const BitVector cw = bch.encode(BitVector(Bch255::k));
+  int undecodable = 0;
+  int misdecoded_as_fewer = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    BitVector word = cw;
+    std::unordered_set<std::size_t> positions;
+    while (positions.size() < 3) positions.insert(rng.next_below(Bch255::n));
+    for (const auto pos : positions) word.flip(pos);
+    const auto pattern = bch.decode_syndrome(bch.syndrome(word));
+    if (pattern.count < 0) {
+      ++undecodable;
+    } else {
+      ++misdecoded_as_fewer;  // landed inside another codeword's sphere
+    }
+  }
+  // Most triples fall outside every sphere; some alias (expected for an
+  // imperfect code).
+  EXPECT_GT(undecodable, 100);
+}
+
+TEST(Bch255, CanonicalMaskAlwaysReproducesSyndrome) {
+  // The key totality property: for every syndrome value (decodable or
+  // not), the canonical mask's remainder equals the syndrome.
+  const Bch255 bch;
+  const crc::SyndromeCrc crc(bch.generator(), Bch255::n);
+  Rng rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto s = static_cast<std::uint32_t>(rng.next_below(1u << 16));
+    const BitVector mask = bch.canonical_mask(s);
+    EXPECT_EQ(crc.compute(mask), s);
+  }
+}
+
+TEST(Bch255, GdTransformTotalAndLossless) {
+  const Bch255 bch;
+  Rng rng(8);
+  for (int trial = 0; trial < 300; ++trial) {
+    BitVector word(Bch255::n);
+    for (std::size_t i = 0; i < Bch255::n; ++i) {
+      if (rng.next_bool(0.5)) word.set(i);
+    }
+    const BchCanonical c = bch.canonicalize(word);
+    EXPECT_EQ(bch.expand(c.basis, c.syndrome), word) << "trial " << trial;
+  }
+}
+
+TEST(Bch255, TwoBitNoiseSharesBasisWhereHammingSplits) {
+  // The paper's §8 motivation quantified: under 2-bit noise BCH keeps one
+  // basis per sensor; Hamming needs many.
+  const Bch255 bch;
+  const HammingCode hamming(8);
+  Rng rng(9);
+  BitVector msg(Bch255::k);
+  for (std::size_t i = 0; i < Bch255::k; ++i) {
+    if (rng.next_bool(0.5)) msg.set(i);
+  }
+  const BitVector cw = bch.encode(msg);
+  std::unordered_set<std::uint64_t> bch_bases;
+  std::unordered_set<std::uint64_t> hamming_bases;
+  for (int trial = 0; trial < 200; ++trial) {
+    BitVector word = cw;
+    const std::size_t i = rng.next_below(Bch255::n);
+    std::size_t j = rng.next_below(Bch255::n);
+    while (j == i) j = rng.next_below(Bch255::n);
+    word.flip(i);
+    word.flip(j);
+    bch_bases.insert(bch.canonicalize(word).basis.hash());
+    hamming_bases.insert(hamming.canonicalize(word).basis.hash());
+  }
+  EXPECT_EQ(bch_bases.size(), 1u);
+  EXPECT_GT(hamming_bases.size(), 50u);
+}
+
+TEST(Bch255, DeviationCostVersusHamming) {
+  // 16-bit deviation vs 8: the §8 trade-off, in packet-size terms.
+  // type 3 with BCH: 16 (syndrome) + 1 (excess) + 15 (id) = 32 bits = 4 B
+  // versus Hamming's 24 bits = 3 B.
+  EXPECT_EQ(Bch255::parity_bits, 16u);
+  EXPECT_EQ((Bch255::parity_bits + 1 + 15 + 7) / 8, 4u);
+}
+
+}  // namespace
+}  // namespace zipline::hamming

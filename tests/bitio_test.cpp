@@ -1,0 +1,125 @@
+#include "common/bitio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace zipline::bits {
+namespace {
+
+TEST(BitWriter, PacksMsbFirst) {
+  BitWriter w;
+  w.write_uint(0b101, 3);
+  w.write_uint(0b01, 2);
+  w.write_uint(0b110, 3);
+  const auto bytes = w.to_bytes();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10101110);
+}
+
+TEST(BitWriter, PartialFinalByteZeroPadded) {
+  BitWriter w;
+  w.write_uint(0b11, 2);
+  const auto bytes = w.to_bytes();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b11000000);
+  EXPECT_EQ(w.bit_count(), 2u);
+}
+
+TEST(BitWriter, AlignToByte) {
+  BitWriter w;
+  w.write_uint(1, 1);
+  w.align_to_byte();
+  EXPECT_EQ(w.bit_count(), 8u);
+  w.align_to_byte();  // already aligned: no-op
+  EXPECT_EQ(w.bit_count(), 8u);
+  w.write_uint(0xAB, 8);
+  const auto bytes = w.to_bytes();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0x80);
+  EXPECT_EQ(bytes[1], 0xAB);
+}
+
+TEST(BitWriter, WidthValidation) {
+  BitWriter w;
+  EXPECT_THROW(w.write_uint(0, 65), ContractViolation);
+  EXPECT_THROW(w.write_uint(0b100, 2), ContractViolation);  // doesn't fit
+  EXPECT_NO_THROW(w.write_uint(~0ull, 64));
+}
+
+TEST(BitWriter, WritesBitVectorMsbFirst) {
+  BitWriter w;
+  w.write_bits(BitVector::from_string("10110011"));
+  const auto bytes = w.to_bytes();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b10110011);
+}
+
+TEST(BitReader, ReadsBackFields) {
+  BitWriter w;
+  w.write_uint(0x5A, 8);
+  w.write_uint(0x3, 2);
+  w.write_uint(0x1234, 15);
+  const auto bytes = w.to_bytes();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read_uint(8), 0x5Au);
+  EXPECT_EQ(r.read_uint(2), 0x3u);
+  EXPECT_EQ(r.read_uint(15), 0x1234u);
+  EXPECT_EQ(r.bits_consumed(), 25u);
+}
+
+TEST(BitReader, ReadsBitVectors) {
+  BitWriter w;
+  const auto v = BitVector::from_string("110100111010001");
+  w.write_bits(v);
+  const auto bytes = w.to_bytes();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read_bits(15), v);
+}
+
+TEST(BitReader, SkipAdvances) {
+  const std::vector<std::uint8_t> bytes = {0xFF, 0x00, 0xF0};
+  BitReader r(bytes);
+  r.skip(9);
+  EXPECT_EQ(r.read_uint(7), 0u);
+  EXPECT_EQ(r.read_uint(4), 0xFu);
+}
+
+TEST(BitReader, OverrunThrows) {
+  const std::vector<std::uint8_t> bytes = {0xAA};
+  BitReader r(bytes);
+  EXPECT_NO_THROW((void)r.read_uint(8));
+  EXPECT_THROW((void)r.read_uint(1), ContractViolation);
+  BitReader r2(bytes);
+  EXPECT_THROW(r2.skip(9), ContractViolation);
+}
+
+// Property: random field sequences round-trip for any width mix.
+class BitIoRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitIoRoundTrip, RandomFieldSequences) {
+  Rng rng(GetParam());
+  std::vector<std::pair<std::uint64_t, std::size_t>> fields;
+  BitWriter w;
+  const int field_count = 1 + static_cast<int>(rng.next_below(40));
+  for (int i = 0; i < field_count; ++i) {
+    const std::size_t width = 1 + rng.next_below(64);
+    const std::uint64_t value =
+        width == 64 ? rng.next_u64() : rng.next_u64() & ((1ull << width) - 1);
+    fields.emplace_back(value, width);
+    w.write_uint(value, width);
+  }
+  const auto bytes = w.to_bytes();
+  BitReader r(bytes);
+  for (const auto& [value, width] : fields) {
+    EXPECT_EQ(r.read_uint(width), value);
+  }
+  EXPECT_EQ(r.bits_consumed(), w.bit_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitIoRoundTrip,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace zipline::bits

@@ -1,0 +1,211 @@
+#include "common/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace zipline::bits {
+namespace {
+
+TEST(BitVector, DefaultIsEmpty) {
+  BitVector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVector, ZeroInitialized) {
+  BitVector v(300);
+  EXPECT_EQ(v.size(), 300u);
+  EXPECT_TRUE(v.none());
+  EXPECT_EQ(v.popcount(), 0u);
+  for (std::size_t i = 0; i < 300; i += 37) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVector, SetResetFlip) {
+  BitVector v(130);
+  v.set(0);
+  v.set(64);
+  v.set(129);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_EQ(v.popcount(), 3u);
+  v.reset(64);
+  EXPECT_FALSE(v.get(64));
+  v.flip(64);
+  EXPECT_TRUE(v.get(64));
+  v.flip(64);
+  EXPECT_FALSE(v.get(64));
+  EXPECT_EQ(v.popcount(), 2u);
+}
+
+TEST(BitVector, ValueConstructorPlacesLowBits) {
+  BitVector v(16, 0b1010'0001);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(5));
+  EXPECT_TRUE(v.get(7));
+  EXPECT_FALSE(v.get(8));
+  EXPECT_EQ(v.to_uint64(), 0b1010'0001u);
+}
+
+TEST(BitVector, ValueMustFit) {
+  EXPECT_THROW(BitVector(3, 0b1000), ContractViolation);
+  EXPECT_NO_THROW(BitVector(3, 0b111));
+}
+
+TEST(BitVector, StringRoundTrip) {
+  const auto v = BitVector::from_string("1011");
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(1));
+  EXPECT_FALSE(v.get(2));
+  EXPECT_TRUE(v.get(3));
+  EXPECT_EQ(v.to_string(), "1011");
+}
+
+TEST(BitVector, BytesRoundTripAligned) {
+  const std::vector<std::uint8_t> bytes = {0xDE, 0xAD, 0xBE, 0xEF};
+  const auto v = BitVector::from_bytes(bytes, 32);
+  EXPECT_EQ(v.to_bytes(), bytes);
+  // 0xEF low byte: bit 0 set (0xEF & 1).
+  EXPECT_TRUE(v.get(0));
+  // 0xDE high byte: bit 31 = MSB of 0xDE = 1.
+  EXPECT_TRUE(v.get(31));
+}
+
+TEST(BitVector, BytesRoundTripUnaligned) {
+  // 12 bits from two bytes: leading 4 bits of the first byte are skipped.
+  const std::vector<std::uint8_t> bytes = {0x0A, 0xBC};
+  const auto v = BitVector::from_bytes(bytes, 12);
+  EXPECT_EQ(v.to_string(), "101010111100");
+  const auto back = v.to_bytes();
+  EXPECT_EQ(back, bytes);
+}
+
+TEST(BitVector, XorMatchesBitwise) {
+  Rng rng(42);
+  BitVector a(257);
+  BitVector b(257);
+  for (std::size_t i = 0; i < 257; ++i) {
+    if (rng.next_bool(0.5)) a.set(i);
+    if (rng.next_bool(0.5)) b.set(i);
+  }
+  const BitVector c = a ^ b;
+  for (std::size_t i = 0; i < 257; ++i) {
+    EXPECT_EQ(c.get(i), a.get(i) != b.get(i)) << "bit " << i;
+  }
+}
+
+TEST(BitVector, XorSizeMismatchThrows) {
+  BitVector a(10);
+  BitVector b(11);
+  EXPECT_THROW(a ^= b, ContractViolation);
+}
+
+TEST(BitVector, SliceExtractsBitRange) {
+  auto v = BitVector::from_string("110100111010");
+  // slice(lo=2, len=5) keeps bits 2..6 (low powers on the right).
+  // v = bit11..bit0 = 1 1 0 1 0 0 1 1 1 0 1 0; bits 6..2 = 0 1 1 1 0.
+  EXPECT_EQ(v.slice(2, 5).to_string(), "01110");
+  EXPECT_EQ(v.slice(0, 12).to_string(), "110100111010");
+  EXPECT_EQ(v.slice(11, 1).to_string(), "1");
+  EXPECT_EQ(v.slice(4, 0).size(), 0u);
+}
+
+TEST(BitVector, SliceAcrossWordBoundary) {
+  BitVector v(200);
+  v.set(60);
+  v.set(70);
+  v.set(199);
+  const auto s = v.slice(58, 130);
+  EXPECT_TRUE(s.get(2));    // was 60
+  EXPECT_TRUE(s.get(12));   // was 70
+  EXPECT_EQ(s.popcount(), 2u);
+}
+
+TEST(BitVector, ConcatPlacesHighAboveLow) {
+  const auto high = BitVector::from_string("101");
+  const auto low = BitVector::from_string("0011");
+  const auto c = BitVector::concat(high, low);
+  EXPECT_EQ(c.size(), 7u);
+  EXPECT_EQ(c.to_string(), "1010011");
+}
+
+TEST(BitVector, ConcatSliceInverse) {
+  Rng rng(7);
+  BitVector v(255);
+  for (std::size_t i = 0; i < 255; ++i) {
+    if (rng.next_bool(0.5)) v.set(i);
+  }
+  const auto low = v.slice(0, 100);
+  const auto high = v.slice(100, 155);
+  EXPECT_EQ(BitVector::concat(high, low), v);
+}
+
+TEST(BitVector, ShiftedUpMultipliesByPowerOfX) {
+  const auto v = BitVector::from_string("11");
+  const auto s = v.shifted_up(3);
+  EXPECT_EQ(s.to_string(), "11000");
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(BitVector, ComparisonOrdersByValue) {
+  EXPECT_EQ(BitVector::from_string("0101"), BitVector::from_string("0101"));
+  EXPECT_NE(BitVector::from_string("0101"), BitVector::from_string("0100"));
+  EXPECT_LT(BitVector::from_string("0100"), BitVector::from_string("0101"));
+  // Size participates: shorter vectors order first.
+  EXPECT_LT(BitVector::from_string("111"), BitVector::from_string("0000"));
+}
+
+TEST(BitVector, HashDiffersForDifferentContent) {
+  const auto a = BitVector::from_string("10110");
+  auto b = a;
+  EXPECT_EQ(a.hash(), b.hash());
+  b.flip(3);
+  EXPECT_NE(a.hash(), b.hash());
+  // Same bits, different sizes must not collide trivially.
+  EXPECT_NE(BitVector(64).hash(), BitVector(65).hash());
+}
+
+TEST(BitVector, OutOfRangeAccessThrows) {
+  BitVector v(10);
+  EXPECT_THROW((void)v.get(10), ContractViolation);
+  EXPECT_THROW(v.set(10), ContractViolation);
+  EXPECT_THROW(v.flip(10), ContractViolation);
+  EXPECT_THROW((void)v.slice(5, 6), ContractViolation);
+  EXPECT_THROW((void)BitVector(100).to_uint64(), ContractViolation);
+}
+
+// Property sweep: byte round-trip for many sizes.
+class BitVectorRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVectorRoundTrip, BytesPreserveContent) {
+  const std::size_t size = GetParam();
+  Rng rng(size * 2654435761u + 1);
+  BitVector v(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    if (rng.next_bool(0.5)) v.set(i);
+  }
+  const auto bytes = v.to_bytes();
+  EXPECT_EQ(bytes.size(), (size + 7) / 8);
+  EXPECT_EQ(BitVector::from_bytes(bytes, size), v);
+}
+
+TEST_P(BitVectorRoundTrip, StringPreservesContent) {
+  const std::size_t size = GetParam();
+  Rng rng(size * 11400714819323198485ull + 3);
+  BitVector v(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    if (rng.next_bool(0.3)) v.set(i);
+  }
+  EXPECT_EQ(BitVector::from_string(v.to_string()), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorRoundTrip,
+                         ::testing::Values(1, 7, 8, 9, 15, 63, 64, 65, 127,
+                                           247, 255, 256, 511, 1023, 4096));
+
+}  // namespace
+}  // namespace zipline::bits

@@ -1,0 +1,195 @@
+// Control-plane tests: digest-driven learning, the two-phase install
+// order, duplicate-digest suppression, LRU identifier recycling, and the
+// end-to-end learning latency pipeline.
+#include "zipline/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gd/transform.hpp"
+#include "sim/event_queue.hpp"
+#include "tofino/pipeline.hpp"
+
+namespace zipline::prog {
+namespace {
+
+using bits::BitVector;
+
+struct ControllerFixture {
+  ControllerFixture(ControlPlaneTiming timing = {}, std::size_t id_bits = 15) {
+    ZipLineConfig config;
+    config.op = SwitchOp::encode;
+    config.learning = LearningMode::control_plane;
+    config.params.id_bits = id_bits;
+    encoder = std::make_shared<ZipLineProgram>(config);
+    ZipLineConfig dec_config = config;
+    dec_config.op = SwitchOp::decode;
+    decoder = std::make_shared<ZipLineProgram>(dec_config);
+    timing.jitter_sigma = 0;  // deterministic unless a test overrides
+    controller = std::make_unique<Controller>(events, *encoder, *decoder,
+                                              timing);
+  }
+
+  BitVector random_basis(std::uint64_t seed) {
+    Rng rng(seed);
+    BitVector basis(encoder->config().params.k());
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+      if (rng.next_bool(0.5)) basis.set(i);
+    }
+    return basis;
+  }
+
+  /// Emits a digest as the data plane would and lets the CP process it.
+  void learn(const BitVector& basis, SimTime at) {
+    events.schedule(at, [this, basis, at] {
+      encoder->digests().emit(basis, at);
+      controller->poll_digests();
+    });
+  }
+
+  sim::EventQueue events;
+  std::shared_ptr<ZipLineProgram> encoder;
+  std::shared_ptr<ZipLineProgram> decoder;
+  std::unique_ptr<Controller> controller;
+};
+
+TEST(Controller, LearnsBasisAfterTotalPipelineDelay) {
+  ControllerFixture fx;
+  const BitVector basis = fx.random_basis(1);
+  fx.learn(basis, 0);
+  const SimTime total = fx.controller->timing().total();
+
+  // Just before the pipeline completes: encoder table still empty.
+  fx.events.run_until(total - 1000);
+  EXPECT_EQ(fx.encoder->basis_table().size(), 0u);
+  // After: both tables populated.
+  fx.events.run_until(total + 1000);
+  EXPECT_EQ(fx.encoder->basis_table().size(), 1u);
+  EXPECT_EQ(fx.decoder->id_table().size(), 1u);
+  EXPECT_EQ(fx.controller->stats().mappings_installed, 1u);
+}
+
+TEST(Controller, DecoderInstalledBeforeEncoder) {
+  // The §5 two-phase order: between the installs there is a window where
+  // the decoder knows the mapping and the encoder does not.
+  ControllerFixture fx;
+  const BitVector basis = fx.random_basis(2);
+  fx.learn(basis, 0);
+  const auto& t = fx.controller->timing();
+  const SimTime after_phase1 =
+      t.digest_export + t.processing + t.install_decoder + 1000;
+  fx.events.run_until(after_phase1);
+  EXPECT_EQ(fx.decoder->id_table().size(), 1u);
+  EXPECT_EQ(fx.encoder->basis_table().size(), 0u);
+  fx.events.run_until(after_phase1 + t.install_encoder);
+  EXPECT_EQ(fx.encoder->basis_table().size(), 1u);
+}
+
+TEST(Controller, DuplicateDigestsSuppressed) {
+  ControllerFixture fx;
+  const BitVector basis = fx.random_basis(3);
+  for (int i = 0; i < 50; ++i) {
+    fx.learn(basis, i * 1000);
+  }
+  fx.events.run_all();
+  EXPECT_EQ(fx.controller->stats().mappings_installed, 1u);
+  EXPECT_EQ(fx.controller->stats().duplicate_digests, 49u);
+  EXPECT_EQ(fx.encoder->basis_table().size(), 1u);
+}
+
+TEST(Controller, DigestsForAlreadyLearnedBasisIgnored) {
+  ControllerFixture fx;
+  const BitVector basis = fx.random_basis(4);
+  fx.learn(basis, 0);
+  fx.events.run_all();
+  fx.learn(basis, fx.events.now() + 1000000);
+  fx.events.run_all();
+  EXPECT_EQ(fx.controller->stats().mappings_installed, 1u);
+}
+
+TEST(Controller, RecyclesLruIdentifierWhenPoolExhausted) {
+  // Tiny pool (4 ids). Learn 4 bases, keep hitting 3 of them in the data
+  // plane, then learn a fifth: the unhit one must be evicted.
+  ControllerFixture fx({}, /*id_bits=*/2);
+  std::vector<BitVector> bases;
+  for (int i = 0; i < 5; ++i) bases.push_back(fx.random_basis(10 + i));
+  for (int i = 0; i < 4; ++i) {
+    fx.learn(bases[static_cast<std::size_t>(i)], i * 100);
+  }
+  fx.events.run_all();
+  EXPECT_EQ(fx.encoder->basis_table().size(), 4u);
+  // Data-plane hits refresh recency for bases 0, 2, 3 (not 1).
+  const SimTime hit_time = fx.events.now() + 1000;
+  for (const int idx : {0, 2, 3}) {
+    (void)fx.encoder->basis_table().lookup(bases[static_cast<std::size_t>(idx)],
+                                           hit_time);
+  }
+  fx.learn(bases[4], hit_time + 1000);
+  fx.events.run_all();
+  EXPECT_EQ(fx.controller->stats().evictions, 1u);
+  EXPECT_EQ(fx.encoder->basis_table().size(), 4u);
+  // Basis 1 is gone; the others and the new one remain.
+  EXPECT_FALSE(
+      fx.encoder->basis_table().lookup(bases[1], fx.events.now()).has_value());
+  EXPECT_TRUE(
+      fx.encoder->basis_table().lookup(bases[4], fx.events.now()).has_value());
+  // The decoder's table mirrors the eviction (no stale mapping).
+  EXPECT_EQ(fx.decoder->id_table().size(), 4u);
+}
+
+TEST(Controller, PreloadInstallsImmediately) {
+  ControllerFixture fx;
+  const BitVector basis = fx.random_basis(20);
+  fx.controller->preload(basis);
+  EXPECT_EQ(fx.encoder->basis_table().size(), 1u);
+  EXPECT_EQ(fx.decoder->id_table().size(), 1u);
+  // Preloading the same basis twice is a no-op.
+  fx.controller->preload(basis);
+  EXPECT_EQ(fx.encoder->basis_table().size(), 1u);
+}
+
+TEST(Controller, PreloadBeyondCapacityThrows) {
+  ControllerFixture fx({}, /*id_bits=*/1);  // 2 identifiers
+  fx.controller->preload(fx.random_basis(30));
+  fx.controller->preload(fx.random_basis(31));
+  EXPECT_THROW(fx.controller->preload(fx.random_basis(32)),
+               ContractViolation);
+}
+
+TEST(Controller, JitterProducesSpreadAroundNominal) {
+  ControlPlaneTiming timing;
+  timing.jitter_sigma = 40000;  // 0.04 ms
+  std::vector<double> totals;
+  for (int rep = 0; rep < 30; ++rep) {
+    ControllerFixture fx;  // jitter zeroed inside; build our own below
+    ZipLineConfig config;
+    config.op = SwitchOp::encode;
+    auto encoder = std::make_shared<ZipLineProgram>(config);
+    ZipLineConfig dec = config;
+    dec.op = SwitchOp::decode;
+    auto decoder = std::make_shared<ZipLineProgram>(dec);
+    sim::EventQueue events;
+    Controller controller(events, *encoder, *decoder, timing,
+                          static_cast<std::uint64_t>(rep) * 97 + 1);
+    Rng rng(static_cast<std::uint64_t>(rep));
+    BitVector basis(config.params.k());
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+      if (rng.next_bool(0.5)) basis.set(i);
+    }
+    encoder->digests().emit(basis, 0);
+    controller.poll_digests();
+    events.run_all();
+    totals.push_back(to_ms(events.now()));
+  }
+  double mean = 0;
+  for (const double v : totals) mean += v;
+  mean /= static_cast<double>(totals.size());
+  EXPECT_NEAR(mean, to_ms(timing.total()), 0.1);
+  // Samples are not all identical (jitter is real).
+  const auto [min_it, max_it] = std::minmax_element(totals.begin(),
+                                                    totals.end());
+  EXPECT_GT(*max_it - *min_it, 0.005);
+}
+
+}  // namespace
+}  // namespace zipline::prog

@@ -1,0 +1,59 @@
+#include "crc/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+namespace zipline::crc {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Crc32, KnownVectors) {
+  // Standard IEEE check values.
+  EXPECT_EQ(Crc32::of(bytes_of("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32::of(bytes_of("")), 0x00000000u);
+  EXPECT_EQ(Crc32::of(bytes_of("a")), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32::of(bytes_of("abc")), 0x352441C2u);
+  EXPECT_EQ(Crc32::of(bytes_of("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const auto data = bytes_of("hello, zipline world");
+  Crc32 inc;
+  for (const auto b : data) inc.update(b);
+  EXPECT_EQ(inc.value(), Crc32::of(data));
+
+  Crc32 split;
+  split.update(std::span(data).first(7));
+  split.update(std::span(data).subspan(7));
+  EXPECT_EQ(split.value(), Crc32::of(data));
+}
+
+TEST(Crc32, ResetRestoresInitialState) {
+  Crc32 c;
+  c.update(bytes_of("garbage"));
+  c.reset();
+  c.update(bytes_of("123456789"));
+  EXPECT_EQ(c.value(), 0xCBF43926u);
+}
+
+TEST(Crc32, SensitiveToSingleBitFlip) {
+  auto data = bytes_of("sensor-payload-0123456789");
+  const auto before = Crc32::of(data);
+  data[5] ^= 0x01;
+  EXPECT_NE(Crc32::of(data), before);
+}
+
+TEST(Crc32, AllZeroBufferNonTrivial) {
+  const std::vector<std::uint8_t> zeros(64, 0);
+  // CRC-32 of zeros is not zero thanks to init/final-xor.
+  EXPECT_NE(Crc32::of(zeros), 0u);
+}
+
+}  // namespace
+}  // namespace zipline::crc

@@ -1,0 +1,120 @@
+// Cross-validation of the from-scratch DEFLATE implementation against the
+// system zlib: our compressor's output must inflate correctly under zlib,
+// and zlib's output must decode under our inflater. This pins the bit
+// stream to RFC 1951, not merely to self-consistency.
+#include <gtest/gtest.h>
+#include <zlib.h>
+
+#include <vector>
+
+#include "baseline/deflate.hpp"
+#include "common/rng.hpp"
+#include "trace/synthetic.hpp"
+
+namespace zipline::baseline {
+namespace {
+
+std::vector<std::uint8_t> zlib_inflate_raw(
+    std::span<const std::uint8_t> compressed, std::size_t expected_size) {
+  std::vector<std::uint8_t> out(expected_size + 64);
+  z_stream zs{};
+  // windowBits = -15: raw DEFLATE stream, no zlib/gzip wrapper.
+  EXPECT_EQ(inflateInit2(&zs, -15), Z_OK);
+  zs.next_in = const_cast<Bytef*>(compressed.data());
+  zs.avail_in = static_cast<uInt>(compressed.size());
+  zs.next_out = out.data();
+  zs.avail_out = static_cast<uInt>(out.size());
+  const int rc = inflate(&zs, Z_FINISH);
+  EXPECT_EQ(rc, Z_STREAM_END) << "zlib rejected our DEFLATE stream: " << rc;
+  out.resize(zs.total_out);
+  inflateEnd(&zs);
+  return out;
+}
+
+std::vector<std::uint8_t> zlib_deflate_raw(std::span<const std::uint8_t> data,
+                                           int level) {
+  std::vector<std::uint8_t> out(compressBound(static_cast<uLong>(data.size())) +
+                                64);
+  z_stream zs{};
+  EXPECT_EQ(deflateInit2(&zs, level, Z_DEFLATED, -15, 8, Z_DEFAULT_STRATEGY),
+            Z_OK);
+  zs.next_in = const_cast<Bytef*>(data.data());
+  zs.avail_in = static_cast<uInt>(data.size());
+  zs.next_out = out.data();
+  zs.avail_out = static_cast<uInt>(out.size());
+  EXPECT_EQ(deflate(&zs, Z_FINISH), Z_STREAM_END);
+  out.resize(zs.total_out);
+  deflateEnd(&zs);
+  return out;
+}
+
+std::vector<std::uint8_t> sensor_bytes(std::uint64_t chunks) {
+  trace::SyntheticSensorConfig config;
+  config.chunk_count = chunks;
+  return trace::concatenate(generate_synthetic_sensor(config));
+}
+
+TEST(DeflateZlib, ZlibInflatesOurStreams) {
+  Rng rng(1);
+  for (const std::size_t size : {0u, 1u, 100u, 4096u, 100000u}) {
+    std::vector<std::uint8_t> data(size);
+    for (auto& b : data) {
+      b = static_cast<std::uint8_t>(rng.next_below(200));
+    }
+    const auto ours = deflate_compress(data);
+    EXPECT_EQ(zlib_inflate_raw(ours, data.size()), data) << "size " << size;
+  }
+}
+
+TEST(DeflateZlib, ZlibInflatesOurSensorTraceStream) {
+  const auto data = sensor_bytes(20000);
+  EXPECT_EQ(zlib_inflate_raw(deflate_compress(data), data.size()), data);
+}
+
+TEST(DeflateZlib, WeInflateZlibStreamsAllLevels) {
+  const auto data = sensor_bytes(5000);
+  for (const int level : {1, 6, 9}) {
+    const auto zlibbed = zlib_deflate_raw(data, level);
+    EXPECT_EQ(deflate_decompress(zlibbed), data) << "level " << level;
+  }
+}
+
+TEST(DeflateZlib, WeInflateZlibOnIncompressibleData) {
+  Rng rng(2);
+  std::vector<std::uint8_t> data(50000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  // Stored/fixed block mix from zlib at level 1.
+  EXPECT_EQ(deflate_decompress(zlib_deflate_raw(data, 1)), data);
+}
+
+TEST(DeflateZlib, ZlibAcceptsOurGzipContainer) {
+  const auto data = sensor_bytes(2000);
+  const auto container = gzip_compress(data);
+  std::vector<std::uint8_t> out(data.size() + 64);
+  z_stream zs{};
+  // windowBits = 15 + 32: auto-detect zlib/gzip wrapper.
+  ASSERT_EQ(inflateInit2(&zs, 15 + 32), Z_OK);
+  zs.next_in = const_cast<Bytef*>(container.data());
+  zs.avail_in = static_cast<uInt>(container.size());
+  zs.next_out = out.data();
+  zs.avail_out = static_cast<uInt>(out.size());
+  EXPECT_EQ(inflate(&zs, Z_FINISH), Z_STREAM_END);
+  out.resize(zs.total_out);
+  inflateEnd(&zs);
+  EXPECT_EQ(out, data);
+}
+
+TEST(DeflateZlib, CompressionRatioWithinRangeOfZlib) {
+  // Our ratio should be in the same league as zlib level 6 on the sensor
+  // workload (within 25% relative).
+  const auto data = sensor_bytes(50000);
+  const auto ours = deflate_compress(data);
+  const auto theirs = zlib_deflate_raw(data, 6);
+  const double ratio = static_cast<double>(ours.size()) /
+                       static_cast<double>(theirs.size());
+  EXPECT_LT(ratio, 1.25) << "ours " << ours.size() << " vs zlib "
+                         << theirs.size();
+}
+
+}  // namespace
+}  // namespace zipline::baseline

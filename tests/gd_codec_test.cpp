@@ -1,0 +1,205 @@
+#include "gd/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace zipline::gd {
+namespace {
+
+using bits::BitVector;
+
+BitVector random_chunk(Rng& rng, std::size_t bits = 256) {
+  BitVector v(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (rng.next_bool(0.5)) v.set(i);
+  }
+  return v;
+}
+
+// A chunk whose Hamming word is a codeword (syndrome zero). Single-bit
+// noise applied to such a chunk stays within the same basis — the property
+// the paper's synthetic sensor workload leans on.
+BitVector random_canonical_chunk(Rng& rng, const GdTransform& transform) {
+  const auto& p = transform.params();
+  BitVector chunk = random_chunk(rng, p.chunk_bits);
+  const TransformedChunk tc = transform.forward(chunk);
+  return transform.inverse(tc.excess, tc.basis, /*syndrome=*/0);
+}
+
+TEST(GdEncoder, FirstSightEmitsType2ThenType3) {
+  GdEncoder enc{GdParams{}};
+  Rng rng(1);
+  const BitVector chunk = random_chunk(rng);
+  const GdPacket first = enc.encode_chunk(chunk);
+  EXPECT_EQ(first.type, PacketType::uncompressed);
+  const GdPacket second = enc.encode_chunk(chunk);
+  EXPECT_EQ(second.type, PacketType::compressed);
+  EXPECT_EQ(enc.stats().uncompressed_packets, 1u);
+  EXPECT_EQ(enc.stats().compressed_packets, 1u);
+}
+
+TEST(GdEncoder, NoisyRepeatsCompressAgainstSameBasis) {
+  GdEncoder enc{GdParams{}};
+  Rng rng(2);
+  const BitVector chunk = random_canonical_chunk(rng, enc.transform());
+  (void)enc.encode_chunk(chunk);
+  // Single-bit noise on a canonical chunk shares the basis -> type 3.
+  for (int i = 0; i < 20; ++i) {
+    BitVector noisy = chunk;
+    noisy.flip(rng.next_below(255));
+    const GdPacket pkt = enc.encode_chunk(noisy);
+    EXPECT_EQ(pkt.type, PacketType::compressed) << "iteration " << i;
+  }
+}
+
+TEST(GdEncoder, PreloadMakesFirstPacketCompressed) {
+  const GdParams params;
+  const GdTransform transform(params);
+  GdEncoder enc{params};
+  Rng rng(3);
+  const BitVector chunk = random_chunk(rng);
+  enc.preload(transform.forward(chunk).basis);
+  EXPECT_EQ(enc.encode_chunk(chunk).type, PacketType::compressed);
+}
+
+TEST(GdEncoder, StaticModeNeverLearns) {
+  GdEncoder enc{GdParams{}, EvictionPolicy::lru, /*learn_on_miss=*/false};
+  Rng rng(4);
+  const BitVector chunk = random_chunk(rng);
+  EXPECT_EQ(enc.encode_chunk(chunk).type, PacketType::uncompressed);
+  EXPECT_EQ(enc.encode_chunk(chunk).type, PacketType::uncompressed);
+  EXPECT_EQ(enc.dictionary().size(), 0u);
+}
+
+TEST(GdEncoder, StatsTrackBytesLikeFigure3) {
+  GdEncoder enc{GdParams{}};
+  Rng rng(5);
+  const BitVector chunk = random_chunk(rng);
+  (void)enc.encode_chunk(chunk);  // 33 B (type 2)
+  (void)enc.encode_chunk(chunk);  // 3 B (type 3)
+  (void)enc.encode_chunk(chunk);  // 3 B
+  EXPECT_EQ(enc.stats().bytes_in, 96u);
+  EXPECT_EQ(enc.stats().bytes_out, 39u);
+  EXPECT_NEAR(enc.stats().compression_ratio(), 39.0 / 96.0, 1e-12);
+}
+
+TEST(GdCodecPair, MirroredLearningKeepsDictionariesInSync) {
+  GdEncoder enc{GdParams{}};
+  GdDecoder dec{GdParams{}};
+  Rng rng(6);
+  // Stream with repeats and noise; decoder must reconstruct all chunks.
+  std::vector<BitVector> pool;
+  for (int i = 0; i < 16; ++i) {
+    pool.push_back(random_canonical_chunk(rng, enc.transform()));
+  }
+  for (int step = 0; step < 2000; ++step) {
+    BitVector chunk = pool[rng.next_below(pool.size())];
+    if (rng.next_bool(0.5)) chunk.flip(rng.next_below(255));
+    const GdPacket pkt = enc.encode_chunk(chunk);
+    EXPECT_EQ(dec.decode_chunk(pkt), chunk) << "step " << step;
+  }
+  EXPECT_GT(enc.stats().compressed_packets, 1900u);  // 16 misses only
+}
+
+TEST(GdCodecPair, SurvivesDictionaryChurnAndEviction) {
+  // Tiny dictionary forces constant eviction; the mirrored decoder must
+  // still track identifier recycling exactly.
+  GdParams params;
+  params.id_bits = 3;  // capacity 8
+  GdEncoder enc{params};
+  GdDecoder dec{params};
+  Rng rng(7);
+  std::vector<BitVector> pool;
+  for (int i = 0; i < 64; ++i) pool.push_back(random_chunk(rng));
+  std::uint64_t type3 = 0;
+  for (int step = 0; step < 5000; ++step) {
+    const BitVector& chunk = pool[rng.next_below(pool.size())];
+    const GdPacket pkt = enc.encode_chunk(chunk);
+    type3 += pkt.type == PacketType::compressed;
+    EXPECT_EQ(dec.decode_chunk(pkt), chunk) << "step " << step;
+  }
+  EXPECT_GT(enc.dictionary().stats().evictions, 100u);
+  EXPECT_GT(type3, 0u);
+}
+
+TEST(GdCodecPair, AllEvictionPoliciesStaySynchronized) {
+  for (const auto policy :
+       {EvictionPolicy::lru, EvictionPolicy::fifo, EvictionPolicy::random}) {
+    GdParams params;
+    params.id_bits = 4;
+    GdEncoder enc{params, policy};
+    GdDecoder dec{params, policy};
+    Rng rng(8);
+    std::vector<BitVector> pool;
+    for (int i = 0; i < 40; ++i) pool.push_back(random_chunk(rng));
+    for (int step = 0; step < 3000; ++step) {
+      const BitVector& chunk = pool[rng.next_below(pool.size())];
+      EXPECT_EQ(dec.decode_chunk(enc.encode_chunk(chunk)), chunk)
+          << "policy " << static_cast<int>(policy) << " step " << step;
+    }
+  }
+}
+
+TEST(GdDecoder, UnknownCompressedIdThrows) {
+  GdDecoder dec{GdParams{}};
+  const auto pkt = GdPacket::make_compressed(1, BitVector(1), 5);
+  EXPECT_THROW((void)dec.decode_chunk(pkt), zipline::ContractViolation);
+}
+
+TEST(GdDecoder, RawPacketPassesThrough) {
+  GdDecoder dec{GdParams{}};
+  const auto pkt = GdPacket::make_raw({0xDE, 0xAD});
+  const BitVector out = dec.decode_chunk(pkt);
+  EXPECT_EQ(out.to_bytes(), (std::vector<std::uint8_t>{0xDE, 0xAD}));
+}
+
+TEST(Chunker, SplitAndJoinRoundTrip) {
+  const GdParams params;  // 32 B chunks
+  const Chunker chunker(params);
+  Rng rng(9);
+  for (const std::size_t size : {0u, 1u, 31u, 32u, 33u, 64u, 100u, 1024u}) {
+    std::vector<std::uint8_t> payload(size);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+    const auto [chunks, tail] = chunker.split(payload);
+    EXPECT_EQ(chunks.size(), size / 32);
+    EXPECT_EQ(tail.size(), size % 32);
+    EXPECT_EQ(chunker.join(chunks, tail), payload);
+  }
+}
+
+TEST(Chunker, RequiresByteAlignedChunks) {
+  GdParams params;
+  params.chunk_bits = 255;  // == n, not byte aligned
+  EXPECT_THROW(Chunker{params}, zipline::ContractViolation);
+}
+
+TEST(GdPayloadApi, EncodeDecodePayloadEndToEnd) {
+  GdEncoder enc{GdParams{}};
+  GdDecoder dec{GdParams{}};
+  Rng rng(10);
+  // A "file" with strong chunk-level redundancy plus a ragged tail.
+  const std::vector<std::uint8_t> base =
+      random_canonical_chunk(rng, enc.transform()).to_bytes();
+  std::vector<std::uint8_t> payload;
+  for (int rep = 0; rep < 100; ++rep) {
+    auto chunk = base;
+    chunk[rng.next_below(32)] ^=
+        static_cast<std::uint8_t>(1u << rng.next_below(8));
+    payload.insert(payload.end(), chunk.begin(), chunk.end());
+  }
+  payload.push_back(0x42);  // tail byte
+  const auto packets = enc.encode_payload(payload);
+  EXPECT_EQ(packets.size(), 101u);
+  EXPECT_EQ(packets.back().type, PacketType::raw);
+  EXPECT_EQ(dec.decode_payload(packets), payload);
+  // Every single-bit flip of a canonical chunk keeps its basis (codeword
+  // flips land in the syndrome; an MSB flip lands in the excess bit), so
+  // only the very first chunk goes uncompressed.
+  EXPECT_EQ(enc.stats().uncompressed_packets, 1u);
+  EXPECT_EQ(enc.stats().compressed_packets, 99u);
+}
+
+}  // namespace
+}  // namespace zipline::gd

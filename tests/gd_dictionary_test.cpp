@@ -1,0 +1,208 @@
+#include "gd/dictionary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace zipline::gd {
+namespace {
+
+using bits::BitVector;
+
+BitVector basis_of(std::uint64_t value) { return BitVector(64, value); }
+
+TEST(BasisDictionary, AllocatesIdsInIncreasingOrder) {
+  BasisDictionary dict(8, EvictionPolicy::lru);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const InsertResult r = dict.insert(basis_of(i));
+    EXPECT_EQ(r.id, i);
+    EXPECT_FALSE(r.evicted.has_value());
+  }
+  EXPECT_EQ(dict.size(), 8u);
+}
+
+TEST(BasisDictionary, LookupHitReturnsIdAndCounts) {
+  BasisDictionary dict(4, EvictionPolicy::lru);
+  dict.insert(basis_of(10));
+  dict.insert(basis_of(20));
+  EXPECT_EQ(dict.lookup(basis_of(10)), std::optional<std::uint32_t>(0));
+  EXPECT_EQ(dict.lookup(basis_of(20)), std::optional<std::uint32_t>(1));
+  EXPECT_EQ(dict.lookup(basis_of(30)), std::nullopt);
+  EXPECT_EQ(dict.stats().hits, 2u);
+  EXPECT_EQ(dict.stats().misses, 1u);
+}
+
+TEST(BasisDictionary, PeekDoesNotAffectStatsOrRecency) {
+  BasisDictionary dict(2, EvictionPolicy::lru);
+  dict.insert(basis_of(1));
+  dict.insert(basis_of(2));
+  EXPECT_TRUE(dict.peek(basis_of(1)).has_value());
+  EXPECT_EQ(dict.stats().hits, 0u);
+  // Peek must not refresh: inserting a third basis evicts basis 1 (oldest).
+  const InsertResult r = dict.insert(basis_of(3));
+  ASSERT_TRUE(r.evicted.has_value());
+  EXPECT_EQ(*r.evicted, basis_of(1));
+}
+
+TEST(BasisDictionary, LruEvictsLeastRecentlyUsed) {
+  BasisDictionary dict(3, EvictionPolicy::lru);
+  dict.insert(basis_of(1));  // id 0
+  dict.insert(basis_of(2));  // id 1
+  dict.insert(basis_of(3));  // id 2
+  // Touch 1 and 3; basis 2 becomes the LRU.
+  EXPECT_TRUE(dict.lookup(basis_of(1)).has_value());
+  EXPECT_TRUE(dict.lookup(basis_of(3)).has_value());
+  const InsertResult r = dict.insert(basis_of(4));
+  ASSERT_TRUE(r.evicted.has_value());
+  EXPECT_EQ(*r.evicted, basis_of(2));
+  EXPECT_EQ(r.id, 1u);  // recycled identifier
+  EXPECT_EQ(dict.stats().evictions, 1u);
+  EXPECT_EQ(dict.lookup(basis_of(2)), std::nullopt);
+}
+
+TEST(BasisDictionary, FifoIgnoresHitsForEviction) {
+  BasisDictionary dict(3, EvictionPolicy::fifo);
+  dict.insert(basis_of(1));
+  dict.insert(basis_of(2));
+  dict.insert(basis_of(3));
+  // Heavy hits on basis 1 must not save it under FIFO.
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(dict.lookup(basis_of(1)).has_value());
+  const InsertResult r = dict.insert(basis_of(4));
+  ASSERT_TRUE(r.evicted.has_value());
+  EXPECT_EQ(*r.evicted, basis_of(1));
+}
+
+TEST(BasisDictionary, RandomEvictionIsDeterministicPerSeed) {
+  BasisDictionary a(16, EvictionPolicy::random, 42);
+  BasisDictionary b(16, EvictionPolicy::random, 42);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const InsertResult ra = a.insert(basis_of(i));
+    const InsertResult rb = b.insert(basis_of(i));
+    EXPECT_EQ(ra.id, rb.id);
+    EXPECT_EQ(ra.evicted.has_value(), rb.evicted.has_value());
+    if (ra.evicted) EXPECT_EQ(*ra.evicted, *rb.evicted);
+  }
+}
+
+TEST(BasisDictionary, LookupBasisReturnsInstalledMapping) {
+  BasisDictionary dict(4, EvictionPolicy::lru);
+  dict.insert(basis_of(77));
+  EXPECT_EQ(dict.lookup_basis(0), std::optional<BitVector>(basis_of(77)));
+  EXPECT_EQ(dict.lookup_basis(1), std::nullopt);
+  EXPECT_THROW((void)dict.lookup_basis(4), zipline::ContractViolation);
+}
+
+TEST(BasisDictionary, InstallOverwritesPreviousOccupant) {
+  BasisDictionary dict(4, EvictionPolicy::lru);
+  dict.insert(basis_of(1));  // id 0
+  dict.install(0, basis_of(9));
+  EXPECT_EQ(dict.lookup_basis(0), std::optional<BitVector>(basis_of(9)));
+  EXPECT_EQ(dict.lookup(basis_of(1)), std::nullopt);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(BasisDictionary, InstallIntoFreeIdRemovesItFromPool) {
+  BasisDictionary dict(4, EvictionPolicy::lru);
+  dict.install(2, basis_of(5));
+  EXPECT_EQ(dict.lookup_basis(2), std::optional<BitVector>(basis_of(5)));
+  // Fresh inserts must not collide with the installed id.
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const InsertResult r = dict.insert(basis_of(100 + i));
+    EXPECT_NE(r.id, 2u);
+    EXPECT_FALSE(r.evicted.has_value());
+  }
+  EXPECT_EQ(dict.size(), 4u);
+}
+
+TEST(BasisDictionary, InstallSameBasisTwiceMovesIt) {
+  BasisDictionary dict(4, EvictionPolicy::lru);
+  dict.install(0, basis_of(5));
+  dict.install(3, basis_of(5));  // same basis moved to id 3
+  EXPECT_EQ(dict.lookup_basis(3), std::optional<BitVector>(basis_of(5)));
+  EXPECT_EQ(dict.lookup_basis(0), std::nullopt);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(BasisDictionary, EraseFreesIdentifier) {
+  BasisDictionary dict(2, EvictionPolicy::lru);
+  dict.insert(basis_of(1));
+  dict.insert(basis_of(2));
+  dict.erase(0);
+  EXPECT_EQ(dict.size(), 1u);
+  EXPECT_EQ(dict.lookup(basis_of(1)), std::nullopt);
+  // The freed id is reused before any eviction.
+  const InsertResult r = dict.insert(basis_of(3));
+  EXPECT_EQ(r.id, 0u);
+  EXPECT_FALSE(r.evicted.has_value());
+  // Erasing an unused id is a no-op.
+  EXPECT_NO_THROW(dict.erase(0));
+}
+
+TEST(BasisDictionary, DuplicateInsertForbidden) {
+  BasisDictionary dict(4, EvictionPolicy::lru);
+  dict.insert(basis_of(1));
+  EXPECT_THROW(dict.insert(basis_of(1)), zipline::ContractViolation);
+}
+
+TEST(BasisDictionary, TouchRefreshesRecency) {
+  BasisDictionary dict(2, EvictionPolicy::lru);
+  dict.insert(basis_of(1));  // id 0
+  dict.insert(basis_of(2));  // id 1
+  dict.touch(0);             // basis 1 becomes most recent
+  const InsertResult r = dict.insert(basis_of(3));
+  ASSERT_TRUE(r.evicted.has_value());
+  EXPECT_EQ(*r.evicted, basis_of(2));
+}
+
+// Model-based property test: a reference map + recency vector must agree
+// with the dictionary across thousands of random operations.
+class DictionaryModelTest : public ::testing::TestWithParam<EvictionPolicy> {};
+
+TEST_P(DictionaryModelTest, AgreesWithReferenceModel) {
+  const EvictionPolicy policy = GetParam();
+  constexpr std::size_t kCapacity = 32;
+  BasisDictionary dict(kCapacity, policy, /*random_seed=*/7);
+  Rng rng(1234);
+
+  std::vector<std::uint64_t> contents;  // model: basis values present
+  std::uint64_t next_basis = 0;
+
+  for (int step = 0; step < 5000; ++step) {
+    if (rng.next_bool(0.6) && !contents.empty()) {
+      // Lookup of a random present basis must hit.
+      const std::uint64_t value =
+          contents[rng.next_below(contents.size())];
+      EXPECT_TRUE(dict.lookup(basis_of(value)).has_value());
+    } else {
+      const std::uint64_t value = next_basis++;
+      const InsertResult r = dict.insert(basis_of(value));
+      if (contents.size() == kCapacity) {
+        ASSERT_TRUE(r.evicted.has_value());
+        const std::uint64_t evicted_value = r.evicted->to_uint64();
+        const auto it =
+            std::find(contents.begin(), contents.end(), evicted_value);
+        ASSERT_NE(it, contents.end());
+        contents.erase(it);
+      } else {
+        EXPECT_FALSE(r.evicted.has_value());
+      }
+      contents.push_back(value);
+    }
+    EXPECT_EQ(dict.size(), contents.size());
+  }
+  // Every modeled basis must still be resolvable, and evicted ones gone.
+  for (const std::uint64_t value : contents) {
+    EXPECT_TRUE(dict.peek(basis_of(value)).has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, DictionaryModelTest,
+                         ::testing::Values(EvictionPolicy::lru,
+                                           EvictionPolicy::fifo,
+                                           EvictionPolicy::random));
+
+}  // namespace
+}  // namespace zipline::gd

@@ -1,0 +1,151 @@
+#include "gd/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "gd/transform.hpp"
+
+namespace zipline::gd {
+namespace {
+
+using bits::BitVector;
+
+TEST(EtherTypes, RoundTripAndRecognition) {
+  for (const PacketType t : {PacketType::raw, PacketType::uncompressed,
+                             PacketType::compressed}) {
+    const std::uint16_t e = ether_type_for(t);
+    EXPECT_TRUE(is_zipline_ether_type(e));
+    EXPECT_EQ(packet_type_for_ether(e), t);
+  }
+  EXPECT_FALSE(is_zipline_ether_type(0x0800));  // IPv4
+  EXPECT_THROW(packet_type_for_ether(0x0800), zipline::ContractViolation);
+}
+
+TEST(GdPacket, RawSerializesVerbatim) {
+  const GdParams p;
+  const auto pkt = GdPacket::make_raw({1, 2, 3, 4});
+  EXPECT_EQ(pkt.serialize(p), (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ(pkt.wire_payload_bytes(p), 4u);
+}
+
+TEST(GdPacket, Type2SizeMatchesPaper) {
+  const GdParams p;
+  BitVector excess(1);
+  excess.set(0);
+  const auto pkt =
+      GdPacket::make_uncompressed(0xAB, excess, BitVector(247));
+  const auto bytes = pkt.serialize(p);
+  EXPECT_EQ(bytes.size(), 33u);  // paper's 1.03 overhead: 32 B + 1 pad byte
+  EXPECT_EQ(pkt.wire_payload_bytes(p), 33u);
+}
+
+TEST(GdPacket, Type2WithoutPaddingModelIs32Bytes) {
+  GdParams p;
+  p.model_tofino_padding = false;
+  const auto pkt = GdPacket::make_uncompressed(0, BitVector(1), BitVector(247));
+  EXPECT_EQ(pkt.serialize(p).size(), 32u);
+}
+
+TEST(GdPacket, Type3SizeMatchesPaper) {
+  const GdParams p;
+  const auto pkt = GdPacket::make_compressed(0xFF, BitVector(1), 32767);
+  const auto bytes = pkt.serialize(p);
+  EXPECT_EQ(bytes.size(), 3u);  // 8 + 1 + 15 bits
+  EXPECT_EQ(pkt.wire_payload_bytes(p), 3u);
+}
+
+TEST(GdPacket, Type2RoundTrip) {
+  const GdParams p;
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitVector basis(247);
+    for (std::size_t i = 0; i < 247; ++i) {
+      if (rng.next_bool(0.5)) basis.set(i);
+    }
+    BitVector excess(1);
+    if (rng.next_bool(0.5)) excess.set(0);
+    const auto syndrome = static_cast<std::uint32_t>(rng.next_below(256));
+    const auto pkt = GdPacket::make_uncompressed(syndrome, excess, basis);
+    const auto bytes = pkt.serialize(p);
+    const GdPacket back = GdPacket::parse(p, PacketType::uncompressed, bytes);
+    EXPECT_EQ(back.syndrome, syndrome);
+    EXPECT_EQ(back.excess, excess);
+    EXPECT_EQ(back.basis, basis);
+  }
+}
+
+TEST(GdPacket, Type3RoundTrip) {
+  const GdParams p;
+  Rng rng(19);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto syndrome = static_cast<std::uint32_t>(rng.next_below(256));
+    const auto id = static_cast<std::uint32_t>(rng.next_below(32768));
+    BitVector excess(1);
+    if (rng.next_bool(0.5)) excess.set(0);
+    const auto pkt = GdPacket::make_compressed(syndrome, excess, id);
+    const auto bytes = pkt.serialize(p);
+    const GdPacket back = GdPacket::parse(p, PacketType::compressed, bytes);
+    EXPECT_EQ(back.syndrome, syndrome);
+    EXPECT_EQ(back.excess, excess);
+    EXPECT_EQ(back.basis_id, id);
+  }
+}
+
+TEST(GdPacket, ParseRejectsShortBuffers) {
+  const GdParams p;
+  const std::vector<std::uint8_t> two_bytes = {0xAA, 0xBB};
+  EXPECT_THROW(GdPacket::parse(p, PacketType::compressed, two_bytes),
+               zipline::ContractViolation);
+  const std::vector<std::uint8_t> ten_bytes(10, 0);
+  EXPECT_THROW(GdPacket::parse(p, PacketType::uncompressed, ten_bytes),
+               zipline::ContractViolation);
+}
+
+TEST(GdPacket, SerializeValidatesFieldWidths) {
+  const GdParams p;
+  // Basis of the wrong width.
+  const auto bad_basis = GdPacket::make_uncompressed(0, BitVector(1),
+                                                     BitVector(200));
+  EXPECT_THROW(bad_basis.serialize(p), zipline::ContractViolation);
+  // ID beyond dictionary capacity.
+  const auto bad_id = GdPacket::make_compressed(0, BitVector(1), 40000);
+  EXPECT_THROW(bad_id.serialize(p), zipline::ContractViolation);
+}
+
+TEST(GdPacket, EndToEndThroughTransform) {
+  // chunk -> transform -> packet -> bytes -> packet -> inverse == chunk
+  const GdParams p;
+  const GdTransform t(p);
+  Rng rng(23);
+  for (int trial = 0; trial < 100; ++trial) {
+    BitVector chunk(256);
+    for (std::size_t i = 0; i < 256; ++i) {
+      if (rng.next_bool(0.5)) chunk.set(i);
+    }
+    TransformedChunk tc = t.forward(chunk);
+    const auto pkt =
+        GdPacket::make_uncompressed(tc.syndrome, tc.excess, tc.basis);
+    const auto wire = pkt.serialize(p);
+    const GdPacket back = GdPacket::parse(p, PacketType::uncompressed, wire);
+    EXPECT_EQ(t.inverse(back.excess, back.basis, back.syndrome), chunk);
+  }
+}
+
+TEST(GdPacket, NonDefaultGeometrySizes) {
+  GdParams p;
+  p.m = 10;          // (1023, 1013)
+  p.chunk_bits = 1024;
+  p.id_bits = 15;
+  p.model_tofino_padding = false;
+  p.validate();
+  // Type 2: 10 + 1 + 1013 = 1024 bits = 128 B.
+  EXPECT_EQ(p.type2_payload_bytes(), 128u);
+  // Type 3: 10 + 1 + 15 = 26 bits -> 4 B.
+  EXPECT_EQ(p.type3_payload_bytes(), 4u);
+  const auto pkt = GdPacket::make_compressed(0x3FF, BitVector(1), 1);
+  EXPECT_EQ(pkt.serialize(p).size(), 4u);
+}
+
+}  // namespace
+}  // namespace zipline::gd

@@ -1,0 +1,105 @@
+// GD stream container tests: round-trips across data shapes, header
+// validation, corruption detection, and ratio behaviour on the sensor
+// workload versus incompressible data.
+#include "gd/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "trace/synthetic.hpp"
+
+namespace zipline::gd {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t size) {
+  std::vector<std::uint8_t> data(size);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  return data;
+}
+
+TEST(GdStream, EmptyInput) {
+  const auto container = gd_stream_compress({});
+  EXPECT_TRUE(gd_stream_decompress(container).empty());
+}
+
+TEST(GdStream, RoundTripsArbitrarySizes) {
+  Rng rng(1);
+  for (const std::size_t size : {1u, 31u, 32u, 33u, 64u, 1000u, 40000u}) {
+    const auto data = random_bytes(rng, size);
+    const auto container = gd_stream_compress(data);
+    EXPECT_EQ(gd_stream_decompress(container), data) << "size " << size;
+  }
+}
+
+TEST(GdStream, SensorDataCompresses) {
+  trace::SyntheticSensorConfig config;
+  config.chunk_count = 20000;
+  const auto data = trace::concatenate(generate_synthetic_sensor(config));
+  StreamStats stats;
+  const auto container = gd_stream_compress(data, stream_default_params(),
+                                            &stats);
+  EXPECT_EQ(gd_stream_decompress(container), data);
+  // Mirrored learning: one uncompressed packet per basis, the rest 3 B.
+  EXPECT_LT(stats.ratio(), 0.15);
+  EXPECT_GT(stats.compressed_packets, 19000u);
+}
+
+TEST(GdStream, IncompressibleDataExpandsOnlySlightly) {
+  Rng rng(2);
+  const auto data = random_bytes(rng, 32000);  // 1000 random chunks
+  StreamStats stats;
+  const auto container =
+      gd_stream_compress(data, stream_default_params(), &stats);
+  EXPECT_EQ(gd_stream_decompress(container), data);
+  // Every chunk is a fresh basis: 32 -> 33 B (type 2 + tag). Overhead
+  // bounded by ~7% (tag + container header/trailer).
+  EXPECT_LT(stats.ratio(), 1.07);
+}
+
+TEST(GdStream, NonDefaultParameters) {
+  GdParams params = stream_default_params();
+  params.m = 10;  // (1023, 1013), 128-byte chunks
+  params.chunk_bits = 1024;
+  Rng rng(3);
+  // Repetitive data at the larger chunk size.
+  std::vector<std::uint8_t> data;
+  const auto base = random_bytes(rng, 128);
+  for (int i = 0; i < 200; ++i) {
+    data.insert(data.end(), base.begin(), base.end());
+  }
+  data.resize(data.size() + 17, 0xEE);  // ragged tail
+  const auto container = gd_stream_compress(data, params);
+  EXPECT_EQ(gd_stream_decompress(container), data);
+}
+
+TEST(GdStream, DetectsCorruption) {
+  Rng rng(4);
+  const auto data = random_bytes(rng, 5000);
+  auto container = gd_stream_compress(data);
+  // Body corruption -> CRC mismatch.
+  auto corrupted = container;
+  corrupted[container.size() / 2] ^= 0x10;
+  EXPECT_THROW((void)gd_stream_decompress(corrupted), std::runtime_error);
+  // Magic corruption.
+  corrupted = container;
+  corrupted[0] = 'X';
+  EXPECT_THROW((void)gd_stream_decompress(corrupted), std::runtime_error);
+  // Truncation.
+  corrupted.assign(container.begin(),
+                   container.begin() + static_cast<std::ptrdiff_t>(
+                                           container.size() / 2));
+  EXPECT_THROW((void)gd_stream_decompress(corrupted), std::runtime_error);
+  // Bad header parameters.
+  corrupted = container;
+  corrupted[5] = 99;  // m = 99
+  EXPECT_THROW((void)gd_stream_decompress(corrupted), std::runtime_error);
+}
+
+TEST(GdStream, RejectsUnsupportedVersion) {
+  auto container = gd_stream_compress({});
+  container[4] = 9;
+  EXPECT_THROW((void)gd_stream_decompress(container), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace zipline::gd

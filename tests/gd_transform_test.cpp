@@ -1,0 +1,165 @@
+#include "gd/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace zipline::gd {
+namespace {
+
+using bits::BitVector;
+
+BitVector random_chunk(Rng& rng, std::size_t bits) {
+  BitVector v(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (rng.next_bool(0.5)) v.set(i);
+  }
+  return v;
+}
+
+TEST(GdParams, PaperDefaultsMatchFigure3Accounting) {
+  const GdParams p;  // m=8, 256-bit chunks, 15-bit IDs
+  p.validate();
+  EXPECT_EQ(p.n(), 255u);
+  EXPECT_EQ(p.k(), 247u);
+  EXPECT_EQ(p.excess_bits(), 1u);  // the paper's raw MSB bit
+  EXPECT_EQ(p.dictionary_capacity(), 32768u);
+  EXPECT_EQ(p.raw_payload_bytes(), 32u);
+  // Type 2 is 33 B: 32 B of data + 1 B of modeled Tofino padding => the
+  // paper's measured 1.03 "no table" ratio.
+  EXPECT_EQ(p.type2_payload_bytes(), 33u);
+  // Type 3 is 3 B: 8 + 1 + 15 = 24 bits => the paper's 0.09 ratio.
+  EXPECT_EQ(p.type3_payload_bytes(), 3u);
+}
+
+TEST(GdParams, PaddingModelCanBeDisabled) {
+  GdParams p;
+  p.model_tofino_padding = false;
+  p.validate();
+  EXPECT_EQ(p.type2_payload_bytes(), 32u);  // GD adds no bits by itself
+}
+
+TEST(GdParams, ValidationCatchesBadCombinations) {
+  GdParams p;
+  p.m = 2;
+  EXPECT_THROW(p.validate(), zipline::ContractViolation);
+  p = GdParams{};
+  p.chunk_bits = 100;  // below n=255
+  EXPECT_THROW(p.validate(), zipline::ContractViolation);
+  p = GdParams{};
+  p.id_bits = 0;
+  EXPECT_THROW(p.validate(), zipline::ContractViolation);
+  p = GdParams{};
+  p.generator = crc::Gf2Poly(0b11111);  // not primitive, wrong degree
+  EXPECT_THROW(p.validate(), zipline::ContractViolation);
+}
+
+TEST(GdTransform, ForwardSplitsExcessAndBasis) {
+  const GdParams p;
+  const GdTransform t(p);
+  Rng rng(1);
+  const BitVector chunk = random_chunk(rng, 256);
+  const TransformedChunk tc = t.forward(chunk);
+  EXPECT_EQ(tc.excess.size(), 1u);
+  EXPECT_EQ(tc.basis.size(), 247u);
+  EXPECT_LT(tc.syndrome, 256u);
+  // Excess bit is the chunk's MSB (bit 255).
+  EXPECT_EQ(tc.excess.get(0), chunk.get(255));
+}
+
+TEST(GdTransform, RoundTripRandomChunks) {
+  const GdParams p;
+  const GdTransform t(p);
+  Rng rng(2);
+  for (int trial = 0; trial < 500; ++trial) {
+    const BitVector chunk = random_chunk(rng, 256);
+    EXPECT_EQ(t.inverse(t.forward(chunk)), chunk);
+  }
+}
+
+TEST(GdTransform, SingleBitNoiseKeepsBasis) {
+  // The GD property the whole paper builds on: chunks within one bit of a
+  // codeword share a basis, so sensor noise folds into the deviation.
+  const GdParams p;
+  const GdTransform t(p);
+  Rng rng(3);
+  const BitVector chunk = random_chunk(rng, 256);
+  const TransformedChunk base = t.forward(chunk);
+  // Flipping any bit in the codeword region whose current syndrome is zero
+  // keeps the basis. Build a canonical chunk first (syndrome zero).
+  BitVector canonical = t.inverse(base.excess, base.basis, 0);
+  const TransformedChunk c0 = t.forward(canonical);
+  ASSERT_EQ(c0.syndrome, 0u);
+  for (int trial = 0; trial < 100; ++trial) {
+    BitVector noisy = canonical;
+    noisy.flip(rng.next_below(255));  // anywhere in the Hamming word
+    const TransformedChunk tc = t.forward(noisy);
+    EXPECT_EQ(tc.basis, c0.basis);
+    EXPECT_NE(tc.syndrome, 0u);
+  }
+}
+
+TEST(GdTransform, ExcessBitsTravelVerbatim) {
+  GdParams p;
+  p.chunk_bits = 264;  // 9 excess bits over n=255
+  p.validate();
+  const GdTransform t(p);
+  Rng rng(4);
+  for (int trial = 0; trial < 50; ++trial) {
+    const BitVector chunk = random_chunk(rng, 264);
+    const TransformedChunk tc = t.forward(chunk);
+    EXPECT_EQ(tc.excess.size(), 9u);
+    for (std::size_t i = 0; i < 9; ++i) {
+      EXPECT_EQ(tc.excess.get(i), chunk.get(255 + i));
+    }
+    EXPECT_EQ(t.inverse(tc), chunk);
+  }
+}
+
+TEST(GdTransform, WrongChunkSizeThrows) {
+  const GdTransform t(GdParams{});
+  EXPECT_THROW(t.forward(BitVector(255)), zipline::ContractViolation);
+  EXPECT_THROW(t.inverse(BitVector(2), BitVector(247), 0),
+               zipline::ContractViolation);
+  EXPECT_THROW(t.inverse(BitVector(1), BitVector(246), 0),
+               zipline::ContractViolation);
+  EXPECT_THROW(t.inverse(BitVector(1), BitVector(247), 256),
+               zipline::ContractViolation);
+}
+
+// Round-trip across a sweep of (m, chunk_bits) configurations, including
+// chunk_bits == n (no excess) and large excess.
+struct TransformConfig {
+  int m;
+  std::size_t chunk_bits;
+};
+
+class GdTransformSweep : public ::testing::TestWithParam<TransformConfig> {};
+
+TEST_P(GdTransformSweep, RoundTrip) {
+  GdParams p;
+  p.m = GetParam().m;
+  p.chunk_bits = GetParam().chunk_bits;
+  p.id_bits = std::min<std::size_t>(15, p.k() - 1);
+  p.validate();
+  const GdTransform t(p);
+  Rng rng(static_cast<std::uint64_t>(p.m) * 31 + p.chunk_bits);
+  for (int trial = 0; trial < 100; ++trial) {
+    const BitVector chunk = random_chunk(rng, p.chunk_bits);
+    EXPECT_EQ(t.inverse(t.forward(chunk)), chunk);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, GdTransformSweep,
+    ::testing::Values(TransformConfig{3, 7}, TransformConfig{3, 8},
+                      TransformConfig{4, 15}, TransformConfig{4, 16},
+                      TransformConfig{5, 32}, TransformConfig{6, 64},
+                      TransformConfig{7, 128}, TransformConfig{8, 255},
+                      TransformConfig{8, 256}, TransformConfig{8, 272},
+                      TransformConfig{9, 512}, TransformConfig{10, 1024},
+                      TransformConfig{11, 2048}));
+
+}  // namespace
+}  // namespace zipline::gd

@@ -1,0 +1,196 @@
+#include "hamming/hamming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace zipline::hamming {
+namespace {
+
+using bits::BitVector;
+
+TEST(HammingCode, DimensionsFollowM) {
+  for (int m = 3; m <= 12; ++m) {
+    const HammingCode code(m);
+    EXPECT_EQ(code.n(), (std::size_t{1} << m) - 1);
+    EXPECT_EQ(code.k(), code.n() - static_cast<std::size_t>(m));
+  }
+}
+
+TEST(HammingCode, RejectsNonPrimitiveGenerator) {
+  // x^4+x^3+x^2+x+1 is irreducible but not primitive.
+  EXPECT_THROW(HammingCode(4, crc::Gf2Poly(0b11111)),
+               zipline::ContractViolation);
+  // Degree mismatch.
+  EXPECT_THROW(HammingCode(4, crc::Gf2Poly(0b1011)),
+               zipline::ContractViolation);
+}
+
+TEST(HammingCode, EncodeProducesCodewords) {
+  const HammingCode code(4);  // (15, 11)
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    BitVector msg(code.k());
+    for (std::size_t i = 0; i < code.k(); ++i) {
+      if (rng.next_bool(0.5)) msg.set(i);
+    }
+    const BitVector cw = code.encode(msg);
+    EXPECT_EQ(cw.size(), code.n());
+    EXPECT_TRUE(code.is_codeword(cw));
+    // Systematic: message recoverable by truncating parity.
+    EXPECT_EQ(cw.slice(static_cast<std::size_t>(code.m()), code.k()), msg);
+  }
+}
+
+TEST(HammingCode, PaperSection2WorkedExampleBasisZero) {
+  // Chunks {0000000, 0000001, 0000010, ..., 1000000} -> basis 0000.
+  const HammingCode code(3);
+  for (int flip = -1; flip < 7; ++flip) {
+    BitVector word(7);
+    if (flip >= 0) word.set(static_cast<std::size_t>(flip));
+    const Canonical c = code.canonicalize(word);
+    EXPECT_TRUE(c.basis.none()) << "flip=" << flip;
+    if (flip < 0) {
+      EXPECT_EQ(c.syndrome, 0u);
+    } else {
+      EXPECT_NE(c.syndrome, 0u);
+    }
+    EXPECT_EQ(code.expand(c.basis, c.syndrome), word);
+  }
+}
+
+TEST(HammingCode, PaperSection2WorkedExampleBasisOnes) {
+  // Chunks {1111111, 1111110, ...} -> basis 1111.
+  const HammingCode code(3);
+  const BitVector all_ones = BitVector::from_string("1111111");
+  for (int flip = -1; flip < 7; ++flip) {
+    BitVector word = all_ones;
+    if (flip >= 0) word.flip(static_cast<std::size_t>(flip));
+    const Canonical c = code.canonicalize(word);
+    EXPECT_EQ(c.basis.to_string(), "1111") << "flip=" << flip;
+    EXPECT_EQ(code.expand(c.basis, c.syndrome), word);
+  }
+}
+
+TEST(HammingCode, SyndromeTableMatchesPaperTable2) {
+  const HammingCode code(3);
+  const std::uint32_t expected[7] = {0b001, 0b010, 0b100, 0b011,
+                                     0b110, 0b111, 0b101};
+  for (std::size_t pos = 0; pos < 7; ++pos) {
+    EXPECT_EQ(code.syndrome_of_position(pos), expected[pos]);
+    EXPECT_EQ(code.error_position(expected[pos]), pos);
+  }
+}
+
+TEST(HammingCode, ErrorPositionRejectsZeroSyndrome) {
+  const HammingCode code(3);
+  EXPECT_THROW((void)code.error_position(0), zipline::ContractViolation);
+  EXPECT_THROW((void)code.error_position(8), zipline::ContractViolation);
+}
+
+TEST(HammingCode, PerfectCodeExhaustiveM3) {
+  // Every 7-bit word maps to exactly one (basis, syndrome) and back.
+  const HammingCode code(3);
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t w = 0; w < 128; ++w) {
+    const BitVector word(7, w);
+    const Canonical c = code.canonicalize(word);
+    EXPECT_LT(c.syndrome, 8u);
+    EXPECT_EQ(c.basis.size(), 4u);
+    const std::uint64_t key = (c.basis.to_uint64() << 3) | c.syndrome;
+    EXPECT_TRUE(seen.insert(key).second) << "collision at w=" << w;
+    EXPECT_EQ(code.expand(c.basis, c.syndrome), word);
+  }
+  EXPECT_EQ(seen.size(), 128u);  // bijection: 16 bases x 8 syndromes
+}
+
+TEST(HammingCode, PerfectCodeExhaustiveM4) {
+  const HammingCode code(4);
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t w = 0; w < (1u << 15); ++w) {
+    const BitVector word(15, w);
+    const Canonical c = code.canonicalize(word);
+    const std::uint64_t key = (c.basis.to_uint64() << 4) | c.syndrome;
+    EXPECT_TRUE(seen.insert(key).second);
+    EXPECT_EQ(code.expand(c.basis, c.syndrome), word);
+  }
+  EXPECT_EQ(seen.size(), std::size_t{1} << 15);
+}
+
+TEST(HammingCode, CanonicalizeAgreesWithNearestCodeword) {
+  // basis of word == message of the codeword at Hamming distance <= 1.
+  const HammingCode code(3);
+  for (std::uint64_t u = 0; u < 16; ++u) {
+    const BitVector cw = code.encode(BitVector(4, u));
+    for (std::size_t pos = 0; pos < 7; ++pos) {
+      BitVector word = cw;
+      word.flip(pos);
+      const Canonical c = code.canonicalize(word);
+      EXPECT_EQ(c.basis.to_uint64(), u);
+      EXPECT_EQ(code.error_position(c.syndrome), pos);
+    }
+  }
+}
+
+// Parameterized property sweep over all supported orders.
+class HammingRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(HammingRoundTrip, RandomWordsRoundTrip) {
+  const int m = GetParam();
+  const HammingCode code(m);
+  Rng rng(static_cast<std::uint64_t>(m) * 7919);
+  for (int trial = 0; trial < 200; ++trial) {
+    BitVector word(code.n());
+    for (std::size_t i = 0; i < code.n(); ++i) {
+      if (rng.next_bool(0.5)) word.set(i);
+    }
+    const Canonical c = code.canonicalize(word);
+    EXPECT_EQ(code.expand(c.basis, c.syndrome), word);
+  }
+}
+
+TEST_P(HammingRoundTrip, SingleBitNeighborsShareBasis) {
+  const int m = GetParam();
+  const HammingCode code(m);
+  Rng rng(static_cast<std::uint64_t>(m) * 104729);
+  BitVector msg(code.k());
+  for (std::size_t i = 0; i < code.k(); ++i) {
+    if (rng.next_bool(0.5)) msg.set(i);
+  }
+  const BitVector cw = code.encode(msg);
+  for (int trial = 0; trial < 64; ++trial) {
+    BitVector word = cw;
+    word.flip(rng.next_below(code.n()));
+    EXPECT_EQ(code.canonicalize(word).basis, msg);
+  }
+}
+
+TEST_P(HammingRoundTrip, SyndromePositionBijection) {
+  const int m = GetParam();
+  const HammingCode code(m);
+  for (std::size_t pos = 0; pos < code.n(); ++pos) {
+    const std::uint32_t s = code.syndrome_of_position(pos);
+    EXPECT_EQ(code.error_position(s), pos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, HammingRoundTrip,
+                         ::testing::Range(3, 16));
+
+// The paper's alternative generators (Table 1) must give valid codes too.
+TEST(HammingCode, AlternativeGeneratorsFromTable1) {
+  const HammingCode c5(5, crc::Gf2Poly::from_crc_param(5, 0x17));
+  EXPECT_EQ(c5.n(), 31u);
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitVector word(31, rng.next_u64() & 0x7FFFFFFF);
+    const Canonical c = c5.canonicalize(word);
+    EXPECT_EQ(c5.expand(c.basis, c.syndrome), word);
+  }
+}
+
+}  // namespace
+}  // namespace zipline::hamming

@@ -1,0 +1,234 @@
+// Cross-module integration tests: trace -> pcap -> replay -> switch
+// encode -> switch decode -> bit-exact payloads; codec/switch equivalence;
+// failure injection at the packet and frame layers; learning under
+// dictionary pressure.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "gd/codec.hpp"
+#include "net/pcap.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/host.hpp"
+#include "sim/replay.hpp"
+#include "sim/switch_node.hpp"
+#include "sim/testbed.hpp"
+#include "trace/dns.hpp"
+#include "trace/synthetic.hpp"
+#include "zipline/controller.hpp"
+
+namespace zipline {
+namespace {
+
+using bits::BitVector;
+
+TEST(Integration, TraceToPcapToReplayToDecode) {
+  // The paper's full experimental pipeline, end to end, with on-disk pcap
+  // in the middle and a second switch decoding the encoder's output.
+  trace::SyntheticSensorConfig trace_config;
+  trace_config.chunk_count = 5000;
+  trace_config.sensor_count = 5;
+  const auto payloads = trace::generate_synthetic_sensor(trace_config);
+
+  const auto path = (std::filesystem::temp_directory_path() /
+                     "zipline_integration.pcap")
+                        .string();
+  trace::write_payloads_pcap(path, payloads, 100000.0);
+  const auto replayed = trace::read_payloads_pcap(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(replayed.size(), payloads.size());
+
+  // Encode switch with mirrored-learning reference decoder behind it.
+  prog::ZipLineConfig enc_config;
+  enc_config.op = prog::SwitchOp::encode;
+  enc_config.learning = prog::LearningMode::data_plane;  // instant learning
+  prog::ZipLineConfig dec_config = enc_config;
+  dec_config.op = prog::SwitchOp::decode;
+  auto encoder = std::make_shared<prog::ZipLineProgram>(enc_config);
+  auto decoder = std::make_shared<prog::ZipLineProgram>(dec_config);
+  tofino::SwitchModel enc_sw("enc", encoder);
+  tofino::SwitchModel dec_sw("dec", decoder);
+
+  for (std::size_t i = 0; i < replayed.size(); ++i) {
+    net::EthernetFrame frame;
+    frame.dst = net::MacAddress::local(2);
+    frame.src = net::MacAddress::local(1);
+    frame.ether_type = 0x5A01;
+    frame.payload = replayed[i];  // includes min-frame padding from pcap
+    const auto encoded = enc_sw.process(frame, 1, static_cast<SimTime>(i));
+    ASSERT_FALSE(encoded.dropped);
+    const auto decoded =
+        dec_sw.process(encoded.frame, 1, static_cast<SimTime>(i));
+    ASSERT_FALSE(decoded.dropped);
+    // The decoded chunk equals the original payload's first 32 bytes.
+    ASSERT_EQ(decoded.frame.payload.size(), 32u);
+    EXPECT_TRUE(std::equal(decoded.frame.payload.begin(),
+                           decoded.frame.payload.end(), payloads[i].begin()))
+        << "packet " << i;
+  }
+  using prog::PacketClass;
+  // Instant learning: exactly one type 2 per distinct basis.
+  EXPECT_EQ(encoder->class_packets(PacketClass::raw_to_type2),
+            decoder->class_packets(PacketClass::type2_to_raw));
+  EXPECT_GT(decoder->class_packets(PacketClass::type3_to_raw), 4000u);
+}
+
+TEST(Integration, SwitchPathMatchesHostCodecOnDnsTrace) {
+  // The switch data plane and the host-side reference codec must agree
+  // byte for byte across a whole workload (static dictionaries).
+  trace::DnsTraceConfig config;
+  config.query_count = 20000;
+  config.name_count = 200;
+  const auto payloads =
+      trace::strip_transaction_ids(trace::generate_dns_queries(config));
+
+  const gd::GdParams params;
+  prog::ZipLineConfig switch_config;
+  switch_config.op = prog::SwitchOp::encode;
+  switch_config.learning = prog::LearningMode::none;
+  auto program = std::make_shared<prog::ZipLineProgram>(switch_config);
+  tofino::SwitchModel sw("sw", program);
+  gd::GdEncoder reference{params, gd::EvictionPolicy::lru,
+                          /*learn_on_miss=*/false};
+
+  // Preload both with the same dictionary in the same order.
+  const gd::GdTransform transform(params);
+  std::size_t preloaded = 0;
+  for (const auto& p : payloads) {
+    const auto basis = transform.forward(BitVector::from_bytes(p, 256)).basis;
+    if (!reference.dictionary().peek(basis)) {
+      program->install_mapping(static_cast<std::uint32_t>(preloaded), basis, 0);
+      ++preloaded;
+    }
+    reference.preload(basis);
+  }
+
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    net::EthernetFrame frame;
+    frame.dst = net::MacAddress::local(2);
+    frame.src = net::MacAddress::local(1);
+    frame.ether_type = 0x5A01;
+    frame.payload = payloads[i];
+    const auto result = sw.process(frame, 1, static_cast<SimTime>(i));
+    const auto expected =
+        reference.encode_chunk(BitVector::from_bytes(payloads[i], 256));
+    ASSERT_EQ(result.frame.payload, expected.serialize(params)) << i;
+  }
+}
+
+TEST(Integration, CorruptedCompressedPacketIsDroppedNotMisdecoded) {
+  prog::ZipLineConfig config;
+  config.op = prog::SwitchOp::decode;
+  auto program = std::make_shared<prog::ZipLineProgram>(config);
+  tofino::SwitchModel sw("sw", program);
+  // Install one mapping; then present an ID outside the installed set.
+  Rng rng(3);
+  BitVector basis(247);
+  for (std::size_t i = 0; i < 247; ++i) {
+    if (rng.next_bool(0.5)) basis.set(i);
+  }
+  program->install_mapping(7, basis, 0);
+
+  const auto good = gd::GdPacket::make_compressed(1, BitVector(1), 7);
+  const auto bad = gd::GdPacket::make_compressed(1, BitVector(1), 8);
+  net::EthernetFrame frame;
+  frame.ether_type = gd::ether_type_for(gd::PacketType::compressed);
+  frame.payload = good.serialize(config.params);
+  EXPECT_FALSE(sw.process(frame, 1, 0).dropped);
+  frame.payload = bad.serialize(config.params);
+  EXPECT_TRUE(sw.process(frame, 1, 1).dropped);
+  EXPECT_EQ(program->class_packets(prog::PacketClass::decode_unknown_id), 1u);
+}
+
+TEST(Integration, TruncatedPayloadsRejectedAtParse) {
+  const gd::GdParams params;
+  const std::vector<std::uint8_t> short2(10, 0);
+  EXPECT_THROW(
+      (void)gd::GdPacket::parse(params, gd::PacketType::uncompressed, short2),
+      ContractViolation);
+  const std::vector<std::uint8_t> short3(2, 0);
+  EXPECT_THROW(
+      (void)gd::GdPacket::parse(params, gd::PacketType::compressed, short3),
+      ContractViolation);
+}
+
+TEST(Integration, LearningUnderEvictionPressureKeepsDecoding) {
+  // Identifier pool much smaller than the basis population: the control
+  // plane must recycle identifiers continuously. In-flight compressed
+  // packets can race an eviction (a property of the real system too), so
+  // the assertion is on liveness and on the vast majority of packets
+  // decoding exactly — not on perfection.
+  sim::EventQueue events;
+  prog::ZipLineConfig enc_config;
+  enc_config.op = prog::SwitchOp::encode;
+  enc_config.learning = prog::LearningMode::control_plane;
+  enc_config.params.id_bits = 4;  // 16 identifiers
+  prog::ZipLineConfig dec_config = enc_config;
+  dec_config.op = prog::SwitchOp::decode;
+  auto encoder = std::make_shared<prog::ZipLineProgram>(enc_config);
+  auto decoder = std::make_shared<prog::ZipLineProgram>(dec_config);
+  tofino::SwitchModel enc_sw("enc", encoder);
+  tofino::SwitchModel dec_sw("dec", decoder);
+  prog::Controller controller(events, *encoder, *decoder);
+
+  trace::SyntheticSensorConfig trace_config;
+  trace_config.chunk_count = 30000;
+  trace_config.sensor_count = 8;
+  trace_config.drift_every = 300;  // ~100 bases through a 16-entry pool
+  const auto payloads = trace::generate_synthetic_sensor(trace_config);
+
+  std::uint64_t exact = 0;
+  SimTime t = 0;
+  for (const auto& p : payloads) {
+    events.run_until(t);
+    net::EthernetFrame frame;
+    frame.dst = net::MacAddress::local(2);
+    frame.src = net::MacAddress::local(1);
+    frame.ether_type = 0x5A01;
+    frame.payload = p;
+    const auto enc_result = enc_sw.process(frame, 1, t);
+    controller.poll_digests();
+    if (!enc_result.dropped) {
+      const auto dec_result = dec_sw.process(enc_result.frame, 1, t);
+      if (!dec_result.dropped && dec_result.frame.payload == p) {
+        ++exact;
+      }
+    }
+    t += 100000;  // 10 kpkt/s
+  }
+  events.run_until(t + 10_ms);
+  EXPECT_GT(controller.stats().evictions, 50u);
+  // At least 95% of packets decode bit-exactly despite constant recycling.
+  EXPECT_GT(exact, payloads.size() * 95 / 100);
+}
+
+TEST(Integration, TestbedCountersConsistentAcrossLayers) {
+  // Switch-level, program-level and host-level counters must agree.
+  sim::TestbedConfig config;
+  config.switch_config.op = prog::SwitchOp::encode;
+  sim::Testbed bed(config);
+  std::vector<std::uint8_t> payload(32, 0x11);
+  bed.server1().start_stream(
+      bed.server2().mac(), 5000,
+      [payload](std::uint64_t) { return payload; },
+      [](std::uint64_t) { return std::uint16_t{0x5A01}; }, 0);
+  bed.events().run_until(100_ms);
+
+  const auto& sw_stats = bed.switch_model().stats();
+  EXPECT_EQ(sw_stats.packets_in, 5000u);
+  EXPECT_EQ(sw_stats.packets_out, 5000u);
+  EXPECT_EQ(sw_stats.packets_dropped, 0u);
+  EXPECT_EQ(bed.server2().sink().frames, 5000u);
+  using prog::PacketClass;
+  const auto& program = bed.program();
+  EXPECT_EQ(program.class_packets(PacketClass::raw_to_type2) +
+                program.class_packets(PacketClass::raw_to_type3),
+            5000u);
+}
+
+}  // namespace
+}  // namespace zipline

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "net/ethernet.hpp"
+#include "net/mac.hpp"
+#include "net/pcap.hpp"
+
+namespace zipline::net {
+namespace {
+
+TEST(MacAddress, ParseAndFormat) {
+  const auto mac = MacAddress::parse("de:ad:BE:ef:00:01");
+  EXPECT_EQ(mac.to_string(), "de:ad:be:ef:00:01");
+  EXPECT_EQ(mac.octets()[0], 0xDE);
+  EXPECT_EQ(mac.octets()[5], 0x01);
+}
+
+TEST(MacAddress, ParseRejectsMalformed) {
+  EXPECT_THROW(MacAddress::parse("de:ad:be:ef:00"), ContractViolation);
+  EXPECT_THROW(MacAddress::parse("de-ad-be-ef-00-01"), ContractViolation);
+  EXPECT_THROW(MacAddress::parse("zz:ad:be:ef:00:01"), ContractViolation);
+}
+
+TEST(MacAddress, LocalAddressesAreUnicastAndDistinct) {
+  const auto a = MacAddress::local(1);
+  const auto b = MacAddress::local(2);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(a.is_multicast());
+  EXPECT_FALSE(a.is_broadcast());
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddress::broadcast().is_multicast());
+}
+
+TEST(EthernetFrame, SerializeParsePreservesFields) {
+  EthernetFrame frame;
+  frame.dst = MacAddress::local(7);
+  frame.src = MacAddress::local(9);
+  frame.ether_type = 0x5A02;
+  frame.payload = {1, 2, 3, 4, 5};
+  const auto wire = frame.serialize();
+  EXPECT_EQ(wire.size(), kMinFrameBytes);  // padded up
+  const EthernetFrame back = EthernetFrame::parse(wire);
+  EXPECT_EQ(back.dst, frame.dst);
+  EXPECT_EQ(back.src, frame.src);
+  EXPECT_EQ(back.ether_type, frame.ether_type);
+  // Payload keeps the minimum-frame padding (46 bytes).
+  ASSERT_GE(back.payload.size(), frame.payload.size());
+  EXPECT_TRUE(std::equal(frame.payload.begin(), frame.payload.end(),
+                         back.payload.begin()));
+}
+
+TEST(EthernetFrame, FcsDetectsCorruption) {
+  EthernetFrame frame;
+  frame.dst = MacAddress::local(1);
+  frame.src = MacAddress::local(2);
+  frame.ether_type = 0x0800;
+  frame.payload.assign(100, 0xAB);
+  auto wire = frame.serialize();
+  wire[20] ^= 0x40;
+  EXPECT_THROW(EthernetFrame::parse(wire), ContractViolation);
+  EXPECT_NO_THROW(EthernetFrame::parse(wire, /*verify_fcs=*/false));
+}
+
+TEST(EthernetFrame, FrameBytesAccountsForPaddingAndFcs) {
+  EthernetFrame small;
+  small.payload.assign(1, 0);
+  EXPECT_EQ(small.frame_bytes(), kMinFrameBytes);
+  EthernetFrame full;
+  full.payload.assign(1500, 0);  // classic MTU payload
+  EXPECT_EQ(full.frame_bytes(), 1518u);
+  EXPECT_EQ(full.serialize().size(), 1518u);
+}
+
+TEST(WireTime, MatchesLineRateArithmetic) {
+  // 64 B frame + 20 B overhead at 100 Gbit/s = 6.72 ns.
+  EXPECT_NEAR(wire_time_ns(64, 100.0), 6.72, 1e-9);
+  // Max packet rate at 64 B: ~148.8 Mpps on 100G.
+  EXPECT_NEAR(line_rate_pps(64, 100.0) / 1e6, 148.8, 0.1);
+  // 1518 B frames: ~8.13 Mpps.
+  EXPECT_NEAR(line_rate_pps(1518, 100.0) / 1e6, 8.13, 0.01);
+}
+
+class PcapRoundTrip : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ =
+      (std::filesystem::temp_directory_path() / "zipline_pcap_test.pcap")
+          .string();
+};
+
+TEST_F(PcapRoundTrip, WriteReadRecords) {
+  Rng rng(3);
+  std::vector<PcapRecord> originals;
+  {
+    PcapWriter writer(path_);
+    for (int i = 0; i < 25; ++i) {
+      PcapRecord r;
+      r.timestamp_us = 1'600'000'000'000'000ull +
+                       static_cast<std::uint64_t>(i) * 137;
+      r.data.resize(64 + rng.next_below(200));
+      for (auto& b : r.data) b = static_cast<std::uint8_t>(rng.next_u64());
+      writer.write_record(r);
+      originals.push_back(std::move(r));
+    }
+    EXPECT_EQ(writer.records_written(), 25u);
+  }
+  PcapReader reader(path_);
+  const auto records = reader.read_all();
+  ASSERT_EQ(records.size(), originals.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].timestamp_us, originals[i].timestamp_us);
+    EXPECT_EQ(records[i].data, originals[i].data);
+  }
+}
+
+TEST_F(PcapRoundTrip, FramesSurviveThePcapLayer) {
+  {
+    PcapWriter writer(path_);
+    EthernetFrame frame;
+    frame.dst = MacAddress::local(10);
+    frame.src = MacAddress::local(20);
+    frame.ether_type = 0x5A01;
+    frame.payload.assign(32, 0x55);
+    writer.write_frame(frame, 42);
+  }
+  PcapReader reader(path_);
+  const auto record = reader.next();
+  ASSERT_TRUE(record.has_value());
+  const EthernetFrame frame = EthernetFrame::parse(record->data);
+  EXPECT_EQ(frame.ether_type, 0x5A01);
+  EXPECT_EQ(frame.dst, MacAddress::local(10));
+  const auto next = reader.next();
+  EXPECT_FALSE(next.has_value());
+}
+
+TEST_F(PcapRoundTrip, RejectsGarbageFiles) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "this is not a pcap file at all";
+  }
+  EXPECT_THROW(PcapReader reader(path_), std::runtime_error);
+}
+
+TEST(Pcap, MissingFileThrows) {
+  EXPECT_THROW(PcapReader reader("/nonexistent/zipline.pcap"),
+               std::runtime_error);
+  EXPECT_THROW(PcapWriter writer("/nonexistent/dir/zipline.pcap"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace zipline::net

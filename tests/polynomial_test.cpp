@@ -1,0 +1,130 @@
+#include "crc/polynomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace zipline::crc {
+namespace {
+
+TEST(Gf2Poly, DegreeAndZero) {
+  EXPECT_EQ(Gf2Poly(0).degree(), -1);
+  EXPECT_TRUE(Gf2Poly(0).is_zero());
+  EXPECT_EQ(Gf2Poly(1).degree(), 0);
+  EXPECT_EQ(Gf2Poly(0b1011).degree(), 3);
+  EXPECT_EQ(Gf2Poly(1ull << 63).degree(), 63);
+}
+
+TEST(Gf2Poly, CrcParamStripsLeadingTerm) {
+  EXPECT_EQ(Gf2Poly(0b1011).crc_param(), 0b011u);   // x^3+x+1 -> 0x3
+  EXPECT_EQ(Gf2Poly(0x11D).crc_param(), 0x1Du);     // paper Table 1, m=8
+  EXPECT_EQ(Gf2Poly(0x8003).crc_param(), 0x003u);   // m=15
+}
+
+TEST(Gf2Poly, MultiplicationCarryless) {
+  // (x+1)(x+1) = x^2+1 over GF(2)
+  EXPECT_EQ(Gf2Poly(0b11) * Gf2Poly(0b11), Gf2Poly(0b101));
+  // (x^2+x+1)(x+1) = x^3+1
+  EXPECT_EQ(Gf2Poly(0b111) * Gf2Poly(0b11), Gf2Poly(0b1001));
+  EXPECT_EQ(Gf2Poly(0) * Gf2Poly(0b101), Gf2Poly(0));
+}
+
+TEST(Gf2Poly, ModReducesBelowDivisorDegree) {
+  const Gf2Poly g(0b1011);  // x^3+x+1
+  // x^3 mod g = x+1
+  EXPECT_EQ(Gf2Poly(0b1000).mod(g), Gf2Poly(0b011));
+  // x^6 mod g = x^2+1 (paper Table 2b)
+  EXPECT_EQ(Gf2Poly(0b1000000).mod(g), Gf2Poly(0b101));
+  // A codeword divides evenly: g itself.
+  EXPECT_EQ(g.mod(g), Gf2Poly(0));
+}
+
+TEST(Gf2Poly, MulModConsistency) {
+  const Gf2Poly g(0x11D);
+  // (a*b) mod g computed two ways.
+  const Gf2Poly a(0xAB);
+  const Gf2Poly b(0xCD);
+  const Gf2Poly direct = (a * b).mod(g);
+  // Horner via x_pow_mod: a*b = sum over set bits of b of a*x^i
+  Gf2Poly acc(0);
+  for (int i = 0; i < 8; ++i) {
+    if ((b.bits() >> i) & 1) {
+      acc = acc ^ (a * Gf2Poly(1ull << i)).mod(g);
+    }
+  }
+  EXPECT_EQ(direct, acc);
+}
+
+TEST(Gf2Poly, XPowModMatchesRepeatedMultiplication) {
+  const Gf2Poly g(0b1011);
+  Gf2Poly acc(1);
+  for (std::uint64_t e = 0; e < 20; ++e) {
+    EXPECT_EQ(Gf2Poly::x_pow_mod(e, g), acc) << "e=" << e;
+    acc = (acc * Gf2Poly(2)).mod(g);
+  }
+}
+
+TEST(Gf2Poly, XPowModPeriodIsGroupOrder) {
+  // For primitive g of degree m, x has order 2^m - 1.
+  const Gf2Poly g(0x11D);  // primitive degree 8
+  EXPECT_EQ(Gf2Poly::x_pow_mod(255, g), Gf2Poly(1));
+  EXPECT_NE(Gf2Poly::x_pow_mod(85, g), Gf2Poly(1));   // 255/3
+  EXPECT_NE(Gf2Poly::x_pow_mod(51, g), Gf2Poly(1));   // 255/5
+  EXPECT_NE(Gf2Poly::x_pow_mod(15, g), Gf2Poly(1));   // 255/17
+}
+
+TEST(Gf2Poly, GcdBasics) {
+  const Gf2Poly a(0b110);   // x^2+x = x(x+1)
+  const Gf2Poly b(0b10);    // x
+  EXPECT_EQ(Gf2Poly::gcd(a, b), Gf2Poly(0b10));
+  // Coprime polynomials have gcd 1.
+  EXPECT_EQ(Gf2Poly::gcd(Gf2Poly(0b1011), Gf2Poly(0b111)).degree(), 0);
+}
+
+TEST(Gf2Poly, IrreducibilityKnownCases) {
+  EXPECT_TRUE(Gf2Poly(0b1011).is_irreducible());   // x^3+x+1
+  EXPECT_TRUE(Gf2Poly(0b1101).is_irreducible());   // x^3+x^2+1
+  EXPECT_FALSE(Gf2Poly(0b1001).is_irreducible());  // x^3+1 = (x+1)(x^2+x+1)
+  EXPECT_FALSE(Gf2Poly(0b101).is_irreducible());   // x^2+1 = (x+1)^2
+  EXPECT_TRUE(Gf2Poly(0b111).is_irreducible());    // x^2+x+1
+}
+
+TEST(Gf2Poly, PrimitivityKnownCases) {
+  EXPECT_TRUE(Gf2Poly(0b1011).is_primitive());
+  // x^4+x^3+x^2+x+1 is irreducible but NOT primitive (x has order 5, not 15).
+  EXPECT_TRUE(Gf2Poly(0b11111).is_irreducible());
+  EXPECT_FALSE(Gf2Poly(0b11111).is_primitive());
+  EXPECT_TRUE(Gf2Poly(0b10011).is_primitive());  // x^4+x+1
+  EXPECT_FALSE(Gf2Poly(0b1001).is_primitive());  // reducible
+}
+
+TEST(Gf2Poly, AllDefaultHammingGeneratorsArePrimitive) {
+  for (int m = 3; m <= 15; ++m) {
+    const Gf2Poly g = default_hamming_generator(m);
+    EXPECT_EQ(g.degree(), m);
+    EXPECT_TRUE(g.is_primitive()) << "m=" << m << " g=" << g.to_string();
+  }
+}
+
+TEST(Gf2Poly, PaperTable1AlternativeGenerators) {
+  // Table 1 lists second options for (31,26) and (511,502).
+  EXPECT_TRUE(Gf2Poly::from_crc_param(5, 0x17).is_primitive());
+  EXPECT_TRUE(
+      Gf2Poly(0b1111100011).is_primitive());  // x^9+x^8+x^7+x^6+x^5+x+1
+}
+
+TEST(Gf2Poly, ToStringHumanReadable) {
+  EXPECT_EQ(Gf2Poly(0b1011).to_string(), "x^3 + x + 1");
+  EXPECT_EQ(Gf2Poly(0b11).to_string(), "x + 1");
+  EXPECT_EQ(Gf2Poly(1).to_string(), "1");
+  EXPECT_EQ(Gf2Poly(0).to_string(), "0");
+  EXPECT_EQ(Gf2Poly(0x11D).to_string(), "x^8 + x^4 + x^3 + x^2 + 1");
+}
+
+TEST(Gf2Poly, DefaultGeneratorRejectsOutOfRange) {
+  EXPECT_THROW(default_hamming_generator(2), zipline::ContractViolation);
+  EXPECT_THROW(default_hamming_generator(16), zipline::ContractViolation);
+}
+
+}  // namespace
+}  // namespace zipline::crc

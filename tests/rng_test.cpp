@@ -1,0 +1,118 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace zipline {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+  }
+  EXPECT_THROW(rng.next_below(0), ContractViolation);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(11);
+  std::array<int, 5> counts{};
+  for (int i = 0; i < 5000; ++i) ++counts[rng.next_below(5)];
+  for (const int c : counts) {
+    EXPECT_GT(c, 800);  // ~1000 expected
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_in(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    saw_lo |= v == 10;
+    saw_hi |= v == 13;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng rng(19);
+  const int n = 20000;
+  double sum = 0;
+  double sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_normal(5.0, 2.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.25);
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(23);
+  const int n = 20000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_exponential(3.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(ZipfSampler, RanksAreMonotonicallyLessFrequent) {
+  Rng rng(29);
+  ZipfSampler zipf(100, 1.0);
+  std::array<int, 100> counts{};
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.sample(rng)];
+  // Rank 0 must dominate rank 9 which must dominate rank 99.
+  EXPECT_GT(counts[0], counts[9]);
+  EXPECT_GT(counts[9], counts[99]);
+  // Zipf(1): p(0)/p(9) = 10; allow generous tolerance.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[9], 10.0, 3.0);
+}
+
+TEST(ZipfSampler, SingleElementAlwaysRankZero) {
+  Rng rng(31);
+  ZipfSampler zipf(1, 1.2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace zipline

@@ -1,0 +1,218 @@
+// Simulator core tests: event ordering, link serialization arithmetic,
+// host pacing against the paper's 7 Mpkt/s generator bottleneck, and the
+// end-to-end testbed wiring.
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/host.hpp"
+#include "sim/link.hpp"
+#include "sim/stats.hpp"
+#include "sim/testbed.hpp"
+
+namespace zipline::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(300, [&] { order.push_back(3); });
+  q.schedule(100, [&] { order.push_back(1); });
+  q.schedule(200, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 300);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(50, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(100, [&] { ++fired; });
+  q.schedule(200, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(150), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 150);  // clock advances to the boundary
+  EXPECT_EQ(q.run_until(250), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, HandlersMayScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) q.schedule(q.now() + 10, tick);
+  };
+  q.schedule(0, tick);
+  q.run_all();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(q.now(), 90);
+}
+
+TEST(EventQueue, PastSchedulingRejected) {
+  EventQueue q;
+  q.schedule(100, [] {});
+  q.run_all();
+  EXPECT_THROW(q.schedule(50, [] {}), ContractViolation);
+}
+
+class RecordingEndpoint final : public LinkEndpoint {
+ public:
+  void on_frame(const net::EthernetFrame& frame, SimTime now) override {
+    arrivals.emplace_back(now, frame.frame_bytes());
+  }
+  std::vector<std::pair<SimTime, std::size_t>> arrivals;
+};
+
+TEST(Link, SerializationAndPropagationDelays) {
+  EventQueue q;
+  Link link(q, /*gbps=*/100.0, /*propagation=*/500);
+  RecordingEndpoint a;
+  RecordingEndpoint b;
+  link.attach(&a, &b);
+  net::EthernetFrame frame;
+  frame.payload.assign(1500 - 18, 0);  // 1500 B frame
+  (void)link.transmit(&a, frame, 1000);
+  q.run_all();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  // serialization of 1520 B at 100G = 121.6 ns; arrival = 1000 + 121 + 500.
+  EXPECT_NEAR(static_cast<double>(b.arrivals[0].first), 1621.6, 2.0);
+}
+
+TEST(Link, BackToBackFramesQueueBehindEachOther) {
+  EventQueue q;
+  Link link(q, 100.0, 0);
+  RecordingEndpoint a;
+  RecordingEndpoint b;
+  link.attach(&a, &b);
+  net::EthernetFrame frame;
+  frame.payload.assign(46, 0);  // 64 B min frame, 6.72 ns wire time
+  for (int i = 0; i < 3; ++i) {
+    (void)link.transmit(&a, frame, 0);
+  }
+  q.run_all();
+  ASSERT_EQ(b.arrivals.size(), 3u);
+  // Spaced by one serialization time each.
+  const auto t0 = b.arrivals[0].first;
+  const auto t1 = b.arrivals[1].first;
+  const auto t2 = b.arrivals[2].first;
+  EXPECT_EQ(t1 - t0, t2 - t1);
+  EXPECT_GT(t1, t0);
+}
+
+TEST(Link, DirectionsAreIndependent) {
+  EventQueue q;
+  Link link(q, 100.0, 0);
+  RecordingEndpoint a;
+  RecordingEndpoint b;
+  link.attach(&a, &b);
+  net::EthernetFrame frame;
+  frame.payload.assign(8982, 0);  // 9000 B jumbo: long serialization
+  (void)link.transmit(&a, frame, 0);
+  (void)link.transmit(&b, frame, 0);
+  q.run_all();
+  ASSERT_EQ(a.arrivals.size(), 1u);
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  // Both delivered at the same time: full duplex.
+  EXPECT_EQ(a.arrivals[0].first, b.arrivals[0].first);
+}
+
+TEST(Host, StreamRateCappedByCpu) {
+  // 7 Mpkt/s CPU cap must dominate for 64 B frames on a 100 G link.
+  EventQueue q;
+  HostTiming timing;  // 143 ns per packet
+  Host sender(q, net::MacAddress::local(1), timing);
+  RecordingEndpoint sink;
+  Link link(q, 100.0, 0);
+  link.attach(&sender, &sink);
+  sender.attach_link(&link);
+  sender.start_stream(net::MacAddress::local(2), 70000, 46, 0x0800, 0);
+  q.run_all();
+  ASSERT_EQ(sink.arrivals.size(), 70000u);
+  const double seconds =
+      to_seconds(sink.arrivals.back().first - sink.arrivals.front().first);
+  const double mpps = 70000.0 / seconds / 1e6;
+  EXPECT_NEAR(mpps, 7.0, 0.2);
+}
+
+TEST(Host, JumboFramesAreLineRateLimited) {
+  EventQueue q;
+  Host sender(q, net::MacAddress::local(1));
+  RecordingEndpoint sink;
+  Link link(q, 100.0, 0);
+  link.attach(&sender, &sink);
+  sender.attach_link(&link);
+  sender.start_stream(net::MacAddress::local(2), 2000, 9000 - 18, 0x0800, 0);
+  q.run_all();
+  const double seconds =
+      to_seconds(sink.arrivals.back().first - sink.arrivals.front().first);
+  const double gbps = 2000.0 * 9000 * 8 / seconds / 1e9;
+  // 9000 B frames: 9020 B on the wire -> 99.78 Gbit/s of frame bytes.
+  EXPECT_NEAR(gbps, 99.8, 0.3);
+}
+
+TEST(Stats, SummarizeMatchesHandComputation) {
+  const std::vector<double> samples = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const SampleStats s = summarize(samples);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+  EXPECT_NEAR(s.ci95_half_width, 1.96 * 1.5811 / std::sqrt(5.0), 1e-3);
+  EXPECT_TRUE(summarize({}).count == 0);
+  EXPECT_DOUBLE_EQ(summarize({7.0}).mean, 7.0);
+}
+
+TEST(Testbed, FramesTraverseServerSwitchServer) {
+  TestbedConfig config;
+  config.switch_config.op = prog::SwitchOp::forward;
+  Testbed bed(config);
+  bed.server1().start_stream(bed.server2().mac(), 100, 46, 0x0800, 0);
+  bed.events().run_until(1_ms);
+  EXPECT_EQ(bed.server2().sink().frames, 100u);
+  EXPECT_EQ(bed.switch_model().stats().packets_in, 100u);
+}
+
+TEST(Testbed, HairpinReturnsFramesToSender) {
+  TestbedConfig config;
+  config.switch_config.op = prog::SwitchOp::forward;
+  config.hairpin = true;
+  Testbed bed(config);
+  bed.server1().start_probes(bed.server1().mac(), 10, 46, 100000, 0);
+  bed.events().run_until(5_ms);
+  EXPECT_EQ(bed.server1().rtt_samples().size(), 10u);
+  for (const double rtt_ns : bed.server1().rtt_samples()) {
+    EXPECT_GT(rtt_ns, 1000.0);     // more than a microsecond
+    EXPECT_LT(rtt_ns, 100000.0);   // well under 100 us
+  }
+}
+
+TEST(Testbed, EncodeShrinksChunkTrafficOnTheWire) {
+  TestbedConfig config;
+  config.switch_config.op = prog::SwitchOp::encode;
+  Testbed bed(config);
+  // Same payload every frame: after learning, frames leave as type 3.
+  std::vector<std::uint8_t> payload(32, 0x5A);
+  bed.server1().start_stream(
+      bed.server2().mac(), 50000,
+      [payload](std::uint64_t) { return payload; },
+      [](std::uint64_t) { return std::uint16_t{0x5A01}; }, 0);
+  bed.events().run_until(50_ms);
+  using prog::PacketClass;
+  // ~1.77 ms of learning at ~7 Mpkt/s leaves ~12.4k uncompressed packets;
+  // everything after the install compresses.
+  EXPECT_GT(bed.program().class_packets(PacketClass::raw_to_type3), 35000u);
+  EXPECT_NEAR(
+      static_cast<double>(bed.program().class_packets(PacketClass::raw_to_type2)),
+      12400.0, 2000.0);
+  EXPECT_EQ(bed.controller().stats().mappings_installed, 1u);
+}
+
+}  // namespace
+}  // namespace zipline::sim

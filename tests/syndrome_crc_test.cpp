@@ -1,0 +1,123 @@
+#include "crc/syndrome_crc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace zipline::crc {
+namespace {
+
+using bits::BitVector;
+
+// Paper Table 2b: CRC-3 of one-hot 7-bit sequences under g = x^3+x+1.
+TEST(SyndromeCrc, PaperTable2Exact) {
+  const SyndromeCrc crc(Gf2Poly(0b1011), 7);
+  const std::uint32_t expected[7] = {0b001, 0b010, 0b100, 0b011,
+                                     0b110, 0b111, 0b101};
+  for (std::size_t pos = 0; pos < 7; ++pos) {
+    EXPECT_EQ(crc.single_bit(pos), expected[pos]) << "x^" << pos;
+    BitVector v(7);
+    v.set(pos);
+    EXPECT_EQ(crc.compute(v), expected[pos]);
+  }
+}
+
+TEST(SyndromeCrc, ZeroWordHasZeroSyndrome) {
+  const SyndromeCrc crc(Gf2Poly(0x11D), 255);
+  EXPECT_EQ(crc.compute(BitVector(255)), 0u);
+}
+
+// The linearity property CRC(A^B) = CRC(A)^CRC(B) the paper relies on (§2).
+TEST(SyndromeCrc, LinearityUnderXor) {
+  const SyndromeCrc crc(Gf2Poly(0x11D), 255);
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitVector a(255);
+    BitVector b(255);
+    for (std::size_t i = 0; i < 255; ++i) {
+      if (rng.next_bool(0.5)) a.set(i);
+      if (rng.next_bool(0.5)) b.set(i);
+    }
+    EXPECT_EQ(crc.compute(a ^ b), crc.compute(a) ^ crc.compute(b));
+  }
+}
+
+// CRC(B) equals the XOR of single-bit CRCs of B's set bits — the matrix
+// form CRC(B) = B·Hᵀ from §2.
+TEST(SyndromeCrc, MatrixFormDecomposition) {
+  const SyndromeCrc crc(Gf2Poly(0b100101), 31);  // m=5
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitVector v(31);
+    std::uint32_t acc = 0;
+    for (std::size_t i = 0; i < 31; ++i) {
+      if (rng.next_bool(0.4)) {
+        v.set(i);
+        acc ^= crc.single_bit(i);
+      }
+    }
+    EXPECT_EQ(crc.compute(v), acc);
+  }
+}
+
+TEST(SyndromeCrc, FastMatchesSlowReference) {
+  Rng rng(7);
+  for (const int m : {3, 5, 8, 11}) {
+    const Gf2Poly g = default_hamming_generator(m);
+    const std::size_t n = (std::size_t{1} << m) - 1;
+    const SyndromeCrc crc(g, n);
+    for (int trial = 0; trial < 25; ++trial) {
+      BitVector v(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (rng.next_bool(0.5)) v.set(i);
+      }
+      EXPECT_EQ(crc.compute(v), SyndromeCrc::compute_slow(g, v))
+          << "m=" << m << " trial=" << trial;
+    }
+  }
+}
+
+TEST(SyndromeCrc, SingleBitSyndromesDistinctAndNonzeroForPrimitiveG) {
+  // This is exactly what makes the Hamming decode table well-defined.
+  for (const int m : {3, 4, 8, 10}) {
+    const std::size_t n = (std::size_t{1} << m) - 1;
+    const SyndromeCrc crc(default_hamming_generator(m), n);
+    std::vector<bool> seen(std::size_t{1} << m, false);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      const std::uint32_t s = crc.single_bit(pos);
+      EXPECT_NE(s, 0u);
+      EXPECT_FALSE(seen[s]) << "duplicate syndrome at pos " << pos;
+      seen[s] = true;
+    }
+  }
+}
+
+TEST(SyndromeCrc, RemainderMatchesPolynomialMod) {
+  // Cross-check against Gf2Poly::mod for inputs that fit in 64 bits.
+  const Gf2Poly g(0b1011);
+  const SyndromeCrc crc(g, 7);
+  for (std::uint64_t w = 0; w < 128; ++w) {
+    BitVector v(7, w);
+    EXPECT_EQ(crc.compute(v), Gf2Poly(w).mod(g).bits()) << "w=" << w;
+  }
+}
+
+TEST(SyndromeCrc, WrongLengthThrows) {
+  const SyndromeCrc crc(Gf2Poly(0b1011), 7);
+  EXPECT_THROW((void)crc.compute(BitVector(8)), zipline::ContractViolation);
+  EXPECT_THROW((void)crc.single_bit(7), zipline::ContractViolation);
+}
+
+TEST(SyndromeCrc, NonByteMultipleLengths) {
+  // n = 255 exercises the partial top byte path.
+  const SyndromeCrc crc(Gf2Poly(0x11D), 255);
+  BitVector v(255);
+  v.set(254);
+  EXPECT_EQ(crc.compute(v),
+            static_cast<std::uint32_t>(
+                Gf2Poly::x_pow_mod(254, Gf2Poly(0x11D)).bits()));
+}
+
+}  // namespace
+}  // namespace zipline::crc

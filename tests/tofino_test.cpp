@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "tofino/externs.hpp"
+#include "tofino/phv.hpp"
+#include "tofino/pipeline.hpp"
+#include "tofino/table.hpp"
+
+namespace zipline::tofino {
+namespace {
+
+using bits::BitVector;
+
+TEST(Phv, DeclareGetSet) {
+  Phv phv;
+  phv.declare("f.a", 16);
+  phv.declare("f.b", 247);
+  EXPECT_TRUE(phv.has("f.a"));
+  EXPECT_FALSE(phv.has("f.c"));
+  phv.set_uint("f.a", 0xBEEF);
+  EXPECT_EQ(phv.get_uint("f.a"), 0xBEEFu);
+  BitVector wide(247);
+  wide.set(200);
+  phv.set("f.b", wide);
+  EXPECT_TRUE(phv.get("f.b").get(200));
+}
+
+TEST(Phv, UndeclaredAccessThrows) {
+  Phv phv;
+  EXPECT_THROW((void)phv.get("nope"), ContractViolation);
+  EXPECT_THROW(phv.set_uint("nope", 1), ContractViolation);
+}
+
+TEST(Phv, WidthMismatchThrows) {
+  Phv phv;
+  phv.declare("f", 8);
+  EXPECT_THROW(phv.set("f", BitVector(9)), ContractViolation);
+  EXPECT_THROW(phv.declare("f", 9), ContractViolation);  // redeclare mismatch
+  EXPECT_NO_THROW(phv.declare("f", 8));  // same width: resets value
+}
+
+TEST(Phv, ContainerBitsRoundUpToBytes) {
+  Phv phv;
+  phv.declare("syndrome", 8);   // 8 -> 8
+  phv.declare("excess", 1);     // 1 -> 8
+  phv.declare("basis", 247);    // 247 -> 248
+  EXPECT_EQ(phv.field_bits(), 256u);
+  EXPECT_EQ(phv.container_bits(), 264u);  // the paper's padding overhead
+}
+
+TEST(ExactMatchTable, InstallLookupRemove) {
+  ExactMatchTable table("t", 8);
+  const BitVector key(16, 0xABC);
+  const BitVector value(8, 0x42);
+  EXPECT_EQ(table.lookup(key, 0), std::nullopt);
+  table.install(key, value, 10);
+  EXPECT_EQ(table.lookup(key, 20), std::optional<BitVector>(value));
+  EXPECT_TRUE(table.remove(key));
+  EXPECT_FALSE(table.remove(key));
+  EXPECT_EQ(table.lookup(key, 30), std::nullopt);
+  EXPECT_EQ(table.stats().hits, 1u);
+  EXPECT_EQ(table.stats().misses, 2u);
+}
+
+TEST(ExactMatchTable, CapacityEnforced) {
+  ExactMatchTable table("t", 2);
+  table.install(BitVector(8, 1), BitVector(8, 1), 0);
+  table.install(BitVector(8, 2), BitVector(8, 2), 0);
+  EXPECT_TRUE(table.full());
+  EXPECT_THROW(table.install(BitVector(8, 3), BitVector(8, 3), 0),
+               ContractViolation);
+  // Overwriting an existing key is always allowed.
+  EXPECT_NO_THROW(table.install(BitVector(8, 2), BitVector(8, 9), 1));
+}
+
+TEST(ExactMatchTable, IdleTimeoutTracksHits) {
+  ExactMatchTable table("t", 4, /*default_ttl=*/100);
+  table.install(BitVector(8, 1), BitVector(8, 1), 0);
+  table.install(BitVector(8, 2), BitVector(8, 2), 0);
+  // Key 1 is hit at t=90; key 2 never.
+  (void)table.lookup(BitVector(8, 1), 90);
+  const auto idle_at_110 = table.idle_keys(110);
+  ASSERT_EQ(idle_at_110.size(), 1u);
+  EXPECT_EQ(idle_at_110[0], BitVector(8, 2));
+  // Expiry removes only the idle key.
+  const auto expired = table.expire_idle(110);
+  EXPECT_EQ(expired.size(), 1u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.stats().idle_expiries, 1u);
+}
+
+TEST(ExactMatchTable, LeastRecentlyUsedFollowsHits) {
+  ExactMatchTable table("t", 4);
+  table.install(BitVector(8, 1), BitVector(8, 1), 0);
+  table.install(BitVector(8, 2), BitVector(8, 2), 1);
+  table.install(BitVector(8, 3), BitVector(8, 3), 2);
+  (void)table.lookup(BitVector(8, 1), 50);  // 1 becomes fresh
+  EXPECT_EQ(table.least_recently_used(), std::optional<BitVector>(BitVector(8, 2)));
+  (void)table.lookup(BitVector(8, 2), 60);
+  EXPECT_EQ(table.least_recently_used(), std::optional<BitVector>(BitVector(8, 3)));
+}
+
+TEST(ExactMatchTable, ZeroTtlDisablesIdleTracking) {
+  ExactMatchTable table("t", 4, /*default_ttl=*/0);
+  table.install(BitVector(8, 1), BitVector(8, 1), 0);
+  EXPECT_TRUE(table.idle_keys(1000000).empty());
+}
+
+TEST(RegisterArray, ReadModifyWrite) {
+  RegisterArray regs("r", 16, 247);
+  EXPECT_TRUE(regs.read(3).none());
+  BitVector v(247);
+  v.set(0);
+  v.set(246);
+  regs.write(3, v);
+  EXPECT_EQ(regs.read(3), v);
+  EXPECT_THROW(regs.write(16, v), ContractViolation);
+  EXPECT_THROW(regs.write(0, BitVector(8)), ContractViolation);
+}
+
+TEST(CounterArray, CountsPacketsAndBytes) {
+  CounterArray counters("c", 3);
+  counters.count(0, 64);
+  counters.count(0, 64);
+  counters.count(2, 1500);
+  EXPECT_EQ(counters.packets(0), 2u);
+  EXPECT_EQ(counters.bytes(0), 128u);
+  EXPECT_EQ(counters.packets(1), 0u);
+  EXPECT_EQ(counters.bytes(2), 1500u);
+  EXPECT_THROW(counters.count(3, 1), ContractViolation);
+}
+
+TEST(CrcExtern, MatchesSyndromeCrc) {
+  const CrcExtern ext(crc::Gf2Poly(0x11D), 255);
+  BitVector word(255);
+  word.set(7);
+  word.set(100);
+  const crc::SyndromeCrc reference(crc::Gf2Poly(0x11D), 255);
+  EXPECT_EQ(ext.compute(word), reference.compute(word));
+  EXPECT_EQ(ext.invocations(), 1u);
+}
+
+TEST(DigestStream, EmitDrainOrder) {
+  DigestStream digests("d");
+  digests.emit(BitVector(8, 1), 100);
+  digests.emit(BitVector(8, 2), 200);
+  digests.emit(BitVector(8, 3), 300);
+  const auto early = digests.drain(250);
+  ASSERT_EQ(early.size(), 2u);
+  EXPECT_EQ(early[0].payload, BitVector(8, 1));
+  EXPECT_EQ(early[1].emitted_at, 200);
+  const auto rest = digests.drain(1000);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_TRUE(digests.empty());
+}
+
+TEST(DigestStream, DropsWhenFull) {
+  DigestStream digests("d", /*queue_limit=*/2);
+  EXPECT_TRUE(digests.emit(BitVector(8, 1), 0));
+  EXPECT_TRUE(digests.emit(BitVector(8, 2), 0));
+  EXPECT_FALSE(digests.emit(BitVector(8, 3), 0));
+  EXPECT_EQ(digests.dropped(), 1u);
+  EXPECT_EQ(digests.emitted(), 2u);
+}
+
+// A trivial pipeline program for SwitchModel mechanics.
+class EchoProgram final : public PipelineProgram {
+ public:
+  void parse(const net::EthernetFrame& frame, Phv& phv) override {
+    phv.declare("eth.type", 16);
+    phv.set_uint("eth.type", frame.ether_type);
+    phv.payload = frame.payload;
+    dst_ = frame.dst;
+    src_ = frame.src;
+  }
+  void ingress(Phv& phv) override {
+    if (drop_all) {
+      phv.meta.drop = true;
+      return;
+    }
+    phv.meta.egress_port = static_cast<PortId>(phv.meta.ingress_port + 1);
+  }
+  void egress(Phv&) override {}
+  net::EthernetFrame deparse(const Phv& phv) override {
+    net::EthernetFrame frame;
+    frame.dst = dst_;
+    frame.src = src_;
+    frame.ether_type = static_cast<std::uint16_t>(phv.get_uint("eth.type"));
+    frame.payload = phv.payload;
+    return frame;
+  }
+  bool drop_all = false;
+
+ private:
+  net::MacAddress dst_;
+  net::MacAddress src_;
+};
+
+TEST(SwitchModel, ForwardsWithConstantPipelineLatency) {
+  auto program = std::make_shared<EchoProgram>();
+  PipelineTiming timing;
+  timing.pipeline_latency = 600;
+  SwitchModel sw("sw", program, timing);
+  net::EthernetFrame frame;
+  frame.ether_type = 0x0800;
+  frame.payload.assign(100, 0xAA);
+  const ForwardResult r = sw.process(frame, 3, 1000);
+  EXPECT_FALSE(r.dropped);
+  EXPECT_EQ(r.egress_port, 4);
+  EXPECT_EQ(r.ready_at, 1600);
+  EXPECT_EQ(r.frame.payload, frame.payload);
+  EXPECT_EQ(sw.stats().packets_in, 1u);
+  EXPECT_EQ(sw.stats().packets_out, 1u);
+}
+
+TEST(SwitchModel, DropsCountedSeparately) {
+  auto program = std::make_shared<EchoProgram>();
+  program->drop_all = true;
+  SwitchModel sw("sw", program);
+  net::EthernetFrame frame;
+  const ForwardResult r = sw.process(frame, 1, 0);
+  EXPECT_TRUE(r.dropped);
+  EXPECT_EQ(sw.stats().packets_dropped, 1u);
+  EXPECT_EQ(sw.stats().packets_out, 0u);
+}
+
+TEST(SwitchModel, PacketRateCeilingSpacesPackets) {
+  auto program = std::make_shared<EchoProgram>();
+  PipelineTiming timing;
+  timing.pipeline_latency = 0;
+  timing.max_packets_per_second = 1e9;  // 1 ns per packet
+  SwitchModel sw("sw", program, timing);
+  net::EthernetFrame frame;
+  const auto r1 = sw.process(frame, 1, 0);
+  const auto r2 = sw.process(frame, 1, 0);  // same instant
+  EXPECT_EQ(r1.ready_at, 0);
+  EXPECT_EQ(r2.ready_at, 1);  // pushed behind the first
+}
+
+}  // namespace
+}  // namespace zipline::tofino

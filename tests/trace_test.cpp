@@ -1,0 +1,198 @@
+// Workload generator tests: the synthetic sensor trace must have the
+// structure GD exploits (few bases, single-bit deviations) and the DNS
+// trace must match the paper's filter (34 B queries, random transaction
+// IDs, small distinct-value pool after stripping).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "gd/transform.hpp"
+#include "trace/dns.hpp"
+#include "trace/synthetic.hpp"
+
+namespace zipline::trace {
+namespace {
+
+SyntheticSensorConfig small_config() {
+  SyntheticSensorConfig config;
+  config.chunk_count = 20000;
+  config.sensor_count = 10;
+  config.drift_every = 500;
+  config.seed = 99;
+  return config;
+}
+
+TEST(SyntheticSensor, PayloadGeometry) {
+  const auto payloads = generate_synthetic_sensor(small_config());
+  ASSERT_EQ(payloads.size(), 20000u);
+  for (const auto& p : payloads) {
+    EXPECT_EQ(p.size(), 32u);
+  }
+}
+
+TEST(SyntheticSensor, Deterministic) {
+  const auto a = generate_synthetic_sensor(small_config());
+  const auto b = generate_synthetic_sensor(small_config());
+  EXPECT_EQ(a, b);
+  auto other = small_config();
+  other.seed = 100;
+  EXPECT_NE(generate_synthetic_sensor(other), a);
+}
+
+TEST(SyntheticSensor, BasisCountTracksDriftBudget) {
+  const auto config = small_config();
+  const auto payloads = generate_synthetic_sensor(config);
+  const gd::GdTransform transform(config.params);
+  std::unordered_set<bits::BitVector, bits::BitVectorHash> bases;
+  std::uint64_t zero_syndromes = 0;
+  for (const auto& p : payloads) {
+    const auto tc = transform.forward(
+        bits::BitVector::from_bytes(p, config.params.chunk_bits));
+    bases.insert(tc.basis);
+    zero_syndromes += tc.syndrome == 0;
+  }
+  // Expected distinct bases ~ chunk_count / drift_every = 40 (plus the
+  // initial 10); far below the dictionary capacity, far above 1.
+  EXPECT_GT(bases.size(), 20u);
+  EXPECT_LT(bases.size(), 100u);
+  // 1 - noise_probability of the readings are canonical (default 0.9).
+  EXPECT_NEAR(static_cast<double>(zero_syndromes) /
+                  static_cast<double>(payloads.size()),
+              0.1, 0.05);
+}
+
+TEST(SyntheticSensor, NoiseStaysWithinOneBasisPerSensorEpoch) {
+  // Consecutive readings of one sensor (between drifts) share a basis: GD
+  // compresses them against a single dictionary entry.
+  auto config = small_config();
+  config.sensor_count = 1;
+  config.drift_every = 1000000;  // never drifts within this trace
+  config.chunk_count = 1000;
+  const auto payloads = generate_synthetic_sensor(config);
+  const gd::GdTransform transform(config.params);
+  std::unordered_set<bits::BitVector, bits::BitVectorHash> bases;
+  for (const auto& p : payloads) {
+    bases.insert(
+        transform
+            .forward(bits::BitVector::from_bytes(p, config.params.chunk_bits))
+            .basis);
+  }
+  EXPECT_EQ(bases.size(), 1u);
+}
+
+TEST(SyntheticSensor, PcapRoundTripPreservesChunks) {
+  auto config = small_config();
+  config.chunk_count = 500;
+  const auto payloads = generate_synthetic_sensor(config);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "zipline_synth.pcap").string();
+  EXPECT_EQ(write_payloads_pcap(path, payloads, 10000.0), 500u);
+  const auto back = read_payloads_pcap(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(back.size(), payloads.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    // Ethernet minimum-frame padding survives; the chunk is the prefix.
+    ASSERT_GE(back[i].size(), payloads[i].size());
+    EXPECT_TRUE(std::equal(payloads[i].begin(), payloads[i].end(),
+                           back[i].begin()));
+  }
+}
+
+TEST(SyntheticSensor, ConcatenateFlattens) {
+  auto config = small_config();
+  config.chunk_count = 10;
+  const auto payloads = generate_synthetic_sensor(config);
+  const auto flat = concatenate(payloads);
+  EXPECT_EQ(flat.size(), 320u);
+  EXPECT_TRUE(std::equal(payloads[0].begin(), payloads[0].end(), flat.begin()));
+}
+
+DnsTraceConfig small_dns() {
+  DnsTraceConfig config;
+  config.query_count = 10000;
+  config.name_count = 50;
+  config.seed = 5;
+  return config;
+}
+
+TEST(DnsTrace, QueriesAre34Bytes) {
+  const auto queries = generate_dns_queries(small_dns());
+  ASSERT_EQ(queries.size(), 10000u);
+  for (const auto& q : queries) {
+    EXPECT_EQ(q.size(), kDnsQueryBytes);
+  }
+}
+
+TEST(DnsTrace, TransactionIdsVaryButBodiesRepeat) {
+  const auto queries = generate_dns_queries(small_dns());
+  std::unordered_set<std::string> with_txid;
+  std::unordered_set<std::string> without_txid;
+  for (const auto& q : queries) {
+    with_txid.emplace(q.begin(), q.end());
+    without_txid.emplace(q.begin() + 2, q.end());
+  }
+  // Random transaction IDs make nearly every full query distinct...
+  EXPECT_GT(with_txid.size(), 9000u);
+  // ...while the filtered bodies collapse to the name pool.
+  EXPECT_EQ(without_txid.size(), 50u);
+}
+
+TEST(DnsTrace, StripTransactionIdsYields32ByteChunks) {
+  const auto queries = generate_dns_queries(small_dns());
+  const auto stripped = strip_transaction_ids(queries);
+  ASSERT_EQ(stripped.size(), queries.size());
+  for (const auto& p : stripped) {
+    EXPECT_EQ(p.size(), 32u);
+  }
+}
+
+TEST(DnsTrace, ZipfSkewMakesTopNameDominate) {
+  const auto queries = generate_dns_queries(small_dns());
+  const auto stripped = strip_transaction_ids(queries);
+  std::unordered_map<std::string, int> counts;
+  for (const auto& p : stripped) {
+    ++counts[std::string(p.begin(), p.end())];
+  }
+  int max_count = 0;
+  for (const auto& [body, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
+  // Zipf(1.0) over 50 names: rank 1 carries ~22% of queries.
+  EXPECT_GT(max_count, 1500);
+}
+
+TEST(DnsTrace, QueryBodiesAreWellFormedDns) {
+  const auto queries = generate_dns_queries(small_dns());
+  const auto& q = queries.front();
+  // Flags: RD bit (0x0100); QDCOUNT = 1.
+  EXPECT_EQ(q[2], 0x01);
+  EXPECT_EQ(q[3], 0x00);
+  EXPECT_EQ(q[5], 0x01);
+  // First label length 6, then "hNNNNN".
+  EXPECT_EQ(q[12], 5);
+  EXPECT_EQ(q[13], 'h');
+  // Trailing QTYPE=A QCLASS=IN.
+  EXPECT_EQ(q[31], 0x01);
+  EXPECT_EQ(q[33], 0x01);
+}
+
+TEST(DnsTrace, DistinctBasesBoundedByNamePool) {
+  const auto config = small_dns();
+  const auto stripped = strip_transaction_ids(generate_dns_queries(config));
+  const gd::GdParams params;
+  const gd::GdTransform transform(params);
+  std::unordered_set<bits::BitVector, bits::BitVectorHash> bases;
+  for (const auto& p : stripped) {
+    bases.insert(
+        transform.forward(bits::BitVector::from_bytes(p, 256)).basis);
+  }
+  EXPECT_LE(bases.size(), config.name_count);
+  EXPECT_GT(bases.size(), config.name_count / 2);
+}
+
+}  // namespace
+}  // namespace zipline::trace

@@ -1,0 +1,292 @@
+// Tests of the ZipLine pipeline program: encode path (Fig. 1), decode path
+// (Fig. 2), packet classification counters, and the equivalence of the
+// switch data path with the reference GD codec.
+#include "zipline/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gd/codec.hpp"
+#include "gd/transform.hpp"
+#include "tofino/pipeline.hpp"
+
+namespace zipline::prog {
+namespace {
+
+using bits::BitVector;
+
+net::EthernetFrame chunk_frame(const std::vector<std::uint8_t>& payload) {
+  net::EthernetFrame frame;
+  frame.dst = net::MacAddress::local(2);
+  frame.src = net::MacAddress::local(1);
+  frame.ether_type = 0x5A01;
+  frame.payload = payload;
+  return frame;
+}
+
+std::vector<std::uint8_t> random_chunk_bytes(Rng& rng, std::size_t bytes = 32) {
+  std::vector<std::uint8_t> payload(bytes);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+  return payload;
+}
+
+ZipLineConfig encode_config(LearningMode learning) {
+  ZipLineConfig config;
+  config.op = SwitchOp::encode;
+  config.learning = learning;
+  return config;
+}
+
+TEST(ZipLineProgram, EncodeUnknownBasisEmitsType2AndDigest) {
+  auto program = std::make_shared<ZipLineProgram>(
+      encode_config(LearningMode::control_plane));
+  tofino::SwitchModel sw("sw", program);
+  Rng rng(1);
+  const auto result = sw.process(chunk_frame(random_chunk_bytes(rng)), 1, 0);
+  ASSERT_FALSE(result.dropped);
+  EXPECT_EQ(result.frame.ether_type,
+            gd::ether_type_for(gd::PacketType::uncompressed));
+  EXPECT_EQ(result.frame.payload.size(), 33u);  // paper's padded type 2
+  EXPECT_EQ(program->class_packets(PacketClass::raw_to_type2), 1u);
+  EXPECT_FALSE(program->digests().empty());
+}
+
+TEST(ZipLineProgram, EncodeKnownBasisEmitsType3) {
+  auto program = std::make_shared<ZipLineProgram>(
+      encode_config(LearningMode::control_plane));
+  tofino::SwitchModel sw("sw", program);
+  Rng rng(2);
+  const auto payload = random_chunk_bytes(rng);
+  // Compute the basis offline and install it, as the control plane would.
+  const gd::GdTransform transform(program->config().params);
+  const auto chunk = BitVector::from_bytes(payload, 256);
+  program->install_mapping(77, transform.forward(chunk).basis, 0);
+
+  const auto result = sw.process(chunk_frame(payload), 1, 0);
+  ASSERT_FALSE(result.dropped);
+  EXPECT_EQ(result.frame.ether_type,
+            gd::ether_type_for(gd::PacketType::compressed));
+  EXPECT_EQ(result.frame.payload.size(), 3u);  // 8 + 1 + 15 bits
+  EXPECT_EQ(program->class_packets(PacketClass::raw_to_type3), 1u);
+  // The identifier inside the packet is the installed one.
+  const auto parsed = gd::GdPacket::parse(program->config().params,
+                                          gd::PacketType::compressed,
+                                          result.frame.payload);
+  EXPECT_EQ(parsed.basis_id, 77u);
+}
+
+TEST(ZipLineProgram, NonChunkTrafficPassesThrough) {
+  auto program = std::make_shared<ZipLineProgram>(
+      encode_config(LearningMode::control_plane));
+  tofino::SwitchModel sw("sw", program);
+  net::EthernetFrame frame;
+  frame.dst = net::MacAddress::local(2);
+  frame.src = net::MacAddress::local(1);
+  frame.ether_type = 0x0800;  // IPv4, not ZipLine traffic
+  frame.payload.assign(100, 0xAB);
+  const auto result = sw.process(frame, 1, 0);
+  ASSERT_FALSE(result.dropped);
+  EXPECT_EQ(result.frame.ether_type, 0x0800);
+  EXPECT_EQ(result.frame.payload, frame.payload);
+  EXPECT_EQ(program->class_packets(PacketClass::passthrough), 1u);
+}
+
+TEST(ZipLineProgram, MinFramePaddingIgnoredByParser) {
+  // A 32 B chunk inside a padded 46 B payload (64 B minimum frame) must
+  // encode exactly like the unpadded payload.
+  auto program = std::make_shared<ZipLineProgram>(
+      encode_config(LearningMode::control_plane));
+  tofino::SwitchModel sw("sw", program);
+  Rng rng(3);
+  auto payload = random_chunk_bytes(rng);
+  auto padded = payload;
+  padded.resize(46, 0);
+  const auto result = sw.process(chunk_frame(padded), 1, 0);
+  EXPECT_EQ(result.frame.ether_type,
+            gd::ether_type_for(gd::PacketType::uncompressed));
+  const auto parsed = gd::GdPacket::parse(program->config().params,
+                                          gd::PacketType::uncompressed,
+                                          result.frame.payload);
+  const gd::GdTransform transform(program->config().params);
+  const auto expected =
+      transform.forward(BitVector::from_bytes(payload, 256));
+  EXPECT_EQ(parsed.basis, expected.basis);
+  EXPECT_EQ(parsed.syndrome, expected.syndrome);
+}
+
+TEST(ZipLineProgram, EncodeThenDecodeRestoresChunkExactly) {
+  // Two programs: an encoder switch and a decoder switch, tables synced by
+  // hand — the two-switch deployment of §5.
+  ZipLineConfig enc_config = encode_config(LearningMode::control_plane);
+  ZipLineConfig dec_config;
+  dec_config.op = SwitchOp::decode;
+  auto encoder = std::make_shared<ZipLineProgram>(enc_config);
+  auto decoder = std::make_shared<ZipLineProgram>(dec_config);
+  tofino::SwitchModel enc_sw("enc", encoder);
+  tofino::SwitchModel dec_sw("dec", decoder);
+
+  Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto payload = random_chunk_bytes(rng);
+    const auto enc_result = enc_sw.process(chunk_frame(payload), 1, trial);
+    ASSERT_FALSE(enc_result.dropped);
+    const auto dec_result =
+        dec_sw.process(enc_result.frame, 1, trial);
+    ASSERT_FALSE(dec_result.dropped);
+    EXPECT_EQ(dec_result.frame.ether_type,
+              gd::ether_type_for(gd::PacketType::raw));
+    EXPECT_EQ(dec_result.frame.payload, payload) << "trial " << trial;
+  }
+  EXPECT_EQ(decoder->class_packets(PacketClass::type2_to_raw), 200u);
+}
+
+TEST(ZipLineProgram, CompressedPathRoundTripsThroughBothTables) {
+  ZipLineConfig enc_config = encode_config(LearningMode::control_plane);
+  ZipLineConfig dec_config;
+  dec_config.op = SwitchOp::decode;
+  auto encoder = std::make_shared<ZipLineProgram>(enc_config);
+  auto decoder = std::make_shared<ZipLineProgram>(dec_config);
+  tofino::SwitchModel enc_sw("enc", encoder);
+  tofino::SwitchModel dec_sw("dec", decoder);
+
+  Rng rng(5);
+  const auto payload = random_chunk_bytes(rng);
+  const gd::GdTransform transform(enc_config.params);
+  const auto basis =
+      transform.forward(BitVector::from_bytes(payload, 256)).basis;
+  // Two-phase install: decoder first, then encoder.
+  decoder->install_decoder_mapping(5, basis, 0);
+  encoder->install_encoder_mapping(5, basis, 0);
+
+  // Noisy variants of the canonical payload all take the compressed path
+  // and must all be restored exactly.
+  const auto canonical = transform.inverse(
+      transform.forward(BitVector::from_bytes(payload, 256)).excess, basis, 0);
+  for (int trial = 0; trial < 100; ++trial) {
+    BitVector noisy = canonical;
+    noisy.flip(rng.next_below(255));
+    const auto enc_result =
+        enc_sw.process(chunk_frame(noisy.to_bytes()), 1, trial);
+    EXPECT_EQ(enc_result.frame.ether_type,
+              gd::ether_type_for(gd::PacketType::compressed));
+    const auto dec_result = dec_sw.process(enc_result.frame, 1, trial);
+    EXPECT_EQ(dec_result.frame.payload, noisy.to_bytes());
+  }
+  EXPECT_EQ(decoder->class_packets(PacketClass::type3_to_raw), 100u);
+}
+
+TEST(ZipLineProgram, DecodeUnknownIdDropsAndCounts) {
+  ZipLineConfig config;
+  config.op = SwitchOp::decode;
+  auto program = std::make_shared<ZipLineProgram>(config);
+  tofino::SwitchModel sw("sw", program);
+  const auto pkt = gd::GdPacket::make_compressed(1, BitVector(1), 123);
+  net::EthernetFrame frame;
+  frame.ether_type = gd::ether_type_for(gd::PacketType::compressed);
+  frame.payload = pkt.serialize(config.params);
+  const auto result = sw.process(frame, 1, 0);
+  EXPECT_TRUE(result.dropped);
+  EXPECT_EQ(program->class_packets(PacketClass::decode_unknown_id), 1u);
+}
+
+TEST(ZipLineProgram, RegisterLearningIsInstant) {
+  // The paper's abandoned data-plane design (§6): the second packet with
+  // the same basis already compresses — no control-plane delay.
+  auto program = std::make_shared<ZipLineProgram>(
+      encode_config(LearningMode::data_plane));
+  tofino::SwitchModel sw("sw", program);
+  Rng rng(6);
+  const auto payload = random_chunk_bytes(rng);
+  const auto first = sw.process(chunk_frame(payload), 1, 0);
+  EXPECT_EQ(first.frame.ether_type,
+            gd::ether_type_for(gd::PacketType::uncompressed));
+  const auto second = sw.process(chunk_frame(payload), 1, 1);
+  EXPECT_EQ(second.frame.ether_type,
+            gd::ether_type_for(gd::PacketType::compressed));
+  // No digests in the register design.
+  EXPECT_TRUE(program->digests().empty());
+}
+
+TEST(ZipLineProgram, RegisterLearningDecodesViaSharedHashSlots) {
+  auto encoder = std::make_shared<ZipLineProgram>(
+      encode_config(LearningMode::data_plane));
+  ZipLineConfig dec_config;
+  dec_config.op = SwitchOp::decode;
+  dec_config.learning = LearningMode::data_plane;
+  auto decoder = std::make_shared<ZipLineProgram>(dec_config);
+  tofino::SwitchModel enc_sw("enc", encoder);
+  tofino::SwitchModel dec_sw("dec", decoder);
+  Rng rng(7);
+  const auto payload = random_chunk_bytes(rng);
+  // First packet: type 2 teaches the decoder's registers.
+  auto r = dec_sw.process(enc_sw.process(chunk_frame(payload), 1, 0).frame, 1, 0);
+  EXPECT_EQ(r.frame.payload, payload);
+  // Second packet: type 3 resolved from the decoder's registers.
+  r = dec_sw.process(enc_sw.process(chunk_frame(payload), 1, 1).frame, 1, 1);
+  EXPECT_EQ(r.frame.payload, payload);
+  EXPECT_EQ(decoder->class_packets(PacketClass::type3_to_raw), 1u);
+}
+
+TEST(ZipLineProgram, StaticModeNeverEmitsDigests) {
+  auto program =
+      std::make_shared<ZipLineProgram>(encode_config(LearningMode::none));
+  tofino::SwitchModel sw("sw", program);
+  Rng rng(8);
+  for (int i = 0; i < 10; ++i) {
+    (void)sw.process(chunk_frame(random_chunk_bytes(rng)), 1, i);
+  }
+  EXPECT_TRUE(program->digests().empty());
+  EXPECT_EQ(program->class_packets(PacketClass::raw_to_type2), 10u);
+}
+
+TEST(ZipLineProgram, MatchesReferenceCodecOnRandomStream) {
+  // The switch data path and the host-side GdEncoder must produce
+  // byte-identical packets given the same dictionary state.
+  auto program =
+      std::make_shared<ZipLineProgram>(encode_config(LearningMode::none));
+  tofino::SwitchModel sw("sw", program);
+  gd::GdEncoder reference{program->config().params, gd::EvictionPolicy::lru,
+                          /*learn_on_miss=*/false};
+  Rng rng(9);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto payload = random_chunk_bytes(rng);
+    const auto result = sw.process(chunk_frame(payload), 1, trial);
+    const auto expected =
+        reference.encode_chunk(BitVector::from_bytes(payload, 256));
+    EXPECT_EQ(result.frame.payload,
+              expected.serialize(program->config().params));
+  }
+}
+
+TEST(ZipLineProgram, ForwardOpTouchesNothing) {
+  ZipLineConfig config;
+  config.op = SwitchOp::forward;
+  auto program = std::make_shared<ZipLineProgram>(config);
+  tofino::SwitchModel sw("sw", program);
+  Rng rng(10);
+  const auto payload = random_chunk_bytes(rng);
+  const auto result = sw.process(chunk_frame(payload), 1, 0);
+  EXPECT_EQ(result.frame.ether_type, 0x5A01);
+  EXPECT_EQ(result.frame.payload, payload);
+}
+
+TEST(ZipLineProgram, UnknownIngressPortDrops) {
+  auto program = std::make_shared<ZipLineProgram>(
+      encode_config(LearningMode::control_plane));
+  tofino::SwitchModel sw("sw", program);
+  Rng rng(11);
+  const auto result = sw.process(chunk_frame(random_chunk_bytes(rng)), 9, 0);
+  EXPECT_TRUE(result.dropped);
+}
+
+TEST(ZipLineProgram, ResourceReportMentionsTables) {
+  auto program = std::make_shared<ZipLineProgram>(
+      encode_config(LearningMode::control_plane));
+  const std::string report = program->resource_report();
+  EXPECT_NE(report.find("mask table"), std::string::npos);
+  EXPECT_NE(report.find("basis table"), std::string::npos);
+  EXPECT_NE(report.find("type-2 padding"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zipline::prog
