@@ -12,6 +12,7 @@
 #include "baseline/deflate.hpp"
 #include "common/rng.hpp"
 #include "crc/syndrome_crc.hpp"
+#include "engine/engine.hpp"
 #include "gd/codec.hpp"
 #include "gd/transform.hpp"
 #include "trace/synthetic.hpp"
@@ -83,6 +84,53 @@ void BM_EncoderHitPath(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
 }
 BENCHMARK(BM_EncoderHitPath);
+
+// Batch-size sweep over the engine's encode path: one encode_payload call
+// per iteration over range(0) chunks, arena and dictionary reused across
+// iterations. In steady state (all hits) the engine performs zero heap
+// allocations per chunk — tests/engine_alloc_test.cpp asserts it, this
+// measures what it buys at batch sizes 1/8/64/256 against the per-chunk
+// adapter (BM_EncoderHitPath above).
+void BM_EngineEncodeBatch(benchmark::State& state) {
+  const auto batch_chunks = static_cast<std::size_t>(state.range(0));
+  engine::Engine eng{gd::GdParams{}};
+  Rng rng(7);
+  std::vector<std::uint8_t> payload(batch_chunks *
+                                    eng.params().raw_payload_bytes());
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+  engine::EncodeBatch batch;
+  eng.encode_payload(payload, batch);  // warm the dictionary and the arena
+  for (auto _ : state) {
+    batch.clear();
+    eng.encode_payload(payload, batch);
+    benchmark::DoNotOptimize(batch.storage().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_EngineEncodeBatch)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_EngineDecodeBatch(benchmark::State& state) {
+  const auto batch_chunks = static_cast<std::size_t>(state.range(0));
+  const gd::GdParams params;
+  engine::Engine enc{params};
+  engine::Engine dec{params};
+  Rng rng(8);
+  std::vector<std::uint8_t> payload(batch_chunks * params.raw_payload_bytes());
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+  engine::EncodeBatch encoded;
+  enc.encode_payload(payload, encoded);
+  engine::DecodeBatch decoded;
+  dec.decode_batch(encoded, decoded);  // warm the mirrored dictionary
+  for (auto _ : state) {
+    decoded.clear();
+    dec.decode_batch(encoded, decoded);
+    benchmark::DoNotOptimize(decoded.bytes().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_EngineDecodeBatch)->Arg(1)->Arg(8)->Arg(64)->Arg(256);
 
 void BM_DictionaryLookup(benchmark::State& state) {
   gd::BasisDictionary dict(32768, gd::EvictionPolicy::lru);

@@ -44,7 +44,7 @@ int main() {
     const std::uint64_t computed = g.crc_param();
     const bool primitive = g.is_primitive();
     const bool matches = computed == row.paper_param;
-    char code[24];
+    char code[48];
     std::snprintf(code, sizeof code, "(%zu, %zu)", n, k);
     std::printf("%-12s %-42s 0x%-8llX 0x%-8llX %-9s %s\n", code,
                 g.to_string().c_str(),

@@ -7,9 +7,12 @@
 //
 // Build & run:  ./examples/quickstart
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "engine/engine.hpp"
 #include "gd/codec.hpp"
 
 int main() {
@@ -69,5 +72,27 @@ int main() {
   std::printf("\nevery reading decoded bit-exactly. One basis covers all"
               " 256 single-bit\nneighborhoods of the codeword -- that is"
               " generalized deduplication.\n");
+
+  // The same codec, batch-oriented: for bulk data, hand the engine a
+  // whole payload and a reusable arena instead of going chunk by chunk.
+  // In steady state this path performs zero heap allocations per chunk.
+  engine::Engine batch_encoder{params};
+  engine::Engine batch_decoder{params};
+  std::vector<std::uint8_t> bulk(64 * params.raw_payload_bytes());
+  for (auto& b : bulk) b = static_cast<std::uint8_t>(rng.next_u64());
+
+  engine::EncodeBatch encoded;
+  engine::DecodeBatch decoded;
+  batch_encoder.encode_payload(bulk, encoded);   // 64 chunks, one call
+  batch_decoder.decode_batch(encoded, decoded);  // straight into the arena
+  const auto restored_bulk = decoded.bytes();
+  if (restored_bulk.size() != bulk.size() ||
+      !std::equal(restored_bulk.begin(), restored_bulk.end(), bulk.begin())) {
+    std::printf("batch round-trip mismatch!\n");
+    return 1;
+  }
+  std::printf("\nbatch API: %zu chunks -> %zu wire bytes in one"
+              " encode_payload call,\ndecoded back bit-exactly.\n",
+              encoded.size(), encoded.storage_bytes());
   return 0;
 }

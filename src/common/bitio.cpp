@@ -1,5 +1,7 @@
 #include "common/bitio.hpp"
 
+#include <algorithm>
+
 #include "common/contracts.hpp"
 
 namespace zipline::bits {
@@ -16,14 +18,34 @@ void BitWriter::push_bit(bool b) {
 void BitWriter::write_uint(std::uint64_t value, std::size_t width) {
   ZL_EXPECTS(width <= 64);
   ZL_EXPECTS(width == 64 || value < (std::uint64_t{1} << width));
-  for (std::size_t i = width; i-- > 0;) {
-    push_bit((value >> i) & 1);
+  // Byte-at-a-time: fill the open partial byte, then whole bytes. This is
+  // the engine's serialization inner loop.
+  std::size_t remaining = width;
+  while (remaining > 0) {
+    const std::size_t bit_in_byte = bit_count_ % 8;
+    if (bit_in_byte == 0) bytes_.push_back(0);
+    const std::size_t take = std::min<std::size_t>(8 - bit_in_byte, remaining);
+    const std::uint64_t chunk =
+        (value >> (remaining - take)) & ((std::uint64_t{1} << take) - 1);
+    bytes_.back() |=
+        static_cast<std::uint8_t>(chunk << (8 - bit_in_byte - take));
+    bit_count_ += take;
+    remaining -= take;
   }
 }
 
 void BitWriter::write_bits(const BitVector& v) {
-  for (std::size_t i = v.size(); i-- > 0;) {
-    push_bit(v.get(i));
+  // MSB-first over the vector, one word segment at a time. The top
+  // segment aligns the remainder to word boundaries, so every later
+  // segment is a full word.
+  const auto words = v.words();
+  std::size_t i = v.size();
+  while (i > 0) {
+    const std::size_t take = (i % 64 != 0) ? i % 64 : 64;
+    const std::uint64_t word = words[(i - take) / 64];
+    write_uint(take == 64 ? word : word & ((std::uint64_t{1} << take) - 1),
+               take);
+    i -= take;
   }
 }
 
@@ -47,19 +69,39 @@ bool BitReader::next_bit() {
 
 std::uint64_t BitReader::read_uint(std::size_t width) {
   ZL_EXPECTS(width <= 64);
+  ZL_EXPECTS(pos_ + width <= bytes_.size() * 8);
   std::uint64_t value = 0;
-  for (std::size_t i = 0; i < width; ++i) {
-    value = (value << 1) | static_cast<std::uint64_t>(next_bit());
+  std::size_t remaining = width;
+  while (remaining > 0) {
+    const std::size_t bit_in_byte = pos_ % 8;
+    const std::size_t take = std::min<std::size_t>(8 - bit_in_byte, remaining);
+    const std::uint64_t chunk =
+        (static_cast<std::uint64_t>(bytes_[pos_ / 8]) >>
+         (8 - bit_in_byte - take)) &
+        ((std::uint64_t{1} << take) - 1);
+    value = (value << take) | chunk;
+    pos_ += take;
+    remaining -= take;
   }
   return value;
 }
 
 BitVector BitReader::read_bits(std::size_t count) {
-  BitVector v(count);
-  for (std::size_t i = count; i-- > 0;) {
-    if (next_bit()) v.set(i);
-  }
+  BitVector v;
+  read_bits_into(count, v);
   return v;
+}
+
+void BitReader::read_bits_into(std::size_t count, BitVector& out) {
+  out.assign_zero(count);
+  // Mirror of BitWriter::write_bits: top partial word first, then full
+  // words, each landing on a word boundary of `out`.
+  std::size_t i = count;
+  while (i > 0) {
+    const std::size_t take = (i % 64 != 0) ? i % 64 : 64;
+    out.or_uint(i - take, read_uint(take), take);
+    i -= take;
+  }
 }
 
 void BitReader::skip(std::size_t count) {

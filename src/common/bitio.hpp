@@ -30,6 +30,19 @@ class BitWriter {
 
   [[nodiscard]] std::size_t bit_count() const noexcept { return bit_count_; }
 
+  /// Clears the stream for reuse while keeping the buffer's capacity — a
+  /// writer owned by a long-lived encoder stops allocating after warmup.
+  void reset() noexcept {
+    bytes_.clear();
+    bit_count_ = 0;
+  }
+
+  /// View of the bytes written so far; a trailing partial byte is already
+  /// zero-padded on the right. Invalidated by further writes.
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept {
+    return bytes_;
+  }
+
   /// Finalizes to bytes; a trailing partial byte is zero-padded on the
   /// right (low-order side of the final byte).
   [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
@@ -50,6 +63,9 @@ class BitReader {
 
   /// Reads `count` bits into a BitVector (first bit read = highest power).
   [[nodiscard]] BitVector read_bits(std::size_t count);
+
+  /// In-place read_bits: fills `out`, reusing its storage.
+  void read_bits_into(std::size_t count, BitVector& out);
 
   /// Skips `count` bits.
   void skip(std::size_t count);

@@ -42,17 +42,34 @@ BitVector BitVector::from_string(std::string_view msb_first) {
 
 BitVector BitVector::from_bytes(std::span<const std::uint8_t> bytes,
                                 std::size_t size) {
+  BitVector v;
+  v.assign_from_bytes(bytes, size);
+  return v;
+}
+
+void BitVector::assign_zero(std::size_t size) {
+  size_ = size;
+  words_.assign(words_for(size), 0);
+}
+
+void BitVector::assign_from_bytes(std::span<const std::uint8_t> bytes,
+                                  std::size_t size) {
   ZL_EXPECTS(size <= bytes.size() * 8);
-  BitVector v(size);
-  // The final bit of the last byte is bit 0; walk backwards.
+  assign_zero(size);
+  // The final bit of the last byte is bit 0; walk backwards, a byte at a
+  // time (this is the batch engine's chunk-staging loop — keep it off the
+  // per-bit path). `bit` advances in steps of 8 from 0, so a byte never
+  // straddles a word boundary.
   std::size_t bit = 0;
   for (std::size_t byte_idx = bytes.size(); byte_idx-- > 0 && bit < size;) {
-    const std::uint8_t b = bytes[byte_idx];
-    for (int k = 0; k < 8 && bit < size; ++k, ++bit) {
-      if ((b >> k) & 1) v.set(bit);
-    }
+    const std::size_t remaining = size - bit;
+    const std::uint64_t b =
+        remaining >= 8 ? bytes[byte_idx]
+                       : bytes[byte_idx] &
+                             ((std::uint64_t{1} << remaining) - 1);
+    words_[bit / kWordBits] |= b << (bit % kWordBits);
+    bit += 8;
   }
-  return v;
 }
 
 bool BitVector::get(std::size_t i) const {
@@ -95,8 +112,16 @@ BitVector& BitVector::operator^=(const BitVector& other) {
 }
 
 BitVector BitVector::slice(std::size_t lo, std::size_t len) const {
+  BitVector out;
+  slice_into(lo, len, out);
+  return out;
+}
+
+void BitVector::slice_into(std::size_t lo, std::size_t len,
+                           BitVector& out) const {
   ZL_EXPECTS(lo + len <= size_);
-  BitVector out(len);
+  ZL_EXPECTS(&out != this);
+  out.assign_zero(len);
   const std::size_t shift = lo % kWordBits;
   const std::size_t base = lo / kWordBits;
   for (std::size_t w = 0; w < out.words_.size(); ++w) {
@@ -107,7 +132,18 @@ BitVector BitVector::slice(std::size_t lo, std::size_t len) const {
     out.words_[w] = value;
   }
   out.trim_top_word();
-  return out;
+}
+
+void BitVector::accumulate_shifted(const BitVector& v, std::size_t shift) {
+  ZL_EXPECTS(v.size_ + shift <= size_);
+  const std::size_t s = shift % kWordBits;
+  const std::size_t base = shift / kWordBits;
+  for (std::size_t w = 0; w < v.words_.size(); ++w) {
+    words_[base + w] |= v.words_[w] << s;
+    if (s != 0 && base + w + 1 < words_.size()) {
+      words_[base + w + 1] |= v.words_[w] >> (kWordBits - s);
+    }
+  }
 }
 
 BitVector BitVector::concat(const BitVector& high, const BitVector& low) {
@@ -136,16 +172,36 @@ std::uint64_t BitVector::to_uint64() const {
 }
 
 std::vector<std::uint8_t> BitVector::to_bytes() const {
-  std::vector<std::uint8_t> out((size_ + 7) / 8, 0);
-  std::size_t bit = 0;
-  for (std::size_t byte_idx = out.size(); byte_idx-- > 0 && bit < size_;) {
-    std::uint8_t b = 0;
-    for (int k = 0; k < 8 && bit < size_; ++k, ++bit) {
-      if (get(bit)) b |= static_cast<std::uint8_t>(1u << k);
-    }
-    out[byte_idx] = b;
-  }
+  std::vector<std::uint8_t> out;
+  out.reserve((size_ + 7) / 8);
+  append_bytes_to(out);
   return out;
+}
+
+void BitVector::append_bytes_to(std::vector<std::uint8_t>& out) const {
+  const std::size_t start = out.size();
+  out.resize(start + (size_ + 7) / 8, 0);
+  // `bit` advances in steps of 8 from 0, so a byte never straddles a word.
+  std::size_t bit = 0;
+  for (std::size_t byte_idx = out.size(); byte_idx-- > start && bit < size_;) {
+    out[byte_idx] = static_cast<std::uint8_t>(
+        (words_[bit / kWordBits] >> (bit % kWordBits)) & 0xFF);
+    bit += 8;
+  }
+}
+
+void BitVector::or_uint(std::size_t lo, std::uint64_t value,
+                        std::size_t width) {
+  ZL_EXPECTS(lo + width <= size_);
+  ZL_EXPECTS(width <= kWordBits);
+  ZL_EXPECTS(width == kWordBits || value < (std::uint64_t{1} << width));
+  if (width == 0) return;
+  const std::size_t word = lo / kWordBits;
+  const std::size_t off = lo % kWordBits;
+  words_[word] |= value << off;
+  if (off != 0 && off + width > kWordBits) {
+    words_[word + 1] |= value >> (kWordBits - off);
+  }
 }
 
 std::string BitVector::to_string() const {

@@ -43,6 +43,30 @@ class BitVector {
   static BitVector from_bytes(std::span<const std::uint8_t> bytes,
                               std::size_t size);
 
+  // --- in-place variants -----------------------------------------------
+  // These resize this vector while reusing its word storage, so a scratch
+  // BitVector stops allocating once it has grown to the working-set size.
+  // They are what the batch engine's steady-state hot path runs on.
+
+  /// Makes this an all-zero vector of `size` bits.
+  void assign_zero(std::size_t size);
+
+  /// In-place from_bytes with identical semantics.
+  void assign_from_bytes(std::span<const std::uint8_t> bytes,
+                         std::size_t size);
+
+  /// In-place slice: extracts bits [lo, lo+len) of this vector into `out`.
+  void slice_into(std::size_t lo, std::size_t len, BitVector& out) const;
+
+  /// ORs `v * x^shift` into this vector; v.size() + shift must fit.
+  void accumulate_shifted(const BitVector& v, std::size_t shift);
+
+  /// ORs the low `width` bits of `value` into positions [lo, lo+width).
+  void or_uint(std::size_t lo, std::uint64_t value, std::size_t width);
+
+  /// Appends the MSB-first serialization (what to_bytes returns) to `out`.
+  void append_bytes_to(std::vector<std::uint8_t>& out) const;
+
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 

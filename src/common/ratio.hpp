@@ -1,0 +1,26 @@
+// The one compression-accounting convention used across the codebase.
+//
+// Every stats struct (CodecStats, StreamStats, engine::EngineStats) reports
+//
+//     ratio = bytes_out / bytes_in
+//
+// so a value below 1.0 means compression won and 0.5 means "half the
+// bytes on the wire" — the same orientation as the paper's Fig. 3 bars.
+// Zero input is defined as ratio 1.0 (nothing happened). Any code that
+// needs the inverse ("compression factor") must invert at the display
+// layer, never in a stats struct, so ratios from different layers stay
+// directly comparable.
+#pragma once
+
+#include <cstdint>
+
+namespace zipline {
+
+[[nodiscard]] inline double compression_ratio(std::uint64_t bytes_in,
+                                              std::uint64_t bytes_out) {
+  return bytes_in == 0 ? 1.0
+                       : static_cast<double>(bytes_out) /
+                             static_cast<double>(bytes_in);
+}
+
+}  // namespace zipline

@@ -1,0 +1,42 @@
+#include "engine/batch.hpp"
+
+#include "common/contracts.hpp"
+
+namespace zipline::engine {
+
+void EncodeBatch::append(gd::PacketType type, std::uint32_t syndrome,
+                         std::uint32_t basis_id,
+                         std::span<const std::uint8_t> bytes) {
+  ZL_EXPECTS(storage_.size() + bytes.size() <= 0xFFFFFFFFu);
+  PacketDesc desc;
+  desc.type = type;
+  desc.offset = static_cast<std::uint32_t>(storage_.size());
+  desc.size = static_cast<std::uint32_t>(bytes.size());
+  desc.syndrome = syndrome;
+  desc.basis_id = basis_id;
+  storage_.insert(storage_.end(), bytes.begin(), bytes.end());
+  packets_.push_back(desc);
+}
+
+void DecodeBatch::append_chunk(gd::PacketType from_type,
+                               const bits::BitVector& chunk) {
+  ZL_EXPECTS(bytes_.size() + (chunk.size() + 7) / 8 <= 0xFFFFFFFFu);
+  ChunkDesc desc;
+  desc.from_type = from_type;
+  desc.offset = static_cast<std::uint32_t>(bytes_.size());
+  chunk.append_bytes_to(bytes_);
+  desc.size = static_cast<std::uint32_t>(bytes_.size()) - desc.offset;
+  chunks_.push_back(desc);
+}
+
+void DecodeBatch::append_raw(std::span<const std::uint8_t> bytes) {
+  ZL_EXPECTS(bytes_.size() + bytes.size() <= 0xFFFFFFFFu);
+  ChunkDesc desc;
+  desc.from_type = gd::PacketType::raw;
+  desc.offset = static_cast<std::uint32_t>(bytes_.size());
+  desc.size = static_cast<std::uint32_t>(bytes.size());
+  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+  chunks_.push_back(desc);
+}
+
+}  // namespace zipline::engine

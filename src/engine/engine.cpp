@@ -1,0 +1,181 @@
+#include "engine/engine.hpp"
+
+#include "common/contracts.hpp"
+
+namespace zipline::engine {
+
+Engine::Engine(const gd::GdParams& params, gd::EvictionPolicy policy,
+               bool learn)
+    : transform_(params),
+      dictionary_(params.dictionary_capacity(), policy),
+      learn_(learn) {}
+
+gd::PacketType Engine::encode_step(const bits::BitVector& chunk) {
+  ZL_EXPECTS(chunk.size() == params().chunk_bits);
+  ++stats_.chunks;
+  stats_.bytes_in += params().raw_payload_bytes();
+  transform_.forward_into(chunk, scratch_, word_scratch_);
+  if (const auto id = dictionary_.lookup(scratch_.basis)) {
+    scratch_id_ = *id;
+    ++stats_.compressed_packets;
+    stats_.bytes_out += params().type3_payload_bytes();
+    return gd::PacketType::compressed;
+  }
+  if (learn_) {
+    dictionary_.insert(scratch_.basis);
+  }
+  ++stats_.uncompressed_packets;
+  stats_.bytes_out += params().type2_payload_bytes();
+  return gd::PacketType::uncompressed;
+}
+
+void Engine::encode_chunk(const bits::BitVector& chunk, EncodeBatch& out) {
+  const gd::GdParams& p = params();
+  const gd::PacketType type = encode_step(chunk);
+  // Field order mirrors GdPacket::serialize exactly, so the batch path and
+  // the per-chunk adapter stay byte-identical.
+  writer_.reset();
+  writer_.write_uint(scratch_.syndrome, static_cast<std::size_t>(p.m));
+  writer_.write_bits(scratch_.excess);
+  if (type == gd::PacketType::uncompressed) {
+    writer_.write_bits(scratch_.basis);
+    writer_.align_to_byte();
+    if (p.model_tofino_padding) {
+      writer_.write_padding(p.type2_extra_pad_bits);
+      writer_.align_to_byte();
+    }
+    out.append(type, scratch_.syndrome, 0, writer_.bytes());
+  } else {
+    writer_.write_uint(scratch_id_, p.id_bits);
+    writer_.align_to_byte();
+    out.append(type, scratch_.syndrome, scratch_id_, writer_.bytes());
+  }
+}
+
+void Engine::encode_payload(std::span<const std::uint8_t> payload,
+                            EncodeBatch& out) {
+  // Wire framing of raw chunks is byte-based; require byte-sized chunks.
+  ZL_EXPECTS(params().chunk_bits % 8 == 0);
+  const std::size_t chunk_bytes = params().chunk_bits / 8;
+  const std::size_t full = payload.size() / chunk_bytes;
+  for (std::size_t i = 0; i < full; ++i) {
+    chunk_scratch_.assign_from_bytes(
+        payload.subspan(i * chunk_bytes, chunk_bytes), params().chunk_bits);
+    encode_chunk(chunk_scratch_, out);
+  }
+  const auto tail = payload.subspan(full * chunk_bytes);
+  if (!tail.empty()) {
+    note_raw_tail(tail.size());
+    out.append(gd::PacketType::raw, 0, 0, tail);
+  }
+  ++stats_.batches;
+}
+
+gd::GdPacket Engine::encode_chunk_packet(const bits::BitVector& chunk) {
+  const gd::PacketType type = encode_step(chunk);
+  // Copy (not move) out of the scratch so its capacity survives the call.
+  if (type == gd::PacketType::compressed) {
+    return gd::GdPacket::make_compressed(scratch_.syndrome, scratch_.excess,
+                                         scratch_id_);
+  }
+  return gd::GdPacket::make_uncompressed(scratch_.syndrome, scratch_.excess,
+                                         scratch_.basis);
+}
+
+void Engine::decode_step(gd::PacketType type, std::uint32_t syndrome) {
+  const gd::GdParams& p = params();
+  if (type == gd::PacketType::uncompressed) {
+    ++stats_.uncompressed_packets;
+    stats_.bytes_in += p.type2_payload_bytes();
+    if (learn_ && !dictionary_.peek(scratch_.basis)) {
+      dictionary_.insert(scratch_.basis);
+    }
+    stats_.bytes_out += p.raw_payload_bytes();
+    transform_.inverse_into(scratch_.excess, scratch_.basis, syndrome,
+                            chunk_scratch_, word_scratch_);
+  } else {
+    ++stats_.compressed_packets;
+    stats_.bytes_in += p.type3_payload_bytes();
+    const bits::BitVector* basis = dictionary_.lookup_basis_ref(scratch_id_);
+    ZL_EXPECTS(basis != nullptr && "compressed packet with unknown ID");
+    stats_.bytes_out += p.raw_payload_bytes();
+    transform_.inverse_into(scratch_.excess, *basis, syndrome, chunk_scratch_,
+                            word_scratch_);
+  }
+}
+
+void Engine::decode_wire(gd::PacketType type,
+                         std::span<const std::uint8_t> payload,
+                         DecodeBatch& out) {
+  ++stats_.chunks;
+  if (type == gd::PacketType::raw) {
+    ++stats_.raw_packets;
+    stats_.bytes_in += payload.size();
+    stats_.bytes_out += payload.size();
+    out.append_raw(payload);
+    return;
+  }
+  const gd::GdParams& p = params();
+  const std::size_t body = type == gd::PacketType::uncompressed
+                               ? p.type2_payload_bytes()
+                               : p.type3_payload_bytes();
+  ZL_EXPECTS(payload.size() >= body);
+  bits::BitReader reader(payload.first(body));
+  const auto syndrome =
+      static_cast<std::uint32_t>(reader.read_uint(static_cast<std::size_t>(p.m)));
+  reader.read_bits_into(p.excess_bits(), scratch_.excess);
+  if (type == gd::PacketType::uncompressed) {
+    reader.read_bits_into(p.k(), scratch_.basis);
+  } else {
+    scratch_id_ = static_cast<std::uint32_t>(reader.read_uint(p.id_bits));
+  }
+  decode_step(type, syndrome);
+  out.append_chunk(type, chunk_scratch_);
+}
+
+void Engine::decode_batch(const EncodeBatch& in, DecodeBatch& out) {
+  for (const PacketDesc& desc : in.packets()) {
+    decode_wire(desc.type, in.payload(desc), out);
+  }
+  ++stats_.batches;
+}
+
+bits::BitVector Engine::decode_packet(const gd::GdPacket& packet) {
+  ++stats_.chunks;
+  if (packet.type == gd::PacketType::raw) {
+    ++stats_.raw_packets;
+    stats_.bytes_in += packet.raw.size();
+    stats_.bytes_out += packet.raw.size();
+    return bits::BitVector::from_bytes(packet.raw, packet.raw.size() * 8);
+  }
+  // Stage the packet fields in the scratch and run the shared transition,
+  // so this adapter path cannot drift from the batch path.
+  scratch_.excess = packet.excess;
+  if (packet.type == gd::PacketType::uncompressed) {
+    scratch_.basis = packet.basis;
+  } else {
+    scratch_id_ = packet.basis_id;
+  }
+  decode_step(packet.type, packet.syndrome);
+  return chunk_scratch_;
+}
+
+void Engine::note_raw_passthrough(std::size_t bytes) {
+  ++stats_.chunks;
+  note_raw_tail(bytes);
+}
+
+void Engine::note_raw_tail(std::size_t bytes) {
+  ++stats_.raw_packets;
+  stats_.bytes_in += bytes;
+  stats_.bytes_out += bytes;
+}
+
+void Engine::preload(const bits::BitVector& basis) {
+  ZL_EXPECTS(basis.size() == params().k());
+  if (!dictionary_.peek(basis)) {
+    dictionary_.insert(basis);
+  }
+}
+
+}  // namespace zipline::engine

@@ -1,0 +1,121 @@
+// The batch-oriented encode/decode core every ZipLine consumer runs on.
+//
+// One Engine owns the GD transform, the basis dictionary and the codec
+// statistics for one direction of one flow — the same state a GdEncoder or
+// GdDecoder used to own. The difference is the data path: instead of one
+// heap-allocated GdPacket per chunk, the engine streams serialized wire
+// payloads into a caller-provided EncodeBatch / DecodeBatch arena, using
+// only internal scratch buffers that are reused across calls. In steady
+// state (dictionary warm, arena capacities grown) an encode or decode
+// performs zero heap allocations per chunk — verified by
+// tests/engine_alloc_test.cpp and swept by bench_micro_core.
+//
+// The per-chunk GdEncoder/GdDecoder API in gd/codec.hpp is a thin adapter
+// over this class; batch and per-chunk paths produce byte-identical wire
+// payloads (tests/engine_batch_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitio.hpp"
+#include "engine/batch.hpp"
+#include "gd/dictionary.hpp"
+#include "gd/packet.hpp"
+#include "gd/stats.hpp"
+#include "gd/transform.hpp"
+
+namespace zipline::engine {
+
+struct EngineStats : gd::CodecStats {
+  std::uint64_t batches = 0;  ///< encode_payload / decode_batch calls
+};
+
+class Engine {
+ public:
+  /// `learn` plays the role of learn_on_miss on the encode side and
+  /// learn_on_uncompressed on the decode side; an Engine instance serves
+  /// one direction, mirroring the codec's deterministic learning protocol.
+  explicit Engine(const gd::GdParams& params,
+                  gd::EvictionPolicy policy = gd::EvictionPolicy::lru,
+                  bool learn = true);
+
+  // --- encode side ------------------------------------------------------
+
+  /// Encodes one chunk of exactly params().chunk_bits bits, appending the
+  /// descriptor + serialized wire payload to `out`. Allocation-free in
+  /// steady state.
+  void encode_chunk(const bits::BitVector& chunk, EncodeBatch& out);
+
+  /// Encodes a byte payload: full chunks become GD packets, a trailing
+  /// partial chunk becomes one raw packet. Appends to `out` (callers clear
+  /// the batch between payloads to reuse its arena).
+  void encode_payload(std::span<const std::uint8_t> payload, EncodeBatch& out);
+
+  /// Per-chunk adapter path: same dictionary/stats transition as
+  /// encode_chunk, materialized as an owning GdPacket.
+  [[nodiscard]] gd::GdPacket encode_chunk_packet(const bits::BitVector& chunk);
+
+  // --- decode side ------------------------------------------------------
+
+  /// Decodes one wire payload of the given type, appending the recovered
+  /// chunk (or pass-through raw bytes) to `out`. For types 2/3 only the
+  /// leading type{2,3}_payload_bytes() of `payload` are consumed, so frame
+  /// padding behind the packet is ignored. Allocation-free in steady state.
+  void decode_wire(gd::PacketType type, std::span<const std::uint8_t> payload,
+                   DecodeBatch& out);
+
+  /// Decodes every packet of an encoded batch.
+  void decode_batch(const EncodeBatch& in, DecodeBatch& out);
+
+  /// Per-chunk adapter path: decodes one parsed packet to chunk bits.
+  [[nodiscard]] bits::BitVector decode_packet(const gd::GdPacket& packet);
+
+  /// Accounts a decode-side raw packet passing through untouched (used by
+  /// the payload adapters, which splice raw bytes directly).
+  void note_raw_passthrough(std::size_t bytes);
+
+  /// Accounts an encode-side raw tail (counted as a packet, not a chunk).
+  void note_raw_tail(std::size_t bytes);
+
+  // --- shared state -----------------------------------------------------
+
+  /// Pre-loads the dictionary with a basis (the paper's "static table").
+  void preload(const bits::BitVector& basis);
+
+  [[nodiscard]] const gd::GdParams& params() const noexcept {
+    return transform_.params();
+  }
+  [[nodiscard]] const gd::GdTransform& transform() const noexcept {
+    return transform_;
+  }
+  [[nodiscard]] const gd::BasisDictionary& dictionary() const noexcept {
+    return dictionary_;
+  }
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Shared encode transition: transform the chunk into scratch_, consult /
+  /// teach the dictionary, update stats. Returns the resulting wire type;
+  /// for type 3 the identifier is left in scratch_id_.
+  gd::PacketType encode_step(const bits::BitVector& chunk);
+
+  /// Type 2/3 decode transition shared by both decode paths; leaves the
+  /// recovered chunk in chunk_scratch_.
+  void decode_step(gd::PacketType type, std::uint32_t syndrome);
+
+  gd::GdTransform transform_;
+  gd::BasisDictionary dictionary_;
+  bool learn_;
+  EngineStats stats_;
+
+  // Scratch state reused across calls (the allocation-free core).
+  gd::TransformedChunk scratch_;
+  std::uint32_t scratch_id_ = 0;
+  bits::BitVector word_scratch_;
+  bits::BitVector chunk_scratch_;
+  bits::BitWriter writer_;
+};
+
+}  // namespace zipline::engine

@@ -1,0 +1,111 @@
+// Packet sinks: where encoded batches go without intermediate vectors.
+//
+// A PacketSink consumes (descriptor, wire-payload view) pairs streamed
+// straight out of an EncodeBatch arena. Concrete sinks adapt that stream
+// to a destination: GDZ1 container records (gd/stream.cpp), Ethernet
+// frames for the simulator or a pcap file (below), or nothing at all for
+// benchmarking the bare engine. Sinks are intentionally header-only and
+// duck-typed through the concept so downstream layers can add their own
+// without touching the engine.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "engine/batch.hpp"
+#include "net/ethernet.hpp"
+#include "net/pcap.hpp"
+
+namespace zipline::engine {
+
+template <typename S>
+concept PacketSink = requires(S sink, const PacketDesc& desc,
+                              std::span<const std::uint8_t> payload) {
+  sink.on_packet(desc, payload);
+};
+
+/// Streams every packet of a batch into a sink, in order.
+template <PacketSink S>
+void drain(const EncodeBatch& batch, S&& sink) {
+  for (const PacketDesc& desc : batch.packets()) {
+    sink.on_packet(desc, batch.payload(desc));
+  }
+}
+
+/// Discards packets (bench harness for the bare engine).
+struct NullSink {
+  void on_packet(const PacketDesc&, std::span<const std::uint8_t>) {}
+};
+
+/// Counts packets and bytes per wire type.
+struct CountingSink {
+  std::uint64_t packets = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t raw = 0;
+  std::uint64_t uncompressed = 0;
+  std::uint64_t compressed = 0;
+
+  void on_packet(const PacketDesc& desc, std::span<const std::uint8_t> payload) {
+    ++packets;
+    payload_bytes += payload.size();
+    switch (desc.type) {
+      case gd::PacketType::raw: ++raw; break;
+      case gd::PacketType::uncompressed: ++uncompressed; break;
+      case gd::PacketType::compressed: ++compressed; break;
+    }
+  }
+};
+
+/// Wraps each packet in an Ethernet frame (EtherType chosen from the
+/// packet type) and hands it to a callback — the simulator/testbed path.
+/// One frame object is reused, so a steady-state sink does not allocate
+/// beyond the callback's own needs.
+template <typename F>
+  requires std::invocable<F&, const net::EthernetFrame&>
+class FrameSink {
+ public:
+  FrameSink(net::MacAddress src, net::MacAddress dst, F on_frame)
+      : on_frame_(std::move(on_frame)) {
+    frame_.src = src;
+    frame_.dst = dst;
+  }
+
+  void on_packet(const PacketDesc& desc, std::span<const std::uint8_t> payload) {
+    frame_.ether_type = gd::ether_type_for(desc.type);
+    frame_.payload.assign(payload.begin(), payload.end());
+    on_frame_(frame_);
+  }
+
+ private:
+  net::EthernetFrame frame_;
+  F on_frame_;
+};
+
+/// Writes each packet as a frame into a pcap file, advancing the
+/// timestamp by `gap_us` per packet.
+class PcapSink {
+ public:
+  PcapSink(net::PcapWriter& writer, net::MacAddress src, net::MacAddress dst,
+           std::uint64_t start_us = 0, std::uint64_t gap_us = 1)
+      : writer_(&writer), timestamp_us_(start_us), gap_us_(gap_us) {
+    frame_.src = src;
+    frame_.dst = dst;
+  }
+
+  void on_packet(const PacketDesc& desc, std::span<const std::uint8_t> payload) {
+    frame_.ether_type = gd::ether_type_for(desc.type);
+    frame_.payload.assign(payload.begin(), payload.end());
+    writer_->write_frame(frame_, timestamp_us_);
+    timestamp_us_ += gap_us_;
+  }
+
+ private:
+  net::EthernetFrame frame_;
+  net::PcapWriter* writer_;
+  std::uint64_t timestamp_us_;
+  std::uint64_t gap_us_;
+};
+
+}  // namespace zipline::engine

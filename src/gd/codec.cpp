@@ -6,30 +6,10 @@ namespace zipline::gd {
 
 GdEncoder::GdEncoder(const GdParams& params, EvictionPolicy policy,
                      bool learn_on_miss)
-    : transform_(params),
-      dictionary_(params.dictionary_capacity(), policy),
-      learn_on_miss_(learn_on_miss) {}
+    : engine_(params, policy, learn_on_miss) {}
 
 GdPacket GdEncoder::encode_chunk(const bits::BitVector& chunk) {
-  ZL_EXPECTS(chunk.size() == params().chunk_bits);
-  ++stats_.chunks;
-  stats_.bytes_in += params().raw_payload_bytes();
-
-  TransformedChunk t = transform_.forward(chunk);
-  GdPacket packet;
-  if (const auto id = dictionary_.lookup(t.basis)) {
-    packet = GdPacket::make_compressed(t.syndrome, std::move(t.excess), *id);
-    ++stats_.compressed_packets;
-  } else {
-    if (learn_on_miss_) {
-      dictionary_.insert(t.basis);
-    }
-    packet = GdPacket::make_uncompressed(t.syndrome, std::move(t.excess),
-                                         std::move(t.basis));
-    ++stats_.uncompressed_packets;
-  }
-  stats_.bytes_out += packet.wire_payload_bytes(params());
-  return packet;
+  return engine_.encode_chunk_packet(chunk);
 }
 
 std::vector<GdPacket> GdEncoder::encode_payload(
@@ -42,54 +22,22 @@ std::vector<GdPacket> GdEncoder::encode_payload(
     packets.push_back(encode_chunk(chunk));
   }
   if (!tail.empty()) {
-    ++stats_.raw_packets;
-    stats_.bytes_in += tail.size();
-    stats_.bytes_out += tail.size();
+    engine_.note_raw_tail(tail.size());
     packets.push_back(GdPacket::make_raw(std::move(tail)));
   }
   return packets;
 }
 
 void GdEncoder::preload(const bits::BitVector& basis) {
-  ZL_EXPECTS(basis.size() == params().k());
-  if (!dictionary_.peek(basis)) {
-    dictionary_.insert(basis);
-  }
+  engine_.preload(basis);
 }
 
 GdDecoder::GdDecoder(const GdParams& params, EvictionPolicy policy,
                      bool learn_on_uncompressed)
-    : transform_(params),
-      dictionary_(params.dictionary_capacity(), policy),
-      learn_on_uncompressed_(learn_on_uncompressed) {}
+    : engine_(params, policy, learn_on_uncompressed) {}
 
 bits::BitVector GdDecoder::decode_chunk(const GdPacket& packet) {
-  ++stats_.chunks;
-  stats_.bytes_in += packet.wire_payload_bytes(params());
-  switch (packet.type) {
-    case PacketType::raw: {
-      ++stats_.raw_packets;
-      stats_.bytes_out += packet.raw.size();
-      return bits::BitVector::from_bytes(packet.raw, packet.raw.size() * 8);
-    }
-    case PacketType::uncompressed: {
-      ++stats_.uncompressed_packets;
-      if (learn_on_uncompressed_ && !dictionary_.peek(packet.basis)) {
-        dictionary_.insert(packet.basis);
-      }
-      stats_.bytes_out += params().raw_payload_bytes();
-      return transform_.inverse(packet.excess, packet.basis, packet.syndrome);
-    }
-    case PacketType::compressed: {
-      ++stats_.compressed_packets;
-      const auto basis = dictionary_.lookup_basis(packet.basis_id);
-      ZL_EXPECTS(basis.has_value() && "compressed packet with unknown ID");
-      stats_.bytes_out += params().raw_payload_bytes();
-      return transform_.inverse(packet.excess, *basis, packet.syndrome);
-    }
-  }
-  ZL_ASSERT(false && "unreachable packet type");
-  return {};
+  return engine_.decode_packet(packet);
 }
 
 std::vector<std::uint8_t> GdDecoder::decode_payload(
@@ -99,10 +47,7 @@ std::vector<std::uint8_t> GdDecoder::decode_payload(
   for (const GdPacket& p : packets) {
     if (p.type == PacketType::raw) {
       tail.insert(tail.end(), p.raw.begin(), p.raw.end());
-      ++stats_.chunks;
-      ++stats_.raw_packets;
-      stats_.bytes_in += p.raw.size();
-      stats_.bytes_out += p.raw.size();
+      engine_.note_raw_passthrough(p.raw.size());
     } else {
       chunks.push_back(decode_chunk(p));
     }
@@ -112,10 +57,7 @@ std::vector<std::uint8_t> GdDecoder::decode_payload(
 }
 
 void GdDecoder::preload(const bits::BitVector& basis) {
-  ZL_EXPECTS(basis.size() == params().k());
-  if (!dictionary_.peek(basis)) {
-    dictionary_.insert(basis);
-  }
+  engine_.preload(basis);
 }
 
 Chunker::Chunker(const GdParams& params)
@@ -145,8 +87,7 @@ std::vector<std::uint8_t> Chunker::join(
   out.reserve(chunks.size() * chunk_bytes_ + tail.size());
   for (const auto& chunk : chunks) {
     ZL_EXPECTS(chunk.size() == chunk_bits_);
-    const auto bytes = chunk.to_bytes();
-    out.insert(out.end(), bytes.begin(), bytes.end());
+    chunk.append_bytes_to(out);
   }
   out.insert(out.end(), tail.begin(), tail.end());
   return out;

@@ -1,7 +1,7 @@
-// Streaming GD encoder/decoder pair — the algorithmic heart of ZipLine,
-// usable standalone (host-side compression, as in the GD line of work the
-// paper builds on) and as the reference model the switch pipeline is
-// validated against.
+// Streaming GD encoder/decoder pair — the per-chunk adapter API over the
+// batch engine (engine/engine.hpp), usable standalone (host-side
+// compression, as in the GD line of work the paper builds on) and as the
+// reference model the switch pipeline is validated against.
 //
 // Learning protocol: the encoder emits a type-2 (uncompressed) packet the
 // first time a basis is seen and immediately learns a basis->ID mapping;
@@ -9,32 +9,23 @@
 // packet arrives, so both dictionaries stay synchronized without any
 // side channel. (On the switch, learning instead goes through the control
 // plane with measurable delay — that path lives in src/zipline.)
+//
+// Both classes are thin: every dictionary/stats transition happens inside
+// the owned engine::Engine, so per-chunk and batch callers of the same
+// engine state are guaranteed byte-identical wire payloads.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "gd/dictionary.hpp"
 #include "gd/packet.hpp"
+#include "gd/stats.hpp"
 #include "gd/transform.hpp"
 
 namespace zipline::gd {
-
-struct CodecStats {
-  std::uint64_t chunks = 0;
-  std::uint64_t raw_packets = 0;
-  std::uint64_t uncompressed_packets = 0;  // type 2
-  std::uint64_t compressed_packets = 0;    // type 3
-  std::uint64_t bytes_in = 0;
-  std::uint64_t bytes_out = 0;
-
-  [[nodiscard]] double compression_ratio() const {
-    return bytes_in == 0 ? 1.0
-                         : static_cast<double>(bytes_out) /
-                               static_cast<double>(bytes_in);
-  }
-};
 
 class GdEncoder {
  public:
@@ -53,22 +44,25 @@ class GdEncoder {
   /// Pre-loads the dictionary with a basis (the paper's "static table").
   void preload(const bits::BitVector& basis);
 
+  /// The batch core this adapter drives; hand it to batch-oriented callers
+  /// that want to share this encoder's dictionary and statistics.
+  [[nodiscard]] engine::Engine& engine() noexcept { return engine_; }
+
   [[nodiscard]] const GdParams& params() const noexcept {
-    return transform_.params();
+    return engine_.params();
   }
   [[nodiscard]] const GdTransform& transform() const noexcept {
-    return transform_;
+    return engine_.transform();
   }
   [[nodiscard]] const BasisDictionary& dictionary() const noexcept {
-    return dictionary_;
+    return engine_.dictionary();
   }
-  [[nodiscard]] const CodecStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const CodecStats& stats() const noexcept {
+    return engine_.stats();
+  }
 
  private:
-  GdTransform transform_;
-  BasisDictionary dictionary_;
-  bool learn_on_miss_;
-  CodecStats stats_;
+  engine::Engine engine_;
 };
 
 class GdDecoder {
@@ -89,19 +83,21 @@ class GdDecoder {
   /// identifiers allocated match the encoder's exactly).
   void preload(const bits::BitVector& basis);
 
+  /// The batch core this adapter drives.
+  [[nodiscard]] engine::Engine& engine() noexcept { return engine_; }
+
   [[nodiscard]] const GdParams& params() const noexcept {
-    return transform_.params();
+    return engine_.params();
   }
   [[nodiscard]] const BasisDictionary& dictionary() const noexcept {
-    return dictionary_;
+    return engine_.dictionary();
   }
-  [[nodiscard]] const CodecStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const CodecStats& stats() const noexcept {
+    return engine_.stats();
+  }
 
  private:
-  GdTransform transform_;
-  BasisDictionary dictionary_;
-  bool learn_on_uncompressed_;
-  CodecStats stats_;
+  engine::Engine engine_;
 };
 
 /// Splits a byte payload into chunk-sized bit vectors plus a raw tail.

@@ -39,10 +39,16 @@ std::optional<std::uint32_t> BasisDictionary::peek(
 }
 
 std::optional<bits::BitVector> BasisDictionary::lookup_basis(std::uint32_t id) {
+  const bits::BitVector* basis = lookup_basis_ref(id);
+  if (basis == nullptr) return std::nullopt;
+  return *basis;
+}
+
+const bits::BitVector* BasisDictionary::lookup_basis_ref(std::uint32_t id) {
   ZL_EXPECTS(id < capacity_);
-  if (!entries_[id].used) return std::nullopt;
+  if (!entries_[id].used) return nullptr;
   maybe_touch(id);
-  return entries_[id].basis;
+  return &entries_[id].basis;
 }
 
 InsertResult BasisDictionary::insert(const bits::BitVector& basis) {
@@ -72,6 +78,10 @@ InsertResult BasisDictionary::insert(const bits::BitVector& basis) {
 void BasisDictionary::install(std::uint32_t id, const bits::BitVector& basis) {
   ZL_EXPECTS(id < capacity_);
   if (entries_[id].used) {
+    // Displacing a live mapping is an eviction: the previous occupant's
+    // basis loses its identifier. (Re-installing the identical mapping is
+    // a refresh, not an eviction.)
+    if (entries_[id].basis != basis) ++stats_.evictions;
     by_basis_.erase(entries_[id].basis);
     list_remove(id);
   } else {

@@ -57,6 +57,11 @@ class BasisDictionary {
   /// Decoder-side lookup. Refreshes recency (mirrors the encoder's hit).
   [[nodiscard]] std::optional<bits::BitVector> lookup_basis(std::uint32_t id);
 
+  /// Copy-free lookup_basis for the batch decode hot path: returns a
+  /// pointer into the entry table (invalidated by the next mutation), or
+  /// nullptr when the identifier is unmapped. Refreshes recency.
+  [[nodiscard]] const bits::BitVector* lookup_basis_ref(std::uint32_t id);
+
   /// Inserts a new basis, allocating (possibly recycling) an identifier.
   /// The basis must not already be present.
   InsertResult insert(const bits::BitVector& basis);

@@ -1,0 +1,27 @@
+// Codec-level statistics, shared by the per-chunk adapters (GdEncoder /
+// GdDecoder) and the batch engine so both report through one accounting
+// scheme. Byte counts follow the Fig. 3 accounting: bytes_in is payload
+// bytes entering the codec, bytes_out is wire payload bytes leaving it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ratio.hpp"
+
+namespace zipline::gd {
+
+struct CodecStats {
+  std::uint64_t chunks = 0;
+  std::uint64_t raw_packets = 0;
+  std::uint64_t uncompressed_packets = 0;  // type 2
+  std::uint64_t compressed_packets = 0;    // type 3
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+
+  /// bytes_out / bytes_in — see common/ratio.hpp for the convention.
+  [[nodiscard]] double compression_ratio() const {
+    return zipline::compression_ratio(bytes_in, bytes_out);
+  }
+};
+
+}  // namespace zipline::gd

@@ -4,6 +4,8 @@
 
 #include "common/contracts.hpp"
 #include "crc/crc32.hpp"
+#include "engine/engine.hpp"
+#include "engine/sink.hpp"
 
 namespace zipline::gd {
 
@@ -68,6 +70,51 @@ class Cursor {
   std::size_t pos_ = 0;
 };
 
+/// engine::PacketSink appending GDZ1 records — tag byte, an explicit
+/// 32-bit length for raw tails (types 2/3 have fixed sizes derived from
+/// the header), then the wire payload straight out of the batch arena.
+class ContainerRecordSink {
+ public:
+  explicit ContainerRecordSink(std::vector<std::uint8_t>& out) : out_(&out) {}
+
+  void on_packet(const engine::PacketDesc& desc,
+                 std::span<const std::uint8_t> payload) {
+    if (desc.type == PacketType::raw) {
+      out_->push_back(kTagTail);
+      put_u32(*out_, static_cast<std::uint32_t>(payload.size()));
+    } else {
+      out_->push_back(static_cast<std::uint8_t>(desc.type));
+    }
+    out_->insert(out_->end(), payload.begin(), payload.end());
+  }
+
+ private:
+  std::vector<std::uint8_t>* out_;
+};
+
+/// Walks the record section once, validating structure and returning the
+/// byte range the CRC trailer covers. Decoding happens in a second pass so
+/// corruption that still parses structurally is reported as a CRC
+/// mismatch rather than a downstream decode failure (a mangled tag or
+/// length still throws its structural error first, as it always has).
+std::size_t scan_records(Cursor& cur, const GdParams& params) {
+  for (;;) {
+    const std::uint8_t tag = cur.u8();
+    if (tag == kTagEnd) return cur.position();
+    if (tag == kTagTail) {
+      (void)cur.bytes(cur.u32());
+      continue;
+    }
+    if (tag != static_cast<std::uint8_t>(PacketType::uncompressed) &&
+        tag != static_cast<std::uint8_t>(PacketType::compressed)) {
+      throw std::runtime_error("gd stream: unknown record tag");
+    }
+    (void)cur.bytes(tag == static_cast<std::uint8_t>(PacketType::uncompressed)
+                        ? params.type2_payload_bytes()
+                        : params.type3_payload_bytes());
+  }
+}
+
 }  // namespace
 
 GdParams stream_default_params() {
@@ -91,27 +138,19 @@ std::vector<std::uint8_t> gd_stream_compress(
   out.push_back(0);  // reserved: eviction policy (LRU only in v1)
 
   const std::size_t records_start = out.size();
-  GdEncoder encoder{params};
-  const auto packets = encoder.encode_payload(input);
-  for (const auto& packet : packets) {
-    out.push_back(packet.type == PacketType::raw
-                      ? kTagTail
-                      : static_cast<std::uint8_t>(packet.type));
-    if (packet.type == PacketType::raw) {
-      put_u32(out, static_cast<std::uint32_t>(packet.raw.size()));
-    }
-    const auto body = packet.serialize(params);
-    out.insert(out.end(), body.begin(), body.end());
-  }
+  engine::Engine engine{params};
+  engine::EncodeBatch batch;
+  engine.encode_payload(input, batch);
+  engine::drain(batch, ContainerRecordSink(out));
   out.push_back(kTagEnd);
   put_u32(out, crc::Crc32::of(std::span(out).subspan(records_start)));
 
   if (stats != nullptr) {
     stats->input_bytes = input.size();
     stats->output_bytes = out.size();
-    stats->chunks = encoder.stats().chunks;
-    stats->compressed_packets = encoder.stats().compressed_packets;
-    stats->uncompressed_packets = encoder.stats().uncompressed_packets;
+    stats->chunks = engine.stats().chunks;
+    stats->compressed_packets = engine.stats().compressed_packets;
+    stats->uncompressed_packets = engine.stats().uncompressed_packets;
   }
   return out;
 }
@@ -136,37 +175,35 @@ std::vector<std::uint8_t> gd_stream_decompress(
     throw std::runtime_error("gd stream: invalid parameters in header");
   }
 
+  // Pass 1: structural scan + CRC check over the record section.
   const std::size_t records_start = cur.position();
-  GdDecoder decoder{params};
-  std::vector<GdPacket> packets;
-  for (;;) {
-    const std::uint8_t tag = cur.u8();
-    if (tag == kTagEnd) break;
-    if (tag == kTagTail) {
-      const std::uint32_t length = cur.u32();
-      const auto body = cur.bytes(length);
-      packets.push_back(
-          GdPacket::make_raw({body.begin(), body.end()}));
-      continue;
-    }
-    if (tag != static_cast<std::uint8_t>(PacketType::uncompressed) &&
-        tag != static_cast<std::uint8_t>(PacketType::compressed)) {
-      throw std::runtime_error("gd stream: unknown record tag");
-    }
-    const auto type = static_cast<PacketType>(tag);
-    const std::size_t body_bytes = type == PacketType::uncompressed
-                                       ? params.type2_payload_bytes()
-                                       : params.type3_payload_bytes();
-    packets.push_back(GdPacket::parse(params, type, cur.bytes(body_bytes)));
-  }
-  const std::size_t records_end = cur.position();
+  const std::size_t records_end = scan_records(cur, params);
   const std::uint32_t stored_crc = cur.u32();
   const std::uint32_t computed = crc::Crc32::of(
       container.subspan(records_start, records_end - records_start));
   if (stored_crc != computed) {
     throw std::runtime_error("gd stream: CRC mismatch");
   }
-  return decoder.decode_payload(packets);
+
+  // Pass 2: decode records straight into the output arena — no
+  // intermediate GdPacket vector.
+  Cursor records(container.subspan(records_start, records_end - records_start));
+  engine::Engine engine{params};
+  engine::DecodeBatch out;
+  for (;;) {
+    const std::uint8_t tag = records.u8();
+    if (tag == kTagEnd) break;
+    if (tag == kTagTail) {
+      engine.decode_wire(PacketType::raw, records.bytes(records.u32()), out);
+      continue;
+    }
+    const auto type = static_cast<PacketType>(tag);
+    const std::size_t body_bytes = type == PacketType::uncompressed
+                                       ? params.type2_payload_bytes()
+                                       : params.type3_payload_bytes();
+    engine.decode_wire(type, records.bytes(body_bytes), out);
+  }
+  return out.release_bytes();
 }
 
 }  // namespace zipline::gd

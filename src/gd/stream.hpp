@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "common/ratio.hpp"
 #include "gd/codec.hpp"
 
 namespace zipline::gd {
@@ -29,10 +30,9 @@ struct StreamStats {
   std::uint64_t compressed_packets = 0;
   std::uint64_t uncompressed_packets = 0;
 
+  /// output_bytes / input_bytes — see common/ratio.hpp for the convention.
   [[nodiscard]] double ratio() const {
-    return input_bytes == 0 ? 1.0
-                            : static_cast<double>(output_bytes) /
-                                  static_cast<double>(input_bytes);
+    return zipline::compression_ratio(input_bytes, output_bytes);
   }
 };
 

@@ -10,12 +10,20 @@ GdTransform::GdTransform(const GdParams& params)
 }
 
 TransformedChunk GdTransform::forward(const bits::BitVector& chunk) const {
+  TransformedChunk out;
+  bits::BitVector word;
+  forward_into(chunk, out, word);
+  return out;
+}
+
+void GdTransform::forward_into(const bits::BitVector& chunk,
+                               TransformedChunk& out,
+                               bits::BitVector& word_scratch) const {
   ZL_EXPECTS(chunk.size() == params_.chunk_bits);
   const std::size_t n = params_.n();
-  bits::BitVector word = chunk.slice(0, n);
-  bits::BitVector excess = chunk.slice(n, params_.excess_bits());
-  hamming::Canonical c = code_.canonicalize(word);
-  return TransformedChunk{std::move(excess), std::move(c.basis), c.syndrome};
+  chunk.slice_into(0, n, word_scratch);
+  chunk.slice_into(n, params_.excess_bits(), out.excess);
+  code_.canonicalize_into(word_scratch, out.basis, out.syndrome);
 }
 
 bits::BitVector GdTransform::inverse(const TransformedChunk& t) const {
@@ -25,11 +33,23 @@ bits::BitVector GdTransform::inverse(const TransformedChunk& t) const {
 bits::BitVector GdTransform::inverse(const bits::BitVector& excess,
                                      const bits::BitVector& basis,
                                      std::uint32_t syndrome) const {
+  bits::BitVector out;
+  bits::BitVector word;
+  inverse_into(excess, basis, syndrome, out, word);
+  return out;
+}
+
+void GdTransform::inverse_into(const bits::BitVector& excess,
+                               const bits::BitVector& basis,
+                               std::uint32_t syndrome, bits::BitVector& out,
+                               bits::BitVector& word_scratch) const {
   ZL_EXPECTS(excess.size() == params_.excess_bits());
   ZL_EXPECTS(basis.size() == params_.k());
   ZL_EXPECTS(syndrome < (std::uint32_t{1} << params_.m));
-  const bits::BitVector word = code_.expand(basis, syndrome);
-  return bits::BitVector::concat(excess, word);
+  code_.expand_into(basis, syndrome, word_scratch);
+  out.assign_zero(params_.chunk_bits);
+  out.accumulate_shifted(word_scratch, 0);
+  out.accumulate_shifted(excess, params_.n());
 }
 
 }  // namespace zipline::gd

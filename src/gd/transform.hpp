@@ -20,7 +20,7 @@ namespace zipline::gd {
 struct TransformedChunk {
   bits::BitVector excess;  ///< chunk_bits - n verbatim high-order bits
   bits::BitVector basis;   ///< k bits
-  std::uint32_t syndrome;  ///< m bits
+  std::uint32_t syndrome = 0;  ///< m bits
 };
 
 class GdTransform {
@@ -40,6 +40,20 @@ class GdTransform {
   [[nodiscard]] bits::BitVector inverse(const bits::BitVector& excess,
                                         const bits::BitVector& basis,
                                         std::uint32_t syndrome) const;
+
+  // --- in-place variants (the batch engine's hot path) -----------------
+  // `word_scratch` is caller-owned n-bit working storage; passing the same
+  // scratch across calls makes both directions allocation-free once every
+  // buffer has reached its steady-state capacity.
+
+  /// Forward transform into `out`, reusing its vectors.
+  void forward_into(const bits::BitVector& chunk, TransformedChunk& out,
+                    bits::BitVector& word_scratch) const;
+
+  /// Inverse transform into `out`, reusing its storage.
+  void inverse_into(const bits::BitVector& excess,
+                    const bits::BitVector& basis, std::uint32_t syndrome,
+                    bits::BitVector& out, bits::BitVector& word_scratch) const;
 
  private:
   GdParams params_;

@@ -50,29 +50,49 @@ bits::BitVector HammingCode::encode(const bits::BitVector& message) const {
 }
 
 Canonical HammingCode::canonicalize(const bits::BitVector& word) const {
+  Canonical c;
+  canonicalize_into(word, c.basis, c.syndrome);
+  return c;
+}
+
+void HammingCode::canonicalize_into(const bits::BitVector& word,
+                                    bits::BitVector& basis_out,
+                                    std::uint32_t& syndrome_out) const {
   ZL_EXPECTS(word.size() == n_);
   const std::uint32_t s = crc_.compute(word);
-  if (s == 0) {
-    return Canonical{word.slice(static_cast<std::size_t>(m_), k_), 0};
-  }
+  word.slice_into(static_cast<std::size_t>(m_), k_, basis_out);
+  syndrome_out = s;
+  if (s == 0) return;
   const std::size_t pos = error_position(s);
-  if (pos < static_cast<std::size_t>(m_)) {
-    // The deviation hits a parity bit; the message bits are untouched.
-    return Canonical{word.slice(static_cast<std::size_t>(m_), k_), s};
+  // A deviation in a parity bit leaves the message bits untouched;
+  // otherwise correcting the word flips exactly one basis bit, which is
+  // equivalent to flipping it after truncation.
+  if (pos >= static_cast<std::size_t>(m_)) {
+    basis_out.flip(pos - static_cast<std::size_t>(m_));
   }
-  bits::BitVector corrected = word;
-  corrected.flip(pos);
-  return Canonical{corrected.slice(static_cast<std::size_t>(m_), k_), s};
 }
 
 bits::BitVector HammingCode::expand(const bits::BitVector& basis,
                                     std::uint32_t syndrome) const {
-  ZL_EXPECTS(basis.size() == k_);
-  bits::BitVector word = encode(basis);
-  if (syndrome != 0) {
-    word.flip(error_position(syndrome));
-  }
+  bits::BitVector word;
+  expand_into(basis, syndrome, word);
   return word;
+}
+
+void HammingCode::expand_into(const bits::BitVector& basis,
+                              std::uint32_t syndrome,
+                              bits::BitVector& out) const {
+  ZL_EXPECTS(basis.size() == k_);
+  // Systematic encode without the intermediate shifted/concat copies:
+  // place the message at x^m, compute its parity, OR the parity into the
+  // zeroed low bits.
+  out.assign_zero(n_);
+  out.accumulate_shifted(basis, static_cast<std::size_t>(m_));
+  const std::uint32_t parity = crc_.compute(out);
+  out.or_uint(0, parity, static_cast<std::size_t>(m_));
+  if (syndrome != 0) {
+    out.flip(error_position(syndrome));
+  }
 }
 
 }  // namespace zipline::hamming

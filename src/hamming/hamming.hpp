@@ -69,6 +69,16 @@ class HammingCode {
   [[nodiscard]] bits::BitVector expand(const bits::BitVector& basis,
                                        std::uint32_t syndrome) const;
 
+  /// In-place canonicalize: writes the basis into `basis_out` (reusing its
+  /// storage) and the deviation into `syndrome_out`.
+  void canonicalize_into(const bits::BitVector& word,
+                         bits::BitVector& basis_out,
+                         std::uint32_t& syndrome_out) const;
+
+  /// In-place expand: writes the n-bit word into `out`.
+  void expand_into(const bits::BitVector& basis, std::uint32_t syndrome,
+                   bits::BitVector& out) const;
+
  private:
   int m_;
   std::size_t n_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
+#include "gd/packet.hpp"
 
 namespace zipline::sim {
 
@@ -40,6 +41,23 @@ void Host::start_stream(net::MacAddress dst, std::uint64_t count,
   start_stream(
       dst, count, [payload](std::uint64_t) { return payload; },
       [ether_type](std::uint64_t) { return ether_type; }, start_at);
+}
+
+void Host::start_batch_stream(net::MacAddress dst,
+                              const engine::EncodeBatch& batch,
+                              SimTime start_at, std::uint64_t repeat) {
+  ZL_EXPECTS(!batch.empty());
+  const engine::EncodeBatch* staged = &batch;
+  start_stream(
+      dst, batch.size() * repeat,
+      [staged](std::uint64_t i) {
+        const auto payload = staged->payload(i % staged->size());
+        return std::vector<std::uint8_t>(payload.begin(), payload.end());
+      },
+      [staged](std::uint64_t i) {
+        return gd::ether_type_for(staged->packet(i % staged->size()).type);
+      },
+      start_at);
 }
 
 void Host::generate_next() {

@@ -14,6 +14,7 @@
 
 #include "common/rng.hpp"
 #include "common/scheduler.hpp"
+#include "engine/batch.hpp"
 #include "net/mac.hpp"
 #include "sim/link.hpp"
 
@@ -65,6 +66,15 @@ class Host final : public LinkEndpoint {
   void start_stream(net::MacAddress dst, std::uint64_t count,
                     std::size_t payload_bytes, std::uint16_t ether_type,
                     SimTime start_at);
+
+  /// Streams a pre-encoded batch: one frame per descriptor, EtherType
+  /// derived from the descriptor's packet type, payload taken from the
+  /// batch arena. `repeat` cycles through the batch that many times (the
+  /// raw_ethernet_bw pattern of retransmitting one prepared buffer). The
+  /// batch must outlive the stream.
+  void start_batch_stream(net::MacAddress dst,
+                          const engine::EncodeBatch& batch, SimTime start_at,
+                          std::uint64_t repeat = 1);
 
   /// Sends a single frame immediately through the normal TX path.
   void send_frame(net::EthernetFrame frame, SimTime now);

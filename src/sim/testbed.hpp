@@ -75,6 +75,18 @@ ThroughputResult run_throughput(prog::SwitchOp op, std::size_t frame_bytes,
                                 SimTime duration, SimTime warmup = 0,
                                 std::uint64_t seed = 1);
 
+/// Batch companion to run_throughput: server 1 streams GD chunk traffic
+/// staged once through the engine batch path (`batch_chunks` chunks per
+/// EncodeBatch, cycled for the whole window) instead of regenerating a
+/// payload per frame. Encode ops stream raw chunk frames; decode ops
+/// stream the batch pre-encoded to type-2 packets. Measures the same
+/// receiver-side steady-state rate, so the batch-size sweep in
+/// bench_fig4_throughput quantifies what sender-side batching buys.
+ThroughputResult run_batch_throughput(prog::SwitchOp op,
+                                      std::size_t batch_chunks,
+                                      SimTime duration, SimTime warmup = 0,
+                                      std::uint64_t seed = 1);
+
 // ---------------------------------------------------------------------------
 // Figure 5: latency
 // ---------------------------------------------------------------------------

@@ -346,6 +346,39 @@ void ZipLineProgram::install_encoder_mapping(std::uint32_t id,
                        now);
 }
 
+BatchRunResult run_batch(tofino::SwitchModel& sw,
+                         const engine::EncodeBatch& in,
+                         engine::EncodeBatch* out,
+                         tofino::PortId ingress_port, SimTime start_at,
+                         SimTime gap) {
+  net::EthernetFrame frame;
+  frame.dst = net::MacAddress::local(2);
+  frame.src = net::MacAddress::local(1);
+  BatchRunResult result;
+  SimTime t = start_at;
+  for (const engine::PacketDesc& desc : in.packets()) {
+    const auto payload = in.payload(desc);
+    frame.ether_type = gd::ether_type_for(desc.type);
+    frame.payload.assign(payload.begin(), payload.end());
+    const auto processed = sw.process(frame, ingress_port, t);
+    t += gap;
+    if (processed.dropped) {
+      ++result.dropped;
+      continue;
+    }
+    ++result.forwarded;
+    if (out != nullptr) {
+      const gd::PacketType type =
+          gd::is_zipline_ether_type(processed.frame.ether_type)
+              ? gd::packet_type_for_ether(processed.frame.ether_type)
+              : gd::PacketType::raw;
+      out->append(type, 0, 0, processed.frame.payload);
+    }
+  }
+  result.end_time = t;
+  return result;
+}
+
 std::string ZipLineProgram::resource_report() const {
   const auto& p = config_.params;
   std::ostringstream out;

@@ -22,6 +22,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "engine/batch.hpp"
 #include "gd/packet.hpp"
 #include "gd/params.hpp"
 #include "hamming/hamming.hpp"
@@ -137,5 +138,25 @@ class ZipLineProgram final : public tofino::PipelineProgram {
 
   std::unordered_map<tofino::PortId, tofino::PortId> port_forward_;
 };
+
+struct BatchRunResult {
+  std::uint64_t forwarded = 0;
+  std::uint64_t dropped = 0;
+  SimTime end_time = 0;  ///< timestamp after the last packet
+};
+
+/// Batch entry into the switch model: runs every packet of `in` through
+/// the full parse/ingress/egress/deparse pipeline as a ZipLine frame
+/// entering `ingress_port`, one per `gap` ns starting at `start_at`.
+/// Surviving output packets are appended to `out` (when non-null) with
+/// their wire type taken from the output EtherType; descriptor metadata
+/// (syndrome/basis_id) is zero, as for any packet observed on the wire.
+/// One frame buffer is reused across the batch, so the per-packet cost is
+/// the pipeline itself rather than allocation.
+BatchRunResult run_batch(tofino::SwitchModel& sw,
+                         const engine::EncodeBatch& in,
+                         engine::EncodeBatch* out,
+                         tofino::PortId ingress_port, SimTime start_at = 0,
+                         SimTime gap = 1);
 
 }  // namespace zipline::prog

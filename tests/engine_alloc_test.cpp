@@ -1,0 +1,146 @@
+// Allocation-counting hook for the engine's line-rate claim: in steady
+// state (dictionary warm, arena capacities grown) the batch encode and
+// decode paths must perform ZERO heap allocations per chunk.
+//
+// The hook replaces the global operator new/delete for this test binary
+// and counts every allocation; the tests warm an engine up, then assert
+// the counter does not move across many full batches.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "engine/engine.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+std::uint64_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t padded = (size + align - 1) / align * align;
+  if (void* p = std::aligned_alloc(align, padded ? padded : align)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace zipline::engine {
+namespace {
+
+std::vector<std::uint8_t> random_payload(Rng& rng, std::size_t bytes) {
+  std::vector<std::uint8_t> out(bytes);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+TEST(EngineAllocation, HookCountsAllocations) {
+  const std::uint64_t before = allocation_count();
+  auto* sink = new std::vector<int>(128);
+  delete sink;
+  EXPECT_GT(allocation_count(), before);
+}
+
+// The acceptance criterion: batch-64 encode, steady state, zero heap
+// allocations per chunk.
+TEST(EngineAllocation, Batch64EncodeSteadyStateIsAllocationFree) {
+  const gd::GdParams params;
+  Engine engine{params};
+  Rng rng(0xA110C);
+  const auto payload = random_payload(rng, 64 * params.raw_payload_bytes());
+
+  EncodeBatch batch;
+  // Warmup: learn every basis, grow the arena and all scratch buffers.
+  for (int i = 0; i < 4; ++i) {
+    batch.clear();
+    engine.encode_payload(payload, batch);
+  }
+
+  const std::uint64_t before = allocation_count();
+  for (int i = 0; i < 50; ++i) {
+    batch.clear();
+    engine.encode_payload(payload, batch);
+  }
+  EXPECT_EQ(allocation_count(), before)
+      << "steady-state batch encode must not touch the heap";
+  EXPECT_EQ(batch.size(), 64u);
+}
+
+TEST(EngineAllocation, Batch64DecodeSteadyStateIsAllocationFree) {
+  const gd::GdParams params;
+  Engine encoder{params};
+  Engine decoder{params};
+  Rng rng(0xDEC0DE);
+  const auto payload = random_payload(rng, 64 * params.raw_payload_bytes());
+
+  EncodeBatch encoded;
+  encoder.encode_payload(payload, encoded);
+  DecodeBatch decoded;
+  for (int i = 0; i < 4; ++i) {
+    decoded.clear();
+    decoder.decode_batch(encoded, decoded);
+  }
+
+  const std::uint64_t before = allocation_count();
+  for (int i = 0; i < 50; ++i) {
+    decoded.clear();
+    decoder.decode_batch(encoded, decoded);
+  }
+  EXPECT_EQ(allocation_count(), before)
+      << "steady-state batch decode must not touch the heap";
+  EXPECT_EQ(decoded.bytes().size(), payload.size());
+}
+
+// The contrast case documenting what the adapters cost: the per-chunk
+// GdPacket path allocates (it returns owning packets), which is exactly
+// why batch consumers should hold an Engine instead.
+TEST(EngineAllocation, PerChunkAdapterPathAllocates) {
+  const gd::GdParams params;
+  Engine engine{params};
+  Rng rng(0xADA);
+  bits::BitVector chunk(params.chunk_bits);
+  for (std::size_t i = 0; i < params.chunk_bits; ++i) {
+    if (rng.next_bool(0.5)) chunk.set(i);
+  }
+  (void)engine.encode_chunk_packet(chunk);  // learn
+  const std::uint64_t before = allocation_count();
+  (void)engine.encode_chunk_packet(chunk);
+  EXPECT_GT(allocation_count(), before);
+}
+
+}  // namespace
+}  // namespace zipline::engine

@@ -83,7 +83,9 @@ TEST(BasisDictionary, RandomEvictionIsDeterministicPerSeed) {
     const InsertResult rb = b.insert(basis_of(i));
     EXPECT_EQ(ra.id, rb.id);
     EXPECT_EQ(ra.evicted.has_value(), rb.evicted.has_value());
-    if (ra.evicted) EXPECT_EQ(*ra.evicted, *rb.evicted);
+    if (ra.evicted) {
+      EXPECT_EQ(*ra.evicted, *rb.evicted);
+    }
   }
 }
 
@@ -102,6 +104,25 @@ TEST(BasisDictionary, InstallOverwritesPreviousOccupant) {
   EXPECT_EQ(dict.lookup_basis(0), std::optional<BitVector>(basis_of(9)));
   EXPECT_EQ(dict.lookup(basis_of(1)), std::nullopt);
   EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(BasisDictionary, InstallDisplacingLiveEntryCountsEviction) {
+  // Regression: install() used to replace a live mapping without counting
+  // the displaced basis as evicted, so control-plane-driven churn was
+  // invisible in the stats.
+  BasisDictionary dict(4, EvictionPolicy::lru);
+  dict.insert(basis_of(1));  // id 0
+  EXPECT_EQ(dict.stats().evictions, 0u);
+  dict.install(0, basis_of(9));  // displaces the live basis 1
+  EXPECT_EQ(dict.stats().evictions, 1u);
+  dict.install(0, basis_of(9));  // identical re-install: a refresh
+  EXPECT_EQ(dict.stats().evictions, 1u);
+  dict.install(1, basis_of(5));  // free identifier: nothing displaced
+  EXPECT_EQ(dict.stats().evictions, 1u);
+  // Moving a basis between identifiers frees the old slot rather than
+  // displacing another basis: not an eviction either.
+  dict.install(2, basis_of(5));
+  EXPECT_EQ(dict.stats().evictions, 1u);
 }
 
 TEST(BasisDictionary, InstallIntoFreeIdRemovesItFromPool) {
