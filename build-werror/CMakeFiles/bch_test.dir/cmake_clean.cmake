@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bch_test.dir/tests/bch_test.cpp.o"
+  "CMakeFiles/bch_test.dir/tests/bch_test.cpp.o.d"
+  "bch_test"
+  "bch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

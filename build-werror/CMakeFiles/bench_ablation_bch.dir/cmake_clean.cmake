@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bch.dir/bench/bench_ablation_bch.cpp.o"
+  "CMakeFiles/bench_ablation_bch.dir/bench/bench_ablation_bch.cpp.o.d"
+  "bench_ablation_bch"
+  "bench_ablation_bch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

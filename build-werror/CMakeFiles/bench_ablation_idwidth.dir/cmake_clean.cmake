@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_idwidth.dir/bench/bench_ablation_idwidth.cpp.o"
+  "CMakeFiles/bench_ablation_idwidth.dir/bench/bench_ablation_idwidth.cpp.o.d"
+  "bench_ablation_idwidth"
+  "bench_ablation_idwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_idwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

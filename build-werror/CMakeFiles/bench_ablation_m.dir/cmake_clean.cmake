@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_m.dir/bench/bench_ablation_m.cpp.o"
+  "CMakeFiles/bench_ablation_m.dir/bench/bench_ablation_m.cpp.o.d"
+  "bench_ablation_m"
+  "bench_ablation_m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_learning.dir/bench/bench_learning.cpp.o"
+  "CMakeFiles/bench_learning.dir/bench/bench_learning.cpp.o.d"
+  "bench_learning"
+  "bench_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

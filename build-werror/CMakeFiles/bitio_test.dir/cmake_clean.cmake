@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitio_test.dir/tests/bitio_test.cpp.o"
+  "CMakeFiles/bitio_test.dir/tests/bitio_test.cpp.o.d"
+  "bitio_test"
+  "bitio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deflate_test.dir/tests/deflate_test.cpp.o"
+  "CMakeFiles/deflate_test.dir/tests/deflate_test.cpp.o.d"
+  "deflate_test"
+  "deflate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deflate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

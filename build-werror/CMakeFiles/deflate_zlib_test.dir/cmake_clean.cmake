@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deflate_zlib_test.dir/tests/deflate_zlib_test.cpp.o"
+  "CMakeFiles/deflate_zlib_test.dir/tests/deflate_zlib_test.cpp.o.d"
+  "deflate_zlib_test"
+  "deflate_zlib_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deflate_zlib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

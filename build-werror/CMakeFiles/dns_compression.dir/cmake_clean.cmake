@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_compression.dir/examples/dns_compression.cpp.o"
+  "CMakeFiles/dns_compression.dir/examples/dns_compression.cpp.o.d"
+  "dns_compression"
+  "dns_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

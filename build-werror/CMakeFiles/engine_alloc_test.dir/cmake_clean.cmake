@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_alloc_test.dir/tests/engine_alloc_test.cpp.o"
+  "CMakeFiles/engine_alloc_test.dir/tests/engine_alloc_test.cpp.o.d"
+  "engine_alloc_test"
+  "engine_alloc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_alloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gd_codec_test.dir/tests/gd_codec_test.cpp.o"
+  "CMakeFiles/gd_codec_test.dir/tests/gd_codec_test.cpp.o.d"
+  "gd_codec_test"
+  "gd_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gd_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

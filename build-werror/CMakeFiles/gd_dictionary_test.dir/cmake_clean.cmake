@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gd_dictionary_test.dir/tests/gd_dictionary_test.cpp.o"
+  "CMakeFiles/gd_dictionary_test.dir/tests/gd_dictionary_test.cpp.o.d"
+  "gd_dictionary_test"
+  "gd_dictionary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gd_dictionary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

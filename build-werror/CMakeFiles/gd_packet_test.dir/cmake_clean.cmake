@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gd_packet_test.dir/tests/gd_packet_test.cpp.o"
+  "CMakeFiles/gd_packet_test.dir/tests/gd_packet_test.cpp.o.d"
+  "gd_packet_test"
+  "gd_packet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gd_packet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gd_property_test.dir/tests/gd_property_test.cpp.o"
+  "CMakeFiles/gd_property_test.dir/tests/gd_property_test.cpp.o.d"
+  "gd_property_test"
+  "gd_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gd_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

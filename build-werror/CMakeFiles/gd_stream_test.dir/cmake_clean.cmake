@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gd_stream_test.dir/tests/gd_stream_test.cpp.o"
+  "CMakeFiles/gd_stream_test.dir/tests/gd_stream_test.cpp.o.d"
+  "gd_stream_test"
+  "gd_stream_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gd_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

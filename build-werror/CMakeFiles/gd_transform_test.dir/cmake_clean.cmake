@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gd_transform_test.dir/tests/gd_transform_test.cpp.o"
+  "CMakeFiles/gd_transform_test.dir/tests/gd_transform_test.cpp.o.d"
+  "gd_transform_test"
+  "gd_transform_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gd_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdzip.dir/examples/gdzip.cpp.o"
+  "CMakeFiles/gdzip.dir/examples/gdzip.cpp.o.d"
+  "gdzip"
+  "gdzip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdzip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

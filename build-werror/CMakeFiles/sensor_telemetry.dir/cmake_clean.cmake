@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_telemetry.dir/examples/sensor_telemetry.cpp.o"
+  "CMakeFiles/sensor_telemetry.dir/examples/sensor_telemetry.cpp.o.d"
+  "sensor_telemetry"
+  "sensor_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

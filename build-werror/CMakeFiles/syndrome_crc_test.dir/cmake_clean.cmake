@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syndrome_crc_test.dir/tests/syndrome_crc_test.cpp.o"
+  "CMakeFiles/syndrome_crc_test.dir/tests/syndrome_crc_test.cpp.o.d"
+  "syndrome_crc_test"
+  "syndrome_crc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syndrome_crc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tofino_test.dir/tests/tofino_test.cpp.o"
+  "CMakeFiles/tofino_test.dir/tests/tofino_test.cpp.o.d"
+  "tofino_test"
+  "tofino_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tofino_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_pair.dir/examples/wan_pair.cpp.o"
+  "CMakeFiles/wan_pair.dir/examples/wan_pair.cpp.o.d"
+  "wan_pair"
+  "wan_pair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_pair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+file(REMOVE_RECURSE
+  "libzipline.a"
+  "libzipline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipline_baseline.dir/src/baseline/dedup.cpp.o"
+  "CMakeFiles/zipline_baseline.dir/src/baseline/dedup.cpp.o.d"
+  "CMakeFiles/zipline_baseline.dir/src/baseline/deflate.cpp.o"
+  "CMakeFiles/zipline_baseline.dir/src/baseline/deflate.cpp.o.d"
+  "CMakeFiles/zipline_baseline.dir/src/baseline/huffman.cpp.o"
+  "CMakeFiles/zipline_baseline.dir/src/baseline/huffman.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipline_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

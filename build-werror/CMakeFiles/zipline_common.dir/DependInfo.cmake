@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bitio.cpp" "CMakeFiles/zipline_common.dir/src/common/bitio.cpp.o" "gcc" "CMakeFiles/zipline_common.dir/src/common/bitio.cpp.o.d"
+  "/root/repo/src/common/bitvector.cpp" "CMakeFiles/zipline_common.dir/src/common/bitvector.cpp.o" "gcc" "CMakeFiles/zipline_common.dir/src/common/bitvector.cpp.o.d"
+  "/root/repo/src/common/hexdump.cpp" "CMakeFiles/zipline_common.dir/src/common/hexdump.cpp.o" "gcc" "CMakeFiles/zipline_common.dir/src/common/hexdump.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipline_common.dir/src/common/bitio.cpp.o"
+  "CMakeFiles/zipline_common.dir/src/common/bitio.cpp.o.d"
+  "CMakeFiles/zipline_common.dir/src/common/bitvector.cpp.o"
+  "CMakeFiles/zipline_common.dir/src/common/bitvector.cpp.o.d"
+  "CMakeFiles/zipline_common.dir/src/common/hexdump.cpp.o"
+  "CMakeFiles/zipline_common.dir/src/common/hexdump.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipline_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crc/crc32.cpp" "CMakeFiles/zipline_crc.dir/src/crc/crc32.cpp.o" "gcc" "CMakeFiles/zipline_crc.dir/src/crc/crc32.cpp.o.d"
+  "/root/repo/src/crc/polynomial.cpp" "CMakeFiles/zipline_crc.dir/src/crc/polynomial.cpp.o" "gcc" "CMakeFiles/zipline_crc.dir/src/crc/polynomial.cpp.o.d"
+  "/root/repo/src/crc/syndrome_crc.cpp" "CMakeFiles/zipline_crc.dir/src/crc/syndrome_crc.cpp.o" "gcc" "CMakeFiles/zipline_crc.dir/src/crc/syndrome_crc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

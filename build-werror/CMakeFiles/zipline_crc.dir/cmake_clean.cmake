@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipline_crc.dir/src/crc/crc32.cpp.o"
+  "CMakeFiles/zipline_crc.dir/src/crc/crc32.cpp.o.d"
+  "CMakeFiles/zipline_crc.dir/src/crc/polynomial.cpp.o"
+  "CMakeFiles/zipline_crc.dir/src/crc/polynomial.cpp.o.d"
+  "CMakeFiles/zipline_crc.dir/src/crc/syndrome_crc.cpp.o"
+  "CMakeFiles/zipline_crc.dir/src/crc/syndrome_crc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipline_crc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

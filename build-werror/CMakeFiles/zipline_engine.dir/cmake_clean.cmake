@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipline_engine.dir/src/engine/batch.cpp.o"
+  "CMakeFiles/zipline_engine.dir/src/engine/batch.cpp.o.d"
+  "CMakeFiles/zipline_engine.dir/src/engine/engine.cpp.o"
+  "CMakeFiles/zipline_engine.dir/src/engine/engine.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipline_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

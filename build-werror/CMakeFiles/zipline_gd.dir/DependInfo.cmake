@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gd/codec.cpp" "CMakeFiles/zipline_gd.dir/src/gd/codec.cpp.o" "gcc" "CMakeFiles/zipline_gd.dir/src/gd/codec.cpp.o.d"
+  "/root/repo/src/gd/dictionary.cpp" "CMakeFiles/zipline_gd.dir/src/gd/dictionary.cpp.o" "gcc" "CMakeFiles/zipline_gd.dir/src/gd/dictionary.cpp.o.d"
+  "/root/repo/src/gd/packet.cpp" "CMakeFiles/zipline_gd.dir/src/gd/packet.cpp.o" "gcc" "CMakeFiles/zipline_gd.dir/src/gd/packet.cpp.o.d"
+  "/root/repo/src/gd/params.cpp" "CMakeFiles/zipline_gd.dir/src/gd/params.cpp.o" "gcc" "CMakeFiles/zipline_gd.dir/src/gd/params.cpp.o.d"
+  "/root/repo/src/gd/stream.cpp" "CMakeFiles/zipline_gd.dir/src/gd/stream.cpp.o" "gcc" "CMakeFiles/zipline_gd.dir/src/gd/stream.cpp.o.d"
+  "/root/repo/src/gd/transform.cpp" "CMakeFiles/zipline_gd.dir/src/gd/transform.cpp.o" "gcc" "CMakeFiles/zipline_gd.dir/src/gd/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

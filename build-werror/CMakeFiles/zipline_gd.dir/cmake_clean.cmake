@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipline_gd.dir/src/gd/codec.cpp.o"
+  "CMakeFiles/zipline_gd.dir/src/gd/codec.cpp.o.d"
+  "CMakeFiles/zipline_gd.dir/src/gd/dictionary.cpp.o"
+  "CMakeFiles/zipline_gd.dir/src/gd/dictionary.cpp.o.d"
+  "CMakeFiles/zipline_gd.dir/src/gd/packet.cpp.o"
+  "CMakeFiles/zipline_gd.dir/src/gd/packet.cpp.o.d"
+  "CMakeFiles/zipline_gd.dir/src/gd/params.cpp.o"
+  "CMakeFiles/zipline_gd.dir/src/gd/params.cpp.o.d"
+  "CMakeFiles/zipline_gd.dir/src/gd/stream.cpp.o"
+  "CMakeFiles/zipline_gd.dir/src/gd/stream.cpp.o.d"
+  "CMakeFiles/zipline_gd.dir/src/gd/transform.cpp.o"
+  "CMakeFiles/zipline_gd.dir/src/gd/transform.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipline_gd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hamming/bch.cpp" "CMakeFiles/zipline_hamming.dir/src/hamming/bch.cpp.o" "gcc" "CMakeFiles/zipline_hamming.dir/src/hamming/bch.cpp.o.d"
+  "/root/repo/src/hamming/gf256.cpp" "CMakeFiles/zipline_hamming.dir/src/hamming/gf256.cpp.o" "gcc" "CMakeFiles/zipline_hamming.dir/src/hamming/gf256.cpp.o.d"
+  "/root/repo/src/hamming/hamming.cpp" "CMakeFiles/zipline_hamming.dir/src/hamming/hamming.cpp.o" "gcc" "CMakeFiles/zipline_hamming.dir/src/hamming/hamming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipline_hamming.dir/src/hamming/bch.cpp.o"
+  "CMakeFiles/zipline_hamming.dir/src/hamming/bch.cpp.o.d"
+  "CMakeFiles/zipline_hamming.dir/src/hamming/gf256.cpp.o"
+  "CMakeFiles/zipline_hamming.dir/src/hamming/gf256.cpp.o.d"
+  "CMakeFiles/zipline_hamming.dir/src/hamming/hamming.cpp.o"
+  "CMakeFiles/zipline_hamming.dir/src/hamming/hamming.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipline_hamming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ethernet.cpp" "CMakeFiles/zipline_net.dir/src/net/ethernet.cpp.o" "gcc" "CMakeFiles/zipline_net.dir/src/net/ethernet.cpp.o.d"
+  "/root/repo/src/net/mac.cpp" "CMakeFiles/zipline_net.dir/src/net/mac.cpp.o" "gcc" "CMakeFiles/zipline_net.dir/src/net/mac.cpp.o.d"
+  "/root/repo/src/net/pcap.cpp" "CMakeFiles/zipline_net.dir/src/net/pcap.cpp.o" "gcc" "CMakeFiles/zipline_net.dir/src/net/pcap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

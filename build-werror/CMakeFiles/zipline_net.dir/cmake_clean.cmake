@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipline_net.dir/src/net/ethernet.cpp.o"
+  "CMakeFiles/zipline_net.dir/src/net/ethernet.cpp.o.d"
+  "CMakeFiles/zipline_net.dir/src/net/mac.cpp.o"
+  "CMakeFiles/zipline_net.dir/src/net/mac.cpp.o.d"
+  "CMakeFiles/zipline_net.dir/src/net/pcap.cpp.o"
+  "CMakeFiles/zipline_net.dir/src/net/pcap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipline_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

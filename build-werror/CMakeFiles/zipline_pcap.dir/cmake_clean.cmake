@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipline_pcap.dir/examples/zipline_pcap.cpp.o"
+  "CMakeFiles/zipline_pcap.dir/examples/zipline_pcap.cpp.o.d"
+  "zipline_pcap"
+  "zipline_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipline_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipline_program_test.dir/tests/zipline_program_test.cpp.o"
+  "CMakeFiles/zipline_program_test.dir/tests/zipline_program_test.cpp.o.d"
+  "zipline_program_test"
+  "zipline_program_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipline_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "CMakeFiles/zipline_sim.dir/src/sim/event_queue.cpp.o" "gcc" "CMakeFiles/zipline_sim.dir/src/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/host.cpp" "CMakeFiles/zipline_sim.dir/src/sim/host.cpp.o" "gcc" "CMakeFiles/zipline_sim.dir/src/sim/host.cpp.o.d"
+  "/root/repo/src/sim/link.cpp" "CMakeFiles/zipline_sim.dir/src/sim/link.cpp.o" "gcc" "CMakeFiles/zipline_sim.dir/src/sim/link.cpp.o.d"
+  "/root/repo/src/sim/replay.cpp" "CMakeFiles/zipline_sim.dir/src/sim/replay.cpp.o" "gcc" "CMakeFiles/zipline_sim.dir/src/sim/replay.cpp.o.d"
+  "/root/repo/src/sim/switch_node.cpp" "CMakeFiles/zipline_sim.dir/src/sim/switch_node.cpp.o" "gcc" "CMakeFiles/zipline_sim.dir/src/sim/switch_node.cpp.o.d"
+  "/root/repo/src/sim/testbed.cpp" "CMakeFiles/zipline_sim.dir/src/sim/testbed.cpp.o" "gcc" "CMakeFiles/zipline_sim.dir/src/sim/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

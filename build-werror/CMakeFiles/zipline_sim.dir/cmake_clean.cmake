@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipline_sim.dir/src/sim/event_queue.cpp.o"
+  "CMakeFiles/zipline_sim.dir/src/sim/event_queue.cpp.o.d"
+  "CMakeFiles/zipline_sim.dir/src/sim/host.cpp.o"
+  "CMakeFiles/zipline_sim.dir/src/sim/host.cpp.o.d"
+  "CMakeFiles/zipline_sim.dir/src/sim/link.cpp.o"
+  "CMakeFiles/zipline_sim.dir/src/sim/link.cpp.o.d"
+  "CMakeFiles/zipline_sim.dir/src/sim/replay.cpp.o"
+  "CMakeFiles/zipline_sim.dir/src/sim/replay.cpp.o.d"
+  "CMakeFiles/zipline_sim.dir/src/sim/switch_node.cpp.o"
+  "CMakeFiles/zipline_sim.dir/src/sim/switch_node.cpp.o.d"
+  "CMakeFiles/zipline_sim.dir/src/sim/testbed.cpp.o"
+  "CMakeFiles/zipline_sim.dir/src/sim/testbed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipline_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tofino/phv.cpp" "CMakeFiles/zipline_tofino.dir/src/tofino/phv.cpp.o" "gcc" "CMakeFiles/zipline_tofino.dir/src/tofino/phv.cpp.o.d"
+  "/root/repo/src/tofino/pipeline.cpp" "CMakeFiles/zipline_tofino.dir/src/tofino/pipeline.cpp.o" "gcc" "CMakeFiles/zipline_tofino.dir/src/tofino/pipeline.cpp.o.d"
+  "/root/repo/src/tofino/table.cpp" "CMakeFiles/zipline_tofino.dir/src/tofino/table.cpp.o" "gcc" "CMakeFiles/zipline_tofino.dir/src/tofino/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipline_tofino.dir/src/tofino/phv.cpp.o"
+  "CMakeFiles/zipline_tofino.dir/src/tofino/phv.cpp.o.d"
+  "CMakeFiles/zipline_tofino.dir/src/tofino/pipeline.cpp.o"
+  "CMakeFiles/zipline_tofino.dir/src/tofino/pipeline.cpp.o.d"
+  "CMakeFiles/zipline_tofino.dir/src/tofino/table.cpp.o"
+  "CMakeFiles/zipline_tofino.dir/src/tofino/table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipline_tofino.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

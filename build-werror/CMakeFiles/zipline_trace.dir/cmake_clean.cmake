@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipline_trace.dir/src/trace/dns.cpp.o"
+  "CMakeFiles/zipline_trace.dir/src/trace/dns.cpp.o.d"
+  "CMakeFiles/zipline_trace.dir/src/trace/synthetic.cpp.o"
+  "CMakeFiles/zipline_trace.dir/src/trace/synthetic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipline_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

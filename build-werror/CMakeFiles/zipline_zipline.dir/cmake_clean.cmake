@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zipline_zipline.dir/src/zipline/controller.cpp.o"
+  "CMakeFiles/zipline_zipline.dir/src/zipline/controller.cpp.o.d"
+  "CMakeFiles/zipline_zipline.dir/src/zipline/program.cpp.o"
+  "CMakeFiles/zipline_zipline.dir/src/zipline/program.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zipline_zipline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

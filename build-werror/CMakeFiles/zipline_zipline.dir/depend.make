@@ -1,0 +1,2 @@
+# Empty dependencies file for zipline_zipline.
+# This may be replaced when dependencies are built.
