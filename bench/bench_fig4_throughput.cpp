@@ -10,14 +10,83 @@
 // line rate; encode/decode are indistinguishable from no-op because the
 // pipeline latency of a compiled Tofino program is constant.
 //
+// A third section sweeps the engine's multi-core stager
+// (engine/parallel.hpp): wall-clock encode throughput of the worker pool
+// across worker and dictionary-shard counts, plus the simulated receiver
+// rate with parallel-staged traffic (flat by construction — the switch is
+// per-packet; staging cost is what parallelizes).
+//
 // Usage: bench_fig4_throughput [--quick]
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 #include <vector>
 
+#include "common/rng.hpp"
+#include "engine/parallel.hpp"
 #include "sim/stats.hpp"
 #include "sim/testbed.hpp"
+
+namespace {
+
+using namespace zipline;
+
+/// Redundant multi-flow workload for the stager sweep: every flow draws
+/// chunks from a small pool with bit noise, so hits, misses and evictions
+/// all occur, as in the Fig. 3 traffic.
+struct StagerWorkload {
+  std::vector<std::uint32_t> flows;
+  std::vector<std::vector<std::uint8_t>> payloads;
+  std::size_t total_bytes = 0;
+};
+
+StagerWorkload make_stager_workload(std::size_t flow_count,
+                                    std::size_t units_per_flow,
+                                    std::size_t chunks_per_unit,
+                                    std::size_t chunk_bytes) {
+  Rng rng(0x57A6E);
+  std::vector<std::vector<std::uint8_t>> pool;
+  for (int i = 0; i < 64; ++i) {
+    std::vector<std::uint8_t> chunk(chunk_bytes);
+    for (auto& b : chunk) b = static_cast<std::uint8_t>(rng.next_u64());
+    pool.push_back(chunk);
+  }
+  StagerWorkload w;
+  for (std::size_t u = 0; u < units_per_flow; ++u) {
+    for (std::size_t f = 0; f < flow_count; ++f) {
+      w.flows.push_back(static_cast<std::uint32_t>(f));
+      std::vector<std::uint8_t> payload;
+      payload.reserve(chunks_per_unit * chunk_bytes);
+      for (std::size_t c = 0; c < chunks_per_unit; ++c) {
+        auto chunk = pool[rng.next_below(pool.size())];
+        if (rng.next_bool(0.25)) {
+          chunk[rng.next_below(chunk.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.next_below(8));
+        }
+        payload.insert(payload.end(), chunk.begin(), chunk.end());
+      }
+      w.total_bytes += payload.size();
+      w.payloads.push_back(std::move(payload));
+    }
+  }
+  return w;
+}
+
+/// One timed pass: submit every unit, flush, return seconds.
+double time_stager_pass(engine::ParallelEncoder& pool,
+                        const StagerWorkload& w) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t u = 0; u < w.flows.size(); ++u) {
+    pool.submit(w.flows[u], w.payloads[u]);
+  }
+  pool.flush();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace zipline;
@@ -86,6 +155,66 @@ int main(int argc, char** argv) {
                   batch_op_names[op_idx], batch_chunks, g.mean,
                   g.ci95_half_width, m.mean, m.ci95_half_width);
     }
+  }
+
+  // Multi-core stager sweep: wall-clock encode throughput of the engine's
+  // worker pool (ordered drain, so output is byte-identical to the serial
+  // engine) across worker and dictionary-shard counts. Scaling tracks the
+  // machine's core count — on a single-core host the curve is flat.
+  std::printf("\n=== Fig. 4 companion: parallel stager encode throughput"
+              " ===\n");
+  std::printf("(hardware_concurrency = %u; speedup is vs workers=1 at the"
+              " same shard count)\n\n",
+              std::thread::hardware_concurrency());
+  const auto workload =
+      make_stager_workload(/*flow_count=*/8,
+                           /*units_per_flow=*/quick ? 16 : 48,
+                           /*chunks_per_unit=*/256, /*chunk_bytes=*/32);
+  const std::size_t worker_counts[] = {1, 2, 4, 8};
+  const std::size_t shard_counts[] = {1, 8};
+  std::printf("%-8s %-8s %12s %10s\n", "workers", "shards", "MB/s", "speedup");
+  for (const std::size_t shards : shard_counts) {
+    double base_mbps = 0;
+    for (const std::size_t workers : worker_counts) {
+      engine::ParallelOptions options;
+      options.workers = workers;
+      options.dictionary_shards = shards;
+      engine::ParallelEncoder pool(gd::GdParams{}, options, nullptr);
+      (void)time_stager_pass(pool, workload);  // warmup: learn + grow arenas
+      std::vector<double> mbps;
+      for (int rep = 0; rep < (quick ? 3 : 5); ++rep) {
+        const double secs = time_stager_pass(pool, workload);
+        mbps.push_back(static_cast<double>(workload.total_bytes) / secs /
+                       1e6);
+      }
+      const auto summary = sim::summarize(mbps);
+      if (workers == 1) base_mbps = summary.mean;
+      std::printf("%-8zu %-8zu %12.1f %9.2fx\n", workers, shards,
+                  summary.mean, summary.mean / base_mbps);
+    }
+  }
+
+  // Simulated receiver rate with parallel-staged decode traffic: the
+  // switch pipeline is per-packet, so the rate must stay flat while the
+  // staging work above parallelizes.
+  std::printf("\n=== Fig. 4 companion: parallel-staged GD decode traffic"
+              " (64-chunk batches) ===\n");
+  std::printf("%-14s %16s %18s\n", "stage_workers", "Gbit/s (±CI)",
+              "Mpkt/s (±CI)");
+  for (const std::size_t stage_workers : {std::size_t{1}, std::size_t{4}}) {
+    std::vector<double> gbps;
+    std::vector<double> mpps;
+    for (std::uint64_t rep = 0; rep < repetitions; ++rep) {
+      const auto result = sim::run_batch_throughput(
+          prog::SwitchOp::decode, 64, duration, warmup, rep * 977 + 13,
+          stage_workers);
+      gbps.push_back(result.gbps);
+      mpps.push_back(result.mpps);
+    }
+    const auto g = sim::summarize(gbps);
+    const auto m = sim::summarize(mpps);
+    std::printf("%-14zu %8.2f ±%5.2f %10.3f ±%6.3f\n", stage_workers, g.mean,
+                g.ci95_half_width, m.mean, m.ci95_half_width);
   }
   return 0;
 }

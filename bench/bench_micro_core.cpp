@@ -13,6 +13,7 @@
 #include "common/rng.hpp"
 #include "crc/syndrome_crc.hpp"
 #include "engine/engine.hpp"
+#include "engine/parallel.hpp"
 #include "gd/codec.hpp"
 #include "gd/transform.hpp"
 #include "trace/synthetic.hpp"
@@ -146,6 +147,82 @@ void BM_DictionaryLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DictionaryLookup);
+
+// The encoder's dominant case on fresh traffic: a miss. The fingerprint
+// prefilter resolves most of these from one 12-bit counted-table probe,
+// skipping the full 247-bit hash (compare against BM_DictionaryLookup).
+void BM_DictionaryLookupMiss(benchmark::State& state) {
+  gd::BasisDictionary dict(32768, gd::EvictionPolicy::lru);
+  Rng rng(5);
+  for (int i = 0; i < 1024; ++i) {
+    dict.insert(random_bits(rng, 247));
+  }
+  std::vector<bits::BitVector> absent;
+  for (int i = 0; i < 1024; ++i) {
+    absent.push_back(random_bits(rng, 247));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.lookup(absent[i++ & 1023]));
+  }
+  state.counters["prefilter_skip_rate"] =
+      static_cast<double>(dict.stats().prefilter_skips) /
+      static_cast<double>(dict.stats().misses);
+}
+BENCHMARK(BM_DictionaryLookupMiss);
+
+// Sharded dictionary hit path: the router adds one hash remix; what the
+// sharding buys is contention-free per-flow-group state, not single-thread
+// latency, so this should track BM_DictionaryLookup closely.
+void BM_ShardedDictionaryLookup(benchmark::State& state) {
+  gd::ShardedDictionary dict(32768, gd::EvictionPolicy::lru,
+                             static_cast<std::size_t>(state.range(0)));
+  Rng rng(5);
+  std::vector<bits::BitVector> bases;
+  for (int i = 0; i < 1024; ++i) {
+    bases.push_back(random_bits(rng, 247));
+    dict.insert(bases.back());
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.lookup(bases[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_ShardedDictionaryLookup)->Arg(1)->Arg(8)->Arg(64);
+
+// Worker-pool encode: one submit+flush cycle over a fixed 8-flow workload.
+// Wall-clock scaling with range(0) workers tracks the host's core count
+// (flat on a single-core machine); bench_fig4_throughput sweeps this
+// against dictionary shard counts with throughput reporting.
+void BM_ParallelEncode(benchmark::State& state) {
+  const gd::GdParams params;
+  engine::ParallelOptions options;
+  options.workers = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (int flow = 0; flow < 8; ++flow) {
+    payloads.push_back(std::vector<std::uint8_t>(64 *
+                                                 params.raw_payload_bytes()));
+    for (auto& b : payloads.back()) {
+      b = static_cast<std::uint8_t>(rng.next_u64());
+    }
+  }
+  engine::ParallelEncoder pool(params, options, nullptr);
+  for (std::uint32_t flow = 0; flow < 8; ++flow) {
+    pool.submit(flow, payloads[flow]);  // warm every flow engine
+  }
+  pool.flush();
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    for (std::uint32_t flow = 0; flow < 8; ++flow) {
+      pool.submit(flow, payloads[flow]);
+      bytes += static_cast<std::int64_t>(payloads[flow].size());
+    }
+    pool.flush();
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_ParallelEncode)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_DeflateSensorTrace(benchmark::State& state) {
   trace::SyntheticSensorConfig config;

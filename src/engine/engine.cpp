@@ -5,9 +5,9 @@
 namespace zipline::engine {
 
 Engine::Engine(const gd::GdParams& params, gd::EvictionPolicy policy,
-               bool learn)
+               bool learn, std::size_t dictionary_shards)
     : transform_(params),
-      dictionary_(params.dictionary_capacity(), policy),
+      dictionary_(params.dictionary_capacity(), policy, dictionary_shards),
       learn_(learn) {}
 
 gd::PacketType Engine::encode_step(const bits::BitVector& chunk) {

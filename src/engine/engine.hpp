@@ -21,8 +21,8 @@
 
 #include "common/bitio.hpp"
 #include "engine/batch.hpp"
-#include "gd/dictionary.hpp"
 #include "gd/packet.hpp"
+#include "gd/sharded_dictionary.hpp"
 #include "gd/stats.hpp"
 #include "gd/transform.hpp"
 
@@ -37,9 +37,13 @@ class Engine {
   /// `learn` plays the role of learn_on_miss on the encode side and
   /// learn_on_uncompressed on the decode side; an Engine instance serves
   /// one direction, mirroring the codec's deterministic learning protocol.
+  /// `dictionary_shards` splits the identifier space into that many
+  /// independent dictionary shards (gd/sharded_dictionary.hpp); mirrored
+  /// engines must agree on the shard count, and 1 (the default) is
+  /// bit-identical to the historical unsharded dictionary.
   explicit Engine(const gd::GdParams& params,
                   gd::EvictionPolicy policy = gd::EvictionPolicy::lru,
-                  bool learn = true);
+                  bool learn = true, std::size_t dictionary_shards = 1);
 
   // --- encode side ------------------------------------------------------
 
@@ -90,7 +94,7 @@ class Engine {
   [[nodiscard]] const gd::GdTransform& transform() const noexcept {
     return transform_;
   }
-  [[nodiscard]] const gd::BasisDictionary& dictionary() const noexcept {
+  [[nodiscard]] const gd::ShardedDictionary& dictionary() const noexcept {
     return dictionary_;
   }
   [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
@@ -106,7 +110,7 @@ class Engine {
   void decode_step(gd::PacketType type, std::uint32_t syndrome);
 
   gd::GdTransform transform_;
-  gd::BasisDictionary dictionary_;
+  gd::ShardedDictionary dictionary_;
   bool learn_;
   EngineStats stats_;
 

@@ -1,0 +1,40 @@
+#include "engine/parallel.hpp"
+
+namespace zipline::engine {
+
+namespace detail {
+
+SpscRing::SpscRing(std::size_t capacity) {
+  ZL_EXPECTS(capacity >= 1);
+  std::size_t rounded = 1;
+  while (rounded < capacity) rounded <<= 1;
+  slots_.resize(rounded);
+  mask_ = rounded - 1;
+}
+
+bool SpscRing::try_push(std::uint32_t value) noexcept {
+  const std::size_t tail = tail_.load(std::memory_order_relaxed);
+  const std::size_t head = head_.load(std::memory_order_acquire);
+  if (tail - head > mask_) return false;  // full
+  slots_[tail & mask_] = value;
+  // The release store publishes the slot payload (and everything the
+  // producer wrote into the job it references) to the consumer.
+  tail_.store(tail + 1, std::memory_order_release);
+  return true;
+}
+
+bool SpscRing::try_pop(std::uint32_t& value) noexcept {
+  const std::size_t head = head_.load(std::memory_order_relaxed);
+  const std::size_t tail = tail_.load(std::memory_order_acquire);
+  if (head == tail) return false;  // empty
+  value = slots_[head & mask_];
+  head_.store(head + 1, std::memory_order_release);
+  return true;
+}
+
+}  // namespace detail
+
+template class ParallelPipeline<EncodeStage>;
+template class ParallelPipeline<DecodeStage>;
+
+}  // namespace zipline::engine

@@ -1,0 +1,386 @@
+// Multi-core batch pipeline over the engine: stager -> workers -> sink.
+//
+// Batches are self-contained units of work, so horizontal scale falls out
+// of handing whole EncodeBatch / DecodeBatch units to a fixed pool of
+// worker threads. The caller thread is both the stager and the sink: it
+// routes each submitted unit to a worker over that worker's SPSC input
+// ring, and collects finished units from the workers' SPSC output rings —
+// every ring has exactly one producer and one consumer, so the handoff is
+// two relaxed counters and no locks.
+//
+// Flows, not packets, are the unit of parallelism: every flow is pinned to
+// one worker (flow % workers) which owns a private Engine (dictionary,
+// transform, stats) for it. Units of the same flow are therefore processed
+// in submission order by one thread, which is what makes the parallel
+// output byte-identical to running each flow through a single-threaded
+// Engine — the dictionary replay the codec's determinism rests on is
+// per-flow state, never shared.
+//
+// Ordered drain: with `ordered` set (the default) the sink callback
+// observes units in global submission order, regardless of which worker
+// finished first, via a bounded reorder window sized to the total number
+// of in-flight units. The delivered byte stream is then identical to the
+// single-threaded path run over the same submission sequence
+// (tests/parallel_pipeline_test.cpp asserts it byte for byte).
+//
+// Memory discipline matches the engine core: job slots (with their batch
+// arenas) are fixed at construction and recycled through the rings, so in
+// steady state a submit/flush cycle performs zero heap allocations on any
+// thread (tests/engine_alloc_test.cpp asserts it).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "engine/batch.hpp"
+#include "engine/engine.hpp"
+
+namespace zipline::engine {
+
+struct ParallelOptions {
+  /// Fixed worker-pool size. One worker with ordered drain degenerates to
+  /// the single-threaded engine with a thread in the middle.
+  std::size_t workers = 1;
+  /// In-flight units per worker (ring depth / reorder window share).
+  std::size_t queue_depth = 16;
+  /// Dictionary shards per flow engine (gd/sharded_dictionary.hpp).
+  std::size_t dictionary_shards = 1;
+  gd::EvictionPolicy policy = gd::EvictionPolicy::lru;
+  bool learn = true;
+  /// Deliver units in global submission order (byte-identical to the
+  /// serial path). Unordered delivery trades that for lower latency.
+  bool ordered = true;
+};
+
+namespace detail {
+
+/// Fixed-capacity single-producer single-consumer ring of job-slot
+/// indices. Capacity rounds up to a power of two.
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity);
+
+  bool try_push(std::uint32_t value) noexcept;
+  bool try_pop(std::uint32_t& value) noexcept;
+
+ private:
+  std::vector<std::uint32_t> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer cursor
+};
+
+}  // namespace detail
+
+/// Encode stage: payload bytes -> EncodeBatch. The payload memory must
+/// stay valid until the unit is delivered to the sink.
+struct EncodeStage {
+  using Input = std::span<const std::uint8_t>;
+  using Output = EncodeBatch;
+  static void run(Engine& engine, const Input& in, Output& out) {
+    out.clear();
+    engine.encode_payload(in, out);
+  }
+};
+
+/// Decode stage: encoded batch -> DecodeBatch. The input batch must stay
+/// valid until the unit is delivered to the sink.
+struct DecodeStage {
+  using Input = const EncodeBatch*;
+  using Output = DecodeBatch;
+  static void run(Engine& engine, const Input& in, Output& out) {
+    out.clear();
+    engine.decode_batch(*in, out);
+  }
+};
+
+template <typename Stage>
+class ParallelPipeline {
+ public:
+  /// One finished unit of work, streamed to the sink. The output view is
+  /// valid only for the duration of the sink call — the slot (and its
+  /// arena) is recycled as soon as the sink returns.
+  struct Unit {
+    std::uint64_t seq = 0;    ///< global submission sequence number
+    std::uint32_t flow = 0;
+    const typename Stage::Output* output = nullptr;
+  };
+  using Sink = std::function<void(const Unit&)>;
+
+  ParallelPipeline(const gd::GdParams& params, const ParallelOptions& options,
+                   Sink sink);
+  ~ParallelPipeline();
+
+  ParallelPipeline(const ParallelPipeline&) = delete;
+  ParallelPipeline& operator=(const ParallelPipeline&) = delete;
+
+  /// Stages one unit for `flow`. Blocks (draining finished units into the
+  /// sink) when the flow's worker has no free job slot.
+  void submit(std::uint32_t flow, typename Stage::Input input);
+
+  /// Blocks until every submitted unit has been delivered to the sink.
+  /// If any unit's stage threw, rethrows the first such exception here on
+  /// the caller thread (the failed unit is not delivered to the sink;
+  /// later units still complete). Worker threads never terminate the
+  /// process on a stage exception.
+  void flush();
+
+  [[nodiscard]] std::uint64_t submitted() const noexcept { return submitted_; }
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  [[nodiscard]] const ParallelOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] const gd::GdParams& params() const noexcept { return params_; }
+
+  /// Statistics of the engine serving `flow`, or nullptr if the flow never
+  /// submitted. Only meaningful when the pipeline is quiescent (after
+  /// flush() and before the next submit()).
+  [[nodiscard]] const EngineStats* flow_stats(std::uint32_t flow) const;
+
+ private:
+  struct Job {
+    std::uint64_t seq = 0;
+    std::uint32_t flow = 0;
+    typename Stage::Input input{};
+    typename Stage::Output output;
+    std::exception_ptr error;  ///< stage failure, ferried to the caller
+  };
+
+  struct Worker {
+    explicit Worker(std::size_t queue_depth);
+    std::vector<Job> jobs;            // fixed slot pool, arenas recycled
+    detail::SpscRing in;              // stager -> worker (slot indices)
+    detail::SpscRing out;             // worker -> sink (slot indices)
+    std::vector<std::uint32_t> free_slots;  // caller-owned free stack
+    alignas(64) std::atomic<std::uint64_t> doorbell{0};
+    std::unordered_map<std::uint32_t, Engine> engines;  // worker-owned
+    std::thread thread;
+  };
+
+  /// Entry of the ordered-drain reorder window, indexed by seq modulo the
+  /// window size (which bounds the number of in-flight units, so slots
+  /// never collide).
+  struct Pending {
+    std::uint32_t worker = 0;
+    std::uint32_t slot = 0;
+    bool valid = false;
+  };
+
+  void worker_loop(Worker& worker);
+  [[nodiscard]] bool next_slot(Worker& worker, std::uint32_t& slot);
+  void pump(bool may_block);
+  void deliver(Worker& worker, std::uint32_t slot);
+
+  gd::GdParams params_;
+  ParallelOptions options_;
+  Sink sink_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_{false};
+  alignas(64) std::atomic<std::uint64_t> completions_{0};
+
+  // Caller-thread state (stager + sink side).
+  std::uint64_t submitted_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t next_expected_ = 0;
+  std::vector<Pending> pending_;
+  std::exception_ptr first_error_;
+};
+
+using ParallelEncoder = ParallelPipeline<EncodeStage>;
+using ParallelDecoder = ParallelPipeline<DecodeStage>;
+
+// --- member definitions ----------------------------------------------------
+// In the header so consumers can instantiate the pipeline over their own
+// stages (gd/stream.cpp decodes whole containers this way); the common
+// encode/decode stages are compiled once in parallel.cpp.
+
+template <typename Stage>
+ParallelPipeline<Stage>::Worker::Worker(std::size_t queue_depth)
+    : jobs(queue_depth), in(queue_depth), out(queue_depth) {
+  free_slots.reserve(queue_depth);
+  for (std::size_t slot = queue_depth; slot-- > 0;) {
+    free_slots.push_back(static_cast<std::uint32_t>(slot));
+  }
+}
+
+template <typename Stage>
+ParallelPipeline<Stage>::ParallelPipeline(const gd::GdParams& params,
+                                          const ParallelOptions& options,
+                                          Sink sink)
+    : params_(params), options_(options), sink_(std::move(sink)) {
+  ZL_EXPECTS(options_.workers >= 1);
+  ZL_EXPECTS(options_.queue_depth >= 1);
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(options_.queue_depth));
+  }
+  pending_.resize(options_.workers * options_.queue_depth);
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    w->thread = std::thread([this, w] { worker_loop(*w); });
+  }
+}
+
+template <typename Stage>
+ParallelPipeline<Stage>::~ParallelPipeline() {
+  try {
+    flush();
+  } catch (...) {
+    // Teardown without a prior flush(): the error already missed its
+    // delivery point; dropping it beats terminating.
+  }
+  stop_.store(true, std::memory_order_release);
+  for (auto& worker : workers_) {
+    worker->doorbell.fetch_add(1, std::memory_order_release);
+    worker->doorbell.notify_one();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+template <typename Stage>
+bool ParallelPipeline<Stage>::next_slot(Worker& worker, std::uint32_t& slot) {
+  for (;;) {
+    if (worker.in.try_pop(slot)) return true;
+    // Snapshot the doorbell before the re-check: a push (or stop) that
+    // lands after the snapshot changes the value, so the wait below cannot
+    // sleep through it.
+    const std::uint64_t seen = worker.doorbell.load(std::memory_order_acquire);
+    if (worker.in.try_pop(slot)) return true;
+    if (stop_.load(std::memory_order_acquire)) return false;
+    worker.doorbell.wait(seen, std::memory_order_acquire);
+  }
+}
+
+template <typename Stage>
+void ParallelPipeline<Stage>::worker_loop(Worker& worker) {
+  std::uint32_t slot = 0;
+  while (next_slot(worker, slot)) {
+    Job& job = worker.jobs[slot];
+    job.error = nullptr;
+    try {
+      // One private engine per flow: created on the flow's first unit
+      // (warmup), found allocation-free afterwards.
+      const auto [it, inserted] = worker.engines.try_emplace(
+          job.flow, params_, options_.policy, options_.learn,
+          options_.dictionary_shards);
+      Stage::run(it->second, job.input, job.output);
+    } catch (...) {
+      // Never let a stage failure (e.g. a contract violation on hostile
+      // input) escape the thread and terminate the process; flush()
+      // rethrows it on the caller thread instead.
+      job.error = std::current_exception();
+    }
+    const bool pushed = worker.out.try_push(slot);
+    ZL_ASSERT(pushed && "output ring sized to the slot pool");
+    completions_.fetch_add(1, std::memory_order_release);
+    completions_.notify_one();
+  }
+}
+
+template <typename Stage>
+void ParallelPipeline<Stage>::deliver(Worker& worker, std::uint32_t slot) {
+  Job& job = worker.jobs[slot];
+  // Account the unit and recycle the slot BEFORE the sink runs: a throwing
+  // sink then propagates to the caller with the pipeline still consistent
+  // (no leaked slot, no flush()/destructor hang). The job's output stays
+  // intact through the sink call — free_slots is only consumed by
+  // submit(), on this same thread.
+  worker.free_slots.push_back(slot);
+  ++delivered_;
+  if (job.error) {
+    if (!first_error_) first_error_ = job.error;
+    job.error = nullptr;
+  } else if (sink_) {
+    sink_(Unit{job.seq, job.flow, &job.output});
+  }
+}
+
+template <typename Stage>
+void ParallelPipeline<Stage>::pump(bool may_block) {
+  // Snapshot before scanning: a completion that lands mid-scan bumps the
+  // counter past the snapshot, so a blocking wait returns immediately.
+  const std::uint64_t seen = completions_.load(std::memory_order_acquire);
+  bool progressed = false;
+  for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+    Worker& worker = *workers_[wi];
+    std::uint32_t slot = 0;
+    while (worker.out.try_pop(slot)) {
+      progressed = true;
+      if (options_.ordered) {
+        Pending& entry = pending_[worker.jobs[slot].seq % pending_.size()];
+        ZL_ASSERT(!entry.valid && "reorder window sized to in-flight units");
+        entry = {static_cast<std::uint32_t>(wi), slot, true};
+      } else {
+        deliver(worker, slot);
+      }
+    }
+  }
+  if (options_.ordered) {
+    for (;;) {
+      Pending& entry = pending_[next_expected_ % pending_.size()];
+      if (!entry.valid) break;
+      entry.valid = false;
+      Worker& worker = *workers_[entry.worker];
+      ZL_ASSERT(worker.jobs[entry.slot].seq == next_expected_);
+      ++next_expected_;
+      deliver(worker, entry.slot);
+    }
+  }
+  if (!progressed && may_block && delivered_ < submitted_) {
+    completions_.wait(seen, std::memory_order_acquire);
+  }
+}
+
+template <typename Stage>
+void ParallelPipeline<Stage>::submit(std::uint32_t flow,
+                                     typename Stage::Input input) {
+  Worker& worker = *workers_[flow % workers_.size()];
+  while (worker.free_slots.empty()) {
+    pump(/*may_block=*/true);
+  }
+  const std::uint32_t slot = worker.free_slots.back();
+  worker.free_slots.pop_back();
+  Job& job = worker.jobs[slot];
+  job.seq = submitted_++;
+  job.flow = flow;
+  job.input = input;
+  const bool pushed = worker.in.try_push(slot);
+  ZL_ASSERT(pushed && "input ring sized to the slot pool");
+  worker.doorbell.fetch_add(1, std::memory_order_release);
+  worker.doorbell.notify_one();
+}
+
+template <typename Stage>
+void ParallelPipeline<Stage>::flush() {
+  while (delivered_ < submitted_) {
+    pump(/*may_block=*/true);
+  }
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+template <typename Stage>
+const EngineStats* ParallelPipeline<Stage>::flow_stats(
+    std::uint32_t flow) const {
+  const Worker& worker = *workers_[flow % workers_.size()];
+  const auto it = worker.engines.find(flow);
+  return it == worker.engines.end() ? nullptr : &it->second.stats();
+}
+
+extern template class ParallelPipeline<EncodeStage>;
+extern template class ParallelPipeline<DecodeStage>;
+
+}  // namespace zipline::engine

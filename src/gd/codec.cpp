@@ -5,8 +5,8 @@
 namespace zipline::gd {
 
 GdEncoder::GdEncoder(const GdParams& params, EvictionPolicy policy,
-                     bool learn_on_miss)
-    : engine_(params, policy, learn_on_miss) {}
+                     bool learn_on_miss, std::size_t dictionary_shards)
+    : engine_(params, policy, learn_on_miss, dictionary_shards) {}
 
 GdPacket GdEncoder::encode_chunk(const bits::BitVector& chunk) {
   return engine_.encode_chunk_packet(chunk);
@@ -33,8 +33,8 @@ void GdEncoder::preload(const bits::BitVector& basis) {
 }
 
 GdDecoder::GdDecoder(const GdParams& params, EvictionPolicy policy,
-                     bool learn_on_uncompressed)
-    : engine_(params, policy, learn_on_uncompressed) {}
+                     bool learn_on_uncompressed, std::size_t dictionary_shards)
+    : engine_(params, policy, learn_on_uncompressed, dictionary_shards) {}
 
 bits::BitVector GdDecoder::decode_chunk(const GdPacket& packet) {
   return engine_.decode_packet(packet);

@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "engine/engine.hpp"
-#include "gd/dictionary.hpp"
+#include "gd/sharded_dictionary.hpp"
 #include "gd/packet.hpp"
 #include "gd/stats.hpp"
 #include "gd/transform.hpp"
@@ -31,7 +31,8 @@ class GdEncoder {
  public:
   explicit GdEncoder(const GdParams& params,
                      EvictionPolicy policy = EvictionPolicy::lru,
-                     bool learn_on_miss = true);
+                     bool learn_on_miss = true,
+                     std::size_t dictionary_shards = 1);
 
   /// Encodes one chunk of exactly params().chunk_bits bits.
   [[nodiscard]] GdPacket encode_chunk(const bits::BitVector& chunk);
@@ -54,7 +55,7 @@ class GdEncoder {
   [[nodiscard]] const GdTransform& transform() const noexcept {
     return engine_.transform();
   }
-  [[nodiscard]] const BasisDictionary& dictionary() const noexcept {
+  [[nodiscard]] const ShardedDictionary& dictionary() const noexcept {
     return engine_.dictionary();
   }
   [[nodiscard]] const CodecStats& stats() const noexcept {
@@ -69,7 +70,8 @@ class GdDecoder {
  public:
   explicit GdDecoder(const GdParams& params,
                      EvictionPolicy policy = EvictionPolicy::lru,
-                     bool learn_on_uncompressed = true);
+                     bool learn_on_uncompressed = true,
+                     std::size_t dictionary_shards = 1);
 
   /// Decodes one packet back to the original chunk bits (raw packets are
   /// returned as their byte payload re-expanded to bits).
@@ -89,7 +91,7 @@ class GdDecoder {
   [[nodiscard]] const GdParams& params() const noexcept {
     return engine_.params();
   }
-  [[nodiscard]] const BasisDictionary& dictionary() const noexcept {
+  [[nodiscard]] const ShardedDictionary& dictionary() const noexcept {
     return engine_.dictionary();
   }
   [[nodiscard]] const CodecStats& stats() const noexcept {

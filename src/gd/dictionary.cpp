@@ -11,6 +11,8 @@ BasisDictionary::BasisDictionary(std::size_t capacity, EvictionPolicy policy,
     : capacity_(capacity), policy_(policy), rng_(random_seed) {
   ZL_EXPECTS(capacity >= 1 && capacity <= (std::size_t{1} << 24));
   entries_.resize(capacity);
+  fingerprint_bits_ = fingerprint_bits_for(capacity);
+  fingerprints_.resize(std::size_t{1} << fingerprint_bits_);
   free_ids_.reserve(capacity);
   // Allocate identifiers in increasing order: id 0 first.
   for (std::size_t id = capacity; id-- > 0;) {
@@ -21,6 +23,13 @@ BasisDictionary::BasisDictionary(std::size_t capacity, EvictionPolicy policy,
 
 std::optional<std::uint32_t> BasisDictionary::lookup(
     const bits::BitVector& basis) {
+  if (fingerprints_[fingerprint(basis)] == 0) {
+    // Definite miss: no resident basis shares the fingerprint, so the full
+    // 247-bit hash + probe is skipped entirely.
+    ++stats_.misses;
+    ++stats_.prefilter_skips;
+    return std::nullopt;
+  }
   const auto it = by_basis_.find(basis);
   if (it == by_basis_.end()) {
     ++stats_.misses;
@@ -62,12 +71,14 @@ InsertResult BasisDictionary::insert(const bits::BitVector& basis) {
     id = pick_victim();
     ++stats_.evictions;
     result.evicted = entries_[id].basis;
+    fingerprint_remove(entries_[id].basis);
     by_basis_.erase(entries_[id].basis);
     list_remove(id);
     entries_[id].used = false;
   }
   entries_[id].basis = basis;
   entries_[id].used = true;
+  fingerprint_add(basis);
   by_basis_.emplace(basis, id);
   list_push_front(id);
   ++stats_.insertions;
@@ -82,6 +93,7 @@ void BasisDictionary::install(std::uint32_t id, const bits::BitVector& basis) {
     // basis loses its identifier. (Re-installing the identical mapping is
     // a refresh, not an eviction.)
     if (entries_[id].basis != basis) ++stats_.evictions;
+    fingerprint_remove(entries_[id].basis);
     by_basis_.erase(entries_[id].basis);
     list_remove(id);
   } else {
@@ -95,6 +107,7 @@ void BasisDictionary::install(std::uint32_t id, const bits::BitVector& basis) {
   }
   entries_[id].basis = basis;
   entries_[id].used = true;
+  fingerprint_add(basis);
   by_basis_[basis] = id;
   list_push_front(id);
   ++stats_.insertions;
@@ -103,6 +116,7 @@ void BasisDictionary::install(std::uint32_t id, const bits::BitVector& basis) {
 void BasisDictionary::erase(std::uint32_t id) {
   ZL_EXPECTS(id < capacity_);
   if (!entries_[id].used) return;
+  fingerprint_remove(entries_[id].basis);
   by_basis_.erase(entries_[id].basis);
   list_remove(id);
   entries_[id].used = false;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/bitvector.hpp"
+#include "common/contracts.hpp"
 #include "common/rng.hpp"
 
 namespace zipline::gd {
@@ -30,6 +31,18 @@ struct DictionaryStats {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  /// Misses resolved by the short-fingerprint prefilter alone, i.e. without
+  /// hashing the full basis (a subset of `misses`).
+  std::uint64_t prefilter_skips = 0;
+
+  DictionaryStats& operator+=(const DictionaryStats& other) noexcept {
+    hits += other.hits;
+    misses += other.misses;
+    insertions += other.insertions;
+    evictions += other.evictions;
+    prefilter_skips += other.prefilter_skips;
+    return *this;
+  }
 };
 
 /// Outcome of inserting a basis.
@@ -81,6 +94,39 @@ class BasisDictionary {
   /// evict purely by insertion order / chance.
   void maybe_touch(std::uint32_t id);
 
+  // --- short-fingerprint prefilter ---------------------------------------
+  // Encoder-side lookups are mostly misses on fresh traffic, and each miss
+  // used to hash the full 247-bit basis just to learn that. The prefilter
+  // keeps a counted table of short fingerprints derived from the basis's
+  // low word only; a zero count proves the basis is absent without touching
+  // the full hash. Counts (not bits) so erasures stay exact. The table is
+  // sized to ~8 buckets per identifier (clamped to [2^12, 2^20]) so it
+  // stays mostly empty even when the dictionary is full — at the default
+  // 32,768 identifiers that is 2^18 buckets, ~88% of random misses
+  // short-circuiting at 100% occupancy.
+  [[nodiscard]] static std::uint32_t fingerprint_bits_for(
+      std::size_t capacity) noexcept {
+    std::uint32_t bits = 12;
+    while (bits < 20 && (std::size_t{1} << bits) < capacity * 8) ++bits;
+    return bits;
+  }
+
+  [[nodiscard]] std::size_t fingerprint(
+      const bits::BitVector& basis) const noexcept {
+    const auto words = basis.words();
+    const std::uint64_t low = words.empty() ? 0 : words[0];
+    return static_cast<std::size_t>((low * 0x9E3779B97F4A7C15ULL) >>
+                                    (64 - fingerprint_bits_));
+  }
+  void fingerprint_add(const bits::BitVector& basis) {
+    ++fingerprints_[fingerprint(basis)];
+  }
+  void fingerprint_remove(const bits::BitVector& basis) {
+    std::uint32_t& count = fingerprints_[fingerprint(basis)];
+    ZL_EXPECTS(count > 0);
+    --count;
+  }
+
   struct Entry {
     bits::BitVector basis;
     bool used = false;
@@ -98,6 +144,8 @@ class BasisDictionary {
   EvictionPolicy policy_;
   Rng rng_;
   std::vector<Entry> entries_;
+  std::uint32_t fingerprint_bits_;
+  std::vector<std::uint32_t> fingerprints_;  // 2^fingerprint_bits_ counts
   std::vector<std::uint32_t> free_ids_;  // stack; top = next to allocate
   std::unordered_map<bits::BitVector, std::uint32_t, bits::BitVectorHash>
       by_basis_;

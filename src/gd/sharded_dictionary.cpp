@@ -1,0 +1,97 @@
+#include "gd/sharded_dictionary.hpp"
+
+#include "common/contracts.hpp"
+
+namespace zipline::gd {
+
+ShardedDictionary::ShardedDictionary(std::size_t capacity,
+                                     EvictionPolicy policy,
+                                     std::size_t shard_count,
+                                     std::uint64_t random_seed) {
+  ZL_EXPECTS(shard_count >= 1);
+  ZL_EXPECTS(capacity >= shard_count && capacity % shard_count == 0);
+  shard_capacity_ = capacity / shard_count;
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.emplace_back(shard_capacity_, policy, random_seed + i);
+  }
+}
+
+std::size_t ShardedDictionary::size() const noexcept {
+  std::size_t total = 0;
+  for (const BasisDictionary& shard : shards_) total += shard.size();
+  return total;
+}
+
+DictionaryStats ShardedDictionary::stats() const noexcept {
+  DictionaryStats total;
+  for (const BasisDictionary& shard : shards_) total += shard.stats();
+  return total;
+}
+
+std::size_t ShardedDictionary::shard_of(
+    const bits::BitVector& basis) const noexcept {
+  if (shards_.size() == 1) return 0;
+  // Fibonacci remix of the content hash: BitVectorHash feeds the same hash
+  // to the in-shard map, so reuse its low bits unmixed would correlate the
+  // router with bucket placement.
+  const std::uint64_t mixed = basis.hash() * 0x9E3779B97F4A7C15ULL;
+  return static_cast<std::size_t>(mixed >> 32) % shards_.size();
+}
+
+std::optional<std::uint32_t> ShardedDictionary::lookup(
+    const bits::BitVector& basis) {
+  const std::size_t shard = shard_of(basis);
+  if (const auto local = shards_[shard].lookup(basis)) {
+    return to_global(shard, *local);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> ShardedDictionary::peek(
+    const bits::BitVector& basis) const {
+  const std::size_t shard = shard_of(basis);
+  if (const auto local = shards_[shard].peek(basis)) {
+    return to_global(shard, *local);
+  }
+  return std::nullopt;
+}
+
+std::optional<bits::BitVector> ShardedDictionary::lookup_basis(
+    std::uint32_t id) {
+  ZL_EXPECTS(id < capacity());
+  return shards_[shard_of_id(id)].lookup_basis(to_local(id));
+}
+
+const bits::BitVector* ShardedDictionary::lookup_basis_ref(std::uint32_t id) {
+  ZL_EXPECTS(id < capacity());
+  return shards_[shard_of_id(id)].lookup_basis_ref(to_local(id));
+}
+
+InsertResult ShardedDictionary::insert(const bits::BitVector& basis) {
+  const std::size_t shard = shard_of(basis);
+  InsertResult result = shards_[shard].insert(basis);
+  result.id = to_global(shard, result.id);
+  return result;
+}
+
+void ShardedDictionary::install(std::uint32_t id,
+                                const bits::BitVector& basis) {
+  ZL_EXPECTS(id < capacity());
+  const std::size_t shard = shard_of_id(id);
+  ZL_EXPECTS(shard == shard_of(basis) &&
+             "identifier must belong to the basis's route shard");
+  shards_[shard].install(to_local(id), basis);
+}
+
+void ShardedDictionary::erase(std::uint32_t id) {
+  ZL_EXPECTS(id < capacity());
+  shards_[shard_of_id(id)].erase(to_local(id));
+}
+
+void ShardedDictionary::touch(std::uint32_t id) {
+  ZL_EXPECTS(id < capacity());
+  shards_[shard_of_id(id)].touch(to_local(id));
+}
+
+}  // namespace zipline::gd

@@ -1,0 +1,111 @@
+// Sharded basis dictionary: N independent BasisDictionary shards behind
+// one identifier space.
+//
+// The paper's switch sustains line rate by partitioning per-packet state
+// across pipeline stages; the software analogue is partitioning the basis
+// dictionary so concurrent flow groups stop contending on one LRU list.
+// A content-hash router sends each basis to one shard, and the global
+// 2^id_bits identifier space is split into per-shard stripes
+// (global = shard * shard_capacity + local), so the shard owning an
+// identifier is recoverable from the identifier alone — the decode side
+// needs no side channel.
+//
+// Determinism: the router depends only on the basis bits, and every shard
+// is a deterministic BasisDictionary (seeded per shard), so mirrored
+// encoder/decoder instances replay identical allocation decisions per
+// shard, exactly as the unsharded codec does. With shard_count == 1 the
+// behaviour — identifiers included — is bit-identical to a plain
+// BasisDictionary.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "gd/dictionary.hpp"
+
+namespace zipline::gd {
+
+class ShardedDictionary {
+ public:
+  /// `capacity` is the total identifier space (2^id_bits); it must divide
+  /// evenly into `shard_count` stripes. Shard i is seeded with
+  /// `random_seed + i` so the ablation `random` policy stays deterministic
+  /// and mirrors across encoder/decoder pairs.
+  ShardedDictionary(std::size_t capacity, EvictionPolicy policy,
+                    std::size_t shard_count = 1,
+                    std::uint64_t random_seed = 0x1dba5e5);
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return shard_capacity_ * shards_.size();
+  }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] std::size_t shard_capacity() const noexcept {
+    return shard_capacity_;
+  }
+  [[nodiscard]] EvictionPolicy policy() const noexcept {
+    return shards_.front().policy();
+  }
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Aggregated statistics across all shards.
+  [[nodiscard]] DictionaryStats stats() const noexcept;
+
+  /// Direct shard access (diagnostics, per-shard load inspection).
+  [[nodiscard]] const BasisDictionary& shard(std::size_t i) const {
+    return shards_[i];
+  }
+
+  /// The router: which shard owns this basis / this identifier.
+  [[nodiscard]] std::size_t shard_of(const bits::BitVector& basis) const noexcept;
+  [[nodiscard]] std::size_t shard_of_id(std::uint32_t id) const noexcept {
+    return id / shard_capacity_;
+  }
+
+  // --- BasisDictionary interface, global-identifier flavoured ------------
+
+  /// Encoder-side lookup; returns the global identifier on a hit.
+  [[nodiscard]] std::optional<std::uint32_t> lookup(const bits::BitVector& basis);
+
+  /// Peek without touching recency or statistics.
+  [[nodiscard]] std::optional<std::uint32_t> peek(
+      const bits::BitVector& basis) const;
+
+  /// Decoder-side lookup by global identifier.
+  [[nodiscard]] std::optional<bits::BitVector> lookup_basis(std::uint32_t id);
+
+  /// Copy-free variant (pointer invalidated by the next mutation).
+  [[nodiscard]] const bits::BitVector* lookup_basis_ref(std::uint32_t id);
+
+  /// Inserts a new basis into its route shard; the returned identifier is
+  /// global. The basis must not already be present.
+  InsertResult insert(const bits::BitVector& basis);
+
+  /// Installs an explicit (global id, basis) mapping. The identifier must
+  /// live in the shard the basis routes to, so encoder-side lookups can
+  /// find it again (ZL_EXPECTS-enforced).
+  void install(std::uint32_t id, const bits::BitVector& basis);
+
+  /// Removes a mapping by global identifier.
+  void erase(std::uint32_t id);
+
+  /// Refreshes the recency of a global identifier.
+  void touch(std::uint32_t id);
+
+ private:
+  [[nodiscard]] std::uint32_t to_global(std::size_t shard,
+                                        std::uint32_t local) const noexcept {
+    return static_cast<std::uint32_t>(shard * shard_capacity_) + local;
+  }
+  [[nodiscard]] std::uint32_t to_local(std::uint32_t id) const noexcept {
+    return id % static_cast<std::uint32_t>(shard_capacity_);
+  }
+
+  std::size_t shard_capacity_;
+  std::vector<BasisDictionary> shards_;
+};
+
+}  // namespace zipline::gd

@@ -5,6 +5,7 @@
 #include "common/contracts.hpp"
 #include "crc/crc32.hpp"
 #include "engine/engine.hpp"
+#include "engine/parallel.hpp"
 #include "engine/sink.hpp"
 
 namespace zipline::gd {
@@ -115,49 +116,35 @@ std::size_t scan_records(Cursor& cur, const GdParams& params) {
   }
 }
 
-}  // namespace
-
-GdParams stream_default_params() {
-  GdParams params;
-  params.model_tofino_padding = false;
-  return params;
-}
-
-std::vector<std::uint8_t> gd_stream_compress(
-    std::span<const std::uint8_t> input, const GdParams& params,
-    StreamStats* stats) {
-  params.validate();
-  ZL_EXPECTS(params.chunk_bits % 8 == 0);
-  ZL_EXPECTS(params.chunk_bits / 8 <= 0xFFFF);
-
-  std::vector<std::uint8_t> out(kMagic, kMagic + 4);
+/// Appends the GDZ1 header for `params` to `out`.
+void put_header(std::vector<std::uint8_t>& out, const GdParams& params) {
+  out.insert(out.end(), kMagic, kMagic + 4);
   out.push_back(kVersion);
   out.push_back(static_cast<std::uint8_t>(params.m));
   out.push_back(static_cast<std::uint8_t>(params.id_bits));
   put_u16(out, static_cast<std::uint16_t>(params.chunk_bits / 8));
   out.push_back(0);  // reserved: eviction policy (LRU only in v1)
+}
 
+/// Appends one encoded batch as a record section + terminator + CRC.
+void put_records(std::vector<std::uint8_t>& out,
+                 const engine::EncodeBatch& batch) {
   const std::size_t records_start = out.size();
-  engine::Engine engine{params};
-  engine::EncodeBatch batch;
-  engine.encode_payload(input, batch);
   engine::drain(batch, ContainerRecordSink(out));
   out.push_back(kTagEnd);
   put_u32(out, crc::Crc32::of(std::span(out).subspan(records_start)));
-
-  if (stats != nullptr) {
-    stats->input_bytes = input.size();
-    stats->output_bytes = out.size();
-    stats->chunks = engine.stats().chunks;
-    stats->compressed_packets = engine.stats().compressed_packets;
-    stats->uncompressed_packets = engine.stats().uncompressed_packets;
-  }
-  return out;
 }
 
-std::vector<std::uint8_t> gd_stream_decompress(
-    std::span<const std::uint8_t> container) {
-  Cursor cur(container);
+/// Validated view of one container: header parameters plus the CRC-checked
+/// record section.
+struct ParsedContainer {
+  GdParams params;
+  std::span<const std::uint8_t> records;  ///< record section incl. kTagEnd
+};
+
+/// Parses and validates the fixed header only (no record scan, no CRC);
+/// `cur` is left at the first record byte.
+GdParams parse_header(Cursor& cur) {
   for (const std::uint8_t m : kMagic) {
     if (cur.u8() != m) throw std::runtime_error("gd stream: bad magic");
   }
@@ -174,36 +161,200 @@ std::vector<std::uint8_t> gd_stream_decompress(
   } catch (const ContractViolation&) {
     throw std::runtime_error("gd stream: invalid parameters in header");
   }
+  return params;
+}
 
-  // Pass 1: structural scan + CRC check over the record section.
+ParsedContainer parse_container(std::span<const std::uint8_t> container) {
+  Cursor cur(container);
+  ParsedContainer parsed;
+  parsed.params = parse_header(cur);
+
+  // Structural scan + CRC check over the record section.
   const std::size_t records_start = cur.position();
-  const std::size_t records_end = scan_records(cur, params);
+  const std::size_t records_end = scan_records(cur, parsed.params);
   const std::uint32_t stored_crc = cur.u32();
-  const std::uint32_t computed = crc::Crc32::of(
-      container.subspan(records_start, records_end - records_start));
-  if (stored_crc != computed) {
+  parsed.records = container.subspan(records_start,
+                                     records_end - records_start);
+  if (stored_crc != crc::Crc32::of(parsed.records)) {
     throw std::runtime_error("gd stream: CRC mismatch");
   }
+  return parsed;
+}
 
-  // Pass 2: decode records straight into the output arena — no
-  // intermediate GdPacket vector.
-  Cursor records(container.subspan(records_start, records_end - records_start));
-  engine::Engine engine{params};
-  engine::DecodeBatch out;
+/// Walks a validated record section, invoking `on(type, payload)` per
+/// record — the single place that knows the tag dispatch and per-type body
+/// sizes, shared by the serial decode and the parallel staging paths.
+template <typename OnRecord>
+void walk_records(Cursor& records, const GdParams& params, OnRecord&& on) {
   for (;;) {
     const std::uint8_t tag = records.u8();
-    if (tag == kTagEnd) break;
+    if (tag == kTagEnd) return;
     if (tag == kTagTail) {
-      engine.decode_wire(PacketType::raw, records.bytes(records.u32()), out);
+      on(PacketType::raw, records.bytes(records.u32()));
       continue;
     }
     const auto type = static_cast<PacketType>(tag);
     const std::size_t body_bytes = type == PacketType::uncompressed
                                        ? params.type2_payload_bytes()
                                        : params.type3_payload_bytes();
-    engine.decode_wire(type, records.bytes(body_bytes), out);
+    on(type, records.bytes(body_bytes));
   }
+}
+
+/// Stages a validated record section as one EncodeBatch — the wire unit
+/// the engine (and the parallel pipeline) decodes.
+void stage_records(const ParsedContainer& parsed, engine::EncodeBatch& batch) {
+  Cursor records(parsed.records);
+  walk_records(records, parsed.params,
+               [&](PacketType type, std::span<const std::uint8_t> payload) {
+                 batch.append(type, 0, 0, payload);
+               });
+}
+
+/// Worker-side stage for parallel decompression: the full container —
+/// structural scan, CRC check, record staging, decode — is one unit of
+/// work, so nothing but the 10-byte header check runs on the caller
+/// thread. Validation failures throw here and surface at flush().
+struct ContainerDecodeStage {
+  using Input = std::span<const std::uint8_t>;
+  using Output = engine::DecodeBatch;
+  static void run(engine::Engine& eng, const Input& in, Output& out) {
+    // Per-worker-thread staging arena, reused across containers.
+    thread_local engine::EncodeBatch staged;
+    staged.clear();
+    stage_records(parse_container(in), staged);
+    out.clear();
+    eng.decode_batch(staged, out);
+  }
+};
+
+void fill_stats(StreamStats& stats, std::size_t input_bytes,
+                std::size_t output_bytes, const engine::EngineStats& engine) {
+  stats.input_bytes = input_bytes;
+  stats.output_bytes = output_bytes;
+  stats.chunks = engine.chunks;
+  stats.compressed_packets = engine.compressed_packets;
+  stats.uncompressed_packets = engine.uncompressed_packets;
+}
+
+}  // namespace
+
+GdParams stream_default_params() {
+  GdParams params;
+  params.model_tofino_padding = false;
+  return params;
+}
+
+std::vector<std::uint8_t> gd_stream_compress(
+    std::span<const std::uint8_t> input, const GdParams& params,
+    StreamStats* stats) {
+  params.validate();
+  ZL_EXPECTS(params.chunk_bits % 8 == 0);
+  ZL_EXPECTS(params.chunk_bits / 8 <= 0xFFFF);
+
+  std::vector<std::uint8_t> out;
+  put_header(out, params);
+  engine::Engine engine{params};
+  engine::EncodeBatch batch;
+  engine.encode_payload(input, batch);
+  put_records(out, batch);
+
+  if (stats != nullptr) {
+    fill_stats(*stats, input.size(), out.size(), engine.stats());
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> gd_stream_decompress(
+    std::span<const std::uint8_t> container) {
+  // Pass 1: structural scan + CRC check over the record section.
+  const ParsedContainer parsed = parse_container(container);
+
+  // Pass 2: decode records straight into the output arena — no
+  // intermediate GdPacket vector.
+  Cursor records(parsed.records);
+  engine::Engine engine{parsed.params};
+  engine::DecodeBatch out;
+  walk_records(records, parsed.params,
+               [&](PacketType type, std::span<const std::uint8_t> payload) {
+                 engine.decode_wire(type, payload, out);
+               });
   return out.release_bytes();
+}
+
+std::vector<std::vector<std::uint8_t>> gd_stream_compress_parallel(
+    std::span<const std::span<const std::uint8_t>> inputs,
+    const GdParams& params, std::size_t workers,
+    std::vector<StreamStats>* stats) {
+  params.validate();
+  ZL_EXPECTS(params.chunk_bits % 8 == 0);
+  ZL_EXPECTS(params.chunk_bits / 8 <= 0xFFFF);
+  ZL_EXPECTS(workers >= 1);
+
+  std::vector<std::vector<std::uint8_t>> outputs(inputs.size());
+  {
+    // One flow per input: each stream gets a private engine, so every
+    // container is byte-identical to the serial gd_stream_compress.
+    engine::ParallelEncoder pool(
+        params, {.workers = workers},
+        [&](const engine::ParallelEncoder::Unit& unit) {
+          std::vector<std::uint8_t>& out = outputs[unit.seq];
+          put_header(out, params);
+          put_records(out, *unit.output);
+        });
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      pool.submit(static_cast<std::uint32_t>(i), inputs[i]);
+    }
+    pool.flush();
+
+    if (stats != nullptr) {
+      stats->assign(inputs.size(), StreamStats{});
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const engine::EngineStats* engine_stats =
+            pool.flow_stats(static_cast<std::uint32_t>(i));
+        ZL_ASSERT(engine_stats != nullptr);
+        fill_stats((*stats)[i], inputs[i].size(), outputs[i].size(),
+                   *engine_stats);
+      }
+    }
+  }
+  return outputs;
+}
+
+std::vector<std::vector<std::uint8_t>> gd_stream_decompress_parallel(
+    std::span<const std::span<const std::uint8_t>> containers,
+    std::size_t workers) {
+  ZL_EXPECTS(workers >= 1);
+  if (containers.empty()) return {};
+
+  // Only the fixed headers are read up front (one worker pool = one
+  // GdParams); the expensive work — structural scan, CRC, staging, decode
+  // — happens inside the workers, one container per unit.
+  GdParams params;
+  for (std::size_t i = 0; i < containers.size(); ++i) {
+    Cursor cur(containers[i]);
+    const GdParams header = parse_header(cur);
+    if (i == 0) {
+      params = header;
+    } else if (header.m != params.m || header.id_bits != params.id_bits ||
+               header.chunk_bits != params.chunk_bits) {
+      throw std::runtime_error(
+          "gd stream: mixed parameters across parallel containers");
+    }
+  }
+
+  std::vector<std::vector<std::uint8_t>> outputs(containers.size());
+  engine::ParallelPipeline<ContainerDecodeStage> pool(
+      params, {.workers = workers},
+      [&](const engine::ParallelPipeline<ContainerDecodeStage>::Unit& unit) {
+        const auto bytes = unit.output->bytes();
+        outputs[unit.seq].assign(bytes.begin(), bytes.end());
+      });
+  for (std::size_t i = 0; i < containers.size(); ++i) {
+    pool.submit(static_cast<std::uint32_t>(i), containers[i]);
+  }
+  pool.flush();
+  return outputs;
 }
 
 }  // namespace zipline::gd

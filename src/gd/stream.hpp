@@ -51,4 +51,27 @@ struct StreamStats {
 [[nodiscard]] std::vector<std::uint8_t> gd_stream_decompress(
     std::span<const std::uint8_t> container);
 
+// --- multi-stream batch API over the engine's worker pool -----------------
+// Each input is an independent stream (its own flow, its own dictionary),
+// so the units parallelize across engine::ParallelEncoder workers while
+// every produced container stays byte-identical to gd_stream_compress /
+// gd_stream_decompress run serially on the same input.
+
+/// Compresses many independent buffers concurrently on `workers` threads.
+/// Returns one container per input, index-aligned; `stats`, when non-null,
+/// is filled with one per-stream StreamStats, index-aligned.
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> gd_stream_compress_parallel(
+    std::span<const std::span<const std::uint8_t>> inputs,
+    const GdParams& params = stream_default_params(), std::size_t workers = 1,
+    std::vector<StreamStats>* stats = nullptr);
+
+/// Decompresses many containers concurrently on `workers` threads. All
+/// containers must carry identical header parameters (one worker pool =
+/// one GdParams); throws std::runtime_error otherwise, and on any
+/// malformed container (bad magic, bad sizes, CRC mismatch).
+[[nodiscard]] std::vector<std::vector<std::uint8_t>>
+gd_stream_decompress_parallel(
+    std::span<const std::span<const std::uint8_t>> containers,
+    std::size_t workers = 1);
+
 }  // namespace zipline::gd

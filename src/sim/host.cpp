@@ -60,6 +60,43 @@ void Host::start_batch_stream(net::MacAddress dst,
       start_at);
 }
 
+void Host::start_batch_stream(net::MacAddress dst,
+                              std::span<const engine::EncodeBatch> batches,
+                              SimTime start_at, std::uint64_t repeat) {
+  ZL_EXPECTS(!batches.empty());
+  std::uint64_t cycle = 0;
+  for (const engine::EncodeBatch& batch : batches) {
+    ZL_EXPECTS(!batch.empty());
+    cycle += batch.size();
+  }
+  // Maps a stream index to (batch, packet) across the staged span; the
+  // span is tiny (one batch per stager worker), so the walk is cheap.
+  const auto locate = [batches, cycle](std::uint64_t i) {
+    std::uint64_t index = i % cycle;
+    for (const engine::EncodeBatch& batch : batches) {
+      if (index < batch.size()) {
+        return std::pair<const engine::EncodeBatch*, std::size_t>(
+            &batch, static_cast<std::size_t>(index));
+      }
+      index -= batch.size();
+    }
+    ZL_ASSERT(false && "index within cycle");
+    return std::pair<const engine::EncodeBatch*, std::size_t>(nullptr, 0);
+  };
+  start_stream(
+      dst, cycle * repeat,
+      [locate](std::uint64_t i) {
+        const auto [batch, k] = locate(i);
+        const auto payload = batch->payload(k);
+        return std::vector<std::uint8_t>(payload.begin(), payload.end());
+      },
+      [locate](std::uint64_t i) {
+        const auto [batch, k] = locate(i);
+        return gd::ether_type_for(batch->packet(k).type);
+      },
+      start_at);
+}
+
 void Host::generate_next() {
   if (stream_remaining_ == 0) return;
   --stream_remaining_;

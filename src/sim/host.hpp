@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -75,6 +76,14 @@ class Host final : public LinkEndpoint {
   void start_batch_stream(net::MacAddress dst,
                           const engine::EncodeBatch& batch, SimTime start_at,
                           std::uint64_t repeat = 1);
+
+  /// Streams several staged batches back to back (round-robin across the
+  /// span, `repeat` full cycles) — the shape the parallel stager produces:
+  /// one batch per worker, all prepared concurrently, then handed to the
+  /// single TX path. The batches must outlive the stream.
+  void start_batch_stream(net::MacAddress dst,
+                          std::span<const engine::EncodeBatch> batches,
+                          SimTime start_at, std::uint64_t repeat = 1);
 
   /// Sends a single frame immediately through the normal TX path.
   void send_frame(net::EthernetFrame frame, SimTime now);

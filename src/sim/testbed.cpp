@@ -4,6 +4,7 @@
 
 #include "common/contracts.hpp"
 #include "engine/engine.hpp"
+#include "engine/parallel.hpp"
 #include "gd/packet.hpp"
 #include "gd/transform.hpp"
 
@@ -115,31 +116,51 @@ ThroughputResult run_throughput(prog::SwitchOp op, std::size_t frame_bytes,
 ThroughputResult run_batch_throughput(prog::SwitchOp op,
                                       std::size_t batch_chunks,
                                       SimTime duration, SimTime warmup,
-                                      std::uint64_t seed) {
+                                      std::uint64_t seed,
+                                      std::size_t stage_workers) {
   ZL_EXPECTS(batch_chunks >= 1);
+  ZL_EXPECTS(stage_workers >= 1);
   TestbedConfig config;
   config.switch_config.op = op;
   config.seed = seed;
   Testbed bed(config);
   const auto& params = config.switch_config.params;
 
-  // Stage the whole batch once; the stream cycles it, so the per-frame
+  // Stage the whole traffic once; the stream cycles it, so the per-frame
   // sender cost is a copy out of the arena rather than payload generation.
+  // One chunk payload slice per stager worker (each its own flow).
   Rng rng(seed + 11);
-  std::vector<std::uint8_t> chunks(batch_chunks * params.raw_payload_bytes());
-  for (auto& b : chunks) b = static_cast<std::uint8_t>(rng.next_u64());
+  std::vector<std::vector<std::uint8_t>> slices(stage_workers);
+  for (auto& slice : slices) {
+    slice.resize(batch_chunks * params.raw_payload_bytes());
+    for (auto& b : slice) b = static_cast<std::uint8_t>(rng.next_u64());
+  }
 
-  engine::EncodeBatch batch;
+  std::vector<engine::EncodeBatch> batches(stage_workers);
   if (op == prog::SwitchOp::decode) {
-    // Feed the decoder genuine type-2 packets, pre-encoded as one batch.
-    engine::Engine encoder{params};
-    encoder.encode_payload(chunks, batch);
+    // Feed the decoder genuine type-2 packets, each slice pre-encoded into
+    // its own batch by the worker pool (one flow = one private engine).
+    engine::ParallelEncoder stager(
+        params, {.workers = stage_workers},
+        [&](const engine::ParallelEncoder::Unit& unit) {
+          for (const engine::PacketDesc& desc : unit.output->packets()) {
+            batches[unit.seq].append(desc.type, desc.syndrome, desc.basis_id,
+                                     unit.output->payload(desc));
+          }
+        });
+    for (std::size_t i = 0; i < stage_workers; ++i) {
+      stager.submit(static_cast<std::uint32_t>(i), slices[i]);
+    }
+    stager.flush();
   } else {
     // Raw chunk frames for the encode (and no-op) pipelines.
-    for (std::size_t i = 0; i < batch_chunks; ++i) {
-      batch.append(gd::PacketType::raw, 0, 0,
-                   std::span(chunks).subspan(i * params.raw_payload_bytes(),
-                                             params.raw_payload_bytes()));
+    for (std::size_t i = 0; i < stage_workers; ++i) {
+      for (std::size_t c = 0; c < batch_chunks; ++c) {
+        batches[i].append(
+            gd::PacketType::raw, 0, 0,
+            std::span(slices[i]).subspan(c * params.raw_payload_bytes(),
+                                         params.raw_payload_bytes()));
+      }
     }
   }
 
@@ -147,9 +168,10 @@ ThroughputResult run_batch_throughput(prog::SwitchOp op,
   const auto frames =
       static_cast<std::uint64_t>(to_seconds(duration) * max_rate_pps * 1.2) +
       1000;
-  bed.server1().start_batch_stream(bed.server2().mac(), batch,
+  const std::uint64_t cycle = batch_chunks * stage_workers;
+  bed.server1().start_batch_stream(bed.server2().mac(), batches,
                                    /*start_at=*/0,
-                                   /*repeat=*/frames / batch.size() + 1);
+                                   /*repeat=*/frames / cycle + 1);
 
   std::uint64_t frames_at_warmup = 0;
   std::uint64_t bytes_at_warmup = 0;

@@ -82,10 +82,19 @@ ThroughputResult run_throughput(prog::SwitchOp op, std::size_t frame_bytes,
 /// stream the batch pre-encoded to type-2 packets. Measures the same
 /// receiver-side steady-state rate, so the batch-size sweep in
 /// bench_fig4_throughput quantifies what sender-side batching buys.
+///
+/// `stage_workers` > 1 prepares the traffic on the engine's parallel
+/// pipeline instead (engine/parallel.hpp): the chunk stream splits into
+/// one flow per worker, each staged into its own batch concurrently, and
+/// the host cycles the staged batches round-robin. The switch-side rate
+/// is per-packet and stays flat — what parallel staging changes is the
+/// wall-clock cost of preparing the traffic, swept by
+/// bench_fig4_throughput.
 ThroughputResult run_batch_throughput(prog::SwitchOp op,
                                       std::size_t batch_chunks,
                                       SimTime duration, SimTime warmup = 0,
-                                      std::uint64_t seed = 1);
+                                      std::uint64_t seed = 1,
+                                      std::size_t stage_workers = 1);
 
 // ---------------------------------------------------------------------------
 // Figure 5: latency

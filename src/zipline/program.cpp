@@ -379,6 +379,23 @@ BatchRunResult run_batch(tofino::SwitchModel& sw,
   return result;
 }
 
+BatchRunResult run_batches(tofino::SwitchModel& sw,
+                           std::span<const engine::EncodeBatch> in,
+                           engine::EncodeBatch* out,
+                           tofino::PortId ingress_port, SimTime start_at,
+                           SimTime gap) {
+  BatchRunResult total;
+  total.end_time = start_at;
+  for (const engine::EncodeBatch& batch : in) {
+    const BatchRunResult result =
+        run_batch(sw, batch, out, ingress_port, total.end_time, gap);
+    total.forwarded += result.forwarded;
+    total.dropped += result.dropped;
+    total.end_time = result.end_time;
+  }
+  return total;
+}
+
 std::string ZipLineProgram::resource_report() const {
   const auto& p = config_.params;
   std::ostringstream out;

@@ -159,4 +159,15 @@ BatchRunResult run_batch(tofino::SwitchModel& sw,
                          tofino::PortId ingress_port, SimTime start_at = 0,
                          SimTime gap = 1);
 
+/// Runs several staged batches through the pipeline back to back — the
+/// shape the parallel stager (engine/parallel.hpp) produces, one batch per
+/// worker. The switch model is a single pipeline (as the hardware is), so
+/// the batches enter sequentially with continuous timestamps; counters and
+/// the returned totals aggregate across the whole span.
+BatchRunResult run_batches(tofino::SwitchModel& sw,
+                           std::span<const engine::EncodeBatch> in,
+                           engine::EncodeBatch* out,
+                           tofino::PortId ingress_port, SimTime start_at = 0,
+                           SimTime gap = 1);
+
 }  // namespace zipline::prog

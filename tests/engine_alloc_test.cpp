@@ -14,6 +14,7 @@
 
 #include "common/rng.hpp"
 #include "engine/engine.hpp"
+#include "engine/parallel.hpp"
 
 namespace {
 
@@ -123,6 +124,49 @@ TEST(EngineAllocation, Batch64DecodeSteadyStateIsAllocationFree) {
   EXPECT_EQ(allocation_count(), before)
       << "steady-state batch decode must not touch the heap";
   EXPECT_EQ(decoded.bytes().size(), payload.size());
+}
+
+// The worker pool inherits the engine's discipline: job slots, rings and
+// per-flow engines are fixed after warmup, so a steady-state submit/flush
+// cycle performs zero heap allocations on ANY thread (the counter below is
+// process-global, so worker-thread allocations would trip it too).
+TEST(EngineAllocation, WorkerPoolSteadyStateIsAllocationFree) {
+  const gd::GdParams params;
+  ParallelOptions options;
+  options.workers = 2;
+  options.queue_depth = 4;
+  options.dictionary_shards = 2;
+
+  Rng rng(0x9001);
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (int flow = 0; flow < 4; ++flow) {
+    payloads.push_back(random_payload(rng, 32 * params.raw_payload_bytes()));
+  }
+
+  std::uint64_t sink_bytes = 0;
+  ParallelEncoder pool(params, options,
+                       [&](const ParallelEncoder::Unit& unit) {
+                         sink_bytes += unit.output->storage_bytes();
+                       });
+  // Warmup: create every flow engine, learn every basis, grow all arenas.
+  for (int round = 0; round < 4; ++round) {
+    for (std::uint32_t flow = 0; flow < 4; ++flow) {
+      pool.submit(flow, payloads[flow]);
+    }
+    pool.flush();
+  }
+
+  const std::uint64_t before = allocation_count();
+  for (int round = 0; round < 25; ++round) {
+    for (std::uint32_t flow = 0; flow < 4; ++flow) {
+      pool.submit(flow, payloads[flow]);
+    }
+    pool.flush();
+  }
+  EXPECT_EQ(allocation_count(), before)
+      << "steady-state worker-pool encode must not touch the heap";
+  EXPECT_EQ(pool.delivered(), pool.submitted());
+  EXPECT_GT(sink_bytes, 0u);
 }
 
 // The contrast case documenting what the adapters cost: the per-chunk

@@ -225,5 +225,79 @@ INSTANTIATE_TEST_SUITE_P(Policies, DictionaryModelTest,
                                            EvictionPolicy::fifo,
                                            EvictionPolicy::random));
 
+// Regression guard for the fingerprint prefilter: hit/miss accounting must
+// be exactly what it was without the prefilter, skips must only ever be a
+// subset of misses, and a prefilter skip must never mask a resident basis.
+TEST(BasisDictionary, PrefilterPreservesHitMissAccounting) {
+  BasisDictionary dict(64, EvictionPolicy::lru);
+  Rng rng(0xF1173);
+  std::vector<BitVector> present;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    present.push_back(basis_of(rng.next_u64()));
+    dict.insert(present.back());
+  }
+  std::uint64_t expected_hits = 0;
+  std::uint64_t expected_misses = 0;
+  for (int round = 0; round < 2000; ++round) {
+    if (rng.next_bool(0.5)) {
+      // Every resident basis must still be found (no false negatives).
+      const auto& basis = present[rng.next_below(present.size())];
+      EXPECT_TRUE(dict.lookup(basis).has_value());
+      ++expected_hits;
+    } else {
+      EXPECT_FALSE(dict.lookup(basis_of(rng.next_u64())).has_value());
+      ++expected_misses;
+    }
+  }
+  const auto& stats = dict.stats();
+  EXPECT_EQ(stats.hits, expected_hits);
+  EXPECT_EQ(stats.misses, expected_misses);
+  EXPECT_LE(stats.prefilter_skips, stats.misses);
+  // 64 resident fingerprints out of 4096: the vast majority of random
+  // misses must short-circuit before the full-basis hash.
+  EXPECT_GT(stats.prefilter_skips, expected_misses / 2);
+}
+
+TEST(BasisDictionary, PrefilterStillSkipsAtFullOccupancy) {
+  // The table scales with capacity (~8 buckets per identifier), so even a
+  // completely full dictionary — the steady state on real traffic — must
+  // keep short-circuiting most random misses.
+  BasisDictionary dict(4096, EvictionPolicy::lru);
+  Rng rng(0xF0CC);
+  while (dict.size() < 4096) {
+    const BitVector basis = basis_of(rng.next_u64());
+    if (!dict.peek(basis)) dict.insert(basis);
+  }
+  std::uint64_t misses = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (!dict.lookup(basis_of(rng.next_u64()))) ++misses;
+  }
+  EXPECT_GT(misses, 3900u);
+  // 4096 resident fingerprints in 2^15 buckets: ~88% expected skip rate.
+  EXPECT_GT(dict.stats().prefilter_skips, misses * 3 / 4);
+}
+
+TEST(BasisDictionary, PrefilterTracksEvictionsAndErases) {
+  // Capacity 2 with heavy churn: every eviction/erase must release its
+  // fingerprint, or stale counts would suppress future skips (and a
+  // missing release would trip the ZL_EXPECTS underflow guard).
+  BasisDictionary dict(2, EvictionPolicy::fifo);
+  Rng rng(0xE1A5E);
+  for (int i = 0; i < 500; ++i) {
+    const BitVector basis = basis_of(rng.next_u64());
+    if (!dict.lookup(basis)) dict.insert(basis);
+    if (i % 7 == 0) dict.erase(static_cast<std::uint32_t>(i % 2));
+  }
+  // After churn, misses on fresh bases still mostly skip: the counted
+  // table has at most 2 live fingerprints.
+  const std::uint64_t skips_before = dict.stats().prefilter_skips;
+  std::uint64_t misses = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!dict.lookup(basis_of(rng.next_u64()))) ++misses;
+  }
+  EXPECT_GT(misses, 190u);
+  EXPECT_GT(dict.stats().prefilter_skips, skips_before + misses / 2);
+}
+
 }  // namespace
 }  // namespace zipline::gd

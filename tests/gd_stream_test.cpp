@@ -101,5 +101,71 @@ TEST(GdStream, RejectsUnsupportedVersion) {
   EXPECT_THROW((void)gd_stream_decompress(container), std::runtime_error);
 }
 
+TEST(GdStream, ParallelCompressIsByteIdenticalToSerial) {
+  Rng rng(77);
+  std::vector<std::vector<std::uint8_t>> inputs;
+  for (std::size_t i = 0; i < 9; ++i) {
+    // Mixed sizes, including empty and non-chunk-aligned tails.
+    inputs.push_back(random_bytes(rng, i * 333));
+  }
+  std::vector<std::span<const std::uint8_t>> views(inputs.begin(),
+                                                   inputs.end());
+
+  std::vector<StreamStats> stats;
+  const auto containers = gd_stream_compress_parallel(
+      views, stream_default_params(), /*workers=*/3, &stats);
+  ASSERT_EQ(containers.size(), inputs.size());
+  ASSERT_EQ(stats.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    StreamStats serial_stats;
+    const auto serial =
+        gd_stream_compress(inputs[i], stream_default_params(), &serial_stats);
+    EXPECT_EQ(containers[i], serial) << "container " << i;
+    EXPECT_EQ(stats[i].chunks, serial_stats.chunks);
+    EXPECT_EQ(stats[i].compressed_packets, serial_stats.compressed_packets);
+    EXPECT_EQ(stats[i].output_bytes, serial_stats.output_bytes);
+  }
+}
+
+TEST(GdStream, ParallelDecompressRoundTrips) {
+  Rng rng(78);
+  std::vector<std::vector<std::uint8_t>> inputs;
+  std::vector<std::vector<std::uint8_t>> containers;
+  for (std::size_t i = 0; i < 7; ++i) {
+    inputs.push_back(random_bytes(rng, 100 + i * 217));
+    containers.push_back(gd_stream_compress(inputs[i]));
+  }
+  std::vector<std::span<const std::uint8_t>> views(containers.begin(),
+                                                   containers.end());
+  const auto outputs = gd_stream_decompress_parallel(views, /*workers=*/4);
+  ASSERT_EQ(outputs.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(outputs[i], inputs[i]) << "stream " << i;
+  }
+}
+
+TEST(GdStream, ParallelDecompressSurfacesWorkerSideCorruption) {
+  // The CRC/structural validation runs inside the workers; a corrupted
+  // container must still surface as std::runtime_error on the caller.
+  Rng rng(80);
+  const auto good = gd_stream_compress(random_bytes(rng, 512));
+  auto corrupted = good;
+  corrupted[corrupted.size() / 2] ^= 0x20;
+  const std::span<const std::uint8_t> views[] = {good, corrupted};
+  EXPECT_THROW((void)gd_stream_decompress_parallel(views, 2),
+               std::runtime_error);
+}
+
+TEST(GdStream, ParallelDecompressRejectsMixedParameters) {
+  Rng rng(79);
+  const auto a = gd_stream_compress(random_bytes(rng, 256));
+  GdParams other = stream_default_params();
+  other.id_bits = 8;
+  const auto b = gd_stream_compress(random_bytes(rng, 256), other);
+  const std::span<const std::uint8_t> views[] = {a, b};
+  EXPECT_THROW((void)gd_stream_decompress_parallel(views, 2),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace zipline::gd

@@ -1,0 +1,334 @@
+// Parallel pipeline correctness: with ordered drain, the worker pool's
+// output must be byte-identical to running every flow through a
+// single-threaded Engine in submission order — across all three eviction
+// policies, dictionary shard counts {1, 2, 8} and several worker counts —
+// and the parallel decode path must restore the exact original payloads.
+#include "engine/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace zipline::engine {
+namespace {
+
+using gd::EvictionPolicy;
+using gd::GdParams;
+
+/// Value snapshot of an encoded batch (descriptors + arena bytes).
+struct BatchImage {
+  std::vector<PacketDesc> packets;
+  std::vector<std::uint8_t> storage;
+
+  static BatchImage of(const EncodeBatch& batch) {
+    BatchImage image;
+    image.packets.assign(batch.packets().begin(), batch.packets().end());
+    image.storage.assign(batch.storage().begin(), batch.storage().end());
+    return image;
+  }
+
+  friend bool operator==(const BatchImage& a, const BatchImage& b) {
+    if (a.storage != b.storage || a.packets.size() != b.packets.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a.packets.size(); ++i) {
+      const PacketDesc& x = a.packets[i];
+      const PacketDesc& y = b.packets[i];
+      if (x.type != y.type || x.offset != y.offset || x.size != y.size ||
+          x.syndrome != y.syndrome || x.basis_id != y.basis_id) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+/// A submission schedule: interleaved (flow, payload) units with enough
+/// redundancy for hits, misses and (with small dictionaries) evictions.
+struct Schedule {
+  std::vector<std::uint32_t> flows;
+  std::vector<std::vector<std::uint8_t>> payloads;
+};
+
+Schedule make_schedule(Rng& rng, const GdParams& params, std::size_t units,
+                       std::uint32_t flow_count) {
+  Schedule schedule;
+  const std::size_t chunk_bytes = params.raw_payload_bytes();
+  // Small per-flow pools so the same chunks recur within a flow.
+  std::vector<std::vector<std::uint8_t>> pool;
+  for (std::size_t i = 0; i < 16; ++i) {
+    std::vector<std::uint8_t> chunk(chunk_bytes);
+    for (auto& b : chunk) b = static_cast<std::uint8_t>(rng.next_u64());
+    pool.push_back(chunk);
+  }
+  for (std::size_t u = 0; u < units; ++u) {
+    schedule.flows.push_back(
+        static_cast<std::uint32_t>(rng.next_below(flow_count)));
+    const std::size_t chunks = 1 + rng.next_below(12);
+    std::vector<std::uint8_t> payload;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      auto chunk = pool[rng.next_below(pool.size())];
+      if (rng.next_bool(0.4)) {
+        chunk[rng.next_below(chunk.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.next_below(8));
+      }
+      payload.insert(payload.end(), chunk.begin(), chunk.end());
+    }
+    if (rng.next_bool(0.3)) {
+      for (std::size_t t = 0; t < 3 + rng.next_below(10); ++t) {
+        payload.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+      }
+    }
+    schedule.payloads.push_back(std::move(payload));
+  }
+  return schedule;
+}
+
+/// The serial reference: one single-threaded Engine per flow, units
+/// processed in submission order.
+std::vector<BatchImage> serial_reference(const GdParams& params,
+                                         const ParallelOptions& options,
+                                         const Schedule& schedule) {
+  std::map<std::uint32_t, Engine> engines;
+  std::vector<BatchImage> images;
+  EncodeBatch batch;
+  for (std::size_t u = 0; u < schedule.flows.size(); ++u) {
+    const std::uint32_t flow = schedule.flows[u];
+    auto it = engines.find(flow);
+    if (it == engines.end()) {
+      it = engines
+               .emplace(std::piecewise_construct, std::forward_as_tuple(flow),
+                        std::forward_as_tuple(params, options.policy,
+                                              options.learn,
+                                              options.dictionary_shards))
+               .first;
+    }
+    batch.clear();
+    it->second.encode_payload(schedule.payloads[u], batch);
+    images.push_back(BatchImage::of(batch));
+  }
+  return images;
+}
+
+class ParallelProperty
+    : public ::testing::TestWithParam<
+          std::tuple<EvictionPolicy, std::size_t, std::size_t>> {};
+
+// The acceptance property: ordered parallel output is byte-identical to
+// the single-threaded engine, for every eviction policy, shard count and
+// worker count.
+TEST_P(ParallelProperty, OrderedDrainIsByteIdenticalToSerialEngine) {
+  const auto [policy, shards, workers] = GetParam();
+  GdParams params;
+  params.id_bits = 4;  // 16 identifiers -> evictions under load
+  ParallelOptions options;
+  options.workers = workers;
+  options.queue_depth = 4;  // small ring -> exercises backpressure
+  options.dictionary_shards = shards;
+  options.policy = policy;
+
+  Rng rng(0xBEEF + static_cast<std::uint64_t>(policy) * 97 + shards * 13 +
+          workers);
+  const Schedule schedule = make_schedule(rng, params, 120, 6);
+  const auto expected = serial_reference(params, options, schedule);
+
+  std::vector<BatchImage> actual(schedule.flows.size());
+  std::vector<bool> seen(schedule.flows.size(), false);
+  std::uint64_t expected_seq = 0;
+  ParallelEncoder encoder(params, options,
+                          [&](const ParallelEncoder::Unit& unit) {
+                            // Ordered drain: global submission order.
+                            EXPECT_EQ(unit.seq, expected_seq++);
+                            ASSERT_LT(unit.seq, actual.size());
+                            EXPECT_FALSE(seen[unit.seq]);
+                            seen[unit.seq] = true;
+                            actual[unit.seq] = BatchImage::of(*unit.output);
+                          });
+  for (std::size_t u = 0; u < schedule.flows.size(); ++u) {
+    encoder.submit(schedule.flows[u], schedule.payloads[u]);
+  }
+  encoder.flush();
+
+  ASSERT_EQ(encoder.delivered(), schedule.flows.size());
+  for (std::size_t u = 0; u < schedule.flows.size(); ++u) {
+    ASSERT_TRUE(seen[u]);
+    EXPECT_TRUE(actual[u] == expected[u])
+        << "unit " << u << " (flow " << schedule.flows[u]
+        << ") diverged from the serial engine";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesShardsWorkers, ParallelProperty,
+    ::testing::Combine(::testing::Values(EvictionPolicy::lru,
+                                         EvictionPolicy::fifo,
+                                         EvictionPolicy::random),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{8}),
+                       ::testing::Values(std::size_t{1}, std::size_t{4})));
+
+TEST(ParallelPipeline, EncodeDecodeRoundTripAcrossWorkers) {
+  GdParams params;
+  params.id_bits = 6;
+  ParallelOptions options;
+  options.workers = 3;
+  options.queue_depth = 8;
+  options.dictionary_shards = 2;
+
+  Rng rng(0x70BE);
+  const Schedule schedule = make_schedule(rng, params, 90, 5);
+
+  // Encode in parallel, keeping a value copy of every encoded batch.
+  std::vector<EncodeBatch> encoded(schedule.flows.size());
+  ParallelEncoder encoder(params, options,
+                          [&](const ParallelEncoder::Unit& unit) {
+                            for (const PacketDesc& desc :
+                                 unit.output->packets()) {
+                              encoded[unit.seq].append(
+                                  desc.type, desc.syndrome, desc.basis_id,
+                                  unit.output->payload(desc));
+                            }
+                          });
+  for (std::size_t u = 0; u < schedule.flows.size(); ++u) {
+    encoder.submit(schedule.flows[u], schedule.payloads[u]);
+  }
+  encoder.flush();
+
+  // Decode in parallel: same flow pinning, mirrored dictionaries replay.
+  std::vector<std::vector<std::uint8_t>> decoded(schedule.flows.size());
+  ParallelDecoder decoder(params, options,
+                          [&](const ParallelDecoder::Unit& unit) {
+                            const auto bytes = unit.output->bytes();
+                            decoded[unit.seq].assign(bytes.begin(),
+                                                     bytes.end());
+                          });
+  for (std::size_t u = 0; u < schedule.flows.size(); ++u) {
+    decoder.submit(schedule.flows[u], &encoded[u]);
+  }
+  decoder.flush();
+
+  for (std::size_t u = 0; u < schedule.flows.size(); ++u) {
+    EXPECT_EQ(decoded[u], schedule.payloads[u]) << "unit " << u;
+  }
+}
+
+TEST(ParallelPipeline, UnorderedModeDeliversEveryUnitExactlyOnce) {
+  GdParams params;
+  ParallelOptions options;
+  options.workers = 4;
+  options.queue_depth = 2;
+  options.ordered = false;
+
+  Rng rng(0x0D0);
+  const Schedule schedule = make_schedule(rng, params, 64, 8);
+  std::vector<int> delivered(schedule.flows.size(), 0);
+  ParallelEncoder encoder(params, options,
+                          [&](const ParallelEncoder::Unit& unit) {
+                            ASSERT_LT(unit.seq, delivered.size());
+                            ++delivered[unit.seq];
+                            EXPECT_EQ(unit.flow, schedule.flows[unit.seq]);
+                          });
+  for (std::size_t u = 0; u < schedule.flows.size(); ++u) {
+    encoder.submit(schedule.flows[u], schedule.payloads[u]);
+  }
+  encoder.flush();
+  for (const int count : delivered) EXPECT_EQ(count, 1);
+}
+
+TEST(ParallelPipeline, StageExceptionsSurfaceAtFlushNotTerminate) {
+  GdParams params;
+  ParallelOptions options;
+  options.workers = 2;
+
+  // A compressed packet referencing an identifier nobody ever installed:
+  // the decode stage hits a contract violation on the worker thread, which
+  // must be ferried to the caller, not std::terminate the process.
+  EncodeBatch poisoned;
+  const std::vector<std::uint8_t> body(params.type3_payload_bytes(), 0);
+  poisoned.append(gd::PacketType::compressed, 0, 0, body);
+
+  Engine encoder{params};
+  Rng rng(0xBAD);
+  std::vector<std::uint8_t> payload(4 * params.raw_payload_bytes());
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+  EncodeBatch healthy;
+  encoder.encode_payload(payload, healthy);
+
+  std::size_t delivered_ok = 0;
+  ParallelDecoder decoder(params, options,
+                          [&](const ParallelDecoder::Unit& unit) {
+                            EXPECT_EQ(unit.flow, 1u);
+                            ++delivered_ok;
+                          });
+  decoder.submit(/*flow=*/0, &poisoned);
+  decoder.submit(/*flow=*/1, &healthy);  // other flow, other worker
+  EXPECT_THROW(decoder.flush(), ContractViolation);
+  // The failed unit is dropped; the healthy one still arrived, and the
+  // pipeline stays usable afterwards.
+  EXPECT_EQ(delivered_ok, 1u);
+  EXPECT_EQ(decoder.delivered(), 2u);
+  decoder.submit(/*flow=*/1, &healthy);
+  decoder.flush();
+  EXPECT_EQ(delivered_ok, 2u);
+}
+
+TEST(ParallelPipeline, ThrowingSinkLeavesPipelineConsistent) {
+  GdParams params;
+  ParallelOptions options;
+  options.workers = 2;
+  options.queue_depth = 2;
+
+  Rng rng(0x51CC);
+  std::vector<std::uint8_t> payload(4 * params.raw_payload_bytes());
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+
+  std::size_t calls = 0;
+  ParallelEncoder encoder(params, options,
+                          [&](const ParallelEncoder::Unit& unit) {
+                            if (unit.seq == 0) {
+                              throw std::runtime_error("sink failure");
+                            }
+                            ++calls;
+                          });
+  encoder.submit(/*flow=*/0, payload);
+  EXPECT_THROW(encoder.flush(), std::runtime_error);
+  // The unit still counted as delivered and its slot was recycled, so the
+  // pipeline keeps working (and the destructor will not hang).
+  EXPECT_EQ(encoder.delivered(), 1u);
+  encoder.submit(/*flow=*/0, payload);
+  encoder.submit(/*flow=*/1, payload);
+  encoder.flush();
+  EXPECT_EQ(encoder.delivered(), 3u);
+  EXPECT_EQ(calls, 2u);
+}
+
+TEST(ParallelPipeline, FlowStatsAggregateAcrossUnits) {
+  GdParams params;
+  ParallelOptions options;
+  options.workers = 2;
+  ParallelEncoder encoder(params, options, nullptr);
+
+  Rng rng(0x57A7);
+  std::vector<std::uint8_t> payload(8 * params.raw_payload_bytes());
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+  encoder.submit(/*flow=*/7, payload);
+  encoder.submit(/*flow=*/7, payload);
+  encoder.flush();
+
+  const EngineStats* stats = encoder.flow_stats(7);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->batches, 2u);
+  EXPECT_EQ(stats->chunks, 16u);
+  // Second pass over identical chunks: everything compresses.
+  EXPECT_EQ(stats->compressed_packets, 8u);
+  EXPECT_EQ(encoder.flow_stats(8), nullptr);
+}
+
+}  // namespace
+}  // namespace zipline::engine

@@ -1,0 +1,142 @@
+// ShardedDictionary: global identifier striping, content-hash routing,
+// deterministic mirrored replay, and bit-identity with the unsharded
+// dictionary at shard_count == 1.
+#include "gd/sharded_dictionary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace zipline::gd {
+namespace {
+
+bits::BitVector random_basis(Rng& rng, std::size_t bits = 247) {
+  bits::BitVector v(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (rng.next_bool(0.5)) v.set(i);
+  }
+  return v;
+}
+
+std::vector<bits::BitVector> random_bases(std::size_t count,
+                                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<bits::BitVector> bases;
+  bases.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) bases.push_back(random_basis(rng));
+  return bases;
+}
+
+TEST(ShardedDictionary, ShardCountOneIsBitIdenticalToPlainDictionary) {
+  for (const auto policy : {EvictionPolicy::lru, EvictionPolicy::fifo,
+                            EvictionPolicy::random}) {
+    BasisDictionary plain(16, policy);
+    ShardedDictionary sharded(16, policy, 1);
+    const auto bases = random_bases(200, 0x5AD + static_cast<int>(policy));
+    Rng coin(0xC01);
+    for (const auto& basis : bases) {
+      // Interleave lookups and inserts the way the encoder does.
+      const auto a = plain.lookup(basis);
+      const auto b = sharded.lookup(basis);
+      ASSERT_EQ(a, b);
+      if (!a) {
+        ASSERT_EQ(plain.insert(basis).id, sharded.insert(basis).id);
+      }
+      if (coin.next_bool(0.3)) {
+        const auto id = static_cast<std::uint32_t>(coin.next_below(16));
+        ASSERT_EQ(plain.lookup_basis(id), sharded.lookup_basis(id));
+      }
+    }
+    EXPECT_EQ(plain.stats().hits, sharded.stats().hits);
+    EXPECT_EQ(plain.stats().misses, sharded.stats().misses);
+    EXPECT_EQ(plain.stats().evictions, sharded.stats().evictions);
+    EXPECT_EQ(plain.size(), sharded.size());
+  }
+}
+
+TEST(ShardedDictionary, GlobalIdentifiersStripeByShard) {
+  ShardedDictionary dict(64, EvictionPolicy::lru, 4);
+  EXPECT_EQ(dict.shard_capacity(), 16u);
+  EXPECT_EQ(dict.shard_count(), 4u);
+  const auto bases = random_bases(48, 0x57121BE);
+  for (const auto& basis : bases) {
+    const auto result = dict.insert(basis);
+    const std::size_t shard = dict.shard_of(basis);
+    // The identifier encodes its shard, so decode-side routing needs no
+    // side channel.
+    EXPECT_EQ(dict.shard_of_id(result.id), shard);
+    EXPECT_GE(result.id, shard * dict.shard_capacity());
+    EXPECT_LT(result.id, (shard + 1) * dict.shard_capacity());
+    // Round trips through both directions.
+    EXPECT_EQ(dict.lookup(basis), result.id);
+    const auto back = dict.lookup_basis(result.id);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, basis);
+  }
+  // All four shards should have received traffic from 48 random bases.
+  for (std::size_t s = 0; s < dict.shard_count(); ++s) {
+    EXPECT_GT(dict.shard(s).size(), 0u) << "shard " << s << " never routed to";
+  }
+  EXPECT_EQ(dict.size(), 48u);
+}
+
+TEST(ShardedDictionary, MirroredInstancesReplayIdentically) {
+  for (const auto policy : {EvictionPolicy::lru, EvictionPolicy::fifo,
+                            EvictionPolicy::random}) {
+    for (const std::size_t shards : {std::size_t{2}, std::size_t{8}}) {
+      ShardedDictionary encoder(32, policy, shards);
+      ShardedDictionary decoder(32, policy, shards);
+      const auto bases = random_bases(300, 0xD0D0 + shards);
+      Rng pick(41);
+      for (int i = 0; i < 600; ++i) {
+        const auto& basis = bases[pick.next_below(bases.size())];
+        const auto enc_hit = encoder.lookup(basis);
+        const auto dec_hit = decoder.lookup(basis);
+        ASSERT_EQ(enc_hit, dec_hit);
+        if (!enc_hit) {
+          // Both sides learn, replaying the identical allocation decision.
+          ASSERT_EQ(encoder.insert(basis).id, decoder.insert(basis).id);
+        }
+      }
+      EXPECT_EQ(encoder.stats().evictions, decoder.stats().evictions);
+    }
+  }
+}
+
+TEST(ShardedDictionary, EvictionsStayWithinTheLoadedShard) {
+  // Capacity 2 per shard: flooding one shard must never evict from another.
+  ShardedDictionary dict(8, EvictionPolicy::lru, 4);
+  const auto bases = random_bases(64, 0xF10);
+  std::vector<std::size_t> inserted_per_shard(4, 0);
+  for (const auto& basis : bases) {
+    const std::size_t shard = dict.shard_of(basis);
+    dict.insert(basis);
+    ++inserted_per_shard[shard];
+  }
+  for (std::size_t s = 0; s < 4; ++s) {
+    const auto& stats = dict.shard(s).stats();
+    EXPECT_EQ(stats.insertions, inserted_per_shard[s]);
+    const std::size_t expected_evictions =
+        inserted_per_shard[s] > 2 ? inserted_per_shard[s] - 2 : 0;
+    EXPECT_EQ(stats.evictions, expected_evictions);
+    EXPECT_LE(dict.shard(s).size(), 2u);
+  }
+}
+
+TEST(ShardedDictionary, EraseAndInstallRouteByIdentifier) {
+  ShardedDictionary dict(16, EvictionPolicy::lru, 2);
+  const auto bases = random_bases(4, 0x1A5);
+  const auto result = dict.insert(bases[0]);
+  dict.erase(result.id);
+  EXPECT_FALSE(dict.peek(bases[0]).has_value());
+  // Re-install at an explicit identifier inside the route shard.
+  const auto shard = dict.shard_of(bases[1]);
+  const auto id = static_cast<std::uint32_t>(shard * dict.shard_capacity() + 3);
+  dict.install(id, bases[1]);
+  EXPECT_EQ(dict.peek(bases[1]), id);
+}
+
+}  // namespace
+}  // namespace zipline::gd
