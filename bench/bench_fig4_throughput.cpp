@@ -12,15 +12,22 @@
 //
 // A third section sweeps the engine's multi-core stager
 // (engine/parallel.hpp): wall-clock encode throughput of the worker pool
-// across worker and dictionary-shard counts, plus the simulated receiver
-// rate with parallel-staged traffic (flat by construction — the switch is
-// per-packet; staging cost is what parallelizes).
+// across worker counts, dictionary-shard counts and dictionary ownership
+// (private per-flow vs the shared service, with and without work
+// stealing), plus the simulated receiver rate with parallel-staged
+// traffic (flat by construction — the switch is per-packet; staging cost
+// is what parallelizes).
+//
+// Every measurement is also appended to BENCH_fig4_throughput.json
+// (machine-readable, one object per row) so the perf trajectory can be
+// tracked PR-over-PR.
 //
 // Usage: bench_fig4_throughput [--quick]
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -32,6 +39,45 @@
 namespace {
 
 using namespace zipline;
+
+/// Flat JSON row collector: every printed table row is mirrored as one
+/// object in BENCH_fig4_throughput.json.
+class JsonRows {
+ public:
+  void add(std::string row) { rows_.push_back(std::move(row)); }
+
+  void write(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+  }
+
+ private:
+  std::vector<std::string> rows_;
+};
+
+std::string json_rate_row(const char* section, const char* op,
+                          std::size_t size_key, const char* size_name,
+                          const sim::SampleStats& gbps,
+                          const sim::SampleStats& mpps) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "{\"section\": \"%s\", \"op\": \"%s\", \"%s\": %zu, "
+                "\"gbps\": %.4f, \"gbps_ci95\": %.4f, \"mpps\": %.4f, "
+                "\"mpps_ci95\": %.4f}",
+                section, op, size_name, size_key, gbps.mean,
+                gbps.ci95_half_width, mpps.mean, mpps.ci95_half_width);
+  return buf;
+}
 
 /// Redundant multi-flow workload for the stager sweep: every flow draws
 /// chunks from a small pool with bit noise, so hits, misses and evictions
@@ -94,6 +140,7 @@ int main(int argc, char** argv) {
   const std::uint64_t repetitions = quick ? 3 : 10;
   const SimTime duration = quick ? 10_ms : 50_ms;
   const SimTime warmup = 2_ms;
+  JsonRows json;
 
   const prog::SwitchOp ops[] = {prog::SwitchOp::forward,
                                 prog::SwitchOp::encode,
@@ -122,6 +169,8 @@ int main(int argc, char** argv) {
       std::printf("%-8s %-8zu %8.2f ±%5.2f %10.3f ±%6.3f\n",
                   op_names[op_idx], frame_bytes, g.mean, g.ci95_half_width,
                   m.mean, m.ci95_half_width);
+      json.add(json_rate_row("fig4", op_names[op_idx], frame_bytes,
+                             "frame_bytes", g, m));
     }
   }
   std::printf("\n(frame sizes include the 4 B FCS; rates are receiver-side"
@@ -154,17 +203,23 @@ int main(int argc, char** argv) {
       std::printf("%-8s %-8zu %8.2f ±%5.2f %10.3f ±%6.3f\n",
                   batch_op_names[op_idx], batch_chunks, g.mean,
                   g.ci95_half_width, m.mean, m.ci95_half_width);
+      json.add(json_rate_row("fig4_batch", batch_op_names[op_idx],
+                             batch_chunks, "batch_chunks", g, m));
     }
   }
 
   // Multi-core stager sweep: wall-clock encode throughput of the engine's
   // worker pool (ordered drain, so output is byte-identical to the serial
-  // engine) across worker and dictionary-shard counts. Scaling tracks the
-  // machine's core count — on a single-core host the curve is flat.
+  // engine) across worker counts, dictionary-shard counts and dictionary
+  // ownership. `private` gives every flow its own dictionary; `shared`
+  // runs all workers against ONE ConcurrentShardedDictionary (sequenced
+  // resolve phases, striped shard locks), and `shared+steal` adds
+  // load-aware p2c placement plus work stealing. Scaling tracks the
+  // machine's core count — on a single-core host the curves are flat.
   std::printf("\n=== Fig. 4 companion: parallel stager encode throughput"
               " ===\n");
-  std::printf("(hardware_concurrency = %u; speedup is vs workers=1 at the"
-              " same shard count)\n\n",
+  std::printf("(hardware_concurrency = %u; speedup is vs workers=1 in the"
+              " same mode/shards)\n\n",
               std::thread::hardware_concurrency());
   const auto workload =
       make_stager_workload(/*flow_count=*/8,
@@ -172,25 +227,51 @@ int main(int argc, char** argv) {
                            /*chunks_per_unit=*/256, /*chunk_bytes=*/32);
   const std::size_t worker_counts[] = {1, 2, 4, 8};
   const std::size_t shard_counts[] = {1, 8};
-  std::printf("%-8s %-8s %12s %10s\n", "workers", "shards", "MB/s", "speedup");
-  for (const std::size_t shards : shard_counts) {
-    double base_mbps = 0;
-    for (const std::size_t workers : worker_counts) {
-      engine::ParallelOptions options;
-      options.workers = workers;
-      options.dictionary_shards = shards;
-      engine::ParallelEncoder pool(gd::GdParams{}, options, nullptr);
-      (void)time_stager_pass(pool, workload);  // warmup: learn + grow arenas
-      std::vector<double> mbps;
-      for (int rep = 0; rep < (quick ? 3 : 5); ++rep) {
-        const double secs = time_stager_pass(pool, workload);
-        mbps.push_back(static_cast<double>(workload.total_bytes) / secs /
-                       1e6);
+  struct Mode {
+    const char* name;
+    engine::DictionaryOwnership ownership;
+    bool steal;
+  };
+  const Mode modes[] = {
+      {"private", engine::DictionaryOwnership::per_flow, false},
+      {"shared", engine::DictionaryOwnership::shared, false},
+      {"shared+steal", engine::DictionaryOwnership::shared, true},
+  };
+  std::printf("%-14s %-8s %-8s %12s %10s\n", "mode", "workers", "shards",
+              "MB/s", "speedup");
+  for (const Mode& mode : modes) {
+    for (const std::size_t shards : shard_counts) {
+      double base_mbps = 0;
+      for (const std::size_t workers : worker_counts) {
+        engine::ParallelOptions options;
+        options.workers = workers;
+        options.dictionary_shards = shards;
+        options.ownership = mode.ownership;
+        if (mode.ownership == engine::DictionaryOwnership::shared) {
+          options.steering = engine::FlowSteering::load_aware;
+          options.work_stealing = mode.steal && workers > 1;
+        }
+        engine::ParallelEncoder pool(gd::GdParams{}, options, nullptr);
+        (void)time_stager_pass(pool, workload);  // warmup: learn + arenas
+        std::vector<double> mbps;
+        for (int rep = 0; rep < (quick ? 3 : 5); ++rep) {
+          const double secs = time_stager_pass(pool, workload);
+          mbps.push_back(static_cast<double>(workload.total_bytes) / secs /
+                         1e6);
+        }
+        const auto summary = sim::summarize(mbps);
+        if (workers == 1) base_mbps = summary.mean;
+        std::printf("%-14s %-8zu %-8zu %12.1f %9.2fx\n", mode.name, workers,
+                    shards, summary.mean, summary.mean / base_mbps);
+        char row[512];
+        std::snprintf(row, sizeof row,
+                      "{\"section\": \"stager\", \"mode\": \"%s\", "
+                      "\"workers\": %zu, \"shards\": %zu, \"mbps\": %.2f, "
+                      "\"mbps_ci95\": %.2f, \"speedup\": %.3f}",
+                      mode.name, workers, shards, summary.mean,
+                      summary.ci95_half_width, summary.mean / base_mbps);
+        json.add(row);
       }
-      const auto summary = sim::summarize(mbps);
-      if (workers == 1) base_mbps = summary.mean;
-      std::printf("%-8zu %-8zu %12.1f %9.2fx\n", workers, shards,
-                  summary.mean, summary.mean / base_mbps);
     }
   }
 
@@ -215,6 +296,11 @@ int main(int argc, char** argv) {
     const auto m = sim::summarize(mpps);
     std::printf("%-14zu %8.2f ±%5.2f %10.3f ±%6.3f\n", stage_workers, g.mean,
                 g.ci95_half_width, m.mean, m.ci95_half_width);
+    json.add(json_rate_row("staged_decode", "decode", stage_workers,
+                           "stage_workers", g, m));
   }
+
+  json.write("BENCH_fig4_throughput.json");
+  std::printf("\nwrote BENCH_fig4_throughput.json\n");
   return 0;
 }

@@ -7,12 +7,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "baseline/deflate.hpp"
 #include "common/rng.hpp"
 #include "crc/syndrome_crc.hpp"
 #include "engine/engine.hpp"
+#include "gd/concurrent_dictionary.hpp"
 #include "engine/parallel.hpp"
 #include "gd/codec.hpp"
 #include "gd/transform.hpp"
@@ -171,9 +175,11 @@ void BM_DictionaryLookupMiss(benchmark::State& state) {
 }
 BENCHMARK(BM_DictionaryLookupMiss);
 
-// Sharded dictionary hit path: the router adds one hash remix; what the
-// sharding buys is contention-free per-flow-group state, not single-thread
-// latency, so this should track BM_DictionaryLookup closely.
+// Sharded dictionary hit path — the hash-once regression guard. One
+// BitVector::hash() serves the shard router AND the in-shard map probe
+// (threaded through lookup/insert/install), so this must track
+// BM_DictionaryLookup closely at every shard count; a second full hash on
+// this path would show up as a near-2x regression here.
 void BM_ShardedDictionaryLookup(benchmark::State& state) {
   gd::ShardedDictionary dict(32768, gd::EvictionPolicy::lru,
                              static_cast<std::size_t>(state.range(0)));
@@ -189,6 +195,65 @@ void BM_ShardedDictionaryLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ShardedDictionaryLookup)->Arg(1)->Arg(8)->Arg(64);
+
+// Sharded miss path: the router must hash to pick the shard, but the
+// shard's prefilter still short-circuits most misses before the map probe
+// — and the hash it did compute is reused, never recomputed, by the probe
+// that does happen.
+void BM_ShardedDictionaryLookupMiss(benchmark::State& state) {
+  gd::ShardedDictionary dict(32768, gd::EvictionPolicy::lru,
+                             static_cast<std::size_t>(state.range(0)));
+  Rng rng(5);
+  for (int i = 0; i < 1024; ++i) {
+    dict.insert(random_bits(rng, 247));
+  }
+  std::vector<bits::BitVector> absent;
+  for (int i = 0; i < 1024; ++i) {
+    absent.push_back(random_bits(rng, 247));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.lookup(absent[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_ShardedDictionaryLookupMiss)->Arg(1)->Arg(8);
+
+// The shared dictionary service under thread contention: every lookup
+// takes its shard's striped mutex. Threads(1) measures the uncontended
+// lock tax over BM_ShardedDictionaryLookup; higher thread counts show the
+// striping absorbing contention (content hashing spreads threads across
+// the shard locks — range(0) is the shard count).
+void BM_ConcurrentDictionaryLookup(benchmark::State& state) {
+  static gd::ConcurrentShardedDictionary* dict = nullptr;
+  static std::vector<bits::BitVector>* bases = nullptr;
+  if (state.thread_index() == 0) {
+    const auto shards = static_cast<std::size_t>(state.range(0));
+    dict = new gd::ConcurrentShardedDictionary(32768, gd::EvictionPolicy::lru,
+                                               shards);
+    bases = new std::vector<bits::BitVector>();
+    Rng rng(5);
+    for (int i = 0; i < 1024; ++i) {
+      bases->push_back(random_bits(rng, 247));
+      (void)dict->insert(bases->back());
+    }
+  }
+  std::size_t i = static_cast<std::size_t>(state.thread_index()) * 37;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict->lookup((*bases)[i++ & 1023]));
+  }
+  if (state.thread_index() == 0) {
+    delete dict;
+    delete bases;
+    dict = nullptr;
+    bases = nullptr;
+  }
+}
+BENCHMARK(BM_ConcurrentDictionaryLookup)
+    ->ArgName("shards")
+    ->Arg(8)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4);
 
 // Worker-pool encode: one submit+flush cycle over a fixed 8-flow workload.
 // Wall-clock scaling with range(0) workers tracks the host's core count
@@ -271,3 +336,29 @@ void BM_SwitchPipelinePacket(benchmark::State& state) {
 BENCHMARK(BM_SwitchPipelinePacket);
 
 }  // namespace
+
+// Custom main instead of benchmark_main: unless the caller picks its own
+// output, every run also writes BENCH_micro_core.json (google-benchmark's
+// JSON format) so the perf trajectory is tracked PR-over-PR alongside
+// BENCH_fig4_throughput.json.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro_core.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

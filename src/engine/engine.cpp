@@ -10,46 +10,65 @@ Engine::Engine(const gd::GdParams& params, gd::EvictionPolicy policy,
       dictionary_(params.dictionary_capacity(), policy, dictionary_shards),
       learn_(learn) {}
 
-gd::PacketType Engine::encode_step(const bits::BitVector& chunk) {
-  ZL_EXPECTS(chunk.size() == params().chunk_bits);
+Engine::Engine(const gd::GdParams& params,
+               gd::ConcurrentShardedDictionary& dictionary, bool learn)
+    : transform_(params), dictionary_(dictionary), learn_(learn) {
+  ZL_EXPECTS(dictionary.capacity() == params.dictionary_capacity() &&
+             "shared dictionary must be sized for the engine's id space");
+}
+
+gd::PacketType Engine::classify(const gd::TransformedChunk& transformed,
+                                std::uint32_t& id) {
   ++stats_.chunks;
   stats_.bytes_in += params().raw_payload_bytes();
-  transform_.forward_into(chunk, scratch_, word_scratch_);
-  if (const auto id = dictionary_.lookup(scratch_.basis)) {
-    scratch_id_ = *id;
+  // lookup_or_insert keeps miss-then-learn atomic on a shared dictionary
+  // (one stripe acquisition), so concurrent learners of one fresh basis
+  // cannot double-insert; privately it is the plain serial sequence.
+  if (const auto hit = dictionary_.lookup_or_insert(transformed.basis,
+                                                    learn_)) {
+    id = *hit;
     ++stats_.compressed_packets;
     stats_.bytes_out += params().type3_payload_bytes();
     return gd::PacketType::compressed;
-  }
-  if (learn_) {
-    dictionary_.insert(scratch_.basis);
   }
   ++stats_.uncompressed_packets;
   stats_.bytes_out += params().type2_payload_bytes();
   return gd::PacketType::uncompressed;
 }
 
-void Engine::encode_chunk(const bits::BitVector& chunk, EncodeBatch& out) {
+gd::PacketType Engine::encode_step(const bits::BitVector& chunk) {
+  ZL_EXPECTS(chunk.size() == params().chunk_bits);
+  transform_.forward_into(chunk, scratch_, word_scratch_);
+  return classify(scratch_, scratch_id_);
+}
+
+void Engine::emit_chunk(const gd::TransformedChunk& transformed,
+                        gd::PacketType type, std::uint32_t id,
+                        EncodeBatch& out) {
   const gd::GdParams& p = params();
-  const gd::PacketType type = encode_step(chunk);
   // Field order mirrors GdPacket::serialize exactly, so the batch path and
   // the per-chunk adapter stay byte-identical.
   writer_.reset();
-  writer_.write_uint(scratch_.syndrome, static_cast<std::size_t>(p.m));
-  writer_.write_bits(scratch_.excess);
+  writer_.write_uint(transformed.syndrome, static_cast<std::size_t>(p.m));
+  writer_.write_bits(transformed.excess);
   if (type == gd::PacketType::uncompressed) {
-    writer_.write_bits(scratch_.basis);
+    writer_.write_bits(transformed.basis);
     writer_.align_to_byte();
     if (p.model_tofino_padding) {
       writer_.write_padding(p.type2_extra_pad_bits);
       writer_.align_to_byte();
     }
-    out.append(type, scratch_.syndrome, 0, writer_.bytes());
+    out.append(type, transformed.syndrome, 0, writer_.bytes());
   } else {
-    writer_.write_uint(scratch_id_, p.id_bits);
+    writer_.write_uint(id, p.id_bits);
     writer_.align_to_byte();
-    out.append(type, scratch_.syndrome, scratch_id_, writer_.bytes());
+    out.append(type, transformed.syndrome, id, writer_.bytes());
   }
+}
+
+void Engine::encode_chunk(const bits::BitVector& chunk, EncodeBatch& out) {
+  const gd::PacketType type = encode_step(chunk);
+  emit_chunk(scratch_, type, scratch_id_, out);
 }
 
 void Engine::encode_payload(std::span<const std::uint8_t> payload,
@@ -71,6 +90,45 @@ void Engine::encode_payload(std::span<const std::uint8_t> payload,
   ++stats_.batches;
 }
 
+void Engine::encode_transform(std::span<const std::uint8_t> payload,
+                              EncodeUnit& unit) {
+  ZL_EXPECTS(params().chunk_bits % 8 == 0);
+  const std::size_t chunk_bytes = params().chunk_bits / 8;
+  const std::size_t full = payload.size() / chunk_bytes;
+  if (unit.transformed.size() < full) {
+    // Grow-only: shrinking would discard the BitVector capacities that
+    // make steady-state units allocation-free.
+    unit.transformed.resize(full);
+    unit.types.resize(full);
+    unit.ids.resize(full);
+  }
+  for (std::size_t i = 0; i < full; ++i) {
+    chunk_scratch_.assign_from_bytes(
+        payload.subspan(i * chunk_bytes, chunk_bytes), params().chunk_bits);
+    transform_.forward_into(chunk_scratch_, unit.transformed[i],
+                            word_scratch_);
+  }
+  unit.chunks = full;
+  unit.tail = payload.subspan(full * chunk_bytes);
+}
+
+void Engine::encode_resolve(EncodeUnit& unit) {
+  for (std::size_t i = 0; i < unit.chunks; ++i) {
+    unit.types[i] = classify(unit.transformed[i], unit.ids[i]);
+  }
+}
+
+void Engine::encode_emit(const EncodeUnit& unit, EncodeBatch& out) {
+  for (std::size_t i = 0; i < unit.chunks; ++i) {
+    emit_chunk(unit.transformed[i], unit.types[i], unit.ids[i], out);
+  }
+  if (!unit.tail.empty()) {
+    note_raw_tail(unit.tail.size());
+    out.append(gd::PacketType::raw, 0, 0, unit.tail);
+  }
+  ++stats_.batches;
+}
+
 gd::GdPacket Engine::encode_chunk_packet(const bits::BitVector& chunk) {
   const gd::PacketType type = encode_step(chunk);
   // Copy (not move) out of the scratch so its capacity survives the call.
@@ -87,8 +145,8 @@ void Engine::decode_step(gd::PacketType type, std::uint32_t syndrome) {
   if (type == gd::PacketType::uncompressed) {
     ++stats_.uncompressed_packets;
     stats_.bytes_in += p.type2_payload_bytes();
-    if (learn_ && !dictionary_.peek(scratch_.basis)) {
-      dictionary_.insert(scratch_.basis);
+    if (learn_) {
+      dictionary_.insert_if_absent(scratch_.basis);
     }
     stats_.bytes_out += p.raw_payload_bytes();
     transform_.inverse_into(scratch_.excess, scratch_.basis, syndrome,
@@ -96,11 +154,21 @@ void Engine::decode_step(gd::PacketType type, std::uint32_t syndrome) {
   } else {
     ++stats_.compressed_packets;
     stats_.bytes_in += p.type3_payload_bytes();
-    const bits::BitVector* basis = dictionary_.lookup_basis_ref(scratch_id_);
-    ZL_EXPECTS(basis != nullptr && "compressed packet with unknown ID");
     stats_.bytes_out += p.raw_payload_bytes();
-    transform_.inverse_into(scratch_.excess, *basis, syndrome, chunk_scratch_,
-                            word_scratch_);
+    if (dictionary_.is_shared()) {
+      // A reference into a shared dictionary dies with the shard lock;
+      // copy the basis out instead (reusing the scratch's storage).
+      const bool mapped =
+          dictionary_.lookup_basis_into(scratch_id_, basis_scratch_);
+      ZL_EXPECTS(mapped && "compressed packet with unknown ID");
+      transform_.inverse_into(scratch_.excess, basis_scratch_, syndrome,
+                              chunk_scratch_, word_scratch_);
+    } else {
+      const bits::BitVector* basis = dictionary_.lookup_basis_ref(scratch_id_);
+      ZL_EXPECTS(basis != nullptr && "compressed packet with unknown ID");
+      transform_.inverse_into(scratch_.excess, *basis, syndrome,
+                              chunk_scratch_, word_scratch_);
+    }
   }
 }
 
@@ -140,6 +208,87 @@ void Engine::decode_batch(const EncodeBatch& in, DecodeBatch& out) {
   ++stats_.batches;
 }
 
+void Engine::decode_parse(const EncodeBatch& in, DecodeUnit& unit) {
+  const gd::GdParams& p = params();
+  const std::size_t count = in.size();
+  if (unit.types.size() < count) {
+    unit.types.resize(count);
+    unit.syndromes.resize(count);
+    unit.ids.resize(count);
+    unit.excesses.resize(count);
+    unit.bases.resize(count);
+    unit.raws.resize(count);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const PacketDesc& desc = in.packet(i);
+    const auto payload = in.payload(desc);
+    unit.types[i] = desc.type;
+    if (desc.type == gd::PacketType::raw) {
+      unit.raws[i] = payload;
+      continue;
+    }
+    const std::size_t body = desc.type == gd::PacketType::uncompressed
+                                 ? p.type2_payload_bytes()
+                                 : p.type3_payload_bytes();
+    ZL_EXPECTS(payload.size() >= body);
+    bits::BitReader reader(payload.first(body));
+    unit.syndromes[i] = static_cast<std::uint32_t>(
+        reader.read_uint(static_cast<std::size_t>(p.m)));
+    reader.read_bits_into(p.excess_bits(), unit.excesses[i]);
+    if (desc.type == gd::PacketType::uncompressed) {
+      reader.read_bits_into(p.k(), unit.bases[i]);
+    } else {
+      unit.ids[i] =
+          static_cast<std::uint32_t>(reader.read_uint(p.id_bits));
+    }
+  }
+  unit.packets = count;
+}
+
+void Engine::decode_resolve(DecodeUnit& unit) {
+  const gd::GdParams& p = params();
+  for (std::size_t i = 0; i < unit.packets; ++i) {
+    ++stats_.chunks;
+    switch (unit.types[i]) {
+      case gd::PacketType::raw:
+        ++stats_.raw_packets;
+        stats_.bytes_in += unit.raws[i].size();
+        stats_.bytes_out += unit.raws[i].size();
+        break;
+      case gd::PacketType::uncompressed:
+        ++stats_.uncompressed_packets;
+        stats_.bytes_in += p.type2_payload_bytes();
+        stats_.bytes_out += p.raw_payload_bytes();
+        if (learn_) {
+          dictionary_.insert_if_absent(unit.bases[i]);
+        }
+        break;
+      default: {
+        ++stats_.compressed_packets;
+        stats_.bytes_in += p.type3_payload_bytes();
+        stats_.bytes_out += p.raw_payload_bytes();
+        const bool mapped =
+            dictionary_.lookup_basis_into(unit.ids[i], unit.bases[i]);
+        ZL_EXPECTS(mapped && "compressed packet with unknown ID");
+        break;
+      }
+    }
+  }
+}
+
+void Engine::decode_emit(const DecodeUnit& unit, DecodeBatch& out) {
+  for (std::size_t i = 0; i < unit.packets; ++i) {
+    if (unit.types[i] == gd::PacketType::raw) {
+      out.append_raw(unit.raws[i]);
+      continue;
+    }
+    transform_.inverse_into(unit.excesses[i], unit.bases[i],
+                            unit.syndromes[i], chunk_scratch_, word_scratch_);
+    out.append_chunk(unit.types[i], chunk_scratch_);
+  }
+  ++stats_.batches;
+}
+
 bits::BitVector Engine::decode_packet(const gd::GdPacket& packet) {
   ++stats_.chunks;
   if (packet.type == gd::PacketType::raw) {
@@ -173,9 +322,7 @@ void Engine::note_raw_tail(std::size_t bytes) {
 
 void Engine::preload(const bits::BitVector& basis) {
   ZL_EXPECTS(basis.size() == params().k());
-  if (!dictionary_.peek(basis)) {
-    dictionary_.insert(basis);
-  }
+  dictionary_.insert_if_absent(basis);
 }
 
 }  // namespace zipline::engine

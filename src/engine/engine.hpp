@@ -1,14 +1,30 @@
 // The batch-oriented encode/decode core every ZipLine consumer runs on.
 //
-// One Engine owns the GD transform, the basis dictionary and the codec
-// statistics for one direction of one flow — the same state a GdEncoder or
-// GdDecoder used to own. The difference is the data path: instead of one
-// heap-allocated GdPacket per chunk, the engine streams serialized wire
-// payloads into a caller-provided EncodeBatch / DecodeBatch arena, using
-// only internal scratch buffers that are reused across calls. In steady
-// state (dictionary warm, arena capacities grown) an encode or decode
-// performs zero heap allocations per chunk — verified by
-// tests/engine_alloc_test.cpp and swept by bench_micro_core.
+// One Engine owns the GD transform, the codec statistics and the scratch
+// state for one direction of one flow (or one worker). The dictionary is
+// reached through a gd::DictionaryHandle, which either owns a private
+// deterministic dictionary (the historical arrangement, bit-identical and
+// still the default) or borrows a shared gd::ConcurrentShardedDictionary —
+// the one-table-per-direction service many engines of a parallel pipeline
+// consult and teach together (see gd/dictionary_handle.hpp).
+//
+// Two data paths:
+//
+//   * Single-pass: encode_payload / decode_batch stream serialized wire
+//     payloads into caller-provided EncodeBatch / DecodeBatch arenas,
+//     using only internal scratch reused across calls. In steady state
+//     (dictionary warm, arena capacities grown) an encode or decode
+//     performs zero heap allocations per chunk — verified by
+//     tests/engine_alloc_test.cpp and swept by bench_micro_core.
+//
+//   * Split-phase: encode_transform / encode_resolve / encode_emit (and
+//     the decode_* mirror) break one unit of work into a pure transform
+//     phase, a dictionary phase and a pure serialization phase, staged in
+//     a caller-owned EncodeUnit / DecodeUnit scratch. The parallel
+//     pipeline's shared-dictionary mode runs transform and emit
+//     concurrently across workers while sequencing only the resolve
+//     phases, and the three phases compose to byte-identical output with
+//     the single-pass path (same helpers, same order).
 //
 // The per-chunk GdEncoder/GdDecoder API in gd/codec.hpp is a thin adapter
 // over this class; batch and per-chunk paths produce byte-identical wire
@@ -21,8 +37,8 @@
 
 #include "common/bitio.hpp"
 #include "engine/batch.hpp"
+#include "gd/dictionary_handle.hpp"
 #include "gd/packet.hpp"
-#include "gd/sharded_dictionary.hpp"
 #include "gd/stats.hpp"
 #include "gd/transform.hpp"
 
@@ -32,18 +48,48 @@ struct EngineStats : gd::CodecStats {
   std::uint64_t batches = 0;  ///< encode_payload / decode_batch calls
 };
 
+/// Caller-owned scratch for one split-phase encode unit. Vectors only ever
+/// grow, so a unit recycled across calls stops allocating once it has seen
+/// the largest payload (the same discipline as the batch arenas).
+struct EncodeUnit {
+  std::size_t chunks = 0;  ///< valid prefix of the vectors below
+  std::vector<gd::TransformedChunk> transformed;
+  std::vector<gd::PacketType> types;
+  std::vector<std::uint32_t> ids;  ///< identifier per compressed chunk
+  std::span<const std::uint8_t> tail{};
+};
+
+/// Caller-owned scratch for one split-phase decode unit.
+struct DecodeUnit {
+  std::size_t packets = 0;  ///< valid prefix of the vectors below
+  std::vector<gd::PacketType> types;
+  std::vector<std::uint32_t> syndromes;
+  std::vector<std::uint32_t> ids;
+  std::vector<bits::BitVector> excesses;
+  std::vector<bits::BitVector> bases;  ///< parsed (type 2) or fetched (type 3)
+  std::vector<std::span<const std::uint8_t>> raws;
+};
+
 class Engine {
  public:
-  /// `learn` plays the role of learn_on_miss on the encode side and
-  /// learn_on_uncompressed on the decode side; an Engine instance serves
-  /// one direction, mirroring the codec's deterministic learning protocol.
-  /// `dictionary_shards` splits the identifier space into that many
-  /// independent dictionary shards (gd/sharded_dictionary.hpp); mirrored
-  /// engines must agree on the shard count, and 1 (the default) is
-  /// bit-identical to the historical unsharded dictionary.
+  /// Private-dictionary engine. `learn` plays the role of learn_on_miss on
+  /// the encode side and learn_on_uncompressed on the decode side; an
+  /// Engine instance serves one direction, mirroring the codec's
+  /// deterministic learning protocol. `dictionary_shards` splits the
+  /// identifier space into that many independent dictionary shards
+  /// (gd/sharded_dictionary.hpp); mirrored engines must agree on the shard
+  /// count, and 1 (the default) is bit-identical to the historical
+  /// unsharded dictionary.
   explicit Engine(const gd::GdParams& params,
                   gd::EvictionPolicy policy = gd::EvictionPolicy::lru,
                   bool learn = true, std::size_t dictionary_shards = 1);
+
+  /// Shared-dictionary engine: consults and teaches `dictionary`, the
+  /// one-table-per-direction service this engine shares with its peers.
+  /// The service (whose capacity must match the params) must outlive the
+  /// engine.
+  Engine(const gd::GdParams& params,
+         gd::ConcurrentShardedDictionary& dictionary, bool learn = true);
 
   // --- encode side ------------------------------------------------------
 
@@ -61,6 +107,25 @@ class Engine {
   /// encode_chunk, materialized as an owning GdPacket.
   [[nodiscard]] gd::GdPacket encode_chunk_packet(const bits::BitVector& chunk);
 
+  // --- encode, split-phase ----------------------------------------------
+  // transform -> resolve -> emit over one payload is byte- and
+  // stats-identical to encode_payload. Only `encode_resolve` touches the
+  // dictionary, so it is the only phase a shared-dictionary pipeline needs
+  // to sequence; transform and emit are pure per-engine work. The payload
+  // memory must stay valid through encode_emit (the raw tail is a view).
+
+  /// Phase 1 (pure): chunk + forward-transform the payload into `unit`.
+  void encode_transform(std::span<const std::uint8_t> payload,
+                        EncodeUnit& unit);
+
+  /// Phase 2 (dictionary): classify every transformed chunk — consult /
+  /// teach the dictionary, fill unit.types / unit.ids, update statistics.
+  void encode_resolve(EncodeUnit& unit);
+
+  /// Phase 3 (pure): serialize the classified unit (and raw tail) into the
+  /// batch arena, mirroring encode_chunk's wire layout exactly.
+  void encode_emit(const EncodeUnit& unit, EncodeBatch& out);
+
   // --- decode side ------------------------------------------------------
 
   /// Decodes one wire payload of the given type, appending the recovered
@@ -75,6 +140,22 @@ class Engine {
 
   /// Per-chunk adapter path: decodes one parsed packet to chunk bits.
   [[nodiscard]] bits::BitVector decode_packet(const gd::GdPacket& packet);
+
+  // --- decode, split-phase ----------------------------------------------
+  // parse -> resolve -> emit over one encoded batch is byte- and
+  // stats-identical to decode_batch; only decode_resolve touches the
+  // dictionary. The input batch must stay valid through decode_emit (raw
+  // payloads are views into it).
+
+  /// Phase 1 (pure): parse every wire payload of `in` into `unit`.
+  void decode_parse(const EncodeBatch& in, DecodeUnit& unit);
+
+  /// Phase 2 (dictionary): learn type-2 bases, fetch type-3 bases (copied
+  /// into the unit), update statistics.
+  void decode_resolve(DecodeUnit& unit);
+
+  /// Phase 3 (pure): inverse-transform every chunk into the decode arena.
+  void decode_emit(const DecodeUnit& unit, DecodeBatch& out);
 
   /// Accounts a decode-side raw packet passing through untouched (used by
   /// the payload adapters, which splice raw bytes directly).
@@ -94,7 +175,12 @@ class Engine {
   [[nodiscard]] const gd::GdTransform& transform() const noexcept {
     return transform_;
   }
+  /// The underlying deterministic dictionary. In shared mode this is the
+  /// service's unsynchronized view — inspect it only while quiescent.
   [[nodiscard]] const gd::ShardedDictionary& dictionary() const noexcept {
+    return dictionary_.view();
+  }
+  [[nodiscard]] const gd::DictionaryHandle& dictionary_handle() const noexcept {
     return dictionary_;
   }
   [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
@@ -105,12 +191,24 @@ class Engine {
   /// for type 3 the identifier is left in scratch_id_.
   gd::PacketType encode_step(const bits::BitVector& chunk);
 
-  /// Type 2/3 decode transition shared by both decode paths; leaves the
-  /// recovered chunk in chunk_scratch_.
+  /// Dictionary half of encode_step, shared with encode_resolve: consults /
+  /// teaches the dictionary for one transformed chunk and updates stats;
+  /// `id` receives the identifier on a hit.
+  gd::PacketType classify(const gd::TransformedChunk& transformed,
+                          std::uint32_t& id);
+
+  /// Serializes one classified chunk into the batch arena — the single
+  /// place that knows the wire field order, shared by encode_chunk and
+  /// encode_emit.
+  void emit_chunk(const gd::TransformedChunk& transformed, gd::PacketType type,
+                  std::uint32_t id, EncodeBatch& out);
+
+  /// Type 2/3 decode transition shared by both single-pass decode paths;
+  /// leaves the recovered chunk in chunk_scratch_.
   void decode_step(gd::PacketType type, std::uint32_t syndrome);
 
   gd::GdTransform transform_;
-  gd::ShardedDictionary dictionary_;
+  gd::DictionaryHandle dictionary_;
   bool learn_;
   EngineStats stats_;
 
@@ -119,6 +217,7 @@ class Engine {
   std::uint32_t scratch_id_ = 0;
   bits::BitVector word_scratch_;
   bits::BitVector chunk_scratch_;
+  bits::BitVector basis_scratch_;  ///< shared-mode copy of a fetched basis
   bits::BitWriter writer_;
 };
 

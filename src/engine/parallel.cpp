@@ -12,7 +12,7 @@ SpscRing::SpscRing(std::size_t capacity) {
   mask_ = rounded - 1;
 }
 
-bool SpscRing::try_push(std::uint32_t value) noexcept {
+bool SpscRing::try_push(std::uint64_t value) noexcept {
   const std::size_t tail = tail_.load(std::memory_order_relaxed);
   const std::size_t head = head_.load(std::memory_order_acquire);
   if (tail - head > mask_) return false;  // full
@@ -23,7 +23,7 @@ bool SpscRing::try_push(std::uint32_t value) noexcept {
   return true;
 }
 
-bool SpscRing::try_pop(std::uint32_t& value) noexcept {
+bool SpscRing::try_pop(std::uint64_t& value) noexcept {
   const std::size_t head = head_.load(std::memory_order_relaxed);
   const std::size_t tail = tail_.load(std::memory_order_acquire);
   if (head == tail) return false;  // empty

@@ -4,29 +4,58 @@
 // of handing whole EncodeBatch / DecodeBatch units to a fixed pool of
 // worker threads. The caller thread is both the stager and the sink: it
 // routes each submitted unit to a worker over that worker's SPSC input
-// ring, and collects finished units from the workers' SPSC output rings —
-// every ring has exactly one producer and one consumer, so the handoff is
-// two relaxed counters and no locks.
+// ring, and collects finished units from the workers' SPSC output rings.
 //
-// Flows, not packets, are the unit of parallelism: every flow is pinned to
-// one worker (flow % workers) which owns a private Engine (dictionary,
-// transform, stats) for it. Units of the same flow are therefore processed
-// in submission order by one thread, which is what makes the parallel
-// output byte-identical to running each flow through a single-threaded
-// Engine — the dictionary replay the codec's determinism rests on is
-// per-flow state, never shared.
+// Dictionary ownership (ParallelOptions::ownership):
+//
+//   * per_flow (default) — every flow owns a private Engine (dictionary,
+//     transform, stats) on the worker it is steered to. Units of one flow
+//     are processed in submission order by one thread, so the delivered
+//     output is byte-identical to running each flow through a
+//     single-threaded Engine; dictionary memory scales with the number of
+//     flows.
+//   * shared — all workers of the pipeline's direction consult and teach
+//     ONE gd::ConcurrentShardedDictionary (striped per-shard locks), the
+//     paper's one-table-per-direction switch reality: flows deduplicate
+//     against each other and dictionary memory no longer scales with
+//     workers or flows. With the ordered drain, each worker splits its
+//     unit into transform -> resolve -> emit phases (engine/engine.hpp)
+//     and only the resolve (dictionary) phases are sequenced — in global
+//     submission order, via an atomic turnstile — while transforms and
+//     serialization run concurrently. The dictionary therefore replays
+//     the exact operation order a single-threaded Engine would produce,
+//     making the parallel output byte-identical to the serial engine and
+//     replayable by any decoder (tests/flow_steering_test.cpp asserts
+//     both, under Zipf-skewed flows).
+//
+// Flow steering (ParallelOptions::steering):
+//
+//   * pinned — flow % workers, the historical static pin.
+//   * load_aware — power-of-two-choices on the current per-worker queue
+//     depth at a flow's FIRST unit, sticky thereafter (a flow never
+//     migrates, preserving per-flow submission order on one ring).
+//
+// Work stealing (ParallelOptions::work_stealing, requires shared +
+// ordered): a worker whose own ring runs dry pops the HEAD of another
+// worker's input ring (pops are serialized by a tiny per-worker mutex;
+// pushes stay single-producer). Stealing only moves WHERE a unit's
+// transform/emit run — the sequenced resolve phases pin the dictionary
+// order — so it is correct precisely because the dictionary is shared,
+// and it converts a Zipf-skewed flow distribution from a single-worker
+// bottleneck into pool-wide work. Head-stealing plus FIFO rings keeps the
+// global resolve turnstile deadlock-free: the oldest unresolved unit is
+// always at a ring head or already being processed.
 //
 // Ordered drain: with `ordered` set (the default) the sink callback
 // observes units in global submission order, regardless of which worker
 // finished first, via a bounded reorder window sized to the total number
-// of in-flight units. The delivered byte stream is then identical to the
-// single-threaded path run over the same submission sequence
-// (tests/parallel_pipeline_test.cpp asserts it byte for byte).
+// of in-flight units.
 //
 // Memory discipline matches the engine core: job slots (with their batch
-// arenas) are fixed at construction and recycled through the rings, so in
-// steady state a submit/flush cycle performs zero heap allocations on any
-// thread (tests/engine_alloc_test.cpp asserts it).
+// arenas and split-phase scratch) are fixed at construction and recycled
+// through the rings, so in steady state a submit/flush cycle performs zero
+// heap allocations on any thread (tests/engine_alloc_test.cpp asserts it
+// for both ownership modes).
 #pragma once
 
 #include <atomic>
@@ -34,16 +63,32 @@
 #include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "common/rng.hpp"
 #include "engine/batch.hpp"
 #include "engine/engine.hpp"
+#include "gd/concurrent_dictionary.hpp"
 
 namespace zipline::engine {
+
+/// Who owns the dictionary the workers consult (see file comment).
+enum class DictionaryOwnership : std::uint8_t {
+  per_flow,  ///< private Engine + dictionary per flow (historical default)
+  shared,    ///< one ConcurrentShardedDictionary for the whole direction
+};
+
+/// How flows pick their (sticky) worker.
+enum class FlowSteering : std::uint8_t {
+  pinned,      ///< flow % workers
+  load_aware,  ///< power-of-two-choices on queue depth at first unit
+};
 
 struct ParallelOptions {
   /// Fixed worker-pool size. One worker with ordered drain degenerates to
@@ -51,28 +96,39 @@ struct ParallelOptions {
   std::size_t workers = 1;
   /// In-flight units per worker (ring depth / reorder window share).
   std::size_t queue_depth = 16;
-  /// Dictionary shards per flow engine (gd/sharded_dictionary.hpp).
+  /// Dictionary shards (gd/sharded_dictionary.hpp): per flow engine in
+  /// per_flow mode, lock stripes of the one service in shared mode.
   std::size_t dictionary_shards = 1;
   gd::EvictionPolicy policy = gd::EvictionPolicy::lru;
   bool learn = true;
   /// Deliver units in global submission order (byte-identical to the
-  /// serial path). Unordered delivery trades that for lower latency.
+  /// serial path). Unordered delivery trades that for lower latency; in
+  /// shared mode it also drops the resolve sequencing, trading dictionary
+  /// replayability for maximum concurrency.
   bool ordered = true;
+  DictionaryOwnership ownership = DictionaryOwnership::per_flow;
+  FlowSteering steering = FlowSteering::pinned;
+  /// Idle workers pop the head of other workers' rings. Requires shared
+  /// ownership (any worker may then encode any flow) and the ordered
+  /// drain (whose resolve turnstile preserves per-flow order).
+  bool work_stealing = false;
 };
 
 namespace detail {
 
-/// Fixed-capacity single-producer single-consumer ring of job-slot
-/// indices. Capacity rounds up to a power of two.
+/// Fixed-capacity ring of 64-bit values with one producer cursor and one
+/// consumer cursor. Capacity rounds up to a power of two. Single producer
+/// always; a single consumer normally, or several consumers serialized by
+/// an external mutex (the work-stealing pop path).
 class SpscRing {
  public:
   explicit SpscRing(std::size_t capacity);
 
-  bool try_push(std::uint32_t value) noexcept;
-  bool try_pop(std::uint32_t& value) noexcept;
+  bool try_push(std::uint64_t value) noexcept;
+  bool try_pop(std::uint64_t& value) noexcept;
 
  private:
-  std::vector<std::uint32_t> slots_;
+  std::vector<std::uint64_t> slots_;
   std::size_t mask_ = 0;
   alignas(64) std::atomic<std::size_t> head_{0};  // consumer cursor
   alignas(64) std::atomic<std::size_t> tail_{0};  // producer cursor
@@ -85,9 +141,21 @@ class SpscRing {
 struct EncodeStage {
   using Input = std::span<const std::uint8_t>;
   using Output = EncodeBatch;
+  using Scratch = EncodeUnit;
   static void run(Engine& engine, const Input& in, Output& out) {
     out.clear();
     engine.encode_payload(in, out);
+  }
+  static void transform(Engine& engine, const Input& in, Scratch& scratch) {
+    engine.encode_transform(in, scratch);
+  }
+  static void resolve(Engine& engine, Scratch& scratch) {
+    engine.encode_resolve(scratch);
+  }
+  static void emit(Engine& engine, const Scratch& scratch, const Input&,
+                   Output& out) {
+    out.clear();
+    engine.encode_emit(scratch, out);
   }
 };
 
@@ -96,9 +164,21 @@ struct EncodeStage {
 struct DecodeStage {
   using Input = const EncodeBatch*;
   using Output = DecodeBatch;
+  using Scratch = DecodeUnit;
   static void run(Engine& engine, const Input& in, Output& out) {
     out.clear();
     engine.decode_batch(*in, out);
+  }
+  static void transform(Engine& engine, const Input& in, Scratch& scratch) {
+    engine.decode_parse(*in, scratch);
+  }
+  static void resolve(Engine& engine, Scratch& scratch) {
+    engine.decode_resolve(scratch);
+  }
+  static void emit(Engine& engine, const Scratch& scratch, const Input&,
+                   Output& out) {
+    out.clear();
+    engine.decode_emit(scratch, out);
   }
 };
 
@@ -140,10 +220,32 @@ class ParallelPipeline {
   }
   [[nodiscard]] const gd::GdParams& params() const noexcept { return params_; }
 
-  /// Statistics of the engine serving `flow`, or nullptr if the flow never
-  /// submitted. Only meaningful when the pipeline is quiescent (after
-  /// flush() and before the next submit()).
+  /// Statistics of the private engine serving `flow`, or nullptr if the
+  /// flow never submitted (or the pipeline runs a shared dictionary, where
+  /// flows have no private engine — use aggregate_stats()). Only
+  /// meaningful when the pipeline is quiescent (after flush() and before
+  /// the next submit()).
   [[nodiscard]] const EngineStats* flow_stats(std::uint32_t flow) const;
+
+  /// Sum of every engine's statistics (per-flow engines or per-worker
+  /// shared-mode engines). Quiescent-only, like flow_stats().
+  [[nodiscard]] EngineStats aggregate_stats() const;
+
+  /// The one dictionary service all workers share, or nullptr in per_flow
+  /// mode. There is exactly one per pipeline — dictionary memory does not
+  /// scale with the worker count.
+  [[nodiscard]] const gd::ConcurrentShardedDictionary* shared_dictionary()
+      const noexcept {
+    return service_.has_value() ? &*service_ : nullptr;
+  }
+
+  /// The worker a flow is stuck to, if it ever submitted (diagnostics).
+  [[nodiscard]] std::optional<std::size_t> flow_worker(
+      std::uint32_t flow) const {
+    const auto it = flow_worker_.find(flow);
+    if (it == flow_worker_.end()) return std::nullopt;
+    return static_cast<std::size_t>(it->second);
+  }
 
  private:
   struct Job {
@@ -151,17 +253,22 @@ class ParallelPipeline {
     std::uint32_t flow = 0;
     typename Stage::Input input{};
     typename Stage::Output output;
+    typename Stage::Scratch scratch;  ///< split-phase staging (shared mode)
     std::exception_ptr error;  ///< stage failure, ferried to the caller
   };
 
   struct Worker {
-    explicit Worker(std::size_t queue_depth);
+    Worker(const gd::GdParams& params, const ParallelOptions& options,
+           gd::ConcurrentShardedDictionary* service, std::size_t index);
+    std::size_t index;
     std::vector<Job> jobs;            // fixed slot pool, arenas recycled
     detail::SpscRing in;              // stager -> worker (slot indices)
-    detail::SpscRing out;             // worker -> sink (slot indices)
+    detail::SpscRing out;             // worker -> sink (owner/slot pairs)
+    std::mutex pop_mutex;             // serializes in-ring pops (stealing)
     std::vector<std::uint32_t> free_slots;  // caller-owned free stack
     alignas(64) std::atomic<std::uint64_t> doorbell{0};
-    std::unordered_map<std::uint32_t, Engine> engines;  // worker-owned
+    std::unordered_map<std::uint32_t, Engine> engines;  // per_flow mode
+    std::optional<Engine> engine;                       // shared mode
     std::thread thread;
   };
 
@@ -169,28 +276,49 @@ class ParallelPipeline {
   /// window size (which bounds the number of in-flight units, so slots
   /// never collide).
   struct Pending {
-    std::uint32_t worker = 0;
+    std::uint32_t worker = 0;  ///< owner of the job slot
     std::uint32_t slot = 0;
     bool valid = false;
   };
 
-  void worker_loop(Worker& worker);
-  [[nodiscard]] bool next_slot(Worker& worker, std::uint32_t& slot);
+  static std::uint64_t pack(std::size_t worker, std::uint32_t slot) noexcept {
+    return (static_cast<std::uint64_t>(worker) << 32) | slot;
+  }
+
+  void worker_loop(Worker& self);
+  [[nodiscard]] bool next_job(Worker& self, Worker*& owner,
+                              std::uint32_t& slot);
+  [[nodiscard]] bool try_claim(Worker& self, Worker*& owner,
+                               std::uint32_t& slot);
+  [[nodiscard]] bool try_pop_job(Worker& worker, std::uint32_t& slot);
+  void run_private(Worker& self, Job& job);
+  void run_shared(Worker& self, Job& job);
+  [[nodiscard]] std::uint32_t steer(std::uint32_t flow);
   void pump(bool may_block);
-  void deliver(Worker& worker, std::uint32_t slot);
+  void deliver(Worker& owner, std::uint32_t slot);
 
   gd::GdParams params_;
   ParallelOptions options_;
   Sink sink_;
+  std::optional<gd::ConcurrentShardedDictionary> service_;  // shared mode
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> stop_{false};
   alignas(64) std::atomic<std::uint64_t> completions_{0};
+  /// Turnstile admitting resolve (dictionary) phases in submission order
+  /// (shared + ordered mode). Advanced by every unit, even failed ones.
+  alignas(64) std::atomic<std::uint64_t> resolve_turn_{0};
+  /// Pool-wide doorbell idle workers wait on when stealing is enabled (a
+  /// per-worker doorbell would let queued work strand behind a sleeping
+  /// thief).
+  alignas(64) std::atomic<std::uint64_t> steal_doorbell_{0};
 
   // Caller-thread state (stager + sink side).
   std::uint64_t submitted_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t next_expected_ = 0;
   std::vector<Pending> pending_;
+  std::unordered_map<std::uint32_t, std::uint32_t> flow_worker_;  // sticky
+  Rng steer_rng_{0x57EE21};
   std::exception_ptr first_error_;
 };
 
@@ -203,11 +331,22 @@ using ParallelDecoder = ParallelPipeline<DecodeStage>;
 // encode/decode stages are compiled once in parallel.cpp.
 
 template <typename Stage>
-ParallelPipeline<Stage>::Worker::Worker(std::size_t queue_depth)
-    : jobs(queue_depth), in(queue_depth), out(queue_depth) {
-  free_slots.reserve(queue_depth);
-  for (std::size_t slot = queue_depth; slot-- > 0;) {
+ParallelPipeline<Stage>::Worker::Worker(
+    const gd::GdParams& params, const ParallelOptions& options,
+    gd::ConcurrentShardedDictionary* service, std::size_t index)
+    : index(index),
+      jobs(options.queue_depth),
+      in(options.queue_depth),
+      // A stealing worker can complete jobs owned by every ring between
+      // two pumps, so its out ring must hold the whole in-flight window.
+      out(options.work_stealing ? options.workers * options.queue_depth
+                                : options.queue_depth) {
+  free_slots.reserve(options.queue_depth);
+  for (std::size_t slot = options.queue_depth; slot-- > 0;) {
     free_slots.push_back(static_cast<std::uint32_t>(slot));
+  }
+  if (service != nullptr) {
+    engine.emplace(params, *service, options.learn);
   }
 }
 
@@ -216,11 +355,21 @@ ParallelPipeline<Stage>::ParallelPipeline(const gd::GdParams& params,
                                           const ParallelOptions& options,
                                           Sink sink)
     : params_(params), options_(options), sink_(std::move(sink)) {
-  ZL_EXPECTS(options_.workers >= 1);
+  ZL_EXPECTS(options_.workers >= 1 && options_.workers < (1u << 16));
   ZL_EXPECTS(options_.queue_depth >= 1);
+  ZL_EXPECTS((!options_.work_stealing ||
+              (options_.ownership == DictionaryOwnership::shared &&
+               options_.ordered)) &&
+             "work stealing requires the shared dictionary (any worker may "
+             "then encode any flow) and the ordered drain");
+  if (options_.ownership == DictionaryOwnership::shared) {
+    service_.emplace(params_.dictionary_capacity(), options_.policy,
+                     options_.dictionary_shards);
+  }
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
-    workers_.push_back(std::make_unique<Worker>(options_.queue_depth));
+    workers_.push_back(std::make_unique<Worker>(
+        params_, options_, service_.has_value() ? &*service_ : nullptr, i));
   }
   pending_.resize(options_.workers * options_.queue_depth);
   for (auto& worker : workers_) {
@@ -238,6 +387,8 @@ ParallelPipeline<Stage>::~ParallelPipeline() {
     // delivery point; dropping it beats terminating.
   }
   stop_.store(true, std::memory_order_release);
+  steal_doorbell_.fetch_add(1, std::memory_order_release);
+  steal_doorbell_.notify_all();
   for (auto& worker : workers_) {
     worker->doorbell.fetch_add(1, std::memory_order_release);
     worker->doorbell.notify_one();
@@ -248,54 +399,156 @@ ParallelPipeline<Stage>::~ParallelPipeline() {
 }
 
 template <typename Stage>
-bool ParallelPipeline<Stage>::next_slot(Worker& worker, std::uint32_t& slot) {
+bool ParallelPipeline<Stage>::try_pop_job(Worker& worker,
+                                          std::uint32_t& slot) {
+  std::uint64_t value = 0;
+  if (options_.work_stealing) {
+    // Multiple consumers (owner + thieves): serialize pops. Pushes remain
+    // single-producer (the stager) and never take the mutex.
+    std::lock_guard<std::mutex> guard(worker.pop_mutex);
+    if (!worker.in.try_pop(value)) return false;
+  } else {
+    if (!worker.in.try_pop(value)) return false;
+  }
+  slot = static_cast<std::uint32_t>(value);
+  return true;
+}
+
+template <typename Stage>
+bool ParallelPipeline<Stage>::try_claim(Worker& self, Worker*& owner,
+                                        std::uint32_t& slot) {
+  if (try_pop_job(self, slot)) {
+    owner = &self;
+    return true;
+  }
+  if (options_.work_stealing) {
+    for (std::size_t k = 1; k < workers_.size(); ++k) {
+      Worker& victim = *workers_[(self.index + k) % workers_.size()];
+      if (try_pop_job(victim, slot)) {
+        owner = &victim;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+template <typename Stage>
+bool ParallelPipeline<Stage>::next_job(Worker& self, Worker*& owner,
+                                       std::uint32_t& slot) {
+  std::atomic<std::uint64_t>& bell =
+      options_.work_stealing ? steal_doorbell_ : self.doorbell;
   for (;;) {
-    if (worker.in.try_pop(slot)) return true;
-    // Snapshot the doorbell before the re-check: a push (or stop) that
-    // lands after the snapshot changes the value, so the wait below cannot
+    // Snapshot the doorbell before the claim: a push (or stop) landing
+    // after the snapshot changes the value, so the wait below cannot
     // sleep through it.
-    const std::uint64_t seen = worker.doorbell.load(std::memory_order_acquire);
-    if (worker.in.try_pop(slot)) return true;
+    const std::uint64_t seen = bell.load(std::memory_order_acquire);
+    if (try_claim(self, owner, slot)) return true;
     if (stop_.load(std::memory_order_acquire)) return false;
-    worker.doorbell.wait(seen, std::memory_order_acquire);
+    bell.wait(seen, std::memory_order_acquire);
   }
 }
 
 template <typename Stage>
-void ParallelPipeline<Stage>::worker_loop(Worker& worker) {
-  std::uint32_t slot = 0;
-  while (next_slot(worker, slot)) {
-    Job& job = worker.jobs[slot];
-    job.error = nullptr;
+void ParallelPipeline<Stage>::run_private(Worker& self, Job& job) {
+  try {
+    // One private engine per flow: created on the flow's first unit
+    // (warmup), found allocation-free afterwards. Without stealing a job
+    // only ever runs on its flow's sticky worker, so the flow's engine
+    // lives here.
+    const auto [it, inserted] =
+        self.engines.try_emplace(job.flow, params_, options_.policy,
+                                 options_.learn, options_.dictionary_shards);
+    Stage::run(it->second, job.input, job.output);
+  } catch (...) {
+    // Never let a stage failure (e.g. a contract violation on hostile
+    // input) escape the thread and terminate the process; flush()
+    // rethrows it on the caller thread instead.
+    job.error = std::current_exception();
+  }
+}
+
+template <typename Stage>
+void ParallelPipeline<Stage>::run_shared(Worker& self, Job& job) {
+  Engine& engine = *self.engine;
+  if (!options_.ordered) {
+    // Free-running mode: per-shard locks make every dictionary op safe,
+    // and the compound miss-then-learn transitions (lookup_or_insert /
+    // insert_if_absent) are atomic per stripe, so racing learners of one
+    // fresh basis cannot double-insert. The op interleaving (hence
+    // learning) is nondeterministic.
     try {
-      // One private engine per flow: created on the flow's first unit
-      // (warmup), found allocation-free afterwards.
-      const auto [it, inserted] = worker.engines.try_emplace(
-          job.flow, params_, options_.policy, options_.learn,
-          options_.dictionary_shards);
-      Stage::run(it->second, job.input, job.output);
+      Stage::run(engine, job.input, job.output);
     } catch (...) {
-      // Never let a stage failure (e.g. a contract violation on hostile
-      // input) escape the thread and terminate the process; flush()
-      // rethrows it on the caller thread instead.
       job.error = std::current_exception();
     }
-    const bool pushed = worker.out.try_push(slot);
-    ZL_ASSERT(pushed && "output ring sized to the slot pool");
+    return;
+  }
+  // Ordered mode: pure transform runs concurrently, then the dictionary
+  // (resolve) phase waits for this unit's global turn. Sequencing resolve
+  // in submission order makes the shared dictionary replay exactly the
+  // operation sequence of a serial engine — the property the
+  // byte-identity and decode guarantees rest on.
+  try {
+    Stage::transform(engine, job.input, job.scratch);
+  } catch (...) {
+    job.error = std::current_exception();
+  }
+  std::uint64_t turn = resolve_turn_.load(std::memory_order_acquire);
+  while (turn != job.seq) {
+    resolve_turn_.wait(turn, std::memory_order_acquire);
+    turn = resolve_turn_.load(std::memory_order_acquire);
+  }
+  if (!job.error) {
+    try {
+      Stage::resolve(engine, job.scratch);
+    } catch (...) {
+      job.error = std::current_exception();
+    }
+  }
+  // Advance the turnstile even for failed units, or every later unit
+  // would deadlock behind the gap.
+  resolve_turn_.store(job.seq + 1, std::memory_order_release);
+  resolve_turn_.notify_all();
+  if (!job.error) {
+    try {
+      Stage::emit(engine, job.scratch, job.input, job.output);
+    } catch (...) {
+      job.error = std::current_exception();
+    }
+  }
+}
+
+template <typename Stage>
+void ParallelPipeline<Stage>::worker_loop(Worker& self) {
+  Worker* owner = nullptr;
+  std::uint32_t slot = 0;
+  while (next_job(self, owner, slot)) {
+    Job& job = owner->jobs[slot];
+    job.error = nullptr;
+    if (options_.ownership == DictionaryOwnership::shared) {
+      run_shared(self, job);
+    } else {
+      run_private(self, job);
+    }
+    // Completions go out through the PROCESSING worker's ring (it is that
+    // ring's single producer); the packed value names the slot's owner.
+    const bool pushed = self.out.try_push(pack(owner->index, slot));
+    ZL_ASSERT(pushed && "output ring sized to the in-flight window");
     completions_.fetch_add(1, std::memory_order_release);
     completions_.notify_one();
   }
 }
 
 template <typename Stage>
-void ParallelPipeline<Stage>::deliver(Worker& worker, std::uint32_t slot) {
-  Job& job = worker.jobs[slot];
+void ParallelPipeline<Stage>::deliver(Worker& owner, std::uint32_t slot) {
+  Job& job = owner.jobs[slot];
   // Account the unit and recycle the slot BEFORE the sink runs: a throwing
   // sink then propagates to the caller with the pipeline still consistent
   // (no leaked slot, no flush()/destructor hang). The job's output stays
   // intact through the sink call — free_slots is only consumed by
   // submit(), on this same thread.
-  worker.free_slots.push_back(slot);
+  owner.free_slots.push_back(slot);
   ++delivered_;
   if (job.error) {
     if (!first_error_) first_error_ = job.error;
@@ -311,17 +564,19 @@ void ParallelPipeline<Stage>::pump(bool may_block) {
   // counter past the snapshot, so a blocking wait returns immediately.
   const std::uint64_t seen = completions_.load(std::memory_order_acquire);
   bool progressed = false;
-  for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
-    Worker& worker = *workers_[wi];
-    std::uint32_t slot = 0;
-    while (worker.out.try_pop(slot)) {
+  for (auto& worker : workers_) {
+    std::uint64_t value = 0;
+    while (worker->out.try_pop(value)) {
       progressed = true;
+      const auto owner = static_cast<std::uint32_t>(value >> 32);
+      const auto slot = static_cast<std::uint32_t>(value);
       if (options_.ordered) {
-        Pending& entry = pending_[worker.jobs[slot].seq % pending_.size()];
+        Pending& entry =
+            pending_[workers_[owner]->jobs[slot].seq % pending_.size()];
         ZL_ASSERT(!entry.valid && "reorder window sized to in-flight units");
-        entry = {static_cast<std::uint32_t>(wi), slot, true};
+        entry = {owner, slot, true};
       } else {
-        deliver(worker, slot);
+        deliver(*workers_[owner], slot);
       }
     }
   }
@@ -330,10 +585,10 @@ void ParallelPipeline<Stage>::pump(bool may_block) {
       Pending& entry = pending_[next_expected_ % pending_.size()];
       if (!entry.valid) break;
       entry.valid = false;
-      Worker& worker = *workers_[entry.worker];
-      ZL_ASSERT(worker.jobs[entry.slot].seq == next_expected_);
+      Worker& owner = *workers_[entry.worker];
+      ZL_ASSERT(owner.jobs[entry.slot].seq == next_expected_);
       ++next_expected_;
-      deliver(worker, entry.slot);
+      deliver(owner, entry.slot);
     }
   }
   if (!progressed && may_block && delivered_ < submitted_) {
@@ -342,9 +597,36 @@ void ParallelPipeline<Stage>::pump(bool may_block) {
 }
 
 template <typename Stage>
+std::uint32_t ParallelPipeline<Stage>::steer(std::uint32_t flow) {
+  const auto it = flow_worker_.find(flow);
+  if (it != flow_worker_.end()) return it->second;
+  std::uint32_t choice;
+  if (options_.steering == FlowSteering::pinned || options_.workers == 1) {
+    choice = static_cast<std::uint32_t>(flow % options_.workers);
+  } else {
+    // Power of two choices on the current queue depths: sample two
+    // distinct workers, keep the emptier one. Sticky thereafter, so
+    // per-flow order is preserved; with the shared dictionary the
+    // placement has no effect on output bytes, only on balance.
+    const auto a = static_cast<std::uint32_t>(
+        steer_rng_.next_below(options_.workers));
+    auto b = static_cast<std::uint32_t>(
+        steer_rng_.next_below(options_.workers - 1));
+    if (b >= a) ++b;
+    const std::size_t load_a =
+        options_.queue_depth - workers_[a]->free_slots.size();
+    const std::size_t load_b =
+        options_.queue_depth - workers_[b]->free_slots.size();
+    choice = load_a <= load_b ? a : b;
+  }
+  flow_worker_.emplace(flow, choice);
+  return choice;
+}
+
+template <typename Stage>
 void ParallelPipeline<Stage>::submit(std::uint32_t flow,
                                      typename Stage::Input input) {
-  Worker& worker = *workers_[flow % workers_.size()];
+  Worker& worker = *workers_[steer(flow)];
   while (worker.free_slots.empty()) {
     pump(/*may_block=*/true);
   }
@@ -358,6 +640,10 @@ void ParallelPipeline<Stage>::submit(std::uint32_t flow,
   ZL_ASSERT(pushed && "input ring sized to the slot pool");
   worker.doorbell.fetch_add(1, std::memory_order_release);
   worker.doorbell.notify_one();
+  if (options_.work_stealing) {
+    steal_doorbell_.fetch_add(1, std::memory_order_release);
+    steal_doorbell_.notify_all();
+  }
 }
 
 template <typename Stage>
@@ -375,9 +661,30 @@ void ParallelPipeline<Stage>::flush() {
 template <typename Stage>
 const EngineStats* ParallelPipeline<Stage>::flow_stats(
     std::uint32_t flow) const {
-  const Worker& worker = *workers_[flow % workers_.size()];
+  const auto wi = flow_worker_.find(flow);
+  if (wi == flow_worker_.end()) return nullptr;
+  const Worker& worker = *workers_[wi->second];
   const auto it = worker.engines.find(flow);
   return it == worker.engines.end() ? nullptr : &it->second.stats();
+}
+
+template <typename Stage>
+EngineStats ParallelPipeline<Stage>::aggregate_stats() const {
+  EngineStats total;
+  const auto add = [&total](const EngineStats& s) {
+    total.chunks += s.chunks;
+    total.raw_packets += s.raw_packets;
+    total.uncompressed_packets += s.uncompressed_packets;
+    total.compressed_packets += s.compressed_packets;
+    total.bytes_in += s.bytes_in;
+    total.bytes_out += s.bytes_out;
+    total.batches += s.batches;
+  };
+  for (const auto& worker : workers_) {
+    if (worker->engine.has_value()) add(worker->engine->stats());
+    for (const auto& [flow, engine] : worker->engines) add(engine.stats());
+  }
+  return total;
 }
 
 extern template class ParallelPipeline<EncodeStage>;

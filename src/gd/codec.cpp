@@ -8,6 +8,11 @@ GdEncoder::GdEncoder(const GdParams& params, EvictionPolicy policy,
                      bool learn_on_miss, std::size_t dictionary_shards)
     : engine_(params, policy, learn_on_miss, dictionary_shards) {}
 
+GdEncoder::GdEncoder(const GdParams& params,
+                     ConcurrentShardedDictionary& dictionary,
+                     bool learn_on_miss)
+    : engine_(params, dictionary, learn_on_miss) {}
+
 GdPacket GdEncoder::encode_chunk(const bits::BitVector& chunk) {
   return engine_.encode_chunk_packet(chunk);
 }
@@ -35,6 +40,11 @@ void GdEncoder::preload(const bits::BitVector& basis) {
 GdDecoder::GdDecoder(const GdParams& params, EvictionPolicy policy,
                      bool learn_on_uncompressed, std::size_t dictionary_shards)
     : engine_(params, policy, learn_on_uncompressed, dictionary_shards) {}
+
+GdDecoder::GdDecoder(const GdParams& params,
+                     ConcurrentShardedDictionary& dictionary,
+                     bool learn_on_uncompressed)
+    : engine_(params, dictionary, learn_on_uncompressed) {}
 
 bits::BitVector GdDecoder::decode_chunk(const GdPacket& packet) {
   return engine_.decode_packet(packet);

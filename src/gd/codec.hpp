@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "engine/engine.hpp"
+#include "gd/concurrent_dictionary.hpp"
 #include "gd/sharded_dictionary.hpp"
 #include "gd/packet.hpp"
 #include "gd/stats.hpp"
@@ -33,6 +34,12 @@ class GdEncoder {
                      EvictionPolicy policy = EvictionPolicy::lru,
                      bool learn_on_miss = true,
                      std::size_t dictionary_shards = 1);
+
+  /// Shared-dictionary encoder: consults/teaches `dictionary`, the
+  /// one-table-per-direction service shared with sibling encoders (must
+  /// outlive this adapter). See gd/concurrent_dictionary.hpp.
+  GdEncoder(const GdParams& params, ConcurrentShardedDictionary& dictionary,
+            bool learn_on_miss = true);
 
   /// Encodes one chunk of exactly params().chunk_bits bits.
   [[nodiscard]] GdPacket encode_chunk(const bits::BitVector& chunk);
@@ -72,6 +79,10 @@ class GdDecoder {
                      EvictionPolicy policy = EvictionPolicy::lru,
                      bool learn_on_uncompressed = true,
                      std::size_t dictionary_shards = 1);
+
+  /// Shared-dictionary decoder (mirror of the GdEncoder overload).
+  GdDecoder(const GdParams& params, ConcurrentShardedDictionary& dictionary,
+            bool learn_on_uncompressed = true);
 
   /// Decodes one packet back to the original chunk bits (raw packets are
   /// returned as their byte payload re-expanded to bits).

@@ -1,0 +1,182 @@
+// Concurrent sharded basis dictionary: the shared dictionary service.
+//
+// The paper's switch holds ONE compression table per direction that every
+// flow traversing the device shares — that is what makes the dictionary
+// converge fast and stay small. This wrapper turns the deterministic
+// ShardedDictionary into that service for the software pipeline: N worker
+// threads of one direction operate on one dictionary, each operation
+// guarded by the mutex of the one shard it touches. Shard routing already
+// content-hashes, so contention stripes naturally across shards; with the
+// default single shard the mutex degenerates to one uncontended lock.
+//
+// Thread-safety contract: every public operation is safe to call from any
+// thread. Determinism, however, is a property of the CALLER's operation
+// order — the underlying ShardedDictionary replays whatever sequence it is
+// fed. The parallel pipeline's ordered mode therefore sequences its
+// dictionary phases in global submission order (engine/parallel.hpp),
+// which is what makes shared-dictionary output byte-identical to a serial
+// engine and replayable by a decoder; unordered callers get thread-safety
+// but no replay guarantee.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "gd/sharded_dictionary.hpp"
+
+namespace zipline::gd {
+
+class ConcurrentShardedDictionary {
+ public:
+  ConcurrentShardedDictionary(std::size_t capacity, EvictionPolicy policy,
+                              std::size_t shard_count = 1,
+                              std::uint64_t random_seed = 0x1dba5e5)
+      : dict_(capacity, policy, shard_count, random_seed),
+        stripes_(std::make_unique<Stripe[]>(shard_count)) {}
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return dict_.capacity();
+  }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return dict_.shard_count();
+  }
+  [[nodiscard]] EvictionPolicy policy() const noexcept {
+    return dict_.policy();
+  }
+
+  /// Total mapped bases / aggregated statistics, each shard read under its
+  /// own lock (a consistent-per-shard snapshot, not a global one).
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < dict_.shard_count(); ++s) {
+      std::lock_guard<std::mutex> guard(stripes_[s].mutex);
+      total += dict_.shard(s).size();
+    }
+    return total;
+  }
+  [[nodiscard]] DictionaryStats stats() const {
+    DictionaryStats total;
+    for (std::size_t s = 0; s < dict_.shard_count(); ++s) {
+      std::lock_guard<std::mutex> guard(stripes_[s].mutex);
+      total += dict_.shard(s).stats();
+    }
+    return total;
+  }
+
+  /// Lock-free view of the underlying dictionary for quiescent inspection
+  /// (tests, post-flush reporting). Racy while workers are active.
+  [[nodiscard]] const ShardedDictionary& unsynchronized() const noexcept {
+    return dict_;
+  }
+
+  // --- thread-safe ShardedDictionary interface --------------------------
+  // One content hash per operation: it routes to the shard, whose mutex is
+  // then held for the shard-local map work.
+
+  [[nodiscard]] std::optional<std::uint32_t> lookup(
+      const bits::BitVector& basis) {
+    if (dict_.shard_count() == 1) {
+      // One stripe: no routing hash needed; the shard's prefilter can
+      // resolve most misses without hashing the basis at all.
+      std::lock_guard<std::mutex> guard(stripes_[0].mutex);
+      return dict_.lookup(basis);
+    }
+    const std::uint64_t hash = basis.hash();
+    std::lock_guard<std::mutex> guard(stripe_of_hash(hash));
+    return dict_.lookup(basis, hash);
+  }
+
+  [[nodiscard]] std::optional<std::uint32_t> peek(
+      const bits::BitVector& basis) const {
+    const std::uint64_t hash = basis.hash();
+    std::lock_guard<std::mutex> guard(stripe_of_hash(hash));
+    return dict_.peek(basis, hash);
+  }
+
+  InsertResult insert(const bits::BitVector& basis) {
+    const std::uint64_t hash = basis.hash();
+    std::lock_guard<std::mutex> guard(stripe_of_hash(hash));
+    return dict_.insert(basis, hash);
+  }
+
+  /// Atomic encoder-side transition: lookup, and on a miss insert when
+  /// `learn` — all under ONE stripe acquisition. This is what makes the
+  /// free-running (unordered) pipeline mode safe: two threads racing the
+  /// same fresh basis cannot both pass the miss check and double-insert.
+  /// The op sequence fed to the deterministic core (lookup, then insert)
+  /// is exactly the serial engine's.
+  [[nodiscard]] std::optional<std::uint32_t> lookup_or_insert(
+      const bits::BitVector& basis, bool learn) {
+    if (dict_.shard_count() == 1) {
+      std::lock_guard<std::mutex> guard(stripes_[0].mutex);
+      if (const auto hit = dict_.lookup(basis)) return hit;
+      if (learn) (void)dict_.insert(basis);
+      return std::nullopt;
+    }
+    const std::uint64_t hash = basis.hash();
+    std::lock_guard<std::mutex> guard(stripe_of_hash(hash));
+    if (const auto hit = dict_.lookup(basis, hash)) return hit;
+    if (learn) (void)dict_.insert(basis, hash);
+    return std::nullopt;
+  }
+
+  /// Atomic decode-side learn: insert unless already present (the peek
+  /// counts no statistics), under one stripe acquisition — the mirror of
+  /// lookup_or_insert for the uncompressed-packet learning path.
+  void insert_if_absent(const bits::BitVector& basis) {
+    const std::uint64_t hash = basis.hash();
+    std::lock_guard<std::mutex> guard(stripe_of_hash(hash));
+    if (!dict_.peek(basis, hash)) (void)dict_.insert(basis, hash);
+  }
+
+  /// Copies the basis mapped by `id` into `out` (reusing its storage) and
+  /// refreshes recency; returns false when the identifier is unmapped.
+  /// This replaces lookup_basis_ref for shared callers — a reference into
+  /// the entry table cannot outlive the shard lock.
+  [[nodiscard]] bool lookup_basis_into(std::uint32_t id,
+                                       bits::BitVector& out) {
+    std::lock_guard<std::mutex> guard(stripe_of_id(id));
+    const bits::BitVector* basis = dict_.lookup_basis_ref(id);
+    if (basis == nullptr) return false;
+    out = *basis;
+    return true;
+  }
+
+  void install(std::uint32_t id, const bits::BitVector& basis) {
+    std::lock_guard<std::mutex> guard(stripe_of_id(id));
+    dict_.install(id, basis);
+  }
+
+  void erase(std::uint32_t id) {
+    std::lock_guard<std::mutex> guard(stripe_of_id(id));
+    dict_.erase(id);
+  }
+
+  void touch(std::uint32_t id) {
+    std::lock_guard<std::mutex> guard(stripe_of_id(id));
+    dict_.touch(id);
+  }
+
+ private:
+  /// One cache line per shard mutex so neighbouring stripes don't false-
+  /// share under contention.
+  struct alignas(64) Stripe {
+    mutable std::mutex mutex;
+  };
+
+  [[nodiscard]] std::mutex& stripe_of_hash(std::uint64_t hash) const {
+    return stripes_[dict_.shard_of_hash(hash)].mutex;
+  }
+  [[nodiscard]] std::mutex& stripe_of_id(std::uint32_t id) const {
+    return stripes_[dict_.shard_of_id(id)].mutex;
+  }
+
+  ShardedDictionary dict_;
+  std::unique_ptr<Stripe[]> stripes_;
+};
+
+}  // namespace zipline::gd

@@ -30,7 +30,22 @@ std::optional<std::uint32_t> BasisDictionary::lookup(
     ++stats_.prefilter_skips;
     return std::nullopt;
   }
-  const auto it = by_basis_.find(basis);
+  return probe(basis, basis.hash());
+}
+
+std::optional<std::uint32_t> BasisDictionary::lookup(
+    const bits::BitVector& basis, std::uint64_t hash) {
+  if (fingerprints_[fingerprint(basis)] == 0) {
+    ++stats_.misses;
+    ++stats_.prefilter_skips;
+    return std::nullopt;
+  }
+  return probe(basis, hash);
+}
+
+std::optional<std::uint32_t> BasisDictionary::probe(
+    const bits::BitVector& basis, std::uint64_t hash) {
+  const auto it = by_basis_.find(detail::BasisRef{hash, &basis});
   if (it == by_basis_.end()) {
     ++stats_.misses;
     return std::nullopt;
@@ -42,7 +57,12 @@ std::optional<std::uint32_t> BasisDictionary::lookup(
 
 std::optional<std::uint32_t> BasisDictionary::peek(
     const bits::BitVector& basis) const {
-  const auto it = by_basis_.find(basis);
+  return peek(basis, basis.hash());
+}
+
+std::optional<std::uint32_t> BasisDictionary::peek(
+    const bits::BitVector& basis, std::uint64_t hash) const {
+  const auto it = by_basis_.find(detail::BasisRef{hash, &basis});
   if (it == by_basis_.end()) return std::nullopt;
   return it->second;
 }
@@ -61,7 +81,13 @@ const bits::BitVector* BasisDictionary::lookup_basis_ref(std::uint32_t id) {
 }
 
 InsertResult BasisDictionary::insert(const bits::BitVector& basis) {
-  ZL_EXPECTS(by_basis_.find(basis) == by_basis_.end());
+  return insert(basis, basis.hash());
+}
+
+InsertResult BasisDictionary::insert(const bits::BitVector& basis,
+                                     std::uint64_t hash) {
+  ZL_EXPECTS(by_basis_.find(detail::BasisRef{hash, &basis}) ==
+             by_basis_.end());
   InsertResult result;
   std::uint32_t id;
   if (!free_ids_.empty()) {
@@ -72,14 +98,15 @@ InsertResult BasisDictionary::insert(const bits::BitVector& basis) {
     ++stats_.evictions;
     result.evicted = entries_[id].basis;
     fingerprint_remove(entries_[id].basis);
-    by_basis_.erase(entries_[id].basis);
+    erase_key(id);
     list_remove(id);
     entries_[id].used = false;
   }
   entries_[id].basis = basis;
+  entries_[id].hash = hash;
   entries_[id].used = true;
   fingerprint_add(basis);
-  by_basis_.emplace(basis, id);
+  by_basis_.emplace(detail::HashedBasis{hash, basis}, id);
   list_push_front(id);
   ++stats_.insertions;
   result.id = id;
@@ -87,6 +114,11 @@ InsertResult BasisDictionary::insert(const bits::BitVector& basis) {
 }
 
 void BasisDictionary::install(std::uint32_t id, const bits::BitVector& basis) {
+  install(id, basis, basis.hash());
+}
+
+void BasisDictionary::install(std::uint32_t id, const bits::BitVector& basis,
+                              std::uint64_t hash) {
   ZL_EXPECTS(id < capacity_);
   if (entries_[id].used) {
     // Displacing a live mapping is an eviction: the previous occupant's
@@ -94,7 +126,7 @@ void BasisDictionary::install(std::uint32_t id, const bits::BitVector& basis) {
     // a refresh, not an eviction.)
     if (entries_[id].basis != basis) ++stats_.evictions;
     fingerprint_remove(entries_[id].basis);
-    by_basis_.erase(entries_[id].basis);
+    erase_key(id);
     list_remove(id);
   } else {
     // The id may still be in the free pool; drop it from there.
@@ -102,13 +134,15 @@ void BasisDictionary::install(std::uint32_t id, const bits::BitVector& basis) {
     if (it != free_ids_.end()) free_ids_.erase(it);
   }
   // A basis must map to at most one id.
-  if (const auto existing = by_basis_.find(basis); existing != by_basis_.end()) {
+  if (const auto existing = by_basis_.find(detail::BasisRef{hash, &basis});
+      existing != by_basis_.end()) {
     erase(existing->second);
   }
   entries_[id].basis = basis;
+  entries_[id].hash = hash;
   entries_[id].used = true;
   fingerprint_add(basis);
-  by_basis_[basis] = id;
+  by_basis_[detail::HashedBasis{hash, basis}] = id;
   list_push_front(id);
   ++stats_.insertions;
 }
@@ -117,10 +151,17 @@ void BasisDictionary::erase(std::uint32_t id) {
   ZL_EXPECTS(id < capacity_);
   if (!entries_[id].used) return;
   fingerprint_remove(entries_[id].basis);
-  by_basis_.erase(entries_[id].basis);
+  erase_key(id);
   list_remove(id);
   entries_[id].used = false;
   free_ids_.push_back(id);
+}
+
+void BasisDictionary::erase_key(std::uint32_t id) {
+  const Entry& e = entries_[id];
+  const auto it = by_basis_.find(detail::BasisRef{e.hash, &e.basis});
+  ZL_ASSERT(it != by_basis_.end());
+  by_basis_.erase(it);
 }
 
 void BasisDictionary::maybe_touch(std::uint32_t id) {

@@ -51,6 +51,49 @@ struct InsertResult {
   std::optional<bits::BitVector> evicted;  ///< basis that lost its ID
 };
 
+namespace detail {
+
+/// Map key carrying the basis's content hash so it is computed exactly
+/// once per dictionary operation: the caller (or the sharded router, which
+/// needs the same hash anyway) passes it in, and rehashing the table never
+/// touches the basis bits again.
+struct HashedBasis {
+  std::uint64_t hash = 0;
+  bits::BitVector basis;
+};
+
+/// Borrowed-key view for heterogeneous lookup (C++20): probes with a
+/// precomputed hash and no BitVector copy.
+struct BasisRef {
+  std::uint64_t hash = 0;
+  const bits::BitVector* basis = nullptr;
+};
+
+struct HashedBasisHash {
+  using is_transparent = void;
+  std::size_t operator()(const HashedBasis& k) const noexcept {
+    return static_cast<std::size_t>(k.hash);
+  }
+  std::size_t operator()(const BasisRef& k) const noexcept {
+    return static_cast<std::size_t>(k.hash);
+  }
+};
+
+struct HashedBasisEq {
+  using is_transparent = void;
+  bool operator()(const HashedBasis& a, const HashedBasis& b) const {
+    return a.basis == b.basis;
+  }
+  bool operator()(const HashedBasis& a, const BasisRef& b) const {
+    return a.basis == *b.basis;
+  }
+  bool operator()(const BasisRef& a, const HashedBasis& b) const {
+    return *a.basis == b.basis;
+  }
+};
+
+}  // namespace detail
+
 class BasisDictionary {
  public:
   BasisDictionary(std::size_t capacity, EvictionPolicy policy,
@@ -62,10 +105,17 @@ class BasisDictionary {
   [[nodiscard]] const DictionaryStats& stats() const noexcept { return stats_; }
 
   /// Encoder-side lookup. Counts a hit/miss and refreshes recency on hit.
+  /// The two-argument form takes the basis's precomputed content hash
+  /// (`basis.hash()`) so callers that already hold it — the sharded
+  /// router does — never hash the basis twice.
   [[nodiscard]] std::optional<std::uint32_t> lookup(const bits::BitVector& basis);
+  [[nodiscard]] std::optional<std::uint32_t> lookup(const bits::BitVector& basis,
+                                                    std::uint64_t hash);
 
   /// Peek without touching recency or statistics.
   [[nodiscard]] std::optional<std::uint32_t> peek(const bits::BitVector& basis) const;
+  [[nodiscard]] std::optional<std::uint32_t> peek(const bits::BitVector& basis,
+                                                  std::uint64_t hash) const;
 
   /// Decoder-side lookup. Refreshes recency (mirrors the encoder's hit).
   [[nodiscard]] std::optional<bits::BitVector> lookup_basis(std::uint32_t id);
@@ -78,10 +128,13 @@ class BasisDictionary {
   /// Inserts a new basis, allocating (possibly recycling) an identifier.
   /// The basis must not already be present.
   InsertResult insert(const bits::BitVector& basis);
+  InsertResult insert(const bits::BitVector& basis, std::uint64_t hash);
 
   /// Installs an explicit (id, basis) mapping — the control-plane path.
   /// Replaces whatever the identifier previously mapped to.
   void install(std::uint32_t id, const bits::BitVector& basis);
+  void install(std::uint32_t id, const bits::BitVector& basis,
+               std::uint64_t hash);
 
   /// Removes a mapping by identifier (control-plane eviction), freeing it.
   void erase(std::uint32_t id);
@@ -129,6 +182,7 @@ class BasisDictionary {
 
   struct Entry {
     bits::BitVector basis;
+    std::uint64_t hash = 0;  ///< content hash of `basis` (computed once)
     bool used = false;
     // Intrusive doubly-linked recency list over identifiers.
     std::uint32_t prev = kNil;
@@ -139,6 +193,12 @@ class BasisDictionary {
   void list_remove(std::uint32_t id);
   void list_push_front(std::uint32_t id);  // most recently used end
   [[nodiscard]] std::uint32_t pick_victim();
+  /// Drops identifier `id`'s key from by_basis_ using the stored hash.
+  void erase_key(std::uint32_t id);
+  /// Post-prefilter map probe shared by both lookup overloads (so neither
+  /// runs the prefilter twice).
+  [[nodiscard]] std::optional<std::uint32_t> probe(const bits::BitVector& basis,
+                                                   std::uint64_t hash);
 
   std::size_t capacity_;
   EvictionPolicy policy_;
@@ -147,7 +207,8 @@ class BasisDictionary {
   std::uint32_t fingerprint_bits_;
   std::vector<std::uint32_t> fingerprints_;  // 2^fingerprint_bits_ counts
   std::vector<std::uint32_t> free_ids_;  // stack; top = next to allocate
-  std::unordered_map<bits::BitVector, std::uint32_t, bits::BitVectorHash>
+  std::unordered_map<detail::HashedBasis, std::uint32_t,
+                     detail::HashedBasisHash, detail::HashedBasisEq>
       by_basis_;
   std::uint32_t head_ = kNil;  // most recently used
   std::uint32_t tail_ = kNil;  // least recently used

@@ -31,18 +31,27 @@ DictionaryStats ShardedDictionary::stats() const noexcept {
 
 std::size_t ShardedDictionary::shard_of(
     const bits::BitVector& basis) const noexcept {
-  if (shards_.size() == 1) return 0;
-  // Fibonacci remix of the content hash: BitVectorHash feeds the same hash
-  // to the in-shard map, so reuse its low bits unmixed would correlate the
-  // router with bucket placement.
-  const std::uint64_t mixed = basis.hash() * 0x9E3779B97F4A7C15ULL;
-  return static_cast<std::size_t>(mixed >> 32) % shards_.size();
+  return shard_of_hash(basis.hash());
 }
 
 std::optional<std::uint32_t> ShardedDictionary::lookup(
     const bits::BitVector& basis) {
-  const std::size_t shard = shard_of(basis);
-  if (const auto local = shards_[shard].lookup(basis)) {
+  if (shards_.size() == 1) {
+    // Single shard: no routing hash needed, so let the shard's lazy path
+    // run — its fingerprint prefilter resolves most misses without ever
+    // hashing the full basis.
+    if (const auto local = shards_.front().lookup(basis)) {
+      return to_global(0, *local);
+    }
+    return std::nullopt;
+  }
+  return lookup(basis, basis.hash());
+}
+
+std::optional<std::uint32_t> ShardedDictionary::lookup(
+    const bits::BitVector& basis, std::uint64_t hash) {
+  const std::size_t shard = shard_of_hash(hash);
+  if (const auto local = shards_[shard].lookup(basis, hash)) {
     return to_global(shard, *local);
   }
   return std::nullopt;
@@ -50,8 +59,13 @@ std::optional<std::uint32_t> ShardedDictionary::lookup(
 
 std::optional<std::uint32_t> ShardedDictionary::peek(
     const bits::BitVector& basis) const {
-  const std::size_t shard = shard_of(basis);
-  if (const auto local = shards_[shard].peek(basis)) {
+  return peek(basis, basis.hash());
+}
+
+std::optional<std::uint32_t> ShardedDictionary::peek(
+    const bits::BitVector& basis, std::uint64_t hash) const {
+  const std::size_t shard = shard_of_hash(hash);
+  if (const auto local = shards_[shard].peek(basis, hash)) {
     return to_global(shard, *local);
   }
   return std::nullopt;
@@ -69,8 +83,13 @@ const bits::BitVector* ShardedDictionary::lookup_basis_ref(std::uint32_t id) {
 }
 
 InsertResult ShardedDictionary::insert(const bits::BitVector& basis) {
-  const std::size_t shard = shard_of(basis);
-  InsertResult result = shards_[shard].insert(basis);
+  return insert(basis, basis.hash());
+}
+
+InsertResult ShardedDictionary::insert(const bits::BitVector& basis,
+                                       std::uint64_t hash) {
+  const std::size_t shard = shard_of_hash(hash);
+  InsertResult result = shards_[shard].insert(basis, hash);
   result.id = to_global(shard, result.id);
   return result;
 }
@@ -78,10 +97,11 @@ InsertResult ShardedDictionary::insert(const bits::BitVector& basis) {
 void ShardedDictionary::install(std::uint32_t id,
                                 const bits::BitVector& basis) {
   ZL_EXPECTS(id < capacity());
+  const std::uint64_t hash = basis.hash();
   const std::size_t shard = shard_of_id(id);
-  ZL_EXPECTS(shard == shard_of(basis) &&
+  ZL_EXPECTS(shard == shard_of_hash(hash) &&
              "identifier must belong to the basis's route shard");
-  shards_[shard].install(to_local(id), basis);
+  shards_[shard].install(to_local(id), basis, hash);
 }
 
 void ShardedDictionary::erase(std::uint32_t id) {

@@ -59,20 +59,36 @@ class ShardedDictionary {
     return shards_[i];
   }
 
-  /// The router: which shard owns this basis / this identifier.
+  /// The router: which shard owns this basis / this identifier. The
+  /// hash-flavoured form takes the basis's precomputed content hash so one
+  /// `BitVector::hash()` serves router and in-shard map alike.
   [[nodiscard]] std::size_t shard_of(const bits::BitVector& basis) const noexcept;
+  [[nodiscard]] std::size_t shard_of_hash(std::uint64_t hash) const noexcept {
+    if (shards_.size() == 1) return 0;
+    // Fibonacci remix of the content hash: the in-shard map is fed the
+    // same hash, so reusing its low bits unmixed would correlate the
+    // router with bucket placement.
+    const std::uint64_t mixed = hash * 0x9E3779B97F4A7C15ULL;
+    return static_cast<std::size_t>(mixed >> 32) % shards_.size();
+  }
   [[nodiscard]] std::size_t shard_of_id(std::uint32_t id) const noexcept {
     return id / shard_capacity_;
   }
 
   // --- BasisDictionary interface, global-identifier flavoured ------------
+  // Each operation hashes the basis exactly once: the hash routes to the
+  // shard and then probes (or keys) the shard's map.
 
   /// Encoder-side lookup; returns the global identifier on a hit.
   [[nodiscard]] std::optional<std::uint32_t> lookup(const bits::BitVector& basis);
+  [[nodiscard]] std::optional<std::uint32_t> lookup(const bits::BitVector& basis,
+                                                    std::uint64_t hash);
 
   /// Peek without touching recency or statistics.
   [[nodiscard]] std::optional<std::uint32_t> peek(
       const bits::BitVector& basis) const;
+  [[nodiscard]] std::optional<std::uint32_t> peek(const bits::BitVector& basis,
+                                                  std::uint64_t hash) const;
 
   /// Decoder-side lookup by global identifier.
   [[nodiscard]] std::optional<bits::BitVector> lookup_basis(std::uint32_t id);
@@ -83,6 +99,7 @@ class ShardedDictionary {
   /// Inserts a new basis into its route shard; the returned identifier is
   /// global. The basis must not already be present.
   InsertResult insert(const bits::BitVector& basis);
+  InsertResult insert(const bits::BitVector& basis, std::uint64_t hash);
 
   /// Installs an explicit (global id, basis) mapping. The identifier must
   /// live in the shard the basis routes to, so encoder-side lookups can

@@ -13,9 +13,11 @@ namespace zipline::gd {
 namespace {
 
 constexpr std::uint8_t kMagic[4] = {'G', 'D', 'Z', '1'};
-constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kVersion = 2;
+constexpr std::uint8_t kVersionPolicyless = 1;  ///< LRU / 1 shard implied
 constexpr std::uint8_t kTagEnd = 0x00;
 constexpr std::uint8_t kTagTail = 0x7F;
+constexpr std::size_t kMaxHeaderShards = 0xFF;
 
 void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v & 0xFF));
@@ -116,14 +118,17 @@ std::size_t scan_records(Cursor& cur, const GdParams& params) {
   }
 }
 
-/// Appends the GDZ1 header for `params` to `out`.
-void put_header(std::vector<std::uint8_t>& out, const GdParams& params) {
+/// Appends the GDZ1 v2 header to `out`: parameters plus the dictionary
+/// configuration (eviction policy, shard count) the decoder must replay.
+void put_header(std::vector<std::uint8_t>& out, const GdParams& params,
+                EvictionPolicy policy, std::size_t shards) {
   out.insert(out.end(), kMagic, kMagic + 4);
   out.push_back(kVersion);
   out.push_back(static_cast<std::uint8_t>(params.m));
   out.push_back(static_cast<std::uint8_t>(params.id_bits));
   put_u16(out, static_cast<std::uint16_t>(params.chunk_bits / 8));
-  out.push_back(0);  // reserved: eviction policy (LRU only in v1)
+  out.push_back(static_cast<std::uint8_t>(policy));
+  out.push_back(static_cast<std::uint8_t>(shards));
 }
 
 /// Appends one encoded batch as a record section + terminator + CRC.
@@ -135,43 +140,70 @@ void put_records(std::vector<std::uint8_t>& out,
   put_u32(out, crc::Crc32::of(std::span(out).subspan(records_start)));
 }
 
-/// Validated view of one container: header parameters plus the CRC-checked
-/// record section.
-struct ParsedContainer {
+/// Fully parsed GDZ1 header: transform parameters plus the dictionary
+/// configuration the decode engine must be built with.
+struct StreamHeader {
   GdParams params;
+  EvictionPolicy policy = EvictionPolicy::lru;
+  std::size_t shards = 1;
+};
+
+/// Validated view of one container: header plus the CRC-checked record
+/// section.
+struct ParsedContainer {
+  StreamHeader header;
   std::span<const std::uint8_t> records;  ///< record section incl. kTagEnd
 };
 
 /// Parses and validates the fixed header only (no record scan, no CRC);
 /// `cur` is left at the first record byte.
-GdParams parse_header(Cursor& cur) {
+StreamHeader parse_header(Cursor& cur) {
   for (const std::uint8_t m : kMagic) {
     if (cur.u8() != m) throw std::runtime_error("gd stream: bad magic");
   }
-  if (cur.u8() != kVersion) {
+  const std::uint8_t version = cur.u8();
+  if (version != kVersion && version != kVersionPolicyless) {
     throw std::runtime_error("gd stream: unsupported version");
   }
-  GdParams params = stream_default_params();
-  params.m = cur.u8();
-  params.id_bits = cur.u8();
-  params.chunk_bits = static_cast<std::size_t>(cur.u16()) * 8;
-  (void)cur.u8();  // reserved
+  StreamHeader header;
+  header.params = stream_default_params();
+  header.params.m = cur.u8();
+  header.params.id_bits = cur.u8();
+  header.params.chunk_bits = static_cast<std::size_t>(cur.u16()) * 8;
+  if (version == kVersionPolicyless) {
+    // v1: one reserved byte, always written zero — LRU, single shard.
+    if (cur.u8() != 0) {
+      throw std::runtime_error("gd stream: invalid reserved byte");
+    }
+  } else {
+    const std::uint8_t policy = cur.u8();
+    if (policy > static_cast<std::uint8_t>(EvictionPolicy::random)) {
+      throw std::runtime_error("gd stream: unknown eviction policy");
+    }
+    header.policy = static_cast<EvictionPolicy>(policy);
+    header.shards = cur.u8();
+  }
   try {
-    params.validate();
+    header.params.validate();
   } catch (const ContractViolation&) {
     throw std::runtime_error("gd stream: invalid parameters in header");
   }
-  return params;
+  const std::size_t capacity = header.params.dictionary_capacity();
+  if (header.shards < 1 || header.shards > capacity ||
+      capacity % header.shards != 0) {
+    throw std::runtime_error("gd stream: invalid dictionary shard count");
+  }
+  return header;
 }
 
 ParsedContainer parse_container(std::span<const std::uint8_t> container) {
   Cursor cur(container);
   ParsedContainer parsed;
-  parsed.params = parse_header(cur);
+  parsed.header = parse_header(cur);
 
   // Structural scan + CRC check over the record section.
   const std::size_t records_start = cur.position();
-  const std::size_t records_end = scan_records(cur, parsed.params);
+  const std::size_t records_end = scan_records(cur, parsed.header.params);
   const std::uint32_t stored_crc = cur.u32();
   parsed.records = container.subspan(records_start,
                                      records_end - records_start);
@@ -205,7 +237,7 @@ void walk_records(Cursor& records, const GdParams& params, OnRecord&& on) {
 /// the engine (and the parallel pipeline) decodes.
 void stage_records(const ParsedContainer& parsed, engine::EncodeBatch& batch) {
   Cursor records(parsed.records);
-  walk_records(records, parsed.params,
+  walk_records(records, parsed.header.params,
                [&](PacketType type, std::span<const std::uint8_t> payload) {
                  batch.append(type, 0, 0, payload);
                });
@@ -213,11 +245,17 @@ void stage_records(const ParsedContainer& parsed, engine::EncodeBatch& batch) {
 
 /// Worker-side stage for parallel decompression: the full container —
 /// structural scan, CRC check, record staging, decode — is one unit of
-/// work, so nothing but the 10-byte header check runs on the caller
-/// thread. Validation failures throw here and surface at flush().
+/// work, so nothing but the fixed header check runs on the caller thread.
+/// Validation failures throw here and surface at flush(). The split-phase
+/// hooks let the shared-dictionary mode sequence only the dictionary
+/// (resolve) half while parsing and inverse transforms run concurrently.
 struct ContainerDecodeStage {
   using Input = std::span<const std::uint8_t>;
   using Output = engine::DecodeBatch;
+  struct Scratch {
+    engine::EncodeBatch staged;
+    engine::DecodeUnit unit;
+  };
   static void run(engine::Engine& eng, const Input& in, Output& out) {
     // Per-worker-thread staging arena, reused across containers.
     thread_local engine::EncodeBatch staged;
@@ -225,6 +263,20 @@ struct ContainerDecodeStage {
     stage_records(parse_container(in), staged);
     out.clear();
     eng.decode_batch(staged, out);
+  }
+  static void transform(engine::Engine& eng, const Input& in,
+                        Scratch& scratch) {
+    scratch.staged.clear();
+    stage_records(parse_container(in), scratch.staged);
+    eng.decode_parse(scratch.staged, scratch.unit);
+  }
+  static void resolve(engine::Engine& eng, Scratch& scratch) {
+    eng.decode_resolve(scratch.unit);
+  }
+  static void emit(engine::Engine& eng, const Scratch& scratch, const Input&,
+                   Output& out) {
+    out.clear();
+    eng.decode_emit(scratch.unit, out);
   }
 };
 
@@ -237,6 +289,39 @@ void fill_stats(StreamStats& stats, std::size_t input_bytes,
   stats.uncompressed_packets = engine.uncompressed_packets;
 }
 
+/// Shared-dictionary pools have no per-flow engine to read stats from;
+/// the per-stream packet counts are reconstructed from the stream's own
+/// encoded batch instead (identical accounting: chunks = types 2 + 3).
+void fill_stats_from_batch(StreamStats& stats, std::size_t input_bytes,
+                           std::size_t output_bytes,
+                           const engine::EncodeBatch& batch) {
+  stats.input_bytes = input_bytes;
+  stats.output_bytes = output_bytes;
+  for (const engine::PacketDesc& desc : batch.packets()) {
+    if (desc.type == PacketType::compressed) {
+      ++stats.compressed_packets;
+    } else if (desc.type == PacketType::uncompressed) {
+      ++stats.uncompressed_packets;
+    }
+  }
+  stats.chunks = stats.compressed_packets + stats.uncompressed_packets;
+}
+
+engine::ParallelOptions pool_pipeline_options(const StreamPoolOptions& pool,
+                                              EvictionPolicy policy,
+                                              std::size_t shards) {
+  engine::ParallelOptions options;
+  options.workers = pool.workers;
+  options.policy = policy;
+  options.dictionary_shards = shards;
+  if (pool.shared_dictionary) {
+    options.ownership = engine::DictionaryOwnership::shared;
+    options.steering = engine::FlowSteering::load_aware;
+    options.work_stealing = true;
+  }
+  return options;
+}
+
 }  // namespace
 
 GdParams stream_default_params() {
@@ -247,14 +332,15 @@ GdParams stream_default_params() {
 
 std::vector<std::uint8_t> gd_stream_compress(
     std::span<const std::uint8_t> input, const GdParams& params,
-    StreamStats* stats) {
+    StreamStats* stats, EvictionPolicy policy, std::size_t dictionary_shards) {
   params.validate();
   ZL_EXPECTS(params.chunk_bits % 8 == 0);
   ZL_EXPECTS(params.chunk_bits / 8 <= 0xFFFF);
+  ZL_EXPECTS(dictionary_shards >= 1 && dictionary_shards <= kMaxHeaderShards);
 
   std::vector<std::uint8_t> out;
-  put_header(out, params);
-  engine::Engine engine{params};
+  put_header(out, params, policy, dictionary_shards);
+  engine::Engine engine{params, policy, /*learn=*/true, dictionary_shards};
   engine::EncodeBatch batch;
   engine.encode_payload(input, batch);
   put_records(out, batch);
@@ -271,11 +357,13 @@ std::vector<std::uint8_t> gd_stream_decompress(
   const ParsedContainer parsed = parse_container(container);
 
   // Pass 2: decode records straight into the output arena — no
-  // intermediate GdPacket vector.
+  // intermediate GdPacket vector — replaying the dictionary configuration
+  // the header records.
   Cursor records(parsed.records);
-  engine::Engine engine{parsed.params};
+  engine::Engine engine{parsed.header.params, parsed.header.policy,
+                        /*learn=*/true, parsed.header.shards};
   engine::DecodeBatch out;
-  walk_records(records, parsed.params,
+  walk_records(records, parsed.header.params,
                [&](PacketType type, std::span<const std::uint8_t> payload) {
                  engine.decode_wire(type, payload, out);
                });
@@ -284,34 +372,44 @@ std::vector<std::uint8_t> gd_stream_decompress(
 
 std::vector<std::vector<std::uint8_t>> gd_stream_compress_parallel(
     std::span<const std::span<const std::uint8_t>> inputs,
-    const GdParams& params, std::size_t workers,
+    const GdParams& params, const StreamPoolOptions& pool,
     std::vector<StreamStats>* stats) {
   params.validate();
   ZL_EXPECTS(params.chunk_bits % 8 == 0);
   ZL_EXPECTS(params.chunk_bits / 8 <= 0xFFFF);
-  ZL_EXPECTS(workers >= 1);
+  ZL_EXPECTS(pool.workers >= 1);
+  ZL_EXPECTS(pool.dictionary_shards >= 1 &&
+             pool.dictionary_shards <= kMaxHeaderShards);
 
+  if (stats != nullptr) stats->assign(inputs.size(), StreamStats{});
   std::vector<std::vector<std::uint8_t>> outputs(inputs.size());
   {
-    // One flow per input: each stream gets a private engine, so every
-    // container is byte-identical to the serial gd_stream_compress.
-    engine::ParallelEncoder pool(
-        params, {.workers = workers},
+    // One flow per input. Private mode: each stream gets a private engine,
+    // so every container is byte-identical to the serial
+    // gd_stream_compress. Shared mode: the pool's one dictionary service
+    // deduplicates ACROSS streams (ordered resolve keeps the op sequence
+    // identical to a serial engine fed the same submission order).
+    engine::ParallelEncoder pipeline(
+        params, pool_pipeline_options(pool, pool.policy,
+                                      pool.dictionary_shards),
         [&](const engine::ParallelEncoder::Unit& unit) {
           std::vector<std::uint8_t>& out = outputs[unit.seq];
-          put_header(out, params);
+          put_header(out, params, pool.policy, pool.dictionary_shards);
           put_records(out, *unit.output);
+          if (stats != nullptr && pool.shared_dictionary) {
+            fill_stats_from_batch((*stats)[unit.seq], inputs[unit.seq].size(),
+                                  out.size(), *unit.output);
+          }
         });
     for (std::size_t i = 0; i < inputs.size(); ++i) {
-      pool.submit(static_cast<std::uint32_t>(i), inputs[i]);
+      pipeline.submit(static_cast<std::uint32_t>(i), inputs[i]);
     }
-    pool.flush();
+    pipeline.flush();
 
-    if (stats != nullptr) {
-      stats->assign(inputs.size(), StreamStats{});
+    if (stats != nullptr && !pool.shared_dictionary) {
       for (std::size_t i = 0; i < inputs.size(); ++i) {
         const engine::EngineStats* engine_stats =
-            pool.flow_stats(static_cast<std::uint32_t>(i));
+            pipeline.flow_stats(static_cast<std::uint32_t>(i));
         ZL_ASSERT(engine_stats != nullptr);
         fill_stats((*stats)[i], inputs[i].size(), outputs[i].size(),
                    *engine_stats);
@@ -321,40 +419,60 @@ std::vector<std::vector<std::uint8_t>> gd_stream_compress_parallel(
   return outputs;
 }
 
+std::vector<std::vector<std::uint8_t>> gd_stream_compress_parallel(
+    std::span<const std::span<const std::uint8_t>> inputs,
+    const GdParams& params, std::size_t workers,
+    std::vector<StreamStats>* stats) {
+  StreamPoolOptions pool;
+  pool.workers = workers;
+  return gd_stream_compress_parallel(inputs, params, pool, stats);
+}
+
 std::vector<std::vector<std::uint8_t>> gd_stream_decompress_parallel(
     std::span<const std::span<const std::uint8_t>> containers,
-    std::size_t workers) {
-  ZL_EXPECTS(workers >= 1);
+    const StreamPoolOptions& pool) {
+  ZL_EXPECTS(pool.workers >= 1);
   if (containers.empty()) return {};
 
   // Only the fixed headers are read up front (one worker pool = one
-  // GdParams); the expensive work — structural scan, CRC, staging, decode
-  // — happens inside the workers, one container per unit.
-  GdParams params;
+  // dictionary configuration); the expensive work — structural scan, CRC,
+  // staging, decode — happens inside the workers, one container per unit.
+  StreamHeader header;
   for (std::size_t i = 0; i < containers.size(); ++i) {
     Cursor cur(containers[i]);
-    const GdParams header = parse_header(cur);
+    const StreamHeader h = parse_header(cur);
     if (i == 0) {
-      params = header;
-    } else if (header.m != params.m || header.id_bits != params.id_bits ||
-               header.chunk_bits != params.chunk_bits) {
+      header = h;
+    } else if (h.params.m != header.params.m ||
+               h.params.id_bits != header.params.id_bits ||
+               h.params.chunk_bits != header.params.chunk_bits ||
+               h.policy != header.policy || h.shards != header.shards) {
       throw std::runtime_error(
           "gd stream: mixed parameters across parallel containers");
     }
   }
 
   std::vector<std::vector<std::uint8_t>> outputs(containers.size());
-  engine::ParallelPipeline<ContainerDecodeStage> pool(
-      params, {.workers = workers},
+  engine::ParallelPipeline<ContainerDecodeStage> pipeline(
+      header.params,
+      pool_pipeline_options(pool, header.policy, header.shards),
       [&](const engine::ParallelPipeline<ContainerDecodeStage>::Unit& unit) {
         const auto bytes = unit.output->bytes();
         outputs[unit.seq].assign(bytes.begin(), bytes.end());
       });
   for (std::size_t i = 0; i < containers.size(); ++i) {
-    pool.submit(static_cast<std::uint32_t>(i), containers[i]);
+    pipeline.submit(static_cast<std::uint32_t>(i), containers[i]);
   }
-  pool.flush();
+  pipeline.flush();
   return outputs;
+}
+
+std::vector<std::vector<std::uint8_t>> gd_stream_decompress_parallel(
+    std::span<const std::span<const std::uint8_t>> containers,
+    std::size_t workers) {
+  StreamPoolOptions pool;
+  pool.workers = workers;
+  return gd_stream_decompress_parallel(containers, pool);
 }
 
 }  // namespace zipline::gd

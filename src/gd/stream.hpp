@@ -5,13 +5,18 @@
 // random access). This container frames a GdEncoder's packet stream so a
 // byte buffer (or file) can be compressed and reconstructed stand-alone:
 //
-//   magic "GDZ1" | version | m | id_bits | chunk_bits | policy | reserved
+//   magic "GDZ1" | version | m | id_bits | chunk_bits | policy | shards
 //   record*: tag (1 B: packet type, 0x7F = raw tail) | payload
 //   tag 0x00 terminates the stream; a CRC-32 trailer covers the records.
 //
-// Types 2/3 have fixed payload sizes derived from the header parameters;
-// raw tails carry an explicit 32-bit length. Both sides run the mirrored-
-// learning codec, so no dictionary is stored — it rebuilds during decode.
+// Header version 2 (this code) records the eviction policy and the
+// dictionary shard count, so a decoder rebuilds the exact dictionary the
+// encoder ran — mismatched or unknown values are rejected at decode.
+// Version-1 containers (LRU, single shard, reserved byte zero) still
+// decode. Types 2/3 have fixed payload sizes derived from the header
+// parameters; raw tails carry an explicit 32-bit length. Both sides run
+// the mirrored-learning codec, so no dictionary is stored — it rebuilds
+// during decode.
 #pragma once
 
 #include <cstdint>
@@ -40,35 +45,71 @@ struct StreamStats {
 /// hardware container to align), everything else as the paper.
 [[nodiscard]] GdParams stream_default_params();
 
-/// Compresses a buffer into a GD stream container.
+/// Compresses a buffer into a GD stream container. The eviction policy and
+/// dictionary shard count are recorded in the header (format v2), so the
+/// decoder replays the identical dictionary; shard counts up to 255 fit
+/// the header byte.
 [[nodiscard]] std::vector<std::uint8_t> gd_stream_compress(
     std::span<const std::uint8_t> input,
     const GdParams& params = stream_default_params(),
-    StreamStats* stats = nullptr);
+    StreamStats* stats = nullptr,
+    EvictionPolicy policy = EvictionPolicy::lru,
+    std::size_t dictionary_shards = 1);
 
 /// Decompresses a GD stream container. Throws std::runtime_error on
-/// malformed input (bad magic, bad sizes, CRC mismatch).
+/// malformed input (bad magic, bad sizes, unknown policy, invalid shard
+/// count, CRC mismatch).
 [[nodiscard]] std::vector<std::uint8_t> gd_stream_decompress(
     std::span<const std::uint8_t> container);
 
 // --- multi-stream batch API over the engine's worker pool -----------------
-// Each input is an independent stream (its own flow, its own dictionary),
-// so the units parallelize across engine::ParallelEncoder workers while
-// every produced container stays byte-identical to gd_stream_compress /
-// gd_stream_decompress run serially on the same input.
 
-/// Compresses many independent buffers concurrently on `workers` threads.
-/// Returns one container per input, index-aligned; `stats`, when non-null,
-/// is filled with one per-stream StreamStats, index-aligned.
+/// How a pool call runs its streams across the workers.
+struct StreamPoolOptions {
+  std::size_t workers = 1;
+  /// Eviction policy / dictionary shards for the encode side (recorded in
+  /// every produced header). Ignored by decompression, which follows the
+  /// containers' headers.
+  EvictionPolicy policy = EvictionPolicy::lru;
+  std::size_t dictionary_shards = 1;
+  /// false: every stream owns a private dictionary — each container is
+  /// self-contained and byte-identical to the serial gd_stream_compress.
+  /// true: ALL streams of the call share one dictionary service (the
+  /// switch's one-table-per-direction reality, with load-aware steering
+  /// and work stealing across the pool): streams deduplicate against each
+  /// other and dictionary memory stays constant in the stream and worker
+  /// counts — but the produced containers form a SET, decodable only by
+  /// gd_stream_decompress_parallel given the same containers in the same
+  /// order with shared_dictionary set.
+  bool shared_dictionary = false;
+};
+
+/// Compresses many buffers concurrently. Returns one container per input,
+/// index-aligned; `stats`, when non-null, is filled with one per-stream
+/// StreamStats, index-aligned.
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> gd_stream_compress_parallel(
+    std::span<const std::span<const std::uint8_t>> inputs,
+    const GdParams& params, const StreamPoolOptions& pool,
+    std::vector<StreamStats>* stats = nullptr);
+
+/// Back-compat convenience: private dictionaries on `workers` threads.
 [[nodiscard]] std::vector<std::vector<std::uint8_t>> gd_stream_compress_parallel(
     std::span<const std::span<const std::uint8_t>> inputs,
     const GdParams& params = stream_default_params(), std::size_t workers = 1,
     std::vector<StreamStats>* stats = nullptr);
 
-/// Decompresses many containers concurrently on `workers` threads. All
-/// containers must carry identical header parameters (one worker pool =
-/// one GdParams); throws std::runtime_error otherwise, and on any
-/// malformed container (bad magic, bad sizes, CRC mismatch).
+/// Decompresses many containers concurrently. All containers must carry
+/// identical header parameters, policy and shard count (one worker pool =
+/// one dictionary configuration); throws std::runtime_error otherwise, and
+/// on any malformed container. Set pool.shared_dictionary to decode a set
+/// produced by a shared-dictionary compress call (same order required);
+/// pool.policy / pool.dictionary_shards are taken from the headers.
+[[nodiscard]] std::vector<std::vector<std::uint8_t>>
+gd_stream_decompress_parallel(
+    std::span<const std::span<const std::uint8_t>> containers,
+    const StreamPoolOptions& pool);
+
+/// Back-compat convenience: private dictionaries on `workers` threads.
 [[nodiscard]] std::vector<std::vector<std::uint8_t>>
 gd_stream_decompress_parallel(
     std::span<const std::span<const std::uint8_t>> containers,

@@ -77,10 +77,13 @@ class Host final : public LinkEndpoint {
                           const engine::EncodeBatch& batch, SimTime start_at,
                           std::uint64_t repeat = 1);
 
-  /// Streams several staged batches back to back (round-robin across the
-  /// span, `repeat` full cycles) — the shape the parallel stager produces:
-  /// one batch per worker, all prepared concurrently, then handed to the
-  /// single TX path. The batches must outlive the stream.
+  /// Streams several staged batches back to back (cycling the span in
+  /// index order, `repeat` full cycles) — the shape the parallel stager
+  /// produces: units prepared concurrently across the pool, delivered in
+  /// submission order, then handed to the single TX path. When the stager
+  /// ran with the shared dictionary service (one table per direction, as
+  /// the switch decodes with), index order IS dictionary order, so the
+  /// wire sequence replays exactly. The batches must outlive the stream.
   void start_batch_stream(net::MacAddress dst,
                           std::span<const engine::EncodeBatch> batches,
                           SimTime start_at, std::uint64_t repeat = 1);

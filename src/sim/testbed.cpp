@@ -138,10 +138,18 @@ ThroughputResult run_batch_throughput(prog::SwitchOp op,
 
   std::vector<engine::EncodeBatch> batches(stage_workers);
   if (op == prog::SwitchOp::decode) {
-    // Feed the decoder genuine type-2 packets, each slice pre-encoded into
-    // its own batch by the worker pool (one flow = one private engine).
+    // Feed the decoder genuine type-2 packets. The staging workers share
+    // ONE dictionary service (load-aware steering, ordered resolve) — the
+    // switch they feed holds a single decode table per direction, so the
+    // staged flows must draw identifiers from one consistent space, not
+    // from per-flow private dictionaries that would collide on the wire.
+    engine::ParallelOptions stage_options;
+    stage_options.workers = stage_workers;
+    stage_options.ownership = engine::DictionaryOwnership::shared;
+    stage_options.steering = engine::FlowSteering::load_aware;
+    stage_options.work_stealing = stage_workers > 1;
     engine::ParallelEncoder stager(
-        params, {.workers = stage_workers},
+        params, stage_options,
         [&](const engine::ParallelEncoder::Unit& unit) {
           for (const engine::PacketDesc& desc : unit.output->packets()) {
             batches[unit.seq].append(desc.type, desc.syndrome, desc.basis_id,

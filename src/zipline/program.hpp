@@ -160,10 +160,12 @@ BatchRunResult run_batch(tofino::SwitchModel& sw,
                          SimTime gap = 1);
 
 /// Runs several staged batches through the pipeline back to back — the
-/// shape the parallel stager (engine/parallel.hpp) produces, one batch per
-/// worker. The switch model is a single pipeline (as the hardware is), so
-/// the batches enter sequentially with continuous timestamps; counters and
-/// the returned totals aggregate across the whole span.
+/// shape the parallel stager (engine/parallel.hpp) produces, one unit per
+/// batch in submission order. The switch model is a single pipeline (as
+/// the hardware is) with ONE table per direction, so batches staged by a
+/// shared-dictionary stager (engine::DictionaryOwnership::shared) enter in
+/// exactly the dictionary order they were encoded with; counters and the
+/// returned totals aggregate across the whole span.
 BatchRunResult run_batches(tofino::SwitchModel& sw,
                            std::span<const engine::EncodeBatch> in,
                            engine::EncodeBatch* out,

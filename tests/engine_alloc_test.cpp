@@ -169,6 +169,52 @@ TEST(EngineAllocation, WorkerPoolSteadyStateIsAllocationFree) {
   EXPECT_GT(sink_bytes, 0u);
 }
 
+// The shared-dictionary pipeline keeps the discipline: the one dictionary
+// service, the per-worker engines, the split-phase unit scratch and the
+// steering map are all warm after a few rounds, so steady-state
+// submit/flush cycles allocate nothing on any thread even though every
+// dictionary op takes a shard lock and every resolve phase crosses the
+// turnstile.
+TEST(EngineAllocation, SharedDictionaryPoolSteadyStateIsAllocationFree) {
+  const gd::GdParams params;
+  ParallelOptions options;
+  options.workers = 2;
+  options.queue_depth = 4;
+  options.dictionary_shards = 2;
+  options.ownership = DictionaryOwnership::shared;
+  options.steering = FlowSteering::load_aware;
+
+  Rng rng(0x5A4ED);
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (int flow = 0; flow < 4; ++flow) {
+    payloads.push_back(random_payload(rng, 32 * params.raw_payload_bytes()));
+  }
+
+  std::uint64_t sink_bytes = 0;
+  ParallelEncoder pool(params, options,
+                       [&](const ParallelEncoder::Unit& unit) {
+                         sink_bytes += unit.output->storage_bytes();
+                       });
+  for (int round = 0; round < 4; ++round) {
+    for (std::uint32_t flow = 0; flow < 4; ++flow) {
+      pool.submit(flow, payloads[flow]);
+    }
+    pool.flush();
+  }
+
+  const std::uint64_t before = allocation_count();
+  for (int round = 0; round < 25; ++round) {
+    for (std::uint32_t flow = 0; flow < 4; ++flow) {
+      pool.submit(flow, payloads[flow]);
+    }
+    pool.flush();
+  }
+  EXPECT_EQ(allocation_count(), before)
+      << "steady-state shared-dictionary encode must not touch the heap";
+  EXPECT_EQ(pool.delivered(), pool.submitted());
+  EXPECT_GT(sink_bytes, 0u);
+}
+
 // The contrast case documenting what the adapters cost: the per-chunk
 // GdPacket path allocates (it returns owning packets), which is exactly
 // why batch consumers should hold an Engine instead.

@@ -131,6 +131,64 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(std::size_t{1}, std::size_t{7},
                                          std::size_t{64})));
 
+// The split-phase path (transform -> resolve -> emit, the shared-
+// dictionary pipeline's shape) must compose to the exact bytes and stats
+// of the single-pass encode_payload / decode_batch, for both directions.
+TEST(EngineSplitPhase, ComposesToSinglePassBytesAndStats) {
+  GdParams params;
+  params.id_bits = 5;  // evictions under load
+  Rng rng(0x591);
+  const auto payload =
+      redundant_payload(rng, 64, params.raw_payload_bytes(), 12);
+  std::vector<std::uint8_t> ragged = payload;
+  ragged.resize(ragged.size() + 7, 0xAB);  // raw tail
+
+  Engine single{params};
+  Engine split{params};
+  EncodeBatch single_batch;
+  single.encode_payload(ragged, single_batch);
+
+  EncodeUnit unit;
+  EncodeBatch split_batch;
+  split.encode_transform(ragged, unit);
+  split.encode_resolve(unit);
+  split.encode_emit(unit, split_batch);
+
+  ASSERT_EQ(split_batch.size(), single_batch.size());
+  for (std::size_t i = 0; i < single_batch.size(); ++i) {
+    EXPECT_EQ(split_batch.packet(i).type, single_batch.packet(i).type);
+    const auto a = single_batch.payload(i);
+    const auto b = split_batch.payload(i);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+        << "packet " << i;
+  }
+  EXPECT_EQ(split.stats().chunks, single.stats().chunks);
+  EXPECT_EQ(split.stats().compressed_packets,
+            single.stats().compressed_packets);
+  EXPECT_EQ(split.stats().bytes_out, single.stats().bytes_out);
+  EXPECT_EQ(split.stats().batches, single.stats().batches);
+
+  // Decode side: parse -> resolve -> emit equals decode_batch.
+  Engine dec_single{params};
+  Engine dec_split{params};
+  DecodeBatch out_single;
+  dec_single.decode_batch(single_batch, out_single);
+
+  DecodeUnit dunit;
+  DecodeBatch out_split;
+  dec_split.decode_parse(split_batch, dunit);
+  dec_split.decode_resolve(dunit);
+  dec_split.decode_emit(dunit, out_split);
+
+  const auto x = out_single.bytes();
+  const auto y = out_split.bytes();
+  ASSERT_TRUE(std::equal(x.begin(), x.end(), y.begin(), y.end()));
+  EXPECT_EQ(std::vector<std::uint8_t>(y.begin(), y.end()), ragged);
+  EXPECT_EQ(dec_split.stats().uncompressed_packets,
+            dec_single.stats().uncompressed_packets);
+  EXPECT_EQ(dec_split.stats().bytes_in, dec_single.stats().bytes_in);
+}
+
 TEST(EncodeBatch, ClearKeepsCapacity) {
   Engine engine{GdParams{}};
   Rng rng(2);

@@ -1,0 +1,417 @@
+// Load-aware flow steering + shared-dictionary correctness properties.
+//
+// The acceptance property of the shared dictionary service: a parallel
+// pipeline whose workers share one ConcurrentShardedDictionary, with
+// power-of-two-choices placement and work stealing, fed a heavily skewed
+// (Zipf) flow distribution, must
+//
+//   1. deliver units in global submission order (hence per-flow in order),
+//   2. produce output BYTE-IDENTICAL to one single-threaded Engine
+//      processing every unit in submission order (the ordered resolve
+//      turnstile pins the dictionary op sequence), and
+//   3. decode back to the exact submitted payloads — through a serial
+//      shared-style engine as well as through a shared parallel decoder —
+//   across all eviction policies × shard counts {1, 2, 8} × worker counts.
+#include "engine/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace zipline::engine {
+namespace {
+
+using gd::EvictionPolicy;
+using gd::GdParams;
+
+/// Value snapshot of an encoded batch (descriptors + arena bytes).
+struct BatchImage {
+  std::vector<PacketDesc> packets;
+  std::vector<std::uint8_t> storage;
+
+  static BatchImage of(const EncodeBatch& batch) {
+    BatchImage image;
+    image.packets.assign(batch.packets().begin(), batch.packets().end());
+    image.storage.assign(batch.storage().begin(), batch.storage().end());
+    return image;
+  }
+
+  friend bool operator==(const BatchImage& a, const BatchImage& b) {
+    if (a.storage != b.storage || a.packets.size() != b.packets.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a.packets.size(); ++i) {
+      const PacketDesc& x = a.packets[i];
+      const PacketDesc& y = b.packets[i];
+      if (x.type != y.type || x.offset != y.offset || x.size != y.size ||
+          x.syndrome != y.syndrome || x.basis_id != y.basis_id) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+/// Zipf(s≈1.1) sampler over `n` flows: flow 0 dominates, the tail is long
+/// — the skew that starves a static flow % workers pin.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s) {
+    cdf_.reserve(n);
+    double total = 0;
+    for (std::size_t k = 1; k <= n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k), s);
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  std::uint32_t operator()(Rng& rng) const {
+    const double u = rng.next_double();
+    for (std::size_t i = 0; i < cdf_.size(); ++i) {
+      if (u <= cdf_[i]) return static_cast<std::uint32_t>(i);
+    }
+    return static_cast<std::uint32_t>(cdf_.size() - 1);
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct Schedule {
+  std::vector<std::uint32_t> flows;
+  std::vector<std::vector<std::uint8_t>> payloads;
+};
+
+/// Zipf-skewed submission schedule with enough chunk redundancy (within
+/// AND across flows — the shared dictionary deduplicates both) for hits,
+/// misses and evictions, plus ragged raw tails.
+Schedule make_zipf_schedule(Rng& rng, const GdParams& params,
+                            std::size_t units, std::size_t flow_count) {
+  const Zipf zipf(flow_count, 1.1);
+  Schedule schedule;
+  const std::size_t chunk_bytes = params.raw_payload_bytes();
+  std::vector<std::vector<std::uint8_t>> pool;
+  for (std::size_t i = 0; i < 24; ++i) {
+    std::vector<std::uint8_t> chunk(chunk_bytes);
+    for (auto& b : chunk) b = static_cast<std::uint8_t>(rng.next_u64());
+    pool.push_back(chunk);
+  }
+  for (std::size_t u = 0; u < units; ++u) {
+    schedule.flows.push_back(zipf(rng));
+    const std::size_t chunks = 1 + rng.next_below(10);
+    std::vector<std::uint8_t> payload;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      auto chunk = pool[rng.next_below(pool.size())];
+      if (rng.next_bool(0.35)) {
+        chunk[rng.next_below(chunk.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.next_below(8));
+      }
+      payload.insert(payload.end(), chunk.begin(), chunk.end());
+    }
+    if (rng.next_bool(0.25)) {
+      for (std::size_t t = 0; t < 1 + rng.next_below(12); ++t) {
+        payload.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+      }
+    }
+    schedule.payloads.push_back(std::move(payload));
+  }
+  return schedule;
+}
+
+/// The serial reference for the shared dictionary: ONE engine (hence one
+/// dictionary) encodes every unit in submission order, exactly as the
+/// switch's single table sees the interleaved flows of its direction.
+std::vector<BatchImage> serial_shared_reference(const GdParams& params,
+                                                const ParallelOptions& options,
+                                                const Schedule& schedule) {
+  Engine engine(params, options.policy, options.learn,
+                options.dictionary_shards);
+  std::vector<BatchImage> images;
+  EncodeBatch batch;
+  for (const auto& payload : schedule.payloads) {
+    batch.clear();
+    engine.encode_payload(payload, batch);
+    images.push_back(BatchImage::of(batch));
+  }
+  return images;
+}
+
+ParallelOptions shared_options(EvictionPolicy policy, std::size_t shards,
+                               std::size_t workers) {
+  ParallelOptions options;
+  options.workers = workers;
+  options.queue_depth = 4;  // small rings -> backpressure + steal pressure
+  options.dictionary_shards = shards;
+  options.policy = policy;
+  options.ownership = DictionaryOwnership::shared;
+  options.steering = FlowSteering::load_aware;
+  options.work_stealing = workers > 1;
+  return options;
+}
+
+class SteeringProperty
+    : public ::testing::TestWithParam<
+          std::tuple<EvictionPolicy, std::size_t, std::size_t>> {};
+
+// Acceptance: shared-dictionary parallel encode under Zipf skew with p2c
+// steering + work stealing is byte-identical to the serial engine, unit
+// for unit, and the whole stream decodes back to the submitted payloads.
+TEST_P(SteeringProperty, SharedDictionaryZipfIsDecodeIdenticalToSerial) {
+  const auto [policy, shards, workers] = GetParam();
+  GdParams params;
+  params.id_bits = 5;  // 32 identifiers -> evictions under load
+  const ParallelOptions options = shared_options(policy, shards, workers);
+
+  Rng rng(0x21FF + static_cast<std::uint64_t>(policy) * 131 + shards * 17 +
+          workers * 3);
+  const Schedule schedule = make_zipf_schedule(rng, params, 150, 12);
+  const auto expected = serial_shared_reference(params, options, schedule);
+
+  std::vector<BatchImage> actual(schedule.flows.size());
+  std::uint64_t expected_seq = 0;
+  ParallelEncoder encoder(params, options,
+                          [&](const ParallelEncoder::Unit& unit) {
+                            // Ordered drain: global submission order, which
+                            // subsumes per-flow order.
+                            EXPECT_EQ(unit.seq, expected_seq++);
+                            actual[unit.seq] = BatchImage::of(*unit.output);
+                          });
+  for (std::size_t u = 0; u < schedule.flows.size(); ++u) {
+    encoder.submit(schedule.flows[u], schedule.payloads[u]);
+  }
+  encoder.flush();
+  ASSERT_EQ(encoder.delivered(), schedule.flows.size());
+
+  for (std::size_t u = 0; u < schedule.flows.size(); ++u) {
+    ASSERT_TRUE(actual[u] == expected[u])
+        << "unit " << u << " (flow " << schedule.flows[u]
+        << ") diverged from the serial shared-dictionary engine";
+  }
+
+  // One shared service, not one per worker: its insertion count matches
+  // the single serial dictionary exactly.
+  ASSERT_NE(encoder.shared_dictionary(), nullptr);
+  Engine serial(params, options.policy, options.learn,
+                options.dictionary_shards);
+  EncodeBatch scratch;
+  for (const auto& payload : schedule.payloads) {
+    scratch.clear();
+    serial.encode_payload(payload, scratch);
+  }
+  EXPECT_EQ(encoder.shared_dictionary()->stats().insertions,
+            serial.dictionary().stats().insertions);
+
+  // Decode-identical: a serial engine decoding the delivered stream in
+  // order recovers every payload bit-exactly (the parallel-encoded stream
+  // replays like a serial one because resolve order == submission order).
+  Engine decoder(params, options.policy, options.learn,
+                 options.dictionary_shards);
+  for (std::size_t u = 0; u < schedule.flows.size(); ++u) {
+    EncodeBatch encoded;
+    for (const PacketDesc& desc : actual[u].packets) {
+      encoded.append(desc.type, desc.syndrome, desc.basis_id,
+                     std::span(actual[u].storage)
+                         .subspan(desc.offset, desc.size));
+    }
+    DecodeBatch decoded;
+    decoder.decode_batch(encoded, decoded);
+    const auto bytes = decoded.bytes();
+    EXPECT_EQ(std::vector<std::uint8_t>(bytes.begin(), bytes.end()),
+              schedule.payloads[u])
+        << "unit " << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesShardsWorkers, SteeringProperty,
+    ::testing::Combine(::testing::Values(EvictionPolicy::lru,
+                                         EvictionPolicy::fifo,
+                                         EvictionPolicy::random),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{8}),
+                       ::testing::Values(std::size_t{1}, std::size_t{4})));
+
+// The full parallel round trip: shared parallel encode, then shared
+// parallel DECODE of the delivered stream (same submission order) — the
+// decoder's sequenced resolve replays the encoder's op order, so mirrored
+// shared dictionaries stay synchronized across thread boundaries.
+TEST(FlowSteering, SharedParallelDecodeMirrorsSharedParallelEncode) {
+  GdParams params;
+  params.id_bits = 6;
+  const ParallelOptions options =
+      shared_options(EvictionPolicy::lru, 2, /*workers=*/3);
+
+  Rng rng(0xD1CE);
+  const Schedule schedule = make_zipf_schedule(rng, params, 120, 10);
+
+  std::vector<EncodeBatch> encoded(schedule.flows.size());
+  ParallelEncoder encoder(params, options,
+                          [&](const ParallelEncoder::Unit& unit) {
+                            for (const PacketDesc& desc :
+                                 unit.output->packets()) {
+                              encoded[unit.seq].append(
+                                  desc.type, desc.syndrome, desc.basis_id,
+                                  unit.output->payload(desc));
+                            }
+                          });
+  for (std::size_t u = 0; u < schedule.flows.size(); ++u) {
+    encoder.submit(schedule.flows[u], schedule.payloads[u]);
+  }
+  encoder.flush();
+
+  std::vector<std::vector<std::uint8_t>> decoded(schedule.flows.size());
+  ParallelDecoder decoder(params, options,
+                          [&](const ParallelDecoder::Unit& unit) {
+                            const auto bytes = unit.output->bytes();
+                            decoded[unit.seq].assign(bytes.begin(),
+                                                     bytes.end());
+                          });
+  for (std::size_t u = 0; u < schedule.flows.size(); ++u) {
+    decoder.submit(schedule.flows[u], &encoded[u]);
+  }
+  decoder.flush();
+
+  for (std::size_t u = 0; u < schedule.flows.size(); ++u) {
+    EXPECT_EQ(decoded[u], schedule.payloads[u]) << "unit " << u;
+  }
+}
+
+// p2c placement must respect stickiness: every unit of a flow runs through
+// the worker chosen at the flow's first unit (what preserves per-flow
+// submission order on one ring), and under skew the hot flows must not all
+// collapse onto one worker.
+TEST(FlowSteering, LoadAwarePlacementIsStickyAndSpreads) {
+  GdParams params;
+  ParallelOptions options = shared_options(EvictionPolicy::lru, 1,
+                                           /*workers=*/4);
+  options.work_stealing = false;  // placement only
+
+  Rng rng(0x5EED);
+  const Schedule schedule = make_zipf_schedule(rng, params, 200, 32);
+  ParallelEncoder encoder(params, options, nullptr);
+  for (std::size_t u = 0; u < schedule.flows.size(); ++u) {
+    encoder.submit(schedule.flows[u], schedule.payloads[u]);
+    // Sticky: the mapping the steerer records never changes afterwards.
+    const auto worker = encoder.flow_worker(schedule.flows[u]);
+    ASSERT_TRUE(worker.has_value());
+  }
+  encoder.flush();
+
+  std::vector<std::size_t> flows_per_worker(options.workers, 0);
+  std::vector<bool> seen(32, false);
+  for (std::uint32_t flow = 0; flow < 32; ++flow) {
+    const auto worker = encoder.flow_worker(flow);
+    if (!worker.has_value()) continue;
+    ++flows_per_worker[*worker];
+  }
+  (void)seen;
+  // Two-choice placement over 4 workers and ~32 flows: no worker ends up
+  // empty and no worker hoards everything.
+  std::size_t populated = 0;
+  std::size_t max_flows = 0;
+  std::size_t total = 0;
+  for (const std::size_t count : flows_per_worker) {
+    if (count > 0) ++populated;
+    max_flows = std::max(max_flows, count);
+    total += count;
+  }
+  EXPECT_GE(populated, 3u);
+  EXPECT_LT(max_flows, total);
+}
+
+// Free-running shared mode (ordered=false): no byte determinism, but the
+// compound miss-then-learn dictionary transitions are atomic per stripe,
+// so many workers racing to learn the SAME fresh bases must never trip
+// the insert-absent contract — every unit is delivered exactly once and
+// flush() never throws. (The TSan CI job runs this under contention.)
+TEST(FlowSteering, UnorderedSharedModeToleratesRacingLearners) {
+  GdParams params;
+  ParallelOptions options;
+  options.workers = 4;
+  options.queue_depth = 2;
+  options.ordered = false;
+  options.ownership = DictionaryOwnership::shared;
+  options.steering = FlowSteering::load_aware;
+
+  Rng rng(0xACE5);
+  std::vector<std::uint8_t> payload(24 * params.raw_payload_bytes());
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+
+  std::size_t delivered = 0;
+  ParallelEncoder encoder(params, options,
+                          [&](const ParallelEncoder::Unit&) { ++delivered; });
+  // Every flow submits the identical fresh payload: all workers race to
+  // learn the same 24 bases at once, repeatedly.
+  for (int round = 0; round < 8; ++round) {
+    for (std::uint32_t flow = 0; flow < 8; ++flow) {
+      encoder.submit(flow, payload);
+    }
+    encoder.flush();
+  }
+  EXPECT_EQ(delivered, 64u);
+  ASSERT_NE(encoder.shared_dictionary(), nullptr);
+  EXPECT_EQ(encoder.shared_dictionary()->size(), 24u)
+      << "each basis learned exactly once despite the races";
+}
+
+// Work stealing requires the shared dictionary + ordered drain — a private
+// per-flow dictionary on a stolen worker would fork the flow's replay.
+TEST(FlowSteering, WorkStealingRequiresSharedOrderedPipeline) {
+  GdParams params;
+  ParallelOptions options;
+  options.workers = 2;
+  options.work_stealing = true;  // per_flow ownership: must be rejected
+  EXPECT_THROW(ParallelEncoder(params, options, nullptr), ContractViolation);
+
+  options.ownership = DictionaryOwnership::shared;
+  options.ordered = false;
+  EXPECT_THROW(ParallelEncoder(params, options, nullptr), ContractViolation);
+}
+
+// A stage failure inside the shared split-phase path must advance the
+// resolve turnstile (or every later unit deadlocks) and surface at
+// flush(), exactly like the private mode.
+TEST(FlowSteering, SharedModeStageExceptionsSurfaceAtFlush) {
+  GdParams params;
+  const ParallelOptions options =
+      shared_options(EvictionPolicy::lru, 1, /*workers=*/2);
+
+  // A compressed packet referencing an identifier nobody ever installed.
+  EncodeBatch poisoned;
+  const std::vector<std::uint8_t> body(params.type3_payload_bytes(), 0);
+  poisoned.append(gd::PacketType::compressed, 0, 0, body);
+
+  Engine encoder{params};
+  Rng rng(0xBAD2);
+  std::vector<std::uint8_t> payload(4 * params.raw_payload_bytes());
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+  EncodeBatch healthy;
+  encoder.encode_payload(payload, healthy);
+
+  std::size_t delivered_ok = 0;
+  ParallelDecoder decoder(params, options,
+                          [&](const ParallelDecoder::Unit&) {
+                            ++delivered_ok;
+                          });
+  decoder.submit(/*flow=*/0, &poisoned);
+  decoder.submit(/*flow=*/1, &healthy);
+  EXPECT_THROW(decoder.flush(), ContractViolation);
+  EXPECT_EQ(decoder.delivered(), 2u);
+  // The pipeline (and its turnstile) stays usable afterwards. The healthy
+  // unit may or may not have decoded cleanly depending on what the
+  // poisoned unit taught the shared dictionary before failing; what
+  // matters is that nothing deadlocked and later units flow.
+  decoder.submit(/*flow=*/1, &healthy);
+  decoder.flush();
+  EXPECT_EQ(decoder.delivered(), 3u);
+  EXPECT_GE(delivered_ok, 1u);
+}
+
+}  // namespace
+}  // namespace zipline::engine

@@ -167,5 +167,160 @@ TEST(GdStream, ParallelDecompressRejectsMixedParameters) {
                std::runtime_error);
 }
 
+// --- container format v2: policy + shard count in the header --------------
+
+// The policy byte and the shard count recorded in the v2 header drive the
+// decoder's dictionary, so every policy × shard combination round-trips —
+// including the ones whose identifier allocation diverges from LRU/1.
+TEST(GdStream, RoundTripsEveryPolicyAndShardCount) {
+  Rng rng(90);
+  // Small id space (via m staying default but id_bits shrunk) so evictions
+  // exercise each policy's allocator.
+  GdParams params = stream_default_params();
+  params.id_bits = 6;
+  std::vector<std::uint8_t> data;
+  const auto base = random_bytes(rng, 32);
+  for (int i = 0; i < 300; ++i) {
+    auto chunk = base;
+    chunk[rng.next_below(chunk.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.next_below(8));
+    data.insert(data.end(), chunk.begin(), chunk.end());
+  }
+  for (const auto policy : {EvictionPolicy::lru, EvictionPolicy::fifo,
+                            EvictionPolicy::random}) {
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{8}}) {
+      const auto container =
+          gd_stream_compress(data, params, nullptr, policy, shards);
+      // Header records what the encoder ran.
+      EXPECT_EQ(container[9], static_cast<std::uint8_t>(policy));
+      EXPECT_EQ(container[10], static_cast<std::uint8_t>(shards));
+      EXPECT_EQ(gd_stream_decompress(container), data)
+          << "policy " << static_cast<int>(policy) << " shards " << shards;
+    }
+  }
+}
+
+// A version-1 container (reserved byte zero, no shard byte) still decodes:
+// LRU with a single shard is implied.
+TEST(GdStream, DecodesVersion1Containers) {
+  Rng rng(91);
+  const auto data = random_bytes(rng, 3000);
+  const auto v2 = gd_stream_compress(data);  // LRU, 1 shard
+  // Rewrite the v2 header (11 bytes) as v1 (10 bytes: version 1, one zero
+  // reserved byte, no shard count).
+  std::vector<std::uint8_t> v1(v2.begin(), v2.end());
+  v1[4] = 1;                                  // version
+  v1[9] = 0;                                  // reserved (was policy = lru)
+  v1.erase(v1.begin() + 10);                  // drop the shard byte
+  EXPECT_EQ(gd_stream_decompress(v1), data);
+}
+
+TEST(GdStream, RejectsUnknownPolicyAndBadShardCount) {
+  const auto container = gd_stream_compress({});
+  auto corrupted = container;
+  corrupted[9] = 7;  // no such eviction policy
+  EXPECT_THROW((void)gd_stream_decompress(corrupted), std::runtime_error);
+  corrupted = container;
+  corrupted[10] = 0;  // zero shards
+  EXPECT_THROW((void)gd_stream_decompress(corrupted), std::runtime_error);
+  corrupted = container;
+  corrupted[10] = 7;  // does not divide the 2^15 identifier space
+  EXPECT_THROW((void)gd_stream_decompress(corrupted), std::runtime_error);
+}
+
+TEST(GdStream, ParallelDecompressRejectsMixedPolicies) {
+  Rng rng(92);
+  const auto a = gd_stream_compress(random_bytes(rng, 256));
+  const auto b = gd_stream_compress(random_bytes(rng, 256),
+                                    stream_default_params(), nullptr,
+                                    EvictionPolicy::fifo);
+  const std::span<const std::uint8_t> views[] = {a, b};
+  EXPECT_THROW((void)gd_stream_decompress_parallel(views, 2),
+               std::runtime_error);
+}
+
+// --- shared-dictionary stream pools ---------------------------------------
+
+// With one dictionary service across the pool, later streams compress
+// against what earlier streams taught: identical inputs collapse to
+// almost-nothing after the first stream — the cross-stream redundancy
+// elimination a per-stream dictionary cannot express — and the set decodes
+// back exactly through the mirrored shared pool.
+TEST(GdStream, SharedPoolDeduplicatesAcrossStreams) {
+  Rng rng(93);
+  const auto shared_payload = random_bytes(rng, 6400);  // 200 chunks
+  std::vector<std::vector<std::uint8_t>> inputs(4, shared_payload);
+  std::vector<std::span<const std::uint8_t>> views(inputs.begin(),
+                                                   inputs.end());
+
+  StreamPoolOptions pool;
+  pool.workers = 3;
+  pool.shared_dictionary = true;
+  std::vector<StreamStats> stats;
+  const auto containers =
+      gd_stream_compress_parallel(views, stream_default_params(), pool,
+                                  &stats);
+  ASSERT_EQ(containers.size(), inputs.size());
+  ASSERT_EQ(stats.size(), inputs.size());
+  // Stream 0 learns every basis (type 2); streams 1..3 are pure type 3.
+  EXPECT_EQ(stats[0].uncompressed_packets, 200u);
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    EXPECT_EQ(stats[i].compressed_packets, 200u) << "stream " << i;
+    EXPECT_LT(containers[i].size(), containers[0].size() / 5);
+  }
+
+  // Contrast: a private-dictionary pool re-learns per stream.
+  std::vector<StreamStats> private_stats;
+  const auto private_containers = gd_stream_compress_parallel(
+      views, stream_default_params(), /*workers=*/3, &private_stats);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(private_stats[i].uncompressed_packets, 200u);
+  }
+  (void)private_containers;
+
+  // The shared set round-trips through the mirrored shared decode pool.
+  std::vector<std::span<const std::uint8_t>> container_views(
+      containers.begin(), containers.end());
+  const auto outputs = gd_stream_decompress_parallel(container_views, pool);
+  ASSERT_EQ(outputs.size(), inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    EXPECT_EQ(outputs[i], inputs[i]) << "stream " << i;
+  }
+}
+
+// Mixed workloads through the shared pool: distinct streams with partial
+// overlap and ragged tails still round-trip exactly, across policies.
+TEST(GdStream, SharedPoolRoundTripsMixedStreams) {
+  for (const auto policy : {EvictionPolicy::lru, EvictionPolicy::fifo,
+                            EvictionPolicy::random}) {
+    Rng rng(94 + static_cast<std::uint64_t>(policy));
+    std::vector<std::vector<std::uint8_t>> inputs;
+    const auto common = random_bytes(rng, 1600);
+    for (std::size_t i = 0; i < 6; ++i) {
+      auto data = random_bytes(rng, 300 + i * 217);
+      data.insert(data.end(), common.begin(), common.end());
+      inputs.push_back(std::move(data));
+    }
+    std::vector<std::span<const std::uint8_t>> views(inputs.begin(),
+                                                     inputs.end());
+    StreamPoolOptions pool;
+    pool.workers = 4;
+    pool.policy = policy;
+    pool.dictionary_shards = 2;
+    pool.shared_dictionary = true;
+    const auto containers =
+        gd_stream_compress_parallel(views, stream_default_params(), pool);
+    std::vector<std::span<const std::uint8_t>> container_views(
+        containers.begin(), containers.end());
+    const auto outputs = gd_stream_decompress_parallel(container_views, pool);
+    ASSERT_EQ(outputs.size(), inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      EXPECT_EQ(outputs[i], inputs[i])
+          << "policy " << static_cast<int>(policy) << " stream " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace zipline::gd

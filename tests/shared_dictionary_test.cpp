@@ -1,0 +1,211 @@
+// The shared dictionary service: thread-safety of the striped-lock
+// ConcurrentShardedDictionary, the DictionaryHandle ownership seam, the
+// hash-once lookup path, and the acceptance property that dictionary
+// memory does NOT scale with the worker count (one service per direction).
+#include "gd/concurrent_dictionary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "engine/parallel.hpp"
+#include "gd/dictionary_handle.hpp"
+
+namespace zipline::gd {
+namespace {
+
+bits::BitVector random_basis(Rng& rng, std::size_t bits = 247) {
+  bits::BitVector v(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (rng.next_bool(0.5)) v.set(i);
+  }
+  return v;
+}
+
+// Single-threaded, the concurrent wrapper must make exactly the decisions
+// of the plain deterministic dictionary — the locks change nothing.
+TEST(ConcurrentDictionary, SingleThreadedMatchesShardedDictionary) {
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    ShardedDictionary plain(64, EvictionPolicy::lru, shards);
+    ConcurrentShardedDictionary locked(64, EvictionPolicy::lru, shards);
+    Rng rng(0xC0C0 + shards);
+    std::vector<bits::BitVector> bases;
+    for (int i = 0; i < 200; ++i) bases.push_back(random_basis(rng));
+
+    for (const auto& basis : bases) {
+      const auto a = plain.lookup(basis);
+      const auto b = locked.lookup(basis);
+      ASSERT_EQ(a.has_value(), b.has_value());
+      if (a) {
+        ASSERT_EQ(*a, *b);
+      } else {
+        ASSERT_EQ(plain.insert(basis).id, locked.insert(basis).id);
+      }
+    }
+    EXPECT_EQ(plain.size(), locked.size());
+    EXPECT_EQ(plain.stats().insertions, locked.stats().insertions);
+    EXPECT_EQ(plain.stats().evictions, locked.stats().evictions);
+  }
+}
+
+// The hash-once overloads are equivalent to the hashing ones (the sharded
+// router threads basis.hash() through lookup/insert/install so the basis
+// is hashed exactly once per operation).
+TEST(ConcurrentDictionary, PrecomputedHashOverloadsMatch) {
+  BasisDictionary dict(32, EvictionPolicy::lru);
+  Rng rng(0x4A54);
+  std::vector<bits::BitVector> bases;
+  for (int i = 0; i < 64; ++i) bases.push_back(random_basis(rng));
+
+  for (const auto& basis : bases) {
+    const std::uint64_t hash = basis.hash();
+    EXPECT_EQ(dict.lookup(basis, hash), dict.lookup(basis));
+    EXPECT_EQ(dict.peek(basis, hash), dict.peek(basis));
+    if (!dict.peek(basis, hash)) {
+      (void)dict.insert(basis, hash);
+      EXPECT_EQ(dict.peek(basis), dict.peek(basis, hash));
+    }
+  }
+
+  // install with a precomputed hash round-trips through lookup, and the
+  // displaced mapping is fully forgotten.
+  BasisDictionary target(8, EvictionPolicy::fifo);
+  const auto a = random_basis(rng);
+  const auto b = random_basis(rng);
+  target.install(3, a, a.hash());
+  EXPECT_EQ(target.lookup(a), std::optional<std::uint32_t>{3});
+  target.install(3, b, b.hash());
+  EXPECT_EQ(target.lookup(b), std::optional<std::uint32_t>{3});
+  EXPECT_FALSE(target.lookup(a).has_value());
+}
+
+// Hammer the service from several threads (disjoint and overlapping key
+// sets). Correctness here is the absence of data races (the TSan CI job
+// runs this) plus conserved accounting under the shard locks.
+TEST(ConcurrentDictionary, ParallelHammerConservesAccounting) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kOpsPerThread = 400;
+  ConcurrentShardedDictionary dict(256, EvictionPolicy::lru, 8);
+
+  // A shared pool every thread probes (contended hits / touches); inserts
+  // use thread-unique random bases so no two threads ever race the
+  // insert-absent contract (each individual call is atomic under its shard
+  // lock, but check-then-insert across calls is not).
+  Rng pool_rng(0x9A99);
+  std::vector<bits::BitVector> pool;
+  for (int i = 0; i < 64; ++i) {
+    pool.push_back(random_basis(pool_rng));
+    (void)dict.insert(pool.back());
+  }
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &dict, &pool] {
+      Rng rng(0x7000 + t);
+      bits::BitVector scratch;
+      for (std::size_t op = 0; op < kOpsPerThread; ++op) {
+        if (rng.next_bool(0.5)) {
+          (void)dict.lookup(pool[rng.next_below(pool.size())]);
+        } else if (rng.next_bool(0.5)) {
+          (void)dict.insert(random_basis(rng));
+        } else {
+          const auto id =
+              static_cast<std::uint32_t>(rng.next_below(dict.capacity()));
+          (void)dict.lookup_basis_into(id, scratch);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const DictionaryStats stats = dict.stats();
+  EXPECT_EQ(stats.insertions - stats.evictions, dict.size());
+  EXPECT_LE(dict.size(), dict.capacity());
+}
+
+// Two engines bound to one service see each other's learning: what engine
+// A teaches, engine B compresses against — the cross-flow deduplication
+// the per-flow private dictionaries could never express.
+TEST(DictionaryHandle, EnginesShareOneDictionaryService) {
+  gd::GdParams params;
+  params.id_bits = 6;
+  ConcurrentShardedDictionary service(params.dictionary_capacity(),
+                                      EvictionPolicy::lru, 2);
+  engine::Engine a(params, service);
+  engine::Engine b(params, service);
+  ASSERT_TRUE(a.dictionary_handle().is_shared());
+  EXPECT_EQ(a.dictionary_handle().service(), &service);
+  EXPECT_EQ(b.dictionary_handle().service(), &service);
+
+  Rng rng(0x5AA5);
+  std::vector<std::uint8_t> payload(8 * params.raw_payload_bytes());
+  for (auto& byte : payload) byte = static_cast<std::uint8_t>(rng.next_u64());
+
+  engine::EncodeBatch first;
+  a.encode_payload(payload, first);
+  EXPECT_EQ(a.stats().uncompressed_packets, 8u);  // all fresh bases
+
+  engine::EncodeBatch second;
+  b.encode_payload(payload, second);
+  EXPECT_EQ(b.stats().compressed_packets, 8u)
+      << "engine B must hit every basis engine A taught the shared service";
+
+  // One dictionary: 8 bases total, not 8 per engine.
+  EXPECT_EQ(service.size(), 8u);
+}
+
+// The acceptance criterion: dictionary memory no longer scales with the
+// worker count. However many workers the pipeline runs, there is exactly
+// one service whose insertions match the one-dictionary serial reference —
+// per-flow mode, by contrast, inserts the same basis once per flow.
+TEST(DictionaryHandle, SharedPipelineMemoryDoesNotScaleWithWorkers) {
+  gd::GdParams params;
+  params.id_bits = 10;
+  Rng rng(0x0DD5);
+  std::vector<std::uint8_t> payload(16 * params.raw_payload_bytes());
+  for (auto& byte : payload) byte = static_cast<std::uint8_t>(rng.next_u64());
+  constexpr std::uint32_t kFlows = 6;
+
+  std::vector<std::uint64_t> insertions;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    engine::ParallelOptions options;
+    options.workers = workers;
+    options.ownership = engine::DictionaryOwnership::shared;
+    options.steering = engine::FlowSteering::load_aware;
+    options.work_stealing = workers > 1;
+    engine::ParallelEncoder pool(params, options, nullptr);
+    for (std::uint32_t flow = 0; flow < kFlows; ++flow) {
+      pool.submit(flow, payload);  // every flow sends the SAME payload
+    }
+    pool.flush();
+    ASSERT_NE(pool.shared_dictionary(), nullptr);
+    EXPECT_EQ(pool.shared_dictionary()->size(), 16u)
+        << "one copy of each basis across the whole pool";
+    insertions.push_back(pool.shared_dictionary()->stats().insertions);
+
+    const engine::EngineStats total = pool.aggregate_stats();
+    EXPECT_EQ(total.chunks, 16u * kFlows);
+    // First flow learns, the other five all compress.
+    EXPECT_EQ(total.compressed_packets, 16u * (kFlows - 1));
+  }
+  EXPECT_EQ(insertions[0], 16u);
+  EXPECT_EQ(insertions[1], 16u) << "worker count must not change memory";
+
+  // Contrast: per-flow ownership re-learns the payload once per flow.
+  engine::ParallelOptions private_options;
+  private_options.workers = 4;
+  engine::ParallelEncoder private_pool(params, private_options, nullptr);
+  for (std::uint32_t flow = 0; flow < kFlows; ++flow) {
+    private_pool.submit(flow, payload);
+  }
+  private_pool.flush();
+  EXPECT_EQ(private_pool.shared_dictionary(), nullptr);
+  EXPECT_EQ(private_pool.aggregate_stats().uncompressed_packets,
+            16u * kFlows)
+      << "private dictionaries cannot deduplicate across flows";
+}
+
+}  // namespace
+}  // namespace zipline::gd
