@@ -10,13 +10,13 @@
 // line rate; encode/decode are indistinguishable from no-op because the
 // pipeline latency of a compiled Tofino program is constant.
 //
-// A third section sweeps the engine's multi-core stager
-// (engine/parallel.hpp): wall-clock encode throughput of the worker pool
-// across worker counts, dictionary-shard counts and dictionary ownership
-// (private per-flow vs the shared service, with and without work
-// stealing), plus the simulated receiver rate with parallel-staged
-// traffic (flat by construction — the switch is per-packet; staging cost
-// is what parallelizes).
+// A third section sweeps a zipline::Node (io/node.hpp, the facade over
+// the engine's worker pool): wall-clock encode throughput across worker
+// counts, dictionary-shard counts and dictionary ownership (private
+// per-flow vs the shared service, with and without work stealing), plus
+// the simulated receiver rate with parallel-staged traffic (flat by
+// construction — the switch is per-packet; staging cost is what
+// parallelizes).
 //
 // Every measurement is also appended to BENCH_fig4_throughput.json
 // (machine-readable, one object per row) so the perf trajectory can be
@@ -32,7 +32,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "engine/parallel.hpp"
+#include "io/node.hpp"
 #include "sim/stats.hpp"
 #include "sim/testbed.hpp"
 
@@ -79,12 +79,12 @@ std::string json_rate_row(const char* section, const char* op,
   return buf;
 }
 
-/// Redundant multi-flow workload for the stager sweep: every flow draws
-/// chunks from a small pool with bit noise, so hits, misses and evictions
-/// all occur, as in the Fig. 3 traffic.
+/// Redundant multi-flow workload for the stager sweep, staged as one
+/// burst (one packet = one unit = one flow's payload): every flow draws
+/// chunks from a small pool with bit noise, so hits, misses and
+/// evictions all occur, as in the Fig. 3 traffic.
 struct StagerWorkload {
-  std::vector<std::uint32_t> flows;
-  std::vector<std::vector<std::uint8_t>> payloads;
+  io::Burst burst;
   std::size_t total_bytes = 0;
 };
 
@@ -100,11 +100,10 @@ StagerWorkload make_stager_workload(std::size_t flow_count,
     pool.push_back(chunk);
   }
   StagerWorkload w;
+  std::vector<std::uint8_t> payload;
   for (std::size_t u = 0; u < units_per_flow; ++u) {
     for (std::size_t f = 0; f < flow_count; ++f) {
-      w.flows.push_back(static_cast<std::uint32_t>(f));
-      std::vector<std::uint8_t> payload;
-      payload.reserve(chunks_per_unit * chunk_bytes);
+      payload.clear();
       for (std::size_t c = 0; c < chunks_per_unit; ++c) {
         auto chunk = pool[rng.next_below(pool.size())];
         if (rng.next_bool(0.25)) {
@@ -114,20 +113,21 @@ StagerWorkload make_stager_workload(std::size_t flow_count,
         payload.insert(payload.end(), chunk.begin(), chunk.end());
       }
       w.total_bytes += payload.size();
-      w.payloads.push_back(std::move(payload));
+      io::PacketMeta meta;
+      meta.flow = static_cast<std::uint32_t>(f);
+      w.burst.append(gd::PacketType::raw, 0, 0, payload, meta);
     }
   }
   return w;
 }
 
-/// One timed pass: submit every unit, flush, return seconds.
-double time_stager_pass(engine::ParallelEncoder& pool,
-                        const StagerWorkload& w) {
+/// One timed pass: the whole workload burst through the node (one
+/// process() call = submit every unit + flush), return seconds.
+double time_stager_pass(io::Node& node, const StagerWorkload& w,
+                        io::Burst& out) {
   const auto start = std::chrono::steady_clock::now();
-  for (std::size_t u = 0; u < w.flows.size(); ++u) {
-    pool.submit(w.flows[u], w.payloads[u]);
-  }
-  pool.flush();
+  out.clear();
+  node.process(w.burst, out);
   const auto stop = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(stop - start).count();
 }
@@ -208,18 +208,20 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Multi-core stager sweep: wall-clock encode throughput of the engine's
-  // worker pool (ordered drain, so output is byte-identical to the serial
-  // engine) across worker counts, dictionary-shard counts and dictionary
-  // ownership. `private` gives every flow its own dictionary; `shared`
-  // runs all workers against ONE ConcurrentShardedDictionary (sequenced
-  // resolve phases, striped shard locks), and `shared+steal` adds
-  // load-aware p2c placement plus work stealing. Scaling tracks the
-  // machine's core count — on a single-core host the curves are flat.
-  std::printf("\n=== Fig. 4 companion: parallel stager encode throughput"
+  // Multi-core stager sweep: wall-clock encode throughput of a
+  // zipline::Node (ordered drain, so output is byte-identical to the
+  // workers=1 serial arrangement) across worker counts, dictionary-shard
+  // counts and dictionary ownership. `private` gives every flow its own
+  // dictionary; `shared` runs all workers against ONE
+  // ConcurrentShardedDictionary (sequenced resolve phases, striped shard
+  // locks), and `shared+steal` adds load-aware p2c placement plus work
+  // stealing. workers=1 is the node's serial (threadless) arrangement —
+  // the speedup baseline. Scaling tracks the machine's core count — on a
+  // single-core host the curves are flat.
+  std::printf("\n=== Fig. 4 companion: parallel node encode throughput"
               " ===\n");
-  std::printf("(hardware_concurrency = %u; speedup is vs workers=1 in the"
-              " same mode/shards)\n\n",
+  std::printf("(hardware_concurrency = %u; speedup is vs the serial"
+              " workers=1 node in the same mode/shards)\n\n",
               std::thread::hardware_concurrency());
   const auto workload =
       make_stager_workload(/*flow_count=*/8,
@@ -239,11 +241,12 @@ int main(int argc, char** argv) {
   };
   std::printf("%-14s %-8s %-8s %12s %10s\n", "mode", "workers", "shards",
               "MB/s", "speedup");
+  io::Burst stager_out;
   for (const Mode& mode : modes) {
     for (const std::size_t shards : shard_counts) {
       double base_mbps = 0;
       for (const std::size_t workers : worker_counts) {
-        engine::ParallelOptions options;
+        io::NodeOptions options;
         options.workers = workers;
         options.dictionary_shards = shards;
         options.ownership = mode.ownership;
@@ -251,11 +254,11 @@ int main(int argc, char** argv) {
           options.steering = engine::FlowSteering::load_aware;
           options.work_stealing = mode.steal && workers > 1;
         }
-        engine::ParallelEncoder pool(gd::GdParams{}, options, nullptr);
-        (void)time_stager_pass(pool, workload);  // warmup: learn + arenas
+        io::Node node(options);
+        (void)time_stager_pass(node, workload, stager_out);  // warmup
         std::vector<double> mbps;
         for (int rep = 0; rep < (quick ? 3 : 5); ++rep) {
-          const double secs = time_stager_pass(pool, workload);
+          const double secs = time_stager_pass(node, workload, stager_out);
           mbps.push_back(static_cast<double>(workload.total_bytes) / secs /
                          1e6);
         }

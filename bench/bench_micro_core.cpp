@@ -17,9 +17,9 @@
 #include "crc/syndrome_crc.hpp"
 #include "engine/engine.hpp"
 #include "gd/concurrent_dictionary.hpp"
-#include "engine/parallel.hpp"
 #include "gd/codec.hpp"
 #include "gd/transform.hpp"
+#include "io/node.hpp"
 #include "trace/synthetic.hpp"
 #include "zipline/program.hpp"
 
@@ -255,39 +255,75 @@ BENCHMARK(BM_ConcurrentDictionaryLookup)
     ->Threads(2)
     ->Threads(4);
 
-// Worker-pool encode: one submit+flush cycle over a fixed 8-flow workload.
-// Wall-clock scaling with range(0) workers tracks the host's core count
-// (flat on a single-core machine); bench_fig4_throughput sweeps this
-// against dictionary shard counts with throughput reporting.
-void BM_ParallelEncode(benchmark::State& state) {
+// Node burst encode: one process() pass (submit every unit + flush) over
+// a fixed 8-flow burst through the zipline::Node facade. Wall-clock
+// scaling with range(0) workers tracks the host's core count (flat on a
+// single-core machine; workers=1 is the threadless serial arrangement);
+// bench_fig4_throughput sweeps this against dictionary shard counts and
+// ownership modes with throughput reporting.
+void BM_NodeEncodeBurst(benchmark::State& state) {
   const gd::GdParams params;
-  engine::ParallelOptions options;
+  io::NodeOptions options;
+  options.params = params;
   options.workers = static_cast<std::size_t>(state.range(0));
   Rng rng(9);
-  std::vector<std::vector<std::uint8_t>> payloads;
-  for (int flow = 0; flow < 8; ++flow) {
-    payloads.push_back(std::vector<std::uint8_t>(64 *
-                                                 params.raw_payload_bytes()));
-    for (auto& b : payloads.back()) {
-      b = static_cast<std::uint8_t>(rng.next_u64());
-    }
-  }
-  engine::ParallelEncoder pool(params, options, nullptr);
+  io::Burst in;
+  std::vector<std::uint8_t> payload(64 * params.raw_payload_bytes());
   for (std::uint32_t flow = 0; flow < 8; ++flow) {
-    pool.submit(flow, payloads[flow]);  // warm every flow engine
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+    io::PacketMeta meta;
+    meta.flow = flow;
+    in.append(gd::PacketType::raw, 0, 0, payload, meta);
   }
-  pool.flush();
+  io::Node node(options);
+  io::Burst out;
+  node.process(in, out);  // warm every flow engine + arenas
   std::int64_t bytes = 0;
   for (auto _ : state) {
-    for (std::uint32_t flow = 0; flow < 8; ++flow) {
-      pool.submit(flow, payloads[flow]);
-      bytes += static_cast<std::int64_t>(payloads[flow].size());
-    }
-    pool.flush();
+    out.clear();
+    node.process(in, out);
+    bytes += static_cast<std::int64_t>(8 * payload.size());
+    benchmark::DoNotOptimize(out.batch().storage().data());
   }
   state.SetBytesProcessed(bytes);
 }
-BENCHMARK(BM_ParallelEncode)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_NodeEncodeBurst)->Arg(1)->Arg(2)->Arg(4);
+
+// The same burst against the shared-dictionary node (one table, p2c
+// steering + stealing past workers=1): what the one-table-per-direction
+// switch reality costs relative to private per-flow dictionaries above.
+void BM_NodeEncodeBurstShared(benchmark::State& state) {
+  const gd::GdParams params;
+  io::NodeOptions options;
+  options.params = params;
+  options.workers = static_cast<std::size_t>(state.range(0));
+  options.ownership = engine::DictionaryOwnership::shared;
+  if (options.workers > 1) {
+    options.steering = engine::FlowSteering::load_aware;
+    options.work_stealing = true;
+  }
+  Rng rng(9);
+  io::Burst in;
+  std::vector<std::uint8_t> payload(64 * params.raw_payload_bytes());
+  for (std::uint32_t flow = 0; flow < 8; ++flow) {
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+    io::PacketMeta meta;
+    meta.flow = flow;
+    in.append(gd::PacketType::raw, 0, 0, payload, meta);
+  }
+  io::Node node(options);
+  io::Burst out;
+  node.process(in, out);
+  std::int64_t bytes = 0;
+  for (auto _ : state) {
+    out.clear();
+    node.process(in, out);
+    bytes += static_cast<std::int64_t>(8 * payload.size());
+    benchmark::DoNotOptimize(out.batch().storage().data());
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_NodeEncodeBurstShared)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_DeflateSensorTrace(benchmark::State& state) {
   trace::SyntheticSensorConfig config;

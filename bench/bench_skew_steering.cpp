@@ -1,0 +1,184 @@
+// Skew-sensitivity sweep for the flow-steering policies (ROADMAP item).
+//
+// Real traffic is Zipf-skewed: a handful of elephant flows dominate. A
+// static flow % workers pin strands the pool behind whichever worker
+// drew the elephants; power-of-two-choices placement spreads the load at
+// flow-arrival time, and work stealing rebalances at unit granularity
+// (legal precisely because the shared dictionary makes any-core-any-flow
+// correct — see engine/parallel.hpp). This bench quantifies that story:
+// encode throughput of a shared-dictionary zipline::Node across the Zipf
+// exponent s (0 = uniform, 1.4 = heavily skewed) for each steering
+// arrangement, on a fixed 4-worker pool.
+//
+// Every row is appended to BENCH_skew_steering.json (one object per row)
+// so the skew curve is tracked PR-over-PR alongside the other BENCH_*
+// artifacts. On a single-core host the arrangements converge — the
+// interesting signal needs real cores.
+//
+// Usage: bench_skew_steering [--quick]
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "io/node.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace zipline;
+
+/// Zipf(s) CDF sampler over `n` flows (s = 0 degenerates to uniform).
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s) {
+    cdf_.reserve(n);
+    double total = 0;
+    for (std::size_t k = 1; k <= n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k), s);
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  std::uint32_t operator()(Rng& rng) const {
+    const double u = rng.next_double();
+    for (std::size_t i = 0; i < cdf_.size(); ++i) {
+      if (u <= cdf_[i]) return static_cast<std::uint32_t>(i);
+    }
+    return static_cast<std::uint32_t>(cdf_.size() - 1);
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct Workload {
+  io::Burst burst;
+  std::size_t total_bytes = 0;
+};
+
+/// One burst of `units` payloads, flows drawn Zipf(s) over `flows`,
+/// chunks drawn from a shared redundant pool (hits + misses + evictions,
+/// and cross-flow dedup for the one shared table).
+Workload make_workload(double s, std::size_t units, std::size_t flows,
+                       std::size_t chunks_per_unit) {
+  const gd::GdParams params;
+  const std::size_t chunk_bytes = params.raw_payload_bytes();
+  Rng rng(0x5E3D + static_cast<std::uint64_t>(s * 1000));
+  const Zipf zipf(flows, s);
+  std::vector<std::vector<std::uint8_t>> pool;
+  for (int i = 0; i < 64; ++i) {
+    std::vector<std::uint8_t> chunk(chunk_bytes);
+    for (auto& b : chunk) b = static_cast<std::uint8_t>(rng.next_u64());
+    pool.push_back(chunk);
+  }
+  Workload w;
+  std::vector<std::uint8_t> payload;
+  for (std::size_t u = 0; u < units; ++u) {
+    payload.clear();
+    for (std::size_t c = 0; c < chunks_per_unit; ++c) {
+      auto chunk = pool[rng.next_below(pool.size())];
+      if (rng.next_bool(0.25)) {
+        chunk[rng.next_below(chunk.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.next_below(8));
+      }
+      payload.insert(payload.end(), chunk.begin(), chunk.end());
+    }
+    io::PacketMeta meta;
+    meta.flow = zipf(rng);
+    w.burst.append(gd::PacketType::raw, 0, 0, payload, meta);
+    w.total_bytes += payload.size();
+  }
+  return w;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace zipline;
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const int repetitions = quick ? 3 : 7;
+  const std::size_t units = quick ? 192 : 512;
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::size_t kFlows = 32;
+  constexpr std::size_t kChunksPerUnit = 128;
+
+  struct Policy {
+    const char* name;
+    engine::FlowSteering steering;
+    bool steal;
+  };
+  const Policy policies[] = {
+      {"pinned", engine::FlowSteering::pinned, false},
+      {"p2c", engine::FlowSteering::load_aware, false},
+      {"p2c+steal", engine::FlowSteering::load_aware, true},
+  };
+  const double exponents[] = {0.0, 0.8, 1.1, 1.4};
+
+  std::vector<std::string> rows;
+  std::printf("=== skew sensitivity: shared-dictionary node, %zu workers,"
+              " %zu flows ===\n",
+              kWorkers, kFlows);
+  std::printf("(s = Zipf exponent of the flow distribution; 0 = uniform."
+              " Output is byte-identical\nacross policies — the ordered"
+              " resolve turnstile — so this is purely a scheduling"
+              " sweep.)\n\n");
+  std::printf("%-12s %-6s %12s %12s\n", "policy", "s", "MB/s", "±CI95");
+  for (const double s : exponents) {
+    const Workload workload =
+        make_workload(s, units, kFlows, kChunksPerUnit);
+    for (const Policy& policy : policies) {
+      io::NodeOptions options;
+      options.workers = kWorkers;
+      options.ownership = engine::DictionaryOwnership::shared;
+      options.steering = policy.steering;
+      options.work_stealing = policy.steal;
+      io::Node node(options);
+      io::Burst out;
+      out.clear();
+      node.process(workload.burst, out);  // warmup: learn + arenas
+      std::vector<double> mbps;
+      for (int rep = 0; rep < repetitions; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        out.clear();
+        node.process(workload.burst, out);
+        const auto stop = std::chrono::steady_clock::now();
+        const double secs =
+            std::chrono::duration<double>(stop - start).count();
+        mbps.push_back(static_cast<double>(workload.total_bytes) / secs /
+                       1e6);
+      }
+      const auto summary = sim::summarize(mbps);
+      std::printf("%-12s %-6.1f %12.1f %12.1f\n", policy.name, s,
+                  summary.mean, summary.ci95_half_width);
+      char row[256];
+      std::snprintf(row, sizeof row,
+                    "{\"section\": \"skew_steering\", \"policy\": \"%s\", "
+                    "\"zipf_s\": %.2f, \"workers\": %zu, \"flows\": %zu, "
+                    "\"mbps\": %.2f, \"mbps_ci95\": %.2f}",
+                    policy.name, s, kWorkers, kFlows, summary.mean,
+                    summary.ci95_half_width);
+      rows.push_back(row);
+    }
+  }
+
+  std::FILE* f = std::fopen("BENCH_skew_steering.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_skew_steering.json\n");
+    return 1;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "  %s%s\n", rows[i].c_str(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_skew_steering.json\n");
+  return 0;
+}

@@ -11,6 +11,9 @@
 #include "baseline/dedup.hpp"
 #include "baseline/deflate.hpp"
 #include "common/hexdump.hpp"
+#include "io/node.hpp"
+#include "io/runner.hpp"
+#include "io/trace_source.hpp"
 #include "sim/replay.hpp"
 #include "trace/dns.hpp"
 #include "trace/synthetic.hpp"
@@ -36,6 +39,25 @@ int main() {
   sim::TraceReplay replay(replay_config);
   const auto gd_result = replay.replay(payloads);
 
+  // The same queries through a multi-core software node with ONE shared
+  // dictionary (queries from 16 "client ports" steered across 2 workers)
+  // — the engine's wire path, learning instantly instead of through the
+  // control plane. The gap between this row and the in-network row IS
+  // the control-plane learning delay.
+  io::TraceSourceOptions source_options;
+  source_options.flow_of = [](std::size_t i) {
+    return static_cast<std::uint32_t>(i % 16);
+  };
+  io::TraceSource node_source(payloads, source_options);
+  io::CountingBurstSink node_wire;
+  Node node(NodeOptions{}
+                .with_workers(2)
+                .with_shared_dictionary()
+                .with_steering(engine::FlowSteering::load_aware)
+                .with_work_stealing(true));
+  io::Runner runner;
+  (void)runner.run(node_source, node, node_wire);
+
   // Host-side gzip on the concatenated payloads (the paper's method).
   const auto flat = trace::concatenate(payloads);
   const auto gz = baseline::gzip_compress(flat);
@@ -53,6 +75,13 @@ int main() {
               "ZipLine dynamic learning",
               format_size(static_cast<double>(gd_result.output_bytes)).c_str(),
               gd_result.ratio());
+  std::printf("%-28s %12s %8.3f  (software node, %zu workers, shared"
+              " table: %zu bases)\n",
+              "ZipLine software node",
+              format_size(static_cast<double>(node_wire.payload_bytes)).c_str(),
+              static_cast<double>(node_wire.payload_bytes) /
+                  static_cast<double>(original),
+              node.stats().workers, node.stats().dictionary_bases);
   std::printf("%-28s %12s %8.3f  (host CPU, %zu distinct bases learned)\n",
               "exact dedup",
               format_size(static_cast<double>(dedup.stats().bytes_out)).c_str(),

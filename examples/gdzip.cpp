@@ -18,6 +18,9 @@
 #include "baseline/deflate.hpp"
 #include "common/hexdump.hpp"
 #include "gd/stream.hpp"
+#include "io/node.hpp"
+#include "io/runner.hpp"
+#include "io/trace_source.hpp"
 #include "trace/synthetic.hpp"
 
 namespace {
@@ -46,12 +49,23 @@ int demo() {
   std::printf("generating 1,000,000 sensor readings (32 MB)...\n");
   trace::SyntheticSensorConfig config;
   config.chunk_count = 1000000;
-  const auto data = trace::concatenate(generate_synthetic_sensor(config));
+  const auto payloads = trace::generate_synthetic_sensor(config);
+  const auto data = trace::concatenate(payloads);
 
   gd::StreamStats stats;
   const auto gdz = gd::gd_stream_compress(data, gd::stream_default_params(),
                                           &stats);
   const auto gz = baseline::gzip_compress(data);
+
+  // The same readings as network traffic: one packet per reading through
+  // a serial zipline::Node (the wire path zipline_pcap runs multi-core),
+  // counting what would leave the middlebox. Same codec, no container
+  // framing — this is the in-network view of the file above.
+  io::TraceSource source(payloads);
+  io::CountingBurstSink wire;
+  Node node(NodeOptions{}.with_params(gd::stream_default_params()));
+  io::Runner runner;
+  const io::RunnerStats wire_run = runner.run(source, node, wire);
 
   std::printf("\n%-12s %14s %8s\n", "format", "size", "ratio");
   std::printf("%-12s %14s %8.3f\n", "original",
@@ -60,6 +74,14 @@ int demo() {
               format_size(static_cast<double>(gdz.size())).c_str(),
               stats.ratio(),
               static_cast<unsigned long long>(stats.uncompressed_packets));
+  std::printf("%-12s %14s %8.3f  (wire path: %llu of %llu packets"
+              " compressed)\n",
+              "node (wire)",
+              format_size(static_cast<double>(wire.payload_bytes)).c_str(),
+              static_cast<double>(wire_run.payload_bytes_out) /
+                  static_cast<double>(wire_run.payload_bytes_in),
+              static_cast<unsigned long long>(wire.compressed),
+              static_cast<unsigned long long>(wire.packets));
   std::printf("%-12s %14s %8.3f\n", "gzip",
               format_size(static_cast<double>(gz.size())).c_str(),
               static_cast<double>(gz.size()) /

@@ -1,9 +1,17 @@
-// Quickstart: the ZipLine GD codec as a library, in 60 lines.
+// Quickstart: a ZipLine compression node as a library, in 60 lines.
 //
-// Encodes a stream of near-duplicate 32-byte records (sensor readings),
-// transmits them as ZipLine packets, decodes them on the other side, and
-// prints what the dictionary learned. No switch, no simulator — just the
-// core algorithm the paper builds on.
+// The moving parts, smallest first:
+//
+//   * zipline::Node     — the software network element: bursts of packets
+//                         in, compressed (or restored) packets out.
+//   * io::MemoryRing    — a DPDK-style burst ring standing in for a NIC
+//                         queue pair.
+//   * io::Runner        — pumps source -> node -> sink until drained.
+//
+// We generate noisy 32-byte sensor readings (the paper's motivating
+// traffic), push them through an encode node, carry the compressed
+// packets over a ring to a decode node, and verify every reading comes
+// back bit-exact while most packets shrank 32 B -> 3 B.
 //
 // Build & run:  ./examples/quickstart
 
@@ -12,8 +20,10 @@
 #include <vector>
 
 #include "common/rng.hpp"
-#include "engine/engine.hpp"
 #include "gd/codec.hpp"
+#include "io/memory_ring.hpp"
+#include "io/node.hpp"
+#include "io/runner.hpp"
 
 int main() {
   using namespace zipline;
@@ -21,78 +31,89 @@ int main() {
   // Paper parameters: Hamming(255, 247) via CRC-8, 256-bit chunks,
   // 15-bit identifiers (32,768 cached bases).
   const gd::GdParams params;
-  gd::GdEncoder encoder{params};
-  gd::GdDecoder decoder{params};
 
   // A "sensor" whose readings are one stable value plus 1-bit noise. The
   // stable value is canonical (a codeword), so every noisy neighbour maps
-  // to the same basis.
+  // to the same dictionary basis — that is generalized deduplication.
   Rng rng(2020);
   bits::BitVector reading(params.chunk_bits);
   for (std::size_t i = 0; i < params.chunk_bits; ++i) {
     if (rng.next_bool(0.5)) reading.set(i);
   }
-  const gd::TransformedChunk snapped = encoder.transform().forward(reading);
-  reading = encoder.transform().inverse(snapped.excess, snapped.basis,
-                                        /*syndrome=*/0);
+  const gd::GdTransform transform(params);
+  const gd::TransformedChunk snapped = transform.forward(reading);
+  reading = transform.inverse(snapped.excess, snapped.basis, /*syndrome=*/0);
 
-  std::printf("sending 1000 noisy readings of one 32 B sensor value...\n\n");
-  std::uint64_t wire_bytes = 0;
-  for (int i = 0; i < 1000; ++i) {
-    bits::BitVector noisy = reading;
-    noisy.flip(rng.next_below(params.n()));  // sensor noise
-
-    // Encoder side: chunk -> packet (type 2 first time, type 3 after).
-    const gd::GdPacket packet = encoder.encode_chunk(noisy);
-    const auto wire = packet.serialize(params);
-    wire_bytes += wire.size();
-
-    // Decoder side: packet -> original chunk, bit exact.
-    const gd::GdPacket parsed = gd::GdPacket::parse(params, packet.type, wire);
-    const bits::BitVector restored = decoder.decode_chunk(parsed);
-    if (restored != noisy) {
-      std::printf("round-trip mismatch at packet %d!\n", i);
-      return 1;
+  // 1000 noisy readings staged into an RX ring, 250 per burst.
+  io::MemoryRing rx_ring(4);
+  std::vector<std::vector<std::uint8_t>> sent;
+  {
+    io::Burst burst;
+    for (int i = 0; i < 1000; ++i) {
+      bits::BitVector noisy = reading;
+      noisy.flip(rng.next_below(params.n()));  // sensor noise
+      sent.push_back(noisy.to_bytes());
+      burst.append(gd::PacketType::raw, 0, 0, sent.back(), io::PacketMeta{});
+      if (burst.size() == 250) {
+        (void)rx_ring.try_push(burst);
+        burst.clear();
+      }
     }
   }
+  std::printf("sending 1000 noisy readings of one 32 B sensor value...\n\n");
 
-  const auto& stats = encoder.stats();
+  // Encode node -> wire ring. NodeOptions is a builder: this one is the
+  // serial arrangement; add .with_workers(8).with_shared_dictionary()
+  // and it becomes a multi-core middlebox with one shared table.
+  io::MemoryRing wire_ring(4);
+  Node encoder(NodeOptions{}.with_params(params));
+  io::MemoryRingSource rx(rx_ring);
+  io::MemoryRingSink wire_tx(wire_ring);
+  io::Runner runner;
+  const io::RunnerStats wire = runner.run(rx, encoder, wire_tx);
+
+  // Decode node on the far side of the "wire".
+  io::MemoryRing out_ring(4);
+  Node decoder(NodeOptions{}.with_direction(io::Direction::decode)
+                   .with_params(params));
+  io::MemoryRingSource wire_rx(wire_ring);
+  io::MemoryRingSink out_tx(out_ring);
+  (void)runner.run(wire_rx, decoder, out_tx);
+
+  // Every reading must come back bit-exact, in order.
+  io::Burst burst;
+  std::size_t index = 0;
+  while (out_ring.try_pop(burst)) {
+    for (std::size_t i = 0; i < burst.size(); ++i, ++index) {
+      const auto got = burst.payload(i);
+      if (!std::equal(got.begin(), got.end(), sent[index].begin(),
+                      sent[index].end())) {
+        std::printf("round-trip mismatch at packet %zu!\n", index);
+        return 1;
+      }
+    }
+  }
+  if (index != sent.size()) {
+    std::printf("packet count mismatch: %zu of %zu\n", index, sent.size());
+    return 1;
+  }
+
+  const io::NodeStats stats = encoder.stats();
   std::printf("chunks encoded:        %llu (32 B each)\n",
-              static_cast<unsigned long long>(stats.chunks));
+              static_cast<unsigned long long>(stats.engine.chunks));
   std::printf("uncompressed packets:  %llu (33 B, unknown basis)\n",
-              static_cast<unsigned long long>(stats.uncompressed_packets));
+              static_cast<unsigned long long>(
+                  stats.engine.uncompressed_packets));
   std::printf("compressed packets:    %llu (3 B: syndrome + MSB + ID)\n",
-              static_cast<unsigned long long>(stats.compressed_packets));
-  std::printf("bases in dictionary:   %zu\n", encoder.dictionary().size());
+              static_cast<unsigned long long>(stats.engine.compressed_packets));
+  std::printf("bases in dictionary:   %zu\n", stats.dictionary_bases);
   std::printf("bytes: %llu -> %llu (ratio %.3f)\n",
-              static_cast<unsigned long long>(stats.bytes_in),
-              static_cast<unsigned long long>(wire_bytes),
-              static_cast<double>(wire_bytes) /
-                  static_cast<double>(stats.bytes_in));
+              static_cast<unsigned long long>(wire.payload_bytes_in),
+              static_cast<unsigned long long>(wire.payload_bytes_out),
+              static_cast<double>(wire.payload_bytes_out) /
+                  static_cast<double>(wire.payload_bytes_in));
   std::printf("\nevery reading decoded bit-exactly. One basis covers all"
               " 256 single-bit\nneighborhoods of the codeword -- that is"
               " generalized deduplication.\n");
-
-  // The same codec, batch-oriented: for bulk data, hand the engine a
-  // whole payload and a reusable arena instead of going chunk by chunk.
-  // In steady state this path performs zero heap allocations per chunk.
-  engine::Engine batch_encoder{params};
-  engine::Engine batch_decoder{params};
-  std::vector<std::uint8_t> bulk(64 * params.raw_payload_bytes());
-  for (auto& b : bulk) b = static_cast<std::uint8_t>(rng.next_u64());
-
-  engine::EncodeBatch encoded;
-  engine::DecodeBatch decoded;
-  batch_encoder.encode_payload(bulk, encoded);   // 64 chunks, one call
-  batch_decoder.decode_batch(encoded, decoded);  // straight into the arena
-  const auto restored_bulk = decoded.bytes();
-  if (restored_bulk.size() != bulk.size() ||
-      !std::equal(restored_bulk.begin(), restored_bulk.end(), bulk.begin())) {
-    std::printf("batch round-trip mismatch!\n");
-    return 1;
-  }
-  std::printf("\nbatch API: %zu chunks -> %zu wire bytes in one"
-              " encode_payload call,\ndecoded back bit-exactly.\n",
-              encoded.size(), encoded.storage_bytes());
   return 0;
 }

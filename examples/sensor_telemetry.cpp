@@ -12,6 +12,9 @@
 #include <cstdio>
 
 #include "common/hexdump.hpp"
+#include "io/runner.hpp"
+#include "io/sim_port.hpp"
+#include "io/trace_source.hpp"
 #include "sim/testbed.hpp"
 #include "trace/synthetic.hpp"
 
@@ -35,11 +38,16 @@ int main() {
   config.host_timing.tx_cpu_per_packet = 10000;  // 10 us between readings
   sim::Testbed bed(config);
 
-  bed.server1().start_stream(
-      bed.server2().mac(), payloads.size(),
-      [&payloads](std::uint64_t i) { return payloads[i]; },
-      [](std::uint64_t) { return std::uint16_t{0x5A01}; },
-      /*start_at=*/0);
+  // Stage the trace through the io burst layer into server 1's paced TX
+  // path: trace source -> host TX sink, pumped by the runner (the same
+  // backends the software node runs on).
+  io::TraceSourceOptions source_options;
+  source_options.burst_size = 4096;
+  io::TraceSource source(payloads, source_options);
+  io::HostTxSink tx(bed.server1(), bed.server2().mac());
+  io::Runner runner;
+  (void)runner.run(source, tx);
+  tx.launch(/*start_at=*/0);
   bed.events().run_until(10_s);
 
   using prog::PacketClass;

@@ -18,6 +18,9 @@
 #include <unordered_map>
 
 #include "common/hexdump.hpp"
+#include "io/runner.hpp"
+#include "io/sim_port.hpp"
+#include "io/trace_source.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/host.hpp"
 #include "sim/switch_node.hpp"
@@ -92,10 +95,15 @@ int main() {
     }
   });
 
-  host1.start_stream(
-      host2.mac(), payloads.size(),
-      [&payloads](std::uint64_t i) { return payloads[i]; },
-      [](std::uint64_t) { return std::uint16_t{0x5A01}; }, 0);
+  // Stage the telemetry through the io burst layer into host1's paced TX
+  // path (trace source -> host TX sink), then run the WAN.
+  io::TraceSourceOptions source_options;
+  source_options.burst_size = 4096;
+  io::TraceSource source(payloads, source_options);
+  io::HostTxSink tx(host1, host2.mac());
+  io::Runner runner;
+  (void)runner.run(source, tx);
+  tx.launch(/*start_at=*/0);
   events.run_until(30_s);
 
   using prog::PacketClass;

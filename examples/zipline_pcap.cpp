@@ -1,9 +1,9 @@
-// zipline_pcap: run a pcap trace through the engine's parallel pipeline
-// with the SHARED dictionary service — the offline equivalent of putting a
-// multi-core ZipLine middlebox on the path of a capture. One dictionary
-// per direction serves every flow in the trace (flows are MAC pairs,
-// steered across the worker pool with power-of-two-choices placement and
-// work stealing), so redundancy is eliminated across flows exactly as the
+// zipline_pcap: run a pcap trace through a zipline::Node with the SHARED
+// dictionary service — the offline equivalent of putting a multi-core
+// ZipLine middlebox on the path of a capture. One dictionary per
+// direction serves every flow in the trace (flows are MAC pairs, steered
+// across the worker pool with power-of-two-choices placement and work
+// stealing), so redundancy is eliminated across flows exactly as the
 // switch's one-table-per-direction design intends, and dictionary memory
 // stays constant however many cores or flows the trace brings.
 //
@@ -12,25 +12,31 @@
 //   zipline_pcap demo                          generate, encode, decode,
 //                                              verify and report
 //
-// Frames whose EtherType is not ZipLine's (or whose payload is not one
-// chunk) pass through untouched, exactly as on the switch. The ordered
-// drain keeps the output capture in input order, and the ordered resolve
-// sequencing makes the compressed trace replayable: decoding it (with this
-// tool or a one-table switch) rebuilds the identical dictionary.
+// The whole replay is three io backends around one node:
+//
+//   io::PcapSource -> zipline::Node -> io::PcapSink
+//
+// pumped by io::Runner burst by burst (memory constant in the trace
+// size; the dictionary lives in the node, across bursts). Frames whose
+// EtherType is not ZipLine's (or whose payload is not one chunk) pass
+// through untouched, exactly as on the switch; the node's ordered drain
+// keeps the output capture in input order, and the ordered resolve
+// sequencing makes the compressed trace replayable: decoding it (with
+// this tool or a one-table switch) rebuilds the identical dictionary.
 //
 // Build & run:  ./examples/zipline_pcap demo
 
-#include <cstdio>
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/hexdump.hpp"
-#include "engine/parallel.hpp"
-#include "gd/packet.hpp"
-#include "net/pcap.hpp"
+#include "io/node.hpp"
+#include "io/pcap_io.hpp"
+#include "io/runner.hpp"
 #include "trace/synthetic.hpp"
 
 namespace {
@@ -39,208 +45,49 @@ using namespace zipline;
 
 struct PcapRunStats {
   std::uint64_t frames = 0;
-  std::uint64_t processed = 0;  ///< frames that went through the pipeline
+  std::uint64_t processed = 0;  ///< frames that went through the node
   std::uint64_t payload_in = 0;
   std::uint64_t payload_out = 0;
   std::uint64_t dictionary_bases = 0;
   std::size_t workers = 0;
 };
 
-/// Flow identity of a frame: one direction of one MAC pair.
-std::uint32_t flow_of(const net::EthernetFrame& frame) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  const auto mix = [&h](const std::array<std::uint8_t, 6>& octets) {
-    for (const std::uint8_t byte : octets) {
-      h = (h ^ byte) * 0x100000001b3ULL;
-    }
-  };
-  mix(frame.src.octets());
-  mix(frame.dst.octets());
-  return static_cast<std::uint32_t>(h >> 32) ^ static_cast<std::uint32_t>(h);
-}
-
-engine::ParallelOptions pipeline_options() {
-  engine::ParallelOptions options;
-  options.workers = std::max(2u, std::thread::hardware_concurrency());
-  options.ownership = engine::DictionaryOwnership::shared;
-  options.steering = engine::FlowSteering::load_aware;
-  options.work_stealing = true;
-  return options;
-}
-
-/// Frames per streaming window: the trace is read, transformed and
-/// written window by window (flush() at each boundary), so memory stays
-/// constant in the trace size while the shared dictionary — which lives
-/// in the pipeline, outside the loop — keeps learning across windows.
-constexpr std::size_t kWindowFrames = 4096;
-
-/// Encode pass: every raw chunk frame becomes one type-2/3 frame; the
-/// whole trace shares one dictionary service.
-PcapRunStats encode_pcap(const std::string& in_path,
-                         const std::string& out_path,
-                         const gd::GdParams& params) {
-  net::PcapReader reader(in_path);
-  net::PcapWriter writer(out_path);
-  PcapRunStats stats;
-
-  // Per-window staging, reused across windows. Output frames are index-
-  // aligned with the window so the capture order survives the pool.
-  std::vector<net::PcapRecord> records;
-  std::vector<net::EthernetFrame> frames;
-  std::vector<net::EthernetFrame> outputs;
-  std::vector<std::size_t> unit_frame;  // unit seq within window -> index
-  std::uint64_t window_base_seq = 0;
-
-  const std::size_t chunk_bytes = params.raw_payload_bytes();
-  engine::ParallelEncoder pipeline(
-      params, pipeline_options(),
-      [&](const engine::ParallelEncoder::Unit& unit) {
-        const std::size_t index = unit_frame[unit.seq - window_base_seq];
-        ZL_ASSERT(unit.output->size() == 1);
-        const engine::PacketDesc& desc = unit.output->packet(0);
-        net::EthernetFrame& out = outputs[index];
-        out.dst = frames[index].dst;
-        out.src = frames[index].src;
-        out.ether_type = gd::ether_type_for(desc.type);
-        const auto payload = unit.output->payload(desc);
-        out.payload.assign(payload.begin(), payload.end());
-      });
-
-  bool more = true;
-  while (more) {
-    records.clear();
-    frames.clear();
-    while (records.size() < kWindowFrames) {
-      auto record = reader.next();
-      if (!record) {
-        more = false;
-        break;
-      }
-      frames.push_back(net::EthernetFrame::parse(record->data,
-                                                 /*verify_fcs=*/false));
-      records.push_back(std::move(*record));
-    }
-    outputs.assign(frames.size(), net::EthernetFrame{});
-    unit_frame.clear();
-    window_base_seq = pipeline.submitted();
-    for (std::size_t i = 0; i < frames.size(); ++i) {
-      const net::EthernetFrame& frame = frames[i];
-      stats.payload_in += frame.payload.size();
-      if (frame.ether_type == gd::ether_type_for(gd::PacketType::raw) &&
-          frame.payload.size() >= chunk_bytes) {
-        // The chunk is the payload prefix; the rest is Ethernet minimum-
-        // frame padding, which the switch also strips on encode.
-        unit_frame.push_back(i);
-        ++stats.processed;
-        pipeline.submit(flow_of(frame),
-                        std::span(frame.payload).first(chunk_bytes));
-      } else {
-        outputs[i] = frame;  // passthrough, exactly as on the switch
-      }
-    }
-    pipeline.flush();
-    for (std::size_t i = 0; i < outputs.size(); ++i) {
-      stats.payload_out += outputs[i].payload.size();
-      writer.write_frame(outputs[i], records[i].timestamp_us);
-    }
-    stats.frames += frames.size();
-  }
-  stats.dictionary_bases = pipeline.shared_dictionary()->size();
-  stats.workers = pipeline.options().workers;
-  return stats;
-}
-
-/// Decode pass: type-2/3 frames are restored to raw chunk frames through
-/// the mirrored shared dictionary (rebuilt from the trace itself).
-PcapRunStats decode_pcap(const std::string& in_path,
-                         const std::string& out_path,
-                         const gd::GdParams& params) {
-  net::PcapReader reader(in_path);
-  net::PcapWriter writer(out_path);
-  PcapRunStats stats;
-
-  std::vector<net::PcapRecord> records;
-  std::vector<net::EthernetFrame> frames;
-  std::vector<net::EthernetFrame> outputs;
-  std::vector<std::size_t> unit_frame;
-  // Staging batches sized to the window once; clear() keeps their arenas.
-  std::vector<engine::EncodeBatch> staged(kWindowFrames);
-  std::uint64_t window_base_seq = 0;
-
-  engine::ParallelDecoder pipeline(
-      params, pipeline_options(),
-      [&](const engine::ParallelDecoder::Unit& unit) {
-        const std::size_t index = unit_frame[unit.seq - window_base_seq];
-        net::EthernetFrame& out = outputs[index];
-        out.dst = frames[index].dst;
-        out.src = frames[index].src;
-        out.ether_type = gd::ether_type_for(gd::PacketType::raw);
-        const auto bytes = unit.output->bytes();
-        out.payload.assign(bytes.begin(), bytes.end());
-      });
-
-  // A ZipLine frame decodes only if it actually carries a full packet
-  // body; anything shorter (e.g. clipped by a capture snap length)
-  // passes through untouched instead of aborting the conversion.
-  const auto decodable = [&params](const net::EthernetFrame& frame) {
-    if (!gd::is_zipline_ether_type(frame.ether_type)) return false;
-    const gd::PacketType type = gd::packet_type_for_ether(frame.ether_type);
-    if (type == gd::PacketType::raw) return false;
-    const std::size_t body = type == gd::PacketType::uncompressed
-                                 ? params.type2_payload_bytes()
-                                 : params.type3_payload_bytes();
-    return frame.payload.size() >= body;
-  };
-
-  bool more = true;
-  while (more) {
-    records.clear();
-    frames.clear();
-    while (records.size() < kWindowFrames) {
-      auto record = reader.next();
-      if (!record) {
-        more = false;
-        break;
-      }
-      frames.push_back(net::EthernetFrame::parse(record->data,
-                                                 /*verify_fcs=*/false));
-      records.push_back(std::move(*record));
-    }
-    outputs.assign(frames.size(), net::EthernetFrame{});
-    unit_frame.clear();
-    window_base_seq = pipeline.submitted();
-    for (std::size_t i = 0; i < frames.size(); ++i) {
-      const net::EthernetFrame& frame = frames[i];
-      stats.payload_in += frame.payload.size();
-      if (decodable(frame)) {
-        engine::EncodeBatch& batch = staged[unit_frame.size()];
-        batch.clear();
-        batch.append(gd::packet_type_for_ether(frame.ether_type), 0, 0,
-                     frame.payload);
-        unit_frame.push_back(i);
-        ++stats.processed;
-        pipeline.submit(flow_of(frame), &batch);
-      } else {
-        outputs[i] = frame;
-      }
-    }
-    pipeline.flush();
-    for (std::size_t i = 0; i < outputs.size(); ++i) {
-      stats.payload_out += outputs[i].payload.size();
-      writer.write_frame(outputs[i], records[i].timestamp_us);
-    }
-    stats.frames += frames.size();
-  }
-  stats.dictionary_bases = pipeline.shared_dictionary()->size();
-  stats.workers = pipeline.options().workers;
-  return stats;
+NodeOptions node_options(io::Direction direction, const gd::GdParams& params) {
+  return NodeOptions{}
+      .with_direction(direction)
+      .with_params(params)
+      .with_workers(std::max(2u, std::thread::hardware_concurrency()))
+      .with_shared_dictionary()
+      .with_steering(engine::FlowSteering::load_aware)
+      .with_work_stealing(true);
 }
 
 PcapRunStats run_pcap(const std::string& in_path, const std::string& out_path,
                       bool encode) {
   const gd::GdParams params;  // the paper's deployment parameters
-  return encode ? encode_pcap(in_path, out_path, params)
-                : decode_pcap(in_path, out_path, params);
+  const io::Direction direction =
+      encode ? io::Direction::encode : io::Direction::decode;
+
+  io::PcapSourceOptions source_options;
+  source_options.direction = direction;
+  source_options.params = params;
+  source_options.flow_key = io::FlowKey::mac_pair;
+  io::PcapSource source(in_path, source_options);
+  io::PcapSink sink(out_path);
+  Node node(node_options(direction, params));
+
+  io::Runner runner;
+  const io::RunnerStats run = runner.run(source, node, sink);
+  const io::NodeStats stats = node.stats();
+
+  PcapRunStats result;
+  result.frames = run.packets_in;
+  result.processed = stats.units;
+  result.payload_in = run.payload_bytes_in;
+  result.payload_out = run.payload_bytes_out;
+  result.dictionary_bases = stats.dictionary_bases;
+  result.workers = stats.workers;
+  return result;
 }
 
 int demo() {

@@ -1,0 +1,154 @@
+// zipline::io — the symmetric burst-I/O seam every backend plugs into.
+//
+// The engine consumes and produces flat batch arenas (engine/batch.hpp);
+// what was missing is the RECEIVE half of the seam: engine/sink.hpp only
+// says where packets go, while every example, bench and the sim hand-
+// rolled its own loop for where packets come from. This header closes the
+// loop with one currency — the Burst — and two duck-typed concepts:
+//
+//   * PacketSource — rx_burst(Burst&) -> size_t: fill a burst, return the
+//     number of packets delivered (0 = drained). The DPDK rte_eth_rx_burst
+//     shape, which is exactly the contract a future PMD backend drops
+//     into (see io/README.md).
+//   * PacketSink — tx_burst(const Burst&): consume a burst. Mirrors the
+//     per-packet engine::PacketSink (sink.hpp) one level up: a whole
+//     burst per call instead of a packet per call, so a backend can
+//     amortize its per-call cost (syscall, DMA doorbell, file write).
+//
+// A Burst is an engine::EncodeBatch — descriptors + one flat payload
+// arena, no per-packet heap objects — plus the per-packet metadata the
+// batch deliberately does not carry: flow key, timestamp, MAC addresses
+// and the on-wire EtherType. The metadata rides in a parallel array
+// indexed like the descriptors. clear() keeps all capacities, so a burst
+// recycled through a source→node→sink loop stops allocating once it has
+// seen the largest burst — the same steady-state discipline as the
+// engine arenas (asserted in tests/io_backend_test.cpp).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engine/batch.hpp"
+#include "net/mac.hpp"
+
+namespace zipline::io {
+
+/// Per-packet metadata riding alongside an EncodeBatch descriptor: what a
+/// network element knows about a packet besides its (type, payload).
+struct PacketMeta {
+  /// Flow identity — the steering key of Node's parallel modes. Backends
+  /// extract it from what they have (MAC pair or 5-tuple for pcap, caller
+  /// choice for memory rings and traces).
+  std::uint32_t flow = 0;
+  /// Capture/emission timestamp (carried through the node untouched).
+  std::uint64_t timestamp_us = 0;
+  net::MacAddress src{};
+  net::MacAddress dst{};
+  /// EtherType as seen (source side) or to be written (sink side). The
+  /// node rewrites it from the wire packet type for processed packets and
+  /// leaves it alone for passthrough ones.
+  std::uint16_t ether_type = 0;
+  /// false: the packet must traverse the node untouched (non-ZipLine
+  /// traffic, clipped captures) — exactly the switch's passthrough.
+  bool process = true;
+};
+
+/// One burst of packets: a flat batch arena plus index-aligned metadata.
+class Burst {
+ public:
+  /// Drops all packets, keeping every capacity.
+  void clear() noexcept {
+    batch_.clear();
+    meta_.clear();
+  }
+
+  void reserve(std::size_t packet_count, std::size_t storage_bytes) {
+    batch_.reserve(packet_count, storage_bytes);
+    meta_.reserve(packet_count);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return batch_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return batch_.size(); }
+
+  [[nodiscard]] const engine::EncodeBatch& batch() const noexcept {
+    return batch_;
+  }
+  [[nodiscard]] const engine::PacketDesc& desc(std::size_t i) const {
+    return batch_.packet(i);
+  }
+  [[nodiscard]] std::span<const std::uint8_t> payload(std::size_t i) const {
+    return batch_.payload(i);
+  }
+  [[nodiscard]] const PacketMeta& meta(std::size_t i) const {
+    return meta_[i];
+  }
+  [[nodiscard]] PacketMeta& meta(std::size_t i) { return meta_[i]; }
+  [[nodiscard]] std::span<const PacketMeta> metas() const noexcept {
+    return meta_;
+  }
+
+  /// Appends one packet: wire descriptor fields + payload + metadata.
+  void append(gd::PacketType type, std::uint32_t syndrome,
+              std::uint32_t basis_id, std::span<const std::uint8_t> bytes,
+              const PacketMeta& meta) {
+    batch_.append(type, syndrome, basis_id, bytes);
+    meta_.push_back(meta);
+  }
+
+  /// Copies packet `i` of `from` verbatim (the passthrough move).
+  void append_from(const Burst& from, std::size_t i) {
+    const engine::PacketDesc& d = from.desc(i);
+    append(d.type, d.syndrome, d.basis_id, from.payload(i), from.meta(i));
+  }
+
+ private:
+  engine::EncodeBatch batch_;
+  std::vector<PacketMeta> meta_;
+};
+
+/// A backend that fills bursts: returns the number of packets delivered
+/// into `burst` (which the source must clear() first); 0 means drained.
+template <typename S>
+concept PacketSource = requires(S source, Burst& burst) {
+  { source.rx_burst(burst) } -> std::convertible_to<std::size_t>;
+};
+
+/// A backend that consumes bursts.
+template <typename S>
+concept PacketSink = requires(S sink, const Burst& burst) {
+  sink.tx_burst(burst);
+};
+
+/// Discards bursts (bench harness for a bare node).
+struct NullBurstSink {
+  std::uint64_t packets = 0;
+  void tx_burst(const Burst& burst) { packets += burst.size(); }
+};
+
+/// Counts packets and payload bytes per wire type — the burst-level
+/// sibling of engine::CountingSink.
+struct CountingBurstSink {
+  std::uint64_t bursts = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t raw = 0;
+  std::uint64_t uncompressed = 0;
+  std::uint64_t compressed = 0;
+
+  void tx_burst(const Burst& burst) {
+    ++bursts;
+    for (std::size_t i = 0; i < burst.size(); ++i) {
+      ++packets;
+      payload_bytes += burst.payload(i).size();
+      switch (burst.desc(i).type) {
+        case gd::PacketType::raw: ++raw; break;
+        case gd::PacketType::uncompressed: ++uncompressed; break;
+        case gd::PacketType::compressed: ++compressed; break;
+      }
+    }
+  }
+};
+
+}  // namespace zipline::io

@@ -1,0 +1,117 @@
+// DPDK-style fixed-capacity burst rings in memory.
+//
+// A MemoryRing is a bounded FIFO of Burst slots, preallocated at
+// construction and recycled forever: pushes copy INTO a slot, pops copy
+// OUT of one, and both reuse the slot's (and the caller's) grown vector
+// capacities, so a ring cycling same-shaped bursts performs zero heap
+// allocations in steady state (tests/engine_alloc_test.cpp asserts it).
+// MemoryRingSource / MemoryRingSink are the PacketSource / PacketSink
+// faces of one ring — the in-process stand-in for a NIC queue pair, and
+// the contract a DPDK PMD backend would implement against real descriptor
+// rings (rx_burst ~ rte_eth_rx_burst, tx_burst ~ rte_eth_tx_burst; see
+// io/README.md).
+//
+// Overflow policy matches a NIC queue, not a std container: a full ring
+// DROPS the burst and counts it (MemoryRingSink::dropped). Single
+// producer, single consumer, no internal locking — same as the engine's
+// SPSC job rings; callers needing cross-thread hand-off add their own
+// ordering.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "io/burst.hpp"
+
+namespace zipline::io {
+
+class MemoryRing {
+ public:
+  /// `capacity` burst slots, allocated up front.
+  explicit MemoryRing(std::size_t capacity) : slots_(capacity) {
+    ZL_EXPECTS(capacity >= 1);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return count_ == slots_.size(); }
+
+  /// Copies `burst` into the next free slot; false (and no effect) when
+  /// full. The slot's arenas absorb the copy without allocating once they
+  /// have grown to the burst shape.
+  [[nodiscard]] bool try_push(const Burst& burst) {
+    if (full()) return false;
+    slots_[tail_] = burst;
+    tail_ = next(tail_);
+    ++count_;
+    return true;
+  }
+
+  /// Copies the oldest burst out into `out` (replacing its contents);
+  /// false when empty.
+  [[nodiscard]] bool try_pop(Burst& out) {
+    if (empty()) return false;
+    out = slots_[head_];
+    head_ = next(head_);
+    --count_;
+    return true;
+  }
+
+ private:
+  [[nodiscard]] std::size_t next(std::size_t i) const noexcept {
+    return i + 1 == slots_.size() ? 0 : i + 1;
+  }
+
+  std::vector<Burst> slots_;
+  std::size_t head_ = 0;   // oldest
+  std::size_t tail_ = 0;   // next free
+  std::size_t count_ = 0;
+};
+
+/// RX face of a ring: pops one burst per rx_burst call.
+class MemoryRingSource {
+ public:
+  explicit MemoryRingSource(MemoryRing& ring) : ring_(&ring) {}
+
+  std::size_t rx_burst(Burst& out) {
+    out.clear();
+    // Skip legally-pushed empty bursts: the contract's 0 return means
+    // "drained", and an empty burst must not strand what sits behind it.
+    while (ring_->try_pop(out)) {
+      if (!out.empty()) return out.size();
+    }
+    return 0;
+  }
+
+ private:
+  MemoryRing* ring_;
+};
+
+/// TX face of a ring: pushes each burst; full ring drops it (counted).
+class MemoryRingSink {
+ public:
+  explicit MemoryRingSink(MemoryRing& ring) : ring_(&ring) {}
+
+  void tx_burst(const Burst& burst) {
+    if (!ring_->try_push(burst)) {
+      ++dropped_bursts_;
+      dropped_packets_ += burst.size();
+    }
+  }
+
+  [[nodiscard]] std::uint64_t dropped_bursts() const noexcept {
+    return dropped_bursts_;
+  }
+  [[nodiscard]] std::uint64_t dropped_packets() const noexcept {
+    return dropped_packets_;
+  }
+
+ private:
+  MemoryRing* ring_;
+  std::uint64_t dropped_bursts_ = 0;
+  std::uint64_t dropped_packets_ = 0;
+};
+
+}  // namespace zipline::io

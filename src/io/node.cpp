@@ -1,0 +1,241 @@
+#include "io/node.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "gd/packet.hpp"
+
+namespace zipline::io {
+
+namespace {
+
+engine::ParallelOptions parallel_options(const NodeOptions& o) {
+  engine::ParallelOptions p;
+  p.workers = o.workers;
+  p.queue_depth = o.queue_depth;
+  p.dictionary_shards = o.dictionary_shards;
+  p.policy = o.policy;
+  p.learn = o.learn;
+  // Output order == input order is part of the Node contract (and what
+  // makes every arrangement byte-identical to the serial references).
+  p.ordered = true;
+  p.ownership = o.ownership;
+  p.steering = o.steering;
+  p.work_stealing = o.work_stealing;
+  return p;
+}
+
+void accumulate(engine::EngineStats& total, const engine::EngineStats& s) {
+  total.chunks += s.chunks;
+  total.raw_packets += s.raw_packets;
+  total.uncompressed_packets += s.uncompressed_packets;
+  total.compressed_packets += s.compressed_packets;
+  total.bytes_in += s.bytes_in;
+  total.bytes_out += s.bytes_out;
+  total.batches += s.batches;
+}
+
+}  // namespace
+
+Node::Node(NodeOptions options) : options_(options) {
+  ZL_EXPECTS(options_.workers >= 1);
+  ZL_EXPECTS(options_.burst_size >= 1);
+  if (options_.workers == 1) return;  // serial engines, created on first use
+  const engine::ParallelOptions popts = parallel_options(options_);
+  if (options_.direction == Direction::encode) {
+    parallel_encoder_ = std::make_unique<engine::ParallelEncoder>(
+        options_.params, popts,
+        [this](const engine::ParallelEncoder::Unit& unit) {
+          const std::size_t target =
+              unit_index_[unit.seq - burst_base_seq_];
+          copy_passthrough(*in_, *out_, target);
+          append_unit_output(*unit.output, in_->meta(target), *out_);
+          next_input_ = target + 1;
+        });
+  } else {
+    parallel_decoder_ = std::make_unique<engine::ParallelDecoder>(
+        options_.params, popts,
+        [this](const engine::ParallelDecoder::Unit& unit) {
+          const std::size_t target =
+              unit_index_[unit.seq - burst_base_seq_];
+          copy_passthrough(*in_, *out_, target);
+          append_unit_output(*unit.output, in_->meta(target), *out_);
+          next_input_ = target + 1;
+        });
+  }
+}
+
+Node::~Node() = default;
+
+engine::Engine& Node::serial_engine(std::uint32_t flow) {
+  if (options_.ownership == engine::DictionaryOwnership::shared) {
+    // The switch's one-table-per-direction reality: one engine (hence
+    // one dictionary) sees every flow's units in submission order.
+    if (!shared_engine_) {
+      shared_engine_.emplace(options_.params, options_.policy, options_.learn,
+                             options_.dictionary_shards);
+    }
+    return *shared_engine_;
+  }
+  const auto [it, inserted] = flow_engines_.try_emplace(
+      flow, options_.params, options_.policy, options_.learn,
+      options_.dictionary_shards);
+  return it->second;
+}
+
+void Node::append_unit_output(const engine::EncodeBatch& unit,
+                              const PacketMeta& in_meta, Burst& out) const {
+  for (const engine::PacketDesc& desc : unit.packets()) {
+    PacketMeta meta = in_meta;
+    meta.ether_type = gd::ether_type_for(desc.type);
+    out.append(desc.type, desc.syndrome, desc.basis_id, unit.payload(desc),
+               meta);
+  }
+}
+
+void Node::append_unit_output(const engine::DecodeBatch& unit,
+                              const PacketMeta& in_meta, Burst& out) const {
+  PacketMeta meta = in_meta;
+  meta.ether_type = gd::ether_type_for(gd::PacketType::raw);
+  out.append(gd::PacketType::raw, 0, 0, unit.bytes(), meta);
+}
+
+void Node::copy_passthrough(const Burst& in, Burst& out, std::size_t end) {
+  for (; next_input_ < end; ++next_input_) {
+    // Deliveries arrive in submission (== input) order, so a processed
+    // packet the cursor crosses belongs to a FAILED unit: the pipeline
+    // delivered it without invoking the sink and ferried its error to
+    // flush(), which rethrows after the burst drains. Its output is
+    // dropped here; everything else is passthrough, copied verbatim.
+    if (in.meta(next_input_).process) continue;
+    out.append_from(in, next_input_);
+    ++passthrough_;
+  }
+}
+
+void Node::process(const Burst& in, Burst& out) {
+  ++bursts_;
+  next_input_ = 0;
+  if (options_.workers > 1) {
+    process_parallel(in, out);
+  } else {
+    process_serial(in, out);
+  }
+}
+
+void Node::process_serial(const Burst& in, Burst& out) {
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const PacketMeta& meta = in.meta(i);
+    if (!meta.process) {
+      out.append_from(in, i);
+      ++passthrough_;
+      continue;
+    }
+    engine::Engine& eng = serial_engine(meta.flow);
+    ++units_;
+    if (options_.direction == Direction::encode) {
+      encode_scratch_.clear();
+      eng.encode_payload(in.payload(i), encode_scratch_);
+      append_unit_output(encode_scratch_, meta, out);
+    } else {
+      decode_scratch_.clear();
+      eng.decode_wire(in.desc(i).type, in.payload(i), decode_scratch_);
+      append_unit_output(decode_scratch_, meta, out);
+    }
+  }
+}
+
+void Node::process_parallel(const Burst& in, Burst& out) {
+  in_ = &in;
+  out_ = &out;
+  unit_index_.clear();
+  burst_base_seq_ = options_.direction == Direction::encode
+                        ? parallel_encoder_->submitted()
+                        : parallel_decoder_->submitted();
+  const auto flush = [this] {
+    if (options_.direction == Direction::encode) {
+      parallel_encoder_->flush();
+    } else {
+      parallel_decoder_->flush();
+    }
+  };
+  if (options_.direction == Direction::decode) {
+    // Grow the unit staging pool BEFORE any submit: in-flight units hold
+    // pointers into staged_, which must not reallocate under them. The
+    // flush window bounds it — slots recycle at each window boundary.
+    std::size_t processed = 0;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      if (in.meta(i).process) ++processed;
+    }
+    const std::size_t target = std::min(processed, options_.burst_size);
+    if (staged_.size() < target) staged_.resize(target);
+  }
+  try {
+    // Units flush in windows of burst_size: bounds the in-flight set
+    // (and the decode staging pool) without changing the output — flush
+    // boundaries never affect the dictionary op order.
+    std::size_t in_window = 0;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const PacketMeta& meta = in.meta(i);
+      if (!meta.process) continue;  // spliced back in by the drain cursor
+      unit_index_.push_back(static_cast<std::uint32_t>(i));
+      ++units_;
+      if (options_.direction == Direction::encode) {
+        parallel_encoder_->submit(meta.flow, in.payload(i));
+      } else {
+        engine::EncodeBatch& staged = staged_[in_window];
+        staged.clear();
+        const engine::PacketDesc& d = in.desc(i);
+        staged.append(d.type, d.syndrome, d.basis_id, in.payload(i));
+        parallel_decoder_->submit(meta.flow, &staged);
+      }
+      if (++in_window == options_.burst_size) {
+        flush();
+        in_window = 0;
+      }
+    }
+    flush();
+  } catch (...) {
+    // A failed unit surfaced at flush(), which drains every in-flight
+    // unit before rethrowing — the pipeline is quiescent and the node
+    // stays usable for the next burst; only this burst's output is
+    // incomplete. Drop the burst-local views before rethrowing.
+    in_ = nullptr;
+    out_ = nullptr;
+    throw;
+  }
+  copy_passthrough(in, out, in.size());
+  in_ = nullptr;
+  out_ = nullptr;
+}
+
+NodeStats Node::stats() const {
+  NodeStats s;
+  s.bursts = bursts_;
+  s.units = units_;
+  s.passthrough = passthrough_;
+  s.workers = options_.workers;
+  if (parallel_encoder_ != nullptr) {
+    s.engine = parallel_encoder_->aggregate_stats();
+    if (const auto* dict = parallel_encoder_->shared_dictionary()) {
+      s.dictionary_bases = dict->size();
+    }
+  } else if (parallel_decoder_ != nullptr) {
+    s.engine = parallel_decoder_->aggregate_stats();
+    if (const auto* dict = parallel_decoder_->shared_dictionary()) {
+      s.dictionary_bases = dict->size();
+    }
+  } else {
+    if (shared_engine_.has_value()) {
+      accumulate(s.engine, shared_engine_->stats());
+      s.dictionary_bases += shared_engine_->dictionary().size();
+    }
+    for (const auto& [flow, eng] : flow_engines_) {
+      accumulate(s.engine, eng.stats());
+      s.dictionary_bases += eng.dictionary().size();
+    }
+  }
+  return s;
+}
+
+}  // namespace zipline::io

@@ -1,0 +1,180 @@
+// zipline::Node — ONE facade over every way this repo runs the codec.
+//
+// A Node is the software network element the paper's switch is in
+// hardware: bursts of packets enter one side, processed (or passthrough)
+// packets leave the other, in order. Behind the facade the node selects
+// the engine arrangement from NodeOptions:
+//
+//   * workers == 1            -> serial engine(s), no threads. per_flow
+//     ownership keeps one private Engine per flow key; shared ownership
+//     keeps ONE engine for the whole direction (the switch's single
+//     table), processing units in submission order.
+//   * workers > 1             -> engine::ParallelPipeline with the
+//     ordered drain, per_flow or shared dictionary ownership, pinned or
+//     load-aware steering, optional work stealing (shared mode).
+//
+// All arrangements are byte-identical for the same (flow, payload) unit
+// sequence: per-flow modes per flow, shared modes globally (the ordered
+// resolve turnstile — see engine/parallel.hpp). tests/io_backend_test.cpp
+// property-tests the full matrix against the serial references.
+//
+// The unit of work is one source packet: on encode, a packet's payload
+// becomes one engine unit (possibly several wire packets: chunks + raw
+// tail); on decode, one wire packet becomes one recovered raw packet.
+// Packets whose meta says process == false traverse untouched, keeping
+// their position — the switch's passthrough for non-ZipLine traffic.
+//
+// Drive a Node with io::Runner (runner.hpp): source -> node -> sink until
+// the source drains. One process() call is one flush boundary; the
+// dictionary lives in the node, across bursts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/parallel.hpp"
+#include "io/burst.hpp"
+
+namespace zipline::io {
+
+enum class Direction : std::uint8_t { encode, decode };
+
+/// Builder-style configuration: chain the with_* setters, hand the result
+/// to Node. Example:
+///
+///   Node node(NodeOptions{}
+///                 .with_direction(Direction::encode)
+///                 .with_workers(8)
+///                 .with_shared_dictionary()
+///                 .with_steering(engine::FlowSteering::load_aware)
+///                 .with_work_stealing(true));
+struct NodeOptions {
+  Direction direction = Direction::encode;
+  gd::GdParams params{};
+  /// 1 = serial (no threads); >1 = engine::ParallelPipeline worker pool.
+  std::size_t workers = 1;
+  std::size_t dictionary_shards = 1;
+  gd::EvictionPolicy policy = gd::EvictionPolicy::lru;
+  bool learn = true;
+  engine::DictionaryOwnership ownership =
+      engine::DictionaryOwnership::per_flow;
+  engine::FlowSteering steering = engine::FlowSteering::pinned;
+  /// Requires shared ownership (enforced by the pipeline); ignored when
+  /// workers == 1 (there is nobody to steal from).
+  bool work_stealing = false;
+  /// In-flight units per worker in parallel modes.
+  std::size_t queue_depth = 16;
+  /// Flush window inside one process() call: at most this many units are
+  /// in flight (and, on decode, staged) at once; the pipeline drains at
+  /// each window boundary. Has no effect on output bytes — flush
+  /// boundaries never change the dictionary op order.
+  std::size_t burst_size = 256;
+
+  NodeOptions& with_direction(Direction d) { direction = d; return *this; }
+  NodeOptions& with_params(const gd::GdParams& p) { params = p; return *this; }
+  NodeOptions& with_workers(std::size_t n) { workers = n; return *this; }
+  NodeOptions& with_shards(std::size_t n) { dictionary_shards = n; return *this; }
+  NodeOptions& with_policy(gd::EvictionPolicy p) { policy = p; return *this; }
+  NodeOptions& with_learn(bool on) { learn = on; return *this; }
+  NodeOptions& with_ownership(engine::DictionaryOwnership o) {
+    ownership = o;
+    return *this;
+  }
+  NodeOptions& with_shared_dictionary() {
+    ownership = engine::DictionaryOwnership::shared;
+    return *this;
+  }
+  NodeOptions& with_steering(engine::FlowSteering s) { steering = s; return *this; }
+  NodeOptions& with_work_stealing(bool on) { work_stealing = on; return *this; }
+  NodeOptions& with_queue_depth(std::size_t n) { queue_depth = n; return *this; }
+  NodeOptions& with_burst_size(std::size_t n) { burst_size = n; return *this; }
+};
+
+/// Aggregate view over the node's internal engines. Quiescent-only in
+/// parallel modes (between process() calls), like the pipeline's own
+/// aggregate_stats().
+struct NodeStats {
+  engine::EngineStats engine;      ///< summed over every internal engine
+  std::uint64_t bursts = 0;        ///< process() calls
+  std::uint64_t units = 0;         ///< packets run through an engine
+  std::uint64_t passthrough = 0;   ///< packets carried through untouched
+  /// Bases resident across the node's dictionaries. In per_flow parallel
+  /// mode the flow dictionaries live inside the pipeline workers and are
+  /// not aggregated here (reported as 0).
+  std::size_t dictionary_bases = 0;
+  std::size_t workers = 1;
+};
+
+class Node {
+ public:
+  explicit Node(NodeOptions options);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Runs one burst through the node, appending results to `out` (which
+  /// callers clear between bursts to recycle its arena) in input order.
+  /// One call is one flush boundary: every unit of `in` is delivered
+  /// before it returns. `in` must stay valid for the duration of the
+  /// call (unit inputs are views into its arena).
+  void process(const Burst& in, Burst& out);
+
+  [[nodiscard]] const NodeOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] NodeStats stats() const;
+
+ private:
+  [[nodiscard]] engine::Engine& serial_engine(std::uint32_t flow);
+  void append_unit_output(const engine::EncodeBatch& unit,
+                          const PacketMeta& in_meta, Burst& out) const;
+  void append_unit_output(const engine::DecodeBatch& unit,
+                          const PacketMeta& in_meta, Burst& out) const;
+  void copy_passthrough(const Burst& in, Burst& out, std::size_t end);
+  void process_serial(const Burst& in, Burst& out);
+  void process_parallel(const Burst& in, Burst& out);
+
+  NodeOptions options_;
+
+  // Serial arrangement: engines created on first use, reused forever.
+  std::unordered_map<std::uint32_t, engine::Engine> flow_engines_;
+  std::optional<engine::Engine> shared_engine_;
+  engine::EncodeBatch encode_scratch_;
+  engine::DecodeBatch decode_scratch_;
+
+  // Parallel arrangement (one direction per node).
+  std::unique_ptr<engine::ParallelEncoder> parallel_encoder_;
+  std::unique_ptr<engine::ParallelDecoder> parallel_decoder_;
+  /// Per-unit staging for parallel decode: one single-packet EncodeBatch
+  /// per in-flight unit of the current burst, arenas recycled across
+  /// bursts. Grown (if needed) before any submit, so element addresses
+  /// are stable while units are in flight.
+  std::vector<engine::EncodeBatch> staged_;
+
+  // Per-burst delivery state (valid inside process()): the ordered drain
+  // delivers units in submission order, so one cursor splices passthrough
+  // packets back in at their original positions.
+  const Burst* in_ = nullptr;
+  Burst* out_ = nullptr;
+  std::vector<std::uint32_t> unit_index_;  ///< unit # within burst -> packet
+  std::uint64_t burst_base_seq_ = 0;
+  std::size_t next_input_ = 0;
+
+  // Counters (engine stats live in the engines themselves).
+  std::uint64_t bursts_ = 0;
+  std::uint64_t units_ = 0;
+  std::uint64_t passthrough_ = 0;
+};
+
+}  // namespace zipline::io
+
+namespace zipline {
+// The facade names, at the namespace the rest of the library lives in.
+using io::Node;      // NOLINT(misc-unused-using-decls)
+using io::NodeOptions;  // NOLINT(misc-unused-using-decls)
+}  // namespace zipline

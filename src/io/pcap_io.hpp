@@ -1,0 +1,89 @@
+// Pcap burst backends: a capture file as a packet source / sink.
+//
+// PcapSource reads Ethernet frames out of a classic (or nanosecond-
+// precision) pcap via net::PcapReader, classifies each frame for the
+// configured node direction — processable ZipLine traffic vs passthrough,
+// exactly the switch's rule — and extracts a flow key from the MAC pair
+// or, for IPv4 frames, the 5-tuple. PcapSink writes each burst packet
+// back out as one frame through net::PcapWriter, preserving per-packet
+// timestamps, MAC addresses and EtherType from the burst metadata.
+//
+// zipline_pcap is these two backends around a zipline::Node; the replay
+// is byte-identical to the pre-io hand-rolled window loop
+// (tests/io_backend_test.cpp asserts it file-for-file).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gd/params.hpp"
+#include "io/burst.hpp"
+#include "io/node.hpp"
+#include "net/ethernet.hpp"
+#include "net/pcap.hpp"
+
+namespace zipline::io {
+
+/// What identifies a flow in a capture.
+enum class FlowKey : std::uint8_t {
+  mac_pair,    ///< hash of (src MAC, dst MAC) — one direction of a pair
+  five_tuple,  ///< IPv4 (src, dst, proto, sport, dport); MAC pair otherwise
+};
+
+struct PcapSourceOptions {
+  /// Frames per rx burst — the node's flush window when replayed through
+  /// a Runner (memory stays constant in the trace size).
+  std::size_t burst_size = 4096;
+  /// Direction of the node the frames are headed for: decides which
+  /// frames are processable (raw chunk frames for encode, type-2/3
+  /// frames with a full body for decode) and which pass through.
+  Direction direction = Direction::encode;
+  /// Chunk geometry for the processable test.
+  gd::GdParams params{};
+  FlowKey flow_key = FlowKey::mac_pair;
+};
+
+/// Hash of one direction of a MAC pair (FNV-1a over src then dst).
+[[nodiscard]] std::uint32_t mac_pair_flow(const net::EthernetFrame& frame);
+
+/// 5-tuple flow key: IPv4 frames hash (addresses, protocol, ports when
+/// TCP/UDP); anything else falls back to the MAC pair.
+[[nodiscard]] std::uint32_t five_tuple_flow(const net::EthernetFrame& frame);
+
+class PcapSource {
+ public:
+  explicit PcapSource(const std::string& path,
+                      const PcapSourceOptions& options = {});
+
+  /// Fills up to burst_size frames; 0 at end of capture.
+  std::size_t rx_burst(Burst& out);
+
+  [[nodiscard]] std::uint64_t frames_read() const noexcept {
+    return frames_read_;
+  }
+
+ private:
+  net::PcapReader reader_;
+  PcapSourceOptions options_;
+  net::EthernetFrame frame_;  // reused across records
+  std::uint64_t frames_read_ = 0;
+};
+
+class PcapSink {
+ public:
+  explicit PcapSink(const std::string& path);
+
+  /// One frame per burst packet: MACs, EtherType and timestamp from the
+  /// packet's metadata, payload from the burst arena.
+  void tx_burst(const Burst& burst);
+
+  [[nodiscard]] std::uint64_t frames_written() const noexcept {
+    return writer_.records_written();
+  }
+
+ private:
+  net::PcapWriter writer_;
+  net::EthernetFrame frame_;  // reused across packets
+};
+
+}  // namespace zipline::io

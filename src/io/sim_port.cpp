@@ -1,0 +1,62 @@
+#include "io/sim_port.hpp"
+
+#include "common/contracts.hpp"
+#include "gd/packet.hpp"
+
+namespace zipline::io {
+
+SimPort::SimPort(tofino::SwitchModel& model, tofino::PortId ingress_port,
+                 SimTime start_at, SimTime gap, std::size_t burst_size)
+    : model_(&model),
+      port_(ingress_port),
+      now_(start_at),
+      gap_(gap),
+      burst_size_(burst_size) {
+  ZL_EXPECTS(burst_size_ >= 1);
+  totals_.end_time = start_at;
+}
+
+void SimPort::tx_burst(const Burst& burst) {
+  const prog::BatchRunResult result =
+      prog::run_batch(*model_, burst.batch(), &egress_, port_, now_, gap_);
+  totals_.forwarded += result.forwarded;
+  totals_.dropped += result.dropped;
+  totals_.end_time = result.end_time;
+  now_ = result.end_time;
+}
+
+std::size_t SimPort::rx_burst(Burst& out) {
+  out.clear();
+  while (out.size() < burst_size_ && egress_cursor_ < egress_.size()) {
+    const engine::PacketDesc& desc = egress_.packet(egress_cursor_);
+    PacketMeta meta;
+    // run_batch frames carry the fixed local(1) -> local(2) addressing;
+    // flow identity does not survive the pipeline, so egress packets sit
+    // on one flow (re-key downstream if steering matters).
+    meta.src = net::MacAddress::local(1);
+    meta.dst = net::MacAddress::local(2);
+    meta.ether_type = gd::ether_type_for(desc.type);
+    meta.timestamp_us = 0;
+    out.append(desc.type, desc.syndrome, desc.basis_id,
+               egress_.payload(desc), meta);
+    ++egress_cursor_;
+  }
+  if (egress_cursor_ == egress_.size()) {
+    // Fully drained: recycle the arena instead of growing forever.
+    egress_.clear();
+    egress_cursor_ = 0;
+  }
+  return out.size();
+}
+
+void HostTxSink::tx_burst(const Burst& burst) {
+  staged_.push_back(burst.batch());
+  staged_packets_ += burst.size();
+}
+
+void HostTxSink::launch(SimTime start_at, std::uint64_t repeat) {
+  if (staged_.empty()) return;
+  host_->start_batch_stream(dst_, staged_, start_at, repeat);
+}
+
+}  // namespace zipline::io

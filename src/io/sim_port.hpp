@@ -1,0 +1,110 @@
+// Simulator burst backends: the modeled switch and hosts as io endpoints.
+//
+// SimPort adapts prog::run_batch — one port of a tofino::SwitchModel as a
+// duplex burst endpoint: bursts TX'd into the port run through the full
+// parse/ingress/egress/deparse pipeline immediately (one frame per `gap`
+// ns of pipeline time), and whatever egresses accumulates until pulled
+// with rx_burst. SimPortSink / SimPortSource are the two concept faces of
+// one port, so a Runner can pump traffic in while another drains the
+// egress side.
+//
+// HostTxSink adapts sim::Host::start_batch_stream — the TX port of a
+// simulated server: bursts accumulate into staged EncodeBatch windows,
+// and launch() hands the whole set to the host's paced transmit path
+// (CPU cap, NIC latency, the raw_ethernet_bw retransmit pattern). The
+// sink must outlive the stream, which owns views into the staged
+// batches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/scheduler.hpp"
+#include "io/burst.hpp"
+#include "sim/host.hpp"
+#include "zipline/program.hpp"
+
+namespace zipline::io {
+
+class SimPort {
+ public:
+  /// Frames enter the pipeline at `ingress_port`, one per `gap` ns of
+  /// pipeline timestamp, starting at `start_at`.
+  explicit SimPort(tofino::SwitchModel& model, tofino::PortId ingress_port,
+                   SimTime start_at = 0, SimTime gap = 1,
+                   std::size_t burst_size = 256);
+
+  /// Runs every packet of the burst through the switch now; survivors
+  /// land on the egress side.
+  void tx_burst(const Burst& burst);
+
+  /// Drains up to burst_size egress frames. Flow keys are the MAC pair
+  /// (what the wire still knows); syndrome/basis_id are zero, as for any
+  /// packet observed on the wire.
+  std::size_t rx_burst(Burst& out);
+
+  [[nodiscard]] const prog::BatchRunResult& totals() const noexcept {
+    return totals_;
+  }
+
+ private:
+  tofino::SwitchModel* model_;
+  tofino::PortId port_;
+  SimTime now_;
+  SimTime gap_;
+  std::size_t burst_size_;
+  prog::BatchRunResult totals_;
+  engine::EncodeBatch egress_;      // accumulated switch output
+  std::size_t egress_cursor_ = 0;   // next undrained egress packet
+};
+
+/// Ingress face of a SimPort.
+class SimPortSink {
+ public:
+  explicit SimPortSink(SimPort& port) : port_(&port) {}
+  void tx_burst(const Burst& burst) { port_->tx_burst(burst); }
+
+ private:
+  SimPort* port_;
+};
+
+/// Egress face of a SimPort.
+class SimPortSource {
+ public:
+  explicit SimPortSource(SimPort& port) : port_(&port) {}
+  std::size_t rx_burst(Burst& out) { return port_->rx_burst(out); }
+
+ private:
+  SimPort* port_;
+};
+
+/// Burst sink feeding a simulated host's paced TX path. Stage bursts,
+/// then launch() once; the staged batches must stay put until the stream
+/// finishes (keep the sink alive through the event-loop run).
+class HostTxSink {
+ public:
+  HostTxSink(sim::Host& host, net::MacAddress dst)
+      : host_(&host), dst_(dst) {}
+
+  /// Stages a copy of the burst as one EncodeBatch window.
+  void tx_burst(const Burst& burst);
+
+  /// Hands every staged window to Host::start_batch_stream, cycling the
+  /// set `repeat` times. Call after the last tx_burst.
+  void launch(SimTime start_at = 0, std::uint64_t repeat = 1);
+
+  [[nodiscard]] std::size_t staged_bursts() const noexcept {
+    return staged_.size();
+  }
+  [[nodiscard]] std::uint64_t staged_packets() const noexcept {
+    return staged_packets_;
+  }
+
+ private:
+  sim::Host* host_;
+  net::MacAddress dst_;
+  std::vector<engine::EncodeBatch> staged_;
+  std::uint64_t staged_packets_ = 0;
+};
+
+}  // namespace zipline::io

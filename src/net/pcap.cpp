@@ -11,6 +11,9 @@ namespace zipline::net {
 namespace {
 constexpr std::uint32_t kMagic = 0xA1B2C3D4;
 constexpr std::uint32_t kMagicSwapped = 0xD4C3B2A1;
+// Nanosecond-precision variant (same layout, fraction field is ns).
+constexpr std::uint32_t kMagicNanos = 0xA1B23C4D;
+constexpr std::uint32_t kMagicNanosSwapped = 0x4D3CB2A1;
 constexpr std::uint32_t kLinkTypeEthernet = 1;
 
 std::uint32_t swap32(std::uint32_t v) {
@@ -85,6 +88,12 @@ PcapReader::PcapReader(const std::string& path)
     swapped_ = false;
   } else if (magic == kMagicSwapped) {
     swapped_ = true;
+  } else if (magic == kMagicNanos) {
+    swapped_ = false;
+    nanosecond_ = true;
+  } else if (magic == kMagicNanosSwapped) {
+    swapped_ = true;
+    nanosecond_ = true;
   } else {
     throw std::runtime_error("pcap: unknown magic in " + path);
   }
@@ -113,8 +122,12 @@ std::optional<PcapRecord> PcapReader::next() {
     for (auto& h : header) h = swap32(h);
   }
   PcapRecord record;
+  // The fraction field carries microseconds (classic magic) or
+  // nanoseconds (0xA1B23C4D); timestamps normalize to microseconds.
+  const std::uint64_t fraction_us =
+      nanosecond_ ? header[1] / 1000 : header[1];
   record.timestamp_us =
-      static_cast<std::uint64_t>(header[0]) * 1000000 + header[1];
+      static_cast<std::uint64_t>(header[0]) * 1000000 + fraction_us;
   const std::uint32_t incl_len = header[2];
   record.data.resize(incl_len);
   impl_->in.read(reinterpret_cast<char*>(record.data.data()), incl_len);

@@ -49,6 +49,9 @@ class PcapWriter {
 class PcapReader {
  public:
   /// Opens `path`; throws std::runtime_error if the magic is unknown.
+  /// Accepts the classic magic 0xA1B2C3D4 and the nanosecond-precision
+  /// magic 0xA1B23C4D (each in either byte order); ns-precision
+  /// timestamps are scaled down to the microseconds PcapRecord carries.
   explicit PcapReader(const std::string& path);
   ~PcapReader();
 
@@ -63,10 +66,16 @@ class PcapReader {
 
   [[nodiscard]] std::uint32_t snaplen() const noexcept { return snaplen_; }
 
+  /// True when the capture uses the nanosecond-precision magic.
+  [[nodiscard]] bool nanosecond_precision() const noexcept {
+    return nanosecond_;
+  }
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
-  bool swapped_ = false;  ///< file written with opposite endianness
+  bool swapped_ = false;     ///< file written with opposite endianness
+  bool nanosecond_ = false;  ///< fraction field is ns, not us
   std::uint32_t snaplen_ = 0;
 };
 

@@ -4,9 +4,9 @@
 
 #include "common/contracts.hpp"
 #include "engine/engine.hpp"
-#include "engine/parallel.hpp"
 #include "gd/packet.hpp"
 #include "gd/transform.hpp"
+#include "io/node.hpp"
 
 namespace zipline::sim {
 
@@ -138,28 +138,36 @@ ThroughputResult run_batch_throughput(prog::SwitchOp op,
 
   std::vector<engine::EncodeBatch> batches(stage_workers);
   if (op == prog::SwitchOp::decode) {
-    // Feed the decoder genuine type-2 packets. The staging workers share
-    // ONE dictionary service (load-aware steering, ordered resolve) — the
-    // switch they feed holds a single decode table per direction, so the
-    // staged flows must draw identifiers from one consistent space, not
-    // from per-flow private dictionaries that would collide on the wire.
-    engine::ParallelOptions stage_options;
-    stage_options.workers = stage_workers;
-    stage_options.ownership = engine::DictionaryOwnership::shared;
-    stage_options.steering = engine::FlowSteering::load_aware;
-    stage_options.work_stealing = stage_workers > 1;
-    engine::ParallelEncoder stager(
-        params, stage_options,
-        [&](const engine::ParallelEncoder::Unit& unit) {
-          for (const engine::PacketDesc& desc : unit.output->packets()) {
-            batches[unit.seq].append(desc.type, desc.syndrome, desc.basis_id,
-                                     unit.output->payload(desc));
-          }
-        });
+    // Feed the decoder genuine type-2 packets, staged through the Node
+    // facade: one burst, one packet (= one unit, one flow) per stager
+    // worker. The staging workers share ONE dictionary service (the
+    // shared ownership mode) — the switch they feed holds a single
+    // decode table per direction, so the staged flows must draw
+    // identifiers from one consistent space, not from per-flow private
+    // dictionaries that would collide on the wire.
+    io::NodeOptions node_options;
+    node_options.params = params;
+    node_options.workers = stage_workers;
+    node_options.ownership = engine::DictionaryOwnership::shared;
+    node_options.steering = engine::FlowSteering::load_aware;
+    node_options.work_stealing = stage_workers > 1;
+    io::Node stager(node_options);
+    io::Burst in;
+    io::Burst out;
     for (std::size_t i = 0; i < stage_workers; ++i) {
-      stager.submit(static_cast<std::uint32_t>(i), slices[i]);
+      io::PacketMeta meta;
+      meta.flow = static_cast<std::uint32_t>(i);
+      in.append(gd::PacketType::raw, 0, 0, slices[i], meta);
     }
-    stager.flush();
+    stager.process(in, out);
+    // The ordered drain delivers units (hence packets) in submission
+    // order; the flow key rides the metadata, so each staged batch
+    // rebuilds from its own slice's packets.
+    for (std::size_t p = 0; p < out.size(); ++p) {
+      const engine::PacketDesc& desc = out.desc(p);
+      batches[out.meta(p).flow].append(desc.type, desc.syndrome,
+                                       desc.basis_id, out.payload(p));
+    }
   } else {
     // Raw chunk frames for the encode (and no-op) pipelines.
     for (std::size_t i = 0; i < stage_workers; ++i) {

@@ -15,6 +15,8 @@
 #include "common/rng.hpp"
 #include "engine/engine.hpp"
 #include "engine/parallel.hpp"
+#include "io/memory_ring.hpp"
+#include "io/node.hpp"
 
 namespace {
 
@@ -213,6 +215,76 @@ TEST(EngineAllocation, SharedDictionaryPoolSteadyStateIsAllocationFree) {
       << "steady-state shared-dictionary encode must not touch the heap";
   EXPECT_EQ(pool.delivered(), pool.submitted());
   EXPECT_GT(sink_bytes, 0u);
+}
+
+// The io burst rings inherit the arena discipline: slots copy bursts in
+// and out through grow-only vectors, so a ring cycling same-shaped
+// bursts — the DPDK-style steady state — never touches the heap once
+// slots and the pop-side burst have grown to the working set.
+TEST(EngineAllocation, MemoryRingSteadyStateIsAllocationFree) {
+  const gd::GdParams params;
+  Rng rng(0x12116);
+  io::Burst burst;
+  for (int p = 0; p < 16; ++p) {
+    io::PacketMeta meta;
+    meta.flow = static_cast<std::uint32_t>(p % 4);
+    burst.append(gd::PacketType::raw, 0, 0,
+                 random_payload(rng, 8 * params.raw_payload_bytes()), meta);
+  }
+
+  io::MemoryRing ring(4);
+  io::Burst popped;
+  // Warmup: grow every slot arena and the pop-side burst.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.try_push(burst));
+    ASSERT_TRUE(ring.try_pop(popped));
+  }
+
+  const std::uint64_t before = allocation_count();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(ring.try_push(burst));
+    ASSERT_TRUE(ring.try_pop(popped));
+  }
+  EXPECT_EQ(allocation_count(), before)
+      << "steady-state ring push/pop must not touch the heap";
+  EXPECT_EQ(popped.size(), burst.size());
+}
+
+// The full source -> Node -> sink loop on rings: after warmup (flows
+// learned, arenas grown, rings cycled) a whole burst pass through a
+// serial node allocates nothing.
+TEST(EngineAllocation, RingNodeRingSteadyStateIsAllocationFree) {
+  const gd::GdParams params;
+  Rng rng(0x10D3);
+  io::Burst in;
+  for (int p = 0; p < 8; ++p) {
+    io::PacketMeta meta;
+    meta.flow = static_cast<std::uint32_t>(p % 2);
+    in.append(gd::PacketType::raw, 0, 0,
+              random_payload(rng, 16 * params.raw_payload_bytes()), meta);
+  }
+
+  io::Node node(io::NodeOptions{}.with_params(params));
+  io::MemoryRing ring(2);
+  io::Burst staged;
+  io::Burst out;
+  for (int i = 0; i < 8; ++i) {  // warmup: learn + grow
+    ASSERT_TRUE(ring.try_push(in));
+    ASSERT_TRUE(ring.try_pop(staged));
+    out.clear();
+    node.process(staged, out);
+  }
+
+  const std::uint64_t before = allocation_count();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(ring.try_push(in));
+    ASSERT_TRUE(ring.try_pop(staged));
+    out.clear();
+    node.process(staged, out);
+  }
+  EXPECT_EQ(allocation_count(), before)
+      << "steady-state ring -> node -> burst pass must not touch the heap";
+  EXPECT_GT(out.size(), 0u);
 }
 
 // The contrast case documenting what the adapters cost: the per-chunk

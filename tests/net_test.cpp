@@ -138,6 +138,87 @@ TEST_F(PcapRoundTrip, FramesSurviveThePcapLayer) {
   EXPECT_FALSE(next.has_value());
 }
 
+namespace {
+
+/// Hand-writes a pcap global header + one record with an explicit magic
+/// and raw (seconds, fraction) timestamp fields, optionally byte-swapped
+/// — the shapes tcpdump/wireshark produce for ns-precision captures.
+void write_raw_pcap(const std::string& path, std::uint32_t magic,
+                    bool swapped, std::uint32_t seconds,
+                    std::uint32_t fraction,
+                    const std::vector<std::uint8_t>& data) {
+  const auto swap32 = [](std::uint32_t v) {
+    return ((v & 0xFF) << 24) | ((v & 0xFF00) << 8) | ((v >> 8) & 0xFF00) |
+           (v >> 24);
+  };
+  const auto put32 = [&](std::ofstream& out, std::uint32_t v) {
+    if (swapped) v = swap32(v);
+    out.write(reinterpret_cast<const char*>(&v), 4);
+  };
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  // The magic itself is written in the file's own byte order.
+  std::uint32_t stored_magic = swapped ? swap32(magic) : magic;
+  out.write(reinterpret_cast<const char*>(&stored_magic), 4);
+  std::uint16_t major = 2;
+  std::uint16_t minor = 4;
+  if (swapped) {
+    major = static_cast<std::uint16_t>((major << 8) | (major >> 8));
+    minor = static_cast<std::uint16_t>((minor << 8) | (minor >> 8));
+  }
+  out.write(reinterpret_cast<const char*>(&major), 2);
+  out.write(reinterpret_cast<const char*>(&minor), 2);
+  put32(out, 0);      // thiszone
+  put32(out, 0);      // sigfigs
+  put32(out, 65535);  // snaplen
+  put32(out, 1);      // LINKTYPE_ETHERNET
+  put32(out, seconds);
+  put32(out, fraction);
+  put32(out, static_cast<std::uint32_t>(data.size()));
+  put32(out, static_cast<std::uint32_t>(data.size()));
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+}  // namespace
+
+TEST_F(PcapRoundTrip, NanosecondMagicIsAcceptedAndScaled) {
+  const std::vector<std::uint8_t> data(64, 0xAB);
+  // 1,600,000,000 s + 123,456,789 ns -> ..._123456 us.
+  write_raw_pcap(path_, 0xA1B23C4D, /*swapped=*/false, 1'600'000'000,
+                 123'456'789, data);
+  PcapReader reader(path_);
+  EXPECT_TRUE(reader.nanosecond_precision());
+  const auto record = reader.next();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->timestamp_us, 1'600'000'000'000'000ull + 123'456ull);
+  EXPECT_EQ(record->data, data);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST_F(PcapRoundTrip, ByteSwappedNanosecondMagicIsAccepted) {
+  const std::vector<std::uint8_t> data(48, 0x5C);
+  write_raw_pcap(path_, 0xA1B23C4D, /*swapped=*/true, 7, 999'999'999, data);
+  PcapReader reader(path_);
+  EXPECT_TRUE(reader.nanosecond_precision());
+  EXPECT_EQ(reader.snaplen(), 65535u);
+  const auto record = reader.next();
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->timestamp_us, 7'999'999ull);
+  EXPECT_EQ(record->data, data);
+}
+
+TEST_F(PcapRoundTrip, ClassicMagicReportsMicrosecondPrecision) {
+  {
+    PcapWriter writer(path_);
+    PcapRecord r;
+    r.timestamp_us = 42;
+    r.data.assign(64, 0);
+    writer.write_record(r);
+  }
+  PcapReader reader(path_);
+  EXPECT_FALSE(reader.nanosecond_precision());
+}
+
 TEST_F(PcapRoundTrip, RejectsGarbageFiles) {
   {
     std::ofstream out(path_, std::ios::binary);
