@@ -179,9 +179,14 @@ BENCHMARK(BM_DictionaryLookupMiss);
 // BitVector::hash() serves the shard router AND the in-shard map probe
 // (threaded through lookup/insert/install), so this must track
 // BM_DictionaryLookup closely at every shard count; a second full hash on
-// this path would show up as a near-2x regression here.
+// this path would show up as a near-2x regression here. The fifo arg is
+// the private baseline for BM_ConcurrentDictionaryLookup below (a fifo
+// hit skips the LRU recency splice, matching what the concurrent
+// service's lock-free read path serves).
 void BM_ShardedDictionaryLookup(benchmark::State& state) {
-  gd::ShardedDictionary dict(32768, gd::EvictionPolicy::lru,
+  gd::ShardedDictionary dict(32768,
+                             state.range(1) != 0 ? gd::EvictionPolicy::fifo
+                                                 : gd::EvictionPolicy::lru,
                              static_cast<std::size_t>(state.range(0)));
   Rng rng(5);
   std::vector<bits::BitVector> bases;
@@ -194,7 +199,12 @@ void BM_ShardedDictionaryLookup(benchmark::State& state) {
     benchmark::DoNotOptimize(dict.lookup(bases[i++ & 1023]));
   }
 }
-BENCHMARK(BM_ShardedDictionaryLookup)->Arg(1)->Arg(8)->Arg(64);
+BENCHMARK(BM_ShardedDictionaryLookup)
+    ->ArgNames({"shards", "fifo"})
+    ->Args({1, 0})
+    ->Args({8, 0})
+    ->Args({64, 0})
+    ->Args({8, 1});
 
 // Sharded miss path: the router must hash to pick the shard, but the
 // shard's prefilter still short-circuits most misses before the map probe
@@ -218,18 +228,25 @@ void BM_ShardedDictionaryLookupMiss(benchmark::State& state) {
 }
 BENCHMARK(BM_ShardedDictionaryLookupMiss)->Arg(1)->Arg(8);
 
-// The shared dictionary service under thread contention: every lookup
-// takes its shard's striped mutex. Threads(1) measures the uncontended
-// lock tax over BM_ShardedDictionaryLookup; higher thread counts show the
-// striping absorbing contention (content hashing spreads threads across
-// the shard locks — range(0) is the shard count).
+// The shared dictionary service's read-path tax. range(1) selects the
+// path: 0 = locked (every lookup takes its shard's striped mutex — the
+// ~40% uncontended overhead over BM_ShardedDictionaryLookup the ROADMAP
+// called out), 1 = seqlock (lookups answered from the per-shard lock-free
+// mirror; Threads(1) vs the private fifo baseline shows the residual
+// overhead, higher thread counts show readers scaling past the stripe
+// count instead of serializing on it). FIFO policy because an LRU *hit*
+// must refresh recency — a write — and takes the stripe lock on either
+// path; fifo/random hits (and misses under every policy) are pure reads,
+// which is what the seqlock path serves without blocking.
 void BM_ConcurrentDictionaryLookup(benchmark::State& state) {
   static gd::ConcurrentShardedDictionary* dict = nullptr;
   static std::vector<bits::BitVector>* bases = nullptr;
   if (state.thread_index() == 0) {
     const auto shards = static_cast<std::size_t>(state.range(0));
-    dict = new gd::ConcurrentShardedDictionary(32768, gd::EvictionPolicy::lru,
-                                               shards);
+    const auto path = state.range(1) != 0 ? gd::ReadPath::seqlock
+                                          : gd::ReadPath::locked;
+    dict = new gd::ConcurrentShardedDictionary(32768, gd::EvictionPolicy::fifo,
+                                               shards, path);
     bases = new std::vector<bits::BitVector>();
     Rng rng(5);
     for (int i = 0; i < 1024; ++i) {
@@ -249,11 +266,78 @@ void BM_ConcurrentDictionaryLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConcurrentDictionaryLookup)
-    ->ArgName("shards")
-    ->Arg(8)
+    ->ArgNames({"shards", "seqlock"})
+    ->Args({8, 0})
+    ->Args({8, 1})
     ->Threads(1)
     ->Threads(2)
     ->Threads(4);
+
+// Multi-reader contention against a live writer: thread 0 continuously
+// inserts fresh random bases (publishing new entries and, once the table
+// fills, evictions), while the remaining {1, 2, 4, 8} reader threads look
+// up a resident working set. On the locked path readers serialize on the
+// 8 stripe mutexes (and collide with the writer); on the seqlock path
+// reads never block, so aggregate reader throughput scales with the
+// reader count. (On a single-core host the scaling flattens to the
+// timeslice — the CI runners have real parallelism.)
+void BM_ConcurrentDictionaryLookupContended(benchmark::State& state) {
+  static gd::ConcurrentShardedDictionary* dict = nullptr;
+  static std::vector<bits::BitVector>* bases = nullptr;
+  if (state.thread_index() == 0) {
+    const auto path = state.range(0) != 0 ? gd::ReadPath::seqlock
+                                          : gd::ReadPath::locked;
+    dict = new gd::ConcurrentShardedDictionary(32768, gd::EvictionPolicy::fifo,
+                                               8, path);
+    bases = new std::vector<bits::BitVector>();
+    Rng rng(5);
+    for (int i = 0; i < 1024; ++i) {
+      bases->push_back(random_bits(rng, 247));
+      (void)dict->insert(bases->back());
+    }
+  }
+  if (state.thread_index() == 0) {
+    // The background writer: alternate inserting a fresh basis and
+    // erasing it again, so every iteration is a real seqlock publish but
+    // the population stays bounded — the readers' 1024-base working set
+    // is never evicted, keeping them on the HIT path for the whole trial
+    // (unbounded fresh inserts would fill the 32768-entry table and FIFO-
+    // evict the working set mid-run, silently turning this into a miss
+    // benchmark). Insert throughput is not the measurement.
+    Rng rng(0xBEEF);
+    std::uint32_t last = 0;
+    bool pending = false;
+    for (auto _ : state) {
+      if (pending) {
+        dict->erase(last);
+        pending = false;
+      } else {
+        last = dict->insert(random_bits(rng, 247)).id;
+        pending = true;
+      }
+    }
+  } else {
+    std::size_t i = static_cast<std::size_t>(state.thread_index()) * 37;
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(dict->lookup((*bases)[i++ & 1023]));
+    }
+    state.SetItemsProcessed(state.iterations());
+  }
+  if (state.thread_index() == 0) {
+    delete dict;
+    delete bases;
+    dict = nullptr;
+    bases = nullptr;
+  }
+}
+BENCHMARK(BM_ConcurrentDictionaryLookupContended)
+    ->ArgName("seqlock")
+    ->Arg(0)
+    ->Arg(1)
+    ->Threads(2)
+    ->Threads(3)
+    ->Threads(5)
+    ->Threads(9);
 
 // Node burst encode: one process() pass (submit every unit + flush) over
 // a fixed 8-flow burst through the zipline::Node facade. Wall-clock

@@ -72,6 +72,17 @@ void BitVector::assign_from_bytes(std::span<const std::uint8_t> bytes,
   }
 }
 
+void BitVector::assign_from_words(std::span<const std::uint64_t> words,
+                                  std::size_t size) {
+  ZL_EXPECTS(size <= words.size() * kWordBits);
+  size_ = size;
+  const std::size_t count = words_for(size);
+  words_.resize(count);
+  std::copy(words.begin(), words.begin() + static_cast<std::ptrdiff_t>(count),
+            words_.begin());
+  trim_top_word();
+}
+
 bool BitVector::get(std::size_t i) const {
   ZL_EXPECTS(i < size_);
   return (words_[i / kWordBits] >> (i % kWordBits)) & 1;

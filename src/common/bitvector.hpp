@@ -55,6 +55,14 @@ class BitVector {
   void assign_from_bytes(std::span<const std::uint8_t> bytes,
                          std::size_t size);
 
+  /// In-place assignment from word storage (word 0 = low bits, the layout
+  /// words() exposes). `words` must cover `size` bits; bits past `size`
+  /// in the top word must be zero. This is the copy-out path of the
+  /// shared dictionary's lock-free reads, which snapshot entry words from
+  /// atomic storage before rebuilding the basis.
+  void assign_from_words(std::span<const std::uint64_t> words,
+                         std::size_t size);
+
   /// In-place slice: extracts bits [lo, lo+len) of this vector into `out`.
   void slice_into(std::size_t lo, std::size_t len, BitVector& out) const;
 

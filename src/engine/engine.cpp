@@ -101,20 +101,64 @@ void Engine::encode_transform(std::span<const std::uint8_t> payload,
     unit.transformed.resize(full);
     unit.types.resize(full);
     unit.ids.resize(full);
+    unit.hashes.resize(full);
   }
+  const bool shared = dictionary_.is_shared();
   for (std::size_t i = 0; i < full; ++i) {
     chunk_scratch_.assign_from_bytes(
         payload.subspan(i * chunk_bytes, chunk_bytes), params().chunk_bits);
     transform_.forward_into(chunk_scratch_, unit.transformed[i],
                             word_scratch_);
+    if (shared) {
+      // Hash in the (concurrent) transform phase so the sequenced resolve
+      // phase spends none of its critical section hashing.
+      unit.hashes[i] = unit.transformed[i].basis.hash();
+    }
   }
   unit.chunks = full;
   unit.tail = payload.subspan(full * chunk_bytes);
 }
 
 void Engine::encode_resolve(EncodeUnit& unit) {
+  if (!dictionary_.is_shared()) {
+    // Private dictionary: per-chunk classify, whose lazy single-shard
+    // path lets the prefilter resolve most misses without hashing.
+    for (std::size_t i = 0; i < unit.chunks; ++i) {
+      unit.types[i] = classify(unit.transformed[i], unit.ids[i]);
+    }
+    return;
+  }
+  // Shared dictionary: gather the unit's operations into one plan and
+  // execute it with a single stripe acquisition per (unit, shard) pair.
+  // The plan replays the exact op sequence classify would issue — one
+  // lookup_or_insert (or bare lookup when not learning) per chunk, in
+  // chunk order — so types, identifiers and statistics are identical.
+  batch_ops_.resize(unit.chunks);
+  const gd::BatchOp::Kind kind = learn_ ? gd::BatchOp::Kind::lookup_or_insert
+                                        : gd::BatchOp::Kind::lookup;
   for (std::size_t i = 0; i < unit.chunks; ++i) {
-    unit.types[i] = classify(unit.transformed[i], unit.ids[i]);
+    gd::BatchOp& op = batch_ops_[i];
+    op.kind = kind;
+    op.hash = unit.hashes[i];
+    op.basis = &unit.transformed[i].basis;
+    op.out = nullptr;
+    op.result = gd::BatchOp::kNoId;
+  }
+  dictionary_.apply_batch(batch_ops_, batch_scratch_);
+  const gd::GdParams& p = params();
+  for (std::size_t i = 0; i < unit.chunks; ++i) {
+    ++stats_.chunks;
+    stats_.bytes_in += p.raw_payload_bytes();
+    if (batch_ops_[i].result != gd::BatchOp::kNoId) {
+      unit.ids[i] = batch_ops_[i].result;
+      unit.types[i] = gd::PacketType::compressed;
+      ++stats_.compressed_packets;
+      stats_.bytes_out += p.type3_payload_bytes();
+    } else {
+      unit.types[i] = gd::PacketType::uncompressed;
+      ++stats_.uncompressed_packets;
+      stats_.bytes_out += p.type2_payload_bytes();
+    }
   }
 }
 
@@ -217,8 +261,10 @@ void Engine::decode_parse(const EncodeBatch& in, DecodeUnit& unit) {
     unit.ids.resize(count);
     unit.excesses.resize(count);
     unit.bases.resize(count);
+    unit.hashes.resize(count);
     unit.raws.resize(count);
   }
+  const bool shared = dictionary_.is_shared();
   for (std::size_t i = 0; i < count; ++i) {
     const PacketDesc& desc = in.packet(i);
     const auto payload = in.payload(desc);
@@ -237,6 +283,11 @@ void Engine::decode_parse(const EncodeBatch& in, DecodeUnit& unit) {
     reader.read_bits_into(p.excess_bits(), unit.excesses[i]);
     if (desc.type == gd::PacketType::uncompressed) {
       reader.read_bits_into(p.k(), unit.bases[i]);
+      if (shared && learn_) {
+        // Hash the learnable basis in the (concurrent) parse phase; the
+        // sequenced resolve phase reuses it — see encode_transform.
+        unit.hashes[i] = unit.bases[i].hash();
+      }
     } else {
       unit.ids[i] =
           static_cast<std::uint32_t>(reader.read_uint(p.id_bits));
@@ -247,6 +298,53 @@ void Engine::decode_parse(const EncodeBatch& in, DecodeUnit& unit) {
 
 void Engine::decode_resolve(DecodeUnit& unit) {
   const gd::GdParams& p = params();
+  if (dictionary_.is_shared()) {
+    // Gather the unit's dictionary operations — type-2 learns and type-3
+    // fetches, in packet order — into one plan executed with a single
+    // stripe acquisition per (unit, shard) pair. A type-3 identifier can
+    // reference a basis a type-2 packet of this same unit teaches; both
+    // route to the same shard (the identifier lives in the shard the
+    // basis hashes to), and in-shard plan order is preserved, so the
+    // fetch still observes the insert exactly as the serial loop would.
+    batch_ops_.clear();
+    for (std::size_t i = 0; i < unit.packets; ++i) {
+      if (unit.types[i] == gd::PacketType::uncompressed && learn_) {
+        batch_ops_.push_back({gd::BatchOp::Kind::insert_if_absent, 0,
+                              unit.hashes[i], &unit.bases[i], nullptr,
+                              gd::BatchOp::kNoId});
+      } else if (unit.types[i] == gd::PacketType::compressed) {
+        batch_ops_.push_back({gd::BatchOp::Kind::fetch_basis, unit.ids[i], 0,
+                              nullptr, &unit.bases[i], gd::BatchOp::kNoId});
+      }
+    }
+    dictionary_.apply_batch(batch_ops_, batch_scratch_);
+    std::size_t op = 0;
+    for (std::size_t i = 0; i < unit.packets; ++i) {
+      ++stats_.chunks;
+      switch (unit.types[i]) {
+        case gd::PacketType::raw:
+          ++stats_.raw_packets;
+          stats_.bytes_in += unit.raws[i].size();
+          stats_.bytes_out += unit.raws[i].size();
+          break;
+        case gd::PacketType::uncompressed:
+          ++stats_.uncompressed_packets;
+          stats_.bytes_in += p.type2_payload_bytes();
+          stats_.bytes_out += p.raw_payload_bytes();
+          if (learn_) ++op;
+          break;
+        default:
+          ++stats_.compressed_packets;
+          stats_.bytes_in += p.type3_payload_bytes();
+          stats_.bytes_out += p.raw_payload_bytes();
+          ZL_EXPECTS(batch_ops_[op].result != gd::BatchOp::kNoId &&
+                     "compressed packet with unknown ID");
+          ++op;
+          break;
+      }
+    }
+    return;
+  }
   for (std::size_t i = 0; i < unit.packets; ++i) {
     ++stats_.chunks;
     switch (unit.types[i]) {

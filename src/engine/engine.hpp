@@ -56,6 +56,10 @@ struct EncodeUnit {
   std::vector<gd::TransformedChunk> transformed;
   std::vector<gd::PacketType> types;
   std::vector<std::uint32_t> ids;  ///< identifier per compressed chunk
+  /// Shared-dictionary engines precompute each basis's content hash here
+  /// during the (concurrent) transform phase, so the sequenced resolve
+  /// phase spends no time hashing inside its critical section.
+  std::vector<std::uint64_t> hashes;
   std::span<const std::uint8_t> tail{};
 };
 
@@ -67,6 +71,9 @@ struct DecodeUnit {
   std::vector<std::uint32_t> ids;
   std::vector<bits::BitVector> excesses;
   std::vector<bits::BitVector> bases;  ///< parsed (type 2) or fetched (type 3)
+  /// Content hashes of parsed type-2 bases (shared-dictionary engines
+  /// only), computed in the concurrent parse phase — see EncodeUnit.
+  std::vector<std::uint64_t> hashes;
   std::vector<std::span<const std::uint8_t>> raws;
 };
 
@@ -120,6 +127,12 @@ class Engine {
 
   /// Phase 2 (dictionary): classify every transformed chunk — consult /
   /// teach the dictionary, fill unit.types / unit.ids, update statistics.
+  /// On a shared dictionary the unit's operations are gathered into one
+  /// batched plan (gd::BatchOp) and executed with a single stripe
+  /// acquisition per (unit, shard) pair; a private dictionary keeps the
+  /// per-chunk loop (whose lazy single-shard path can skip hashing
+  /// entirely on prefiltered misses). Both produce identical types, ids
+  /// and statistics.
   void encode_resolve(EncodeUnit& unit);
 
   /// Phase 3 (pure): serialize the classified unit (and raw tail) into the
@@ -151,7 +164,8 @@ class Engine {
   void decode_parse(const EncodeBatch& in, DecodeUnit& unit);
 
   /// Phase 2 (dictionary): learn type-2 bases, fetch type-3 bases (copied
-  /// into the unit), update statistics.
+  /// into the unit), update statistics. Batched on a shared dictionary —
+  /// see encode_resolve.
   void decode_resolve(DecodeUnit& unit);
 
   /// Phase 3 (pure): inverse-transform every chunk into the decode arena.
@@ -219,6 +233,10 @@ class Engine {
   bits::BitVector chunk_scratch_;
   bits::BitVector basis_scratch_;  ///< shared-mode copy of a fetched basis
   bits::BitWriter writer_;
+  /// Batched-resolve staging (shared mode): built and consumed inside one
+  /// resolve call; grow-only, like every other scratch.
+  std::vector<gd::BatchOp> batch_ops_;
+  gd::BatchScratch batch_scratch_;
 };
 
 }  // namespace zipline::engine

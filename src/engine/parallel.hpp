@@ -15,18 +15,24 @@
 //     single-threaded Engine; dictionary memory scales with the number of
 //     flows.
 //   * shared — all workers of the pipeline's direction consult and teach
-//     ONE gd::ConcurrentShardedDictionary (striped per-shard locks), the
+//     ONE gd::ConcurrentShardedDictionary (striped writes; lock-free
+//     seqlock reads by default — ParallelOptions::read_path), the
 //     paper's one-table-per-direction switch reality: flows deduplicate
 //     against each other and dictionary memory no longer scales with
 //     workers or flows. With the ordered drain, each worker splits its
 //     unit into transform -> resolve -> emit phases (engine/engine.hpp)
 //     and only the resolve (dictionary) phases are sequenced — in global
 //     submission order, via an atomic turnstile — while transforms and
-//     serialization run concurrently. The dictionary therefore replays
-//     the exact operation order a single-threaded Engine would produce,
-//     making the parallel output byte-identical to the serial engine and
-//     replayable by any decoder (tests/flow_steering_test.cpp asserts
-//     both, under Zipf-skewed flows).
+//     serialization run concurrently. Each resolve gathers its unit's
+//     dictionary operations into one batched plan (gd::BatchOp) executed
+//     with a single stripe acquisition per (unit, shard) pair, and basis
+//     hashing happens in the concurrent transform/parse phase, so the
+//     turnstile's critical section is the shard-local map work and
+//     nothing else. The dictionary still replays the exact operation
+//     order a single-threaded Engine would produce, making the parallel
+//     output byte-identical to the serial engine and replayable by any
+//     decoder (tests/flow_steering_test.cpp asserts both, under
+//     Zipf-skewed flows).
 //
 // Flow steering (ParallelOptions::steering):
 //
@@ -99,6 +105,13 @@ struct ParallelOptions {
   /// Dictionary shards (gd/sharded_dictionary.hpp): per flow engine in
   /// per_flow mode, lock stripes of the one service in shared mode.
   std::size_t dictionary_shards = 1;
+  /// How the shared service serves reads (shared mode only): the default
+  /// seqlock path answers lookups/peeks/fetches from a per-shard read
+  /// mirror without blocking (writes stay striped and bump the shard's
+  /// sequence); `locked` takes a stripe mutex per op, the historical
+  /// arrangement. Byte-identical either way — seqlock reads are
+  /// state-equivalent to their locked counterparts.
+  gd::ReadPath read_path = gd::ReadPath::seqlock;
   gd::EvictionPolicy policy = gd::EvictionPolicy::lru;
   bool learn = true;
   /// Deliver units in global submission order (byte-identical to the
@@ -364,7 +377,7 @@ ParallelPipeline<Stage>::ParallelPipeline(const gd::GdParams& params,
              "then encode any flow) and the ordered drain");
   if (options_.ownership == DictionaryOwnership::shared) {
     service_.emplace(params_.dictionary_capacity(), options_.policy,
-                     options_.dictionary_shards);
+                     options_.dictionary_shards, options_.read_path);
   }
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {

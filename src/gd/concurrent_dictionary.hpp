@@ -4,39 +4,88 @@
 // flow traversing the device shares — that is what makes the dictionary
 // converge fast and stay small. This wrapper turns the deterministic
 // ShardedDictionary into that service for the software pipeline: N worker
-// threads of one direction operate on one dictionary, each operation
-// guarded by the mutex of the one shard it touches. Shard routing already
-// content-hashes, so contention stripes naturally across shards; with the
-// default single shard the mutex degenerates to one uncontended lock.
+// threads of one direction operate on one dictionary. Writes (insert /
+// install / erase / touch and the compound learning transitions) are
+// striped: each takes the mutex of the one shard it touches. Reads go one
+// of two ways, selected by ReadPath at construction:
+//
+//   * locked  — every operation takes its stripe mutex (the historical
+//     arrangement). Simple, but BM_ConcurrentDictionaryLookup measures an
+//     ~40% uncontended lock tax per op, and readers serialize on the
+//     stripe count under contention.
+//   * seqlock (default) — lookup / peek / contains / lookup_basis_into
+//     are served from a per-shard read MIRROR guarded by a sequence
+//     counter: writers bump the counter odd, publish, bump it even;
+//     readers snapshot the counter, probe, and retry when it was odd or
+//     changed. Readers therefore never block and scale past the stripe
+//     count. The mirror is retry-safe by construction: every shared field
+//     is a std::atomic in stable (never reallocated) slots, so a torn
+//     read is *detected* by the sequence recheck, never dereferenced.
+//     stats() and size() read lock-free shadow counters refreshed at each
+//     locked operation.
+//
+// Seqlock reads are STATE-EQUIVALENT to their locked counterparts, which
+// is what preserves byte-identity with the serial engine:
+//
+//   * a miss mutates nothing in either path (read-side hit/miss
+//     accounting lives in wrapper counters, folded into stats());
+//   * a hit under fifo/random policies mutates nothing (those policies
+//     never refresh recency), so it is a pure read;
+//   * a hit under LRU must refresh recency — a write — so LRU hits fall
+//     back to the stripe lock and replay the exact inner transition. The
+//     hot encode path on fresh traffic is miss-dominated, and the ordered
+//     pipeline's resolve phases use apply_batch (below) rather than
+//     per-op reads, so this fallback is off the line-rate path.
+//
+// apply_batch executes a whole resolve plan (gd::BatchOp, one unit's
+// dictionary operations) with ONE stripe acquisition per (unit, shard)
+// pair: ops are grouped by shard (stable, so in-shard order equals plan
+// order) and each group runs under a single lock hold. Per-shard state
+// (entries, recency, free identifiers, statistics, RNG) is independent
+// across shards, so the grouped execution is observationally identical to
+// the serial in-order execution ShardedDictionary::apply_batch defines.
+// DictionaryStats::stripe_acquisitions counts every lock acquisition so
+// the one-per-(unit, shard) contract is regression-testable.
 //
 // Thread-safety contract: every public operation is safe to call from any
 // thread. Determinism, however, is a property of the CALLER's operation
-// order — the underlying ShardedDictionary replays whatever sequence it is
-// fed. The parallel pipeline's ordered mode therefore sequences its
-// dictionary phases in global submission order (engine/parallel.hpp),
-// which is what makes shared-dictionary output byte-identical to a serial
+// order — the underlying ShardedDictionary replays whatever sequence it
+// is fed. The parallel pipeline's ordered mode therefore sequences its
+// resolve phases in global submission order (engine/parallel.hpp), which
+// is what makes shared-dictionary output byte-identical to a serial
 // engine and replayable by a decoder; unordered callers get thread-safety
 // but no replay guarantee.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <vector>
+#include <span>
 
 #include "common/bitvector.hpp"
 #include "gd/sharded_dictionary.hpp"
 
 namespace zipline::gd {
 
+/// How the shared service serves its read operations (see file comment).
+enum class ReadPath : std::uint8_t {
+  locked,   ///< every operation takes its stripe mutex
+  seqlock,  ///< reads validate against per-shard sequence counters
+};
+
 class ConcurrentShardedDictionary {
  public:
   ConcurrentShardedDictionary(std::size_t capacity, EvictionPolicy policy,
                               std::size_t shard_count = 1,
-                              std::uint64_t random_seed = 0x1dba5e5)
-      : dict_(capacity, policy, shard_count, random_seed),
-        stripes_(std::make_unique<Stripe[]>(shard_count)) {}
+                              ReadPath read_path = ReadPath::seqlock,
+                              std::uint64_t random_seed = 0x1dba5e5);
+  ~ConcurrentShardedDictionary();
+
+  ConcurrentShardedDictionary(const ConcurrentShardedDictionary&) = delete;
+  ConcurrentShardedDictionary& operator=(const ConcurrentShardedDictionary&) =
+      delete;
 
   [[nodiscard]] std::size_t capacity() const noexcept {
     return dict_.capacity();
@@ -47,25 +96,17 @@ class ConcurrentShardedDictionary {
   [[nodiscard]] EvictionPolicy policy() const noexcept {
     return dict_.policy();
   }
+  [[nodiscard]] ReadPath read_path() const noexcept { return read_path_; }
 
-  /// Total mapped bases / aggregated statistics, each shard read under its
-  /// own lock (a consistent-per-shard snapshot, not a global one).
-  [[nodiscard]] std::size_t size() const {
-    std::size_t total = 0;
-    for (std::size_t s = 0; s < dict_.shard_count(); ++s) {
-      std::lock_guard<std::mutex> guard(stripes_[s].mutex);
-      total += dict_.shard(s).size();
-    }
-    return total;
-  }
-  [[nodiscard]] DictionaryStats stats() const {
-    DictionaryStats total;
-    for (std::size_t s = 0; s < dict_.shard_count(); ++s) {
-      std::lock_guard<std::mutex> guard(stripes_[s].mutex);
-      total += dict_.shard(s).stats();
-    }
-    return total;
-  }
+  /// Total mapped bases / aggregated statistics. Both are assembled from
+  /// lock-free shadow counters (refreshed at every locked operation) plus
+  /// the read-side counters, so they never block the write path; each
+  /// shard's contribution is a consistent-at-sync snapshot, not a global
+  /// one. stats() additionally reports stripe_acquisitions (every mutex
+  /// acquisition this service ever performed) and lockfree_reads (reads
+  /// served entirely by the seqlock path).
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] DictionaryStats stats() const noexcept;
 
   /// Lock-free view of the underlying dictionary for quiescent inspection
   /// (tests, post-flush reporting). Racy while workers are active.
@@ -74,109 +115,187 @@ class ConcurrentShardedDictionary {
   }
 
   // --- thread-safe ShardedDictionary interface --------------------------
-  // One content hash per operation: it routes to the shard, whose mutex is
-  // then held for the shard-local map work.
+  // One content hash per operation: it routes to the shard and keys both
+  // the read mirror and the in-shard map.
 
   [[nodiscard]] std::optional<std::uint32_t> lookup(
-      const bits::BitVector& basis) {
-    if (dict_.shard_count() == 1) {
-      // One stripe: no routing hash needed; the shard's prefilter can
-      // resolve most misses without hashing the basis at all.
-      std::lock_guard<std::mutex> guard(stripes_[0].mutex);
-      return dict_.lookup(basis);
-    }
-    const std::uint64_t hash = basis.hash();
-    std::lock_guard<std::mutex> guard(stripe_of_hash(hash));
-    return dict_.lookup(basis, hash);
-  }
+      const bits::BitVector& basis);
 
   [[nodiscard]] std::optional<std::uint32_t> peek(
-      const bits::BitVector& basis) const {
-    const std::uint64_t hash = basis.hash();
-    std::lock_guard<std::mutex> guard(stripe_of_hash(hash));
-    return dict_.peek(basis, hash);
+      const bits::BitVector& basis) const;
+
+  /// Membership test without touching recency or statistics (a named
+  /// peek, lock-free on the seqlock path).
+  [[nodiscard]] bool contains(const bits::BitVector& basis) const {
+    return peek(basis).has_value();
   }
 
-  InsertResult insert(const bits::BitVector& basis) {
-    const std::uint64_t hash = basis.hash();
-    std::lock_guard<std::mutex> guard(stripe_of_hash(hash));
-    return dict_.insert(basis, hash);
-  }
+  InsertResult insert(const bits::BitVector& basis);
 
   /// Atomic encoder-side transition: lookup, and on a miss insert when
-  /// `learn` — all under ONE stripe acquisition. This is what makes the
-  /// free-running (unordered) pipeline mode safe: two threads racing the
-  /// same fresh basis cannot both pass the miss check and double-insert.
-  /// The op sequence fed to the deterministic core (lookup, then insert)
-  /// is exactly the serial engine's.
+  /// `learn` — the compound transition holds ONE stripe acquisition, so
+  /// two threads racing the same fresh basis cannot both pass the miss
+  /// check and double-insert (what makes the free-running pipeline mode
+  /// safe). On the seqlock path a hit under fifo/random is answered from
+  /// the mirror without the lock; everything else takes the stripe lock
+  /// and replays the serial engine's exact sequence (lookup, then
+  /// insert).
   [[nodiscard]] std::optional<std::uint32_t> lookup_or_insert(
-      const bits::BitVector& basis, bool learn) {
-    if (dict_.shard_count() == 1) {
-      std::lock_guard<std::mutex> guard(stripes_[0].mutex);
-      if (const auto hit = dict_.lookup(basis)) return hit;
-      if (learn) (void)dict_.insert(basis);
-      return std::nullopt;
-    }
-    const std::uint64_t hash = basis.hash();
-    std::lock_guard<std::mutex> guard(stripe_of_hash(hash));
-    if (const auto hit = dict_.lookup(basis, hash)) return hit;
-    if (learn) (void)dict_.insert(basis, hash);
-    return std::nullopt;
-  }
+      const bits::BitVector& basis, bool learn);
 
   /// Atomic decode-side learn: insert unless already present (the peek
   /// counts no statistics), under one stripe acquisition — the mirror of
   /// lookup_or_insert for the uncompressed-packet learning path.
-  void insert_if_absent(const bits::BitVector& basis) {
-    const std::uint64_t hash = basis.hash();
-    std::lock_guard<std::mutex> guard(stripe_of_hash(hash));
-    if (!dict_.peek(basis, hash)) (void)dict_.insert(basis, hash);
-  }
+  void insert_if_absent(const bits::BitVector& basis);
 
-  /// Copies the basis mapped by `id` into `out` (reusing its storage) and
-  /// refreshes recency; returns false when the identifier is unmapped.
-  /// This replaces lookup_basis_ref for shared callers — a reference into
-  /// the entry table cannot outlive the shard lock.
+  /// Copies the basis mapped by `id` into `out` (reusing its storage);
+  /// returns false when the identifier is unmapped. Refreshes recency
+  /// under LRU (which forces the stripe lock); under fifo/random the
+  /// seqlock path copies straight out of the mirror. This replaces
+  /// lookup_basis_ref for shared callers — a reference into the entry
+  /// table cannot outlive the shard lock.
   [[nodiscard]] bool lookup_basis_into(std::uint32_t id,
-                                       bits::BitVector& out) {
-    std::lock_guard<std::mutex> guard(stripe_of_id(id));
-    const bits::BitVector* basis = dict_.lookup_basis_ref(id);
-    if (basis == nullptr) return false;
-    out = *basis;
-    return true;
-  }
+                                       bits::BitVector& out);
 
-  void install(std::uint32_t id, const bits::BitVector& basis) {
-    std::lock_guard<std::mutex> guard(stripe_of_id(id));
-    dict_.install(id, basis);
-  }
+  void install(std::uint32_t id, const bits::BitVector& basis);
 
-  void erase(std::uint32_t id) {
-    std::lock_guard<std::mutex> guard(stripe_of_id(id));
-    dict_.erase(id);
-  }
+  void erase(std::uint32_t id);
 
-  void touch(std::uint32_t id) {
-    std::lock_guard<std::mutex> guard(stripe_of_id(id));
-    dict_.touch(id);
-  }
+  void touch(std::uint32_t id);
+
+  /// Executes a resolve plan with one stripe acquisition per (plan,
+  /// shard) pair. Results land in each op's `result` / `*out` exactly as
+  /// ShardedDictionary::apply_batch (the serial reference) would produce
+  /// them. `scratch` carries the grow-only grouping arrays.
+  void apply_batch(std::span<BatchOp> ops, BatchScratch& scratch);
 
  private:
-  /// One cache line per shard mutex so neighbouring stripes don't false-
+  /// One cache line per shard stripe so neighbouring stripes don't false-
   /// share under contention.
   struct alignas(64) Stripe {
     mutable std::mutex mutex;
+    /// Seqlock sequence: even = mirror stable, odd = publish in progress.
+    std::atomic<std::uint64_t> seq{0};
+    // Read-side accounting: the inner shard never sees lock-free ops, so
+    // their hit/miss contributions live here and are folded into stats().
+    mutable std::atomic<std::uint64_t> read_hits{0};
+    mutable std::atomic<std::uint64_t> read_misses{0};
+    mutable std::atomic<std::uint64_t> read_other{0};  // peek/contains/fetch
+    // Shadow of the inner shard's statistics and size, refreshed before a
+    // locked operation releases the stripe — what lets stats()/size()
+    // stay off the mutex entirely.
+    std::atomic<std::uint64_t> shadow_hits{0};
+    std::atomic<std::uint64_t> shadow_misses{0};
+    std::atomic<std::uint64_t> shadow_insertions{0};
+    std::atomic<std::uint64_t> shadow_evictions{0};
+    std::atomic<std::uint64_t> shadow_prefilter{0};
+    std::atomic<std::uint64_t> shadow_size{0};
   };
 
-  [[nodiscard]] std::mutex& stripe_of_hash(std::uint64_t hash) const {
-    return stripes_[dict_.shard_of_hash(hash)].mutex;
+  /// Per-shard read mirror: stable all-atomic slots for every published
+  /// (hash, basis) entry plus an open-addressing index from content hash
+  /// to local identifier. Writers maintain it under the stripe mutex
+  /// inside a seq-odd window; readers only ever load atomics and validate
+  /// against the sequence, so no retry can fault.
+  struct Mirror {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> entry_hash;  // [capacity]
+    std::unique_ptr<std::atomic<std::uint32_t>[]> entry_bits;  // 0 = unmapped
+    /// Basis word slab [capacity * width_words], allocated at the first
+    /// publish (when the basis width is known). Owned raw (unique_ptr
+    /// cannot be loaded atomically); freed in the destructor.
+    std::atomic<std::atomic<std::uint64_t>*> words{nullptr};
+    std::atomic<std::uint32_t> width_words{0};
+    /// Open-addressing index: tag (content hash, 0 = never used) and
+    /// local id + 1. Erases leave stale slots behind (detected by entry
+    /// validation); the writer rebuilds when occupancy crosses 3/4.
+    std::unique_ptr<std::atomic<std::uint64_t>[]> index_tag;
+    std::unique_ptr<std::atomic<std::uint32_t>[]> index_ref;
+    std::size_t index_mask = 0;
+    std::size_t index_used = 0;  ///< writer-only: slots with nonzero tag
+    /// Cleared (permanently falling back to locked reads for this shard)
+    /// if a basis wider than the slab ever arrives — only possible with
+    /// mixed basis sizes, which no engine produces.
+    std::atomic<bool> enabled{true};
+  };
+
+  enum class Probe : std::uint8_t { hit, miss, retry };
+
+  [[nodiscard]] std::unique_lock<std::mutex> acquire_stripe(
+      std::size_t shard) const {
+    stripe_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    return std::unique_lock<std::mutex>(stripes_[shard].mutex);
   }
-  [[nodiscard]] std::mutex& stripe_of_id(std::uint32_t id) const {
-    return stripes_[dict_.shard_of_id(id)].mutex;
+
+  [[nodiscard]] std::uint32_t to_local(std::uint32_t id) const noexcept {
+    return id % static_cast<std::uint32_t>(dict_.shard_capacity());
+  }
+  [[nodiscard]] std::uint32_t to_global(std::size_t shard,
+                                        std::uint32_t local) const noexcept {
+    return static_cast<std::uint32_t>(shard * dict_.shard_capacity()) + local;
+  }
+
+  // Seqlock write window (stripe mutex held).
+  void seq_begin(std::size_t shard) noexcept;
+  void seq_end(std::size_t shard) noexcept;
+
+  /// Retires a shard's mirror (readers fall back to the stripe lock),
+  /// bumping the sequence so in-flight optimistic reads retry rather
+  /// than validate a miss. Stripe mutex held.
+  void disable_mirror(std::size_t shard);
+  /// Ensures the shard's word slab can hold `basis` (allocating it on
+  /// first use); returns false after retiring the mirror when it cannot.
+  /// Stripe mutex held.
+  [[nodiscard]] bool prepare_slab(std::size_t shard,
+                                  const bits::BitVector& basis);
+  /// Raw mirror stores for entry `local` = (hash, basis) + index claim.
+  /// Stripe mutex held, seq window OPEN (callers bracket with
+  /// seq_begin/seq_end so multi-entry updates can share one window).
+  void write_entry(std::size_t shard, std::uint32_t local,
+                   const bits::BitVector& basis, std::uint64_t hash);
+  /// Publishes entry `local` = (hash, basis) into shard `shard`'s mirror
+  /// and (re)claims its index slot, in its own seq window. Stripe mutex
+  /// held.
+  void publish_entry(std::size_t shard, std::uint32_t local,
+                     const bits::BitVector& basis, std::uint64_t hash);
+  /// Unpublishes entry `local` (its index slot goes stale, detected by
+  /// validation). Stripe mutex held.
+  void publish_erase(std::size_t shard, std::uint32_t local);
+  void index_claim(Mirror& mirror, std::uint64_t hash, std::uint32_t local);
+  void rebuild_index(Mirror& mirror);
+
+  /// One optimistic probe of shard `shard`'s mirror for `basis`. hit
+  /// fills `local`; retry means the mirror was unstable (or disabled) and
+  /// the caller should fall back to the stripe lock after a few attempts.
+  [[nodiscard]] Probe probe_mirror(std::size_t shard,
+                                   const bits::BitVector& basis,
+                                   std::uint64_t hash,
+                                   std::uint32_t& local) const;
+  /// One optimistic copy-out of entry `local` into `out`. hit = mapped,
+  /// miss = unmapped, retry as above.
+  [[nodiscard]] Probe fetch_mirror(std::size_t shard, std::uint32_t local,
+                                   bits::BitVector& out) const;
+
+  /// Inner insert + mirror publish (stripe mutex held).
+  InsertResult locked_insert(std::size_t shard, const bits::BitVector& basis,
+                             std::uint64_t hash);
+  /// Executes one plan op against the inner dictionary (stripe mutex
+  /// held), publishing any mirror changes.
+  void run_locked_op(std::size_t shard, BatchOp& op);
+  /// Refreshes the shard's shadow statistics (stripe mutex held; the last
+  /// thing a locked operation does before releasing).
+  void sync_shadow(std::size_t shard) noexcept;
+
+  [[nodiscard]] std::size_t shard_of_op(const BatchOp& op) const noexcept {
+    return op.kind == BatchOp::Kind::fetch_basis
+               ? dict_.shard_of_id(op.id)
+               : dict_.shard_of_hash(op.hash);
   }
 
   ShardedDictionary dict_;
+  ReadPath read_path_;
   std::unique_ptr<Stripe[]> stripes_;
+  std::unique_ptr<Mirror[]> mirrors_;
+  mutable std::atomic<std::uint64_t> stripe_acquisitions_{0};
 };
 
 }  // namespace zipline::gd

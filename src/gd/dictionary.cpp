@@ -80,6 +80,12 @@ const bits::BitVector* BasisDictionary::lookup_basis_ref(std::uint32_t id) {
   return &entries_[id].basis;
 }
 
+const bits::BitVector* BasisDictionary::peek_basis(std::uint32_t id) const {
+  ZL_EXPECTS(id < capacity_);
+  if (!entries_[id].used) return nullptr;
+  return &entries_[id].basis;
+}
+
 InsertResult BasisDictionary::insert(const bits::BitVector& basis) {
   return insert(basis, basis.hash());
 }

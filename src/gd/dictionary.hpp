@@ -34,6 +34,14 @@ struct DictionaryStats {
   /// Misses resolved by the short-fingerprint prefilter alone, i.e. without
   /// hashing the full basis (a subset of `misses`).
   std::uint64_t prefilter_skips = 0;
+  /// Stripe-mutex acquisitions (ConcurrentShardedDictionary only; a plain
+  /// BasisDictionary takes no locks). The batched resolve contract —
+  /// at most one acquisition per (unit, shard) pair — regression-tests
+  /// against this counter.
+  std::uint64_t stripe_acquisitions = 0;
+  /// Reads served entirely by the seqlock (lock-free) path
+  /// (ConcurrentShardedDictionary only).
+  std::uint64_t lockfree_reads = 0;
 
   DictionaryStats& operator+=(const DictionaryStats& other) noexcept {
     hits += other.hits;
@@ -41,6 +49,8 @@ struct DictionaryStats {
     insertions += other.insertions;
     evictions += other.evictions;
     prefilter_skips += other.prefilter_skips;
+    stripe_acquisitions += other.stripe_acquisitions;
+    lockfree_reads += other.lockfree_reads;
     return *this;
   }
 };
@@ -124,6 +134,18 @@ class BasisDictionary {
   /// pointer into the entry table (invalidated by the next mutation), or
   /// nullptr when the identifier is unmapped. Refreshes recency.
   [[nodiscard]] const bits::BitVector* lookup_basis_ref(std::uint32_t id);
+
+  /// Const entry inspection: the basis mapped by `id` (nullptr when
+  /// unmapped) WITHOUT touching recency or statistics. Used by the
+  /// concurrent wrapper to resync its lock-free read mirror.
+  [[nodiscard]] const bits::BitVector* peek_basis(std::uint32_t id) const;
+
+  /// The stored content hash of `id`'s basis (only meaningful while the
+  /// identifier is mapped) — pairs with peek_basis for mirror resync.
+  [[nodiscard]] std::uint64_t entry_hash(std::uint32_t id) const {
+    ZL_EXPECTS(id < capacity_);
+    return entries_[id].hash;
+  }
 
   /// Inserts a new basis, allocating (possibly recycling) an identifier.
   /// The basis must not already be present.

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "common/bitvector.hpp"
 #include "common/contracts.hpp"
@@ -96,6 +97,26 @@ class DictionaryHandle {
     if (const auto hit = owned_->lookup(basis)) return hit;
     if (learn) (void)owned_->insert(basis);
     return std::nullopt;
+  }
+
+  /// Membership test without touching recency or statistics (lock-free in
+  /// shared seqlock mode).
+  [[nodiscard]] bool contains(const bits::BitVector& basis) const {
+    return peek(basis).has_value();
+  }
+
+  /// Executes a whole resolve plan (one unit's dictionary operations).
+  /// Private mode runs the ops in plan order — the deterministic
+  /// reference; shared mode groups them by shard and takes each stripe
+  /// lock ONCE per (plan, shard) pair, which is observationally identical
+  /// because per-shard state is independent and in-shard order is
+  /// preserved. This is the engine's split-phase resolve path.
+  void apply_batch(std::span<BatchOp> ops, BatchScratch& scratch) {
+    if (shared_ != nullptr) {
+      shared_->apply_batch(ops, scratch);
+    } else {
+      owned_->apply_batch(ops);
+    }
   }
 
   /// Decode-side learn: insert unless present (peek counts no stats);

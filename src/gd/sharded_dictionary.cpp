@@ -82,6 +82,47 @@ const bits::BitVector* ShardedDictionary::lookup_basis_ref(std::uint32_t id) {
   return shards_[shard_of_id(id)].lookup_basis_ref(to_local(id));
 }
 
+const bits::BitVector* ShardedDictionary::peek_basis(std::uint32_t id) const {
+  ZL_EXPECTS(id < capacity());
+  return shards_[shard_of_id(id)].peek_basis(to_local(id));
+}
+
+void ShardedDictionary::apply_batch(std::span<BatchOp> ops) {
+  for (BatchOp& op : ops) {
+    switch (op.kind) {
+      case BatchOp::Kind::lookup:
+        if (const auto hit = lookup(*op.basis, op.hash)) {
+          op.result = *hit;
+        } else {
+          op.result = BatchOp::kNoId;
+        }
+        break;
+      case BatchOp::Kind::lookup_or_insert:
+        if (const auto hit = lookup(*op.basis, op.hash)) {
+          op.result = *hit;
+        } else {
+          (void)insert(*op.basis, op.hash);
+          op.result = BatchOp::kNoId;
+        }
+        break;
+      case BatchOp::Kind::insert_if_absent:
+        if (!peek(*op.basis, op.hash)) (void)insert(*op.basis, op.hash);
+        op.result = BatchOp::kNoId;
+        break;
+      case BatchOp::Kind::fetch_basis: {
+        const bits::BitVector* basis = lookup_basis_ref(op.id);
+        if (basis != nullptr) {
+          *op.out = *basis;
+          op.result = 1;
+        } else {
+          op.result = BatchOp::kNoId;
+        }
+        break;
+      }
+    }
+  }
+}
+
 InsertResult ShardedDictionary::insert(const bits::BitVector& basis) {
   return insert(basis, basis.hash());
 }

@@ -20,12 +20,56 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/bitvector.hpp"
 #include "gd/dictionary.hpp"
 
 namespace zipline::gd {
+
+/// One queued dictionary operation of a batched resolve plan. The engine's
+/// split-phase resolve gathers a whole unit's operations into a span of
+/// these and executes them in one apply_batch call, so a shared dictionary
+/// can take each stripe lock once per unit instead of once per operation.
+///
+/// Semantics mirror the corresponding single-op calls exactly:
+///   * lookup           — encoder classify without learning; `result` is
+///                        the identifier on a hit, kNoId on a miss.
+///   * lookup_or_insert — encoder classify with learning: on a miss the
+///                        basis is inserted (result stays kNoId, matching
+///                        the serial engine, which emits type 2 and
+///                        discards the fresh identifier).
+///   * insert_if_absent — decoder learning a type-2 basis (peek counts no
+///                        statistics; insert only when absent).
+///   * fetch_basis      — decoder fetching a type-3 identifier: the basis
+///                        is copied into `*out` (recency refreshed, like
+///                        lookup_basis_ref); `result` is 1 when mapped,
+///                        kNoId when not.
+struct BatchOp {
+  enum class Kind : std::uint8_t {
+    lookup,
+    lookup_or_insert,
+    insert_if_absent,
+    fetch_basis,
+  };
+  static constexpr std::uint32_t kNoId = 0xFFFFFFFFu;
+
+  Kind kind = Kind::lookup;
+  std::uint32_t id = 0;        ///< fetch_basis: the global identifier
+  std::uint64_t hash = 0;      ///< basis ops: precomputed content hash
+  const bits::BitVector* basis = nullptr;  ///< basis ops
+  bits::BitVector* out = nullptr;          ///< fetch_basis: copy-out target
+  std::uint32_t result = kNoId;
+};
+
+/// Reusable grouping scratch for the concurrent apply_batch (counting-sort
+/// arrays; grow-only, so steady-state batches allocate nothing).
+struct BatchScratch {
+  std::vector<std::uint32_t> counts;   // ops per shard
+  std::vector<std::uint32_t> offsets;  // prefix sums into `order`
+  std::vector<std::uint32_t> order;    // op indices grouped by shard
+};
 
 class ShardedDictionary {
  public:
@@ -95,6 +139,18 @@ class ShardedDictionary {
 
   /// Copy-free variant (pointer invalidated by the next mutation).
   [[nodiscard]] const bits::BitVector* lookup_basis_ref(std::uint32_t id);
+
+  /// Const entry inspection without touching recency or statistics (the
+  /// mirror-resync path of the concurrent wrapper).
+  [[nodiscard]] const bits::BitVector* peek_basis(std::uint32_t id) const;
+
+  /// Executes a resolve plan in span order. This is the deterministic
+  /// reference semantics of apply_batch: each op behaves exactly like its
+  /// single-op counterpart, executed in sequence. The concurrent wrapper
+  /// executes the same plan grouped by shard — observationally identical,
+  /// because every shard's state (entries, recency, free identifiers,
+  /// statistics, RNG) is independent and in-shard order is preserved.
+  void apply_batch(std::span<BatchOp> ops);
 
   /// Inserts a new basis into its route shard; the returned identifier is
   /// global. The basis must not already be present.

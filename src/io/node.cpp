@@ -14,6 +14,7 @@ engine::ParallelOptions parallel_options(const NodeOptions& o) {
   p.workers = o.workers;
   p.queue_depth = o.queue_depth;
   p.dictionary_shards = o.dictionary_shards;
+  p.read_path = o.read_path;
   p.policy = o.policy;
   p.learn = o.learn;
   // Output order == input order is part of the Node contract (and what

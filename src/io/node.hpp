@@ -58,6 +58,13 @@ struct NodeOptions {
   /// 1 = serial (no threads); >1 = engine::ParallelPipeline worker pool.
   std::size_t workers = 1;
   std::size_t dictionary_shards = 1;
+  /// Read path of the shared dictionary service (parallel shared mode):
+  /// the default seqlock path serves lookups/peeks/fetches lock-free from
+  /// a per-shard read mirror; `locked` takes a stripe mutex per op.
+  /// Output bytes are identical either way; this is purely a throughput
+  /// knob. Ignored when workers == 1 (the serial shared arrangement has
+  /// one engine and a private dictionary) or in per_flow ownership.
+  gd::ReadPath read_path = gd::ReadPath::seqlock;
   gd::EvictionPolicy policy = gd::EvictionPolicy::lru;
   bool learn = true;
   engine::DictionaryOwnership ownership =
@@ -78,6 +85,7 @@ struct NodeOptions {
   NodeOptions& with_params(const gd::GdParams& p) { params = p; return *this; }
   NodeOptions& with_workers(std::size_t n) { workers = n; return *this; }
   NodeOptions& with_shards(std::size_t n) { dictionary_shards = n; return *this; }
+  NodeOptions& with_read_path(gd::ReadPath r) { read_path = r; return *this; }
   NodeOptions& with_policy(gd::EvictionPolicy p) { policy = p; return *this; }
   NodeOptions& with_learn(bool on) { learn = on; return *this; }
   NodeOptions& with_ownership(engine::DictionaryOwnership o) {
