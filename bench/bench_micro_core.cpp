@@ -16,6 +16,7 @@
 #include "common/rng.hpp"
 #include "crc/syndrome_crc.hpp"
 #include "engine/engine.hpp"
+#include "engine/parallel.hpp"
 #include "gd/concurrent_dictionary.hpp"
 #include "gd/codec.hpp"
 #include "gd/transform.hpp"
@@ -338,6 +339,156 @@ BENCHMARK(BM_ConcurrentDictionaryLookupContended)
     ->Threads(3)
     ->Threads(5)
     ->Threads(9);
+
+// The recency-policy tax on a HIT-heavy contended workload, which the
+// fifo runs above deliberately dodge: an LRU hit is a WRITE (the recency
+// splice), so even on the seqlock read path every reader hit takes its
+// stripe mutex and colliding readers serialize. range(0) = 1 swaps in
+// EvictionPolicy::clock, whose hit records recency as one relaxed
+// referenced-bit store on the lock-free path — same workload, no lock.
+// Readers loop over a resident working set against a live writer
+// (insert/erase alternation, as above); reader items/s is the metric.
+void BM_ConcurrentDictionaryLookupContendedLru(benchmark::State& state) {
+  static gd::ConcurrentShardedDictionary* dict = nullptr;
+  static std::vector<bits::BitVector>* bases = nullptr;
+  if (state.thread_index() == 0) {
+    const auto policy = state.range(0) != 0 ? gd::EvictionPolicy::clock
+                                            : gd::EvictionPolicy::lru;
+    dict = new gd::ConcurrentShardedDictionary(32768, policy, 8,
+                                               gd::ReadPath::seqlock);
+    bases = new std::vector<bits::BitVector>();
+    Rng rng(5);
+    for (int i = 0; i < 1024; ++i) {
+      bases->push_back(random_bits(rng, 247));
+      (void)dict->insert(bases->back());
+    }
+  }
+  if (state.thread_index() == 0) {
+    Rng rng(0xBEEF);
+    std::uint32_t last = 0;
+    bool pending = false;
+    for (auto _ : state) {
+      if (pending) {
+        dict->erase(last);
+        pending = false;
+      } else {
+        last = dict->insert(random_bits(rng, 247)).id;
+        pending = true;
+      }
+    }
+  } else {
+    std::size_t i = static_cast<std::size_t>(state.thread_index()) * 37;
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(dict->lookup((*bases)[i++ & 1023]));
+    }
+    state.SetItemsProcessed(state.iterations());
+  }
+  if (state.thread_index() == 0) {
+    const gd::DictionaryStats stats = dict->stats();
+    state.counters["stripe_acquisitions"] =
+        static_cast<double>(stats.stripe_acquisitions);
+    state.counters["clock_touches"] = static_cast<double>(stats.clock_touches);
+    delete dict;
+    delete bases;
+    dict = nullptr;
+    bases = nullptr;
+  }
+}
+BENCHMARK(BM_ConcurrentDictionaryLookupContendedLru)
+    ->ArgName("clock")
+    ->Arg(0)
+    ->Arg(1)
+    ->Threads(2)
+    ->Threads(3)
+    ->Threads(5)
+    ->Threads(9);
+
+// The per-shard resolve turnstiles, measured at the pipeline level. Every
+// unit is 8 chunks pre-binned by the dictionary's own shard router:
+// range(0) = 0 gives each unit a single-shard footprint rotated across
+// the 8 shards (disjoint — concurrent units rarely share a shard, so
+// admissions should not block), range(0) = 1 mixes all 8 shards into
+// every unit (total overlap — per-shard turnstiles degenerate to the old
+// global resolve turnstile). Units spread over 4 pinned workers on 4
+// flows. turnstile_waits / stripe_acquisitions per flush window are
+// reported as counters; the disjoint-vs-overlap wait gap is what the
+// per-shard split buys over one global turnstile.
+void BM_PipelineShardTurnstile(benchmark::State& state) {
+  constexpr std::size_t kShards = 8;
+  constexpr std::size_t kUnits = 64;
+  constexpr std::size_t kChunksPerUnit = 8;
+  const bool overlap = state.range(0) != 0;
+  const gd::GdParams params;
+  const gd::GdTransform transform{params};
+  const gd::ShardedDictionary router(params.dictionary_capacity(),
+                                     gd::EvictionPolicy::lru, kShards);
+  const std::size_t chunk_bytes = params.raw_payload_bytes();
+
+  // Bin random chunks by the shard their basis routes to.
+  Rng rng(0x5A4D);
+  std::vector<std::vector<std::vector<std::uint8_t>>> bins(kShards);
+  bits::BitVector chunk_bits;
+  std::size_t filled = 0;
+  while (filled < kShards) {
+    std::vector<std::uint8_t> chunk(chunk_bytes);
+    for (auto& b : chunk) b = static_cast<std::uint8_t>(rng.next_u64());
+    chunk_bits.assign_from_bytes(chunk, params.chunk_bits);
+    auto& bin = bins[router.shard_of(transform.forward(chunk_bits).basis)];
+    if (bin.size() < 24) {
+      bin.push_back(std::move(chunk));
+      if (bin.size() == 24) ++filled;
+    }
+  }
+
+  std::vector<std::vector<std::uint8_t>> payloads(kUnits);
+  for (std::size_t u = 0; u < kUnits; ++u) {
+    for (std::size_t c = 0; c < kChunksPerUnit; ++c) {
+      // Disjoint: every chunk of unit u from bin u%8. Overlap: chunk c
+      // from bin (u+c)%8, touching all eight shards per unit.
+      const auto& bin = bins[(overlap ? u + c : u) % kShards];
+      const auto& chunk = bin[(u / kShards + c) % bin.size()];
+      payloads[u].insert(payloads[u].end(), chunk.begin(), chunk.end());
+    }
+  }
+
+  engine::ParallelOptions options;
+  options.workers = 4;
+  options.queue_depth = 8;
+  options.dictionary_shards = kShards;
+  options.ownership = engine::DictionaryOwnership::shared;
+  options.steering = engine::FlowSteering::pinned;
+  engine::ParallelEncoder encoder(params, options, nullptr);
+  for (std::size_t u = 0; u < kUnits; ++u) {  // warm dictionary + arenas
+    encoder.submit(static_cast<std::uint32_t>(u % options.workers),
+                   payloads[u]);
+  }
+  encoder.flush();
+  const gd::DictionaryStats warm = encoder.shared_dictionary()->stats();
+
+  for (auto _ : state) {
+    for (std::size_t u = 0; u < kUnits; ++u) {
+      encoder.submit(static_cast<std::uint32_t>(u % options.workers),
+                     payloads[u]);
+    }
+    encoder.flush();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kUnits));
+  const gd::DictionaryStats stats = encoder.shared_dictionary()->stats();
+  const auto per_iter = [&](std::uint64_t total, std::uint64_t warm_part) {
+    return static_cast<double>(total - warm_part) /
+           static_cast<double>(state.iterations());
+  };
+  state.counters["turnstile_waits"] =
+      per_iter(stats.turnstile_waits, warm.turnstile_waits);
+  state.counters["stripe_acquisitions"] =
+      per_iter(stats.stripe_acquisitions, warm.stripe_acquisitions);
+}
+BENCHMARK(BM_PipelineShardTurnstile)
+    ->ArgName("overlap")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
 
 // Node burst encode: one process() pass (submit every unit + flush) over
 // a fixed 8-flow burst through the zipline::Node facade. Wall-clock

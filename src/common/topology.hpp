@@ -1,0 +1,86 @@
+// Minimal CPU topology probe for topology-aware flow steering.
+//
+// The steering policy only needs one fact per CPU: which package / NUMA
+// domain it belongs to, so two candidate workers can be drawn from the
+// same cache domain. On Linux that is
+// /sys/devices/system/cpu/cpu<i>/topology/physical_package_id; everywhere
+// else (or whenever sysfs is unreadable) the probe degrades to a single
+// domain, which makes topology-aware steering behave exactly like plain
+// load-aware two-choice steering. Detection is best-effort and cheap (one
+// small file per CPU, read once at pipeline construction); placement never
+// affects output bytes, so a wrong or missing topology costs balance only.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace zipline::common {
+
+struct Topology {
+  /// cpu_domain[i] = dense domain index of CPU i (0-based, contiguous).
+  std::vector<std::uint32_t> cpu_domain;
+  /// Number of distinct domains (>= 1).
+  std::uint32_t domains = 1;
+
+  /// Probes the machine. Falls back to one domain spanning
+  /// hardware_concurrency() CPUs on any failure or non-Linux platform.
+  [[nodiscard]] static Topology detect() {
+    Topology topo;
+    const unsigned cpus = std::max(1u, std::thread::hardware_concurrency());
+    topo.cpu_domain.assign(cpus, 0);
+#if defined(__linux__)
+    std::vector<std::int64_t> raw(cpus, -1);
+    bool any = false;
+    for (unsigned cpu = 0; cpu < cpus; ++cpu) {
+      const std::string path = "/sys/devices/system/cpu/cpu" +
+                               std::to_string(cpu) +
+                               "/topology/physical_package_id";
+      std::ifstream in(path);
+      std::int64_t id = -1;
+      if (in && (in >> id) && id >= 0) {
+        raw[cpu] = id;
+        any = true;
+      }
+    }
+    if (any) {
+      // Dense-remap the package ids (they need not be contiguous) in
+      // first-seen order; unreadable CPUs join domain 0.
+      std::vector<std::int64_t> seen;
+      for (unsigned cpu = 0; cpu < cpus; ++cpu) {
+        if (raw[cpu] < 0) {
+          topo.cpu_domain[cpu] = 0;
+          continue;
+        }
+        std::uint32_t dense = 0;
+        for (; dense < seen.size(); ++dense) {
+          if (seen[dense] == raw[cpu]) break;
+        }
+        if (dense == seen.size()) seen.push_back(raw[cpu]);
+        topo.cpu_domain[cpu] = dense;
+      }
+      topo.domains = static_cast<std::uint32_t>(
+          seen.empty() ? 1 : seen.size());
+    }
+#endif
+    return topo;
+  }
+};
+
+/// Maps `workers` pipeline workers onto the probe's domains the way the OS
+/// would schedule them round-robin over CPUs: worker i inherits the domain
+/// of CPU (i % cpus). With one domain every worker lands in domain 0.
+[[nodiscard]] inline std::vector<std::uint32_t> worker_domains(
+    const Topology& topo, std::size_t workers) {
+  std::vector<std::uint32_t> result(workers, 0);
+  if (topo.cpu_domain.empty()) return result;
+  for (std::size_t i = 0; i < workers; ++i) {
+    result[i] = topo.cpu_domain[i % topo.cpu_domain.size()];
+  }
+  return result;
+}
+
+}  // namespace zipline::common

@@ -128,8 +128,20 @@ void Engine::encode_resolve(EncodeUnit& unit) {
     }
     return;
   }
-  // Shared dictionary: gather the unit's operations into one plan and
-  // execute it with a single stripe acquisition per (unit, shard) pair.
+  // Shared dictionary: plan + per-shard apply + finish. The one-call form
+  // simply runs every shard's group back to back; the parallel pipeline
+  // interleaves other units' groups between them (per-shard turnstiles),
+  // which is observationally identical because per-shard state is
+  // independent.
+  encode_resolve_plan(unit);
+  for (std::size_t s = 0; s < dictionary_.shard_count(); ++s) {
+    resolve_shard(s);
+  }
+  encode_resolve_finish(unit);
+}
+
+void Engine::encode_resolve_plan(EncodeUnit& unit) {
+  ZL_EXPECTS(dictionary_.is_shared());
   // The plan replays the exact op sequence classify would issue — one
   // lookup_or_insert (or bare lookup when not learning) per chunk, in
   // chunk order — so types, identifiers and statistics are identical.
@@ -144,7 +156,14 @@ void Engine::encode_resolve(EncodeUnit& unit) {
     op.out = nullptr;
     op.result = gd::BatchOp::kNoId;
   }
-  dictionary_.apply_batch(batch_ops_, batch_scratch_);
+  dictionary_.group_batch(batch_ops_, batch_scratch_);
+}
+
+void Engine::resolve_shard(std::size_t shard) {
+  dictionary_.apply_shard_group(batch_ops_, batch_scratch_, shard);
+}
+
+void Engine::encode_resolve_finish(EncodeUnit& unit) {
   const gd::GdParams& p = params();
   for (std::size_t i = 0; i < unit.chunks; ++i) {
     ++stats_.chunks;
@@ -299,50 +318,13 @@ void Engine::decode_parse(const EncodeBatch& in, DecodeUnit& unit) {
 void Engine::decode_resolve(DecodeUnit& unit) {
   const gd::GdParams& p = params();
   if (dictionary_.is_shared()) {
-    // Gather the unit's dictionary operations — type-2 learns and type-3
-    // fetches, in packet order — into one plan executed with a single
-    // stripe acquisition per (unit, shard) pair. A type-3 identifier can
-    // reference a basis a type-2 packet of this same unit teaches; both
-    // route to the same shard (the identifier lives in the shard the
-    // basis hashes to), and in-shard plan order is preserved, so the
-    // fetch still observes the insert exactly as the serial loop would.
-    batch_ops_.clear();
-    for (std::size_t i = 0; i < unit.packets; ++i) {
-      if (unit.types[i] == gd::PacketType::uncompressed && learn_) {
-        batch_ops_.push_back({gd::BatchOp::Kind::insert_if_absent, 0,
-                              unit.hashes[i], &unit.bases[i], nullptr,
-                              gd::BatchOp::kNoId});
-      } else if (unit.types[i] == gd::PacketType::compressed) {
-        batch_ops_.push_back({gd::BatchOp::Kind::fetch_basis, unit.ids[i], 0,
-                              nullptr, &unit.bases[i], gd::BatchOp::kNoId});
-      }
+    // Shared dictionary: plan + per-shard apply + finish (see
+    // encode_resolve).
+    decode_resolve_plan(unit);
+    for (std::size_t s = 0; s < dictionary_.shard_count(); ++s) {
+      resolve_shard(s);
     }
-    dictionary_.apply_batch(batch_ops_, batch_scratch_);
-    std::size_t op = 0;
-    for (std::size_t i = 0; i < unit.packets; ++i) {
-      ++stats_.chunks;
-      switch (unit.types[i]) {
-        case gd::PacketType::raw:
-          ++stats_.raw_packets;
-          stats_.bytes_in += unit.raws[i].size();
-          stats_.bytes_out += unit.raws[i].size();
-          break;
-        case gd::PacketType::uncompressed:
-          ++stats_.uncompressed_packets;
-          stats_.bytes_in += p.type2_payload_bytes();
-          stats_.bytes_out += p.raw_payload_bytes();
-          if (learn_) ++op;
-          break;
-        default:
-          ++stats_.compressed_packets;
-          stats_.bytes_in += p.type3_payload_bytes();
-          stats_.bytes_out += p.raw_payload_bytes();
-          ZL_EXPECTS(batch_ops_[op].result != gd::BatchOp::kNoId &&
-                     "compressed packet with unknown ID");
-          ++op;
-          break;
-      }
-    }
+    decode_resolve_finish(unit);
     return;
   }
   for (std::size_t i = 0; i < unit.packets; ++i) {
@@ -370,6 +352,58 @@ void Engine::decode_resolve(DecodeUnit& unit) {
         ZL_EXPECTS(mapped && "compressed packet with unknown ID");
         break;
       }
+    }
+  }
+}
+
+void Engine::decode_resolve_plan(DecodeUnit& unit) {
+  ZL_EXPECTS(dictionary_.is_shared());
+  // Gather the unit's dictionary operations — type-2 learns and type-3
+  // fetches, in packet order — into one plan executed with a single
+  // stripe acquisition per (unit, shard) pair. A type-3 identifier can
+  // reference a basis a type-2 packet of this same unit teaches; both
+  // route to the same shard (the identifier lives in the shard the
+  // basis hashes to), and in-shard plan order is preserved, so the
+  // fetch still observes the insert exactly as the serial loop would.
+  batch_ops_.clear();
+  for (std::size_t i = 0; i < unit.packets; ++i) {
+    if (unit.types[i] == gd::PacketType::uncompressed && learn_) {
+      batch_ops_.push_back({gd::BatchOp::Kind::insert_if_absent, 0,
+                            unit.hashes[i], &unit.bases[i], nullptr,
+                            gd::BatchOp::kNoId});
+    } else if (unit.types[i] == gd::PacketType::compressed) {
+      batch_ops_.push_back({gd::BatchOp::Kind::fetch_basis, unit.ids[i], 0,
+                            nullptr, &unit.bases[i], gd::BatchOp::kNoId});
+    }
+  }
+  dictionary_.group_batch(batch_ops_, batch_scratch_);
+}
+
+void Engine::decode_resolve_finish(DecodeUnit& unit) {
+  const gd::GdParams& p = params();
+  std::size_t op = 0;
+  for (std::size_t i = 0; i < unit.packets; ++i) {
+    ++stats_.chunks;
+    switch (unit.types[i]) {
+      case gd::PacketType::raw:
+        ++stats_.raw_packets;
+        stats_.bytes_in += unit.raws[i].size();
+        stats_.bytes_out += unit.raws[i].size();
+        break;
+      case gd::PacketType::uncompressed:
+        ++stats_.uncompressed_packets;
+        stats_.bytes_in += p.type2_payload_bytes();
+        stats_.bytes_out += p.raw_payload_bytes();
+        if (learn_) ++op;
+        break;
+      default:
+        ++stats_.compressed_packets;
+        stats_.bytes_in += p.type3_payload_bytes();
+        stats_.bytes_out += p.raw_payload_bytes();
+        ZL_EXPECTS(batch_ops_[op].result != gd::BatchOp::kNoId &&
+                   "compressed packet with unknown ID");
+        ++op;
+        break;
     }
   }
 }

@@ -171,6 +171,34 @@ class Engine {
   /// Phase 3 (pure): inverse-transform every chunk into the decode arena.
   void decode_emit(const DecodeUnit& unit, DecodeBatch& out);
 
+  // --- split resolve (shared dictionary, per-shard sequencing) ----------
+  // The parallel pipeline's per-shard turnstiles split one resolve into
+  // three finer phases: *plan* gathers the unit's dictionary operations
+  // and groups them by shard WITHOUT touching the dictionary (pure, runs
+  // concurrently), *resolve_shard* executes one shard's group under one
+  // stripe acquisition (sequenced per shard by the pipeline), and
+  // *finish* consumes the results into types/ids and statistics (pure).
+  // plan -> resolve_shard over every touched shard (any order) -> finish
+  // is op-for-op identical to encode_resolve / decode_resolve. Shared-
+  // dictionary engines only; one plan in flight per engine.
+
+  /// Builds and groups the encode unit's resolve plan (pure).
+  void encode_resolve_plan(EncodeUnit& unit);
+  /// Consumes the executed plan: types / ids / statistics (pure).
+  void encode_resolve_finish(EncodeUnit& unit);
+  /// Decode-side plan/finish mirror.
+  void decode_resolve_plan(DecodeUnit& unit);
+  void decode_resolve_finish(DecodeUnit& unit);
+
+  /// True when the current plan routes at least one op to shard `shard`.
+  [[nodiscard]] bool resolve_plan_touches(std::size_t shard) const noexcept {
+    return shard < batch_scratch_.counts.size() &&
+           batch_scratch_.counts[shard] != 0;
+  }
+  /// Executes the current plan's group for `shard` (one stripe
+  /// acquisition; no-op when the plan has no ops there).
+  void resolve_shard(std::size_t shard);
+
   /// Accounts a decode-side raw packet passing through untouched (used by
   /// the payload adapters, which splice raw bytes directly).
   void note_raw_passthrough(std::size_t bytes);

@@ -21,18 +21,32 @@
 //     against each other and dictionary memory no longer scales with
 //     workers or flows. With the ordered drain, each worker splits its
 //     unit into transform -> resolve -> emit phases (engine/engine.hpp)
-//     and only the resolve (dictionary) phases are sequenced — in global
-//     submission order, via an atomic turnstile — while transforms and
-//     serialization run concurrently. Each resolve gathers its unit's
-//     dictionary operations into one batched plan (gd::BatchOp) executed
-//     with a single stripe acquisition per (unit, shard) pair, and basis
-//     hashing happens in the concurrent transform/parse phase, so the
-//     turnstile's critical section is the shard-local map work and
-//     nothing else. The dictionary still replays the exact operation
-//     order a single-threaded Engine would produce, making the parallel
-//     output byte-identical to the serial engine and replayable by any
-//     decoder (tests/flow_steering_test.cpp asserts both, under
-//     Zipf-skewed flows).
+//     and only the resolve (dictionary) phases are sequenced — PER SHARD,
+//     via per-shard turnstiles — while transforms and serialization run
+//     concurrently. Each resolve gathers its unit's dictionary operations
+//     into one batched plan (gd::BatchOp) grouped by shard, and basis
+//     hashing happens in the concurrent transform/parse phase, so each
+//     gate's critical section is one shard's map work and nothing else.
+//     The dictionary still replays, per shard, the exact operation order
+//     a single-threaded Engine would produce, making the parallel output
+//     byte-identical to the serial engine and replayable by any decoder
+//     (tests/flow_steering_test.cpp and tests/shard_turnstile_test.cpp
+//     assert both, under Zipf-skewed flows).
+//
+// Per-shard turnstile admission (shared + ordered mode): admission is two
+// phase. After its (concurrent) transform+plan a unit passes a short
+// REGISTRATION turnstile in global submission order, where it takes one
+// ticket per shard its plan touches — registration holds no locks and
+// does no dictionary work, it only assigns tickets. Each shard then has
+// its own gate admitting ticket holders in ticket order: a unit waits
+// only behind EARLIER units that touch the SAME shards, so units with
+// disjoint shard footprints resolve concurrently. Per-shard ticket order
+// equals global submission order restricted to that shard — exactly the
+// per-shard op sequence a serial engine produces — which preserves byte-
+// identity. Deadlock-free by construction: a unit's wait-for edges always
+// point at units registered (= submitted) before it, so the wait graph is
+// acyclic; gates advance even for failed units. The shared service counts
+// admissions that actually blocked in DictionaryStats::turnstile_waits.
 //
 // Flow steering (ParallelOptions::steering):
 //
@@ -40,6 +54,12 @@
 //   * load_aware — power-of-two-choices on the current per-worker queue
 //     depth at a flow's FIRST unit, sticky thereafter (a flow never
 //     migrates, preserving per-flow submission order on one ring).
+//   * topology_aware — load_aware, but both candidates are drawn from the
+//     least-loaded CPU package / cache domain (common/topology.hpp, with
+//     a portable single-domain fallback that degrades to load_aware), so
+//     a flow's units and the units they contend with stay on one socket's
+//     caches. ParallelOptions::worker_domains overrides the probe for
+//     tests and explicit placement. Placement never affects output bytes.
 //
 // Work stealing (ParallelOptions::work_stealing, requires shared +
 // ordered): a worker whose own ring runs dry pops the HEAD of another
@@ -49,7 +69,7 @@
 // order — so it is correct precisely because the dictionary is shared,
 // and it converts a Zipf-skewed flow distribution from a single-worker
 // bottleneck into pool-wide work. Head-stealing plus FIFO rings keeps the
-// global resolve turnstile deadlock-free: the oldest unresolved unit is
+// registration turnstile deadlock-free: the oldest unregistered unit is
 // always at a ring head or already being processed.
 //
 // Ordered drain: with `ordered` set (the default) the sink callback
@@ -78,6 +98,7 @@
 
 #include "common/contracts.hpp"
 #include "common/rng.hpp"
+#include "common/topology.hpp"
 #include "engine/batch.hpp"
 #include "engine/engine.hpp"
 #include "gd/concurrent_dictionary.hpp"
@@ -94,6 +115,10 @@ enum class DictionaryOwnership : std::uint8_t {
 enum class FlowSteering : std::uint8_t {
   pinned,      ///< flow % workers
   load_aware,  ///< power-of-two-choices on queue depth at first unit
+  /// Two choices WITHIN the least-loaded CPU package / cache domain
+  /// (common/topology.hpp probe, or ParallelOptions::worker_domains);
+  /// degrades to load_aware when only one domain is visible.
+  topology_aware,
 };
 
 struct ParallelOptions {
@@ -123,8 +148,13 @@ struct ParallelOptions {
   FlowSteering steering = FlowSteering::pinned;
   /// Idle workers pop the head of other workers' rings. Requires shared
   /// ownership (any worker may then encode any flow) and the ordered
-  /// drain (whose resolve turnstile preserves per-flow order).
+  /// drain (whose resolve turnstiles preserve per-flow order).
   bool work_stealing = false;
+  /// topology_aware steering only: domain index per worker (must have
+  /// exactly `workers` entries when non-empty). Empty = probe the machine
+  /// via common::Topology::detect(). Lets tests and explicit placements
+  /// inject a topology deterministically.
+  std::vector<std::uint32_t> worker_domains;
 };
 
 namespace detail {
@@ -165,6 +195,14 @@ struct EncodeStage {
   static void resolve(Engine& engine, Scratch& scratch) {
     engine.encode_resolve(scratch);
   }
+  // Split resolve for the per-shard turnstiles: plan (pure) -> the
+  // pipeline's per-shard Engine::resolve_shard calls -> finish (pure).
+  static void plan(Engine& engine, Scratch& scratch) {
+    engine.encode_resolve_plan(scratch);
+  }
+  static void finish(Engine& engine, Scratch& scratch) {
+    engine.encode_resolve_finish(scratch);
+  }
   static void emit(Engine& engine, const Scratch& scratch, const Input&,
                    Output& out) {
     out.clear();
@@ -187,6 +225,12 @@ struct DecodeStage {
   }
   static void resolve(Engine& engine, Scratch& scratch) {
     engine.decode_resolve(scratch);
+  }
+  static void plan(Engine& engine, Scratch& scratch) {
+    engine.decode_resolve_plan(scratch);
+  }
+  static void finish(Engine& engine, Scratch& scratch) {
+    engine.decode_resolve_finish(scratch);
   }
   static void emit(Engine& engine, const Scratch& scratch, const Input&,
                    Output& out) {
@@ -267,6 +311,11 @@ class ParallelPipeline {
     typename Stage::Input input{};
     typename Stage::Output output;
     typename Stage::Scratch scratch;  ///< split-phase staging (shared mode)
+    /// Per-shard admission tickets taken at registration (shared ordered
+    /// mode; sized to dictionary_shards at construction) and the unit's
+    /// touched-shard list (grow-free: reserved to dictionary_shards).
+    std::vector<std::uint64_t> tickets;
+    std::vector<std::uint32_t> touched;
     std::exception_ptr error;  ///< stage failure, ferried to the caller
   };
 
@@ -315,11 +364,25 @@ class ParallelPipeline {
   Sink sink_;
   std::optional<gd::ConcurrentShardedDictionary> service_;  // shared mode
   std::vector<std::unique_ptr<Worker>> workers_;
+  /// One admission gate per dictionary shard (shared + ordered mode).
+  /// next_ticket is a PLAIN field: it is only ever read/written while the
+  /// registration turnstile admits exactly one unit, and the turnstile's
+  /// release/acquire handoff chain orders those accesses. turn is the
+  /// gate's admission counter, advanced by every ticket holder (even
+  /// failed ones).
+  struct alignas(64) ShardGate {
+    std::uint64_t next_ticket = 0;
+    std::atomic<std::uint64_t> turn{0};
+  };
+
   std::atomic<bool> stop_{false};
   alignas(64) std::atomic<std::uint64_t> completions_{0};
-  /// Turnstile admitting resolve (dictionary) phases in submission order
-  /// (shared + ordered mode). Advanced by every unit, even failed ones.
-  alignas(64) std::atomic<std::uint64_t> resolve_turn_{0};
+  /// Registration turnstile (shared + ordered mode): units pass it in
+  /// global submission order to take their per-shard tickets — no locks,
+  /// no dictionary work, just ticket assignment. Advanced by every unit,
+  /// even failed ones (which register an empty footprint).
+  alignas(64) std::atomic<std::uint64_t> register_turn_{0};
+  std::unique_ptr<ShardGate[]> gates_;  // [dictionary_shards], shared mode
   /// Pool-wide doorbell idle workers wait on when stealing is enabled (a
   /// per-worker doorbell would let queued work strand behind a sleeping
   /// thief).
@@ -332,6 +395,10 @@ class ParallelPipeline {
   std::vector<Pending> pending_;
   std::unordered_map<std::uint32_t, std::uint32_t> flow_worker_;  // sticky
   Rng steer_rng_{0x57EE21};
+  // topology_aware steering tables (built at construction; empty
+  // otherwise): worker -> domain, and each domain's member workers.
+  std::vector<std::uint32_t> worker_domain_;
+  std::vector<std::vector<std::uint32_t>> domain_members_;
   std::exception_ptr first_error_;
 };
 
@@ -359,6 +426,12 @@ ParallelPipeline<Stage>::Worker::Worker(
     free_slots.push_back(static_cast<std::uint32_t>(slot));
   }
   if (service != nullptr) {
+    // Size the per-shard ticket arrays up front so the ordered admission
+    // path allocates nothing in steady state (engine_alloc_test).
+    for (Job& job : jobs) {
+      job.tickets.resize(options.dictionary_shards);
+      job.touched.reserve(options.dictionary_shards);
+    }
     engine.emplace(params, *service, options.learn);
   }
 }
@@ -378,6 +451,24 @@ ParallelPipeline<Stage>::ParallelPipeline(const gd::GdParams& params,
   if (options_.ownership == DictionaryOwnership::shared) {
     service_.emplace(params_.dictionary_capacity(), options_.policy,
                      options_.dictionary_shards, options_.read_path);
+    gates_ = std::make_unique<ShardGate[]>(options_.dictionary_shards);
+  }
+  if (options_.steering == FlowSteering::topology_aware) {
+    worker_domain_ = options_.worker_domains.empty()
+                         ? common::worker_domains(common::Topology::detect(),
+                                                  options_.workers)
+                         : options_.worker_domains;
+    ZL_EXPECTS(worker_domain_.size() == options_.workers &&
+               "worker_domains must name a domain per worker");
+    std::uint32_t domains = 1;
+    for (const std::uint32_t d : worker_domain_) {
+      domains = std::max(domains, d + 1);
+    }
+    domain_members_.resize(domains);
+    for (std::size_t i = 0; i < worker_domain_.size(); ++i) {
+      domain_members_[worker_domain_[i]].push_back(
+          static_cast<std::uint32_t>(i));
+    }
   }
   workers_.reserve(options_.workers);
   for (std::size_t i = 0; i < options_.workers; ++i) {
@@ -497,34 +588,75 @@ void ParallelPipeline<Stage>::run_shared(Worker& self, Job& job) {
     }
     return;
   }
-  // Ordered mode: pure transform runs concurrently, then the dictionary
-  // (resolve) phase waits for this unit's global turn. Sequencing resolve
-  // in submission order makes the shared dictionary replay exactly the
-  // operation sequence of a serial engine — the property the
-  // byte-identity and decode guarantees rest on.
+  // Ordered mode, two-phase per-shard admission (see file comment): the
+  // pure transform AND the plan (op gathering + shard grouping, no
+  // dictionary access) run concurrently; the unit then registers in
+  // global submission order, taking one ticket per touched shard, and is
+  // admitted to each shard's dictionary work in ticket order. Per-shard
+  // ticket order == global submission order restricted to that shard —
+  // exactly the per-shard op sequence a serial engine produces — which is
+  // the property the byte-identity and decode guarantees rest on.
+  bool planned = false;
   try {
     Stage::transform(engine, job.input, job.scratch);
+    Stage::plan(engine, job.scratch);
+    planned = true;
   } catch (...) {
     job.error = std::current_exception();
   }
-  std::uint64_t turn = resolve_turn_.load(std::memory_order_acquire);
-  while (turn != job.seq) {
-    resolve_turn_.wait(turn, std::memory_order_acquire);
-    turn = resolve_turn_.load(std::memory_order_acquire);
-  }
-  if (!job.error) {
-    try {
-      Stage::resolve(engine, job.scratch);
-    } catch (...) {
-      job.error = std::current_exception();
+  job.touched.clear();
+  if (planned) {
+    for (std::size_t s = 0; s < options_.dictionary_shards; ++s) {
+      if (engine.resolve_plan_touches(s)) {
+        job.touched.push_back(static_cast<std::uint32_t>(s));
+      }
     }
   }
-  // Advance the turnstile even for failed units, or every later unit
-  // would deadlock behind the gap.
-  resolve_turn_.store(job.seq + 1, std::memory_order_release);
-  resolve_turn_.notify_all();
+  // Registration turnstile: take tickets in submission order. A failed
+  // (or shardless) unit registers an empty footprint — it holds no
+  // tickets, so no later unit ever waits on it at a gate — and the
+  // turnstile itself advances even on failure, or every later unit would
+  // deadlock behind the gap.
+  std::uint64_t turn = register_turn_.load(std::memory_order_acquire);
+  while (turn != job.seq) {
+    register_turn_.wait(turn, std::memory_order_acquire);
+    turn = register_turn_.load(std::memory_order_acquire);
+  }
+  for (const std::uint32_t s : job.touched) {
+    job.tickets[s] = gates_[s].next_ticket++;
+  }
+  register_turn_.store(job.seq + 1, std::memory_order_release);
+  register_turn_.notify_all();
+  // Per-shard admission: wait only behind earlier ticket holders of the
+  // SAME shard. Units with disjoint footprints pass their gates without
+  // ever waiting on each other. Every gate advances even when this unit's
+  // work failed, keeping later ticket holders live.
+  for (const std::uint32_t s : job.touched) {
+    ShardGate& gate = gates_[s];
+    const std::uint64_t ticket = job.tickets[s];
+    std::uint64_t admitted = gate.turn.load(std::memory_order_acquire);
+    if (admitted != ticket) {
+      // Count only admissions that actually block: the disjoint-footprint
+      // regime leaves this counter at zero.
+      service_->note_turnstile_wait();
+      do {
+        gate.turn.wait(admitted, std::memory_order_acquire);
+        admitted = gate.turn.load(std::memory_order_acquire);
+      } while (admitted != ticket);
+    }
+    if (!job.error) {
+      try {
+        engine.resolve_shard(s);
+      } catch (...) {
+        job.error = std::current_exception();
+      }
+    }
+    gate.turn.store(ticket + 1, std::memory_order_release);
+    gate.turn.notify_all();
+  }
   if (!job.error) {
     try {
+      Stage::finish(engine, job.scratch);
       Stage::emit(engine, job.scratch, job.input, job.output);
     } catch (...) {
       job.error = std::current_exception();
@@ -616,11 +748,52 @@ std::uint32_t ParallelPipeline<Stage>::steer(std::uint32_t flow) {
   std::uint32_t choice;
   if (options_.steering == FlowSteering::pinned || options_.workers == 1) {
     choice = static_cast<std::uint32_t>(flow % options_.workers);
+  } else if (options_.steering == FlowSteering::topology_aware &&
+             domain_members_.size() > 1) {
+    // Pick the least-loaded cache domain by MEAN queue depth (compared
+    // cross-multiplied so unequal domain sizes don't skew it; ties go to
+    // the lower domain index), then power-of-two-choices within it. Both
+    // candidates share that domain, so the flow and the flows it contends
+    // with stay on one socket's caches. Sticky thereafter; placement
+    // never affects output bytes.
+    std::size_t best = domain_members_.size();
+    std::size_t best_load = 0;
+    for (std::size_t d = 0; d < domain_members_.size(); ++d) {
+      const auto& members = domain_members_[d];
+      if (members.empty()) continue;
+      std::size_t load = 0;
+      for (const std::uint32_t w : members) {
+        load += options_.queue_depth - workers_[w]->free_slots.size();
+      }
+      if (best == domain_members_.size() ||
+          load * domain_members_[best].size() <
+              best_load * members.size()) {
+        best = d;
+        best_load = load;
+      }
+    }
+    const auto& members = domain_members_[best];
+    const auto ai =
+        static_cast<std::size_t>(steer_rng_.next_below(members.size()));
+    std::uint32_t a = members[ai];
+    std::uint32_t b = a;
+    if (members.size() > 1) {
+      auto bi =
+          static_cast<std::size_t>(steer_rng_.next_below(members.size() - 1));
+      if (bi >= ai) ++bi;
+      b = members[bi];
+    }
+    const std::size_t load_a =
+        options_.queue_depth - workers_[a]->free_slots.size();
+    const std::size_t load_b =
+        options_.queue_depth - workers_[b]->free_slots.size();
+    choice = load_a <= load_b ? a : b;
   } else {
     // Power of two choices on the current queue depths: sample two
     // distinct workers, keep the emptier one. Sticky thereafter, so
     // per-flow order is preserved; with the shared dictionary the
     // placement has no effect on output bytes, only on balance.
+    // (topology_aware lands here too when the probe sees one domain.)
     const auto a = static_cast<std::uint32_t>(
         steer_rng_.next_below(options_.workers));
     auto b = static_cast<std::uint32_t>(

@@ -343,6 +343,7 @@ void ConcurrentShardedDictionary::sync_shadow(std::size_t shard) noexcept {
   st.shadow_insertions.store(s.insertions, std::memory_order_relaxed);
   st.shadow_evictions.store(s.evictions, std::memory_order_relaxed);
   st.shadow_prefilter.store(s.prefilter_skips, std::memory_order_relaxed);
+  st.shadow_clock.store(s.clock_touches, std::memory_order_relaxed);
   st.shadow_size.store(dict_.shard(shard).size(), std::memory_order_relaxed);
 }
 
@@ -370,9 +371,14 @@ DictionaryStats ConcurrentShardedDictionary::stats() const noexcept {
         st.shadow_prefilter.load(std::memory_order_relaxed);
     total.lockfree_reads +=
         rh + rm + st.read_other.load(std::memory_order_relaxed);
+    // Locked ops count clock marks inside the shard; lock-free hits count
+    // them here (the inner shard never sees those reads).
+    total.clock_touches += st.shadow_clock.load(std::memory_order_relaxed) +
+                           st.read_clock.load(std::memory_order_relaxed);
   }
   total.stripe_acquisitions =
       stripe_acquisitions_.load(std::memory_order_relaxed);
+  total.turnstile_waits = turnstile_waits_.load(std::memory_order_relaxed);
   return total;
 }
 
@@ -394,10 +400,18 @@ std::optional<std::uint32_t> ConcurrentShardedDictionary::lookup(
       if (p == Probe::hit) {
         if (dict_.policy() != EvictionPolicy::lru) {
           // fifo/random never refresh recency: a hit is a pure read.
+          // clock refreshes it with one idempotent relaxed bit store into
+          // the inner shard's stable referenced array — still lock-free.
+          const std::uint32_t id = to_global(shard, local);
+          if (dict_.policy() == EvictionPolicy::clock) {
+            dict_.mark_referenced(id);
+            stripes_[shard].read_clock.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          }
           stripes_[shard].read_hits.fetch_add(1, std::memory_order_relaxed);
-          return to_global(shard, local);
+          return id;
         }
-        break;  // LRU hit must refresh recency -> locked transition
+        break;  // LRU hit must splice the recency list -> locked transition
       }
     }
     auto guard = acquire_stripe(shard);
@@ -459,8 +473,13 @@ std::optional<std::uint32_t> ConcurrentShardedDictionary::lookup_or_insert(
       std::uint32_t local = 0;
       const Probe p = probe_mirror(shard, basis, hash, local);
       if (p == Probe::hit) {
+        const std::uint32_t id = to_global(shard, local);
+        if (dict_.policy() == EvictionPolicy::clock) {
+          dict_.mark_referenced(id);
+          stripes_[shard].read_clock.fetch_add(1, std::memory_order_relaxed);
+        }
         stripes_[shard].read_hits.fetch_add(1, std::memory_order_relaxed);
-        return to_global(shard, local);
+        return id;
       }
       if (p == Probe::miss) {
         if (!learn) {
@@ -528,11 +547,16 @@ bool ConcurrentShardedDictionary::lookup_basis_into(std::uint32_t id,
   const std::size_t shard = dict_.shard_of_id(id);
   if (read_path_ == ReadPath::seqlock &&
       dict_.policy() != EvictionPolicy::lru) {
-    // fifo/random fetches refresh nothing: copy out of the mirror.
+    // fifo/random fetches refresh nothing, and clock refreshes with a
+    // lock-free bit store: copy out of the mirror either way.
     const std::uint32_t local = to_local(id);
     for (int attempt = 0; attempt < kReadAttempts; ++attempt) {
       const Probe p = fetch_mirror(shard, local, out);
       if (p == Probe::retry) continue;
+      if (p == Probe::hit && dict_.policy() == EvictionPolicy::clock) {
+        dict_.mark_referenced(id);
+        stripes_[shard].read_clock.fetch_add(1, std::memory_order_relaxed);
+      }
       stripes_[shard].read_other.fetch_add(1, std::memory_order_relaxed);
       return p == Probe::hit;
     }
@@ -584,6 +608,14 @@ void ConcurrentShardedDictionary::erase(std::uint32_t id) {
 }
 
 void ConcurrentShardedDictionary::touch(std::uint32_t id) {
+  if (dict_.policy() == EvictionPolicy::clock) {
+    // A TTL refresh under clock is one idempotent relaxed bit store — no
+    // stripe lock, no mirror traffic.
+    dict_.mark_referenced(id);
+    stripes_[dict_.shard_of_id(id)].read_clock.fetch_add(
+        1, std::memory_order_relaxed);
+    return;
+  }
   const std::size_t shard = dict_.shard_of_id(id);
   auto guard = acquire_stripe(shard);
   dict_.touch(id);  // recency only: nothing to publish
@@ -627,19 +659,17 @@ void ConcurrentShardedDictionary::run_locked_op(std::size_t shard,
   }
 }
 
-void ConcurrentShardedDictionary::apply_batch(std::span<BatchOp> ops,
-                                              BatchScratch& scratch) {
-  if (ops.empty()) return;
+void ConcurrentShardedDictionary::group_batch(std::span<const BatchOp> ops,
+                                              BatchScratch& scratch) const {
   const std::size_t shards = dict_.shard_count();
+  scratch.counts.assign(shards, 0);
   if (shards == 1) {
-    auto guard = acquire_stripe(0);
-    for (BatchOp& op : ops) run_locked_op(0, op);
-    sync_shadow(0);
+    // No routing to do: apply_shard_group runs the plan in span order.
+    scratch.counts[0] = static_cast<std::uint32_t>(ops.size());
     return;
   }
   // Stable counting sort by shard: in-shard order equals plan order, the
   // property the deterministic replay rests on. Grow-only scratch.
-  scratch.counts.assign(shards, 0);
   for (const BatchOp& op : ops) ++scratch.counts[shard_of_op(op)];
   scratch.offsets.resize(shards);
   std::uint32_t running = 0;
@@ -653,15 +683,30 @@ void ConcurrentShardedDictionary::apply_batch(std::span<BatchOp> ops,
         static_cast<std::uint32_t>(i);
   }
   // offsets[s] is now the END of shard s's group.
-  for (std::size_t s = 0; s < shards; ++s) {
-    const std::uint32_t count = scratch.counts[s];
-    if (count == 0) continue;
-    const std::uint32_t end = scratch.offsets[s];
-    auto guard = acquire_stripe(s);  // ONE acquisition for the whole group
+}
+
+void ConcurrentShardedDictionary::apply_shard_group(
+    std::span<BatchOp> ops, const BatchScratch& scratch, std::size_t shard) {
+  const std::uint32_t count = scratch.counts[shard];
+  if (count == 0) return;
+  auto guard = acquire_stripe(shard);  // ONE acquisition for the whole group
+  if (dict_.shard_count() == 1) {
+    for (BatchOp& op : ops) run_locked_op(0, op);
+  } else {
+    const std::uint32_t end = scratch.offsets[shard];
     for (std::uint32_t k = end - count; k < end; ++k) {
-      run_locked_op(s, ops[scratch.order[k]]);
+      run_locked_op(shard, ops[scratch.order[k]]);
     }
-    sync_shadow(s);
+  }
+  sync_shadow(shard);
+}
+
+void ConcurrentShardedDictionary::apply_batch(std::span<BatchOp> ops,
+                                              BatchScratch& scratch) {
+  if (ops.empty()) return;
+  group_batch(ops, scratch);
+  for (std::size_t s = 0; s < dict_.shard_count(); ++s) {
+    apply_shard_group(ops, scratch, s);
   }
 }
 

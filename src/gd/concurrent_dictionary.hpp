@@ -31,9 +31,15 @@
 //     accounting lives in wrapper counters, folded into stats());
 //   * a hit under fifo/random policies mutates nothing (those policies
 //     never refresh recency), so it is a pure read;
-//   * a hit under LRU must refresh recency — a write — so LRU hits fall
-//     back to the stripe lock and replay the exact inner transition. The
-//     hot encode path on fresh traffic is miss-dominated, and the ordered
+//   * a hit under CLOCK refreshes recency with ONE relaxed atomic bit
+//     store into the inner dictionary's stable referenced array
+//     (BasisDictionary::mark_referenced) — idempotent and safe against
+//     the evicting writer's sweep, so the hit stays entirely lock-free;
+//   * a hit under LRU must refresh recency — a linked-list splice — so
+//     LRU hits fall back to the stripe lock and replay the exact inner
+//     transition. LRU is the last policy with a locked read; clock is its
+//     lock-free approximation for the contended hot-hit regime. The hot
+//     encode path on fresh traffic is miss-dominated, and the ordered
 //     pipeline's resolve phases use apply_batch (below) rather than
 //     per-op reads, so this fallback is off the line-rate path.
 //
@@ -166,8 +172,31 @@ class ConcurrentShardedDictionary {
   /// Executes a resolve plan with one stripe acquisition per (plan,
   /// shard) pair. Results land in each op's `result` / `*out` exactly as
   /// ShardedDictionary::apply_batch (the serial reference) would produce
-  /// them. `scratch` carries the grow-only grouping arrays.
+  /// them. `scratch` carries the grow-only grouping arrays. Equivalent to
+  /// group_batch followed by apply_shard_group for every shard.
   void apply_batch(std::span<BatchOp> ops, BatchScratch& scratch);
+
+  /// Groups a resolve plan by shard into `scratch` WITHOUT executing
+  /// anything: the pure first half of apply_batch, split out so the
+  /// parallel pipeline can learn a unit's shard footprint before
+  /// admission and then execute each shard's group independently.
+  /// scratch.counts[s] is the number of ops routed to shard s.
+  void group_batch(std::span<const BatchOp> ops, BatchScratch& scratch) const;
+
+  /// Executes shard `shard`'s group of a plan grouped by group_batch,
+  /// under ONE stripe acquisition (none when the group is empty). Calling
+  /// this once per shard — in ANY shard order — is observationally
+  /// identical to apply_batch: per-shard state is independent and the
+  /// grouping preserves in-shard plan order.
+  void apply_shard_group(std::span<BatchOp> ops, const BatchScratch& scratch,
+                         std::size_t shard);
+
+  /// Records one blocked per-shard turnstile admission (the parallel
+  /// pipeline calls this when a unit actually waits behind an earlier
+  /// unit at a shard gate); folded into stats().turnstile_waits.
+  void note_turnstile_wait() noexcept {
+    turnstile_waits_.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
   /// One cache line per shard stripe so neighbouring stripes don't false-
@@ -181,6 +210,9 @@ class ConcurrentShardedDictionary {
     mutable std::atomic<std::uint64_t> read_hits{0};
     mutable std::atomic<std::uint64_t> read_misses{0};
     mutable std::atomic<std::uint64_t> read_other{0};  // peek/contains/fetch
+    /// CLOCK recency marks recorded by lock-free hits (the inner shard
+    /// only counts clock_touches for locked ops).
+    mutable std::atomic<std::uint64_t> read_clock{0};
     // Shadow of the inner shard's statistics and size, refreshed before a
     // locked operation releases the stripe — what lets stats()/size()
     // stay off the mutex entirely.
@@ -189,6 +221,7 @@ class ConcurrentShardedDictionary {
     std::atomic<std::uint64_t> shadow_insertions{0};
     std::atomic<std::uint64_t> shadow_evictions{0};
     std::atomic<std::uint64_t> shadow_prefilter{0};
+    std::atomic<std::uint64_t> shadow_clock{0};
     std::atomic<std::uint64_t> shadow_size{0};
   };
 
@@ -296,6 +329,7 @@ class ConcurrentShardedDictionary {
   std::unique_ptr<Stripe[]> stripes_;
   std::unique_ptr<Mirror[]> mirrors_;
   mutable std::atomic<std::uint64_t> stripe_acquisitions_{0};
+  std::atomic<std::uint64_t> turnstile_waits_{0};
 };
 
 }  // namespace zipline::gd

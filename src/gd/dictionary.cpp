@@ -11,6 +11,10 @@ BasisDictionary::BasisDictionary(std::size_t capacity, EvictionPolicy policy,
     : capacity_(capacity), policy_(policy), rng_(random_seed) {
   ZL_EXPECTS(capacity >= 1 && capacity <= (std::size_t{1} << 24));
   entries_.resize(capacity);
+  if (policy == EvictionPolicy::clock) {
+    // Value-initialized -> every referenced bit starts clear.
+    referenced_ = std::make_unique<std::atomic<std::uint8_t>[]>(capacity);
+  }
   fingerprint_bits_ = fingerprint_bits_for(capacity);
   fingerprints_.resize(std::size_t{1} << fingerprint_bits_);
   free_ids_.reserve(capacity);
@@ -114,6 +118,11 @@ InsertResult BasisDictionary::insert(const bits::BitVector& basis,
   fingerprint_add(basis);
   by_basis_.emplace(detail::HashedBasis{hash, basis}, id);
   list_push_front(id);
+  // A fresh entry starts referenced so the sweep gives it one full lap
+  // before it is evictable — CLOCK's analogue of LRU's push-to-front.
+  if (policy_ == EvictionPolicy::clock) {
+    referenced_[id].store(1, std::memory_order_relaxed);
+  }
   ++stats_.insertions;
   result.id = id;
   return result;
@@ -150,6 +159,9 @@ void BasisDictionary::install(std::uint32_t id, const bits::BitVector& basis,
   fingerprint_add(basis);
   by_basis_[detail::HashedBasis{hash, basis}] = id;
   list_push_front(id);
+  if (policy_ == EvictionPolicy::clock) {
+    referenced_[id].store(1, std::memory_order_relaxed);
+  }
   ++stats_.insertions;
 }
 
@@ -160,6 +172,9 @@ void BasisDictionary::erase(std::uint32_t id) {
   erase_key(id);
   list_remove(id);
   entries_[id].used = false;
+  if (policy_ == EvictionPolicy::clock) {
+    referenced_[id].store(0, std::memory_order_relaxed);
+  }
   free_ids_.push_back(id);
 }
 
@@ -171,11 +186,18 @@ void BasisDictionary::erase_key(std::uint32_t id) {
 }
 
 void BasisDictionary::maybe_touch(std::uint32_t id) {
-  if (policy_ == EvictionPolicy::lru) touch(id);
+  if (policy_ == EvictionPolicy::lru || policy_ == EvictionPolicy::clock) {
+    touch(id);
+  }
 }
 
 void BasisDictionary::touch(std::uint32_t id) {
   ZL_EXPECTS(id < capacity_ && entries_[id].used);
+  if (policy_ == EvictionPolicy::clock) {
+    referenced_[id].store(1, std::memory_order_relaxed);
+    ++stats_.clock_touches;
+    return;
+  }
   if (head_ == id) return;
   list_remove(id);
   list_push_front(id);
@@ -216,6 +238,23 @@ std::uint32_t BasisDictionary::pick_victim() {
       return tail_;
     case EvictionPolicy::random:
       return static_cast<std::uint32_t>(rng_.next_below(capacity_));
+    case EvictionPolicy::clock: {
+      // Second-chance sweep: entries under the hand lose their referenced
+      // bit and survive; the first unreferenced entry is the victim. With
+      // every bit set this clears a full lap and terminates within
+      // 2 * capacity steps. The hand resumes AFTER the victim, so
+      // survivors keep their cleared state for the next sweep.
+      for (;;) {
+        const std::uint32_t id = clock_hand_;
+        clock_hand_ =
+            static_cast<std::uint32_t>((clock_hand_ + 1) % capacity_);
+        if (referenced_[id].load(std::memory_order_relaxed) != 0) {
+          referenced_[id].store(0, std::memory_order_relaxed);
+          continue;
+        }
+        return id;
+      }
+    }
   }
   ZL_ASSERT(false && "unreachable policy");
   return 0;

@@ -9,7 +9,9 @@
 // replaying identical allocation decisions.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +26,14 @@ enum class EvictionPolicy : std::uint8_t {
   lru,     ///< paper's choice: least recently used (TTL-based on hardware)
   fifo,    ///< recycle in insertion order (ablation)
   random,  ///< recycle uniformly at random, seeded (ablation)
+  /// LRU approximation via per-entry referenced bits and a second-chance
+  /// sweep (the classic CLOCK algorithm). Recency refresh is a single
+  /// relaxed atomic bit store, so the concurrent wrapper serves hits
+  /// lock-free where LRU must take the stripe lock to splice its list.
+  /// Deterministic like the others: the bit-set is idempotent and every
+  /// dictionary MUTATION is sequenced, so encoder and decoder replaying
+  /// the same op stream sweep identical bit states and evict identically.
+  clock,
 };
 
 struct DictionaryStats {
@@ -42,6 +52,15 @@ struct DictionaryStats {
   /// Reads served entirely by the seqlock (lock-free) path
   /// (ConcurrentShardedDictionary only).
   std::uint64_t lockfree_reads = 0;
+  /// Recency marks recorded under EvictionPolicy::clock: referenced-bit
+  /// stores from touch/maybe_touch plus the concurrent wrapper's lock-free
+  /// hit path (where an LRU hit would have taken the stripe lock).
+  std::uint64_t clock_touches = 0;
+  /// Per-shard resolve admissions that actually blocked behind an earlier
+  /// unit touching the same dictionary shard (engine::ParallelPipeline's
+  /// per-shard turnstiles; recorded by the shared service). Disjoint shard
+  /// footprints admit without waiting and leave this at zero.
+  std::uint64_t turnstile_waits = 0;
 
   DictionaryStats& operator+=(const DictionaryStats& other) noexcept {
     hits += other.hits;
@@ -51,6 +70,8 @@ struct DictionaryStats {
     prefilter_skips += other.prefilter_skips;
     stripe_acquisitions += other.stripe_acquisitions;
     lockfree_reads += other.lockfree_reads;
+    clock_touches += other.clock_touches;
+    turnstile_waits += other.turnstile_waits;
     return *this;
   }
 };
@@ -164,6 +185,24 @@ class BasisDictionary {
   /// Refreshes the recency of an identifier (a TTL refresh).
   void touch(std::uint32_t id);
 
+  /// CLOCK recency mark: sets `id`'s referenced bit with one relaxed
+  /// atomic store. Unlike touch(), this is SAFE to call concurrently with
+  /// a writer sweeping the bits under its own synchronization — it is the
+  /// hook the concurrent wrapper's lock-free hit path uses — and therefore
+  /// records no statistics (single-threaded callers go through
+  /// touch()/maybe_touch(), which count clock_touches). No-op under other
+  /// policies. Precondition: id < capacity().
+  void mark_referenced(std::uint32_t id) noexcept {
+    if (policy_ != EvictionPolicy::clock) return;
+    referenced_[id].store(1, std::memory_order_relaxed);
+  }
+
+  /// The referenced bit of `id` (clock policy only; tests/diagnostics).
+  [[nodiscard]] bool referenced(std::uint32_t id) const noexcept {
+    return policy_ == EvictionPolicy::clock &&
+           referenced_[id].load(std::memory_order_relaxed) != 0;
+  }
+
  private:
   /// Recency refresh on hit; a no-op under FIFO/random so those policies
   /// evict purely by insertion order / chance.
@@ -234,6 +273,13 @@ class BasisDictionary {
       by_basis_;
   std::uint32_t head_ = kNil;  // most recently used
   std::uint32_t tail_ = kNil;  // least recently used
+  // CLOCK state (policy == clock only): one referenced bit per identifier
+  // in a STABLE atomic array — the concurrent wrapper's lock-free hit path
+  // stores into it without the stripe lock while the evicting writer
+  // sweeps it — plus the sweep hand. unique_ptr keeps the dictionary
+  // movable (shards live in a std::vector) without moving the atomics.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> referenced_;
+  std::uint32_t clock_hand_ = 0;
   DictionaryStats stats_;
 };
 

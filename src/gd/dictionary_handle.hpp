@@ -119,6 +119,23 @@ class DictionaryHandle {
     }
   }
 
+  /// Split apply_batch for the parallel pipeline's per-shard turnstiles
+  /// (shared mode only): group_batch computes the plan's shard footprint
+  /// without executing anything; apply_shard_group then runs one shard's
+  /// group under one stripe acquisition. group_batch + apply_shard_group
+  /// over every shard == apply_batch.
+  void group_batch(std::span<const BatchOp> ops, BatchScratch& scratch) const {
+    ZL_EXPECTS(shared_ != nullptr &&
+               "split resolve is a shared-dictionary arrangement");
+    shared_->group_batch(ops, scratch);
+  }
+  void apply_shard_group(std::span<BatchOp> ops, const BatchScratch& scratch,
+                         std::size_t shard) {
+    ZL_EXPECTS(shared_ != nullptr &&
+               "split resolve is a shared-dictionary arrangement");
+    shared_->apply_shard_group(ops, scratch, shard);
+  }
+
   /// Decode-side learn: insert unless present (peek counts no stats);
   /// atomic per stripe in shared mode.
   void insert_if_absent(const bits::BitVector& basis) {

@@ -168,6 +168,13 @@ class ShardedDictionary {
   /// Refreshes the recency of a global identifier.
   void touch(std::uint32_t id);
 
+  /// CLOCK recency mark by global identifier: one relaxed atomic bit store
+  /// into the owning shard, safe against a concurrent sweep (see
+  /// BasisDictionary::mark_referenced). No-op under other policies.
+  void mark_referenced(std::uint32_t id) noexcept {
+    shards_[shard_of_id(id)].mark_referenced(to_local(id));
+  }
+
  private:
   [[nodiscard]] std::uint32_t to_global(std::size_t shard,
                                         std::uint32_t local) const noexcept {

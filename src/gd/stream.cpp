@@ -177,7 +177,7 @@ StreamHeader parse_header(Cursor& cur) {
     }
   } else {
     const std::uint8_t policy = cur.u8();
-    if (policy > static_cast<std::uint8_t>(EvictionPolicy::random)) {
+    if (policy > static_cast<std::uint8_t>(EvictionPolicy::clock)) {
       throw std::runtime_error("gd stream: unknown eviction policy");
     }
     header.policy = static_cast<EvictionPolicy>(policy);
@@ -272,6 +272,12 @@ struct ContainerDecodeStage {
   }
   static void resolve(engine::Engine& eng, Scratch& scratch) {
     eng.decode_resolve(scratch.unit);
+  }
+  static void plan(engine::Engine& eng, Scratch& scratch) {
+    eng.decode_resolve_plan(scratch.unit);
+  }
+  static void finish(engine::Engine& eng, Scratch& scratch) {
+    eng.decode_resolve_finish(scratch.unit);
   }
   static void emit(engine::Engine& eng, const Scratch& scratch, const Input&,
                    Output& out) {

@@ -23,6 +23,7 @@ engine::ParallelOptions parallel_options(const NodeOptions& o) {
   p.ownership = o.ownership;
   p.steering = o.steering;
   p.work_stealing = o.work_stealing;
+  p.worker_domains = o.worker_domains;
   return p;
 }
 
@@ -220,20 +221,24 @@ NodeStats Node::stats() const {
     s.engine = parallel_encoder_->aggregate_stats();
     if (const auto* dict = parallel_encoder_->shared_dictionary()) {
       s.dictionary_bases = dict->size();
+      s.dictionary = dict->stats();
     }
   } else if (parallel_decoder_ != nullptr) {
     s.engine = parallel_decoder_->aggregate_stats();
     if (const auto* dict = parallel_decoder_->shared_dictionary()) {
       s.dictionary_bases = dict->size();
+      s.dictionary = dict->stats();
     }
   } else {
     if (shared_engine_.has_value()) {
       accumulate(s.engine, shared_engine_->stats());
       s.dictionary_bases += shared_engine_->dictionary().size();
+      s.dictionary += shared_engine_->dictionary_handle().stats();
     }
     for (const auto& [flow, eng] : flow_engines_) {
       accumulate(s.engine, eng.stats());
       s.dictionary_bases += eng.dictionary().size();
+      s.dictionary += eng.dictionary_handle().stats();
     }
   }
   return s;

@@ -80,6 +80,10 @@ struct NodeOptions {
   /// each window boundary. Has no effect on output bytes — flush
   /// boundaries never change the dictionary op order.
   std::size_t burst_size = 256;
+  /// Cache-domain index per worker for topology_aware steering; empty =
+  /// probe the machine (common/topology.hpp). Ignored by other steering
+  /// policies. Placement never affects output bytes.
+  std::vector<std::uint32_t> worker_domains;
 
   NodeOptions& with_direction(Direction d) { direction = d; return *this; }
   NodeOptions& with_params(const gd::GdParams& p) { params = p; return *this; }
@@ -100,6 +104,10 @@ struct NodeOptions {
   NodeOptions& with_work_stealing(bool on) { work_stealing = on; return *this; }
   NodeOptions& with_queue_depth(std::size_t n) { queue_depth = n; return *this; }
   NodeOptions& with_burst_size(std::size_t n) { burst_size = n; return *this; }
+  NodeOptions& with_worker_domains(std::vector<std::uint32_t> domains) {
+    worker_domains = std::move(domains);
+    return *this;
+  }
 };
 
 /// Aggregate view over the node's internal engines. Quiescent-only in
@@ -114,6 +122,10 @@ struct NodeStats {
   /// mode the flow dictionaries live inside the pipeline workers and are
   /// not aggregated here (reported as 0).
   std::size_t dictionary_bases = 0;
+  /// Dictionary operation counters summed over the node's dictionaries
+  /// (hits, inserts, evictions, clock_touches, turnstile_waits, ...).
+  /// Zero in per_flow parallel mode, like dictionary_bases.
+  gd::DictionaryStats dictionary;
   std::size_t workers = 1;
 };
 
