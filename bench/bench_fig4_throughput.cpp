@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_guard.hpp"
 #include "common/rng.hpp"
 #include "io/node.hpp"
 #include "sim/stats.hpp"
@@ -140,7 +141,18 @@ int main(int argc, char** argv) {
   const std::uint64_t repetitions = quick ? 3 : 10;
   const SimTime duration = quick ? 10_ms : 50_ms;
   const SimTime warmup = 2_ms;
+  bench::require_release_build("bench_fig4_throughput");
   JsonRows json;
+  {
+    // Leading meta row: which build produced these numbers and which
+    // zipline::simd kernel level the data path dispatched to.
+    char meta[256];
+    std::snprintf(meta, sizeof meta,
+                  "{\"section\": \"meta\", \"zipline_build_type\": "
+                  "\"%s\", \"zipline_simd_kernel\": \"%s\"}",
+                  bench::build_type(), bench::simd_kernel_name());
+    json.add(meta);
+  }
 
   const prog::SwitchOp ops[] = {prog::SwitchOp::forward,
                                 prog::SwitchOp::encode,

@@ -1,0 +1,56 @@
+// Shared guard for every bench main that emits BENCH_*.json.
+//
+// Two jobs: (1) refuse to benchmark a non-Release (assert-enabled) build —
+// a checked-in debug-built JSON once masqueraded as the perf baseline —
+// and (2) tag the emitted JSON with the build type and the resolved
+// zipline::simd kernel level, so PR-over-PR deltas always say which code
+// path actually ran on the host that produced them.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/simd.hpp"
+
+namespace zipline::bench {
+
+/// Build tag of this binary (bench TUs share the library's flags).
+inline const char* build_type() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+/// Name of the kernel level the data-path hot loops dispatch to.
+inline const char* simd_kernel_name() {
+  return simd::level_name(simd::level()).data();
+}
+
+/// Exits (code 2) when this is a debug build, unless
+/// ZIPLINE_BENCH_ALLOW_DEBUG is set — in which case it warns loudly and
+/// the caller's JSON carries "zipline_build_type": "debug", which the CI
+/// bench-coverage guard rejects.
+inline void require_release_build(const char* bench_name) {
+#ifdef NDEBUG
+  (void)bench_name;
+#else
+  if (std::getenv("ZIPLINE_BENCH_ALLOW_DEBUG") == nullptr) {
+    std::fprintf(
+        stderr,
+        "%s: refusing to run from a debug (assert-enabled) build — the "
+        "numbers would be garbage and could be mistaken for a baseline.\n"
+        "Rebuild with -DCMAKE_BUILD_TYPE=Release, or set "
+        "ZIPLINE_BENCH_ALLOW_DEBUG=1 to force (output is tagged debug).\n",
+        bench_name);
+    std::exit(2);
+  }
+  std::fprintf(stderr,
+               "%s: WARNING — benchmarking a DEBUG build "
+               "(ZIPLINE_BENCH_ALLOW_DEBUG set); JSON is tagged debug.\n",
+               bench_name);
+#endif
+}
+
+}  // namespace zipline::bench

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_guard.hpp"
 #include "common/rng.hpp"
 #include "io/node.hpp"
 #include "sim/stats.hpp"
@@ -120,7 +121,16 @@ int main(int argc, char** argv) {
   };
   const double exponents[] = {0.0, 0.8, 1.1, 1.4};
 
+  bench::require_release_build("bench_skew_steering");
   std::vector<std::string> rows;
+  {
+    char meta[256];
+    std::snprintf(meta, sizeof meta,
+                  "{\"section\": \"meta\", \"zipline_build_type\": "
+                  "\"%s\", \"zipline_simd_kernel\": \"%s\"}",
+                  bench::build_type(), bench::simd_kernel_name());
+    rows.push_back(meta);
+  }
   std::printf("=== skew sensitivity: shared-dictionary node, %zu workers,"
               " %zu flows ===\n",
               kWorkers, kFlows);

@@ -1,89 +1,128 @@
 #include "common/bitio.hpp"
 
-#include <algorithm>
+#include <cstring>
 
 #include "common/contracts.hpp"
+#include "common/simd.hpp"
 
 namespace zipline::bits {
 
-void BitWriter::push_bit(bool b) {
-  const std::size_t bit_in_byte = bit_count_ % 8;
-  if (bit_in_byte == 0) bytes_.push_back(0);
-  if (b) {
-    bytes_.back() |= static_cast<std::uint8_t>(1u << (7 - bit_in_byte));
-  }
-  ++bit_count_;
+namespace {
+
+/// Stores the top `nbytes` bytes of `staged` (a top-aligned bit pattern)
+/// at dst, most-significant byte first. nbytes <= 8.
+inline void store_be_top(std::uint8_t* dst, std::uint64_t staged,
+                         std::size_t nbytes) {
+  const std::uint64_t be = __builtin_bswap64(staged);
+  std::memcpy(dst, &be, nbytes);
 }
+
+/// Loads `nbytes` bytes MSB-first into the TOP of a 64-bit word (the
+/// remaining low bits are zero). nbytes <= 8.
+inline std::uint64_t load_be_top(const std::uint8_t* src, std::size_t nbytes) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, src, nbytes);
+  return __builtin_bswap64(v);
+}
+
+inline std::uint64_t low_mask(std::size_t width) {
+  return width == 64 ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << width) - 1;
+}
+
+}  // namespace
 
 void BitWriter::write_uint(std::uint64_t value, std::size_t width) {
   ZL_EXPECTS(width <= 64);
   ZL_EXPECTS(width == 64 || value < (std::uint64_t{1} << width));
-  // Byte-at-a-time: fill the open partial byte, then whole bytes. This is
-  // the engine's serialization inner loop.
-  std::size_t remaining = width;
-  while (remaining > 0) {
-    const std::size_t bit_in_byte = bit_count_ % 8;
-    if (bit_in_byte == 0) bytes_.push_back(0);
-    const std::size_t take = std::min<std::size_t>(8 - bit_in_byte, remaining);
-    const std::uint64_t chunk =
-        (value >> (remaining - take)) & ((std::uint64_t{1} << take) - 1);
-    bytes_.back() |=
-        static_cast<std::uint8_t>(chunk << (8 - bit_in_byte - take));
-    bit_count_ += take;
-    remaining -= take;
+  if (width == 0) return;
+  // Word-level packing: stage the open partial byte's bits (if any) above
+  // the value in one top-aligned 64-bit accumulator and store it back with
+  // at most two word-width writes — the field spans at most 9 bytes. The
+  // invariant that bits past bit_count_ in the last byte are zero is
+  // preserved (the staged word is zero-padded, resize() zero-fills), which
+  // is what keeps bytes()/align_to_byte()/write_padding() loop-free.
+  const std::size_t bit_off = bit_count_ % 8;
+  const std::size_t byte_pos = bit_count_ / 8;
+  const std::size_t total = bit_off + width;
+  bytes_.resize((bit_count_ + width + 7) / 8);
+  std::uint8_t* dst = bytes_.data() + byte_pos;
+  if (total <= 64) {
+    std::uint64_t staged = value << (64 - total);
+    if (bit_off != 0) staged |= static_cast<std::uint64_t>(*dst) << 56;
+    store_be_top(dst, staged, (total + 7) / 8);
+  } else {
+    // 65..71 bits: the first 64 as one store, the remainder (1..7 bits)
+    // as the final zero-padded byte.
+    const std::size_t rem = total - 64;
+    std::uint64_t staged = (value >> rem) |
+                           (static_cast<std::uint64_t>(*dst) << 56);
+    store_be_top(dst, staged, 8);
+    dst[8] = static_cast<std::uint8_t>((value & low_mask(rem)) << (8 - rem));
   }
+  bit_count_ += width;
 }
 
 void BitWriter::write_bits(const BitVector& v) {
-  // MSB-first over the vector, one word segment at a time. The top
-  // segment aligns the remainder to word boundaries, so every later
-  // segment is a full word.
+  // MSB-first over the vector: the top (possibly partial) word aligns the
+  // remainder to word boundaries; the full words below it go through the
+  // dispatch kernel's bulk byteswap-copy when the stream is byte aligned,
+  // or word-at-a-time write_uint otherwise.
   const auto words = v.words();
   std::size_t i = v.size();
-  while (i > 0) {
-    const std::size_t take = (i % 64 != 0) ? i % 64 : 64;
-    const std::uint64_t word = words[(i - take) / 64];
-    write_uint(take == 64 ? word : word & ((std::uint64_t{1} << take) - 1),
-               take);
-    i -= take;
+  if (i == 0) return;
+  const std::size_t top = (i % 64 != 0) ? i % 64 : 64;
+  const std::uint64_t top_word = words[(i - top) / 64];
+  write_uint(top == 64 ? top_word : top_word & low_mask(top), top);
+  i -= top;
+  const std::size_t full = i / 64;
+  if (full == 0) return;
+  if (bit_count_ % 8 == 0) {
+    const std::size_t start = bytes_.size();
+    bytes_.resize(start + full * 8);
+    simd::active().pack_words_be_rev(bytes_.data() + start, words.data(),
+                                     full);
+    bit_count_ += full * 64;
+  } else {
+    for (std::size_t w = full; w-- > 0;) write_uint(words[w], 64);
   }
 }
 
 void BitWriter::align_to_byte() {
-  while (bit_count_ % 8 != 0) push_bit(false);
+  // Bits past bit_count_ in the open byte are already zero by invariant,
+  // so alignment is pure arithmetic — no per-bit loop.
+  bit_count_ = (bit_count_ + 7) & ~std::size_t{7};
 }
 
 void BitWriter::write_padding(std::size_t count) {
-  for (std::size_t i = 0; i < count; ++i) push_bit(false);
+  // Zero padding only needs the buffer extended: resize() zero-fills the
+  // new bytes and the open byte's tail is already zero.
+  bit_count_ += count;
+  bytes_.resize((bit_count_ + 7) / 8);
 }
 
 std::vector<std::uint8_t> BitWriter::to_bytes() const { return bytes_; }
 
-bool BitReader::next_bit() {
-  ZL_EXPECTS(pos_ < bytes_.size() * 8);
-  const std::uint8_t byte = bytes_[pos_ / 8];
-  const bool b = (byte >> (7 - pos_ % 8)) & 1;
-  ++pos_;
-  return b;
-}
-
 std::uint64_t BitReader::read_uint(std::size_t width) {
   ZL_EXPECTS(width <= 64);
   ZL_EXPECTS(pos_ + width <= bytes_.size() * 8);
-  std::uint64_t value = 0;
-  std::size_t remaining = width;
-  while (remaining > 0) {
-    const std::size_t bit_in_byte = pos_ % 8;
-    const std::size_t take = std::min<std::size_t>(8 - bit_in_byte, remaining);
-    const std::uint64_t chunk =
-        (static_cast<std::uint64_t>(bytes_[pos_ / 8]) >>
-         (8 - bit_in_byte - take)) &
-        ((std::uint64_t{1} << take) - 1);
-    value = (value << take) | chunk;
-    pos_ += take;
-    remaining -= take;
+  if (width == 0) return 0;
+  // Mirror of BitWriter::write_uint: the field spans at most 9 bytes, so
+  // one top-aligned load (plus a second single-byte load when it spills
+  // past 64 staged bits) replaces the byte-at-a-time loop.
+  const std::size_t bit_off = pos_ % 8;
+  const std::size_t total = bit_off + width;
+  const std::uint8_t* src = bytes_.data() + pos_ / 8;
+  pos_ += width;
+  if (total <= 64) {
+    const std::uint64_t staged = load_be_top(src, (total + 7) / 8);
+    return (staged >> (64 - total)) & low_mask(width);
   }
-  return value;
+  const std::size_t rem = total - 64;
+  const std::uint64_t staged = load_be_top(src, 8);
+  const std::uint64_t high = staged & low_mask(64 - bit_off);
+  const std::uint64_t low = static_cast<std::uint64_t>(src[8]) >> (8 - rem);
+  return (high << rem) | low;
 }
 
 BitVector BitReader::read_bits(std::size_t count) {
@@ -94,13 +133,25 @@ BitVector BitReader::read_bits(std::size_t count) {
 
 void BitReader::read_bits_into(std::size_t count, BitVector& out) {
   out.assign_zero(count);
-  // Mirror of BitWriter::write_bits: top partial word first, then full
-  // words, each landing on a word boundary of `out`.
+  if (count == 0) return;
+  // Mirror of BitWriter::write_bits: top partial word first, then the
+  // full words — bulk byteswap-copied through the dispatch kernel when
+  // byte aligned, word-at-a-time otherwise.
   std::size_t i = count;
-  while (i > 0) {
-    const std::size_t take = (i % 64 != 0) ? i % 64 : 64;
-    out.or_uint(i - take, read_uint(take), take);
-    i -= take;
+  const std::size_t top = (i % 64 != 0) ? i % 64 : 64;
+  out.or_uint(i - top, read_uint(top), top);
+  i -= top;
+  const std::size_t full = i / 64;
+  if (full == 0) return;
+  ZL_EXPECTS(pos_ + full * 64 <= bytes_.size() * 8);
+  if (pos_ % 8 == 0) {
+    simd::active().unpack_words_be_rev(out.low_words(full).data(),
+                                       bytes_.data() + pos_ / 8, full);
+    pos_ += full * 64;
+  } else {
+    for (std::size_t w = full; w-- > 0;) {
+      out.or_uint(w * 64, read_uint(64), 64);
+    }
   }
 }
 

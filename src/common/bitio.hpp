@@ -48,8 +48,10 @@ class BitWriter {
   [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
 
  private:
-  void push_bit(bool b);
-
+  // Invariant: bytes_ holds exactly ceil(bit_count_ / 8) bytes and every
+  // bit past bit_count_ in the final byte is zero. write_uint maintains it
+  // with word-level stores, which is what makes bytes() always valid and
+  // align_to_byte()/write_padding() loop-free.
   std::vector<std::uint8_t> bytes_;
   std::size_t bit_count_ = 0;
 };
@@ -76,8 +78,6 @@ class BitReader {
   }
 
  private:
-  [[nodiscard]] bool next_bit();
-
   std::span<const std::uint8_t> bytes_;
   std::size_t pos_ = 0;  // absolute bit position, MSB of byte 0 is 0
 };

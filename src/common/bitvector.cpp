@@ -83,6 +83,11 @@ void BitVector::assign_from_words(std::span<const std::uint64_t> words,
   trim_top_word();
 }
 
+std::span<std::uint64_t> BitVector::low_words(std::size_t count) {
+  ZL_EXPECTS(count * kWordBits <= size_);
+  return {words_.data(), count};
+}
+
 bool BitVector::get(std::size_t i) const {
   ZL_EXPECTS(i < size_);
   return (words_[i / kWordBits] >> (i % kWordBits)) & 1;

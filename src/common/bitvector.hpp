@@ -132,6 +132,12 @@ class BitVector {
     return words_;
   }
 
+  /// Mutable view of the low `count` whole words, for bulk fills by the
+  /// bit-I/O fast paths. Requires count * 64 <= size(): only words fully
+  /// below size() are exposed, so the trimmed-top-word invariant cannot
+  /// be violated through this view.
+  [[nodiscard]] std::span<std::uint64_t> low_words(std::size_t count);
+
  private:
   void trim_top_word() noexcept;
 

@@ -1,0 +1,388 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define ZIPLINE_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define ZIPLINE_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace zipline::simd {
+namespace {
+
+constexpr std::uint64_t bswap64(std::uint64_t v) noexcept {
+  return __builtin_bswap64(v);
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels. Every other tier must be byte-identical to
+// these; they are also the only tier on architectures without vector code.
+// ---------------------------------------------------------------------------
+
+std::uint32_t crc_fold_scalar(const std::array<std::uint32_t, 256>* tables,
+                              const std::uint64_t* words, std::size_t groups) {
+  std::uint32_t acc = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::uint64_t w = words[g];
+    const auto* t = tables + 8 * g;
+    // Slicing-by-8: eight independent table loads, no branches, no
+    // loop-carried dependency beyond the XOR accumulator.
+    acc ^= t[0][w & 0xFF] ^ t[1][(w >> 8) & 0xFF] ^ t[2][(w >> 16) & 0xFF] ^
+           t[3][(w >> 24) & 0xFF] ^ t[4][(w >> 32) & 0xFF] ^
+           t[5][(w >> 40) & 0xFF] ^ t[6][(w >> 48) & 0xFF] ^
+           t[7][(w >> 56) & 0xFF];
+  }
+  return acc;
+}
+
+void pack_scalar(std::uint8_t* dst, const std::uint64_t* words,
+                 std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint64_t be = bswap64(words[n - 1 - j]);
+    std::memcpy(dst + 8 * j, &be, 8);
+  }
+}
+
+void unpack_scalar(std::uint64_t* words, const std::uint8_t* src,
+                   std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    std::uint64_t v;
+    std::memcpy(&v, src + 8 * j, 8);
+    words[n - 1 - j] = bswap64(v);
+  }
+}
+
+constexpr KernelTable kScalarTable{KernelLevel::scalar, crc_fold_scalar,
+                                   pack_scalar, unpack_scalar};
+
+#if defined(ZIPLINE_SIMD_X86)
+
+// ---------------------------------------------------------------------------
+// sse42 tier. No gather exists below AVX2, so the fold is the scalar body
+// widened to two words per iteration on independent accumulator chains;
+// the pack/unpack kernels move 16 bytes per iteration through PSHUFB (a
+// full 16-byte reverse handles both the per-word byteswap and the
+// high-word-first wire order in one shuffle).
+// ---------------------------------------------------------------------------
+
+std::uint32_t crc_fold_sse42(const std::array<std::uint32_t, 256>* tables,
+                             const std::uint64_t* words, std::size_t groups) {
+  std::uint32_t acc0 = 0;
+  std::uint32_t acc1 = 0;
+  std::size_t g = 0;
+  for (; g + 2 <= groups; g += 2) {
+    const std::uint64_t w0 = words[g];
+    const std::uint64_t w1 = words[g + 1];
+    const auto* t0 = tables + 8 * g;
+    const auto* t1 = t0 + 8;
+    acc0 ^= t0[0][w0 & 0xFF] ^ t0[1][(w0 >> 8) & 0xFF] ^
+            t0[2][(w0 >> 16) & 0xFF] ^ t0[3][(w0 >> 24) & 0xFF] ^
+            t0[4][(w0 >> 32) & 0xFF] ^ t0[5][(w0 >> 40) & 0xFF] ^
+            t0[6][(w0 >> 48) & 0xFF] ^ t0[7][(w0 >> 56) & 0xFF];
+    acc1 ^= t1[0][w1 & 0xFF] ^ t1[1][(w1 >> 8) & 0xFF] ^
+            t1[2][(w1 >> 16) & 0xFF] ^ t1[3][(w1 >> 24) & 0xFF] ^
+            t1[4][(w1 >> 32) & 0xFF] ^ t1[5][(w1 >> 40) & 0xFF] ^
+            t1[6][(w1 >> 48) & 0xFF] ^ t1[7][(w1 >> 56) & 0xFF];
+  }
+  if (g < groups) {
+    acc0 ^= crc_fold_scalar(tables + 8 * g, words + g, groups - g);
+  }
+  return acc0 ^ acc1;
+}
+
+__attribute__((target("sse4.2")))
+void pack_sse42(std::uint8_t* dst, const std::uint64_t* words,
+                std::size_t n) {
+  const __m128i reverse16 = _mm_setr_epi8(15, 14, 13, 12, 11, 10, 9, 8,  //
+                                          7, 6, 5, 4, 3, 2, 1, 0);
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const __m128i v = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(words + (n - 2 - j)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + 8 * j),
+                     _mm_shuffle_epi8(v, reverse16));
+  }
+  if (j < n) pack_scalar(dst + 8 * j, words, n - j);
+}
+
+__attribute__((target("sse4.2")))
+void unpack_sse42(std::uint64_t* words, const std::uint8_t* src,
+                  std::size_t n) {
+  const __m128i reverse16 = _mm_setr_epi8(15, 14, 13, 12, 11, 10, 9, 8,  //
+                                          7, 6, 5, 4, 3, 2, 1, 0);
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + 8 * j));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(words + (n - 2 - j)),
+                     _mm_shuffle_epi8(v, reverse16));
+  }
+  if (j < n) unpack_scalar(words, src + 8 * j, n - j);
+}
+
+constexpr KernelTable kSse42Table{KernelLevel::sse42, crc_fold_sse42,
+                                  pack_sse42, unpack_sse42};
+
+// ---------------------------------------------------------------------------
+// avx2 tier. The fold becomes one VPGATHERDD per input word: the eight
+// byte lanes are zero-extended to 32-bit indices, offset by their table
+// number (tables are contiguous 256-entry blocks, so table j starts at
+// element 256*j), gathered in one instruction and XORed into a 256-bit
+// accumulator. Two words per iteration on independent accumulator chains
+// hide the gather latency; the eight lanes reduce once at the end.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2")))
+std::uint32_t crc_fold_avx2(const std::array<std::uint32_t, 256>* tables,
+                            const std::uint64_t* words, std::size_t groups) {
+  const __m256i lane_offsets =
+      _mm256_setr_epi32(0, 256, 512, 768, 1024, 1280, 1536, 1792);
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  std::size_t g = 0;
+  for (; g + 2 <= groups; g += 2) {
+    const __m256i idx0 = _mm256_add_epi32(
+        _mm256_cvtepu8_epi32(
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(words + g))),
+        lane_offsets);
+    const __m256i idx1 = _mm256_add_epi32(
+        _mm256_cvtepu8_epi32(
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(words + g + 1))),
+        lane_offsets);
+    const int* base0 = reinterpret_cast<const int*>((tables + 8 * g)->data());
+    const int* base1 = base0 + 8 * 256;
+    acc0 = _mm256_xor_si256(acc0, _mm256_i32gather_epi32(base0, idx0, 4));
+    acc1 = _mm256_xor_si256(acc1, _mm256_i32gather_epi32(base1, idx1, 4));
+  }
+  if (g < groups) {
+    const __m256i idx = _mm256_add_epi32(
+        _mm256_cvtepu8_epi32(
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(words + g))),
+        lane_offsets);
+    const int* base = reinterpret_cast<const int*>((tables + 8 * g)->data());
+    acc0 = _mm256_xor_si256(acc0, _mm256_i32gather_epi32(base, idx, 4));
+  }
+  const __m256i acc = _mm256_xor_si256(acc0, acc1);
+  __m128i r = _mm_xor_si128(_mm256_castsi256_si128(acc),
+                            _mm256_extracti128_si256(acc, 1));
+  r = _mm_xor_si128(r, _mm_shuffle_epi32(r, _MM_SHUFFLE(1, 0, 3, 2)));
+  r = _mm_xor_si128(r, _mm_shuffle_epi32(r, _MM_SHUFFLE(2, 3, 0, 1)));
+  return static_cast<std::uint32_t>(_mm_cvtsi128_si32(r));
+}
+
+__attribute__((target("avx2")))
+void pack_avx2(std::uint8_t* dst, const std::uint64_t* words, std::size_t n) {
+  // VPSHUFB reverses within each 128-bit lane; the cross-lane permute
+  // swaps the lanes, completing a full 32-byte reverse (four words).
+  const __m256i reverse_lane = _mm256_setr_epi8(
+      15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0,  //
+      15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(words + (n - 4 - j)));
+    v = _mm256_shuffle_epi8(v, reverse_lane);
+    v = _mm256_permute2x128_si256(v, v, 1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 8 * j), v);
+  }
+  if (j < n) pack_scalar(dst + 8 * j, words, n - j);
+}
+
+__attribute__((target("avx2")))
+void unpack_avx2(std::uint64_t* words, const std::uint8_t* src,
+                 std::size_t n) {
+  const __m256i reverse_lane = _mm256_setr_epi8(
+      15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0,  //
+      15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + 8 * j));
+    v = _mm256_shuffle_epi8(v, reverse_lane);
+    v = _mm256_permute2x128_si256(v, v, 1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(words + (n - 4 - j)), v);
+  }
+  if (j < n) unpack_scalar(words, src + 8 * j, n - j);
+}
+
+constexpr KernelTable kAvx2Table{KernelLevel::avx2, crc_fold_avx2, pack_avx2,
+                                 unpack_avx2};
+
+#elif defined(ZIPLINE_SIMD_NEON)
+
+// ---------------------------------------------------------------------------
+// neon tier (aarch64, where NEON is architectural baseline). REV64 gives
+// the per-word byteswap; EXT swaps the two 64-bit halves for the
+// high-word-first wire order. The fold mirrors the sse42 two-chain unroll
+// (no gather on NEON either).
+// ---------------------------------------------------------------------------
+
+std::uint32_t crc_fold_neon(const std::array<std::uint32_t, 256>* tables,
+                            const std::uint64_t* words, std::size_t groups) {
+  std::uint32_t acc0 = 0;
+  std::uint32_t acc1 = 0;
+  std::size_t g = 0;
+  for (; g + 2 <= groups; g += 2) {
+    const std::uint64_t w0 = words[g];
+    const std::uint64_t w1 = words[g + 1];
+    const auto* t0 = tables + 8 * g;
+    const auto* t1 = t0 + 8;
+    acc0 ^= t0[0][w0 & 0xFF] ^ t0[1][(w0 >> 8) & 0xFF] ^
+            t0[2][(w0 >> 16) & 0xFF] ^ t0[3][(w0 >> 24) & 0xFF] ^
+            t0[4][(w0 >> 32) & 0xFF] ^ t0[5][(w0 >> 40) & 0xFF] ^
+            t0[6][(w0 >> 48) & 0xFF] ^ t0[7][(w0 >> 56) & 0xFF];
+    acc1 ^= t1[0][w1 & 0xFF] ^ t1[1][(w1 >> 8) & 0xFF] ^
+            t1[2][(w1 >> 16) & 0xFF] ^ t1[3][(w1 >> 24) & 0xFF] ^
+            t1[4][(w1 >> 32) & 0xFF] ^ t1[5][(w1 >> 40) & 0xFF] ^
+            t1[6][(w1 >> 48) & 0xFF] ^ t1[7][(w1 >> 56) & 0xFF];
+  }
+  if (g < groups) {
+    acc0 ^= crc_fold_scalar(tables + 8 * g, words + g, groups - g);
+  }
+  return acc0 ^ acc1;
+}
+
+void pack_neon(std::uint8_t* dst, const std::uint64_t* words, std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    uint8x16_t v = vld1q_u8(
+        reinterpret_cast<const std::uint8_t*>(words + (n - 2 - j)));
+    v = vrev64q_u8(v);        // byteswap within each 64-bit word
+    v = vextq_u8(v, v, 8);    // swap halves: high word first on the wire
+    vst1q_u8(dst + 8 * j, v);
+  }
+  if (j < n) pack_scalar(dst + 8 * j, words, n - j);
+}
+
+void unpack_neon(std::uint64_t* words, const std::uint8_t* src,
+                 std::size_t n) {
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    uint8x16_t v = vld1q_u8(src + 8 * j);
+    v = vrev64q_u8(v);
+    v = vextq_u8(v, v, 8);
+    vst1q_u8(reinterpret_cast<std::uint8_t*>(words + (n - 2 - j)), v);
+  }
+  if (j < n) unpack_scalar(words, src + 8 * j, n - j);
+}
+
+constexpr KernelTable kNeonTable{KernelLevel::neon, crc_fold_neon, pack_neon,
+                                 unpack_neon};
+
+#endif  // architecture tiers
+
+const KernelTable& resolve() noexcept {
+  if (const char* env = std::getenv("ZIPLINE_SIMD")) {
+    if (const auto requested = parse_level(env)) {
+      return table_for(*requested);
+    }
+  }
+  return table_for(probe());
+}
+
+std::atomic<const KernelTable*>& active_slot() noexcept {
+  // First use resolves once; later loads are a single acquire.
+  static std::atomic<const KernelTable*> slot{&resolve()};
+  return slot;
+}
+
+}  // namespace
+
+std::string_view level_name(KernelLevel level) noexcept {
+  switch (level) {
+    case KernelLevel::scalar:
+      return "scalar";
+    case KernelLevel::sse42:
+      return "sse42";
+    case KernelLevel::neon:
+      return "neon";
+    case KernelLevel::avx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+std::optional<KernelLevel> parse_level(std::string_view name) noexcept {
+  if (name == "scalar") return KernelLevel::scalar;
+  if (name == "sse42") return KernelLevel::sse42;
+  if (name == "neon") return KernelLevel::neon;
+  if (name == "avx2") return KernelLevel::avx2;
+  return std::nullopt;
+}
+
+KernelLevel probe() noexcept {
+#if defined(ZIPLINE_SIMD_X86)
+  if (__builtin_cpu_supports("avx2")) return KernelLevel::avx2;
+  if (__builtin_cpu_supports("sse4.2") && __builtin_cpu_supports("ssse3")) {
+    return KernelLevel::sse42;
+  }
+  return KernelLevel::scalar;
+#elif defined(ZIPLINE_SIMD_NEON)
+  return KernelLevel::neon;
+#else
+  return KernelLevel::scalar;
+#endif
+}
+
+bool supported(KernelLevel level) noexcept {
+  switch (level) {
+    case KernelLevel::scalar:
+      return true;
+#if defined(ZIPLINE_SIMD_X86)
+    case KernelLevel::sse42:
+      return __builtin_cpu_supports("sse4.2") &&
+             __builtin_cpu_supports("ssse3");
+    case KernelLevel::avx2:
+      return __builtin_cpu_supports("avx2");
+    case KernelLevel::neon:
+      return false;
+#elif defined(ZIPLINE_SIMD_NEON)
+    case KernelLevel::neon:
+      return true;
+    case KernelLevel::sse42:
+    case KernelLevel::avx2:
+      return false;
+#else
+    case KernelLevel::sse42:
+    case KernelLevel::neon:
+    case KernelLevel::avx2:
+      return false;
+#endif
+  }
+  return false;
+}
+
+const KernelTable& table_for(KernelLevel level) noexcept {
+#if defined(ZIPLINE_SIMD_X86)
+  if (level == KernelLevel::avx2 && supported(KernelLevel::avx2)) {
+    return kAvx2Table;
+  }
+  // avx2 without hardware support clamps down through sse42.
+  if (level >= KernelLevel::sse42 && level != KernelLevel::neon &&
+      supported(KernelLevel::sse42)) {
+    return kSse42Table;
+  }
+#elif defined(ZIPLINE_SIMD_NEON)
+  if (level != KernelLevel::scalar) return kNeonTable;
+#else
+  (void)level;
+#endif
+  return kScalarTable;
+}
+
+const KernelTable& active() noexcept {
+  return *active_slot().load(std::memory_order_acquire);
+}
+
+KernelLevel set_active_for_testing(KernelLevel level) noexcept {
+  const KernelTable* previous =
+      active_slot().exchange(&table_for(level), std::memory_order_acq_rel);
+  return previous->level;
+}
+
+}  // namespace zipline::simd

@@ -1,0 +1,88 @@
+// Runtime-dispatched SIMD kernel layer for the data-path inner loops.
+//
+// The two largest per-chunk costs — the syndrome CRC contribution fold and
+// the word-level bit packing behind BitWriter/BitReader — are pure
+// data-parallel byte/word shuffles with no loop-carried dependency, so they
+// widen cleanly onto whatever vector unit the host has. This header is the
+// seam: a `KernelTable` of function pointers, resolved ONCE per process
+// (CPUID/auxval probe, overridable via the ZIPLINE_SIMD environment
+// variable), that the hot loops call through.
+//
+// Contract (see src/common/README.md for the long form):
+//   * Every kernel is byte-identical to the scalar reference at `scalar`
+//     level — same outputs for all inputs, not merely "close". The GDZ1
+//     wire format depends on it; tests/simd_kernel_test.cpp cross-checks
+//     every level against scalar.
+//   * Resolution order: ZIPLINE_SIMD env override (parsed, then clamped to
+//     what the host supports) -> hardware probe -> scalar. An unrecognized
+//     override value is ignored (the probe result is used). Requesting a
+//     level above the host's capability clamps DOWN to the best supported
+//     level, so CI can force every level name on any runner.
+//   * The table is resolved on first use and never changes afterwards,
+//     except through set_active_for_testing() (parity tests only).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace zipline::simd {
+
+/// Dispatch tiers, ordered by preference within an architecture. `sse42`
+/// and `avx2` exist on x86-64, `neon` on aarch64; `scalar` everywhere.
+enum class KernelLevel : std::uint8_t { scalar = 0, sse42 = 1, neon = 2, avx2 = 3 };
+
+/// Canonical lowercase name ("scalar", "sse42", "neon", "avx2").
+[[nodiscard]] std::string_view level_name(KernelLevel level) noexcept;
+
+/// Inverse of level_name; nullopt for anything else (case-sensitive).
+[[nodiscard]] std::optional<KernelLevel> parse_level(
+    std::string_view name) noexcept;
+
+/// The resolved kernel set. All pointers are always non-null.
+struct KernelTable {
+  KernelLevel level;
+
+  /// Syndrome-CRC fold over `groups` full 8-byte table groups: XORs
+  /// tables[8g + j][byte j of words[g]] for every g < groups, j < 8.
+  /// `tables` must point at 8 * groups contiguous 256-entry tables.
+  std::uint32_t (*crc_fold)(const std::array<std::uint32_t, 256>* tables,
+                            const std::uint64_t* words, std::size_t groups);
+
+  /// Wire-order bulk pack: dst[8j .. 8j+7] = big-endian bytes of
+  /// words[n-1-j]. (BitVector word 0 holds the LOW powers, which are
+  /// emitted LAST, hence the reversal.) dst must hold 8n bytes.
+  void (*pack_words_be_rev)(std::uint8_t* dst, const std::uint64_t* words,
+                            std::size_t n);
+
+  /// Mirror of pack_words_be_rev: words[n-1-j] = big-endian load of
+  /// src[8j .. 8j+7]. words must hold n entries.
+  void (*unpack_words_be_rev)(std::uint64_t* words, const std::uint8_t* src,
+                              std::size_t n);
+};
+
+/// Best level the hardware supports (ignores the env override).
+[[nodiscard]] KernelLevel probe() noexcept;
+
+/// Whether this host can run `level`'s kernels.
+[[nodiscard]] bool supported(KernelLevel level) noexcept;
+
+/// Kernel table for `level`, clamped down to the best supported level at
+/// or below it (avx2 -> sse42 -> scalar; neon -> scalar off-ARM).
+[[nodiscard]] const KernelTable& table_for(KernelLevel level) noexcept;
+
+/// The process-wide active table: resolved once on first use from
+/// ZIPLINE_SIMD (if set and parseable) else probe(). One acquire load.
+[[nodiscard]] const KernelTable& active() noexcept;
+
+/// Level of the active table — what NodeStats and bench JSON record.
+[[nodiscard]] inline KernelLevel level() noexcept { return active().level; }
+
+/// Test hook: swaps the active table (clamped like table_for) and returns
+/// the previous level so parity suites can restore it. Not for production
+/// code — the dispatch is otherwise one-time-resolved.
+KernelLevel set_active_for_testing(KernelLevel level) noexcept;
+
+}  // namespace zipline::simd

@@ -1,6 +1,7 @@
 #include "crc/syndrome_crc.hpp"
 
 #include "common/contracts.hpp"
+#include "common/simd.hpp"
 
 namespace zipline::crc {
 
@@ -32,24 +33,18 @@ SyndromeCrc::SyndromeCrc(Gf2Poly g, std::size_t n) : g_(g), m_(g.degree()), n_(n
 
 std::uint32_t SyndromeCrc::compute(const bits::BitVector& word) const {
   ZL_EXPECTS(word.size() == n_);
-  std::uint32_t acc = 0;
+  // The syndrome is a plain XOR of per-(position, byte) contributions with
+  // no loop-carried dependency, so every full 64-bit word folds through
+  // the runtime-dispatched kernel (scalar slicing-by-8, or the vectorized
+  // gather fold on hosts that have one — byte-identical by contract).
   const auto words = word.words();
   const std::size_t total_bytes = tables_.size();
-  std::size_t byte_pos = 0;
-  for (const std::uint64_t w : words) {
-    if (byte_pos + 8 <= total_bytes) {
-      // Slicing-by-8: the syndrome is a plain XOR of per-(position, byte)
-      // contributions, so a full 64-bit word folds into eight independent
-      // table loads with no loop-carried dependency and no branches.
-      const auto* t = &tables_[byte_pos];
-      acc ^= t[0][w & 0xFF] ^ t[1][(w >> 8) & 0xFF] ^ t[2][(w >> 16) & 0xFF] ^
-             t[3][(w >> 24) & 0xFF] ^ t[4][(w >> 32) & 0xFF] ^
-             t[5][(w >> 40) & 0xFF] ^ t[6][(w >> 48) & 0xFF] ^
-             t[7][(w >> 56) & 0xFF];
-      byte_pos += 8;
-      continue;
-    }
-    std::uint64_t value = w;
+  const std::size_t groups = total_bytes / 8;
+  std::uint32_t acc =
+      simd::active().crc_fold(tables_.data(), words.data(), groups);
+  std::size_t byte_pos = groups * 8;
+  if (byte_pos < total_bytes) {
+    std::uint64_t value = words[groups];
     for (; byte_pos < total_bytes; ++byte_pos) {
       acc ^= tables_[byte_pos][value & 0xFF];
       value >>= 8;

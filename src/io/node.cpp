@@ -217,6 +217,7 @@ NodeStats Node::stats() const {
   s.units = units_;
   s.passthrough = passthrough_;
   s.workers = options_.workers;
+  s.kernel_level = simd::level();
   if (parallel_encoder_ != nullptr) {
     s.engine = parallel_encoder_->aggregate_stats();
     if (const auto* dict = parallel_encoder_->shared_dictionary()) {

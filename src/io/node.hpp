@@ -35,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "engine/engine.hpp"
 #include "engine/parallel.hpp"
 #include "io/burst.hpp"
@@ -127,6 +128,10 @@ struct NodeStats {
   /// Zero in per_flow parallel mode, like dictionary_bases.
   gd::DictionaryStats dictionary;
   std::size_t workers = 1;
+  /// Resolved zipline::simd kernel level the node's hot loops (syndrome
+  /// fold, bit packing) dispatch to. Process-wide, recorded here so bench
+  /// JSON can say which code path actually ran on the producing host.
+  simd::KernelLevel kernel_level = simd::KernelLevel::scalar;
 };
 
 class Node {

@@ -1,0 +1,306 @@
+// Kernel-parity suite for zipline::simd: every dispatch level must be
+// byte-identical to the scalar reference — for the raw kernels, for the
+// BitWriter/BitReader paths built on them, and for SyndromeCrc::compute
+// against the bit-serial oracle. CI runs this binary once per forced
+// ZIPLINE_SIMD level on top of the in-process level sweep below.
+
+#include "common/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitio.hpp"
+#include "common/bitvector.hpp"
+#include "common/rng.hpp"
+#include "crc/syndrome_crc.hpp"
+
+namespace zipline {
+namespace {
+
+/// Every level this host can actually run (scalar always; vector tiers
+/// when the probe admits them). table_for clamps, so unsupported names
+/// are still exercised through ResolutionClamps below.
+std::vector<simd::KernelLevel> supported_levels() {
+  std::vector<simd::KernelLevel> levels{simd::KernelLevel::scalar};
+  for (const auto level :
+       {simd::KernelLevel::sse42, simd::KernelLevel::neon,
+        simd::KernelLevel::avx2}) {
+    if (simd::supported(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+/// RAII forced dispatch level, restoring the previous one on scope exit.
+class ScopedKernelLevel {
+ public:
+  explicit ScopedKernelLevel(simd::KernelLevel level)
+      : previous_(simd::set_active_for_testing(level)) {}
+  ~ScopedKernelLevel() { simd::set_active_for_testing(previous_); }
+
+ private:
+  simd::KernelLevel previous_;
+};
+
+bits::BitVector random_bits(Rng& rng, std::size_t n) {
+  bits::BitVector v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.next_bool(0.5)) v.set(i);
+  }
+  return v;
+}
+
+TEST(SimdDispatch, NamesRoundTrip) {
+  for (const auto level :
+       {simd::KernelLevel::scalar, simd::KernelLevel::sse42,
+        simd::KernelLevel::neon, simd::KernelLevel::avx2}) {
+    const auto parsed = simd::parse_level(simd::level_name(level));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_FALSE(simd::parse_level("AVX2").has_value());
+  EXPECT_FALSE(simd::parse_level("").has_value());
+  EXPECT_FALSE(simd::parse_level("sse").has_value());
+}
+
+TEST(SimdDispatch, ResolutionClamps) {
+  // The probe result is by definition supported, and every table_for
+  // request lands on a supported level at or below the request.
+  EXPECT_TRUE(simd::supported(simd::probe()));
+  for (const auto level :
+       {simd::KernelLevel::scalar, simd::KernelLevel::sse42,
+        simd::KernelLevel::neon, simd::KernelLevel::avx2}) {
+    const simd::KernelTable& table = simd::table_for(level);
+    EXPECT_TRUE(simd::supported(table.level));
+    if (simd::supported(level)) {
+      EXPECT_EQ(table.level, level);
+    }
+  }
+  // The active table is one of the supported ones (env override already
+  // applied by the time this runs; CI forces each name in turn).
+  EXPECT_TRUE(simd::supported(simd::level()));
+}
+
+TEST(SimdKernel, CrcFoldParity) {
+  Rng rng(0xC0FFEE);
+  for (const std::size_t groups : {std::size_t{0}, std::size_t{1},
+                                   std::size_t{2}, std::size_t{3},
+                                   std::size_t{4}, std::size_t{7},
+                                   std::size_t{16}, std::size_t{33}}) {
+    std::vector<std::array<std::uint32_t, 256>> tables(8 * groups);
+    for (auto& table : tables) {
+      for (auto& entry : table) {
+        entry = static_cast<std::uint32_t>(rng.next_u64());
+      }
+    }
+    std::vector<std::uint64_t> words(groups == 0 ? 1 : groups);
+    for (auto& w : words) w = rng.next_u64();
+    const std::uint32_t reference =
+        simd::table_for(simd::KernelLevel::scalar)
+            .crc_fold(tables.data(), words.data(), groups);
+    for (const auto level : supported_levels()) {
+      EXPECT_EQ(simd::table_for(level).crc_fold(tables.data(), words.data(),
+                                                groups),
+                reference)
+          << "level=" << simd::level_name(level) << " groups=" << groups;
+    }
+  }
+}
+
+TEST(SimdKernel, PackUnpackParity) {
+  Rng rng(0xBEEF);
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3},
+        std::size_t{4}, std::size_t{5}, std::size_t{8}, std::size_t{9},
+        std::size_t{16}, std::size_t{33}}) {
+    std::vector<std::uint64_t> words(n == 0 ? 1 : n);
+    for (auto& w : words) w = rng.next_u64();
+    std::vector<std::uint8_t> reference(8 * n + 1, 0xA5);
+    simd::table_for(simd::KernelLevel::scalar)
+        .pack_words_be_rev(reference.data(), words.data(), n);
+    for (const auto level : supported_levels()) {
+      const simd::KernelTable& table = simd::table_for(level);
+      std::vector<std::uint8_t> packed(8 * n + 1, 0xA5);
+      table.pack_words_be_rev(packed.data(), words.data(), n);
+      EXPECT_EQ(packed, reference) << "level=" << simd::level_name(level)
+                                   << " n=" << n;
+      // Round trip through the mirrored unpack restores the exact words.
+      std::vector<std::uint64_t> unpacked(n == 0 ? 1 : n, 0);
+      table.unpack_words_be_rev(unpacked.data(), packed.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(unpacked[i], words[i])
+            << "level=" << simd::level_name(level) << " n=" << n
+            << " word=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernel, SyndromeCrcMatchesSlowAtEveryLevel) {
+  for (const auto& [poly, n] :
+       std::vector<std::pair<std::uint64_t, std::size_t>>{
+           {0x13, 15}, {0x11D, 15}, {0x11D, 255}, {0x11D, 1024}}) {
+    const crc::Gf2Poly g(poly);
+    const crc::SyndromeCrc engine(g, n);
+    Rng rng(0x5EED ^ n);
+    for (int trial = 0; trial < 32; ++trial) {
+      const auto word = random_bits(rng, n);
+      const std::uint32_t slow = crc::SyndromeCrc::compute_slow(g, word);
+      for (const auto level : supported_levels()) {
+        ScopedKernelLevel forced(level);
+        EXPECT_EQ(engine.compute(word), slow)
+            << "level=" << simd::level_name(level) << " n=" << n;
+      }
+    }
+  }
+}
+
+// One randomized serialization script: a mix of write_uint fields (every
+// width 1..64 over time), whole BitVectors (the basis/excess path),
+// alignment and padding — the exact op set the engine's emit/parse loops
+// use. The scalar level's byte stream is the oracle.
+struct Script {
+  struct Field {
+    std::uint64_t value;
+    std::size_t width;
+  };
+  std::vector<Field> fields;          // interleaved per step_kinds order
+  std::vector<bits::BitVector> vectors;
+  std::vector<std::size_t> paddings;
+  std::vector<int> step_kinds;        // 0 = field, 1 = vector, 2 = align,
+                                      // 3 = padding
+};
+
+Script random_script(std::uint64_t seed) {
+  Rng rng(seed);
+  Script script;
+  const int steps = 20 + static_cast<int>(rng.next_below(40));
+  for (int i = 0; i < steps; ++i) {
+    const auto kind = rng.next_below(8);
+    if (kind < 4) {
+      const std::size_t width = 1 + rng.next_below(64);
+      const std::uint64_t value =
+          width == 64 ? rng.next_u64()
+                      : rng.next_u64() & ((std::uint64_t{1} << width) - 1);
+      script.fields.push_back({value, width});
+      script.step_kinds.push_back(0);
+    } else if (kind < 6) {
+      // Sizes around the word boundaries and the 247-bit basis width,
+      // so both the aligned bulk-kernel path and the straddling
+      // word-at-a-time path run.
+      const std::size_t size = 1 + rng.next_below(300);
+      script.vectors.push_back(random_bits(rng, size));
+      script.step_kinds.push_back(1);
+    } else if (kind == 6) {
+      script.step_kinds.push_back(2);
+    } else {
+      script.paddings.push_back(rng.next_below(70));
+      script.step_kinds.push_back(3);
+    }
+  }
+  return script;
+}
+
+void run_script(const Script& script, bits::BitWriter& w) {
+  std::size_t field = 0;
+  std::size_t vector = 0;
+  std::size_t padding = 0;
+  for (const int kind : script.step_kinds) {
+    switch (kind) {
+      case 0:
+        w.write_uint(script.fields[field].value, script.fields[field].width);
+        ++field;
+        break;
+      case 1:
+        w.write_bits(script.vectors[vector++]);
+        break;
+      case 2:
+        w.align_to_byte();
+        break;
+      default:
+        w.write_padding(script.paddings[padding++]);
+        break;
+    }
+  }
+}
+
+TEST(SimdKernel, BitWriterScriptParityAcrossLevels) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const Script script = random_script(seed);
+    std::vector<std::uint8_t> reference;
+    std::size_t reference_bits = 0;
+    {
+      ScopedKernelLevel forced(simd::KernelLevel::scalar);
+      bits::BitWriter w;
+      run_script(script, w);
+      reference = w.to_bytes();
+      reference_bits = w.bit_count();
+    }
+    for (const auto level : supported_levels()) {
+      ScopedKernelLevel forced(level);
+      bits::BitWriter w;
+      run_script(script, w);
+      EXPECT_EQ(w.bit_count(), reference_bits)
+          << "level=" << simd::level_name(level) << " seed=" << seed;
+      EXPECT_EQ(w.to_bytes(), reference)
+          << "level=" << simd::level_name(level) << " seed=" << seed;
+    }
+  }
+}
+
+TEST(SimdKernel, BitReaderRoundTripsScriptAtEveryLevel) {
+  for (std::uint64_t seed = 25; seed <= 40; ++seed) {
+    const Script script = random_script(seed);
+    std::vector<std::uint8_t> bytes;
+    {
+      ScopedKernelLevel forced(simd::KernelLevel::scalar);
+      bits::BitWriter w;
+      run_script(script, w);
+      bytes = w.to_bytes();
+    }
+    for (const auto level : supported_levels()) {
+      ScopedKernelLevel forced(level);
+      bits::BitReader r(bytes);
+      std::size_t field = 0;
+      std::size_t vector = 0;
+      std::size_t padding = 0;
+      std::size_t bit = 0;
+      bits::BitVector scratch;
+      for (const int kind : script.step_kinds) {
+        switch (kind) {
+          case 0: {
+            const auto& f = script.fields[field++];
+            EXPECT_EQ(r.read_uint(f.width), f.value)
+                << "level=" << simd::level_name(level) << " seed=" << seed;
+            bit += f.width;
+            break;
+          }
+          case 1: {
+            const auto& v = script.vectors[vector++];
+            r.read_bits_into(v.size(), scratch);
+            EXPECT_EQ(scratch, v)
+                << "level=" << simd::level_name(level) << " seed=" << seed;
+            bit += v.size();
+            break;
+          }
+          case 2:
+            r.skip((8 - bit % 8) % 8);
+            bit += (8 - bit % 8) % 8;
+            break;
+          default: {
+            const std::size_t count = script.paddings[padding++];
+            r.skip(count);
+            bit += count;
+            break;
+          }
+        }
+        EXPECT_EQ(r.bits_consumed(), bit);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zipline
