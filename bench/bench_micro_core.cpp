@@ -23,6 +23,8 @@
 #include "gd/concurrent_dictionary.hpp"
 #include "gd/codec.hpp"
 #include "gd/transform.hpp"
+#include "io/buffer_pool.hpp"
+#include "io/memory_ring.hpp"
 #include "io/node.hpp"
 #include "trace/synthetic.hpp"
 #include "zipline/program.hpp"
@@ -737,11 +739,87 @@ void BM_NodeEncodeBurst(benchmark::State& state) {
     out.clear();
     node.process(in, out);
     bytes += static_cast<std::int64_t>(8 * payload.size());
-    benchmark::DoNotOptimize(out.batch().storage().data());
+    benchmark::DoNotOptimize(out.payload(0).data());
   }
   state.SetBytesProcessed(bytes);
 }
 BENCHMARK(BM_NodeEncodeBurst)->Arg(1)->Arg(2)->Arg(4);
+
+// Passthrough-ratio sweep: a segment-backed burst (the shape a pooled
+// source serves) with `pct`% passthrough packets through a serial node
+// and one ring hop (the sink push — where a copying data path pays
+// again), with zero_copy on (view splices + segment-ref shares) vs off
+// (the frozen pre-zero-copy baseline, every hop copies — the same
+// measurable-baseline role ByteLoopBitWriter plays for bit I/O). Output
+// bytes are identical across the flag (tests/io_backend_test.cpp); the
+// counters price the memory traffic:
+//   bytes_copied_per_packet — node + ring payload bytes physically
+//     copied, per input packet (the acceptance number: zero_copy=1 must
+//     be ≥30% below zero_copy=0 on the passthrough-heavy rows)
+//   copies_per_packet — the node's own NodeStats::copies_per_packet
+void BM_NodeEncodeBurstPassthrough(benchmark::State& state) {
+  const gd::GdParams params;
+  const auto passthrough_pct = static_cast<std::size_t>(state.range(0));
+  const bool zero_copy = state.range(1) != 0;
+  io::NodeOptions options;
+  options.params = params;
+  options.workers = 1;
+  options.zero_copy = zero_copy;
+  io::BufferPool pool(16384, 64);
+  io::SegmentWriter writer(pool);
+  Rng rng(11);
+  io::Burst in;
+  std::vector<std::uint8_t> payload(params.raw_payload_bytes());
+  constexpr std::size_t kPackets = 64;
+  std::size_t in_bytes = 0;
+  for (std::size_t i = 0; i < kPackets; ++i) {
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+    io::PacketMeta meta;
+    meta.flow = static_cast<std::uint32_t>(i % 8);
+    // First pct% of the burst passes through untouched (position within
+    // the burst does not change the cost being measured).
+    meta.process = (i * 100) / kPackets >= passthrough_pct;
+    in.append_segment(gd::PacketType::raw, 0, 0, writer.write(payload),
+                      writer.segment(), meta);
+    in_bytes += payload.size();
+  }
+  io::Node node(options);
+  io::MemoryRing sink_ring(2);
+  io::Burst out;
+  io::Burst drained;
+  const auto pump = [&] {
+    out.clear();
+    node.process(in, out);
+    benchmark::DoNotOptimize(out.payload(0).data());
+    if (!sink_ring.try_push(out)) state.SkipWithError("ring full");
+    if (!sink_ring.try_pop(drained)) state.SkipWithError("ring empty");
+  };
+  pump();  // warm engines, arenas, ring slots
+  const std::uint64_t warm_node = node.stats().bytes_copied;
+  const std::uint64_t warm_ring = sink_ring.stats().bytes_copied;
+  for (auto _ : state) {
+    pump();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPackets));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in_bytes));
+  const auto per_packet = [&](std::uint64_t total, std::uint64_t warm) {
+    return static_cast<double>(total - warm) /
+           static_cast<double>(state.iterations()) /
+           static_cast<double>(kPackets);
+  };
+  const double node_bpp = per_packet(node.stats().bytes_copied, warm_node);
+  const double ring_bpp =
+      per_packet(sink_ring.stats().bytes_copied, warm_ring);
+  state.counters["bytes_copied_per_packet"] = node_bpp + ring_bpp;
+  state.counters["node_bytes_copied_per_packet"] = node_bpp;
+  state.counters["ring_bytes_copied_per_packet"] = ring_bpp;
+  state.counters["copies_per_packet"] = node.stats().copies_per_packet;
+}
+BENCHMARK(BM_NodeEncodeBurstPassthrough)
+    ->ArgNames({"passthrough_pct", "zero_copy"})
+    ->ArgsProduct({{0, 50, 90}, {0, 1}});
 
 // The same burst against the shared-dictionary node (one table, p2c
 // steering + stealing past workers=1): what the one-table-per-direction
@@ -773,7 +851,7 @@ void BM_NodeEncodeBurstShared(benchmark::State& state) {
     out.clear();
     node.process(in, out);
     bytes += static_cast<std::int64_t>(8 * payload.size());
-    benchmark::DoNotOptimize(out.batch().storage().data());
+    benchmark::DoNotOptimize(out.payload(0).data());
   }
   state.SetBytesProcessed(bytes);
 }

@@ -1,0 +1,147 @@
+#include "io/buffer_pool.hpp"
+
+#include <new>
+
+namespace zipline::io {
+
+namespace {
+
+constexpr std::uint64_t kIndexMask = 0xFFFFFFFFull;
+
+/// Overflow segments pack the control block and the payload bytes into one
+/// heap allocation (control block first) so release is a single delete.
+detail::Segment* allocate_overflow(std::size_t bytes) {
+  const std::size_t total = sizeof(detail::Segment) + bytes;
+  auto* raw = static_cast<std::uint8_t*>(::operator new(total));
+  auto* segment = new (raw) detail::Segment{};
+  segment->refs.store(1, std::memory_order_relaxed);
+  segment->pool = nullptr;
+  segment->data = raw + sizeof(detail::Segment);
+  segment->capacity = bytes;
+  return segment;
+}
+
+void free_overflow(detail::Segment* segment) noexcept {
+  segment->~Segment();
+  ::operator delete(static_cast<void*>(segment));
+}
+
+}  // namespace
+
+namespace detail {
+
+void release_segment(Segment* segment) noexcept {
+  if (segment->refs.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+    return;
+  }
+  if (segment->pool != nullptr) {
+    BufferPool* pool = segment->pool;
+    pool->recycled_.fetch_add(1, std::memory_order_relaxed);
+    pool->push_free(segment->index);
+  } else {
+    free_overflow(segment);
+  }
+}
+
+}  // namespace detail
+
+BufferPool::BufferPool(std::size_t segment_bytes, std::size_t segment_count)
+    : segment_bytes_(segment_bytes), segment_count_(segment_count) {
+  ZL_EXPECTS(segment_bytes > 0);
+  ZL_EXPECTS(segment_count > 0);
+  ZL_EXPECTS(segment_count < kIndexMask);
+  slab_ = std::make_unique<std::uint8_t[]>(segment_bytes_ * segment_count_);
+  segments_ = std::make_unique<detail::Segment[]>(segment_count_);
+  next_ = std::make_unique<std::atomic<std::uint32_t>[]>(segment_count_);
+  for (std::size_t i = 0; i < segment_count_; ++i) {
+    detail::Segment& s = segments_[i];
+    s.index = static_cast<std::uint32_t>(i);
+    s.pool = this;
+    s.data = slab_.get() + i * segment_bytes_;
+    s.capacity = segment_bytes_;
+    // Seed the free stack i -> i+1 -> ... -> end without CAS traffic.
+    next_[i].store(i + 1 < segment_count_
+                       ? static_cast<std::uint32_t>(i + 2)
+                       : 0u,
+                   std::memory_order_relaxed);
+  }
+  free_head_.store(1u, std::memory_order_release);  // index 0, generation 0
+}
+
+BufferPool::~BufferPool() {
+  // Every ref must have been released; a live ref here would be a
+  // use-after-free in the caller. Cheap sanity check in assert builds.
+  for (std::size_t i = 0; i < segment_count_; ++i) {
+    ZL_EXPECTS(segments_[i].refs.load(std::memory_order_relaxed) == 0);
+  }
+}
+
+void BufferPool::push_free(std::uint32_t index) noexcept {
+  std::uint64_t head = free_head_.load(std::memory_order_relaxed);
+  for (;;) {
+    next_[index].store(static_cast<std::uint32_t>(head & kIndexMask),
+                       std::memory_order_relaxed);
+    const std::uint64_t tag = (head >> 32) + 1;
+    const std::uint64_t next_head = (tag << 32) | (index + 1);
+    if (free_head_.compare_exchange_weak(head, next_head,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+bool BufferPool::try_pop_free(std::uint32_t& index) noexcept {
+  std::uint64_t head = free_head_.load(std::memory_order_acquire);
+  for (;;) {
+    const std::uint32_t slot = static_cast<std::uint32_t>(head & kIndexMask);
+    if (slot == 0) {
+      return false;
+    }
+    const std::uint32_t next = next_[slot - 1].load(std::memory_order_relaxed);
+    const std::uint64_t tag = (head >> 32) + 1;
+    const std::uint64_t next_head = (tag << 32) | next;
+    if (free_head_.compare_exchange_weak(head, next_head,
+                                         std::memory_order_acquire,
+                                         std::memory_order_acquire)) {
+      index = slot - 1;
+      return true;
+    }
+  }
+}
+
+SegmentRef BufferPool::acquire(std::size_t bytes) {
+  if (bytes <= segment_bytes_) {
+    std::uint32_t index = 0;
+    if (try_pop_free(index)) {
+      detail::Segment& s = segments_[index];
+      s.refs.store(1, std::memory_order_relaxed);
+      acquired_.fetch_add(1, std::memory_order_relaxed);
+      return SegmentRef(&s);
+    }
+  }
+  overflow_allocations_.fetch_add(1, std::memory_order_relaxed);
+  return SegmentRef(allocate_overflow(bytes));
+}
+
+std::size_t BufferPool::free_segments() const noexcept {
+  std::size_t count = 0;
+  std::uint32_t slot = static_cast<std::uint32_t>(
+      free_head_.load(std::memory_order_acquire) & kIndexMask);
+  while (slot != 0) {
+    ++count;
+    slot = next_[slot - 1].load(std::memory_order_relaxed);
+  }
+  return count;
+}
+
+PoolStats BufferPool::stats() const noexcept {
+  PoolStats out;
+  out.acquired = acquired_.load(std::memory_order_relaxed);
+  out.recycled = recycled_.load(std::memory_order_relaxed);
+  out.overflow_allocations =
+      overflow_allocations_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace zipline::io

@@ -1,0 +1,211 @@
+// io::BufferPool — mbuf-style payload segments for the zero-copy burst path.
+//
+// A pool owns a fixed set of equal-sized, reference-counted byte segments,
+// allocated once in one slab. acquire() hands out a SegmentRef; copies of
+// the ref bump an atomic count, and when the last ref drops the segment
+// returns to the pool's lock-free free list — so in steady state a
+// source → ring → node → ring → sink loop recycles the same segments
+// forever without touching the heap. When the pool is exhausted (or a
+// request is larger than one segment), acquire() falls back to a heap-
+// owned segment and counts it (PoolStats::overflow_allocations): the data
+// path degrades to allocation, never to failure.
+//
+// This is the software contract a kernel-bypass backend drops into: a
+// DPDK mbuf or an AF_XDP umem chunk is just another segment provider —
+// fixed-size, refcounted, recycled to a free ring — and a Burst holds
+// payload VIEWS into segments instead of copying bytes into an arena
+// (see burst.hpp). Refcounts are atomic, so refs may be created and
+// released on different threads (the SPSC burst hand-off between pipeline
+// threads moves refs, not bytes); the pool itself must outlive every ref.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <span>
+
+#include "common/contracts.hpp"
+
+namespace zipline::io {
+
+class BufferPool;
+
+namespace detail {
+
+/// Control block of one segment. Pooled segments live in the pool's
+/// control array with `data` pointing into the slab; overflow segments are
+/// heap blocks (control + bytes in one allocation) with `pool == nullptr`.
+struct Segment {
+  std::atomic<std::uint32_t> refs{0};
+  std::uint32_t index = 0;        ///< slot in the pool's free list space
+  BufferPool* pool = nullptr;     ///< nullptr = overflow-owned, freed on release
+  std::uint8_t* data = nullptr;
+  std::size_t capacity = 0;
+};
+
+void release_segment(Segment* segment) noexcept;
+
+}  // namespace detail
+
+/// Shared handle to one segment: copy = refcount bump, destruction =
+/// release (recycle to the pool, or free an overflow block). Thread-safe
+/// the way std::shared_ptr is: distinct refs may be used concurrently,
+/// one ref needs external ordering.
+class SegmentRef {
+ public:
+  SegmentRef() = default;
+  SegmentRef(const SegmentRef& other) noexcept : segment_(other.segment_) {
+    if (segment_ != nullptr) {
+      segment_->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  SegmentRef(SegmentRef&& other) noexcept : segment_(other.segment_) {
+    other.segment_ = nullptr;
+  }
+  SegmentRef& operator=(const SegmentRef& other) noexcept {
+    SegmentRef copy(other);
+    swap(copy);
+    return *this;
+  }
+  SegmentRef& operator=(SegmentRef&& other) noexcept {
+    SegmentRef stolen(std::move(other));
+    swap(stolen);
+    return *this;
+  }
+  ~SegmentRef() { reset(); }
+
+  void reset() noexcept {
+    if (segment_ != nullptr) {
+      detail::release_segment(segment_);
+      segment_ = nullptr;
+    }
+  }
+  void swap(SegmentRef& other) noexcept {
+    detail::Segment* tmp = segment_;
+    segment_ = other.segment_;
+    other.segment_ = tmp;
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return segment_ != nullptr;
+  }
+  [[nodiscard]] std::uint8_t* data() const noexcept { return segment_->data; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return segment_->capacity;
+  }
+  /// True when both refs share one segment (the zero-copy dedup test).
+  [[nodiscard]] bool same_segment(const SegmentRef& other) const noexcept {
+    return segment_ != nullptr && segment_ == other.segment_;
+  }
+  /// Current reference count (racy by nature — tests and diagnostics).
+  [[nodiscard]] std::uint32_t use_count() const noexcept {
+    return segment_ == nullptr
+               ? 0
+               : segment_->refs.load(std::memory_order_relaxed);
+  }
+  /// True for an overflow (heap-owned) segment, false for a pooled one.
+  [[nodiscard]] bool overflow() const noexcept {
+    return segment_ != nullptr && segment_->pool == nullptr;
+  }
+
+ private:
+  friend class BufferPool;
+  explicit SegmentRef(detail::Segment* segment) noexcept : segment_(segment) {}
+
+  detail::Segment* segment_ = nullptr;
+};
+
+struct PoolStats {
+  std::uint64_t acquired = 0;              ///< successful pooled acquires
+  std::uint64_t recycled = 0;              ///< segments returned to the free list
+  std::uint64_t overflow_allocations = 0;  ///< heap fallbacks (pool dry or oversize)
+};
+
+class BufferPool {
+ public:
+  /// `segment_count` segments of `segment_bytes` each, allocated up front
+  /// in one slab.
+  BufferPool(std::size_t segment_bytes, std::size_t segment_count);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A segment of at least `bytes` capacity, refcount 1. Requests that fit
+  /// a pool segment are served from the free list when possible; an empty
+  /// free list or an oversize request falls back to a heap-owned segment
+  /// (counted, released on the last ref drop like any other). Never fails.
+  [[nodiscard]] SegmentRef acquire(std::size_t bytes);
+
+  [[nodiscard]] std::size_t segment_bytes() const noexcept {
+    return segment_bytes_;
+  }
+  [[nodiscard]] std::size_t segment_count() const noexcept {
+    return segment_count_;
+  }
+  /// Free segments right now (racy under concurrent release — tests).
+  [[nodiscard]] std::size_t free_segments() const noexcept;
+  [[nodiscard]] PoolStats stats() const noexcept;
+
+ private:
+  friend void detail::release_segment(detail::Segment* segment) noexcept;
+
+  void push_free(std::uint32_t index) noexcept;
+  [[nodiscard]] bool try_pop_free(std::uint32_t& index) noexcept;
+
+  std::size_t segment_bytes_;
+  std::size_t segment_count_;
+  std::unique_ptr<std::uint8_t[]> slab_;
+  std::unique_ptr<detail::Segment[]> segments_;
+  /// Next-pointers of the intrusive free stack (index + 1; 0 = end).
+  std::unique_ptr<std::atomic<std::uint32_t>[]> next_;
+  /// Treiber stack head: (generation << 32) | (index + 1); low 0 = empty.
+  /// The generation tag makes the CAS pop immune to ABA when two threads
+  /// race a pop against a pop-then-push of the same segment.
+  alignas(64) std::atomic<std::uint64_t> free_head_{0};
+  alignas(64) std::atomic<std::uint64_t> acquired_{0};
+  std::atomic<std::uint64_t> recycled_{0};
+  std::atomic<std::uint64_t> overflow_allocations_{0};
+};
+
+/// Bump allocator over pool segments, for sources whose backing store is
+/// transient (a pcap read buffer, a sim egress arena): pay ONE copy into
+/// segment memory at ingest, and every hop downstream moves refs instead
+/// of bytes. Consecutive writes pack into the current segment until it is
+/// full, so a burst of small payloads shares one segment (and, via
+/// Burst's ref dedup, one ref). Single-threaded, like the sources that
+/// own it; the pool must outlive every span handed out.
+class SegmentWriter {
+ public:
+  explicit SegmentWriter(BufferPool& pool) : pool_(&pool) {}
+
+  /// Copies `bytes` into segment memory and returns the stable span.
+  /// Pair the result with segment() in Burst::append_segment.
+  [[nodiscard]] std::span<const std::uint8_t> write(
+      std::span<const std::uint8_t> bytes) {
+    if (!current_ || used_ + bytes.size() > current_.capacity()) {
+      current_ = pool_->acquire(bytes.size());
+      used_ = 0;
+    }
+    std::uint8_t* dst = current_.data() + used_;
+    if (!bytes.empty()) {
+      std::memcpy(dst, bytes.data(), bytes.size());
+    }
+    used_ += bytes.size();
+    return {dst, bytes.size()};
+  }
+
+  /// The segment the last write() landed in.
+  [[nodiscard]] const SegmentRef& segment() const noexcept {
+    return current_;
+  }
+
+ private:
+  BufferPool* pool_;
+  SegmentRef current_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace zipline::io

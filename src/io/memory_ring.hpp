@@ -1,10 +1,17 @@
 // DPDK-style fixed-capacity burst rings in memory.
 //
 // A MemoryRing is a bounded FIFO of Burst slots, preallocated at
-// construction and recycled forever: pushes copy INTO a slot, pops copy
-// OUT of one, and both reuse the slot's (and the caller's) grown vector
-// capacities, so a ring cycling same-shaped bursts performs zero heap
-// allocations in steady state (tests/engine_alloc_test.cpp asserts it).
+// construction and recycled forever. A push copy-assigns INTO a slot —
+// which, with view-based Bursts (burst.hpp), moves payload bytes only
+// for owned/external backings: segment-backed payloads cross the ring as
+// refcount bumps, exactly how a real descriptor ring hands off mbufs. A
+// pop SWAPS the slot out instead of copying (the slot inherits the
+// caller's grown capacities, the caller inherits the slot's — vector
+// capacities circulate), so a ring cycling same-shaped bursts performs
+// zero heap allocations in steady state (tests/engine_alloc_test.cpp
+// asserts it) and zero payload copies for pooled traffic
+// (tests/io_backend_test.cpp asserts THAT via RingStats::bytes_copied).
+//
 // MemoryRingSource / MemoryRingSink are the PacketSource / PacketSink
 // faces of one ring — the in-process stand-in for a NIC queue pair, and
 // the contract a DPDK PMD backend would implement against real descriptor
@@ -15,16 +22,27 @@
 // DROPS the burst and counts it (MemoryRingSink::dropped). Single
 // producer, single consumer, no internal locking — same as the engine's
 // SPSC job rings; callers needing cross-thread hand-off add their own
-// ordering.
+// ordering (segment refcounts are atomic, so the bursts themselves are
+// safe to hand across threads).
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/contracts.hpp"
 #include "io/burst.hpp"
 
 namespace zipline::io {
+
+/// Copy-cost accounting for one ring (cumulative).
+struct RingStats {
+  std::uint64_t pushed_bursts = 0;
+  std::uint64_t pushed_packets = 0;
+  /// Payload bytes physically copied by pushes (owned arenas + external
+  /// views materialized into the slot). Segment-backed payloads cost 0.
+  std::uint64_t bytes_copied = 0;
+};
 
 class MemoryRing {
  public:
@@ -39,25 +57,36 @@ class MemoryRing {
   [[nodiscard]] bool full() const noexcept { return count_ == slots_.size(); }
 
   /// Copies `burst` into the next free slot; false (and no effect) when
-  /// full. The slot's arenas absorb the copy without allocating once they
-  /// have grown to the burst shape.
+  /// full. "Copies" per the Burst copy contract: segment refs are shared,
+  /// only owned/external payload bytes actually move — the per-push byte
+  /// cost lands in stats().bytes_copied.
   [[nodiscard]] bool try_push(const Burst& burst) {
     if (full()) return false;
-    slots_[tail_] = burst;
+    Burst& slot = slots_[tail_];
+    const std::uint64_t before = slot.bytes_copied();
+    slot = burst;
+    stats_.bytes_copied += slot.bytes_copied() - before;
+    ++stats_.pushed_bursts;
+    stats_.pushed_packets += burst.size();
     tail_ = next(tail_);
     ++count_;
     return true;
   }
 
-  /// Copies the oldest burst out into `out` (replacing its contents);
-  /// false when empty.
+  /// Moves the oldest burst out into `out` (replacing its contents) by
+  /// swapping with the slot — no payload copies, and `out`'s old
+  /// capacities stay in circulation as the slot's next landing pad.
+  /// False when empty.
   [[nodiscard]] bool try_pop(Burst& out) {
     if (empty()) return false;
-    out = slots_[head_];
+    std::swap(out, slots_[head_]);
+    slots_[head_].clear();  // drop stale refs/views, keep capacity
     head_ = next(head_);
     --count_;
     return true;
   }
+
+  [[nodiscard]] const RingStats& stats() const noexcept { return stats_; }
 
  private:
   [[nodiscard]] std::size_t next(std::size_t i) const noexcept {
@@ -68,6 +97,7 @@ class MemoryRing {
   std::size_t head_ = 0;   // oldest
   std::size_t tail_ = 0;   // next free
   std::size_t count_ = 0;
+  RingStats stats_;
 };
 
 /// RX face of a ring: pops one burst per rx_burst call.

@@ -108,9 +108,14 @@ void Node::copy_passthrough(const Burst& in, Burst& out, std::size_t end) {
     // packet the cursor crosses belongs to a FAILED unit: the pipeline
     // delivered it without invoking the sink and ferried its error to
     // flush(), which rethrows after the burst drains. Its output is
-    // dropped here; everything else is passthrough, copied verbatim.
+    // dropped here; everything else is passthrough, spliced by view
+    // (zero_copy) or copied verbatim (the frozen baseline path).
     if (in.meta(next_input_).process) continue;
-    out.append_from(in, next_input_);
+    if (options_.zero_copy) {
+      out.append_view_from(in, next_input_);
+    } else {
+      out.append_from(in, next_input_);
+    }
     ++passthrough_;
   }
 }
@@ -118,18 +123,24 @@ void Node::copy_passthrough(const Burst& in, Burst& out, std::size_t end) {
 void Node::process(const Burst& in, Burst& out) {
   ++bursts_;
   next_input_ = 0;
+  const std::uint64_t out_before = out.bytes_copied();
   if (options_.workers > 1) {
     process_parallel(in, out);
   } else {
     process_serial(in, out);
   }
+  bytes_copied_ += out.bytes_copied() - out_before;
 }
 
 void Node::process_serial(const Burst& in, Burst& out) {
   for (std::size_t i = 0; i < in.size(); ++i) {
     const PacketMeta& meta = in.meta(i);
     if (!meta.process) {
-      out.append_from(in, i);
+      if (options_.zero_copy) {
+        out.append_view_from(in, i);
+      } else {
+        out.append_from(in, i);
+      }
       ++passthrough_;
       continue;
     }
@@ -189,6 +200,7 @@ void Node::process_parallel(const Burst& in, Burst& out) {
         staged.clear();
         const engine::PacketDesc& d = in.desc(i);
         staged.append(d.type, d.syndrome, d.basis_id, in.payload(i));
+        bytes_copied_ += in.payload(i).size();  // unit staging is a real copy
         parallel_decoder_->submit(meta.flow, &staged);
       }
       if (++in_window == options_.burst_size) {
@@ -218,6 +230,12 @@ NodeStats Node::stats() const {
   s.passthrough = passthrough_;
   s.workers = options_.workers;
   s.kernel_level = simd::level();
+  s.bytes_copied = bytes_copied_;
+  const std::uint64_t packets_in = units_ + passthrough_;
+  s.copies_per_packet =
+      packets_in == 0 ? 0.0
+                      : static_cast<double>(bytes_copied_) /
+                            static_cast<double>(packets_in);
   if (parallel_encoder_ != nullptr) {
     s.engine = parallel_encoder_->aggregate_stats();
     if (const auto* dict = parallel_encoder_->shared_dictionary()) {

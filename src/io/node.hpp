@@ -85,6 +85,16 @@ struct NodeOptions {
   /// probe the machine (common/topology.hpp). Ignored by other steering
   /// policies. Placement never affects output bytes.
   std::vector<std::uint32_t> worker_domains;
+  /// Passthrough packets are spliced into `out` by VIEW (segment refs
+  /// shared, owned/external payloads viewed into `in`) instead of copied.
+  /// Output bytes are identical either way — this is purely the memory-
+  /// traffic knob, and `false` preserves the pre-zero-copy data path as
+  /// the frozen baseline `BM_NodeEncodeBurst` measures against (the same
+  /// role ByteLoopBitWriter plays for bit I/O). With `true`, `out` may
+  /// reference `in`'s payload memory until `out` is cleared, copied, or
+  /// `in` is mutated — io::Runner's pump and a ring push both satisfy
+  /// this (a Burst copy materializes foreign views).
+  bool zero_copy = true;
 
   NodeOptions& with_direction(Direction d) { direction = d; return *this; }
   NodeOptions& with_params(const gd::GdParams& p) { params = p; return *this; }
@@ -109,6 +119,7 @@ struct NodeOptions {
     worker_domains = std::move(domains);
     return *this;
   }
+  NodeOptions& with_zero_copy(bool on) { zero_copy = on; return *this; }
 };
 
 /// Aggregate view over the node's internal engines. Quiescent-only in
@@ -132,6 +143,16 @@ struct NodeStats {
   /// fold, bit packing) dispatch to. Process-wide, recorded here so bench
   /// JSON can say which code path actually ran on the producing host.
   simd::KernelLevel kernel_level = simd::KernelLevel::scalar;
+  /// Payload bytes the node physically copied while producing output:
+  /// engine output appended into `out`, passthrough payloads when
+  /// zero_copy is off, and parallel-decode unit staging. View splices and
+  /// segment-ref shares cost 0 here — this is the number the zero-copy
+  /// path exists to shrink (burst-level deltas of Burst::bytes_copied).
+  std::uint64_t bytes_copied = 0;
+  /// bytes_copied averaged over input packets (units + passthrough) —
+  /// the per-packet memory-traffic price of traversing the node, the
+  /// headline counter of BM_NodeEncodeBurst's passthrough sweep.
+  double copies_per_packet = 0.0;
 };
 
 class Node {
@@ -146,7 +167,11 @@ class Node {
   /// callers clear between bursts to recycle its arena) in input order.
   /// One call is one flush boundary: every unit of `in` is delivered
   /// before it returns. `in` must stay valid for the duration of the
-  /// call (unit inputs are views into its arena).
+  /// call (unit inputs are views into its payloads) — and, with
+  /// options().zero_copy, until `out` is cleared, copied, or consumed:
+  /// passthrough packets in `out` may VIEW `in`'s payload memory
+  /// (segment-backed ones carry their own refs and are lifetime-safe
+  /// regardless).
   void process(const Burst& in, Burst& out);
 
   [[nodiscard]] const NodeOptions& options() const noexcept {
@@ -194,6 +219,7 @@ class Node {
   std::uint64_t bursts_ = 0;
   std::uint64_t units_ = 0;
   std::uint64_t passthrough_ = 0;
+  std::uint64_t bytes_copied_ = 0;
 };
 
 }  // namespace zipline::io

@@ -50,7 +50,12 @@ std::uint32_t five_tuple_flow(const net::EthernetFrame& frame) {
 
 PcapSource::PcapSource(const std::string& path,
                        const PcapSourceOptions& options)
-    : reader_(path), options_(options) {
+    : reader_(path),
+      options_(options),
+      // 64 KiB segments × 256: covers a couple of outstanding full-size
+      // bursts of MTU frames; a lagging consumer overflows to owned
+      // blocks instead of failing.
+      pool_(65536, 256) {
   ZL_EXPECTS(options_.burst_size >= 1);
 }
 
@@ -78,8 +83,10 @@ std::size_t PcapSource::rx_burst(Burst& out) {
       if (frame_.ether_type == gd::ether_type_for(gd::PacketType::raw) &&
           frame_.payload.size() >= chunk_bytes) {
         meta.process = true;
-        out.append(gd::PacketType::raw, 0, 0,
-                   std::span(frame_.payload).first(chunk_bytes), meta);
+        out.append_segment(
+            gd::PacketType::raw, 0, 0,
+            writer_.write(std::span(frame_.payload).first(chunk_bytes)),
+            writer_.segment(), meta);
         continue;
       }
     } else {
@@ -95,14 +102,17 @@ std::size_t PcapSource::rx_burst(Burst& out) {
                                        : params.type3_payload_bytes();
           if (frame_.payload.size() >= body) {
             meta.process = true;
-            out.append(type, 0, 0, frame_.payload, meta);
+            out.append_segment(type, 0, 0, writer_.write(frame_.payload),
+                               writer_.segment(), meta);
             continue;
           }
         }
       }
     }
     meta.process = false;
-    out.append(gd::PacketType::raw, 0, 0, frame_.payload, meta);
+    out.append_segment(gd::PacketType::raw, 0, 0,
+                       writer_.write(frame_.payload), writer_.segment(),
+                       meta);
   }
   return out.size();
 }

@@ -4,9 +4,13 @@
 // precision) pcap via net::PcapReader, classifies each frame for the
 // configured node direction — processable ZipLine traffic vs passthrough,
 // exactly the switch's rule — and extracts a flow key from the MAC pair
-// or, for IPv4 frames, the 5-tuple. PcapSink writes each burst packet
-// back out as one frame through net::PcapWriter, preserving per-packet
-// timestamps, MAC addresses and EtherType from the burst metadata.
+// or, for IPv4 frames, the 5-tuple. Payloads are copied ONCE out of the
+// transient parse buffer into BufferPool segments; every hop downstream
+// (ring push, node passthrough splice) then shares segment refs instead
+// of re-copying, so the source must outlive the bursts it fills. PcapSink
+// writes each burst packet back out as one frame through net::PcapWriter,
+// preserving per-packet timestamps, MAC addresses and EtherType from the
+// burst metadata.
 //
 // zipline_pcap is these two backends around a zipline::Node; the replay
 // is byte-identical to the pre-io hand-rolled window loop
@@ -17,6 +21,7 @@
 #include <string>
 
 #include "gd/params.hpp"
+#include "io/buffer_pool.hpp"
 #include "io/burst.hpp"
 #include "io/node.hpp"
 #include "net/ethernet.hpp"
@@ -67,6 +72,8 @@ class PcapSource {
   PcapSourceOptions options_;
   net::EthernetFrame frame_;  // reused across records
   std::uint64_t frames_read_ = 0;
+  BufferPool pool_;           // segment backing for served payloads
+  SegmentWriter writer_{pool_};
 };
 
 class PcapSink {

@@ -11,14 +11,18 @@ SimPort::SimPort(tofino::SwitchModel& model, tofino::PortId ingress_port,
       port_(ingress_port),
       now_(start_at),
       gap_(gap),
-      burst_size_(burst_size) {
+      burst_size_(burst_size),
+      // 16 KiB segments comfortably pack a burst of frames; the pool
+      // overflows to owned blocks rather than failing if a drain lags.
+      pool_(16384, 64) {
   ZL_EXPECTS(burst_size_ >= 1);
   totals_.end_time = start_at;
 }
 
 void SimPort::tx_burst(const Burst& burst) {
+  burst.copy_to_batch(ingress_scratch_);
   const prog::BatchRunResult result =
-      prog::run_batch(*model_, burst.batch(), &egress_, port_, now_, gap_);
+      prog::run_batch(*model_, ingress_scratch_, &egress_, port_, now_, gap_);
   totals_.forwarded += result.forwarded;
   totals_.dropped += result.dropped;
   totals_.end_time = result.end_time;
@@ -37,8 +41,11 @@ std::size_t SimPort::rx_burst(Burst& out) {
     meta.dst = net::MacAddress::local(2);
     meta.ether_type = gd::ether_type_for(desc.type);
     meta.timestamp_us = 0;
-    out.append(desc.type, desc.syndrome, desc.basis_id,
-               egress_.payload(desc), meta);
+    // One copy out of the transient egress arena into segment memory;
+    // downstream hops share the ref instead of re-copying.
+    out.append_segment(desc.type, desc.syndrome, desc.basis_id,
+                       writer_.write(egress_.payload(desc)),
+                       writer_.segment(), meta);
     ++egress_cursor_;
   }
   if (egress_cursor_ == egress_.size()) {
@@ -50,7 +57,8 @@ std::size_t SimPort::rx_burst(Burst& out) {
 }
 
 void HostTxSink::tx_burst(const Burst& burst) {
-  staged_.push_back(burst.batch());
+  staged_.emplace_back();
+  burst.copy_to_batch(staged_.back());
   staged_packets_ += burst.size();
 }
 

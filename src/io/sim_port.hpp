@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/scheduler.hpp"
+#include "io/buffer_pool.hpp"
 #include "io/burst.hpp"
 #include "sim/host.hpp"
 #include "zipline/program.hpp"
@@ -34,13 +35,18 @@ class SimPort {
                    SimTime start_at = 0, SimTime gap = 1,
                    std::size_t burst_size = 256);
 
-  /// Runs every packet of the burst through the switch now; survivors
-  /// land on the egress side.
+  /// Runs every packet of the burst through the switch now (materialized
+  /// into a reused arena — the switch model wants the flat batch shape);
+  /// survivors land on the egress side.
   void tx_burst(const Burst& burst);
 
-  /// Drains up to burst_size egress frames. Flow keys are the MAC pair
-  /// (what the wire still knows); syndrome/basis_id are zero, as for any
-  /// packet observed on the wire.
+  /// Drains up to burst_size egress frames. Payloads are copied ONCE out
+  /// of the transient egress arena into pool segments, so the served
+  /// burst is lifetime-safe (refs, not views into `egress_`) and every
+  /// downstream hop shares refs instead of re-copying. Flow keys are the
+  /// MAC pair (what the wire still knows); syndrome/basis_id are zero, as
+  /// for any packet observed on the wire. The port must outlive bursts
+  /// holding its segments.
   std::size_t rx_burst(Burst& out);
 
   [[nodiscard]] const prog::BatchRunResult& totals() const noexcept {
@@ -54,8 +60,11 @@ class SimPort {
   SimTime gap_;
   std::size_t burst_size_;
   prog::BatchRunResult totals_;
+  engine::EncodeBatch ingress_scratch_;  // materialized TX bursts, reused
   engine::EncodeBatch egress_;      // accumulated switch output
   std::size_t egress_cursor_ = 0;   // next undrained egress packet
+  BufferPool pool_;                 // rx segment backing
+  SegmentWriter writer_{pool_};
 };
 
 /// Ingress face of a SimPort.
@@ -86,7 +95,7 @@ class HostTxSink {
   HostTxSink(sim::Host& host, net::MacAddress dst)
       : host_(&host), dst_(dst) {}
 
-  /// Stages a copy of the burst as one EncodeBatch window.
+  /// Stages the burst, materialized into one EncodeBatch window.
   void tx_burst(const Burst& burst);
 
   /// Hands every staged window to Host::start_batch_stream, cycling the

@@ -6,6 +6,11 @@
 // sink) without hand-rolled staging loops. Flow keys come from a
 // per-payload callback (default: one flow, the single-sensor /
 // single-port arrangement); timestamps advance at a configurable pace.
+//
+// The payload table is stable for the source's lifetime, so rx_burst
+// serves VIEWS (Burst::append_view) — zero copies at rx. Keep the source
+// alive while served bursts are read; any Burst copy (e.g. a ring push)
+// materializes the views and is then self-contained.
 #pragma once
 
 #include <cstdint>
@@ -67,7 +72,7 @@ class TraceSource {
       meta.dst = options_.dst;
       meta.ether_type = gd::ether_type_for(gd::PacketType::raw);
       meta.process = true;
-      out.append(gd::PacketType::raw, 0, 0, payloads_[cursor_], meta);
+      out.append_view(gd::PacketType::raw, 0, 0, payloads_[cursor_], meta);
       ++cursor_;
     }
     return out.size();

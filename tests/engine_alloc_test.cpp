@@ -15,6 +15,7 @@
 #include "common/rng.hpp"
 #include "engine/engine.hpp"
 #include "engine/parallel.hpp"
+#include "io/buffer_pool.hpp"
 #include "io/memory_ring.hpp"
 #include "io/node.hpp"
 
@@ -285,6 +286,62 @@ TEST(EngineAllocation, RingNodeRingSteadyStateIsAllocationFree) {
   EXPECT_EQ(allocation_count(), before)
       << "steady-state ring -> node -> burst pass must not touch the heap";
   EXPECT_GT(out.size(), 0u);
+}
+
+// The buffer pool is the ring discipline one level down: every pooled
+// segment is carved from one slab in the constructor, so steady-state
+// acquire / copy-ref / out-of-order release traffic recycles through the
+// lock-free free list without touching the heap. (Overflow fallbacks DO
+// allocate — that is their documented job — hence the stats check.)
+TEST(EngineAllocation, BufferPoolSteadyStateIsAllocationFree) {
+  io::BufferPool pool(4096, 8);
+  const std::uint64_t before = allocation_count();
+  for (int i = 0; i < 100; ++i) {
+    io::SegmentRef a = pool.acquire(4096);
+    io::SegmentRef b = pool.acquire(64);
+    io::SegmentRef shared = a;  // refcount traffic is heap-free too
+    a.reset();                  // released out of order vs b
+  }
+  EXPECT_EQ(allocation_count(), before)
+      << "steady-state pool acquire/release must not touch the heap";
+  EXPECT_EQ(pool.stats().overflow_allocations, 0u);
+  EXPECT_EQ(pool.free_segments(), 8u);
+}
+
+// Segment-backed bursts through a ring — the pooled-source steady state:
+// pushes share segment refs, pops swap slots out, so the cycle is both
+// allocation-free AND payload-copy-free.
+TEST(EngineAllocation, SegmentBurstRingSteadyStateIsCopyAndAllocationFree) {
+  Rng rng(0x5E6);
+  io::BufferPool pool(16384, 8);
+  io::SegmentWriter writer(pool);
+  io::Burst burst;
+  const auto payload = random_payload(rng, 1024);
+  for (int p = 0; p < 16; ++p) {
+    io::PacketMeta meta;
+    meta.flow = static_cast<std::uint32_t>(p % 4);
+    burst.append_segment(gd::PacketType::raw, 0, 0, writer.write(payload),
+                         writer.segment(), meta);
+  }
+
+  io::MemoryRing ring(4);
+  io::Burst popped;
+  for (int i = 0; i < 8; ++i) {  // warmup: grow slot vectors
+    ASSERT_TRUE(ring.try_push(burst));
+    ASSERT_TRUE(ring.try_pop(popped));
+  }
+
+  const std::uint64_t before_alloc = allocation_count();
+  const std::uint64_t before_copied = ring.stats().bytes_copied;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(ring.try_push(burst));
+    ASSERT_TRUE(ring.try_pop(popped));
+  }
+  EXPECT_EQ(allocation_count(), before_alloc)
+      << "steady-state segment-burst ring cycle must not touch the heap";
+  EXPECT_EQ(ring.stats().bytes_copied, before_copied)
+      << "segment-backed pushes must move refs, not payload bytes";
+  EXPECT_EQ(popped.payload(0).data(), burst.payload(0).data());
 }
 
 // The contrast case documenting what the adapters cost: the per-chunk

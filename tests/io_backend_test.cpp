@@ -568,5 +568,198 @@ TEST(SimPortTest, MatchesDirectRunBatch) {
   EXPECT_EQ(port.totals().forwarded + port.totals().dropped, traffic.size());
 }
 
+// The two passthrough-splice overloads must be byte-identical: the
+// copying append_from (the frozen baseline / external-caller path) and
+// the view-based append_view_from (the zero-copy path) — across all
+// three payload backings.
+TEST(BurstViews, AppendFromOverloadsAreByteIdentical) {
+  Rng rng(0xB17);
+  BufferPool pool(4096, 4);
+  SegmentWriter writer(pool);
+  std::vector<std::uint8_t> stable(300);  // external backing, outlives all
+  for (auto& b : stable) b = static_cast<std::uint8_t>(rng.next_u64());
+
+  Burst from;
+  for (std::size_t i = 0; i < 12; ++i) {
+    PacketMeta meta;
+    meta.flow = static_cast<std::uint32_t>(i);
+    meta.ether_type = 0x0800;
+    std::vector<std::uint8_t> payload(20 + rng.next_below(80));
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+    switch (i % 3) {
+      case 0:  // owned arena
+        from.append(gd::PacketType::raw, static_cast<std::uint32_t>(i), 0,
+                    payload, meta);
+        break;
+      case 1:  // raw external view
+        from.append_view(gd::PacketType::raw, static_cast<std::uint32_t>(i),
+                         0, std::span(stable).subspan(i * 20, 40), meta);
+        break;
+      case 2:  // pool segment
+        from.append_segment(gd::PacketType::raw,
+                            static_cast<std::uint32_t>(i), 0,
+                            writer.write(payload), writer.segment(), meta);
+        break;
+    }
+  }
+
+  Burst copied;
+  Burst viewed;
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    copied.append_from(from, i);
+    viewed.append_view_from(from, i);
+  }
+  EXPECT_TRUE(same_packets(copied, viewed));
+  EXPECT_TRUE(same_packets(copied, from));
+  // The copying overload paid in bytes; the view overload paid nothing.
+  EXPECT_GT(copied.bytes_copied(), 0u);
+  EXPECT_EQ(viewed.bytes_copied(), 0u);
+  // Segment-backed splices share the segment: same memory, not a copy.
+  EXPECT_EQ(viewed.payload(2).data(), from.payload(2).data());
+}
+
+// MemoryRing::try_pop moves the slot out (swap) instead of copying:
+// pointer identity for segment-backed payloads proves the payload bytes
+// never moved across the push+pop, and the ring's copy counter stays 0.
+TEST(MemoryRingTest, PopMovesSlotOutWithoutCopying) {
+  BufferPool pool(4096, 4);
+  SegmentWriter writer(pool);
+  Rng rng(0x90B);
+  Burst in;
+  std::vector<std::uint8_t> payload(256);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+  PacketMeta meta;
+  meta.flow = 7;
+  in.append_segment(gd::PacketType::raw, 0, 0, writer.write(payload),
+                    writer.segment(), meta);
+
+  MemoryRing ring(2);
+  ASSERT_TRUE(ring.try_push(in));
+  EXPECT_EQ(ring.stats().bytes_copied, 0u)
+      << "segment-backed push must share the ref, not copy payload";
+
+  Burst popped;
+  ASSERT_TRUE(ring.try_pop(popped));
+  ASSERT_EQ(popped.size(), 1u);
+  EXPECT_EQ(popped.payload(0).data(), in.payload(0).data())
+      << "pop must hand out the pushed segment memory itself";
+  EXPECT_TRUE(same_packets(popped, in));
+  EXPECT_EQ(ring.stats().bytes_copied, 0u);
+
+  // Owned payloads still ride the ring correctly (copied at push, moved
+  // at pop), and the push price is visible in the ring stats.
+  Burst owned;
+  owned.append(gd::PacketType::raw, 0, 0, payload, meta);
+  ASSERT_TRUE(ring.try_push(owned));
+  EXPECT_EQ(ring.stats().bytes_copied, payload.size());
+  ASSERT_TRUE(ring.try_pop(popped));
+  EXPECT_TRUE(same_packets(popped, owned));
+}
+
+// A Burst copy must be self-contained: raw external views are
+// materialized (the backing store may die), segment views share refs
+// (the segment cannot die under a live ref).
+TEST(BurstViews, CopyMaterializesExternalViewsAndSharesSegments) {
+  BufferPool pool(4096, 4);
+  SegmentWriter writer(pool);
+  Rng rng(0xC0);
+  std::vector<std::uint8_t> seg_payload(128);
+  for (auto& b : seg_payload) b = static_cast<std::uint8_t>(rng.next_u64());
+
+  Burst copy;
+  std::vector<std::uint8_t> want_external;
+  {
+    std::vector<std::uint8_t> transient(64);
+    for (auto& b : transient) b = static_cast<std::uint8_t>(rng.next_u64());
+    want_external = transient;
+    Burst original;
+    PacketMeta meta;
+    original.append_view(gd::PacketType::raw, 0, 0, transient, meta);
+    original.append_segment(gd::PacketType::raw, 0, 0,
+                            writer.write(seg_payload), writer.segment(),
+                            meta);
+    copy = original;
+    // Segment view: shared, not copied.
+    EXPECT_EQ(copy.payload(1).data(), original.payload(1).data());
+    // External view: materialized into the copy's own arena.
+    EXPECT_NE(copy.payload(0).data(), original.payload(0).data());
+    // `transient` and `original` die here; `copy` must not care.
+  }
+  EXPECT_EQ(std::vector<std::uint8_t>(copy.payload(0).begin(),
+                                      copy.payload(0).end()),
+            want_external);
+  EXPECT_EQ(std::vector<std::uint8_t>(copy.payload(1).begin(),
+                                      copy.payload(1).end()),
+            seg_payload);
+}
+
+// zero_copy on/off is purely a memory-traffic knob: the full
+// ring -> node -> ring pass must produce byte-identical output across
+// the flag, for serial and parallel, per-flow and shared arrangements —
+// while the node's copy accounting shows the zero-copy path actually
+// copying less on passthrough-heavy traffic.
+TEST(NodeZeroCopy, OutputIdenticalAndCheaperThanCopyingBaseline) {
+  GdParams params;
+  for (const auto ownership :
+       {DictionaryOwnership::per_flow, DictionaryOwnership::shared}) {
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+      Rng rng(0x2E0 + workers +
+              (ownership == DictionaryOwnership::shared ? 100 : 0));
+      // Segment-backed traffic, half passthrough — the shape a pooled
+      // source (pcap, sim port) serves.
+      BufferPool pool(16384, 16);
+      SegmentWriter writer(pool);
+      Burst in;
+      for (std::size_t i = 0; i < 48; ++i) {
+        PacketMeta meta;
+        meta.flow = static_cast<std::uint32_t>(i % 5);
+        meta.ether_type = 0x0800;
+        meta.process = i % 2 == 0;
+        std::vector<std::uint8_t> payload(
+            meta.process ? params.raw_payload_bytes()
+                         : 10 + rng.next_below(90));
+        for (auto& b : payload) {
+          b = static_cast<std::uint8_t>(rng.next_u64());
+        }
+        in.append_segment(gd::PacketType::raw, 0, 0, writer.write(payload),
+                          writer.segment(), meta);
+      }
+
+      const auto run = [&](bool zero_copy, std::uint64_t& bytes_copied) {
+        Node node(base_options(ownership, EvictionPolicy::lru, workers,
+                               params)
+                      .with_direction(Direction::encode)
+                      .with_zero_copy(zero_copy));
+        MemoryRing ring(4);
+        Burst out;
+        for (int round = 0; round < 3; ++round) {
+          out.clear();
+          node.process(in, out);
+          EXPECT_TRUE(ring.try_push(out));
+        }
+        bytes_copied =
+            node.stats().bytes_copied + ring.stats().bytes_copied;
+        // Pop the last round back out for comparison.
+        Burst result;
+        Burst scratch;
+        while (ring.try_pop(scratch)) std::swap(result, scratch);
+        return result;
+      };
+
+      std::uint64_t zero_copy_bytes = 0;
+      std::uint64_t baseline_bytes = 0;
+      const Burst fast = run(true, zero_copy_bytes);
+      const Burst slow = run(false, baseline_bytes);
+      ASSERT_TRUE(same_packets(fast, slow))
+          << "zero_copy changed output bytes (ownership="
+          << (ownership == DictionaryOwnership::shared ? "shared"
+                                                       : "per_flow")
+          << ", workers=" << workers << ")";
+      EXPECT_LT(zero_copy_bytes, baseline_bytes)
+          << "zero_copy path must copy strictly fewer payload bytes";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace zipline::io
