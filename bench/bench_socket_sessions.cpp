@@ -1,0 +1,201 @@
+// Socket-session scaling sweep for the netio transport (ROADMAP item:
+// serve actual sockets, not just rings and pcap files).
+//
+// Topology: a client transport opens S concurrent loopback sessions to
+// an echo server transport; every ZLF1 frame the server reassembles is
+// framed straight back onto its session. One pumping thread drives both
+// ends, so the numbers isolate the transport machinery itself — framing,
+// the ready queue, outbound flushing, readiness dispatch across S fds —
+// from codec cost (bench_fig4_* owns that). Sweeping S × payload size
+// maps the two scaling axes: many idle-ish sessions (epoll's O(ready)
+// claim) and per-frame byte cost. bytes_rebuffered rides along in every
+// row: it counts partial-frame bytes carried across read boundaries, the
+// price of TCP's indifference to our frame boundaries, and should scale
+// with payload size, not session count.
+//
+// Every row is appended to BENCH_socket_sessions.json (one object per
+// row) so the transport trajectory is tracked PR-over-PR alongside the
+// other BENCH_* artifacts.
+//
+// Usage: bench_socket_sessions [--quick]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_guard.hpp"
+#include "common/rng.hpp"
+#include "io/burst.hpp"
+#include "netio/transport.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace zipline;
+
+struct EchoRun {
+  double seconds = 0;
+  std::uint64_t frames = 0;
+};
+
+/// Sends `frames_per_session` frames of `payload_bytes` down every
+/// session and pumps until each came back, echoing server-side.
+EchoRun run_echo(netio::SocketTransport& server,
+                 netio::SocketTransport& client,
+                 const std::vector<std::uint32_t>& flows,
+                 std::size_t frames_per_session, std::size_t payload_bytes,
+                 Rng& rng) {
+  std::vector<std::uint8_t> payload(payload_bytes);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+  netio::LinkHeader header;
+  header.type = gd::PacketType::raw;
+
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(flows.size()) * frames_per_session;
+  std::vector<std::size_t> sent(flows.size(), 0);
+  std::uint64_t echoed = 0;
+  // Echoes the bounded outbound queue refused, retried next round.
+  std::deque<std::pair<std::uint32_t, std::vector<std::uint8_t>>> pending;
+  io::Burst burst;
+
+  const auto start = std::chrono::steady_clock::now();
+  while (echoed < total) {
+    for (std::size_t s = 0; s < flows.size(); ++s) {
+      while (sent[s] < frames_per_session &&
+             client.send_frame(flows[s], header, payload)) {
+        ++sent[s];
+      }
+    }
+    client.poll(0);
+    server.poll(0);
+    while (!pending.empty()) {
+      const auto& [flow, bytes] = pending.front();
+      if (!server.send_frame(flow, header, bytes)) break;
+      pending.pop_front();
+    }
+    while (server.rx_burst(burst) > 0) {
+      for (std::size_t i = 0; i < burst.size(); ++i) {
+        const auto view = burst.payload(i);
+        if (!server.send_frame(burst.meta(i).flow, header, view)) {
+          pending.emplace_back(
+              burst.meta(i).flow,
+              std::vector<std::uint8_t>(view.begin(), view.end()));
+        }
+      }
+    }
+    server.poll(0);
+    client.poll(0);
+    while (client.rx_burst(burst) > 0) echoed += burst.size();
+  }
+  EchoRun run;
+  run.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  run.frames = total;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  const int repetitions = quick ? 3 : 5;
+  const std::uint64_t frame_budget = quick ? 1024 : 4096;
+  const std::vector<std::size_t> session_counts =
+      quick ? std::vector<std::size_t>{1, 32, 128}
+            : std::vector<std::size_t>{1, 32, 256, 1024};
+  const std::vector<std::size_t> payload_sizes =
+      quick ? std::vector<std::size_t>{64, 1024}
+            : std::vector<std::size_t>{64, 1024, 8192};
+
+  bench::require_release_build("bench_socket_sessions");
+  std::vector<std::string> rows;
+  {
+    char meta[256];
+    std::snprintf(meta, sizeof meta,
+                  "{\"section\": \"meta\", \"zipline_build_type\": "
+                  "\"%s\", \"zipline_simd_kernel\": \"%s\"}",
+                  bench::build_type(), bench::simd_kernel_name());
+    rows.push_back(meta);
+  }
+
+  std::printf("=== socket sessions: loopback echo, one pumping thread ===\n");
+  std::printf("(round-trip frames/s through listen/accept, ZLF1 framing,\n"
+              "ready queue, bounded outbound flush — codec excluded)\n\n");
+  std::printf("%-10s %-10s %12s %12s %14s\n", "sessions", "payload",
+              "kframes/s", "±CI95", "rebuffered B");
+  Rng rng(0xECC0);
+  for (const std::size_t sessions : session_counts) {
+    for (const std::size_t payload_bytes : payload_sizes) {
+      netio::SocketTransport server;
+      netio::SocketTransport client;
+      const std::uint16_t port = server.listen(0);
+      std::vector<std::uint32_t> flows;
+      for (std::size_t s = 0; s < sessions; ++s) {
+        const std::uint32_t flow = client.connect(port);
+        if (flow == 0) {
+          std::fprintf(stderr, "connect %zu/%zu failed\n", s, sessions);
+          return 1;
+        }
+        flows.push_back(flow);
+        if (s % 64 == 63) server.poll(0);  // drain the accept queue
+      }
+      const std::size_t frames_per_session =
+          std::max<std::uint64_t>(2, frame_budget / sessions);
+
+      // Warmup rep (arenas, accepts, TCP window growth), then timed reps.
+      (void)run_echo(server, client, flows, frames_per_session,
+                     payload_bytes, rng);
+      std::vector<double> kfps;
+      for (int rep = 0; rep < repetitions; ++rep) {
+        const EchoRun run = run_echo(server, client, flows,
+                                     frames_per_session, payload_bytes, rng);
+        kfps.push_back(static_cast<double>(run.frames) / run.seconds / 1e3);
+      }
+      const auto summary = sim::summarize(kfps);
+      const netio::TransportStats server_stats = server.stats();
+      const netio::TransportStats client_stats = client.stats();
+      const std::uint64_t rebuffered =
+          server_stats.bytes_rebuffered + client_stats.bytes_rebuffered;
+      std::printf("%-10zu %-10zu %12.1f %12.1f %14llu\n", sessions,
+                  payload_bytes, summary.mean, summary.ci95_half_width,
+                  static_cast<unsigned long long>(rebuffered));
+      char row[384];
+      std::snprintf(
+          row, sizeof row,
+          "{\"section\": \"socket_sessions\", \"sessions\": %zu, "
+          "\"payload_bytes\": %zu, \"frames_per_session\": %zu, "
+          "\"kframes_per_sec\": %.2f, \"kframes_per_sec_ci95\": %.2f, "
+          "\"bytes_rebuffered\": %llu, \"partial_writes\": %llu, "
+          "\"frames_dropped\": %llu}",
+          sessions, payload_bytes, frames_per_session, summary.mean,
+          summary.ci95_half_width,
+          static_cast<unsigned long long>(rebuffered),
+          static_cast<unsigned long long>(server_stats.partial_writes +
+                                          client_stats.partial_writes),
+          static_cast<unsigned long long>(server_stats.frames_dropped +
+                                          client_stats.frames_dropped));
+      rows.push_back(row);
+    }
+  }
+
+  std::FILE* f = std::fopen("BENCH_socket_sessions.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_socket_sessions.json\n");
+    return 1;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "  %s%s\n", rows[i].c_str(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_socket_sessions.json\n");
+  return 0;
+}

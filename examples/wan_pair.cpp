@@ -1,135 +1,275 @@
-// Two-switch deployment: compress on the WAN ingress switch, decompress on
-// the WAN egress switch — the deployment §5's two-phase install protocol
-// is designed for ("the control plane first sets the reverse mapping
-// (ID-basis) in the destination switch to make sure that compressed
-// packets can always be uncompressed").
+// WAN proxy pair over real TCP sockets.
 //
-//   host1 --- [switch A: encode] === WAN === [switch B: decode] --- host2
+// The deployment §5 sketches, promoted from a simulation to live
+// transport: an encode proxy serves one loopback port, a decode proxy
+// serves another, and everything between them rides ONE multiplexed
+// compressed link:
 //
-// One controller manages both switches: digests from A, identifier pool,
-// installs into B first, then A. The example verifies every payload
-// arrives at host2 bit-exactly while the WAN link carries a fraction of
-// the bytes.
+//   clients ==N sessions==> [encode Node] ==trunk==> [decode Node]
+//        ==downlink==> collector (byte-exact verification)
 //
-// Build & run:  ./examples/wan_pair
-
+// Each proxy is the netio serving shape this example exists to
+// demonstrate: a SocketTransport pumped by io::Runner's idle-hook
+// overload, so the loop BLOCKS in epoll_wait when no frames are in
+// flight instead of burning a core. The client side (main thread) opens
+// --sessions concurrent TCP sessions, pushes --frames redundant
+// telemetry payloads down each, and verifies that every session's byte
+// stream arrives bit-exactly at the collector while the trunk carried a
+// fraction of the bytes.
+//
+// Build & run:  ./examples/wan_pair [--sessions N] [--frames N]
+//               [--workers N] [--quick]
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <map>
 #include <string>
-#include <unordered_map>
+#include <thread>
+#include <vector>
 
-#include "common/hexdump.hpp"
+#include "common/rng.hpp"
+#include "io/node.hpp"
 #include "io/runner.hpp"
-#include "io/sim_port.hpp"
-#include "io/trace_source.hpp"
-#include "sim/event_queue.hpp"
-#include "sim/host.hpp"
-#include "sim/switch_node.hpp"
-#include "trace/synthetic.hpp"
-#include "zipline/controller.hpp"
+#include "netio/transport.hpp"
 
-int main() {
-  using namespace zipline;
+using namespace zipline;
 
-  sim::EventQueue events;
+namespace {
 
-  // Switch programs: A encodes towards the WAN, B decodes towards host2.
-  prog::ZipLineConfig config_a;
-  config_a.op = prog::SwitchOp::encode;
-  config_a.learning = prog::LearningMode::control_plane;
-  prog::ZipLineConfig config_b;
-  config_b.op = prog::SwitchOp::decode;
-  auto program_a = std::make_shared<prog::ZipLineProgram>(config_a);
-  auto program_b = std::make_shared<prog::ZipLineProgram>(config_b);
+struct Options {
+  std::size_t sessions = 1000;
+  std::size_t frames_per_session = 16;
+  std::size_t workers = 1;
+};
 
-  sim::SwitchNode switch_a(
-      events, std::make_shared<tofino::SwitchModel>("site-a", program_a));
-  sim::SwitchNode switch_b(
-      events, std::make_shared<tofino::SwitchModel>("site-b", program_b));
-
-  // Telemetry is paced (~50 kpkt/s), not line rate: readings trickle in
-  // from the field, and the control plane keeps up with basis drift.
-  sim::HostTiming host_timing;
-  host_timing.tx_cpu_per_packet = 20000;  // 20 us between readings
-  sim::Host host1(events, net::MacAddress::local(1), host_timing);
-  sim::Host host2(events, net::MacAddress::local(2));
-
-  // host1 -- A (100G access), A == B (100G WAN, 2 ms propagation),
-  // B -- host2 (100G access).
-  sim::Link access_a(events, 100.0, 25);
-  sim::Link wan(events, 100.0, 2_ms);
-  sim::Link access_b(events, 100.0, 25);
-  access_a.attach(&host1, switch_a.port_endpoint(1, &access_a));
-  wan.attach(switch_a.port_endpoint(2, &wan), switch_b.port_endpoint(1, &wan));
-  access_b.attach(switch_b.port_endpoint(2, &access_b), &host2);
-  host1.attach_link(&access_a);
-  host2.attach_link(&access_b);
-
-  // One control plane spanning both sites: decoder-side (B) installs
-  // happen strictly before encoder-side (A) installs.
-  prog::Controller controller(events, *program_a, *program_b);
-  switch_a.set_post_process_hook([&] { controller.poll_digests(); });
-
-  // Traffic: batched sensor telemetry.
-  trace::SyntheticSensorConfig trace_config;
-  trace_config.chunk_count = 50000;
-  trace_config.sensor_count = 20;
-  const auto payloads = trace::generate_synthetic_sensor(trace_config);
-
-  // Verify every arrival against what was sent. Receive-completion jitter
-  // can reorder the application-level taps, so verification is by
-  // multiset, not by sequence.
-  std::unordered_map<std::string, std::int64_t> outstanding;
-  for (const auto& p : payloads) {
-    ++outstanding[std::string(p.begin(), p.end())];
+Options parse_args(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::size_t {
+      return i + 1 < argc ? std::strtoull(argv[++i], nullptr, 10) : 0;
+    };
+    if (arg == "--sessions") {
+      options.sessions = next();
+    } else if (arg == "--frames") {
+      options.frames_per_session = next();
+    } else if (arg == "--workers") {
+      options.workers = next();
+    } else if (arg == "--quick") {
+      options.sessions = 50;
+      options.frames_per_session = 8;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
   }
-  std::uint64_t verified = 0;
-  std::uint64_t mismatches = 0;
-  host2.set_rx_tap([&](const net::EthernetFrame& frame, SimTime) {
-    const std::string key(frame.payload.begin(), frame.payload.end());
-    const auto it = outstanding.find(key);
-    if (it != outstanding.end() && it->second > 0) {
-      --it->second;
+  return options;
+}
+
+/// One proxy: transport pumped through a Node by the Runner idle-hook
+/// loop, blocking in the poller until frames (or a stop request) arrive.
+void serve_proxy(netio::SocketTransport& transport, io::Node& node,
+                 netio::SocketSink& sink) {
+  netio::SocketSource source(transport);
+  io::Runner runner;
+  runner.run(source, node, sink, [&transport] {
+    transport.poll(-1);  // blocks until readiness or request_stop's wake
+    return !transport.stop_requested();
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse_args(argc, argv);
+  const gd::GdParams params;
+
+  // Encode proxy: every client session is its own flow; encoded frames
+  // leave on one multiplexed trunk, flow ids preserved in link headers.
+  netio::TransportOptions edge_options;
+  edge_options.flow_mode = netio::FlowIdMode::per_session;
+  netio::SocketTransport encode_transport(edge_options);
+  const std::uint16_t encode_port = encode_transport.listen(0);
+
+  // Decode proxy and collector speak the trunk shape: flow identity
+  // comes from the link headers.
+  netio::TransportOptions trunk_options;
+  trunk_options.flow_mode = netio::FlowIdMode::from_header;
+  netio::SocketTransport decode_transport(trunk_options);
+  const std::uint16_t decode_port = decode_transport.listen(0);
+
+  netio::SocketTransport client_transport(trunk_options);
+  const std::uint16_t collector_port = client_transport.listen(0);
+
+  const std::uint32_t trunk_flow = encode_transport.connect(decode_port);
+  const std::uint32_t downlink_flow =
+      decode_transport.connect(collector_port);
+  if (trunk_flow == 0 || downlink_flow == 0) {
+    std::fprintf(stderr, "failed to establish trunk/downlink\n");
+    return 1;
+  }
+
+  // One shared dictionary per direction — the switch's single table.
+  const auto node_options = [&](io::Direction direction) {
+    return io::NodeOptions{}
+        .with_direction(direction)
+        .with_params(params)
+        .with_shared_dictionary()
+        .with_workers(options.workers);
+  };
+  io::Node encode_node(node_options(io::Direction::encode));
+  io::Node decode_node(node_options(io::Direction::decode));
+  netio::SocketSink encode_sink(encode_transport, trunk_flow);
+  netio::SocketSink decode_sink(decode_transport, downlink_flow);
+
+  std::thread encode_thread([&] {
+    serve_proxy(encode_transport, encode_node, encode_sink);
+  });
+  std::thread decode_thread([&] {
+    serve_proxy(decode_transport, decode_node, decode_sink);
+  });
+
+  // Open every client session up front — the concurrency target is the
+  // point, not an artifact.
+  std::vector<std::uint32_t> client_flows;
+  for (std::size_t s = 0; s < options.sessions; ++s) {
+    const std::uint32_t flow = client_transport.connect(encode_port);
+    if (flow == 0) {
+      std::fprintf(stderr, "session %zu failed to connect\n", s);
+      return 1;
+    }
+    client_flows.push_back(flow);
+  }
+
+  // Redundant telemetry: payloads drawn from a small chunk pool with bit
+  // noise — the traffic shape the dictionary compresses. The first four
+  // bytes of each session's stream carry its index, so the collector can
+  // match decoded streams back to senders without trusting flow ids.
+  Rng rng(0x3A9);
+  const std::size_t chunk_bytes = params.raw_payload_bytes();
+  std::vector<std::vector<std::uint8_t>> pool;
+  for (int i = 0; i < 32; ++i) {
+    std::vector<std::uint8_t> chunk(chunk_bytes);
+    for (auto& b : chunk) b = static_cast<std::uint8_t>(rng.next_u64());
+    pool.push_back(chunk);
+  }
+  std::vector<std::vector<std::vector<std::uint8_t>>> workloads(
+      options.sessions);
+  std::vector<std::vector<std::uint8_t>> expected(options.sessions);
+  std::size_t total_payload_bytes = 0;
+  for (std::size_t s = 0; s < options.sessions; ++s) {
+    for (std::size_t f = 0; f < options.frames_per_session; ++f) {
+      std::vector<std::uint8_t> payload;
+      const std::size_t chunks = 1 + rng.next_below(4);
+      for (std::size_t c = 0; c < chunks; ++c) {
+        auto chunk = pool[rng.next_below(pool.size())];
+        if (rng.next_bool(0.25)) {
+          chunk[rng.next_below(chunk.size())] ^= 1;
+        }
+        payload.insert(payload.end(), chunk.begin(), chunk.end());
+      }
+      if (f == 0) {
+        netio::wire::put_u32_be(payload.data(),
+                                static_cast<std::uint32_t>(s));
+      }
+      expected[s].insert(expected[s].end(), payload.begin(), payload.end());
+      total_payload_bytes += payload.size();
+      workloads[s].push_back(std::move(payload));
+    }
+  }
+
+  // Feed and collect from the main thread: push pending frames (retrying
+  // under backpressure), pump, and accumulate decoded streams.
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::size_t> next_frame(options.sessions, 0);
+  std::map<std::uint32_t, std::vector<std::uint8_t>> collected;
+  std::size_t collected_bytes = 0;
+  io::Burst burst;
+  bool done = false;
+  const auto deadline = start + std::chrono::seconds(120);
+  while (!done) {
+    if (std::chrono::steady_clock::now() > deadline) {
+      std::fprintf(stderr, "stalled: %zu/%zu bytes collected\n",
+                   collected_bytes, total_payload_bytes);
+      return 1;
+    }
+    for (std::size_t s = 0; s < options.sessions; ++s) {
+      while (next_frame[s] < options.frames_per_session) {
+        netio::LinkHeader header;
+        header.type = gd::PacketType::raw;
+        if (!client_transport.send_frame(client_flows[s], header,
+                                         workloads[s][next_frame[s]])) {
+          break;  // queue pushed back; retry next round
+        }
+        ++next_frame[s];
+      }
+    }
+    client_transport.poll(1);
+    while (client_transport.rx_burst(burst) > 0) {
+      for (std::size_t i = 0; i < burst.size(); ++i) {
+        const auto payload = burst.payload(i);
+        auto& stream = collected[burst.meta(i).flow];
+        stream.insert(stream.end(), payload.begin(), payload.end());
+        collected_bytes += payload.size();
+      }
+    }
+    done = collected_bytes == total_payload_bytes;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  encode_transport.request_stop();
+  decode_transport.request_stop();
+  encode_thread.join();
+  decode_thread.join();
+
+  // Verification: every session's byte stream must match bit-exactly,
+  // matched via the stamped stream head.
+  std::size_t verified = 0;
+  std::size_t mismatches = 0;
+  std::vector<bool> matched(options.sessions, false);
+  for (const auto& [flow, stream] : collected) {
+    bool ok = stream.size() >= 4;
+    std::uint32_t s = 0;
+    if (ok) {
+      s = netio::wire::get_u32_be(stream.data());
+      ok = s < options.sessions && !matched[s] && stream == expected[s];
+    }
+    if (ok) {
+      matched[s] = true;
       ++verified;
     } else {
       ++mismatches;
     }
-  });
+  }
 
-  // Stage the telemetry through the io burst layer into host1's paced TX
-  // path (trace source -> host TX sink), then run the WAN.
-  io::TraceSourceOptions source_options;
-  source_options.burst_size = 4096;
-  io::TraceSource source(payloads, source_options);
-  io::HostTxSink tx(host1, host2.mac());
-  io::Runner runner;
-  (void)runner.run(source, tx);
-  tx.launch(/*start_at=*/0);
-  events.run_until(30_s);
-
-  using prog::PacketClass;
-  const double sent_bytes = static_cast<double>(payloads.size()) * 32;
-  const double wan_bytes =
-      static_cast<double>(program_a->class_bytes(PacketClass::raw_to_type2) +
-                          program_a->class_bytes(PacketClass::raw_to_type3));
-  std::printf("payloads sent:       %zu (%s)\n", payloads.size(),
-              format_size(sent_bytes).c_str());
-  std::printf("WAN payload bytes:   %s (ratio %.3f)\n",
-              format_size(wan_bytes).c_str(), wan_bytes / sent_bytes);
-  std::printf("decoded at site B:   %llu type-3, %llu type-2\n",
+  const netio::TransportStats edge = encode_transport.stats();
+  const netio::TransportStats trunk = decode_transport.stats();
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+          .count();
+  const double wan_payload = static_cast<double>(edge.bytes_tx);
+  std::printf("sessions:            %zu concurrent (accepted %llu)\n",
+              options.sessions,
+              static_cast<unsigned long long>(edge.sessions_accepted));
+  std::printf("frames in:           %llu (%zu payload bytes)\n",
+              static_cast<unsigned long long>(edge.frames_rx),
+              total_payload_bytes);
+  std::printf("WAN link bytes:      %.0f (ratio %.3f, framing included)\n",
+              wan_payload,
+              wan_payload / static_cast<double>(total_payload_bytes));
+  std::printf("decoded frames out:  %llu\n",
+              static_cast<unsigned long long>(trunk.frames_tx));
+  std::printf("rebuffered bytes:    %llu edge, %llu trunk (partial-frame"
+              " resumes)\n",
+              static_cast<unsigned long long>(edge.bytes_rebuffered),
+              static_cast<unsigned long long>(trunk.bytes_rebuffered));
+  std::printf("partial writes:      %llu\n",
               static_cast<unsigned long long>(
-                  program_b->class_packets(PacketClass::type3_to_raw)),
-              static_cast<unsigned long long>(
-                  program_b->class_packets(PacketClass::type2_to_raw)));
-  std::printf("verified bit-exact:  %llu / %zu (mismatches: %llu)\n",
-              static_cast<unsigned long long>(verified), payloads.size(),
-              static_cast<unsigned long long>(mismatches));
-  std::printf("unknown-ID drops:    %llu (two-phase install prevents"
-              " these)\n",
-              static_cast<unsigned long long>(
-                  program_b->class_packets(PacketClass::decode_unknown_id)));
-  std::printf("bases learned:       %llu, evictions: %llu\n",
-              static_cast<unsigned long long>(
-                  controller.stats().mappings_installed),
-              static_cast<unsigned long long>(controller.stats().evictions));
-  return mismatches == 0 ? 0 : 1;
+                  edge.partial_writes + trunk.partial_writes));
+  std::printf("elapsed:             %.2fs (%.0f frames/s end-to-end)\n",
+              secs, static_cast<double>(edge.frames_rx) / secs);
+  std::printf("verified bit-exact:  %zu / %zu sessions (mismatches: %zu)\n",
+              verified, options.sessions, mismatches);
+  return mismatches == 0 && verified == options.sessions ? 0 : 1;
 }

@@ -7,14 +7,34 @@
 // trace shares one table exactly as on the switch. The no-node overload
 // pumps source -> sink directly for staging paths that do no codec work
 // (e.g. feeding raw traffic to a simulated host).
+//
+// For finite backends (trace tables, pcap files, pre-filled rings) an
+// empty rx_burst means DONE, and the drain overloads return. A live
+// backend (netio's socket sessions) is merely IDLE when empty — more
+// traffic arrives whenever peers send it — so the idle-hook overloads
+// keep running: each time the source reports empty the hook is invoked,
+// and the loop continues (hook returned true) or ends (false). The hook
+// is where the loop blocks — a socket transport parks in epoll_wait
+// until readiness or a cross-thread wake — so an idle session-serving
+// loop costs no CPU instead of spinning on rx_burst.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
+#include <utility>
 
 #include "io/burst.hpp"
 #include "io/node.hpp"
 
 namespace zipline::io {
+
+/// The idle hook contract: called when the source reports empty; blocks
+/// until more work may exist (or a timeout/wake); returns false to end
+/// the run.
+template <typename H>
+concept IdleHook = requires(H hook) {
+  { hook() } -> std::convertible_to<bool>;
+};
 
 struct RunnerStats {
   std::uint64_t bursts = 0;
@@ -64,6 +84,52 @@ class Runner {
       sink.tx_burst(in_);
     }
     return stats;
+  }
+
+  /// Live pump: an empty source is idle, not done. `idle()` runs every
+  /// time rx_burst reports empty — block there (epoll_wait) and return
+  /// true to keep serving, false to end the run.
+  template <PacketSource Source, PacketSink Sink, IdleHook Idle>
+  RunnerStats run(Source& source, Node& node, Sink& sink, Idle&& idle) {
+    RunnerStats stats;
+    for (;;) {
+      if (source.rx_burst(in_) == 0) {
+        if (!idle()) return stats;
+        continue;
+      }
+      ++stats.bursts;
+      stats.packets_in += in_.size();
+      for (std::size_t i = 0; i < in_.size(); ++i) {
+        stats.payload_bytes_in += in_.payload(i).size();
+      }
+      out_.clear();
+      node.process(in_, out_);
+      stats.packets_out += out_.size();
+      for (std::size_t i = 0; i < out_.size(); ++i) {
+        stats.payload_bytes_out += out_.payload(i).size();
+      }
+      sink.tx_burst(out_);
+    }
+  }
+
+  /// Live pass-through pump (no codec work), same idle contract.
+  template <PacketSource Source, PacketSink Sink, IdleHook Idle>
+  RunnerStats run(Source& source, Sink& sink, Idle&& idle) {
+    RunnerStats stats;
+    for (;;) {
+      if (source.rx_burst(in_) == 0) {
+        if (!idle()) return stats;
+        continue;
+      }
+      ++stats.bursts;
+      stats.packets_in += in_.size();
+      stats.packets_out += in_.size();
+      for (std::size_t i = 0; i < in_.size(); ++i) {
+        stats.payload_bytes_in += in_.payload(i).size();
+        stats.payload_bytes_out += in_.payload(i).size();
+      }
+      sink.tx_burst(in_);
+    }
   }
 
  private:

@@ -1,0 +1,259 @@
+#include "netio/event_loop.hpp"
+
+#include <cerrno>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include "common/contracts.hpp"
+
+namespace zipline::netio {
+
+LoopBackend default_backend() noexcept {
+#ifdef __linux__
+  return LoopBackend::epoll;
+#else
+  return LoopBackend::poll;
+#endif
+}
+
+namespace {
+
+#ifdef __linux__
+std::uint32_t to_epoll(std::uint32_t interest) noexcept {
+  std::uint32_t events = 0;
+  if ((interest & EventLoop::kReadable) != 0) events |= EPOLLIN;
+  if ((interest & EventLoop::kWritable) != 0) events |= EPOLLOUT;
+  return events;
+}
+
+std::uint32_t from_epoll(std::uint32_t events) noexcept {
+  std::uint32_t out = 0;
+  if ((events & (EPOLLIN | EPOLLHUP)) != 0) out |= EventLoop::kReadable;
+  if ((events & EPOLLOUT) != 0) out |= EventLoop::kWritable;
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) out |= EventLoop::kError;
+  return out;
+}
+#endif
+
+short to_poll(std::uint32_t interest) noexcept {
+  short events = 0;
+  if ((interest & EventLoop::kReadable) != 0) events |= POLLIN;
+  if ((interest & EventLoop::kWritable) != 0) events |= POLLOUT;
+  return events;
+}
+
+std::uint32_t from_poll(short revents) noexcept {
+  std::uint32_t out = 0;
+  if ((revents & (POLLIN | POLLHUP)) != 0) out |= EventLoop::kReadable;
+  if ((revents & POLLOUT) != 0) out |= EventLoop::kWritable;
+  if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+    out |= EventLoop::kError;
+  }
+  return out;
+}
+
+}  // namespace
+
+EventLoop::EventLoop(LoopBackend backend) : backend_(backend) {
+#ifndef __linux__
+  // epoll does not exist off Linux; fall back silently so callers can
+  // default-construct portably.
+  backend_ = LoopBackend::poll;
+#endif
+#ifdef __linux__
+  if (backend_ == LoopBackend::epoll) {
+    epoll_fd_ = Fd(::epoll_create1(0));
+    ZL_ENSURES(static_cast<bool>(epoll_fd_));
+  }
+#endif
+  // Self-pipe wake channel (a socketpair, so the send/recv-based
+  // read_some/write_some helpers apply), both ends nonblocking: wake()
+  // writes one byte (EAGAIN = a wake is already pending, which is fine —
+  // wakes coalesce), the loop drains on readiness.
+  int pipe_fds[2];
+  ZL_ENSURES(::socketpair(AF_UNIX, SOCK_STREAM, 0, pipe_fds) == 0);
+  wake_read_ = Fd(pipe_fds[0]);
+  wake_write_ = Fd(pipe_fds[1]);
+  ZL_ENSURES(set_nonblocking(wake_read_.get()));
+  ZL_ENSURES(set_nonblocking(wake_write_.get()));
+#ifdef __linux__
+  if (backend_ == LoopBackend::epoll) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_read_.get();
+    ZL_ENSURES(::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_read_.get(),
+                           &ev) == 0);
+  }
+#endif
+}
+
+EventLoop::~EventLoop() = default;
+
+void EventLoop::backend_add(int fd, std::uint32_t interest) {
+#ifdef __linux__
+  if (backend_ == LoopBackend::epoll) {
+    epoll_event ev{};
+    ev.events = to_epoll(interest);
+    ev.data.fd = fd;
+    ZL_ENSURES(::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) == 0);
+    return;
+  }
+#endif
+  (void)fd;
+  (void)interest;  // poll backend rebuilds its fd array per poll()
+}
+
+void EventLoop::backend_modify(int fd, std::uint32_t interest) {
+#ifdef __linux__
+  if (backend_ == LoopBackend::epoll) {
+    epoll_event ev{};
+    ev.events = to_epoll(interest);
+    ev.data.fd = fd;
+    ZL_ENSURES(::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) == 0);
+    return;
+  }
+#endif
+  (void)fd;
+  (void)interest;
+}
+
+void EventLoop::backend_remove(int fd) {
+#ifdef __linux__
+  if (backend_ == LoopBackend::epoll) {
+    (void)::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+    return;
+  }
+#endif
+  (void)fd;
+}
+
+void EventLoop::add(int fd, std::uint32_t interest, Callback callback) {
+  ZL_EXPECTS(fd >= 0);
+  ZL_EXPECTS(entries_.find(fd) == entries_.end());
+  Entry entry;
+  entry.interest = interest;
+  entry.generation = ++generation_;
+  entry.callback = std::move(callback);
+  entries_.emplace(fd, std::move(entry));
+  backend_add(fd, interest);
+}
+
+void EventLoop::set_interest(int fd, std::uint32_t interest) {
+  const auto it = entries_.find(fd);
+  ZL_EXPECTS(it != entries_.end());
+  if (it->second.interest == interest) return;
+  it->second.interest = interest;
+  backend_modify(fd, interest);
+}
+
+std::uint32_t EventLoop::interest(int fd) const {
+  const auto it = entries_.find(fd);
+  ZL_EXPECTS(it != entries_.end());
+  return it->second.interest;
+}
+
+void EventLoop::remove(int fd) {
+  const auto it = entries_.find(fd);
+  ZL_EXPECTS(it != entries_.end());
+  entries_.erase(it);
+  backend_remove(fd);
+}
+
+int EventLoop::wait_epoll(int timeout_ms) {
+#ifdef __linux__
+  // +1 slot for the wake pipe.
+  std::vector<epoll_event> events(entries_.size() + 1);
+  int n;
+  for (;;) {
+    n = ::epoll_wait(epoll_fd_.get(), events.data(),
+                     static_cast<int>(events.size()), timeout_ms);
+    if (n >= 0 || errno != EINTR) break;
+  }
+  if (n <= 0) return 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[static_cast<std::size_t>(i)].data.fd;
+    if (fd == wake_read_.get()) {
+      std::uint8_t drain[64];
+      while (read_some(fd, drain).status == IoStatus::ok) {}
+      continue;
+    }
+    const auto it = entries_.find(fd);
+    if (it == entries_.end()) continue;
+    ready_.push_back(
+        {fd, it->second.generation,
+         from_epoll(events[static_cast<std::size_t>(i)].events)});
+  }
+  return n;
+#else
+  (void)timeout_ms;
+  return 0;
+#endif
+}
+
+int EventLoop::wait_poll(int timeout_ms) {
+  pollfds_.clear();
+  pollfds_.push_back({wake_read_.get(), POLLIN, 0});
+  for (const auto& [fd, entry] : entries_) {
+    pollfds_.push_back({fd, to_poll(entry.interest), 0});
+  }
+  int n;
+  for (;;) {
+    n = ::poll(pollfds_.data(), pollfds_.size(), timeout_ms);
+    if (n >= 0 || errno != EINTR) break;
+  }
+  if (n <= 0) return 0;
+  for (const struct pollfd& p : pollfds_) {
+    if (p.revents == 0) continue;
+    if (p.fd == wake_read_.get()) {
+      std::uint8_t drain[64];
+      while (read_some(p.fd, drain).status == IoStatus::ok) {}
+      continue;
+    }
+    const auto it = entries_.find(p.fd);
+    if (it == entries_.end()) continue;
+    ready_.push_back({p.fd, it->second.generation, from_poll(p.revents)});
+  }
+  return n;
+}
+
+int EventLoop::dispatch() {
+  int dispatched = 0;
+  for (const Ready& r : ready_) {
+    // Revalidate: an earlier callback this round may have removed (or
+    // removed-and-readded — the generation check) this fd.
+    const auto it = entries_.find(r.fd);
+    if (it == entries_.end() || it->second.generation != r.generation) {
+      continue;
+    }
+    // The callback may mutate entries_, invalidating `it`; copying the
+    // std::function keeps it alive through self-removal.
+    const Callback callback = it->second.callback;
+    callback(r.events);
+    ++dispatched;
+  }
+  ready_.clear();
+  return dispatched;
+}
+
+int EventLoop::poll(int timeout_ms) {
+  ready_.clear();
+  if (backend_ == LoopBackend::epoll) {
+    wait_epoll(timeout_ms);
+  } else {
+    wait_poll(timeout_ms);
+  }
+  return dispatch();
+}
+
+void EventLoop::wake() noexcept {
+  const std::uint8_t one = 1;
+  (void)write_some(wake_write_.get(), {&one, 1});
+}
+
+}  // namespace zipline::netio

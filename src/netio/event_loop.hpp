@@ -1,0 +1,112 @@
+// netio::EventLoop — readiness multiplexing over thousands of fds.
+//
+// The InspIRCd socketengine shape: one loop object owns the OS readiness
+// facility, callers register an fd with an interest mask and a callback,
+// and poll() blocks until something is ready (or wake() is called from
+// another thread), then dispatches. Two backends behind one interface:
+//
+//   * epoll (Linux, the default there) — O(ready) dispatch, the facility
+//     the "thousands of concurrent sessions" target needs.
+//   * poll  — portable fallback, O(watched) per call. Always compiled,
+//     selectable at construction, so the fallback is continuously tested
+//     on Linux too instead of rotting behind an #ifdef.
+//
+// Level-triggered semantics in both backends: a callback that does not
+// drain its fd is simply called again next poll — sessions can bound
+// their per-event work (read budgets, paused reads under backpressure)
+// without losing wakeups.
+//
+// Threading: everything except wake() must be called from the loop's
+// owning thread. wake() is async-signal-unsafe but thread-safe — it
+// writes the self-pipe, so a blocked poll() returns immediately (the
+// transport's stop path).
+//
+// Callbacks may add/remove fds — including their own — during dispatch:
+// the ready set is snapshotted first and each entry is revalidated (by fd
+// + registration generation) before its callback runs.
+#pragma once
+
+#include <poll.h>
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "netio/socket_ops.hpp"
+
+namespace zipline::netio {
+
+enum class LoopBackend : std::uint8_t { epoll, poll };
+
+/// The backend a plain EventLoop{} gets: epoll on Linux, poll elsewhere.
+[[nodiscard]] LoopBackend default_backend() noexcept;
+
+class EventLoop {
+ public:
+  /// Readiness bits, both for interest masks and callback events.
+  static constexpr std::uint32_t kReadable = 1u << 0;
+  static constexpr std::uint32_t kWritable = 1u << 1;
+  /// Delivered (never requested): error/hangup on the fd. The callback
+  /// decides — usually a read to collect the error, then teardown.
+  static constexpr std::uint32_t kError = 1u << 2;
+
+  using Callback = std::function<void(std::uint32_t events)>;
+
+  explicit EventLoop(LoopBackend backend = default_backend());
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  [[nodiscard]] LoopBackend backend() const noexcept { return backend_; }
+
+  /// Registers `fd` (not yet registered) with an interest mask.
+  void add(int fd, std::uint32_t interest, Callback callback);
+  /// Replaces the interest mask of a registered fd.
+  void set_interest(int fd, std::uint32_t interest);
+  [[nodiscard]] std::uint32_t interest(int fd) const;
+  /// Unregisters; safe to call from inside a callback (even the fd's own).
+  void remove(int fd);
+  [[nodiscard]] std::size_t watched() const noexcept { return entries_.size(); }
+
+  /// Blocks up to timeout_ms (-1 = until something is ready or wake()),
+  /// then dispatches every ready callback. Returns the number of
+  /// callbacks dispatched (wake-pipe drain not counted).
+  int poll(int timeout_ms);
+
+  /// Thread-safe: makes a concurrent (or the next) poll() return
+  /// promptly. Coalesces — many wakes, one drain.
+  void wake() noexcept;
+
+ private:
+  struct Entry {
+    std::uint32_t interest = 0;
+    std::uint64_t generation = 0;  ///< revalidates snapshotted ready fds
+    Callback callback;
+  };
+
+  void backend_add(int fd, std::uint32_t interest);
+  void backend_modify(int fd, std::uint32_t interest);
+  void backend_remove(int fd);
+  int wait_epoll(int timeout_ms);
+  int wait_poll(int timeout_ms);
+  int dispatch();
+
+  LoopBackend backend_;
+  std::unordered_map<int, Entry> entries_;
+  Fd epoll_fd_;
+  Fd wake_read_;
+  Fd wake_write_;
+  /// Ready snapshot of one poll() round: (fd, generation, events).
+  struct Ready {
+    int fd;
+    std::uint64_t generation;
+    std::uint32_t events;
+  };
+  std::vector<Ready> ready_;
+  std::uint64_t generation_ = 0;
+  std::vector<::pollfd> pollfds_;  ///< poll backend scratch
+};
+
+}  // namespace zipline::netio

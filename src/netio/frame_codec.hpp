@@ -1,0 +1,240 @@
+// ZLF1 — the length-prefixed frame layer of a compressed-link session.
+//
+// On the wire, a session is a byte stream of frames:
+//
+//     0   1   2   3   4 ... 4+n-1
+//   +---+---+---+---+---------------------------+
+//   |       n       |     frame payload (n B)   |
+//   +---+---+---+---+---------------------------+
+//
+// n is a 32-bit big-endian length. n == 0 and n > max_frame_bytes are
+// protocol errors (a zero frame carries nothing and an unbounded one is a
+// memory-exhaustion attack); either closes the session. This is the
+// m_ziplink shape: TCP gives no message boundaries, so a frame routinely
+// arrives split across reads — the length prefix itself can split — and
+// the decoder rebuffers exactly the partial state and resumes where it
+// left off (tests/frame_codec_test.cpp proves byte-identical reassembly
+// at EVERY split point).
+//
+// For the transport's sessions, the frame payload begins with a fixed
+// link header carrying what a Burst descriptor needs to cross the wire —
+// the packet type, the flow id (sessions multiplexed over one link each
+// keep their identity), and the GD syndrome/basis-id fields:
+//
+//   offset 0  u8      packet type (gd::PacketType: 1 raw, 2 uncomp, 3 comp)
+//   offset 1  u32 BE  flow id
+//   offset 5  u32 BE  syndrome
+//   offset 9  u32 BE  basis id
+//   offset 13 ...     packet payload
+//
+// FrameDecoder assembles frame payloads directly into io::BufferPool
+// segments, so a completed frame enters the burst layer zero-copy
+// (Burst::append_segment) and every hop downstream moves refs, not bytes
+// — the PR 8 segment contract, now fed from a socket.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "gd/packet.hpp"
+#include "io/buffer_pool.hpp"
+
+namespace zipline::netio {
+
+inline constexpr std::size_t kFramePrefixBytes = 4;
+inline constexpr std::size_t kLinkHeaderBytes = 13;
+/// Default ceiling on one frame's payload. Far above any GD wire packet
+/// (a unit is a handful of 32-byte chunks) but small enough that a
+/// hostile length prefix cannot balloon memory.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
+
+/// The per-frame link header (see file comment for the byte layout).
+struct LinkHeader {
+  gd::PacketType type = gd::PacketType::raw;
+  std::uint32_t flow = 0;
+  std::uint32_t syndrome = 0;
+  std::uint32_t basis_id = 0;
+};
+
+namespace wire {
+
+inline void put_u32_be(std::uint8_t* dst, std::uint32_t v) noexcept {
+  dst[0] = static_cast<std::uint8_t>(v >> 24);
+  dst[1] = static_cast<std::uint8_t>(v >> 16);
+  dst[2] = static_cast<std::uint8_t>(v >> 8);
+  dst[3] = static_cast<std::uint8_t>(v);
+}
+
+inline std::uint32_t get_u32_be(const std::uint8_t* src) noexcept {
+  return (static_cast<std::uint32_t>(src[0]) << 24) |
+         (static_cast<std::uint32_t>(src[1]) << 16) |
+         (static_cast<std::uint32_t>(src[2]) << 8) |
+         static_cast<std::uint32_t>(src[3]);
+}
+
+}  // namespace wire
+
+/// Serializes the link header into `dst` (>= kLinkHeaderBytes).
+inline void write_link_header(std::uint8_t* dst,
+                              const LinkHeader& header) noexcept {
+  dst[0] = static_cast<std::uint8_t>(header.type);
+  wire::put_u32_be(dst + 1, header.flow);
+  wire::put_u32_be(dst + 5, header.syndrome);
+  wire::put_u32_be(dst + 9, header.basis_id);
+}
+
+/// Parses the link header off the front of a frame payload. False when
+/// the frame is too short or the type byte is not a gd::PacketType.
+[[nodiscard]] inline bool parse_link_header(
+    std::span<const std::uint8_t> frame, LinkHeader& out) noexcept {
+  if (frame.size() < kLinkHeaderBytes) return false;
+  const std::uint8_t type = frame[0];
+  if (type < 1 || type > 3) return false;
+  out.type = static_cast<gd::PacketType>(type);
+  out.flow = wire::get_u32_be(frame.data() + 1);
+  out.syndrome = wire::get_u32_be(frame.data() + 5);
+  out.basis_id = wire::get_u32_be(frame.data() + 9);
+  return true;
+}
+
+/// Framing writers: append one complete ZLF1 frame to a byte queue (the
+/// session's outbound buffer, a test's wire image).
+struct FrameEncoder {
+  /// Prefix + opaque payload.
+  static void append_frame(std::vector<std::uint8_t>& out,
+                           std::span<const std::uint8_t> payload) {
+    ZL_EXPECTS(!payload.empty());
+    const std::size_t base = out.size();
+    out.resize(base + kFramePrefixBytes + payload.size());
+    wire::put_u32_be(out.data() + base,
+                     static_cast<std::uint32_t>(payload.size()));
+    std::memcpy(out.data() + base + kFramePrefixBytes, payload.data(),
+                payload.size());
+  }
+
+  /// Prefix + link header + packet payload (the transport's tx shape).
+  static void append_frame(std::vector<std::uint8_t>& out,
+                           const LinkHeader& header,
+                           std::span<const std::uint8_t> payload) {
+    const std::size_t frame_bytes = kLinkHeaderBytes + payload.size();
+    const std::size_t base = out.size();
+    out.resize(base + kFramePrefixBytes + frame_bytes);
+    wire::put_u32_be(out.data() + base,
+                     static_cast<std::uint32_t>(frame_bytes));
+    write_link_header(out.data() + base + kFramePrefixBytes, header);
+    if (!payload.empty()) {
+      std::memcpy(out.data() + base + kFramePrefixBytes + kLinkHeaderBytes,
+                  payload.data(), payload.size());
+    }
+  }
+};
+
+enum class FrameError : std::uint8_t {
+  none,
+  zero_length,  ///< prefix declared n == 0
+  oversize,     ///< prefix declared n > max_frame_bytes
+};
+
+/// Incremental ZLF1 reassembler. feed() arbitrary byte chunks in arrival
+/// order; each completed frame is handed to the sink as a span over pool
+/// segment memory plus the SegmentRef keeping it alive — the sink copies
+/// the ref (e.g. into a Burst via append_segment) and the bytes never
+/// move again. Protocol violations stop consumption immediately and latch
+/// the decoder dead (the session closes; no resync exists mid-stream).
+class FrameDecoder {
+ public:
+  /// Frames are assembled into segments acquired from `pool` (one
+  /// acquire per frame; oversize-vs-segment requests fall back to the
+  /// pool's counted overflow path, so any frame <= max_frame_bytes
+  /// assembles without failure). The pool must outlive the decoder.
+  explicit FrameDecoder(io::BufferPool& pool,
+                        std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : pool_(&pool), max_frame_bytes_(max_frame_bytes) {
+    ZL_EXPECTS(max_frame_bytes_ >= 1);
+  }
+
+  /// Consumes `bytes`, invoking `on_frame(span, const SegmentRef&)` once
+  /// per completed frame (possibly several times — back-to-back frames in
+  /// one read). Returns the first protocol error hit, leaving the
+  /// violating prefix unconsumed; FrameError::none otherwise.
+  template <typename OnFrame>
+  FrameError feed(std::span<const std::uint8_t> bytes, OnFrame&& on_frame) {
+    if (dead_) return error_;
+    while (!bytes.empty()) {
+      if (!segment_) {
+        // Accumulating the 4-byte prefix (which can itself split).
+        const std::size_t want = kFramePrefixBytes - prefix_fill_;
+        const std::size_t take = std::min(want, bytes.size());
+        std::memcpy(prefix_ + prefix_fill_, bytes.data(), take);
+        prefix_fill_ += take;
+        bytes = bytes.subspan(take);
+        if (prefix_fill_ < kFramePrefixBytes) break;
+        const std::uint32_t n = wire::get_u32_be(prefix_);
+        if (n == 0) return fail(FrameError::zero_length);
+        if (n > max_frame_bytes_) return fail(FrameError::oversize);
+        frame_bytes_ = n;
+        frame_fill_ = 0;
+        segment_ = pool_->acquire(frame_bytes_);
+      } else {
+        const std::size_t want = frame_bytes_ - frame_fill_;
+        const std::size_t take = std::min(want, bytes.size());
+        std::memcpy(segment_.data() + frame_fill_, bytes.data(), take);
+        frame_fill_ += take;
+        bytes = bytes.subspan(take);
+        if (frame_fill_ < frame_bytes_) break;
+        ++frames_decoded_;
+        on_frame(std::span<const std::uint8_t>(segment_.data(), frame_bytes_),
+                 static_cast<const io::SegmentRef&>(segment_));
+        segment_.reset();
+        prefix_fill_ = 0;
+      }
+    }
+    // Whatever is held across this feed boundary is the partial state a
+    // later read resumes from — the rebuffering the wire format exists
+    // to make cheap.
+    bytes_rebuffered_ += partial_bytes();
+    return FrameError::none;
+  }
+
+  /// Bytes currently held mid-frame (prefix + payload fill).
+  [[nodiscard]] std::size_t partial_bytes() const noexcept {
+    return segment_ ? kFramePrefixBytes + frame_fill_ : prefix_fill_;
+  }
+  [[nodiscard]] std::uint64_t frames_decoded() const noexcept {
+    return frames_decoded_;
+  }
+  /// Sum over feed() calls of the partial bytes carried across each call
+  /// boundary — the cumulative rebuffering cost of how the stream was
+  /// chunked (0 when every read delivers whole frames).
+  [[nodiscard]] std::uint64_t bytes_rebuffered() const noexcept {
+    return bytes_rebuffered_;
+  }
+  [[nodiscard]] bool dead() const noexcept { return dead_; }
+  [[nodiscard]] FrameError error() const noexcept { return error_; }
+
+ private:
+  FrameError fail(FrameError e) noexcept {
+    dead_ = true;
+    error_ = e;
+    segment_.reset();
+    return e;
+  }
+
+  io::BufferPool* pool_;
+  std::size_t max_frame_bytes_;
+  std::uint8_t prefix_[kFramePrefixBytes] = {};
+  std::size_t prefix_fill_ = 0;
+  io::SegmentRef segment_;  ///< engaged while a frame body is assembling
+  std::size_t frame_bytes_ = 0;
+  std::size_t frame_fill_ = 0;
+  std::uint64_t frames_decoded_ = 0;
+  std::uint64_t bytes_rebuffered_ = 0;
+  bool dead_ = false;
+  FrameError error_ = FrameError::none;
+};
+
+}  // namespace zipline::netio

@@ -1,0 +1,190 @@
+#include "netio/session.hpp"
+
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace zipline::netio {
+
+namespace {
+/// Compact the outbound queue once the consumed prefix dominates; keeps
+/// the amortized cost linear without shuffling bytes on every write.
+constexpr std::size_t kCompactBytes = 1u << 20;
+}  // namespace
+
+Session::Session(SessionEnv env, Fd fd, std::uint32_t flow)
+    : env_(std::move(env)),
+      fd_(std::move(fd)),
+      flow_(flow),
+      decoder_(*env_.pool, env_.max_frame_bytes) {
+  ZL_EXPECTS(static_cast<bool>(fd_));
+  ZL_EXPECTS(env_.loop != nullptr && env_.pool != nullptr &&
+             env_.ready != nullptr && env_.read_scratch != nullptr &&
+             env_.paused != nullptr);
+  env_.loop->add(fd_.get(), EventLoop::kReadable,
+                 [this](std::uint32_t events) { on_event(events); });
+}
+
+Session::~Session() {
+  if (open()) {
+    // Teardown without the on_close callback: the transport is either
+    // destroying us from its own close handling or being destroyed
+    // itself — the loop entry still needs unhooking.
+    env_.loop->remove(fd_.get());
+    fd_.reset();
+    stats_.close_reason = CloseReason::local;
+  }
+}
+
+void Session::close(CloseReason reason) {
+  if (!open()) return;
+  env_.loop->remove(fd_.get());
+  fd_.reset();
+  stats_.close_reason = reason;
+  if (env_.on_close) env_.on_close(flow_);
+}
+
+void Session::update_interest() {
+  if (!open()) return;
+  std::uint32_t interest = rx_paused_ ? 0u : EventLoop::kReadable;
+  if (want_write_) interest |= EventLoop::kWritable;
+  env_.loop->set_interest(fd_.get(), interest);
+}
+
+void Session::on_event(std::uint32_t events) {
+  if (!open()) return;
+  if ((events & EventLoop::kWritable) != 0) on_writable();
+  if (!open()) return;
+  if ((events & (EventLoop::kReadable | EventLoop::kError)) != 0) {
+    // kError with nothing readable still lands here: the read collects
+    // the error (reset/EOF) and the session tears down gracefully.
+    on_readable();
+  }
+}
+
+void Session::on_readable() {
+  std::vector<std::uint8_t>& scratch = *env_.read_scratch;
+  std::size_t consumed = 0;
+  while (open() && consumed < env_.read_budget_bytes) {
+    if (env_.ready->size() >= env_.max_ready_frames) {
+      // Ready queue full: stop reading and drop readable interest so a
+      // level-triggered loop does not spin on data we refuse to take.
+      // TCP's receive window now pushes back on the peer; the transport
+      // resumes us when rx_burst drains the queue.
+      if (!rx_paused_) {
+        rx_paused_ = true;
+        env_.paused->push_back(this);
+        update_interest();
+      }
+      return;
+    }
+    const IoResult r = read_some(fd_.get(), scratch);
+    if (r.status == IoStatus::would_block) return;
+    if (r.status == IoStatus::closed) {
+      close(r.error != 0 ? CloseReason::peer_reset : CloseReason::peer_eof);
+      return;
+    }
+    if (r.status == IoStatus::error) {
+      close(CloseReason::io_error);
+      return;
+    }
+    stats_.bytes_rx += r.bytes;
+    consumed += r.bytes;
+    bool malformed = false;
+    const FrameError err = decoder_.feed(
+        std::span<const std::uint8_t>(scratch.data(), r.bytes),
+        [&](std::span<const std::uint8_t> frame, const io::SegmentRef& seg) {
+          ReadyFrame ready;
+          if (!parse_link_header(frame, ready.header)) {
+            malformed = true;
+            return;
+          }
+          ready.segment = seg;
+          ready.payload = frame.data() + kLinkHeaderBytes;
+          ready.payload_bytes = frame.size() - kLinkHeaderBytes;
+          ready.session_flow = flow_;
+          env_.ready->push_back(std::move(ready));
+          ++stats_.frames_rx;
+        });
+    if (err != FrameError::none || malformed) {
+      close(CloseReason::protocol);
+      return;
+    }
+  }
+}
+
+bool Session::send_frame(const LinkHeader& header,
+                         std::span<const std::uint8_t> payload) {
+  if (!open()) {
+    ++stats_.frames_dropped;
+    return false;
+  }
+  const std::size_t frame_total =
+      kFramePrefixBytes + kLinkHeaderBytes + payload.size();
+  if (outbound_pending() + frame_total > env_.max_outbound_bytes) {
+    ++stats_.frames_dropped;
+    return false;
+  }
+  if (outbound_head_ >= kCompactBytes && outbound_head_ >= outbound_.size() / 2) {
+    outbound_.erase(outbound_.begin(),
+                    outbound_.begin() +
+                        static_cast<std::ptrdiff_t>(outbound_head_));
+    outbound_head_ = 0;
+  }
+  FrameEncoder::append_frame(outbound_, header, payload);
+  ++stats_.frames_tx;
+  flush_writes();
+  return true;
+}
+
+void Session::on_writable() {
+  flush_writes();
+}
+
+void Session::flush_writes() {
+  while (open() && outbound_head_ < outbound_.size()) {
+    const std::span<const std::uint8_t> pending(
+        outbound_.data() + outbound_head_, outbound_.size() - outbound_head_);
+    const IoResult r = write_some(fd_.get(), pending);
+    if (r.status == IoStatus::ok && r.bytes > 0) {
+      stats_.bytes_tx += r.bytes;
+      outbound_head_ += r.bytes;
+      if (r.bytes < pending.size()) {
+        // Short write: the kernel buffer is full mid-frame. Count it and
+        // keep the tail queued — the next writable event resumes at the
+        // exact byte the stream stopped at.
+        ++stats_.partial_writes;
+      }
+      continue;
+    }
+    if (r.status == IoStatus::would_block) {
+      ++stats_.partial_writes;
+      if (!want_write_) {
+        want_write_ = true;
+        update_interest();
+      }
+      return;
+    }
+    close(r.status == IoStatus::closed ? CloseReason::peer_reset
+                                       : CloseReason::io_error);
+    return;
+  }
+  if (outbound_head_ == outbound_.size()) {
+    outbound_.clear();
+    outbound_head_ = 0;
+    if (want_write_) {
+      want_write_ = false;
+      update_interest();
+    }
+  }
+}
+
+void Session::resume_rx() {
+  if (!open() || !rx_paused_) return;
+  rx_paused_ = false;
+  update_interest();
+  // Whatever arrived while paused is still in the kernel buffer; the
+  // level-triggered loop reports it on the next poll.
+}
+
+}  // namespace zipline::netio

@@ -1,0 +1,150 @@
+// netio::Session — one framed compressed-link connection.
+//
+// A session owns a nonblocking fd and the two halves of the ZLF1 stream
+// over it (the inspsocket.cpp buffered-socket shape):
+//
+//   rx: readable events drain the socket into a shared scratch buffer and
+//       feed the FrameDecoder, which reassembles frames into pool
+//       segments; each completed frame is parsed (link header) and pushed
+//       onto the transport's ready queue, where rx_burst picks it up
+//       zero-copy. A full ready queue PAUSES the session — readable
+//       interest is dropped so level-triggered polling does not spin, and
+//       TCP backpressure propagates to the peer; the transport resumes
+//       paused sessions once the queue drains.
+//   tx: send_frame() appends prefix + link header + payload to the
+//       outbound byte queue and flushes opportunistically. A short or
+//       blocked write leaves the remainder queued and arms writable
+//       interest; the next writable event resumes EXACTLY where the
+//       stream stopped (partial-frame resumption on the write side).
+//       The queue is bounded: a frame that would exceed
+//       max_outbound_bytes is dropped and counted, never queued —
+//       MemoryRing's drop-and-count overflow policy, applied per session.
+//
+// Teardown is always graceful and always counted: peer EOF, peer reset
+// (ECONNRESET/EPIPE), protocol violation (zero-length/oversize frame,
+// malformed link header), local close, or an unexpected socket error
+// each land in SessionStats::close_reason, which the transport
+// aggregates into per-reason counters.
+//
+// Threading: a session lives on its transport's loop thread; nothing
+// here is thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "io/buffer_pool.hpp"
+#include "netio/event_loop.hpp"
+#include "netio/frame_codec.hpp"
+#include "netio/socket_ops.hpp"
+
+namespace zipline::netio {
+
+class Session;
+
+enum class CloseReason : std::uint8_t {
+  none,       ///< still open
+  local,      ///< we closed it (shutdown, transport teardown)
+  peer_eof,   ///< orderly peer shutdown (read returned 0)
+  peer_reset, ///< ECONNRESET / EPIPE surfaced by a read or write
+  protocol,   ///< ZLF1 violation: zero/oversize frame, bad link header
+  io_error,   ///< unexpected errno (stats carry no further detail)
+};
+
+struct SessionStats {
+  std::uint64_t frames_rx = 0;
+  std::uint64_t frames_tx = 0;
+  std::uint64_t bytes_rx = 0;          ///< raw socket bytes read
+  std::uint64_t bytes_tx = 0;          ///< raw socket bytes written
+  std::uint64_t frames_dropped = 0;    ///< tx overflow drop-and-count
+  std::uint64_t partial_writes = 0;    ///< writes resumed by a later event
+  std::uint64_t bytes_rebuffered = 0;  ///< FrameDecoder rebuffering odometer
+  CloseReason close_reason = CloseReason::none;
+};
+
+/// One reassembled frame awaiting rx_burst: the parsed link header plus a
+/// payload view into the pool segment the ref keeps alive.
+struct ReadyFrame {
+  LinkHeader header;
+  io::SegmentRef segment;
+  const std::uint8_t* payload = nullptr;
+  std::size_t payload_bytes = 0;
+  std::uint32_t session_flow = 0;
+};
+
+/// Knobs and shared machinery a transport hands each session. All
+/// pointers outlive the session.
+struct SessionEnv {
+  EventLoop* loop = nullptr;
+  io::BufferPool* pool = nullptr;
+  std::deque<ReadyFrame>* ready = nullptr;
+  std::vector<std::uint8_t>* read_scratch = nullptr;  ///< shared, loop thread
+  std::vector<Session*>* paused = nullptr;  ///< sessions awaiting rx resume
+  /// Invoked once, from close(); the transport reaps the session after
+  /// the current dispatch round.
+  std::function<void(std::uint32_t flow)> on_close;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  std::size_t max_outbound_bytes = 4u << 20;
+  /// Per readable event, stop after this many bytes so one firehose
+  /// session cannot starve the rest (level-triggered polling re-reports).
+  std::size_t read_budget_bytes = 256u << 10;
+  std::size_t max_ready_frames = 8192;
+};
+
+class Session {
+ public:
+  /// Takes ownership of `fd` (already nonblocking) and registers with the
+  /// env's loop for readable events.
+  Session(SessionEnv env, Fd fd, std::uint32_t flow);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] std::uint32_t flow() const noexcept { return flow_; }
+  [[nodiscard]] int fd() const noexcept { return fd_.get(); }
+  [[nodiscard]] bool open() const noexcept { return static_cast<bool>(fd_); }
+  [[nodiscard]] SessionStats stats() const noexcept {
+    SessionStats s = stats_;
+    s.bytes_rebuffered = decoder_.bytes_rebuffered();
+    return s;
+  }
+  /// Outbound bytes queued but not yet written.
+  [[nodiscard]] std::size_t outbound_pending() const noexcept {
+    return outbound_.size() - outbound_head_;
+  }
+
+  /// Queues one framed packet and flushes opportunistically. False (and
+  /// a counted drop) when the bounded outbound queue cannot take it;
+  /// false too on a closed session.
+  bool send_frame(const LinkHeader& header,
+                  std::span<const std::uint8_t> payload);
+
+  /// Event-loop callback (readable/writable/error).
+  void on_event(std::uint32_t events);
+
+  /// Re-arms readable interest after a ready-queue pause.
+  void resume_rx();
+
+  void close(CloseReason reason);
+
+ private:
+  void on_readable();
+  void on_writable();
+  void flush_writes();
+  void update_interest();
+
+  SessionEnv env_;
+  Fd fd_;
+  std::uint32_t flow_;
+  FrameDecoder decoder_;
+  std::vector<std::uint8_t> outbound_;
+  std::size_t outbound_head_ = 0;
+  bool want_write_ = false;
+  bool rx_paused_ = false;
+  SessionStats stats_;
+};
+
+}  // namespace zipline::netio

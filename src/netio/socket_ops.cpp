@@ -1,0 +1,128 @@
+#include "netio/socket_ops.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace zipline::netio {
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) {
+    // POSIX leaves the fd state unspecified after close(EINTR); retrying
+    // risks closing a recycled descriptor, so close once and move on.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+IoResult read_some(int fd, std::span<std::uint8_t> buf) noexcept {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+    if (n > 0) return {IoStatus::ok, static_cast<std::size_t>(n), 0};
+    if (n == 0) return {IoStatus::closed, 0, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::would_block, 0, 0};
+    }
+    if (errno == ECONNRESET) return {IoStatus::closed, 0, errno};
+    return {IoStatus::error, 0, errno};
+  }
+}
+
+IoResult write_some(int fd, std::span<const std::uint8_t> buf) noexcept {
+  for (;;) {
+    const ssize_t n = ::send(fd, buf.data(), buf.size(), MSG_NOSIGNAL);
+    if (n >= 0) return {IoStatus::ok, static_cast<std::size_t>(n), 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::would_block, 0, 0};
+    }
+    if (errno == EPIPE || errno == ECONNRESET) {
+      return {IoStatus::closed, 0, errno};
+    }
+    return {IoStatus::error, 0, errno};
+  }
+}
+
+bool set_nonblocking(int fd) noexcept {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_tcp_nodelay(int fd) noexcept {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+Fd listen_tcp(std::uint16_t port, int backlog,
+              std::uint16_t* bound_port) noexcept {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd) return {};
+  const int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    return {};
+  }
+  if (::listen(fd.get(), backlog) != 0) return {};
+  if (bound_port != nullptr) {
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+        0) {
+      return {};
+    }
+    *bound_port = ntohs(addr.sin_port);
+  }
+  if (!set_nonblocking(fd.get())) return {};
+  return fd;
+}
+
+Fd connect_tcp(std::uint16_t port) noexcept {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    return {};
+  }
+  if (!set_nonblocking(fd.get())) return {};
+  set_tcp_nodelay(fd.get());
+  return fd;
+}
+
+Fd accept_one(int listen_fd, bool* would_block) noexcept {
+  if (would_block != nullptr) *would_block = false;
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      Fd owned(fd);
+      if (!set_nonblocking(fd)) return {};
+      set_tcp_nodelay(fd);
+      return owned;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (would_block != nullptr) *would_block = true;
+      return {};
+    }
+    return {};
+  }
+}
+
+}  // namespace zipline::netio

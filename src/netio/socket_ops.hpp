@@ -1,0 +1,106 @@
+// zipline::netio — thin, signal-safe wrappers over BSD sockets.
+//
+// Everything above this file (event loop, sessions, transport) speaks in
+// terms of these four ideas:
+//
+//   * Fd — RAII ownership of one file descriptor. Move-only; closing is
+//     the destructor's job and nobody else's.
+//   * IoResult — every read/write classified into the four outcomes a
+//     nonblocking loop actually branches on: ok (n bytes moved),
+//     would_block (EAGAIN/EWOULDBLOCK — re-arm interest and move on),
+//     closed (orderly EOF on read, EPIPE/ECONNRESET on write — the peer
+//     is gone, tear the session down gracefully), error (anything else).
+//   * EINTR never escapes: read_some/write_some retry internally, so the
+//     callers need no signal handling at all.
+//   * SIGPIPE never fires: writes go through send(MSG_NOSIGNAL), so a
+//     peer close surfaces as IoStatus::closed, not a process signal.
+//
+// All helpers are loopback/TCP oriented (the compressed-link sessions of
+// netio/transport.hpp); none of them block except connect_tcp, which
+// performs the handshake blocking and hands back a nonblocking fd — the
+// accepting side runs an event loop, so a loopback handshake completes as
+// soon as the kernel queues it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+namespace zipline::netio {
+
+/// RAII file descriptor: closes on destruction, move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  ~Fd() { reset(); }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] explicit operator bool() const noexcept { return fd_ >= 0; }
+  /// Releases ownership (caller closes).
+  [[nodiscard]] int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+enum class IoStatus : std::uint8_t {
+  ok,           ///< `bytes` moved
+  would_block,  ///< EAGAIN/EWOULDBLOCK — nothing moved, re-arm interest
+  closed,       ///< peer gone: EOF on read; EPIPE/ECONNRESET on write
+  error,        ///< anything else; `error` holds errno
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::ok;
+  std::size_t bytes = 0;
+  int error = 0;
+};
+
+/// recv() with EINTR retry. 0-byte reads report IoStatus::closed (orderly
+/// shutdown); ECONNRESET also maps to closed.
+[[nodiscard]] IoResult read_some(int fd, std::span<std::uint8_t> buf) noexcept;
+
+/// send(MSG_NOSIGNAL) with EINTR retry — a dead peer yields
+/// IoStatus::closed (EPIPE/ECONNRESET), never SIGPIPE. May move fewer
+/// bytes than asked (short write); callers keep the rest queued.
+[[nodiscard]] IoResult write_some(int fd,
+                                  std::span<const std::uint8_t> buf) noexcept;
+
+[[nodiscard]] bool set_nonblocking(int fd) noexcept;
+/// Nagle off — the framed sessions write whole frames and want them on
+/// the wire now.
+void set_tcp_nodelay(int fd) noexcept;
+
+/// Nonblocking loopback listener on `port` (0 = kernel-assigned).
+/// `bound_port` receives the actual port. Invalid Fd on failure.
+[[nodiscard]] Fd listen_tcp(std::uint16_t port, int backlog,
+                            std::uint16_t* bound_port) noexcept;
+
+/// Blocking loopback connect (the handshake), then the fd is switched to
+/// nonblocking and TCP_NODELAY before it is returned. Invalid Fd on
+/// failure.
+[[nodiscard]] Fd connect_tcp(std::uint16_t port) noexcept;
+
+/// accept() with EINTR retry; the returned fd is nonblocking +
+/// TCP_NODELAY. Invalid Fd when the queue is empty (would_block) or on
+/// error; `would_block` distinguishes the two.
+[[nodiscard]] Fd accept_one(int listen_fd, bool* would_block) noexcept;
+
+}  // namespace zipline::netio

@@ -1,0 +1,178 @@
+#include "netio/transport.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace zipline::netio {
+
+SocketTransport::SocketTransport(TransportOptions options)
+    : options_(options),
+      loop_(options.backend),
+      pool_(options.pool_segment_bytes, options.pool_segments) {
+  ZL_EXPECTS(options_.burst_frames >= 1);
+  ZL_EXPECTS(options_.max_ready_frames >= 1);
+  read_scratch_.resize(std::max<std::size_t>(options_.read_budget_bytes / 4,
+                                             4096));
+}
+
+SocketTransport::~SocketTransport() {
+  if (listener_) loop_.remove(listener_.get());
+  // Sessions unhook themselves from loop_ (still alive — declaration
+  // order) without invoking on_close.
+  sessions_.clear();
+}
+
+std::uint16_t SocketTransport::listen(std::uint16_t port) {
+  ZL_EXPECTS(!listener_);
+  std::uint16_t bound = 0;
+  listener_ = listen_tcp(port, options_.listen_backlog, &bound);
+  ZL_ENSURES(static_cast<bool>(listener_));
+  loop_.add(listener_.get(), EventLoop::kReadable,
+            [this](std::uint32_t) { accept_pending(); });
+  return bound;
+}
+
+void SocketTransport::accept_pending() {
+  for (;;) {
+    bool would_block = false;
+    Fd fd = accept_one(listener_.get(), &would_block);
+    if (!fd) {
+      // Drained (would_block) or a transient accept failure — either
+      // way this readiness round is done; level-triggered polling
+      // re-reports anything still pending.
+      return;
+    }
+    (void)would_block;
+    adopt(std::move(fd));
+    ++closed_totals_.sessions_accepted;
+  }
+}
+
+std::uint32_t SocketTransport::adopt(Fd fd) {
+  const std::uint32_t flow = next_flow_++;
+  SessionEnv env;
+  env.loop = &loop_;
+  env.pool = &pool_;
+  env.ready = &ready_;
+  env.read_scratch = &read_scratch_;
+  env.paused = &paused_;
+  env.on_close = [this](std::uint32_t f) { dead_flows_.push_back(f); };
+  env.max_frame_bytes = options_.max_frame_bytes;
+  env.max_outbound_bytes = options_.max_outbound_bytes;
+  env.read_budget_bytes = options_.read_budget_bytes;
+  env.max_ready_frames = options_.max_ready_frames;
+  sessions_.emplace(flow,
+                    std::make_unique<Session>(std::move(env), std::move(fd),
+                                              flow));
+  return flow;
+}
+
+std::uint32_t SocketTransport::connect(std::uint16_t port) {
+  Fd fd = connect_tcp(port);
+  if (!fd) return 0;
+  const std::uint32_t flow = adopt(std::move(fd));
+  ++closed_totals_.sessions_connected;
+  return flow;
+}
+
+int SocketTransport::poll(int timeout_ms) {
+  reap_closed();
+  const int dispatched = loop_.poll(timeout_ms);
+  reap_closed();
+  return dispatched;
+}
+
+void SocketTransport::reap_closed() {
+  if (dead_flows_.empty()) return;
+  for (const std::uint32_t flow : dead_flows_) {
+    const auto it = sessions_.find(flow);
+    if (it == sessions_.end()) continue;
+    Session* session = it->second.get();
+    const SessionStats s = session->stats();
+    closed_totals_.frames_rx += s.frames_rx;
+    closed_totals_.frames_tx += s.frames_tx;
+    closed_totals_.bytes_rx += s.bytes_rx;
+    closed_totals_.bytes_tx += s.bytes_tx;
+    closed_totals_.frames_dropped += s.frames_dropped;
+    closed_totals_.partial_writes += s.partial_writes;
+    closed_totals_.bytes_rebuffered += s.bytes_rebuffered;
+    ++closed_totals_.sessions_closed;
+    switch (s.close_reason) {
+      case CloseReason::local: ++closed_totals_.closed_local; break;
+      case CloseReason::peer_eof: ++closed_totals_.closed_peer_eof; break;
+      case CloseReason::peer_reset: ++closed_totals_.closed_peer_reset; break;
+      case CloseReason::protocol: ++closed_totals_.closed_protocol; break;
+      case CloseReason::io_error: ++closed_totals_.closed_io_error; break;
+      case CloseReason::none: break;  // unreachable: close() latches one
+    }
+    paused_.erase(std::remove(paused_.begin(), paused_.end(), session),
+                  paused_.end());
+    sessions_.erase(it);
+  }
+  dead_flows_.clear();
+}
+
+std::size_t SocketTransport::rx_burst(io::Burst& out) {
+  out.clear();
+  std::size_t delivered = 0;
+  while (delivered < options_.burst_frames && !ready_.empty()) {
+    ReadyFrame& f = ready_.front();
+    io::PacketMeta meta;
+    meta.flow = options_.flow_mode == FlowIdMode::per_session
+                    ? f.session_flow
+                    : f.header.flow;
+    meta.ether_type = gd::ether_type_for(f.header.type);
+    meta.process = true;
+    out.append_segment(f.header.type, f.header.syndrome, f.header.basis_id,
+                       {f.payload, f.payload_bytes}, f.segment, meta);
+    ready_.pop_front();
+    ++delivered;
+  }
+  // Hysteresis: resume paused sessions once the queue has real room, not
+  // at every single free slot (which would thrash pause/resume).
+  if (!paused_.empty() && ready_.size() <= options_.max_ready_frames / 2) {
+    for (Session* session : paused_) session->resume_rx();
+    paused_.clear();
+  }
+  return delivered;
+}
+
+bool SocketTransport::send_frame(std::uint32_t flow, const LinkHeader& header,
+                                 std::span<const std::uint8_t> payload) {
+  const auto it = sessions_.find(flow);
+  if (it == sessions_.end()) {
+    ++closed_totals_.frames_dropped;
+    return false;
+  }
+  return it->second->send_frame(header, payload);
+}
+
+void SocketTransport::close_session(std::uint32_t flow) {
+  const auto it = sessions_.find(flow);
+  if (it == sessions_.end()) return;
+  it->second->close(CloseReason::local);
+  reap_closed();
+}
+
+Session* SocketTransport::session(std::uint32_t flow) noexcept {
+  const auto it = sessions_.find(flow);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+TransportStats SocketTransport::stats() const {
+  TransportStats total = closed_totals_;
+  for (const auto& [flow, session] : sessions_) {
+    const SessionStats s = session->stats();
+    total.frames_rx += s.frames_rx;
+    total.frames_tx += s.frames_tx;
+    total.bytes_rx += s.bytes_rx;
+    total.bytes_tx += s.bytes_tx;
+    total.frames_dropped += s.frames_dropped;
+    total.partial_writes += s.partial_writes;
+    total.bytes_rebuffered += s.bytes_rebuffered;
+  }
+  return total;
+}
+
+}  // namespace zipline::netio

@@ -1,0 +1,226 @@
+// netio::SocketTransport — framed compressed-link sessions as a burst
+// backend.
+//
+// One transport owns one EventLoop, an optional listener, any number of
+// sessions (accepted or connected out), a BufferPool for frame payloads,
+// and the ready-frame queue between the socket side and the burst side:
+//
+//   sockets --readable--> Session rx --> FrameDecoder --> ready queue
+//        --> SocketSource::rx_burst --> zipline::Node --> SocketSink
+//        --> Session tx --> sockets
+//
+// SocketSource / SocketSink satisfy the duck-typed PacketSource /
+// PacketSink concepts (io/burst.hpp), so a Node serves live TCP sessions
+// through exactly the machinery that serves rings and pcap files —
+// steering, shared dictionaries, zero-copy splicing all unchanged. Frame
+// payloads live in pool segments from the moment the decoder assembles
+// them: rx_burst appends them with Burst::append_segment, every hop
+// downstream moves refs, and the bytes are touched exactly once more (by
+// the engine, or by the tx serialization into a session's outbound
+// queue).
+//
+// Flow identity: every session owns a transport-unique flow id (assigned
+// at accept/connect). FlowIdMode picks what rx stamps into PacketMeta:
+//   * per_session — the session's own id. The edge listener shape: each
+//     client connection is one flow, whatever the peer claims.
+//   * from_header — the frame's link-header flow. The multiplexed-trunk
+//     shape: many flows ride one session (the WAN link between an
+//     encode/decode proxy pair) and keep their identity.
+// On tx, SocketSink routes each packet to the session owning meta.flow
+// (by_flow) or pushes everything onto one designated session (single —
+// the uplink), writing meta.flow into the link header either way.
+//
+// The driving loop (one thread): poll() pumps readiness once;
+// io::Runner's idle-hook overload calls it whenever rx_burst reports
+// empty, so the loop BLOCKS in epoll_wait when nothing is in flight
+// instead of spinning. wake()/request_stop() are the only thread-safe
+// entry points — everything else stays on the loop thread.
+//
+// Lifetime: bursts filled by rx_burst hold refs into this transport's
+// pool; drop or clear them before the transport dies (the BufferPool
+// contract).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "io/buffer_pool.hpp"
+#include "io/burst.hpp"
+#include "netio/event_loop.hpp"
+#include "netio/session.hpp"
+
+namespace zipline::netio {
+
+enum class FlowIdMode : std::uint8_t { per_session, from_header };
+
+struct TransportOptions {
+  LoopBackend backend = default_backend();
+  FlowIdMode flow_mode = FlowIdMode::per_session;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Per-session outbound byte ceiling (drop-and-count beyond it).
+  std::size_t max_outbound_bytes = 4u << 20;
+  std::size_t read_budget_bytes = 256u << 10;
+  /// Ready-frame ceiling; reaching it pauses session reads (TCP
+  /// backpressure), draining below half resumes them.
+  std::size_t max_ready_frames = 8192;
+  /// Frames delivered per rx_burst call.
+  std::size_t burst_frames = 256;
+  std::size_t pool_segment_bytes = 16u << 10;
+  std::size_t pool_segments = 1024;
+  int listen_backlog = 1024;
+};
+
+/// Aggregate over every session this transport ever carried: live
+/// sessions contribute their current counters, closed ones their final
+/// tally (latched at close).
+struct TransportStats {
+  std::uint64_t sessions_accepted = 0;
+  std::uint64_t sessions_connected = 0;
+  std::uint64_t sessions_closed = 0;
+  // Close reasons (sum == sessions_closed).
+  std::uint64_t closed_local = 0;
+  std::uint64_t closed_peer_eof = 0;
+  std::uint64_t closed_peer_reset = 0;
+  std::uint64_t closed_protocol = 0;
+  std::uint64_t closed_io_error = 0;
+  std::uint64_t frames_rx = 0;
+  std::uint64_t frames_tx = 0;
+  std::uint64_t bytes_rx = 0;
+  std::uint64_t bytes_tx = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t partial_writes = 0;
+  std::uint64_t bytes_rebuffered = 0;
+};
+
+class SocketTransport {
+ public:
+  explicit SocketTransport(TransportOptions options = {});
+  ~SocketTransport();
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  /// Starts accepting on a loopback port (0 = kernel-assigned). Returns
+  /// the bound port. One listener per transport.
+  std::uint16_t listen(std::uint16_t port = 0);
+
+  /// Opens an outbound session to a loopback port. Returns its flow id,
+  /// or 0 on connection failure (flow ids start at 1).
+  std::uint32_t connect(std::uint16_t port);
+
+  /// Pumps readiness once: accepts, reads (filling the ready queue),
+  /// resumes writes. Blocks up to timeout_ms (-1 = until ready/wake).
+  /// Returns the number of event callbacks dispatched.
+  int poll(int timeout_ms);
+
+  /// Thread-safe: unblocks a concurrent/next poll().
+  void wake() noexcept { loop_.wake(); }
+  /// Thread-safe stop flag + wake; the driving loop observes
+  /// stop_requested() from its idle hook and exits.
+  void request_stop() noexcept {
+    stop_.store(true, std::memory_order_release);
+    loop_.wake();
+  }
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  /// PacketSource face (SocketSource forwards here): drains up to
+  /// burst_frames ready frames into `out` as segment-backed packets.
+  std::size_t rx_burst(io::Burst& out);
+
+  /// Frames `payload` (link header carrying `header`) onto the session
+  /// owning `flow`. False = dropped and counted (unknown/closed session,
+  /// or its outbound queue is full).
+  bool send_frame(std::uint32_t flow, const LinkHeader& header,
+                  std::span<const std::uint8_t> payload);
+
+  /// Closes one session locally (graceful teardown, counted as
+  /// closed_local). No-op on unknown flows.
+  void close_session(std::uint32_t flow);
+
+  [[nodiscard]] Session* session(std::uint32_t flow) noexcept;
+  [[nodiscard]] std::size_t session_count() const noexcept {
+    return sessions_.size();
+  }
+  [[nodiscard]] std::size_t ready_frames() const noexcept {
+    return ready_.size();
+  }
+  [[nodiscard]] TransportStats stats() const;
+  [[nodiscard]] io::BufferPool& pool() noexcept { return pool_; }
+  [[nodiscard]] EventLoop& loop() noexcept { return loop_; }
+  [[nodiscard]] const TransportOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  void accept_pending();
+  std::uint32_t adopt(Fd fd);
+  void reap_closed();
+
+  TransportOptions options_;
+  EventLoop loop_;          // declared before anything that unhooks from it
+  io::BufferPool pool_;     // declared before anything holding SegmentRefs
+  std::vector<std::uint8_t> read_scratch_;
+  std::deque<ReadyFrame> ready_;
+  std::vector<Session*> paused_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<Session>> sessions_;
+  Fd listener_;
+  std::vector<std::uint32_t> dead_flows_;
+  std::uint32_t next_flow_ = 1;
+  std::atomic<bool> stop_{false};
+  TransportStats closed_totals_;  ///< latched stats of reaped sessions
+};
+
+/// PacketSource face of a transport, for io::Runner / Node plumbing.
+class SocketSource {
+ public:
+  explicit SocketSource(SocketTransport& transport)
+      : transport_(&transport) {}
+  std::size_t rx_burst(io::Burst& out) { return transport_->rx_burst(out); }
+
+ private:
+  SocketTransport* transport_;
+};
+
+/// PacketSink face: frames every packet of a burst onto sessions. The
+/// default routes each packet to the session owning meta.flow; the
+/// uplink form pushes everything onto one session (the multiplexed trunk
+/// of a proxy pair), preserving per-packet flow ids in the link header.
+class SocketSink {
+ public:
+  explicit SocketSink(SocketTransport& transport) : transport_(&transport) {}
+  SocketSink(SocketTransport& transport, std::uint32_t uplink_flow)
+      : transport_(&transport), uplink_(uplink_flow) {}
+
+  void tx_burst(const io::Burst& burst) {
+    for (std::size_t i = 0; i < burst.size(); ++i) {
+      const engine::PacketDesc& d = burst.desc(i);
+      LinkHeader header;
+      header.type = d.type;
+      header.flow = burst.meta(i).flow;
+      header.syndrome = d.syndrome;
+      header.basis_id = d.basis_id;
+      const std::uint32_t to = uplink_.value_or(header.flow);
+      if (!transport_->send_frame(to, header, burst.payload(i))) {
+        ++dropped_frames_;
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t dropped_frames() const noexcept {
+    return dropped_frames_;
+  }
+
+ private:
+  SocketTransport* transport_;
+  std::optional<std::uint32_t> uplink_;
+  std::uint64_t dropped_frames_ = 0;
+};
+
+}  // namespace zipline::netio
