@@ -28,6 +28,13 @@ inline const char* simd_kernel_name() {
   return simd::level_name(simd::level()).data();
 }
 
+/// Name of the level that was REQUESTED (env override or CPU probe)
+/// before clamping — differs from simd_kernel_name() exactly when the
+/// request was clamped down (e.g. avx512 forced on a non-AVX-512 build).
+inline const char* simd_requested_name() {
+  return simd::level_name(simd::requested()).data();
+}
+
 /// Exits (code 2) when this is a debug build, unless
 /// ZIPLINE_BENCH_ALLOW_DEBUG is set — in which case it warns loudly and
 /// the caller's JSON carries "zipline_build_type": "debug", which the CI

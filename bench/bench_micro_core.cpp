@@ -300,6 +300,125 @@ void BM_GdInverseTransform(benchmark::State& state) {
 }
 BENCHMARK(BM_GdInverseTransform);
 
+// --- transform fast path ---------------------------------------------------
+// Block-of-chunks vs chunk-at-a-time over one unit of range(0) chunks.
+// The *ChunkAtATime rows are the FROZEN baseline: the exact per-chunk
+// forward_into/inverse_into loop the engine ran before the block kernels
+// landed — keep them so the block rows' speedup stays measurable
+// PR-over-PR. Both paths are byte-identical at every kernel level
+// (tests/transform_block_test.cpp).
+
+void BM_TransformForwardChunkAtATime(benchmark::State& state) {
+  const gd::GdTransform transform{gd::GdParams{}};
+  const auto count = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<std::uint8_t> payload(count * 32);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+  std::vector<gd::TransformedChunk> out(count);
+  bits::BitVector chunk;
+  bits::BitVector word;
+  for (auto _ : state) {
+    for (std::size_t c = 0; c < count; ++c) {
+      chunk.assign_from_bytes({payload.data() + c * 32, 32}, 256);
+      transform.forward_into(chunk, out[c], word);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_TransformForwardChunkAtATime)->Arg(8)->Arg(64);
+
+void BM_TransformForwardBlock(benchmark::State& state) {
+  const gd::GdTransform transform{gd::GdParams{}};
+  const auto count = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<std::uint8_t> payload(count * 32);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_u64());
+  std::vector<gd::TransformedChunk> out(count);
+  gd::TransformBlockScratch scratch;
+  for (auto _ : state) {
+    transform.forward_block(payload, count, out, scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_TransformForwardBlock)->Arg(8)->Arg(64);
+
+void BM_TransformInverseChunkAtATime(benchmark::State& state) {
+  const gd::GdTransform transform{gd::GdParams{}};
+  const auto count = static_cast<std::size_t>(state.range(0));
+  Rng rng(12);
+  std::vector<gd::TransformedChunk> triples(count);
+  for (auto& t : triples) t = transform.forward(random_bits(rng, 256));
+  bits::BitVector out;
+  bits::BitVector word;
+  for (auto _ : state) {
+    for (std::size_t c = 0; c < count; ++c) {
+      transform.inverse_into(triples[c].excess, triples[c].basis,
+                             triples[c].syndrome, out, word);
+      benchmark::DoNotOptimize(out.size());
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count * 32));
+}
+BENCHMARK(BM_TransformInverseChunkAtATime)->Arg(8)->Arg(64);
+
+void BM_TransformInverseBlock(benchmark::State& state) {
+  const gd::GdTransform transform{gd::GdParams{}};
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = transform.params().n();
+  Rng rng(12);
+  std::vector<gd::TransformedChunk> triples(count);
+  for (auto& t : triples) t = transform.forward(random_bits(rng, 256));
+  gd::TransformBlockScratch scratch;
+  bits::BitVector out;
+  for (auto _ : state) {
+    // The decode_emit sequence: reserve, stage every row, one expand
+    // batch, then compose each chunk from its plane row + excess.
+    transform.inverse_block_reserve(count, scratch);
+    for (std::size_t c = 0; c < count; ++c) {
+      transform.inverse_block_stage(scratch, c, triples[c].basis,
+                                    triples[c].syndrome);
+    }
+    transform.inverse_block_expand(scratch, count);
+    for (std::size_t c = 0; c < count; ++c) {
+      out.assign_from_words(transform.chunk_row(scratch, c), 256);
+      out.accumulate_shifted(triples[c].excess, n);
+      benchmark::DoNotOptimize(out.size());
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count * 32));
+}
+BENCHMARK(BM_TransformInverseBlock)->Arg(8)->Arg(64);
+
+// The raw kernel behind the block transform: one compute_block call folds
+// range(0) 255-bit rows as interleaved streams. Compare bytes/s against
+// BM_SyndromeCrc255 (the single-stream fold, one row per call) — the gap
+// is what the multi-stream interleave buys on this host.
+void BM_SyndromeCrcMultiStream(benchmark::State& state) {
+  const crc::SyndromeCrc crc(crc::Gf2Poly(0x11D), 255);
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const std::size_t stride = 4;  // 255 bits = 4 words, fold reads them all
+  Rng rng(13);
+  std::vector<std::uint64_t> plane(count * stride + 8);
+  for (auto& w : plane) w = rng.next_u64();
+  for (std::size_t c = 0; c < count; ++c) {
+    plane[c * stride + 3] &= ~(std::uint64_t{1} << 63);  // trim to 255 bits
+  }
+  std::vector<std::uint32_t> out(count);
+  for (auto _ : state) {
+    crc.compute_block(plane.data(), stride, count, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count * 32));
+}
+BENCHMARK(BM_SyndromeCrcMultiStream)->Arg(8)->Arg(64);
+
 void BM_EncoderHitPath(benchmark::State& state) {
   gd::GdEncoder encoder{gd::GdParams{}};
   Rng rng(4);
@@ -704,6 +823,8 @@ void BM_PipelineShardTurnstile(benchmark::State& state) {
       per_iter(stats.turnstile_waits, warm.turnstile_waits);
   state.counters["stripe_acquisitions"] =
       per_iter(stats.stripe_acquisitions, warm.stripe_acquisitions);
+  state.counters["prefetched_probes"] =
+      per_iter(stats.prefetched_probes, warm.prefetched_probes);
 }
 BENCHMARK(BM_PipelineShardTurnstile)
     ->ArgName("overlap")
@@ -917,6 +1038,8 @@ int main(int argc, char** argv) {
                               zipline::bench::build_type());
   benchmark::AddCustomContext("zipline_simd_kernel",
                               zipline::bench::simd_kernel_name());
+  benchmark::AddCustomContext("zipline_simd_requested",
+                              zipline::bench::simd_requested_name());
   std::vector<char*> args(argv, argv + argc);
   std::string out_flag = "--benchmark_out=BENCH_micro_core.json";
   std::string fmt_flag = "--benchmark_out_format=json";

@@ -40,6 +40,16 @@ std::uint32_t crc_fold_scalar(const std::array<std::uint32_t, 256>* tables,
   return acc;
 }
 
+void crc_fold_multi_scalar(const std::array<std::uint32_t, 256>* tables,
+                           const std::uint64_t* plane, std::size_t stride,
+                           std::size_t groups, std::uint32_t* out,
+                           std::size_t count) {
+  // The reference IS the specification: one serial fold per row.
+  for (std::size_t c = 0; c < count; ++c) {
+    out[c] = crc_fold_scalar(tables, plane + c * stride, groups);
+  }
+}
+
 void pack_scalar(std::uint8_t* dst, const std::uint64_t* words,
                  std::size_t n) {
   for (std::size_t j = 0; j < n; ++j) {
@@ -57,8 +67,109 @@ void unpack_scalar(std::uint64_t* words, const std::uint8_t* src,
   }
 }
 
-constexpr KernelTable kScalarTable{KernelLevel::scalar, crc_fold_scalar,
-                                   pack_scalar, unpack_scalar};
+void block_shr_scalar(std::uint64_t* dst, std::size_t dst_stride,
+                      const std::uint64_t* src, std::size_t src_stride,
+                      std::size_t count, unsigned shift,
+                      std::size_t src_words, std::size_t dst_words,
+                      std::uint64_t top_mask) {
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::uint64_t* s = src + c * src_stride;
+    std::uint64_t* d = dst + c * dst_stride;
+    for (std::size_t w = 0; w < dst_words; ++w) {
+      const std::uint64_t lo = w < src_words ? s[w] : 0;
+      const std::uint64_t hi = (w + 1) < src_words ? s[w + 1] : 0;
+      d[w] = (lo >> shift) | (hi << (64 - shift));
+    }
+    d[dst_words - 1] &= top_mask;
+  }
+}
+
+void block_shl_scalar(std::uint64_t* dst, std::size_t dst_stride,
+                      const std::uint64_t* src, std::size_t src_stride,
+                      std::size_t count, unsigned shift,
+                      std::size_t src_words, std::size_t dst_words,
+                      std::uint64_t top_mask) {
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::uint64_t* s = src + c * src_stride;
+    std::uint64_t* d = dst + c * dst_stride;
+    for (std::size_t w = 0; w < dst_words; ++w) {
+      const std::uint64_t lo = w < src_words ? s[w] : 0;
+      const std::uint64_t below = (w >= 1 && (w - 1) < src_words) ? s[w - 1] : 0;
+      d[w] = (lo << shift) | (below >> (64 - shift));
+    }
+    d[dst_words - 1] &= top_mask;
+  }
+}
+
+constexpr std::array<KernelLevel, kKernelSlotCount> all_slots(
+    KernelLevel level) noexcept {
+  return {level, level, level, level, level, level};
+}
+
+constexpr KernelTable kScalarTable{KernelLevel::scalar,
+                                   crc_fold_scalar,
+                                   crc_fold_multi_scalar,
+                                   pack_scalar,
+                                   unpack_scalar,
+                                   block_shr_scalar,
+                                   block_shl_scalar,
+                                   all_slots(KernelLevel::scalar)};
+
+#if defined(ZIPLINE_SIMD_X86) || defined(ZIPLINE_SIMD_NEON)
+
+// Four independent syndrome chains interleaved per table group (plain C —
+// shared by the sse42 and neon tiers, which have no gather): the four
+// accumulators issue their 32 table loads back to back, so each chain's
+// loads fill the latency shadow of the other three. XOR is associative
+// and commutative, so the result is bit-identical to the serial fold.
+void crc_fold_multi_streams4(const std::array<std::uint32_t, 256>* tables,
+                             const std::uint64_t* plane, std::size_t stride,
+                             std::size_t groups, std::uint32_t* out,
+                             std::size_t count) {
+  std::size_t c = 0;
+  for (; c + 4 <= count; c += 4) {
+    const std::uint64_t* r0 = plane + c * stride;
+    const std::uint64_t* r1 = r0 + stride;
+    const std::uint64_t* r2 = r1 + stride;
+    const std::uint64_t* r3 = r2 + stride;
+    std::uint32_t a0 = 0;
+    std::uint32_t a1 = 0;
+    std::uint32_t a2 = 0;
+    std::uint32_t a3 = 0;
+    for (std::size_t g = 0; g < groups; ++g) {
+      const auto* t = tables + 8 * g;
+      const std::uint64_t w0 = r0[g];
+      const std::uint64_t w1 = r1[g];
+      const std::uint64_t w2 = r2[g];
+      const std::uint64_t w3 = r3[g];
+      a0 ^= t[0][w0 & 0xFF] ^ t[1][(w0 >> 8) & 0xFF] ^
+            t[2][(w0 >> 16) & 0xFF] ^ t[3][(w0 >> 24) & 0xFF] ^
+            t[4][(w0 >> 32) & 0xFF] ^ t[5][(w0 >> 40) & 0xFF] ^
+            t[6][(w0 >> 48) & 0xFF] ^ t[7][(w0 >> 56) & 0xFF];
+      a1 ^= t[0][w1 & 0xFF] ^ t[1][(w1 >> 8) & 0xFF] ^
+            t[2][(w1 >> 16) & 0xFF] ^ t[3][(w1 >> 24) & 0xFF] ^
+            t[4][(w1 >> 32) & 0xFF] ^ t[5][(w1 >> 40) & 0xFF] ^
+            t[6][(w1 >> 48) & 0xFF] ^ t[7][(w1 >> 56) & 0xFF];
+      a2 ^= t[0][w2 & 0xFF] ^ t[1][(w2 >> 8) & 0xFF] ^
+            t[2][(w2 >> 16) & 0xFF] ^ t[3][(w2 >> 24) & 0xFF] ^
+            t[4][(w2 >> 32) & 0xFF] ^ t[5][(w2 >> 40) & 0xFF] ^
+            t[6][(w2 >> 48) & 0xFF] ^ t[7][(w2 >> 56) & 0xFF];
+      a3 ^= t[0][w3 & 0xFF] ^ t[1][(w3 >> 8) & 0xFF] ^
+            t[2][(w3 >> 16) & 0xFF] ^ t[3][(w3 >> 24) & 0xFF] ^
+            t[4][(w3 >> 32) & 0xFF] ^ t[5][(w3 >> 40) & 0xFF] ^
+            t[6][(w3 >> 48) & 0xFF] ^ t[7][(w3 >> 56) & 0xFF];
+    }
+    out[c] = a0;
+    out[c + 1] = a1;
+    out[c + 2] = a2;
+    out[c + 3] = a3;
+  }
+  for (; c < count; ++c) {
+    out[c] = crc_fold_scalar(tables, plane + c * stride, groups);
+  }
+}
+
+#endif  // x86 or neon
 
 #if defined(ZIPLINE_SIMD_X86)
 
@@ -67,7 +178,9 @@ constexpr KernelTable kScalarTable{KernelLevel::scalar, crc_fold_scalar,
 // widened to two words per iteration on independent accumulator chains;
 // the pack/unpack kernels move 16 bytes per iteration through PSHUFB (a
 // full 16-byte reverse handles both the per-word byteswap and the
-// high-word-first wire order in one shuffle).
+// high-word-first wire order in one shuffle). The block shift kernels stay
+// scalar at this tier (recorded in slot_levels): a funnel shift across
+// 64-bit lanes buys nothing at 128 bits wide.
 // ---------------------------------------------------------------------------
 
 std::uint32_t crc_fold_sse42(const std::array<std::uint32_t, 256>* tables,
@@ -125,8 +238,16 @@ void unpack_sse42(std::uint64_t* words, const std::uint8_t* src,
   if (j < n) unpack_scalar(words, src + 8 * j, n - j);
 }
 
-constexpr KernelTable kSse42Table{KernelLevel::sse42, crc_fold_sse42,
-                                  pack_sse42, unpack_sse42};
+constexpr KernelTable kSse42Table{
+    KernelLevel::sse42,
+    crc_fold_sse42,
+    crc_fold_multi_streams4,
+    pack_sse42,
+    unpack_sse42,
+    block_shr_scalar,
+    block_shl_scalar,
+    {KernelLevel::sse42, KernelLevel::sse42, KernelLevel::sse42,
+     KernelLevel::sse42, KernelLevel::scalar, KernelLevel::scalar}};
 
 // ---------------------------------------------------------------------------
 // avx2 tier. The fold becomes one VPGATHERDD per input word: the eight
@@ -134,8 +255,20 @@ constexpr KernelTable kSse42Table{KernelLevel::sse42, crc_fold_sse42,
 // number (tables are contiguous 256-entry blocks, so table j starts at
 // element 256*j), gathered in one instruction and XORed into a 256-bit
 // accumulator. Two words per iteration on independent accumulator chains
-// hide the gather latency; the eight lanes reduce once at the end.
+// hide the gather latency; the eight lanes reduce once at the end. The
+// multi-stream fold walks two rows at once, one gather per (row, group).
+// Block shifts stay scalar here too — AVX2 has no cheap 64-bit cross-lane
+// funnel (VALIGNQ and VPTERNLOG arrive with AVX-512).
 // ---------------------------------------------------------------------------
+
+__attribute__((target("avx2")))
+std::uint32_t xor_reduce_avx2(__m256i acc) {
+  __m128i r = _mm_xor_si128(_mm256_castsi256_si128(acc),
+                            _mm256_extracti128_si256(acc, 1));
+  r = _mm_xor_si128(r, _mm_shuffle_epi32(r, _MM_SHUFFLE(1, 0, 3, 2)));
+  r = _mm_xor_si128(r, _mm_shuffle_epi32(r, _MM_SHUFFLE(2, 3, 0, 1)));
+  return static_cast<std::uint32_t>(_mm_cvtsi128_si32(r));
+}
 
 __attribute__((target("avx2")))
 std::uint32_t crc_fold_avx2(const std::array<std::uint32_t, 256>* tables,
@@ -167,12 +300,41 @@ std::uint32_t crc_fold_avx2(const std::array<std::uint32_t, 256>* tables,
     const int* base = reinterpret_cast<const int*>((tables + 8 * g)->data());
     acc0 = _mm256_xor_si256(acc0, _mm256_i32gather_epi32(base, idx, 4));
   }
-  const __m256i acc = _mm256_xor_si256(acc0, acc1);
-  __m128i r = _mm_xor_si128(_mm256_castsi256_si128(acc),
-                            _mm256_extracti128_si256(acc, 1));
-  r = _mm_xor_si128(r, _mm_shuffle_epi32(r, _MM_SHUFFLE(1, 0, 3, 2)));
-  r = _mm_xor_si128(r, _mm_shuffle_epi32(r, _MM_SHUFFLE(2, 3, 0, 1)));
-  return static_cast<std::uint32_t>(_mm_cvtsi128_si32(r));
+  return xor_reduce_avx2(_mm256_xor_si256(acc0, acc1));
+}
+
+__attribute__((target("avx2")))
+void crc_fold_multi_avx2(const std::array<std::uint32_t, 256>* tables,
+                         const std::uint64_t* plane, std::size_t stride,
+                         std::size_t groups, std::uint32_t* out,
+                         std::size_t count) {
+  const __m256i lane_offsets =
+      _mm256_setr_epi32(0, 256, 512, 768, 1024, 1280, 1536, 1792);
+  std::size_t c = 0;
+  for (; c + 2 <= count; c += 2) {
+    const std::uint64_t* r0 = plane + c * stride;
+    const std::uint64_t* r1 = r0 + stride;
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    for (std::size_t g = 0; g < groups; ++g) {
+      const int* base = reinterpret_cast<const int*>((tables + 8 * g)->data());
+      const __m256i idx0 = _mm256_add_epi32(
+          _mm256_cvtepu8_epi32(
+              _mm_loadl_epi64(reinterpret_cast<const __m128i*>(r0 + g))),
+          lane_offsets);
+      const __m256i idx1 = _mm256_add_epi32(
+          _mm256_cvtepu8_epi32(
+              _mm_loadl_epi64(reinterpret_cast<const __m128i*>(r1 + g))),
+          lane_offsets);
+      acc0 = _mm256_xor_si256(acc0, _mm256_i32gather_epi32(base, idx0, 4));
+      acc1 = _mm256_xor_si256(acc1, _mm256_i32gather_epi32(base, idx1, 4));
+    }
+    out[c] = xor_reduce_avx2(acc0);
+    out[c + 1] = xor_reduce_avx2(acc1);
+  }
+  for (; c < count; ++c) {
+    out[c] = crc_fold_avx2(tables, plane + c * stride, groups);
+  }
 }
 
 __attribute__((target("avx2")))
@@ -210,8 +372,283 @@ void unpack_avx2(std::uint64_t* words, const std::uint8_t* src,
   if (j < n) unpack_scalar(words, src + 8 * j, n - j);
 }
 
-constexpr KernelTable kAvx2Table{KernelLevel::avx2, crc_fold_avx2, pack_avx2,
-                                 unpack_avx2};
+constexpr KernelTable kAvx2Table{
+    KernelLevel::avx2,
+    crc_fold_avx2,
+    crc_fold_multi_avx2,
+    pack_avx2,
+    unpack_avx2,
+    block_shr_scalar,
+    block_shl_scalar,
+    {KernelLevel::avx2, KernelLevel::avx2, KernelLevel::avx2,
+     KernelLevel::avx2, KernelLevel::scalar, KernelLevel::scalar}};
+
+// ---------------------------------------------------------------------------
+// avx512 tier (gated on F+BW — every intrinsic below needs only those).
+// The fold steps TWO table groups per iteration: 16 byte lanes (two words)
+// zero-extend to one 512-bit index vector, one VPGATHERDD serves both
+// groups. The multi-stream fold flips the packing — 16 lanes = the same
+// group of two DIFFERENT rows — so four rows fly per iteration on two
+// accumulators. Pack/unpack do a full 64-byte reverse as VPSHUFB (per-
+// qword byteswap) + VPERMQ (qword reversal). The block funnel shifts are
+// where AVX-512 earns the tier: VALIGNQ supplies each lane's neighbour
+// word, VPTERNLOG fuses (lo | hi) & top_mask into one op, and masked
+// loads/stores fault-suppress the ragged row edges — one vector op chain
+// per row instead of a word loop.
+// ---------------------------------------------------------------------------
+
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC 12 reports _mm512_undefined_epi32's self-init as (maybe-)uninitialized
+// when AVX-512 intrinsics inline into user code (GCC PR105593). The vector
+// is a genuine don't-care passthrough; silence just this section.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+__attribute__((target("avx512f,avx512bw")))
+std::uint32_t xor_reduce_avx512(__m512i acc) {
+  const __m256i folded = _mm256_xor_si256(_mm512_castsi512_si256(acc),
+                                          _mm512_extracti64x4_epi64(acc, 1));
+  __m128i r = _mm_xor_si128(_mm256_castsi256_si128(folded),
+                            _mm256_extracti128_si256(folded, 1));
+  r = _mm_xor_si128(r, _mm_shuffle_epi32(r, _MM_SHUFFLE(1, 0, 3, 2)));
+  r = _mm_xor_si128(r, _mm_shuffle_epi32(r, _MM_SHUFFLE(2, 3, 0, 1)));
+  return static_cast<std::uint32_t>(_mm_cvtsi128_si32(r));
+}
+
+// XOR-reduce each 256-bit half separately: lanes 0-7 -> first result,
+// lanes 8-15 -> second (the two-rows-per-vector multi-fold layout).
+__attribute__((target("avx512f,avx512bw")))
+void xor_reduce_avx512_halves(__m512i acc, std::uint32_t* lo,
+                              std::uint32_t* hi) {
+  __m128i a = _mm_xor_si128(
+      _mm512_castsi512_si128(acc),
+      _mm256_extracti128_si256(_mm512_castsi512_si256(acc), 1));
+  a = _mm_xor_si128(a, _mm_shuffle_epi32(a, _MM_SHUFFLE(1, 0, 3, 2)));
+  a = _mm_xor_si128(a, _mm_shuffle_epi32(a, _MM_SHUFFLE(2, 3, 0, 1)));
+  *lo = static_cast<std::uint32_t>(_mm_cvtsi128_si32(a));
+  const __m256i upper = _mm512_extracti64x4_epi64(acc, 1);
+  __m128i b = _mm_xor_si128(_mm256_castsi256_si128(upper),
+                            _mm256_extracti128_si256(upper, 1));
+  b = _mm_xor_si128(b, _mm_shuffle_epi32(b, _MM_SHUFFLE(1, 0, 3, 2)));
+  b = _mm_xor_si128(b, _mm_shuffle_epi32(b, _MM_SHUFFLE(2, 3, 0, 1)));
+  *hi = static_cast<std::uint32_t>(_mm_cvtsi128_si32(b));
+}
+
+__attribute__((target("avx512f,avx512bw")))
+std::uint32_t crc_fold_avx512(const std::array<std::uint32_t, 256>* tables,
+                              const std::uint64_t* words,
+                              std::size_t groups) {
+  // Lanes 0-7 index group g's tables (offsets 0..1792), lanes 8-15 group
+  // g+1's (2048..3840) — both against table block g's base.
+  const __m512i lane_offsets = _mm512_setr_epi32(
+      0, 256, 512, 768, 1024, 1280, 1536, 1792,  //
+      2048, 2304, 2560, 2816, 3072, 3328, 3584, 3840);
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t g = 0;
+  for (; g + 2 <= groups; g += 2) {
+    const __m512i idx = _mm512_add_epi32(
+        _mm512_cvtepu8_epi32(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(words + g))),
+        lane_offsets);
+    const int* base = reinterpret_cast<const int*>((tables + 8 * g)->data());
+    acc = _mm512_xor_si512(acc, _mm512_i32gather_epi32(idx, base, 4));
+  }
+  std::uint32_t r = xor_reduce_avx512(acc);
+  if (g < groups) {
+    r ^= crc_fold_scalar(tables + 8 * g, words + g, groups - g);
+  }
+  return r;
+}
+
+__attribute__((target("avx512f,avx512bw")))
+void crc_fold_multi_avx512(const std::array<std::uint32_t, 256>* tables,
+                           const std::uint64_t* plane, std::size_t stride,
+                           std::size_t groups, std::uint32_t* out,
+                           std::size_t count) {
+  // Lanes 0-7 and 8-15 hold the SAME group of two different rows, so both
+  // halves share one offset pattern and one table base per gather.
+  const __m512i pair_offsets = _mm512_setr_epi32(
+      0, 256, 512, 768, 1024, 1280, 1536, 1792,  //
+      0, 256, 512, 768, 1024, 1280, 1536, 1792);
+  std::size_t c = 0;
+  for (; c + 4 <= count; c += 4) {
+    const std::uint64_t* r0 = plane + c * stride;
+    const std::uint64_t* r1 = r0 + stride;
+    const std::uint64_t* r2 = r1 + stride;
+    const std::uint64_t* r3 = r2 + stride;
+    __m512i acc01 = _mm512_setzero_si512();
+    __m512i acc23 = _mm512_setzero_si512();
+    for (std::size_t g = 0; g < groups; ++g) {
+      const int* base = reinterpret_cast<const int*>((tables + 8 * g)->data());
+      const __m512i idx01 = _mm512_add_epi32(
+          _mm512_cvtepu8_epi32(_mm_set_epi64x(
+              static_cast<long long>(r1[g]), static_cast<long long>(r0[g]))),
+          pair_offsets);
+      const __m512i idx23 = _mm512_add_epi32(
+          _mm512_cvtepu8_epi32(_mm_set_epi64x(
+              static_cast<long long>(r3[g]), static_cast<long long>(r2[g]))),
+          pair_offsets);
+      acc01 = _mm512_xor_si512(acc01, _mm512_i32gather_epi32(idx01, base, 4));
+      acc23 = _mm512_xor_si512(acc23, _mm512_i32gather_epi32(idx23, base, 4));
+    }
+    xor_reduce_avx512_halves(acc01, out + c, out + c + 1);
+    xor_reduce_avx512_halves(acc23, out + c + 2, out + c + 3);
+  }
+  for (; c + 2 <= count; c += 2) {
+    const std::uint64_t* r0 = plane + c * stride;
+    const std::uint64_t* r1 = r0 + stride;
+    __m512i acc = _mm512_setzero_si512();
+    for (std::size_t g = 0; g < groups; ++g) {
+      const int* base = reinterpret_cast<const int*>((tables + 8 * g)->data());
+      const __m512i idx = _mm512_add_epi32(
+          _mm512_cvtepu8_epi32(_mm_set_epi64x(
+              static_cast<long long>(r1[g]), static_cast<long long>(r0[g]))),
+          pair_offsets);
+      acc = _mm512_xor_si512(acc, _mm512_i32gather_epi32(idx, base, 4));
+    }
+    xor_reduce_avx512_halves(acc, out + c, out + c + 1);
+  }
+  if (c < count) {
+    out[c] = crc_fold_avx512(tables, plane + c * stride, groups);
+  }
+}
+
+__attribute__((target("avx512f,avx512bw")))
+void pack_avx512(std::uint8_t* dst, const std::uint64_t* words,
+                 std::size_t n) {
+  // Full 64-byte reverse in two ops: VPSHUFB byteswaps within each qword
+  // (the [7..0, 15..8] pattern per 128-bit lane), VPERMQ reverses the
+  // eight qwords — together, words come out high-word-first in wire order.
+  const __m512i bswap_qwords = _mm512_broadcast_i32x4(
+      _mm_setr_epi8(7, 6, 5, 4, 3, 2, 1, 0, 15, 14, 13, 12, 11, 10, 9, 8));
+  const __m512i reverse_qwords = _mm512_setr_epi64(7, 6, 5, 4, 3, 2, 1, 0);
+  const __m256i reverse_lane = _mm256_setr_epi8(
+      15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0,  //
+      15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0);
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m512i v = _mm512_loadu_si512(words + (n - 8 - j));
+    v = _mm512_shuffle_epi8(v, bswap_qwords);
+    v = _mm512_permutexvar_epi64(reverse_qwords, v);
+    _mm512_storeu_si512(dst + 8 * j, v);
+  }
+  for (; j + 4 <= n; j += 4) {
+    __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(words + (n - 4 - j)));
+    v = _mm256_shuffle_epi8(v, reverse_lane);
+    v = _mm256_permute2x128_si256(v, v, 1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 8 * j), v);
+  }
+  if (j < n) pack_scalar(dst + 8 * j, words, n - j);
+}
+
+__attribute__((target("avx512f,avx512bw")))
+void unpack_avx512(std::uint64_t* words, const std::uint8_t* src,
+                   std::size_t n) {
+  const __m512i bswap_qwords = _mm512_broadcast_i32x4(
+      _mm_setr_epi8(7, 6, 5, 4, 3, 2, 1, 0, 15, 14, 13, 12, 11, 10, 9, 8));
+  const __m512i reverse_qwords = _mm512_setr_epi64(7, 6, 5, 4, 3, 2, 1, 0);
+  const __m256i reverse_lane = _mm256_setr_epi8(
+      15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0,  //
+      15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0);
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m512i v = _mm512_loadu_si512(src + 8 * j);
+    v = _mm512_shuffle_epi8(v, bswap_qwords);
+    v = _mm512_permutexvar_epi64(reverse_qwords, v);
+    _mm512_storeu_si512(words + (n - 8 - j), v);
+  }
+  for (; j + 4 <= n; j += 4) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + 8 * j));
+    v = _mm256_shuffle_epi8(v, reverse_lane);
+    v = _mm256_permute2x128_si256(v, v, 1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(words + (n - 4 - j)), v);
+  }
+  if (j < n) unpack_scalar(words, src + 8 * j, n - j);
+}
+
+__attribute__((target("avx512f,avx512bw")))
+void block_shr_avx512(std::uint64_t* dst, std::size_t dst_stride,
+                      const std::uint64_t* src, std::size_t src_stride,
+                      std::size_t count, unsigned shift,
+                      std::size_t src_words, std::size_t dst_words,
+                      std::uint64_t top_mask) {
+  if (src_words > 8 || dst_words > 8) {
+    // Row longer than one vector: fall back rather than loop lanes.
+    block_shr_scalar(dst, dst_stride, src, src_stride, count, shift,
+                     src_words, dst_words, top_mask);
+    return;
+  }
+  const __mmask8 load_mask = static_cast<__mmask8>((1u << src_words) - 1);
+  const __mmask8 store_mask = static_cast<__mmask8>((1u << dst_words) - 1);
+  // All-ones except the top dst word's lane, which carries top_mask; the
+  // VPTERNLOG below ANDs it in for free.
+  const __m512i mask_vec = _mm512_mask_set1_epi64(
+      _mm512_set1_epi64(-1), static_cast<__mmask8>(1u << (dst_words - 1)),
+      static_cast<long long>(top_mask));
+  const __m128i cnt_lo = _mm_cvtsi32_si128(static_cast<int>(shift));
+  const __m128i cnt_hi = _mm_cvtsi32_si128(static_cast<int>(64 - shift));
+  const __m512i zero = _mm512_setzero_si512();
+  for (std::size_t c = 0; c < count; ++c) {
+    const __m512i a = _mm512_maskz_loadu_epi64(load_mask, src + c * src_stride);
+    // hi[i] = a[i+1] (0 past the end): VALIGNQ down one qword.
+    const __m512i hi = _mm512_alignr_epi64(zero, a, 1);
+    // maskz shift forms: zero passthrough dodges GCC's maybe-uninitialized
+    // complaint about _mm512_undefined_epi32 in the unmasked intrinsics.
+    const __m512i r = _mm512_ternarylogic_epi64(
+        _mm512_maskz_srl_epi64(0xFF, a, cnt_lo),
+        _mm512_maskz_sll_epi64(0xFF, hi, cnt_hi), mask_vec,
+        0xA8);  // (a | b) & c
+    _mm512_mask_storeu_epi64(dst + c * dst_stride, store_mask, r);
+  }
+}
+
+__attribute__((target("avx512f,avx512bw")))
+void block_shl_avx512(std::uint64_t* dst, std::size_t dst_stride,
+                      const std::uint64_t* src, std::size_t src_stride,
+                      std::size_t count, unsigned shift,
+                      std::size_t src_words, std::size_t dst_words,
+                      std::uint64_t top_mask) {
+  if (src_words > 8 || dst_words > 8) {
+    block_shl_scalar(dst, dst_stride, src, src_stride, count, shift,
+                     src_words, dst_words, top_mask);
+    return;
+  }
+  const __mmask8 load_mask = static_cast<__mmask8>((1u << src_words) - 1);
+  const __mmask8 store_mask = static_cast<__mmask8>((1u << dst_words) - 1);
+  const __m512i mask_vec = _mm512_mask_set1_epi64(
+      _mm512_set1_epi64(-1), static_cast<__mmask8>(1u << (dst_words - 1)),
+      static_cast<long long>(top_mask));
+  const __m128i cnt_lo = _mm_cvtsi32_si128(static_cast<int>(shift));
+  const __m128i cnt_hi = _mm_cvtsi32_si128(static_cast<int>(64 - shift));
+  const __m512i zero = _mm512_setzero_si512();
+  for (std::size_t c = 0; c < count; ++c) {
+    const __m512i a = _mm512_maskz_loadu_epi64(load_mask, src + c * src_stride);
+    // below[i] = a[i-1] (0 below lane 0): VALIGNQ up one qword.
+    const __m512i below = _mm512_alignr_epi64(a, zero, 7);
+    const __m512i r = _mm512_ternarylogic_epi64(
+        _mm512_maskz_sll_epi64(0xFF, a, cnt_lo),
+        _mm512_maskz_srl_epi64(0xFF, below, cnt_hi),
+        mask_vec, 0xA8);  // (a | b) & c
+    _mm512_mask_storeu_epi64(dst + c * dst_stride, store_mask, r);
+  }
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+constexpr KernelTable kAvx512Table{KernelLevel::avx512,
+                                   crc_fold_avx512,
+                                   crc_fold_multi_avx512,
+                                   pack_avx512,
+                                   unpack_avx512,
+                                   block_shr_avx512,
+                                   block_shl_avx512,
+                                   all_slots(KernelLevel::avx512)};
 
 #elif defined(ZIPLINE_SIMD_NEON)
 
@@ -219,7 +656,9 @@ constexpr KernelTable kAvx2Table{KernelLevel::avx2, crc_fold_avx2, pack_avx2,
 // neon tier (aarch64, where NEON is architectural baseline). REV64 gives
 // the per-word byteswap; EXT swaps the two 64-bit halves for the
 // high-word-first wire order. The fold mirrors the sse42 two-chain unroll
-// (no gather on NEON either).
+// (no gather on NEON either); the multi-stream fold is the shared
+// four-chain interleave. Block shifts stay scalar (no 64-bit cross-lane
+// funnel at 128 bits wide), recorded in slot_levels.
 // ---------------------------------------------------------------------------
 
 std::uint32_t crc_fold_neon(const std::array<std::uint32_t, 256>* tables,
@@ -271,18 +710,33 @@ void unpack_neon(std::uint64_t* words, const std::uint8_t* src,
   if (j < n) unpack_scalar(words, src + 8 * j, n - j);
 }
 
-constexpr KernelTable kNeonTable{KernelLevel::neon, crc_fold_neon, pack_neon,
-                                 unpack_neon};
+constexpr KernelTable kNeonTable{
+    KernelLevel::neon,
+    crc_fold_neon,
+    crc_fold_multi_streams4,
+    pack_neon,
+    unpack_neon,
+    block_shr_scalar,
+    block_shl_scalar,
+    {KernelLevel::neon, KernelLevel::neon, KernelLevel::neon,
+     KernelLevel::neon, KernelLevel::scalar, KernelLevel::scalar}};
 
 #endif  // architecture tiers
 
+std::atomic<KernelLevel>& requested_slot() noexcept {
+  static std::atomic<KernelLevel> slot{KernelLevel::scalar};
+  return slot;
+}
+
 const KernelTable& resolve() noexcept {
+  KernelLevel request = probe();
   if (const char* env = std::getenv("ZIPLINE_SIMD")) {
-    if (const auto requested = parse_level(env)) {
-      return table_for(*requested);
+    if (const auto parsed = parse_level(env)) {
+      request = *parsed;
     }
   }
-  return table_for(probe());
+  requested_slot().store(request, std::memory_order_release);
+  return table_for(request);
 }
 
 std::atomic<const KernelTable*>& active_slot() noexcept {
@@ -303,6 +757,8 @@ std::string_view level_name(KernelLevel level) noexcept {
       return "neon";
     case KernelLevel::avx2:
       return "avx2";
+    case KernelLevel::avx512:
+      return "avx512";
   }
   return "scalar";
 }
@@ -312,11 +768,34 @@ std::optional<KernelLevel> parse_level(std::string_view name) noexcept {
   if (name == "sse42") return KernelLevel::sse42;
   if (name == "neon") return KernelLevel::neon;
   if (name == "avx2") return KernelLevel::avx2;
+  if (name == "avx512") return KernelLevel::avx512;
   return std::nullopt;
+}
+
+std::string_view kernel_slot_name(KernelSlot slot) noexcept {
+  switch (slot) {
+    case KernelSlot::crc_fold:
+      return "crc_fold";
+    case KernelSlot::crc_fold_multi:
+      return "crc_fold_multi";
+    case KernelSlot::pack_words:
+      return "pack_words";
+    case KernelSlot::unpack_words:
+      return "unpack_words";
+    case KernelSlot::block_shr:
+      return "block_shr";
+    case KernelSlot::block_shl:
+      return "block_shl";
+  }
+  return "crc_fold";
 }
 
 KernelLevel probe() noexcept {
 #if defined(ZIPLINE_SIMD_X86)
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw")) {
+    return KernelLevel::avx512;
+  }
   if (__builtin_cpu_supports("avx2")) return KernelLevel::avx2;
   if (__builtin_cpu_supports("sse4.2") && __builtin_cpu_supports("ssse3")) {
     return KernelLevel::sse42;
@@ -339,6 +818,9 @@ bool supported(KernelLevel level) noexcept {
              __builtin_cpu_supports("ssse3");
     case KernelLevel::avx2:
       return __builtin_cpu_supports("avx2");
+    case KernelLevel::avx512:
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512bw");
     case KernelLevel::neon:
       return false;
 #elif defined(ZIPLINE_SIMD_NEON)
@@ -346,11 +828,13 @@ bool supported(KernelLevel level) noexcept {
       return true;
     case KernelLevel::sse42:
     case KernelLevel::avx2:
+    case KernelLevel::avx512:
       return false;
 #else
     case KernelLevel::sse42:
     case KernelLevel::neon:
     case KernelLevel::avx2:
+    case KernelLevel::avx512:
       return false;
 #endif
   }
@@ -359,13 +843,18 @@ bool supported(KernelLevel level) noexcept {
 
 const KernelTable& table_for(KernelLevel level) noexcept {
 #if defined(ZIPLINE_SIMD_X86)
-  if (level == KernelLevel::avx2 && supported(KernelLevel::avx2)) {
-    return kAvx2Table;
-  }
-  // avx2 without hardware support clamps down through sse42.
-  if (level >= KernelLevel::sse42 && level != KernelLevel::neon &&
-      supported(KernelLevel::sse42)) {
-    return kSse42Table;
+  // neon on x86 clamps straight to scalar (it sits outside the x86 clamp
+  // ladder); everything else clamps DOWN through the supported tiers.
+  if (level != KernelLevel::neon) {
+    if (level >= KernelLevel::avx512 && supported(KernelLevel::avx512)) {
+      return kAvx512Table;
+    }
+    if (level >= KernelLevel::avx2 && supported(KernelLevel::avx2)) {
+      return kAvx2Table;
+    }
+    if (level >= KernelLevel::sse42 && supported(KernelLevel::sse42)) {
+      return kSse42Table;
+    }
   }
 #elif defined(ZIPLINE_SIMD_NEON)
   if (level != KernelLevel::scalar) return kNeonTable;
@@ -379,9 +868,15 @@ const KernelTable& active() noexcept {
   return *active_slot().load(std::memory_order_acquire);
 }
 
+KernelLevel requested() noexcept {
+  (void)active();  // force one-time resolution so the request is recorded
+  return requested_slot().load(std::memory_order_acquire);
+}
+
 KernelLevel set_active_for_testing(KernelLevel level) noexcept {
   const KernelTable* previous =
       active_slot().exchange(&table_for(level), std::memory_order_acq_rel);
+  requested_slot().store(level, std::memory_order_release);
   return previous->level;
 }
 

@@ -1,7 +1,8 @@
 // Runtime-dispatched SIMD kernel layer for the data-path inner loops.
 //
-// The two largest per-chunk costs — the syndrome CRC contribution fold and
-// the word-level bit packing behind BitWriter/BitReader — are pure
+// The largest per-chunk costs — the syndrome CRC contribution fold, the
+// word-level bit packing behind BitWriter/BitReader, and the block
+// slice/shift kernels behind the batched GD transform — are pure
 // data-parallel byte/word shuffles with no loop-carried dependency, so they
 // widen cleanly onto whatever vector unit the host has. This header is the
 // seam: a `KernelTable` of function pointers, resolved ONCE per process
@@ -17,7 +18,11 @@
 //     what the host supports) -> hardware probe -> scalar. An unrecognized
 //     override value is ignored (the probe result is used). Requesting a
 //     level above the host's capability clamps DOWN to the best supported
-//     level, so CI can force every level name on any runner.
+//     level, so CI can force every level name on any runner. The pre-clamp
+//     request survives in requested() so stats can show a clamped request.
+//   * A table may implement some slots at a lower level than its headline
+//     `level` (e.g. the sse42 tier carries scalar block-shift kernels).
+//     `slot_levels` records the honest per-slot provenance.
 //   * The table is resolved on first use and never changes afterwards,
 //     except through set_active_for_testing() (parity tests only).
 #pragma once
@@ -30,16 +35,39 @@
 
 namespace zipline::simd {
 
-/// Dispatch tiers, ordered by preference within an architecture. `sse42`
-/// and `avx2` exist on x86-64, `neon` on aarch64; `scalar` everywhere.
-enum class KernelLevel : std::uint8_t { scalar = 0, sse42 = 1, neon = 2, avx2 = 3 };
+/// Dispatch tiers, ordered by preference within an architecture. `sse42`,
+/// `avx2` and `avx512` exist on x86-64, `neon` on aarch64; `scalar`
+/// everywhere. Numeric order is clamp order on x86 (neon sits outside it).
+enum class KernelLevel : std::uint8_t {
+  scalar = 0,
+  sse42 = 1,
+  neon = 2,
+  avx2 = 3,
+  avx512 = 4,
+};
 
-/// Canonical lowercase name ("scalar", "sse42", "neon", "avx2").
+/// Canonical lowercase name ("scalar", "sse42", "neon", "avx2", "avx512").
 [[nodiscard]] std::string_view level_name(KernelLevel level) noexcept;
 
 /// Inverse of level_name; nullopt for anything else (case-sensitive).
 [[nodiscard]] std::optional<KernelLevel> parse_level(
     std::string_view name) noexcept;
+
+/// Identifies one function-pointer slot of the KernelTable, in declaration
+/// order — the index into KernelTable::slot_levels.
+enum class KernelSlot : std::uint8_t {
+  crc_fold = 0,
+  crc_fold_multi = 1,
+  pack_words = 2,
+  unpack_words = 3,
+  block_shr = 4,
+  block_shl = 5,
+};
+
+inline constexpr std::size_t kKernelSlotCount = 6;
+
+/// Canonical name of a kernel slot ("crc_fold", "block_shr", ...).
+[[nodiscard]] std::string_view kernel_slot_name(KernelSlot slot) noexcept;
 
 /// The resolved kernel set. All pointers are always non-null.
 struct KernelTable {
@@ -51,6 +79,16 @@ struct KernelTable {
   std::uint32_t (*crc_fold)(const std::array<std::uint32_t, 256>* tables,
                             const std::uint64_t* words, std::size_t groups);
 
+  /// Multi-stream fold over a word-plane of `count` rows, `stride` words
+  /// apart: out[c] = crc_fold(tables, plane + c * stride, groups),
+  /// overwriting out[0..count). The rows are independent XOR chains, so
+  /// vector tiers interleave several per iteration — the table-load
+  /// latency one serial chain cannot hide.
+  void (*crc_fold_multi)(const std::array<std::uint32_t, 256>* tables,
+                         const std::uint64_t* plane, std::size_t stride,
+                         std::size_t groups, std::uint32_t* out,
+                         std::size_t count);
+
   /// Wire-order bulk pack: dst[8j .. 8j+7] = big-endian bytes of
   /// words[n-1-j]. (BitVector word 0 holds the LOW powers, which are
   /// emitted LAST, hence the reversal.) dst must hold 8n bytes.
@@ -61,6 +99,36 @@ struct KernelTable {
   /// src[8j .. 8j+7]. words must hold n entries.
   void (*unpack_words_be_rev)(std::uint64_t* words, const std::uint8_t* src,
                               std::size_t n);
+
+  /// Block funnel shift right (the canonicalize slice: basis = word >> m)
+  /// over `count` rows. For each row c (src + c*src_stride into
+  /// dst + c*dst_stride) and each w < dst_words:
+  ///   dst[w] = (src[w] >> shift) | (src[w+1] << (64 - shift))
+  /// where src reads as 0 at and beyond src_words; then the top dst word
+  /// is masked: dst[dst_words-1] &= top_mask. shift must be in (0, 64),
+  /// dst_words >= 1. Rows may over-READ past src_words within the
+  /// caller's allocation (vector tiers load whole rows); callers pad
+  /// planes accordingly (see TransformBlockScratch).
+  void (*block_shr)(std::uint64_t* dst, std::size_t dst_stride,
+                    const std::uint64_t* src, std::size_t src_stride,
+                    std::size_t count, unsigned shift, std::size_t src_words,
+                    std::size_t dst_words, std::uint64_t top_mask);
+
+  /// Block funnel shift left (the expand placement: word = basis << m),
+  /// same row layout as block_shr. For each w < dst_words:
+  ///   dst[w] = (src[w] << shift) | (src[w-1] >> (64 - shift))
+  /// where src reads as 0 below 0 and at/beyond src_words; top dst word
+  /// masked with top_mask. shift in (0, 64), dst_words >= 1.
+  void (*block_shl)(std::uint64_t* dst, std::size_t dst_stride,
+                    const std::uint64_t* src, std::size_t src_stride,
+                    std::size_t count, unsigned shift, std::size_t src_words,
+                    std::size_t dst_words, std::uint64_t top_mask);
+
+  /// Honest per-slot provenance, indexed by KernelSlot: the level each
+  /// slot's implementation actually belongs to. Equal to `level` for a
+  /// fully-populated tier; lower where a tier borrows a simpler kernel
+  /// (e.g. block shifts are scalar below avx512).
+  std::array<KernelLevel, kKernelSlotCount> slot_levels;
 };
 
 /// Best level the hardware supports (ignores the env override).
@@ -70,7 +138,7 @@ struct KernelTable {
 [[nodiscard]] bool supported(KernelLevel level) noexcept;
 
 /// Kernel table for `level`, clamped down to the best supported level at
-/// or below it (avx2 -> sse42 -> scalar; neon -> scalar off-ARM).
+/// or below it (avx512 -> avx2 -> sse42 -> scalar; neon -> scalar off-ARM).
 [[nodiscard]] const KernelTable& table_for(KernelLevel level) noexcept;
 
 /// The process-wide active table: resolved once on first use from
@@ -80,9 +148,16 @@ struct KernelTable {
 /// Level of the active table — what NodeStats and bench JSON record.
 [[nodiscard]] inline KernelLevel level() noexcept { return active().level; }
 
+/// The level that was REQUESTED (env override if parseable, else the
+/// hardware probe) before clamping. Differs from level() exactly when the
+/// request exceeded host capability — how a clamped avx512 request stays
+/// visible in stats instead of silently reading as avx2.
+[[nodiscard]] KernelLevel requested() noexcept;
+
 /// Test hook: swaps the active table (clamped like table_for) and returns
-/// the previous level so parity suites can restore it. Not for production
-/// code — the dispatch is otherwise one-time-resolved.
+/// the previous level so parity suites can restore it. Also records
+/// `level` as the requested level. Not for production code — the dispatch
+/// is otherwise one-time-resolved.
 KernelLevel set_active_for_testing(KernelLevel level) noexcept;
 
 }  // namespace zipline::simd

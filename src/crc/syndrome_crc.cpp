@@ -53,6 +53,29 @@ std::uint32_t SyndromeCrc::compute(const bits::BitVector& word) const {
   return acc;
 }
 
+void SyndromeCrc::compute_block(const std::uint64_t* words,
+                                std::size_t stride, std::size_t count,
+                                std::uint32_t* out) const {
+  const std::size_t total_bytes = tables_.size();
+  const std::size_t groups = total_bytes / 8;
+  ZL_EXPECTS(stride >= (n_ + 63) / 64);
+  simd::active().crc_fold_multi(tables_.data(), words, stride, groups, out,
+                                count);
+  if (groups * 8 == total_bytes) return;
+  // Partial top word (n % 64 in (0, 56]): same scalar byte tail as
+  // compute(), per row.
+  for (std::size_t c = 0; c < count; ++c) {
+    std::uint64_t value = words[c * stride + groups];
+    std::uint32_t acc = out[c];
+    for (std::size_t byte_pos = groups * 8; byte_pos < total_bytes;
+         ++byte_pos) {
+      acc ^= tables_[byte_pos][value & 0xFF];
+      value >>= 8;
+    }
+    out[c] = acc;
+  }
+}
+
 std::uint32_t SyndromeCrc::single_bit(std::size_t position) const {
   ZL_EXPECTS(position < n_);
   return tables_[position / 8][std::size_t{1} << (position % 8)];

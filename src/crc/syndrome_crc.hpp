@@ -33,6 +33,15 @@ class SyndromeCrc {
   /// Syndrome of an n-bit word (word.size() must equal n).
   [[nodiscard]] std::uint32_t compute(const bits::BitVector& word) const;
 
+  /// Syndromes of `count` n-bit words laid out as a word-plane: row c is
+  /// words[c*stride .. c*stride + words_for(n)), trimmed to n bits (bits
+  /// at and above n zero). stride must be >= words_for(n) = ceil(n/64).
+  /// Writes out[0..count). Equivalent to calling compute() per row, but
+  /// folds every row through the multi-stream kernel — the independent
+  /// XOR chains hide the table-load latency one chain cannot.
+  void compute_block(const std::uint64_t* words, std::size_t stride,
+                     std::size_t count, std::uint32_t* out) const;
+
   /// Syndrome of the single-bit word x^position (position < n).
   [[nodiscard]] std::uint32_t single_bit(std::size_t position) const;
 

@@ -103,13 +103,15 @@ void Engine::encode_transform(std::span<const std::uint8_t> payload,
     unit.ids.resize(full);
     unit.hashes.resize(full);
   }
-  const bool shared = dictionary_.is_shared();
-  for (std::size_t i = 0; i < full; ++i) {
-    chunk_scratch_.assign_from_bytes(
-        payload.subspan(i * chunk_bytes, chunk_bytes), params().chunk_bits);
-    transform_.forward_into(chunk_scratch_, unit.transformed[i],
-                            word_scratch_);
-    if (shared) {
+  // Transform fast path: the whole unit canonicalizes as one kernel batch
+  // over the block scratch's word-plane (multi-stream syndrome fold +
+  // block slice) — byte-identical to forward_into per chunk, without the
+  // per-chunk BitVector call chain.
+  transform_.forward_block(payload, full,
+                           std::span(unit.transformed.data(), full),
+                           block_scratch_);
+  if (dictionary_.is_shared()) {
+    for (std::size_t i = 0; i < full; ++i) {
       // Hash in the (concurrent) transform phase so the sequenced resolve
       // phase spends none of its critical section hashing.
       unit.hashes[i] = unit.transformed[i].basis.hash();
@@ -122,7 +124,12 @@ void Engine::encode_transform(std::span<const std::uint8_t> payload,
 void Engine::encode_resolve(EncodeUnit& unit) {
   if (!dictionary_.is_shared()) {
     // Private dictionary: per-chunk classify, whose lazy single-shard
-    // path lets the prefilter resolve most misses without hashing.
+    // path lets the prefilter resolve most misses without hashing. The
+    // probe stage ahead of it prefetches every chunk's prefilter slot so
+    // the classify loop stops eating the cold misses serially.
+    for (std::size_t i = 0; i < unit.chunks; ++i) {
+      dictionary_.prefetch(unit.transformed[i].basis);
+    }
     for (std::size_t i = 0; i < unit.chunks; ++i) {
       unit.types[i] = classify(unit.transformed[i], unit.ids[i]);
     }
@@ -157,6 +164,10 @@ void Engine::encode_resolve_plan(EncodeUnit& unit) {
     op.result = gd::BatchOp::kNoId;
   }
   dictionary_.group_batch(batch_ops_, batch_scratch_);
+  // Probe stage: prefetch every op's shard-index and seqlock read-mirror
+  // slots (hashes were computed in the concurrent transform phase) so the
+  // sequenced resolve loop doesn't pay the cold-miss latency serially.
+  dictionary_.prefetch_ops(batch_ops_);
 }
 
 void Engine::resolve_shard(std::size_t shard) {
@@ -377,6 +388,9 @@ void Engine::decode_resolve_plan(DecodeUnit& unit) {
     }
   }
   dictionary_.group_batch(batch_ops_, batch_scratch_);
+  // Same probe stage as encode_resolve_plan: warm the index and mirror
+  // slots for the whole unit before the sequenced per-shard applies.
+  dictionary_.prefetch_ops(batch_ops_);
 }
 
 void Engine::decode_resolve_finish(DecodeUnit& unit) {
@@ -409,13 +423,29 @@ void Engine::decode_resolve_finish(DecodeUnit& unit) {
 }
 
 void Engine::decode_emit(const DecodeUnit& unit, DecodeBatch& out) {
+  // Transform fast path, inverse direction: stage every non-raw packet's
+  // (basis, syndrome) into the block scratch, expand them all as one
+  // kernel batch, then emit in packet order composing each chunk from its
+  // expanded word row plus the verbatim excess. Byte-identical to
+  // inverse_into per packet.
+  transform_.inverse_block_reserve(unit.packets, block_scratch_);
+  std::size_t rows = 0;
+  for (std::size_t i = 0; i < unit.packets; ++i) {
+    if (unit.types[i] == gd::PacketType::raw) continue;
+    transform_.inverse_block_stage(block_scratch_, rows++, unit.bases[i],
+                                   unit.syndromes[i]);
+  }
+  transform_.inverse_block_expand(block_scratch_, rows);
+  rows = 0;
+  const std::size_t n = params().n();
   for (std::size_t i = 0; i < unit.packets; ++i) {
     if (unit.types[i] == gd::PacketType::raw) {
       out.append_raw(unit.raws[i]);
       continue;
     }
-    transform_.inverse_into(unit.excesses[i], unit.bases[i],
-                            unit.syndromes[i], chunk_scratch_, word_scratch_);
+    chunk_scratch_.assign_from_words(transform_.chunk_row(block_scratch_, rows++),
+                                     params().chunk_bits);
+    chunk_scratch_.accumulate_shifted(unit.excesses[i], n);
     out.append_chunk(unit.types[i], chunk_scratch_);
   }
   ++stats_.batches;

@@ -265,6 +265,10 @@ class Engine {
   /// resolve call; grow-only, like every other scratch.
   std::vector<gd::BatchOp> batch_ops_;
   gd::BatchScratch batch_scratch_;
+  /// Word-plane scratch of the block transform fast path: a whole unit's
+  /// chunks canonicalize/expand as one kernel batch in encode_transform /
+  /// decode_emit (see src/engine/README.md, "transform fast path").
+  gd::TransformBlockScratch block_scratch_;
 };
 
 }  // namespace zipline::engine

@@ -379,7 +379,28 @@ DictionaryStats ConcurrentShardedDictionary::stats() const noexcept {
   total.stripe_acquisitions =
       stripe_acquisitions_.load(std::memory_order_relaxed);
   total.turnstile_waits = turnstile_waits_.load(std::memory_order_relaxed);
+  total.prefetched_probes =
+      prefetched_probes_.load(std::memory_order_relaxed);
   return total;
+}
+
+void ConcurrentShardedDictionary::prefetch_ops(
+    std::span<const BatchOp> ops) noexcept {
+  for (const BatchOp& op : ops) {
+    const std::size_t shard = shard_of_op(op);
+    const Mirror& m = mirrors_[shard];
+    if (op.kind == BatchOp::Kind::fetch_basis) {
+      const std::uint32_t local = to_local(op.id);
+      __builtin_prefetch(&m.entry_bits[local]);
+      __builtin_prefetch(&m.entry_hash[local]);
+    } else {
+      __builtin_prefetch(&m.index_tag[index_home(op.hash, m.index_mask)]);
+      __builtin_prefetch(&stripes_[shard].seq);
+    }
+  }
+  if (!ops.empty()) {
+    prefetched_probes_.fetch_add(ops.size(), std::memory_order_relaxed);
+  }
 }
 
 // --- public operations -----------------------------------------------------

@@ -198,6 +198,14 @@ class ConcurrentShardedDictionary {
     turnstile_waits_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Probe-stage software prefetch for a whole resolve plan: each basis op
+  /// warms the mirror index slot its content hash homes to plus the
+  /// stripe's seqlock word; each fetch_basis op warms its identifier's
+  /// entry slots. Counted per op in stats().prefetched_probes. Purely
+  /// advisory — issues prefetch hints only, never loads mirror state, so
+  /// it is safe concurrently with writers.
+  void prefetch_ops(std::span<const BatchOp> ops) noexcept;
+
  private:
   /// One cache line per shard stripe so neighbouring stripes don't false-
   /// share under contention.
@@ -330,6 +338,7 @@ class ConcurrentShardedDictionary {
   std::unique_ptr<Mirror[]> mirrors_;
   mutable std::atomic<std::uint64_t> stripe_acquisitions_{0};
   std::atomic<std::uint64_t> turnstile_waits_{0};
+  std::atomic<std::uint64_t> prefetched_probes_{0};
 };
 
 }  // namespace zipline::gd

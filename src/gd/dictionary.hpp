@@ -61,6 +61,11 @@ struct DictionaryStats {
   /// per-shard turnstiles; recorded by the shared service). Disjoint shard
   /// footprints admit without waiting and leave this at zero.
   std::uint64_t turnstile_waits = 0;
+  /// Dictionary slots software-prefetched by the engine's probe stage
+  /// ahead of resolve: prefilter buckets (private mode) or shard-index +
+  /// read-mirror slots (shared mode), one count per probed op. Purely a
+  /// memory-latency knob — output bytes never depend on it.
+  std::uint64_t prefetched_probes = 0;
 
   DictionaryStats& operator+=(const DictionaryStats& other) noexcept {
     hits += other.hits;
@@ -72,6 +77,7 @@ struct DictionaryStats {
     lockfree_reads += other.lockfree_reads;
     clock_touches += other.clock_touches;
     turnstile_waits += other.turnstile_waits;
+    prefetched_probes += other.prefetched_probes;
     return *this;
   }
 };
@@ -201,6 +207,14 @@ class BasisDictionary {
   [[nodiscard]] bool referenced(std::uint32_t id) const noexcept {
     return policy_ == EvictionPolicy::clock &&
            referenced_[id].load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Probe-stage software prefetch: issues a prefetch for the prefilter
+  /// bucket the basis will hit, so a later lookup() finds it warm. Counts
+  /// DictionaryStats::prefetched_probes; never changes lookup results.
+  void prefetch(const bits::BitVector& basis) noexcept {
+    __builtin_prefetch(&fingerprints_[fingerprint(basis)]);
+    ++stats_.prefetched_probes;
   }
 
  private:

@@ -136,6 +136,21 @@ class DictionaryHandle {
     shared_->apply_shard_group(ops, scratch, shard);
   }
 
+  /// Probe-stage software prefetch for one basis — private mode only as a
+  /// useful hint (the owned dictionary's prefilter bucket); a no-op in
+  /// shared mode, whose probe stage is the plan-wide prefetch_ops below.
+  void prefetch(const bits::BitVector& basis) noexcept {
+    if (shared_ == nullptr) owned_->prefetch(basis);
+  }
+
+  /// Probe-stage software prefetch for a whole resolve plan (shared mode
+  /// only): warms the mirror index / entry slots every op will touch.
+  void prefetch_ops(std::span<const BatchOp> ops) noexcept {
+    ZL_EXPECTS(shared_ != nullptr &&
+               "plan prefetch is a shared-dictionary arrangement");
+    shared_->prefetch_ops(ops);
+  }
+
   /// Decode-side learn: insert unless present (peek counts no stats);
   /// atomic per stripe in shared mode.
   void insert_if_absent(const bits::BitVector& basis) {

@@ -175,6 +175,14 @@ class ShardedDictionary {
     shards_[shard_of_id(id)].mark_referenced(to_local(id));
   }
 
+  /// Probe-stage software prefetch (see BasisDictionary::prefetch). Only
+  /// the single-shard layout forwards: routing a multi-shard probe would
+  /// need the content hash that the lazy lookup path computes exactly once
+  /// later, and hashing here would defeat that economy.
+  void prefetch(const bits::BitVector& basis) noexcept {
+    if (shards_.size() == 1) shards_.front().prefetch(basis);
+  }
+
  private:
   [[nodiscard]] std::uint32_t to_global(std::size_t shard,
                                         std::uint32_t local) const noexcept {

@@ -1,4 +1,4 @@
-// The GD chunk transform: chunk <-> (excess, basis, deviation).
+// The GD chunk transform: chunk <-> (excess, basis, syndrome).
 //
 // A chunk of `chunk_bits` is split into the low n = 2^m - 1 bits (the
 // Hamming word) and the high `excess` bits that travel verbatim. The
@@ -9,6 +9,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "common/bitvector.hpp"
 #include "gd/params.hpp"
@@ -21,6 +23,19 @@ struct TransformedChunk {
   bits::BitVector excess;  ///< chunk_bits - n verbatim high-order bits
   bits::BitVector basis;   ///< k bits
   std::uint32_t syndrome = 0;  ///< m bits
+};
+
+/// Caller-owned word-plane scratch for the block transform entry points.
+/// Rows live `stride` words apart with >= 8 words of tail padding past the
+/// last row (the AVX-512 block kernels issue masked loads that may touch
+/// one full vector per row; the padding keeps those reads inside the
+/// allocation). Grow-only, like every engine arena: steady-state reuse is
+/// allocation-free.
+struct TransformBlockScratch {
+  std::vector<std::uint64_t> chunk_plane;  ///< count rows of chunk words
+  std::vector<std::uint64_t> basis_plane;  ///< count rows of basis words
+  std::vector<std::uint32_t> syndromes;    ///< one per row
+  std::vector<std::uint32_t> parities;     ///< expand-side fold scratch
 };
 
 class GdTransform {
@@ -54,6 +69,57 @@ class GdTransform {
   void inverse_into(const bits::BitVector& excess,
                     const bits::BitVector& basis, std::uint32_t syndrome,
                     bits::BitVector& out, bits::BitVector& word_scratch) const;
+
+  // --- block variants (the engine's transform fast path) ----------------
+  // A whole unit's chunks move through each transform stage as ONE kernel
+  // call over a contiguous word-plane (multi-stream syndrome fold, block
+  // funnel shifts), instead of a per-chunk BitVector call chain. Output is
+  // byte-identical to the chunk-at-a-time path at every kernel level
+  // (tests/transform_block_test.cpp property-checks the matrix).
+
+  /// Words per chunk row in the plane (ceil(chunk_bits / 64)).
+  [[nodiscard]] std::size_t chunk_plane_stride() const noexcept {
+    return (params_.chunk_bits + 63) / 64;
+  }
+  /// Words per basis row in the plane (ceil(k / 64)).
+  [[nodiscard]] std::size_t basis_plane_stride() const noexcept {
+    return (params_.k() + 63) / 64;
+  }
+
+  /// Forward-transforms `count` chunks of `payload` (chunk_bits % 8 == 0;
+  /// payload must hold count * chunk_bits/8 bytes) into out[0..count),
+  /// reusing each TransformedChunk's storage. Equivalent to
+  /// forward_into per chunk.
+  void forward_block(std::span<const std::uint8_t> payload, std::size_t count,
+                     std::span<TransformedChunk> out,
+                     TransformBlockScratch& scratch) const;
+
+  /// Sizes the scratch for `count` inverse rows (grow-only; newly grown
+  /// plane words are zero and stay zero outside the expanded region).
+  void inverse_block_reserve(std::size_t count,
+                             TransformBlockScratch& scratch) const;
+
+  /// Stages one (basis, syndrome) pair into plane row `row`. Rows may be
+  /// staged sparsely (the engine skips raw packets); only rows
+  /// [0, count) of the following inverse_block_expand are read.
+  void inverse_block_stage(TransformBlockScratch& scratch, std::size_t row,
+                           const bits::BitVector& basis,
+                           std::uint32_t syndrome) const;
+
+  /// Expands every staged row [0, count) into its n-bit word in the chunk
+  /// plane (one block kernel batch). Compose the full chunk by reading
+  /// chunk_row(r) and accumulating the excess at bit n.
+  void inverse_block_expand(TransformBlockScratch& scratch,
+                            std::size_t count) const;
+
+  /// Row `row` of the chunk plane: chunk_plane_stride() words holding the
+  /// expanded n-bit word (bits at and above n zero — ready for
+  /// BitVector::assign_from_words at chunk_bits).
+  [[nodiscard]] std::span<const std::uint64_t> chunk_row(
+      const TransformBlockScratch& scratch, std::size_t row) const noexcept {
+    return {scratch.chunk_plane.data() + row * chunk_plane_stride(),
+            chunk_plane_stride()};
+  }
 
  private:
   GdParams params_;

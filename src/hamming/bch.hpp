@@ -5,7 +5,7 @@
 // mapped to each basis, albeit at the cost of a larger deviation").
 //
 // The generator is g(x) = m1(x)·m3(x), the product of the minimal
-// polynomials of α and α³ over GF(2^8): degree 16, so the deviation grows
+// polynomials of α and α³ over GF(2^8): degree 16, so the syndrome grows
 // from 8 to 16 bits while every chunk within Hamming distance 2 of a
 // codeword now folds into the same basis.
 //
@@ -36,7 +36,7 @@ struct BchErrorPattern {
 
 struct BchCanonical {
   bits::BitVector basis;   ///< k = 239 message bits
-  std::uint32_t syndrome;  ///< 16-bit deviation
+  std::uint32_t syndrome;  ///< 16-bit syndrome
 };
 
 class Bch255 {

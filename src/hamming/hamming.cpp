@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/contracts.hpp"
+#include "common/simd.hpp"
 
 namespace zipline::hamming {
 
@@ -42,11 +43,11 @@ std::size_t HammingCode::error_position(std::uint32_t syndrome) const {
 
 bits::BitVector HammingCode::encode(const bits::BitVector& message) const {
   ZL_EXPECTS(message.size() == k_);
-  const bits::BitVector shifted = message.shifted_up(static_cast<std::size_t>(m_));
-  const std::uint32_t parity = crc_.compute(shifted);
-  return bits::BitVector::concat(message,
-                                 bits::BitVector(static_cast<std::size_t>(m_),
-                                                 parity));
+  // A codeword is exactly the expansion of its message with a zero
+  // syndrome — one allocation for the result, no shifted/concat copies.
+  bits::BitVector out;
+  expand_into(message, 0, out);
+  return out;
 }
 
 Canonical HammingCode::canonicalize(const bits::BitVector& word) const {
@@ -64,9 +65,9 @@ void HammingCode::canonicalize_into(const bits::BitVector& word,
   syndrome_out = s;
   if (s == 0) return;
   const std::size_t pos = error_position(s);
-  // A deviation in a parity bit leaves the message bits untouched;
-  // otherwise correcting the word flips exactly one basis bit, which is
-  // equivalent to flipping it after truncation.
+  // A syndrome pointing at a parity bit leaves the message bits
+  // untouched; otherwise correcting the word flips exactly one basis bit,
+  // which is equivalent to flipping it after truncation.
   if (pos >= static_cast<std::size_t>(m_)) {
     basis_out.flip(pos - static_cast<std::size_t>(m_));
   }
@@ -92,6 +93,69 @@ void HammingCode::expand_into(const bits::BitVector& basis,
   out.or_uint(0, parity, static_cast<std::size_t>(m_));
   if (syndrome != 0) {
     out.flip(error_position(syndrome));
+  }
+}
+
+namespace {
+
+constexpr std::uint64_t top_word_mask(std::size_t bits) noexcept {
+  return bits % 64 == 0 ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << (bits % 64)) - 1;
+}
+
+}  // namespace
+
+void HammingCode::canonicalize_block(const std::uint64_t* words,
+                                     std::size_t word_stride,
+                                     std::size_t count, std::uint64_t* bases,
+                                     std::size_t basis_stride,
+                                     std::uint32_t* syndromes) const {
+  const std::size_t word_words = (n_ + 63) / 64;
+  const std::size_t basis_words = (k_ + 63) / 64;
+  ZL_EXPECTS(word_stride >= word_words && basis_stride >= basis_words);
+  // Syndromes BEFORE the slice: the fold reads the untruncated words.
+  crc_.compute_block(words, word_stride, count, syndromes);
+  // basis = word >> m for every row, one kernel call.
+  simd::active().block_shr(bases, basis_stride, words, word_stride, count,
+                           static_cast<unsigned>(m_), word_words, basis_words,
+                           top_word_mask(k_));
+  // The per-row tail canonicalize_into does with BitVector::flip: correct
+  // the one deviant message bit the syndrome names (parity-bit positions
+  // truncate away).
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::uint32_t s = syndromes[c];
+    if (s == 0) continue;
+    const std::size_t pos = error_position(s);
+    if (pos >= static_cast<std::size_t>(m_)) {
+      const std::size_t bit = pos - static_cast<std::size_t>(m_);
+      bases[c * basis_stride + bit / 64] ^= std::uint64_t{1} << (bit % 64);
+    }
+  }
+}
+
+void HammingCode::expand_block(const std::uint64_t* bases,
+                               std::size_t basis_stride,
+                               const std::uint32_t* syndromes,
+                               std::size_t count, std::uint64_t* words,
+                               std::size_t word_stride,
+                               std::uint32_t* parity_scratch) const {
+  const std::size_t word_words = (n_ + 63) / 64;
+  const std::size_t basis_words = (k_ + 63) / 64;
+  ZL_EXPECTS(word_stride >= word_words && basis_stride >= basis_words);
+  // word = basis << m for every row (low m bits land zero), then one
+  // multi-stream fold regenerates every row's parity.
+  simd::active().block_shl(words, word_stride, bases, basis_stride, count,
+                           static_cast<unsigned>(m_), basis_words, word_words,
+                           top_word_mask(n_));
+  crc_.compute_block(words, word_stride, count, parity_scratch);
+  for (std::size_t c = 0; c < count; ++c) {
+    std::uint64_t* row = words + c * word_stride;
+    row[0] |= parity_scratch[c];  // m <= 15 parity bits, all in word 0
+    const std::uint32_t s = syndromes[c];
+    if (s != 0) {
+      const std::size_t pos = error_position(s);
+      row[pos / 64] ^= std::uint64_t{1} << (pos % 64);
+    }
   }
 }
 

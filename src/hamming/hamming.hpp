@@ -21,7 +21,7 @@ namespace zipline::hamming {
 /// Result of the GD forward transform on one n-bit word.
 struct Canonical {
   bits::BitVector basis;   ///< k message bits of the nearest codeword
-  std::uint32_t syndrome;  ///< m-bit deviation (0 = word was a codeword)
+  std::uint32_t syndrome;  ///< m-bit syndrome (0 = word was a codeword)
 };
 
 class HammingCode {
@@ -61,16 +61,16 @@ class HammingCode {
   [[nodiscard]] bits::BitVector encode(const bits::BitVector& message) const;
 
   /// GD forward transform (paper Fig. 1 steps 2-5): compute the syndrome,
-  /// flip the indicated bit, truncate parity, return basis + deviation.
+  /// flip the indicated bit, truncate parity, return basis + syndrome.
   [[nodiscard]] Canonical canonicalize(const bits::BitVector& word) const;
 
   /// GD inverse transform (paper Fig. 2 steps 3-7): zero-pad the basis,
-  /// regenerate parity via the same CRC, re-apply the deviation mask.
+  /// regenerate parity via the same CRC, re-apply the syndrome's flip.
   [[nodiscard]] bits::BitVector expand(const bits::BitVector& basis,
                                        std::uint32_t syndrome) const;
 
   /// In-place canonicalize: writes the basis into `basis_out` (reusing its
-  /// storage) and the deviation into `syndrome_out`.
+  /// storage) and the syndrome into `syndrome_out`.
   void canonicalize_into(const bits::BitVector& word,
                          bits::BitVector& basis_out,
                          std::uint32_t& syndrome_out) const;
@@ -78,6 +78,31 @@ class HammingCode {
   /// In-place expand: writes the n-bit word into `out`.
   void expand_into(const bits::BitVector& basis, std::uint32_t syndrome,
                    bits::BitVector& out) const;
+
+  /// Block canonicalize over a word-plane: row c (words + c*word_stride,
+  /// word_stride >= ceil(n/64)) holds one n-bit word trimmed to n bits
+  /// (bits at and above n zero in the top word). Writes the k-bit basis of
+  /// row c into bases + c*basis_stride (basis_stride >= ceil(k/64), top
+  /// word trimmed to k bits) and its syndrome into syndromes[c].
+  /// Byte-identical to canonicalize_into per row; the syndrome fold and
+  /// the slice run as one multi-row kernel call each. Vector kernels may
+  /// over-READ a row up to 8 words past its logical end, so both planes
+  /// need >= 8 words of tail padding (gd::TransformBlockScratch provides
+  /// it).
+  void canonicalize_block(const std::uint64_t* words, std::size_t word_stride,
+                          std::size_t count, std::uint64_t* bases,
+                          std::size_t basis_stride,
+                          std::uint32_t* syndromes) const;
+
+  /// Block expand, the inverse plane walk: basis row c (trimmed to k bits)
+  /// + syndromes[c] -> the n-bit word in words + c*word_stride (top word
+  /// trimmed to n bits; words of the row beyond ceil(n/64) are left
+  /// untouched). parity_scratch must hold `count` entries (overwritten).
+  /// Same padding requirement as canonicalize_block.
+  void expand_block(const std::uint64_t* bases, std::size_t basis_stride,
+                    const std::uint32_t* syndromes, std::size_t count,
+                    std::uint64_t* words, std::size_t word_stride,
+                    std::uint32_t* parity_scratch) const;
 
  private:
   int m_;

@@ -230,6 +230,8 @@ NodeStats Node::stats() const {
   s.passthrough = passthrough_;
   s.workers = options_.workers;
   s.kernel_level = simd::level();
+  s.kernel_level_requested = simd::requested();
+  s.kernel_slot_levels = simd::active().slot_levels;
   s.bytes_copied = bytes_copied_;
   const std::uint64_t packets_in = units_ + passthrough_;
   s.copies_per_packet =

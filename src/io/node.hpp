@@ -29,6 +29,7 @@
 // dictionary lives in the node, across bursts.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -140,9 +141,20 @@ struct NodeStats {
   gd::DictionaryStats dictionary;
   std::size_t workers = 1;
   /// Resolved zipline::simd kernel level the node's hot loops (syndrome
-  /// fold, bit packing) dispatch to. Process-wide, recorded here so bench
-  /// JSON can say which code path actually ran on the producing host.
+  /// fold, bit packing, block shifts) dispatch to. Process-wide, recorded
+  /// here so bench JSON can say which code path actually ran on the
+  /// producing host.
   simd::KernelLevel kernel_level = simd::KernelLevel::scalar;
+  /// The level that was ASKED for (ZIPLINE_SIMD override or CPU probe)
+  /// before build-support clamping. kernel_level_requested != kernel_level
+  /// makes a clamped request — e.g. avx512 forced on a non-AVX-512 build —
+  /// visible in stats instead of silently downgrading.
+  simd::KernelLevel kernel_level_requested = simd::KernelLevel::scalar;
+  /// Per-slot resolved levels from the active kernel table (indexed by
+  /// simd::KernelSlot). Slots without an implementation at the table's
+  /// headline level report the tier that actually serves them (e.g. block
+  /// shifts run scalar inside an sse42 table).
+  std::array<simd::KernelLevel, simd::kKernelSlotCount> kernel_slot_levels{};
   /// Payload bytes the node physically copied while producing output:
   /// engine output appended into `out`, passthrough payloads when
   /// zero_copy is off, and parallel-decode unit staging. View splices and

@@ -14,6 +14,7 @@
 
 #include "common/rng.hpp"
 #include "engine/engine.hpp"
+#include "hamming/hamming.hpp"
 #include "engine/parallel.hpp"
 #include "io/buffer_pool.hpp"
 #include "io/memory_ring.hpp"
@@ -342,6 +343,27 @@ TEST(EngineAllocation, SegmentBurstRingSteadyStateIsCopyAndAllocationFree) {
   EXPECT_EQ(ring.stats().bytes_copied, before_copied)
       << "segment-backed pushes must move refs, not payload bytes";
   EXPECT_EQ(popped.payload(0).data(), burst.payload(0).data());
+}
+
+// encode() routes through expand_into; with a warmed output vector the
+// scratch-flavoured expansion must never touch the heap — the allocation
+// half of the encode-reroute regression (hamming_test pins identity).
+TEST(EngineAllocation, HammingExpandIntoSteadyStateIsAllocationFree) {
+  const hamming::HammingCode code(8);
+  Rng rng(0x4A11);
+  bits::BitVector message(code.k());
+  for (std::size_t i = 0; i < code.k(); ++i) {
+    if (rng.next_bool(0.5)) message.set(i);
+  }
+  bits::BitVector out;
+  code.expand_into(message, 0, out);  // warm the output capacity
+  const std::uint64_t before = allocation_count();
+  for (int i = 0; i < 100; ++i) {
+    code.expand_into(message, 0, out);
+  }
+  EXPECT_EQ(allocation_count(), before)
+      << "warmed expand_into must not allocate";
+  EXPECT_TRUE(code.is_codeword(out));
 }
 
 // The contrast case documenting what the adapters cost: the per-chunk

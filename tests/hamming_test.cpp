@@ -45,6 +45,27 @@ TEST(HammingCode, EncodeProducesCodewords) {
   }
 }
 
+TEST(HammingCode, EncodeMatchesFrozenShiftConcatFormula) {
+  // encode() now routes through the expand_into path (a codeword is the
+  // expansion of its message with a zero syndrome). This pins it to the
+  // original formula — parity of the up-shifted message concatenated
+  // below the message — so the reroute can never drift.
+  for (const int m : {3, 4, 6, 8, 10}) {
+    const HammingCode code(m);
+    Rng rng(0xE0C0DEu ^ static_cast<unsigned>(m));
+    for (int trial = 0; trial < 32; ++trial) {
+      BitVector msg(code.k());
+      for (std::size_t i = 0; i < code.k(); ++i) {
+        if (rng.next_bool(0.5)) msg.set(i);
+      }
+      const BitVector shifted = msg.shifted_up(static_cast<std::size_t>(m));
+      const BitVector frozen = BitVector::concat(
+          msg, BitVector(static_cast<std::size_t>(m), code.syndrome(shifted)));
+      EXPECT_EQ(code.encode(msg), frozen) << "m=" << m << " trial=" << trial;
+    }
+  }
+}
+
 TEST(HammingCode, PaperSection2WorkedExampleBasisZero) {
   // Chunks {0000000, 0000001, 0000010, ..., 1000000} -> basis 0000.
   const HammingCode code(3);

@@ -8,8 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/bitio.hpp"
@@ -27,7 +29,7 @@ std::vector<simd::KernelLevel> supported_levels() {
   std::vector<simd::KernelLevel> levels{simd::KernelLevel::scalar};
   for (const auto level :
        {simd::KernelLevel::sse42, simd::KernelLevel::neon,
-        simd::KernelLevel::avx2}) {
+        simd::KernelLevel::avx2, simd::KernelLevel::avx512}) {
     if (simd::supported(level)) levels.push_back(level);
   }
   return levels;
@@ -55,7 +57,8 @@ bits::BitVector random_bits(Rng& rng, std::size_t n) {
 TEST(SimdDispatch, NamesRoundTrip) {
   for (const auto level :
        {simd::KernelLevel::scalar, simd::KernelLevel::sse42,
-        simd::KernelLevel::neon, simd::KernelLevel::avx2}) {
+        simd::KernelLevel::neon, simd::KernelLevel::avx2,
+        simd::KernelLevel::avx512}) {
     const auto parsed = simd::parse_level(simd::level_name(level));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, level);
@@ -71,7 +74,8 @@ TEST(SimdDispatch, ResolutionClamps) {
   EXPECT_TRUE(simd::supported(simd::probe()));
   for (const auto level :
        {simd::KernelLevel::scalar, simd::KernelLevel::sse42,
-        simd::KernelLevel::neon, simd::KernelLevel::avx2}) {
+        simd::KernelLevel::neon, simd::KernelLevel::avx2,
+        simd::KernelLevel::avx512}) {
     const simd::KernelTable& table = simd::table_for(level);
     EXPECT_TRUE(simd::supported(table.level));
     if (simd::supported(level)) {
@@ -105,6 +109,124 @@ TEST(SimdKernel, CrcFoldParity) {
                                                 groups),
                 reference)
           << "level=" << simd::level_name(level) << " groups=" << groups;
+    }
+  }
+}
+
+TEST(SimdDispatch, RequestedAndSlotLevelsCoherent) {
+  // requested() is what was asked for; level() is post-clamp, so it can
+  // only be <= the request. Every slot level reports a tier at or below
+  // the table's headline level (slots without an implementation at the
+  // headline tier fall back to a lower one, never up).
+  EXPECT_LE(static_cast<int>(simd::level()),
+            static_cast<int>(simd::requested()));
+  const simd::KernelTable& table = simd::active();
+  for (std::size_t slot = 0; slot < simd::kKernelSlotCount; ++slot) {
+    EXPECT_LE(static_cast<int>(table.slot_levels[slot]),
+              static_cast<int>(table.level))
+        << "slot=" << simd::kernel_slot_name(
+               static_cast<simd::KernelSlot>(slot));
+  }
+  // Forcing a level records it as the request too.
+  {
+    ScopedKernelLevel forced(simd::KernelLevel::scalar);
+    EXPECT_EQ(simd::level(), simd::KernelLevel::scalar);
+    EXPECT_EQ(simd::requested(), simd::KernelLevel::scalar);
+  }
+}
+
+TEST(SimdKernel, CrcFoldMultiParity) {
+  Rng rng(0xFADED);
+  for (const std::size_t groups :
+       {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3},
+        std::size_t{4}, std::size_t{7}}) {
+    std::vector<std::array<std::uint32_t, 256>> tables(8 * groups);
+    for (auto& table : tables) {
+      for (auto& entry : table) {
+        entry = static_cast<std::uint32_t>(rng.next_u64());
+      }
+    }
+    for (const std::size_t count :
+         {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3},
+          std::size_t{5}, std::size_t{8}, std::size_t{17}}) {
+      // Rows wider than `groups` (the engine's chunk plane has excess
+      // words past the fold region) plus vector-tier tail padding.
+      const std::size_t stride = groups + 2;
+      std::vector<std::uint64_t> plane(count * stride + 8);
+      for (auto& w : plane) w = rng.next_u64();
+      std::vector<std::uint32_t> reference(count + 1, 0xDEADBEEF);
+      simd::table_for(simd::KernelLevel::scalar)
+          .crc_fold_multi(tables.data(), plane.data(), stride, groups,
+                          reference.data(), count);
+      // The multi-stream fold IS count serial folds.
+      for (std::size_t c = 0; c < count; ++c) {
+        EXPECT_EQ(reference[c],
+                  simd::table_for(simd::KernelLevel::scalar)
+                      .crc_fold(tables.data(), plane.data() + c * stride,
+                                groups))
+            << "groups=" << groups << " row=" << c;
+      }
+      for (const auto level : supported_levels()) {
+        std::vector<std::uint32_t> out(count + 1, 0xDEADBEEF);
+        simd::table_for(level).crc_fold_multi(tables.data(), plane.data(),
+                                              stride, groups, out.data(),
+                                              count);
+        EXPECT_EQ(out, reference)
+            << "level=" << simd::level_name(level) << " groups=" << groups
+            << " count=" << count;
+      }
+    }
+  }
+}
+
+TEST(SimdKernel, BlockShiftParity) {
+  Rng rng(0xB10C);
+  const simd::KernelTable& scalar = simd::table_for(simd::KernelLevel::scalar);
+  for (const auto& [src_words, dst_words] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {1, 1}, {2, 2}, {3, 3}, {4, 4}, {4, 3}, {3, 4}, {8, 8},
+           {8, 7}, {7, 8}, {10, 10}, {12, 9}}) {  // >8 words: scalar fallback
+    for (const unsigned shift : {1u, 3u, 8u, 15u, 31u, 63u}) {
+      for (const std::size_t count : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{5}, std::size_t{9}}) {
+        const std::size_t src_stride = src_words + 1;
+        const std::size_t dst_stride = dst_words + 2;
+        const std::uint64_t top_mask =
+            rng.next_u64() | (std::uint64_t{1} << 63);  // keep it non-trivial
+        std::vector<std::uint64_t> src(count * src_stride + 8);
+        for (auto& w : src) w = rng.next_u64();
+        std::vector<std::uint64_t> ref_shr(count * dst_stride + 8, 0x55);
+        std::vector<std::uint64_t> ref_shl(count * dst_stride + 8, 0x55);
+        scalar.block_shr(ref_shr.data(), dst_stride, src.data(), src_stride,
+                         count, shift, src_words, dst_words, top_mask);
+        scalar.block_shl(ref_shl.data(), dst_stride, src.data(), src_stride,
+                         count, shift, src_words, dst_words, top_mask);
+        for (const auto level : supported_levels()) {
+          const simd::KernelTable& table = simd::table_for(level);
+          std::vector<std::uint64_t> out(count * dst_stride + 8, 0x55);
+          table.block_shr(out.data(), dst_stride, src.data(), src_stride,
+                          count, shift, src_words, dst_words, top_mask);
+          for (std::size_t c = 0; c < count; ++c) {
+            for (std::size_t w = 0; w < dst_words; ++w) {
+              EXPECT_EQ(out[c * dst_stride + w], ref_shr[c * dst_stride + w])
+                  << "shr level=" << simd::level_name(level)
+                  << " src_words=" << src_words << " dst_words=" << dst_words
+                  << " shift=" << shift << " row=" << c << " word=" << w;
+            }
+          }
+          std::fill(out.begin(), out.end(), 0x55);
+          table.block_shl(out.data(), dst_stride, src.data(), src_stride,
+                          count, shift, src_words, dst_words, top_mask);
+          for (std::size_t c = 0; c < count; ++c) {
+            for (std::size_t w = 0; w < dst_words; ++w) {
+              EXPECT_EQ(out[c * dst_stride + w], ref_shl[c * dst_stride + w])
+                  << "shl level=" << simd::level_name(level)
+                  << " src_words=" << src_words << " dst_words=" << dst_words
+                  << " shift=" << shift << " row=" << c << " word=" << w;
+            }
+          }
+        }
+      }
     }
   }
 }
